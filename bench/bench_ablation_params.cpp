@@ -1,0 +1,95 @@
+// E9 — parameter ablation: the label-size / stretch frontier.
+//
+// The paper's constants are dictated by c(ε) and the r_i radii. This
+// experiment sweeps the presets on one α = 2 instance and one α = 1
+// instance and reports (mean label bits, observed stretch under faults) per
+// configuration — the trade-off DESIGN.md calls out: faithful radii buy the
+// worst-case proof at orders-of-magnitude label cost; compact radii keep
+// soundness and lose only a little observed stretch.
+#include "bench/common.hpp"
+
+using namespace fsdl;
+using namespace fsdl::bench;
+
+namespace {
+
+struct Config {
+  std::string name;
+  SchemeParams params;
+  bool guaranteed;  // worst-case (1+eps) proof applies
+};
+
+void sweep(const char* instance_name, const Graph& g,
+           const std::vector<Config>& configs, Table& table) {
+  for (const auto& cfg : configs) {
+    WallTimer timer;
+    const auto scheme = ForbiddenSetLabeling::build(g, cfg.params);
+    const double build_s = timer.elapsed_seconds();
+    const ForbiddenSetOracle oracle(scheme);
+    const StretchSample s =
+        measure_stretch(g, oracle, /*faults=*/3, /*edges=*/true, 250, 99);
+    table.row()
+        .cell(instance_name)
+        .cell(cfg.name)
+        .cell(static_cast<unsigned long long>(cfg.params.c))
+        .cell(cfg.guaranteed ? "proved" : "empirical")
+        .cell(scheme.mean_label_bits(), 0)
+        .cell(static_cast<unsigned long long>(scheme.max_label_bits()))
+        .cell(s.stretch.empty() ? 1.0 : s.stretch.mean(), 4)
+        .cell(s.stretch.empty() ? 1.0 : s.stretch.max(), 4)
+        .cell(static_cast<unsigned long long>(s.violations))
+        .cell(build_s, 2);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "E9: parameter ablation — label size vs observed stretch\n";
+
+  const std::vector<Config> configs = {
+      {"faithful eps=3", SchemeParams::faithful(3.0), true},
+      {"faithful eps=1", SchemeParams::faithful(1.0), true},
+      {"compact c=4", SchemeParams::compact(1.0, 4), false},
+      {"compact c=3", SchemeParams::compact(1.0, 3), false},
+      {"compact c=2", SchemeParams::compact(1.0, 2), false},
+  };
+
+  Table table({"instance", "config", "c", "guarantee", "mean_bits", "max_bits",
+               "mean_stretch", "max_stretch", "violations", "build_s"});
+  sweep("grid-14x14", workload("grid"), configs, table);
+  sweep("path-1024", make_path(1024), configs, table);
+  // Compact-only rows on instances too large for faithful construction.
+  const std::vector<Config> compact_only = {
+      {"compact c=3", SchemeParams::compact(1.0, 3), false},
+      {"compact c=2", SchemeParams::compact(1.0, 2), false},
+  };
+  sweep("tree-1023", make_balanced_tree(2, 9), compact_only, table);
+  sweep("grid-24x24", make_grid2d(24, 24), compact_only, table);
+  emit(table, "E9: size/stretch frontier (violations must be 0 everywhere)");
+
+  // Level-cap ablation: the diameter cap only removes degenerate levels.
+  // The cap matters on graphs whose diameter is far below n (grids), and is
+  // a no-op when diameter ~ n (paths).
+  Table cap({"instance", "levels_capped", "levels_paper", "bits_capped",
+             "bits_paper"});
+  for (const auto& [name, g] :
+       std::vector<std::pair<std::string, Graph>>{
+           {"grid-14x14", workload("grid")}, {"path-512", make_path(512)}}) {
+    BuildOptions paper;
+    paper.cap_levels_at_diameter = false;
+    const auto capped = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+    const auto full =
+        ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0), paper);
+    cap.row()
+        .cell(name)
+        .cell(static_cast<unsigned long long>(capped.top_level() -
+                                              capped.min_level() + 1))
+        .cell(static_cast<unsigned long long>(full.top_level() -
+                                              full.min_level() + 1))
+        .cell(capped.mean_label_bits(), 0)
+        .cell(full.mean_label_bits(), 0);
+  }
+  emit(cap, "E9b: diameter level-cap ablation");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// E10 — preprocessing cost: "all labels can be computed in polynomial time".
+//
+// Measures wall-clock label construction across n per family, one build per
+// configuration. Paper-predicted shape: near-linear growth in n·log n for
+// fixed α and ε (each level costs one truncated BFS per net point).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "core/failure_free.hpp"
+
+using namespace fsdl;
+using namespace fsdl::bench;
+
+namespace {
+
+void BM_BuildPathCompact(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = make_path(n);
+  for (auto _ : state) {
+    const auto scheme =
+        ForbiddenSetLabeling::build(g, SchemeParams::compact(1.0, 2));
+    benchmark::DoNotOptimize(scheme.total_bits());
+    state.counters["mean_label_bits"] = scheme.mean_label_bits();
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_BuildPathCompact)
+    ->Arg(1024)->Arg(2048)->Arg(4096)->Arg(8192)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_BuildPathFaithful(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = make_path(n);
+  for (auto _ : state) {
+    const auto scheme =
+        ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+    benchmark::DoNotOptimize(scheme.total_bits());
+    state.counters["mean_label_bits"] = scheme.mean_label_bits();
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_BuildPathFaithful)
+    ->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_BuildDiskCompact(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  Rng rng(5);
+  const Graph g = largest_component_subgraph(
+      make_unit_disk(n, 0.09 * std::sqrt(800.0 / n) + 0.02, rng));
+  for (auto _ : state) {
+    const auto scheme =
+        ForbiddenSetLabeling::build(g, SchemeParams::compact(1.0, 2));
+    benchmark::DoNotOptimize(scheme.total_bits());
+    state.counters["mean_label_bits"] = scheme.mean_label_bits();
+  }
+  state.counters["n_actual"] = g.num_vertices();
+}
+BENCHMARK(BM_BuildDiskCompact)
+    ->Arg(200)->Arg(400)->Arg(800)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_BuildFailureFree(benchmark::State& state) {
+  const auto n = static_cast<Vertex>(state.range(0));
+  const Graph g = make_path(n);
+  for (auto _ : state) {
+    const auto scheme = FailureFreeLabeling::build(g, 1.0);
+    benchmark::DoNotOptimize(scheme.total_bits());
+  }
+  state.counters["n"] = n;
+}
+BENCHMARK(BM_BuildFailureFree)
+    ->Arg(1024)->Arg(4096)->Arg(16384)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

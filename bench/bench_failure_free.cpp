@@ -1,0 +1,68 @@
+// E2 — §2.1 warm-up: failure-free (1+ε) distance labeling.
+//
+// Sweeps families × ε, measuring observed stretch against BFS ground truth
+// and the label length in bits. Paper-predicted shape: observed stretch
+// <= 1 + ε everywhere, label bits growing with 1/ε (as (1+1/ε)^α) and with
+// log² n in n.
+#include <cmath>
+
+#include "baseline/apsp_oracle.hpp"
+#include "bench/common.hpp"
+#include "core/failure_free.hpp"
+
+using namespace fsdl;
+using namespace fsdl::bench;
+
+int main() {
+  std::cout << "E2 (warm-up scheme): stretch <= 1+ε and label bits vs ε\n";
+
+  Table table({"family", "n", "eps", "c", "mean_label_bits", "max_label_bits",
+               "mean_stretch", "max_stretch", "bound", "ok"});
+  for (const char* family : {"path", "cycle", "grid", "tree", "disk"}) {
+    const Graph g = workload(family);
+    const ApspOracle exact(g);
+    for (double eps : {2.0, 1.0, 0.5, 0.25}) {
+      const auto scheme = FailureFreeLabeling::build(g, eps);
+      Summary stretch;
+      Rng rng(5);
+      for (int k = 0; k < 4000; ++k) {
+        const Vertex s = rng.vertex(g.num_vertices());
+        const Vertex t = rng.vertex(g.num_vertices());
+        const Dist d = exact.distance(s, t);
+        if (d == 0 || d == kInfDist) continue;
+        const Dist est = scheme.distance(s, t);
+        stretch.add(static_cast<double>(est) / d);
+      }
+      table.row()
+          .cell(family)
+          .cell(static_cast<unsigned long long>(g.num_vertices()))
+          .cell(eps, 2)
+          .cell(static_cast<unsigned long long>(scheme.c()))
+          .cell(scheme.total_bits() / static_cast<double>(g.num_vertices()), 0)
+          .cell(static_cast<unsigned long long>(scheme.max_label_bits()))
+          .cell(stretch.mean(), 4)
+          .cell(stretch.max(), 4)
+          .cell(1.0 + eps, 2)
+          .cell(stretch.max() <= 1.0 + eps + 1e-9 ? "yes" : "NO");
+    }
+  }
+  emit(table, "E2: failure-free labeling, stretch and label size vs eps");
+
+  // Size scaling in n on one family (path: faithful construction feasible
+  // far beyond the α=2 workloads).
+  Table growth({"n", "log2n^2", "mean_label_bits", "bits/log2n^2"});
+  for (Vertex n : {256u, 512u, 1024u, 2048u, 4096u}) {
+    const Graph g = make_path(n);
+    const auto scheme = FailureFreeLabeling::build(g, 1.0);
+    const double l2 = std::log2(static_cast<double>(n));
+    const double mean =
+        scheme.total_bits() / static_cast<double>(g.num_vertices());
+    growth.row()
+        .cell(static_cast<unsigned long long>(n))
+        .cell(l2 * l2, 1)
+        .cell(mean, 0)
+        .cell(mean / (l2 * l2), 1);
+  }
+  emit(growth, "E2b: label bits vs n on paths (paper: O(log^2 n) shape)");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E13 — the §1 hub-label connection: exact 2-hop labels (PLL) vs the
+// paper's schemes, failure-free.
+//
+// The paper argues its forbidden-set labels extend hub labeling toward
+// failures. This experiment quantifies the price: per-vertex bits of (a)
+// exact PLL hub labels, (b) our failure-free (1+ε) labels, (c) our full
+// forbidden-set labels — the fault-tolerance premium. Expected shape:
+// (a) < (b) << (c), with (a) exact and (b), (c) within 1+ε.
+#include "baseline/hub_labeling.hpp"
+#include "bench/common.hpp"
+#include "core/failure_free.hpp"
+
+using namespace fsdl;
+using namespace fsdl::bench;
+
+int main() {
+  std::cout << "E13: exact hub labels vs (1+eps) labels vs forbidden-set labels\n";
+
+  Table table({"family", "n", "scheme", "mean_bits", "max_bits", "exact",
+               "fault_tolerant"});
+  for (const char* family : {"path", "cycle", "grid", "tree", "disk"}) {
+    const Graph g = workload(family);
+    const HubLabeling hubs = HubLabeling::build(g);
+    const auto ff = FailureFreeLabeling::build(g, 1.0);
+    const auto fs = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+
+    table.row()
+        .cell(family)
+        .cell(static_cast<unsigned long long>(g.num_vertices()))
+        .cell("hub (PLL)")
+        .cell(hubs.total_bits() / static_cast<double>(g.num_vertices()), 0)
+        .cell(static_cast<unsigned long long>(
+            [&] {
+              std::size_t best = 0;
+              for (Vertex v = 0; v < g.num_vertices(); ++v) {
+                best = std::max(best, hubs.label_bits(v));
+              }
+              return best;
+            }()))
+        .cell("yes")
+        .cell("no");
+    table.row()
+        .cell(family)
+        .cell(static_cast<unsigned long long>(g.num_vertices()))
+        .cell("ff eps=1")
+        .cell(ff.total_bits() / static_cast<double>(g.num_vertices()), 0)
+        .cell(static_cast<unsigned long long>(ff.max_label_bits()))
+        .cell("1+eps")
+        .cell("no");
+    table.row()
+        .cell(family)
+        .cell(static_cast<unsigned long long>(g.num_vertices()))
+        .cell("fsdl eps=1")
+        .cell(fs.mean_label_bits(), 0)
+        .cell(static_cast<unsigned long long>(fs.max_label_bits()))
+        .cell("1+eps")
+        .cell("yes");
+  }
+  emit(table, "E13: the fault-tolerance premium in label bits");
+
+  // Hub-count scaling: the net-hierarchy ordering keeps hubs logarithmic
+  // on paths — the property hub-label practice relies on.
+  Table scaling({"n", "mean_hubs", "max_hubs", "mean_bits"});
+  for (Vertex n : {256u, 1024u, 4096u, 16384u}) {
+    const Graph g = make_path(n);
+    const HubLabeling hubs = HubLabeling::build(g);
+    scaling.row()
+        .cell(static_cast<unsigned long long>(n))
+        .cell(hubs.mean_hubs(), 1)
+        .cell(static_cast<unsigned long long>(hubs.max_hubs()))
+        .cell(hubs.total_bits() / static_cast<double>(n), 0);
+  }
+  emit(scaling, "E13b: PLL hub counts on paths (expect ~log n growth)");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E1 — Lemma 2.2: the net hierarchy's packing bound.
+//
+// For each workload family, sample (v, i, R) and measure
+//     ratio = |B(v, R) ∩ N_i| / (4R / 2^i)^α.
+// Lemma 2.2 asserts ratio <= 2 at every scale. The table reports the worst
+// observed ratio per family along with net sizes; the experiment passes if
+// every ratio stays below 2.
+#include <cmath>
+
+#include "bench/common.hpp"
+#include "graph/bfs.hpp"
+#include "nets/net_hierarchy.hpp"
+
+using namespace fsdl;
+using namespace fsdl::bench;
+
+int main() {
+  std::cout << "E1 (Lemma 2.2): packing bound |B(v,R) ∩ N_i| <= 2·(4R/2^i)^α\n";
+
+  // Larger instances than the faithful-label workloads: nets alone are cheap.
+  struct Instance {
+    const char* name;
+    Graph graph;
+    double alpha;
+  };
+  Rng gen(7);
+  std::vector<Instance> instances;
+  instances.push_back({"path-4096", make_path(4096), 1.0});
+  instances.push_back({"cycle-4096", make_cycle(4096), 1.0});
+  instances.push_back({"grid-48x48", make_grid2d(48, 48), 2.0});
+  instances.push_back({"king-32x32", make_king_grid(32, 32), 2.0});
+  instances.push_back(
+      {"disk-2000",
+       largest_component_subgraph(make_unit_disk(2000, 0.035, gen)), 2.0});
+
+  Table table({"family", "n", "levels", "|N_top|", "samples", "worst_ratio",
+               "bound", "ok"});
+  for (auto& inst : instances) {
+    const unsigned top = default_top_level(inst.graph.num_vertices());
+    const NetHierarchy nets = build_net_hierarchy(inst.graph, top);
+    Rng rng(99);
+    BfsRunner bfs(inst.graph);
+    double worst = 0.0;
+    const int samples = 300;
+    for (int k = 0; k < samples; ++k) {
+      const Vertex v = rng.vertex(inst.graph.num_vertices());
+      const unsigned i = static_cast<unsigned>(rng.below(top + 1));
+      const Dist radius =
+          static_cast<Dist>((Dist{1} << i) * (1 + rng.below(8)));
+      std::size_t count = 0;
+      bfs.run(v, radius, [&](Vertex u, Dist) {
+        if (nets.in_level(u, i)) ++count;
+      });
+      const double bound = std::pow(4.0 * radius / std::pow(2.0, i), inst.alpha);
+      worst = std::max(worst, static_cast<double>(count) / bound);
+    }
+    table.row()
+        .cell(inst.name)
+        .cell(static_cast<unsigned long long>(inst.graph.num_vertices()))
+        .cell(static_cast<unsigned long long>(top + 1))
+        .cell(static_cast<unsigned long long>(nets.level(top).size()))
+        .cell(static_cast<long long>(samples))
+        .cell(worst, 4)
+        .cell(2.0, 1)
+        .cell(worst <= 2.0 ? "yes" : "NO");
+  }
+  emit(table, "E1: net packing ratios (paper bound: 2.0)");
+  return 0;
+}

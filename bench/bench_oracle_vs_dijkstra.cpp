@@ -1,0 +1,124 @@
+// E6 — the §1 byproduct: label-table oracle vs recompute-from-scratch vs
+// single-fault sensitivity oracle.
+//
+// Two comparisons:
+//   (1) n = 32768 path: our (1+ε) label oracle vs exact BFS on G\F. The
+//       oracle's per-query work depends on |F| and the label size, not on
+//       n; BFS grows with n. On laptop-scale instances BFS still wins on
+//       raw centralized latency (the scheme's constants are large), but the
+//       *data touched per query* — the paper's hand-held-device argument —
+//       is (2+|F|) labels for us versus the entire graph for BFS; both
+//       numbers are printed below.
+//   (2) n = 4096: the same pair plus the single-fault sensitivity oracle,
+//       which is exact and fast but supports only |F| = 1 and needs O(n²)
+//       space (it cannot exist at the n used in (1) on this machine).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "baseline/exact_oracle.hpp"
+#include "baseline/sensitivity_oracle.hpp"
+#include "bench/common.hpp"
+
+using namespace fsdl;
+using namespace fsdl::bench;
+
+namespace {
+
+struct Setup {
+  Graph g;
+  std::unique_ptr<ForbiddenSetLabeling> scheme;
+  std::unique_ptr<ForbiddenSetOracle> ours;
+  std::unique_ptr<ExactOracle> bfs;
+  std::unique_ptr<SensitivityOracle> sens;  // only in the small setup
+  std::vector<Vertex> pool;
+};
+
+Setup make_instance(Vertex n, bool with_sensitivity) {
+  Setup x;
+  x.g = make_path(n);
+  x.scheme = std::make_unique<ForbiddenSetLabeling>(
+      ForbiddenSetLabeling::build(x.g, SchemeParams::compact(1.0, 2)));
+  x.ours = std::make_unique<ForbiddenSetOracle>(*x.scheme);
+  x.bfs = std::make_unique<ExactOracle>(x.g);
+  if (with_sensitivity) x.sens = std::make_unique<SensitivityOracle>(x.g);
+  Rng rng(31);
+  x.pool = rng.sample_distinct(x.g.num_vertices(), 256);
+  std::cout << "n=" << n << " sizes (bits): labels=" << x.ours->size_bits()
+            << " graph=" << x.bfs->size_bits()
+            << (x.sens ? " sensitivity=" + std::to_string(x.sens->size_bits())
+                       : std::string(" sensitivity=n/a"))
+            << "\n";
+  const double mean_label = x.scheme->mean_label_bits();
+  std::cout << "n=" << n << " bits touched per |F|=1 query: ours="
+            << static_cast<std::size_t>(3 * mean_label)
+            << " (3 labels)  bfs=" << x.bfs->size_bits()
+            << " (whole graph)  ratio="
+            << static_cast<double>(x.bfs->size_bits()) / (3 * mean_label)
+            << "x\n";
+  return x;
+}
+
+Setup& big() {
+  static Setup s = make_instance(32768, /*with_sensitivity=*/false);
+  return s;
+}
+Setup& small() {
+  static Setup s = make_instance(4096, /*with_sensitivity=*/true);
+  return s;
+}
+
+struct QueryGen {
+  Rng rng{41};
+  Vertex s = 0, t = 0, f = 0;
+  void next(const Setup& x) {
+    s = x.pool[rng.below(x.pool.size())];
+    do {
+      t = x.pool[rng.below(x.pool.size())];
+    } while (t == s);
+    do {
+      f = x.pool[rng.below(x.pool.size())];
+    } while (f == s || f == t);
+  }
+};
+
+template <typename Answer>
+void run(benchmark::State& state, Setup& x, Answer&& answer) {
+  QueryGen q;
+  for (auto _ : state) {
+    q.next(x);
+    benchmark::DoNotOptimize(answer(x, q));
+  }
+}
+
+Dist ours_answer(const Setup& x, const QueryGen& q) {
+  FaultSet faults;
+  faults.add_vertex(q.f);
+  return x.ours->distance(q.s, q.t, faults);
+}
+
+Dist bfs_answer(const Setup& x, const QueryGen& q) {
+  FaultSet faults;
+  faults.add_vertex(q.f);
+  return x.bfs->distance(q.s, q.t, faults);
+}
+
+void BM_LabelOracle_n32768(benchmark::State& state) { run(state, big(), ours_answer); }
+void BM_BfsRecompute_n32768(benchmark::State& state) { run(state, big(), bfs_answer); }
+void BM_LabelOracle_n4096(benchmark::State& state) { run(state, small(), ours_answer); }
+void BM_BfsRecompute_n4096(benchmark::State& state) { run(state, small(), bfs_answer); }
+void BM_Sensitivity_n4096(benchmark::State& state) {
+  run(state, small(), [](const Setup& x, const QueryGen& q) {
+    return x.sens->distance_avoiding_vertex(q.s, q.t, q.f);
+  });
+}
+
+BENCHMARK(BM_LabelOracle_n32768)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BfsRecompute_n32768)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LabelOracle_n4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_BfsRecompute_n4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Sensitivity_n4096)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// E14 — amortized queries against a fixed fault set (the router scenario).
+//
+// A router holds one forbidden set F and answers many (s, t) queries.
+// PreparedFaults pays the |F|-quadratic certification work once; each query
+// then costs only the two endpoint labels plus Dijkstra. Expected shape:
+// per-query latency of the prepared path flattens as |F| grows, while the
+// one-shot path keeps its superlinear growth (E5).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/common.hpp"
+
+using namespace fsdl;
+using namespace fsdl::bench;
+
+namespace {
+
+struct Fixture {
+  Graph g;
+  std::unique_ptr<ForbiddenSetLabeling> scheme;
+  std::unique_ptr<ForbiddenSetOracle> oracle;
+  std::vector<Vertex> pool;
+};
+
+Fixture& fixture() {
+  static Fixture f = [] {
+    Fixture fx;
+    fx.g = make_path(8192);
+    fx.scheme = std::make_unique<ForbiddenSetLabeling>(
+        ForbiddenSetLabeling::build(fx.g, SchemeParams::compact(1.0, 3)));
+    fx.oracle = std::make_unique<ForbiddenSetOracle>(*fx.scheme);
+    Rng rng(17);
+    fx.pool = rng.sample_distinct(fx.g.num_vertices(), 256);
+    return fx;
+  }();
+  return f;
+}
+
+FaultSet make_faults(Fixture& fx, unsigned count, Rng& rng) {
+  FaultSet f;
+  while (f.size() < count) {
+    f.add_vertex(fx.pool[rng.below(fx.pool.size())]);
+  }
+  return f;
+}
+
+void BM_OneShot(benchmark::State& state) {
+  Fixture& fx = fixture();
+  Rng rng(23);
+  const FaultSet f = make_faults(fx, static_cast<unsigned>(state.range(0)), rng);
+  for (auto _ : state) {
+    const Vertex s = fx.pool[rng.below(fx.pool.size())];
+    const Vertex t = fx.pool[rng.below(fx.pool.size())];
+    benchmark::DoNotOptimize(fx.oracle->distance(s, t, f));
+  }
+  state.counters["F"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_OneShot)->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_Prepared(benchmark::State& state) {
+  Fixture& fx = fixture();
+  Rng rng(23);
+  const FaultSet f = make_faults(fx, static_cast<unsigned>(state.range(0)), rng);
+  const PreparedFaults prepared = fx.oracle->prepare(f);
+  for (auto _ : state) {
+    const Vertex s = fx.pool[rng.below(fx.pool.size())];
+    const Vertex t = fx.pool[rng.below(fx.pool.size())];
+    benchmark::DoNotOptimize(
+        prepared.query(fx.oracle->label(s), fx.oracle->label(t)).distance);
+  }
+  state.counters["F"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Prepared)->Arg(4)->Arg(16)->Arg(32)->Unit(benchmark::kMicrosecond);
+
+void BM_PrepareCost(benchmark::State& state) {
+  Fixture& fx = fixture();
+  Rng rng(23);
+  const FaultSet f = make_faults(fx, static_cast<unsigned>(state.range(0)), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.oracle->prepare(f).num_centers());
+  }
+  state.counters["F"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PrepareCost)->Arg(4)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

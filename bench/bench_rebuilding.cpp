@@ -1,0 +1,66 @@
+// E15 — rebuild-threshold trade-off of the rebuilding dynamic oracle.
+//
+// The paper's recovery story: answer immediately via forbidden-set queries,
+// recompute labels "in the background" once failures accumulate. The
+// threshold k bounds the forbidden-set size carried per query: queries cost
+// ~|delta|² (Lemma 2.6), rebuilds cost a full label construction. Expected
+// shape: mean query time grows with the threshold, total rebuild time
+// shrinks; the sweet spot depends on the query:failure ratio.
+#include "bench/common.hpp"
+#include "core/rebuilding_oracle.hpp"
+
+using namespace fsdl;
+using namespace fsdl::bench;
+
+int main() {
+  std::cout << "E15: rebuilding dynamic oracle — threshold sweep\n";
+
+  const Graph g = make_grid2d(13, 13);
+  Table table({"threshold", "failures", "queries", "rebuilds",
+               "mean_query_us", "total_rebuild_s", "violations"});
+  for (std::size_t threshold : {std::size_t{0}, std::size_t{2}, std::size_t{4},
+                                std::size_t{8}, std::size_t{1000}}) {
+    RebuildingDynamicOracle oracle(g, SchemeParams::faithful(1.0), threshold);
+    Rng rng(2029);
+    FaultSet mirror;
+    Summary query_us;
+    std::size_t failures = 0, queries = 0, violations = 0;
+    double rebuild_s = 0;
+
+    for (int step = 0; step < 30; ++step) {
+      // One failure event...
+      const Vertex v = rng.vertex(g.num_vertices());
+      if (!mirror.vertex_faulty(v)) {
+        WallTimer t;
+        oracle.fail_vertex(v);
+        rebuild_s += t.elapsed_seconds();  // ≈ 0 unless a rebuild fired
+        mirror.add_vertex(v);
+        ++failures;
+      }
+      // ...then a burst of queries.
+      for (int q = 0; q < 20; ++q) {
+        const Vertex s = rng.vertex(g.num_vertices());
+        const Vertex t = rng.vertex(g.num_vertices());
+        WallTimer timer;
+        const Dist est = oracle.distance(s, t);
+        query_us.add(timer.elapsed_us());
+        ++queries;
+        const Dist truth = distance_avoiding(g, s, t, mirror);
+        if (truth == kInfDist ? est != kInfDist
+                              : (est < truth || est > 2 * truth)) {
+          ++violations;
+        }
+      }
+    }
+    table.row()
+        .cell(static_cast<unsigned long long>(threshold))
+        .cell(static_cast<unsigned long long>(failures))
+        .cell(static_cast<unsigned long long>(queries))
+        .cell(static_cast<unsigned long long>(oracle.rebuilds()))
+        .cell(query_us.mean(), 1)
+        .cell(rebuild_s, 2)
+        .cell(static_cast<unsigned long long>(violations));
+  }
+  emit(table, "E15: query cost vs rebuild cost (expect violations = 0)");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E12 — weighted extension: the scheme over integer-weighted graphs.
+//
+// Sweeps the max edge weight W on paths and grids, measuring observed
+// stretch against weighted ground truth and label size. Expected shape:
+// soundness everywhere (0 violations), stretch within 1 + ε + O(W/2^c)
+// (the weighted net-snapping slack; the paper proves the unweighted case
+// only), label bits growing mildly with W through the extra levels
+// (top level = ⌈log₂(weighted diameter)⌉).
+#include "bench/common.hpp"
+#include "core/weighted.hpp"
+#include "graph/wfault.hpp"
+#include "graph/wgraph.hpp"
+
+using namespace fsdl;
+using namespace fsdl::bench;
+
+int main() {
+  std::cout << "E12: weighted extension (library extension, empirical)\n";
+
+  Table table({"family", "n", "W", "levels", "mean_bits", "queries",
+               "mean_stretch", "max_stretch", "violations"});
+  for (const char* family : {"path", "grid"}) {
+    for (Weight max_w : {1u, 2u, 4u, 8u, 16u}) {
+      Rng rng(17);
+      const Graph base = std::string(family) == "path" ? make_path(220)
+                                                       : make_grid2d(12, 12);
+      const WeightedGraph g = max_w == 1 ? weighted_from(base)
+                                         : weighted_from(base, max_w, rng);
+      const auto scheme =
+          build_weighted_labeling(g, SchemeParams::faithful(1.0));
+      const ForbiddenSetOracle oracle(scheme);
+
+      Summary stretch;
+      std::size_t queries = 0, violations = 0;
+      for (int trial = 0; trial < 300; ++trial) {
+        const Vertex s = rng.vertex(g.num_vertices());
+        const Vertex t = rng.vertex(g.num_vertices());
+        FaultSet f;
+        for (unsigned k = 0; k < 3; ++k) {
+          const Vertex x = rng.vertex(g.num_vertices());
+          if (x != s && x != t) f.add_vertex(x);
+        }
+        const Dist exact = weighted_distance_avoiding(g, s, t, f);
+        const Dist approx = oracle.distance(s, t, f);
+        ++queries;
+        if (exact == kInfDist) {
+          if (approx != kInfDist) ++violations;
+          continue;
+        }
+        if (approx < exact || approx == kInfDist) {
+          ++violations;
+          continue;
+        }
+        if (exact > 0) stretch.add(static_cast<double>(approx) / exact);
+      }
+      table.row()
+          .cell(family)
+          .cell(static_cast<unsigned long long>(g.num_vertices()))
+          .cell(static_cast<unsigned long long>(max_w))
+          .cell(static_cast<unsigned long long>(scheme.top_level() -
+                                                scheme.min_level() + 1))
+          .cell(scheme.mean_label_bits(), 0)
+          .cell(static_cast<unsigned long long>(queries))
+          .cell(stretch.empty() ? 1.0 : stretch.mean(), 4)
+          .cell(stretch.empty() ? 1.0 : stretch.max(), 4)
+          .cell(static_cast<unsigned long long>(violations));
+    }
+  }
+  emit(table, "E12: weighted graphs — stretch and size vs max weight W");
+  return 0;
+}

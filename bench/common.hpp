@@ -1,0 +1,106 @@
+// Shared helpers for the experiment binaries (E1–E10, see DESIGN.md §4).
+//
+// Each binary regenerates one "table": it prints the workload parameters,
+// the paper's predicted shape, and the measured numbers via util/table.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/components.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace fsdl::bench {
+
+/// Named workload graphs sized so faithful-parameter label construction
+/// stays within laptop memory (the scheme's constants are the paper's).
+inline Graph workload(const std::string& name) {
+  Rng rng(0xC0FFEE);
+  if (name == "path") return make_path(240);
+  if (name == "cycle") return make_cycle(200);
+  if (name == "grid") return make_grid2d(14, 14);
+  if (name == "tree") return make_balanced_tree(2, 7);
+  if (name == "king") return make_king_grid(11, 11);
+  if (name == "disk") {
+    return largest_component_subgraph(make_unit_disk(220, 0.11, rng));
+  }
+  if (name == "roads") return make_perturbed_grid(15, 15, 0.12, rng);
+  throw std::invalid_argument("unknown workload " + name);
+}
+
+/// Nominal doubling dimension of each workload family.
+inline double nominal_alpha(const std::string& name) {
+  if (name == "path" || name == "cycle") return 1.0;
+  if (name == "tree") return 1.0;  // bounded-degree tree, small balls
+  return 2.0;
+}
+
+/// Random fault set avoiding s and t; mixes vertices and edges when asked.
+inline FaultSet sample_faults(const Graph& g, Rng& rng, Vertex s, Vertex t,
+                              unsigned count, bool include_edges = false) {
+  FaultSet f;
+  unsigned guard = 0;
+  while (f.size() < count && ++guard < 20 * count + 20) {
+    if (include_edges && rng.chance(0.4)) {
+      const Vertex a = rng.vertex(g.num_vertices());
+      const auto nb = g.neighbors(a);
+      if (!nb.empty()) f.add_edge(a, nb[rng.below(nb.size())]);
+    } else {
+      const Vertex x = rng.vertex(g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+  }
+  return f;
+}
+
+struct StretchSample {
+  Summary stretch;       // over connected, d > 0 queries
+  std::size_t queries = 0;
+  std::size_t disconnected = 0;
+  std::size_t violations = 0;  // approx < exact (must stay 0)
+};
+
+/// Sample random (s, t, F) queries and compare the oracle with ground truth.
+inline StretchSample measure_stretch(const Graph& g,
+                                     const ForbiddenSetOracle& oracle,
+                                     unsigned num_faults, bool include_edges,
+                                     int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  StretchSample out;
+  for (int k = 0; k < trials; ++k) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    const FaultSet f = sample_faults(g, rng, s, t, num_faults, include_edges);
+    const Dist exact = distance_avoiding(g, s, t, f);
+    const Dist approx = oracle.distance(s, t, f);
+    ++out.queries;
+    if (exact == kInfDist) {
+      ++out.disconnected;
+      if (approx != kInfDist) ++out.violations;
+      continue;
+    }
+    if (approx < exact || approx == kInfDist) {
+      ++out.violations;
+      continue;
+    }
+    if (exact > 0) {
+      out.stretch.add(static_cast<double>(approx) / exact);
+    }
+  }
+  return out;
+}
+
+inline void emit(const Table& table, const std::string& title) {
+  table.print(std::cout, title);
+  std::cout << "\n-- csv --\n";
+  table.print_csv(std::cout);
+}
+
+}  // namespace fsdl::bench

@@ -1,0 +1,72 @@
+// Forbidden-set routing with a private routing policy (§1 application).
+//
+// A router decides that, for security or economic reasons, traffic must not
+// transit a set of nodes it distrusts. It adds them to its private
+// forbidden set, recomputes the sketch path from labels alone, and packets
+// are forwarded around the region — no global route recomputation, and the
+// routing tables of other routers never change.
+//
+//   $ ./examples/routing_policy
+#include <cstdio>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "routing/simulator.hpp"
+
+int main() {
+  using namespace fsdl;
+
+  // An autonomous system shaped like a 12x12 torus of routers.
+  const Graph net = make_torus2d(12, 12);
+  const auto scheme =
+      ForbiddenSetLabeling::build(net, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  const auto routing = ForbiddenSetRouting::build(net, scheme);
+  std::printf("network: %u routers; routing tables: mean %.1f KiB\n",
+              net.num_vertices(),
+              routing.total_table_bits() / 8192.0 / net.num_vertices());
+
+  const Vertex src = 0;
+  const Vertex dst = 6 * 12 + 6;  // diagonally opposite on the torus
+
+  auto show_route = [&](const char* title, const FaultSet& policy) {
+    const RouteResult rr = route_packet(net, routing, oracle, src, dst, policy);
+    std::printf("\n%s\n", title);
+    if (!rr.delivered) {
+      std::printf("  packet NOT delivered (%s)\n",
+                  rr.blocked_by_fault ? "blocked by forbidden node"
+                                      : "no route known");
+      return;
+    }
+    std::printf("  delivered in %u hops, header %zu bits\n  route:", rr.hops,
+                rr.header_bits);
+    for (Vertex v : rr.path) std::printf(" %u", v);
+    std::printf("\n");
+  };
+
+  const FaultSet open_policy;
+  show_route("default policy (no restrictions):", open_policy);
+
+  // The operator distrusts a column of transit routers.
+  FaultSet policy;
+  for (Vertex r = 2; r <= 9; ++r) policy.add_vertex(r * 12 + 3);
+  show_route("policy: avoid distrusted transit column 3 (rows 2..9):", policy);
+
+  // Tighten further: also forbid a link on the southern detour.
+  policy.add_edge(11 * 12 + 3, 11 * 12 + 4);
+  show_route("policy: ... and the southern link (11,3)-(11,4):", policy);
+
+  // Verify the policy was honoured.
+  {
+    const RouteResult rr = route_packet(net, routing, oracle, src, dst, policy);
+    bool clean = rr.delivered;
+    for (Vertex v : rr.path) {
+      if (policy.vertex_faulty(v)) clean = false;
+    }
+    std::printf("\npolicy honoured on final route: %s\n",
+                clean ? "yes" : "NO (bug!)");
+  }
+  return 0;
+}

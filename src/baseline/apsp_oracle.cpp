@@ -1,0 +1,15 @@
+#include "baseline/apsp_oracle.hpp"
+
+#include "graph/bfs.hpp"
+
+namespace fsdl {
+
+ApspOracle::ApspOracle(const Graph& g) : n_(g.num_vertices()) {
+  matrix_.reserve(n_ * n_);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    const auto dist = bfs_distances(g, s);
+    matrix_.insert(matrix_.end(), dist.begin(), dist.end());
+  }
+}
+
+}  // namespace fsdl

@@ -1,0 +1,32 @@
+// Baseline: precomputed all-pairs shortest paths (failure-free).
+//
+// O(n²) space, O(1) queries, exact — but cannot handle faults at all.
+// Used as the exact denominator for stretch measurements and as the
+// space/time contrast case in the failure-free experiment (E2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+class ApspOracle {
+ public:
+  /// n BFS runs; use on graphs where n² distances fit comfortably.
+  explicit ApspOracle(const Graph& g);
+
+  Dist distance(Vertex s, Vertex t) const {
+    return matrix_[static_cast<std::size_t>(s) * n_ + t];
+  }
+
+  std::size_t size_bits() const { return matrix_.size() * sizeof(Dist) * 8; }
+
+ private:
+  std::size_t n_;
+  std::vector<Dist> matrix_;
+};
+
+}  // namespace fsdl

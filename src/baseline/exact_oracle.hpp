@@ -1,0 +1,28 @@
+// Baseline: recompute-from-scratch exact oracle.
+//
+// Answers every forbidden-set query by running BFS on G\F. Zero space
+// beyond the graph, exact answers, O(m) per query — the "no data structure"
+// end of the trade-off every labeling-scheme experiment compares against.
+#pragma once
+
+#include "graph/fault_view.hpp"
+#include "graph/graph.hpp"
+
+namespace fsdl {
+
+class ExactOracle {
+ public:
+  explicit ExactOracle(const Graph& g) : g_(&g) {}
+
+  Dist distance(Vertex s, Vertex t, const FaultSet& faults) const {
+    return distance_avoiding(*g_, s, t, faults);
+  }
+
+  /// Size of the representation this baseline needs at query time.
+  std::size_t size_bits() const { return g_->memory_bytes() * 8; }
+
+ private:
+  const Graph* g_;
+};
+
+}  // namespace fsdl

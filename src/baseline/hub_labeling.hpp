@@ -1,0 +1,49 @@
+// Exact 2-hop (hub) distance labeling via pruned landmark labeling
+// (Akiba–Iwata–Yoshida, SIGMOD 2013).
+//
+// The paper's application section argues its forbidden-set labels extend
+// the hub-label line of work (Abraham–Delling–Goldberg–Werneck) toward
+// failures; this class is that line's failure-free representative: exact
+// distances, labels empirically small on low-dimension graphs, but no
+// fault tolerance whatsoever. Benchmark E13 compares it against both of
+// our schemes.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+class HubLabeling {
+ public:
+  /// Pruned landmark labeling: processes vertices in decreasing-degree
+  /// order; each BFS is pruned wherever existing hubs already certify the
+  /// tentative distance. Exact for connected and disconnected graphs.
+  static HubLabeling build(const Graph& g);
+
+  /// Exact d_G(u, v) by merging the two sorted hub lists.
+  Dist distance(Vertex u, Vertex v) const;
+
+  /// Hubs of one vertex: (hub id, distance) sorted by hub id.
+  const std::vector<std::pair<Vertex, Dist>>& hubs(Vertex v) const {
+    return labels_[v];
+  }
+
+  double mean_hubs() const;
+  std::size_t max_hubs() const;
+
+  /// Bit accounting comparable to the other schemes: per entry, a fixed
+  /// ⌈log₂ n⌉-bit hub id plus a gamma-coded distance.
+  std::size_t label_bits(Vertex v) const;
+  std::size_t total_bits() const;
+
+ private:
+  unsigned vertex_bits_ = 1;
+  std::vector<std::vector<std::pair<Vertex, Dist>>> labels_;
+};
+
+}  // namespace fsdl

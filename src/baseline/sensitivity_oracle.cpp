@@ -1,0 +1,58 @@
+#include "baseline/sensitivity_oracle.hpp"
+
+#include <stdexcept>
+
+namespace fsdl {
+
+SensitivityOracle::SensitivityOracle(const Graph& g)
+    : g_(&g), n_(g.num_vertices()) {
+  parent_.assign(n_ * n_, kNoVertex);
+  dist_.assign(n_ * n_, kInfDist);
+  std::vector<Vertex> queue;
+  for (Vertex s = 0; s < n_; ++s) {
+    auto* parent = parent_.data() + s * n_;
+    auto* dist = dist_.data() + s * n_;
+    queue.clear();
+    queue.push_back(s);
+    dist[s] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const Vertex u = queue[head];
+      for (Vertex w : g.neighbors(u)) {
+        if (dist[w] == kInfDist) {
+          dist[w] = dist[u] + 1;
+          parent[w] = u;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+}
+
+Dist SensitivityOracle::distance_avoiding_vertex(Vertex s, Vertex t,
+                                                 Vertex f) const {
+  if (f == s || f == t) throw std::invalid_argument("fault equals endpoint");
+  ++queries_;
+  const auto* parent = parent_.data() + static_cast<std::size_t>(s) * n_;
+  const auto* dist = dist_.data() + static_cast<std::size_t>(s) * n_;
+  if (dist[t] == kInfDist) return kInfDist;
+  bool tree_path_hits_fault = false;
+  for (Vertex v = t; v != s; v = parent[v]) {
+    if (v == f) {
+      tree_path_hits_fault = true;
+      break;
+    }
+  }
+  if (!tree_path_hits_fault) return dist[t];
+  ++fallbacks_;
+  FaultSet faults;
+  faults.add_vertex(f);
+  return distance_avoiding(*g_, s, t, faults);
+}
+
+double SensitivityOracle::fallback_rate() const {
+  return queries_ == 0
+             ? 0.0
+             : static_cast<double>(fallbacks_) / static_cast<double>(queries_);
+}
+
+}  // namespace fsdl

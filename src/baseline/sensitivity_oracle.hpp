@@ -1,0 +1,44 @@
+// Baseline: single-fault sensitivity oracle (Demetrescu–Thorup-flavoured
+// comparator for the related-work experiment E6).
+//
+// Stores one BFS tree per source (O(n²) words total). A query (s, t, {f})
+// walks the stored tree path from t to s: if f is not on it, that path is a
+// fault-free shortest path and d_{G\{f}}(s,t) = d_G(s,t) is returned in
+// O(path length); otherwise it falls back to a fresh BFS on G\{f}.
+// Exact, but only for a single vertex fault — the contrast with the
+// labeling scheme, whose size is independent of the number of faults.
+#pragma once
+
+#include <vector>
+
+#include "graph/fault_view.hpp"
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+class SensitivityOracle {
+ public:
+  explicit SensitivityOracle(const Graph& g);
+
+  /// Exact d_{G\{f}}(s, t); f must differ from s and t.
+  Dist distance_avoiding_vertex(Vertex s, Vertex t, Vertex f) const;
+
+  /// Fraction of recent queries that needed the BFS fallback.
+  double fallback_rate() const;
+
+  std::size_t size_bits() const {
+    return parent_.size() * (sizeof(Vertex) + sizeof(Dist)) * 8;
+  }
+
+ private:
+  const Graph* g_;
+  std::size_t n_;
+  // parent_[s*n + v] = parent of v in s's BFS tree; dist_ likewise.
+  std::vector<Vertex> parent_;
+  std::vector<Dist> dist_;
+  mutable std::size_t queries_ = 0;
+  mutable std::size_t fallbacks_ = 0;
+};
+
+}  // namespace fsdl

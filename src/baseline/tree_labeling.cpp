@@ -1,0 +1,197 @@
+#include "baseline/tree_labeling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+
+namespace fsdl {
+namespace {
+
+/// depth(lca(s, t)) from the chain descriptors: both root paths share a
+/// prefix of chains; on the last shared chain, the common part reaches the
+/// shallower leave-depth.
+Dist lca_depth(const TreeLabel& s, const TreeLabel& t) {
+  std::size_t k = 0;
+  const std::size_t limit = std::min(s.chains.size(), t.chains.size());
+  while (k < limit && s.chains[k].first == t.chains[k].first) ++k;
+  if (k == 0) {
+    throw std::logic_error("tree labels from different trees (no common root)");
+  }
+  return std::min(s.chains[k - 1].second, t.chains[k - 1].second);
+}
+
+bool on_path(const TreeLabel& s, const TreeLabel& t, const TreeLabel& f,
+             Dist dst) {
+  const Dist dsf = TreeDistanceLabeling::decode_distance(s, f);
+  const Dist dft = TreeDistanceLabeling::decode_distance(f, t);
+  return dsf + dft == dst;
+}
+
+}  // namespace
+
+TreeDistanceLabeling TreeDistanceLabeling::build(const Graph& tree) {
+  const Vertex n = tree.num_vertices();
+  if (n == 0) throw std::invalid_argument("empty graph");
+  if (tree.num_edges() != static_cast<std::size_t>(n) - 1 || !is_connected(tree)) {
+    throw std::invalid_argument("TreeDistanceLabeling: input is not a tree");
+  }
+
+  // Root at 0; iterative DFS order for parent/depth/subtree size.
+  std::vector<Vertex> parent(n, kNoVertex);
+  std::vector<Dist> depth(n, 0);
+  std::vector<Vertex> order;
+  order.reserve(n);
+  {
+    std::vector<Vertex> stack{0};
+    std::vector<char> seen(n, 0);
+    seen[0] = 1;
+    while (!stack.empty()) {
+      const Vertex u = stack.back();
+      stack.pop_back();
+      order.push_back(u);
+      for (Vertex w : tree.neighbors(u)) {
+        if (!seen[w]) {
+          seen[w] = 1;
+          parent[w] = u;
+          depth[w] = depth[u] + 1;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  std::vector<std::size_t> subtree(n, 1);
+  for (std::size_t k = order.size(); k-- > 1;) {
+    subtree[parent[order[k]]] += subtree[order[k]];
+  }
+
+  // Heavy child per vertex: the child with the largest subtree.
+  std::vector<Vertex> heavy(n, kNoVertex);
+  for (Vertex v = 0; v < n; ++v) {
+    if (v != 0) {
+      const Vertex p = parent[v];
+      if (heavy[p] == kNoVertex || subtree[v] > subtree[heavy[p]]) {
+        heavy[p] = v;
+      }
+    }
+  }
+
+  // Chain head per vertex (processing in DFS order keeps parents first).
+  std::vector<Vertex> head(n);
+  head[0] = 0;
+  for (Vertex v : order) {
+    if (v == 0) continue;
+    head[v] = heavy[parent[v]] == v ? head[parent[v]] : v;
+  }
+
+  TreeDistanceLabeling scheme;
+  scheme.vertex_bits_ = bits_for(n);
+  scheme.labels_.resize(n);
+  std::vector<std::pair<Vertex, Dist>> chains;
+  for (Vertex v = 0; v < n; ++v) {
+    chains.clear();
+    // Walk chain heads up to the root, then reverse.
+    Vertex cur = v;
+    Dist leave = depth[v];
+    while (true) {
+      const Vertex h = head[cur];
+      chains.emplace_back(h, leave);
+      if (h == 0) break;
+      cur = parent[h];
+      leave = depth[cur];
+    }
+    std::reverse(chains.begin(), chains.end());
+
+    BitWriter& out = scheme.labels_[v];
+    out.write_bits(v, scheme.vertex_bits_);
+    out.write_gamma0(depth[v]);
+    out.write_gamma0(chains.size());
+    for (const auto& [h, d] : chains) {
+      out.write_bits(h, scheme.vertex_bits_);
+      out.write_gamma0(d);
+    }
+    out.shrink_to_fit();
+  }
+  return scheme;
+}
+
+TreeLabel TreeDistanceLabeling::label(Vertex v) const {
+  BitReader in(labels_.at(v));
+  TreeLabel l;
+  l.owner = static_cast<Vertex>(in.read_bits(vertex_bits_));
+  l.depth = static_cast<Dist>(in.read_gamma0());
+  l.chains.resize(in.read_gamma0());
+  for (auto& [h, d] : l.chains) {
+    h = static_cast<Vertex>(in.read_bits(vertex_bits_));
+    d = static_cast<Dist>(in.read_gamma0());
+  }
+  return l;
+}
+
+Dist TreeDistanceLabeling::decode_distance(const TreeLabel& s,
+                                           const TreeLabel& t) {
+  if (s.owner == t.owner) return 0;
+  return s.depth + t.depth - 2 * lca_depth(s, t);
+}
+
+Dist TreeDistanceLabeling::decode_distance(
+    const TreeLabel& s, const TreeLabel& t,
+    const std::vector<const TreeLabel*>& fault_vertices,
+    const std::vector<std::pair<const TreeLabel*, const TreeLabel*>>&
+        fault_edges) {
+  for (const TreeLabel* f : fault_vertices) {
+    if (f->owner == s.owner || f->owner == t.owner) return kInfDist;
+  }
+  const Dist d = decode_distance(s, t);
+  for (const TreeLabel* f : fault_vertices) {
+    if (on_path(s, t, *f, d)) return kInfDist;
+  }
+  for (const auto& [a, b] : fault_edges) {
+    // A tree edge with both endpoints on the unique s-t path lies on it.
+    // (The adjacency check guards against forbidden non-edges.)
+    if (decode_distance(*a, *b) == 1 && on_path(s, t, *a, d) &&
+        on_path(s, t, *b, d)) {
+      return kInfDist;
+    }
+  }
+  return d;
+}
+
+Dist TreeDistanceLabeling::distance(Vertex s, Vertex t) const {
+  const TreeLabel ls = label(s), lt = label(t);
+  return decode_distance(ls, lt);
+}
+
+Dist TreeDistanceLabeling::distance(Vertex s, Vertex t,
+                                    const FaultSet& faults) const {
+  const TreeLabel ls = label(s), lt = label(t);
+  std::vector<TreeLabel> storage;
+  storage.reserve(faults.vertices().size() + 2 * faults.edges().size());
+  std::vector<const TreeLabel*> fv;
+  std::vector<std::pair<const TreeLabel*, const TreeLabel*>> fe;
+  for (Vertex f : faults.vertices()) {
+    storage.push_back(label(f));
+    fv.push_back(&storage.back());
+  }
+  for (const auto& [a, b] : faults.edges()) {
+    storage.push_back(label(a));
+    storage.push_back(label(b));
+    fe.emplace_back(&storage[storage.size() - 2], &storage.back());
+  }
+  return decode_distance(ls, lt, fv, fe);
+}
+
+std::size_t TreeDistanceLabeling::max_label_bits() const {
+  std::size_t best = 0;
+  for (const auto& w : labels_) best = std::max(best, w.bit_size());
+  return best;
+}
+
+std::size_t TreeDistanceLabeling::total_bits() const {
+  std::size_t sum = 0;
+  for (const auto& w : labels_) sum += w.bit_size();
+  return sum;
+}
+
+}  // namespace fsdl

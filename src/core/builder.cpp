@@ -1,0 +1,182 @@
+// Label construction (paper §2.1, "Labels").
+//
+// For each level i ∈ I = {c+1, …, top}:
+//   - level i draws its points from net N_q, q = i - c - 1;
+//   - every net point x ∈ N_q runs a BFS truncated at radius r_i; each
+//     visited vertex v records (x, d_G(v, x)) — this inverts "collect
+//     N_q ∩ B(v, r_i)" into per-net-point work;
+//   - the same BFS records net-point pair distances <= λ_i (the virtual
+//     edges); per vertex, the level's edge set is assembled from the pairs
+//     whose endpoints both landed in its ball, plus owner-to-point edges.
+//
+// Total work is Σ_i Σ_{x ∈ N_q} |B(x, r_i)| ⋅ deg — the net density and the
+// ball radius grow/shrink in lockstep, giving n ⋅ 2^{O(α)} per level.
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/labeling.hpp"
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/diameter.hpp"
+#include "nets/net_hierarchy.hpp"
+
+namespace fsdl {
+namespace {
+
+constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+
+unsigned ceil_log2_plus1(Dist d) noexcept {
+  unsigned t = 0;
+  while ((Dist{1} << t) < d + 1 && t < 31) ++t;
+  return t;
+}
+
+}  // namespace
+
+ForbiddenSetLabeling ForbiddenSetLabeling::build(const Graph& g,
+                                                 const SchemeParams& params,
+                                                 const BuildOptions& options) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("empty graph");
+
+  ForbiddenSetLabeling scheme;
+  scheme.params_ = params;
+  scheme.vertex_bits_ = bits_for(n);
+  scheme.codec_ = options.codec;
+
+  unsigned top = default_top_level(n);
+  if (options.cap_levels_at_diameter && is_connected(g)) {
+    // diam <= 2 * ecc(any vertex); the double-sweep endpoint's eccentricity
+    // is usually the diameter itself. 2^top >= diam is what correctness of
+    // the top-level case needs.
+    const Dist sweep = double_sweep_lower_bound(g);
+    top = std::min(top, ceil_log2_plus1(2 * sweep));
+  }
+  top = std::max(top, params.min_level());
+  scheme.top_level_ = top;
+
+  const unsigned net_top = top - params.c - 1;
+  const NetHierarchy nets = build_net_hierarchy(g, net_top);
+
+  scheme.labels_.resize(n);
+  for (Vertex v = 0; v < n; ++v) {
+    encode_label_header(v, nets.max_level_of(v), params.min_level(), top,
+                        scheme.vertex_bits_, scheme.labels_[v]);
+  }
+
+  BfsRunner bfs(g);
+  // Scratch: position of a vertex in the current label's point list.
+  std::vector<std::uint32_t> posn(n, kNone);
+  // Scratch: rank of a vertex within the current level's net (or kNone).
+  std::vector<std::uint32_t> rank(n, kNone);
+
+  for (unsigned i = params.min_level(); i <= top; ++i) {
+    const unsigned q = params.net_level(i);
+    const Dist lambda = params.lambda(i);
+    const Dist radius = params.r(i);
+    const auto& net = nets.level(q);
+    const bool all_pairs = params.lowest_level_all_pairs || i > params.min_level();
+
+    std::fill(rank.begin(), rank.end(), kNone);
+    for (std::uint32_t idx = 0; idx < net.size(); ++idx) rank[net[idx]] = idx;
+
+    // lists[v] = (net point, distance) pairs with d <= r_i, in increasing
+    // net-point id order (net is sorted and appends happen per source).
+    std::vector<std::vector<std::pair<Vertex, Dist>>> lists(n);
+    // pair_adj[rank(x)] = net points y > x with d_G(x, y) <= λ_i.
+    std::vector<std::vector<std::pair<Vertex, Dist>>> pair_adj(net.size());
+
+    for (std::uint32_t idx = 0; idx < net.size(); ++idx) {
+      const Vertex x = net[idx];
+      bfs.run(x, radius, [&](Vertex v, Dist d) {
+        lists[v].emplace_back(x, d);
+        if (all_pairs && d > 0 && d <= lambda && v > x && rank[v] != kNone) {
+          pair_adj[idx].emplace_back(v, d);
+        }
+      });
+    }
+
+    LevelLabel ll;
+    for (Vertex v = 0; v < n; ++v) {
+      ll.points.clear();
+      ll.dists.clear();
+      ll.edges.clear();
+
+      ll.points.push_back(v);
+      ll.dists.push_back(0);
+      for (const auto& [x, d] : lists[v]) {
+        if (x == v) continue;  // owner occupies slot 0
+        ll.points.push_back(x);
+        ll.dists.push_back(d);
+      }
+      for (std::uint32_t k = 0; k < ll.points.size(); ++k) {
+        posn[ll.points[k]] = k;
+      }
+
+      if (all_pairs) {
+        // Owner-to-point edges (v, x) with d <= λ_i.
+        for (std::uint32_t k = 1; k < ll.points.size(); ++k) {
+          if (ll.dists[k] <= lambda) {
+            ll.edges.push_back({0, k, ll.dists[k],
+                                i == params.min_level() && ll.dists[k] == 1});
+          }
+        }
+        // Net-point pair edges; each unordered pair is stored under its
+        // smaller endpoint, so this visits it exactly once.
+        for (std::uint32_t k = 1; k < ll.points.size(); ++k) {
+          const std::uint32_t rx = rank[ll.points[k]];
+          if (rx == kNone) continue;  // owner-only entries are never here
+          for (const auto& [y, d] : pair_adj[rx]) {
+            const std::uint32_t j = posn[y];
+            if (j == kNone || j == 0) continue;  // absent, or owner (covered)
+            ll.edges.push_back({std::min(k, j), std::max(k, j), d,
+                                i == params.min_level() && d == 1});
+          }
+        }
+      } else {
+        // Compact lowest level: real graph edges among ball members only.
+        for (std::uint32_t k = 0; k < ll.points.size(); ++k) {
+          const Vertex x = ll.points[k];
+          for (Vertex y : g.neighbors(x)) {
+            if (y <= x) continue;
+            const std::uint32_t j = posn[y];
+            if (j == kNone) continue;
+            ll.edges.push_back({std::min(k, j), std::max(k, j), 1, true});
+          }
+        }
+      }
+
+      encode_level(ll, v, scheme.vertex_bits_, scheme.labels_[v],
+                     options.codec);
+      for (Vertex p : ll.points) posn[p] = kNone;
+      lists[v].clear();
+      lists[v].shrink_to_fit();
+    }
+  }
+  for (auto& w : scheme.labels_) w.shrink_to_fit();
+  return scheme;
+}
+
+VertexLabel ForbiddenSetLabeling::label(Vertex v) const {
+  BitReader reader(labels_.at(v));
+  return decode_label(reader, vertex_bits_, codec_);
+}
+
+std::size_t ForbiddenSetLabeling::max_label_bits() const {
+  std::size_t best = 0;
+  for (const auto& w : labels_) best = std::max(best, w.bit_size());
+  return best;
+}
+
+double ForbiddenSetLabeling::mean_label_bits() const {
+  if (labels_.empty()) return 0.0;
+  return static_cast<double>(total_bits()) / static_cast<double>(labels_.size());
+}
+
+std::size_t ForbiddenSetLabeling::total_bits() const {
+  std::size_t sum = 0;
+  for (const auto& w : labels_) sum += w.bit_size();
+  return sum;
+}
+
+}  // namespace fsdl

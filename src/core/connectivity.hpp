@@ -1,0 +1,46 @@
+// Forbidden-set connectivity oracle (used by the Theorem 3.1 experiments).
+//
+// Connectivity is the "very large ε" special case of distance: u and v are
+// connected in G\F iff the distance decoder finds any certified path. The
+// lower bound of Theorem 3.1 applies to this interface, so the
+// reconstruction attack in src/lowerbound drives exactly this adapter.
+#pragma once
+
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "graph/components.hpp"
+#include "util/bitstream.hpp"
+
+namespace fsdl {
+
+/// The paper's §3 contrast case: in the FAILURE-FREE setting, connectivity
+/// needs only ⌈log₂ c⌉-bit labels (the component id), versus the
+/// Ω(2^{α/2} + log n) lower bound once forbidden sets enter. Returns the
+/// per-vertex labels and reports their exact bit width.
+struct ComponentLabels {
+  std::vector<Vertex> id;   // component id per vertex
+  unsigned bits_per_label;  // ⌈log₂ c⌉ (>= 1)
+
+  bool connected(Vertex u, Vertex v) const { return id[u] == id[v]; }
+};
+
+inline ComponentLabels failure_free_connectivity_labels(const Graph& g) {
+  const Components c = connected_components(g);
+  return {c.id, bits_for(std::max<Vertex>(c.count, 2))};
+}
+
+class ConnectivityOracle {
+ public:
+  explicit ConnectivityOracle(const ForbiddenSetOracle& oracle)
+      : oracle_(&oracle) {}
+
+  bool connected(Vertex s, Vertex t, const FaultSet& faults) const {
+    return oracle_->distance(s, t, faults) != kInfDist;
+  }
+
+ private:
+  const ForbiddenSetOracle* oracle_;
+};
+
+}  // namespace fsdl

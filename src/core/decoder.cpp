@@ -1,0 +1,186 @@
+#include "core/decoder.hpp"
+
+#include <algorithm>
+
+#include "graph/dijkstra.hpp"
+#include "graph/fault_view.hpp"
+
+namespace fsdl {
+namespace {
+
+/// Index of the nearest net point (slot >= 1) in a level list, or 0 if the
+/// list has no net points.
+std::uint32_t nearest_point_slot(const LevelLabel& ll) {
+  std::uint32_t best = 0;
+  Dist best_d = kInfDist;
+  for (std::uint32_t k = 1; k < ll.points.size(); ++k) {
+    if (ll.dists[k] < best_d) {
+      best_d = ll.dists[k];
+      best = k;
+    }
+  }
+  return best;
+}
+
+void keep_edge(std::unordered_map<std::uint64_t, Dist>& edges, Vertex x,
+               Vertex y, Dist w) {
+  auto [it, inserted] = edges.try_emplace(FaultSet::edge_key(x, y), w);
+  if (!inserted && w < it->second) it->second = w;
+}
+
+}  // namespace
+
+PreparedFaults::PreparedFaults(
+    const SchemeParams& params,
+    std::vector<const VertexLabel*> fault_vertices,
+    std::vector<std::pair<const VertexLabel*, const VertexLabel*>> fault_edges)
+    : params_(params) {
+  for (const VertexLabel* f : fault_vertices) {
+    faulty_vertices_.insert(f->owner);
+  }
+  for (const auto& [a, b] : fault_edges) {
+    faulty_edges_.insert(FaultSet::edge_key(a->owner, b->owner));
+  }
+
+  // Protected-ball centers: forbidden vertices plus both endpoints of every
+  // forbidden edge (the latter are ball centers but remain usable vertices).
+  auto add_center = [&](const VertexLabel* l) {
+    if (center_owners_.insert(l->owner).second) centers_.push_back(l);
+  };
+  for (const VertexLabel* f : fault_vertices) add_center(f);
+  for (const auto& [a, b] : fault_edges) {
+    add_center(a);
+    add_center(b);
+  }
+  if (centers_.empty()) return;
+
+  min_level_ = centers_.front()->min_level;
+  top_level_ = centers_.front()->top_level;
+  levels_.resize(top_level_ - min_level_ + 1);
+  for (unsigned i = min_level_; i <= top_level_; ++i) {
+    auto& tables = levels_[i - min_level_];
+    tables.pb.resize(centers_.size());
+    for (std::size_t k = 0; k < centers_.size(); ++k) {
+      const LevelLabel& ll = centers_[k]->level(i);
+      tables.pb[k].reserve(ll.points.size());
+      for (std::size_t j = 0; j < ll.points.size(); ++j) {
+        tables.pb[k].emplace(ll.points[j], ll.dists[j]);  // slot 0: d = 0
+      }
+    }
+  }
+
+  // The fault labels' own edge contributions do not depend on (s, t):
+  // filter them once.
+  for (const VertexLabel* center : centers_) {
+    for (unsigned i = min_level_; i <= top_level_; ++i) {
+      filter_label_edges(*center, i, center_edges_, prepare_stats_);
+    }
+  }
+}
+
+void PreparedFaults::filter_label_edges(
+    const VertexLabel& label, unsigned i,
+    std::unordered_map<std::uint64_t, Dist>& edges, QueryStats& stats) const {
+  const LevelLabel& ll = label.level(i);
+  const Dist lambda = params_.lambda(i);
+  const Dist radius = params_.r(i);
+  const unsigned q = params_.net_level(i);
+  const unsigned min_level = label.min_level;
+
+  // Owner triangulation anchor: nearest net point of this level list.
+  const std::uint32_t anchor = nearest_point_slot(ll);
+  const bool owner_in_nq = label.owner_net_level >= q || q == 0;
+  const auto* tables =
+      levels_.empty() ? nullptr : &levels_[i - min_level_];
+
+  // Certify endpoint `slot` outside PB_i(center k).
+  auto certified_out = [&](std::uint32_t slot, std::size_t k) -> bool {
+    ++stats.pb_checks;
+    const Vertex u = ll.points[slot];
+    const auto& pb = tables->pb[k];
+    const bool in_nq = slot != 0 || owner_in_nq;
+    if (in_nq) {
+      const auto it = pb.find(u);
+      return it == pb.end() || it->second > lambda;
+    }
+    // Owner below net level: triangulate through the nearest net point.
+    if (anchor == 0) return false;
+    const Vertex m = ll.points[anchor];
+    const Dist d_um = ll.dists[anchor];
+    const auto it = pb.find(m);
+    const Dist d_mf_lb = it == pb.end() ? radius + 1 : it->second;
+    return d_mf_lb > d_um && d_mf_lb - d_um > lambda;
+  };
+
+  for (const SketchEdge& e : ll.edges) {
+    ++stats.edges_considered;
+    const Vertex x = ll.points[e.a];
+    const Vertex y = ll.points[e.b];
+    if (i == min_level && e.graph_edge) {
+      // Lowest-level rule: real graph edges survive iff neither endpoint
+      // nor the edge itself is forbidden.
+      if (!vertex_faulty(x) && !vertex_faulty(y) &&
+          (faulty_edges_.empty() ||
+           !faulty_edges_.count(FaultSet::edge_key(x, y)))) {
+        keep_edge(edges, x, y, e.w);
+      }
+      continue;
+    }
+    bool survives = true;
+    for (std::size_t k = 0; k < centers_.size() && survives; ++k) {
+      survives = certified_out(e.a, k) || certified_out(e.b, k);
+    }
+    if (survives) keep_edge(edges, x, y, e.w);
+  }
+}
+
+QueryResult PreparedFaults::query(const VertexLabel& source,
+                                  const VertexLabel& target) const {
+  QueryResult result;
+  result.stats = prepare_stats_;
+
+  if (vertex_faulty(source.owner) || vertex_faulty(target.owner)) {
+    return result;  // endpoints forbidden: unreachable by definition
+  }
+  if (source.owner == target.owner) {
+    result.distance = 0;
+    result.waypoints = {source.owner};
+    return result;
+  }
+
+  std::unordered_map<std::uint64_t, Dist> edges = center_edges_;
+  for (const VertexLabel* l : {&source, &target}) {
+    if (center_owners_.count(l->owner)) continue;  // already contributed
+    for (unsigned i = l->min_level; i <= l->top_level; ++i) {
+      filter_label_edges(*l, i, edges, result.stats);
+    }
+  }
+
+  SketchGraph h;
+  const auto s_idx = h.intern(source.owner);
+  const auto t_idx = h.intern(target.owner);
+  for (const auto& [key, w] : edges) {
+    const Vertex x = static_cast<Vertex>(key >> 32);
+    const Vertex y = static_cast<Vertex>(key & 0xffffffffu);
+    h.add_edge(h.intern(x), h.intern(y), w);
+  }
+  result.stats.sketch_vertices = h.num_vertices();
+  result.stats.sketch_edges = h.num_edges();
+
+  std::vector<SketchGraph::Index> path;
+  result.distance = sketch_shortest_path(h, s_idx, t_idx, &path);
+  if (result.distance != kInfDist) {
+    result.waypoints.reserve(path.size());
+    for (const auto idx : path) {
+      result.waypoints.push_back(h.external_id(idx));
+    }
+  }
+  return result;
+}
+
+QueryResult decode_query(const SchemeParams& params, const QueryInput& in) {
+  const PreparedFaults prepared(params, in.fault_vertices, in.fault_edges);
+  return prepared.query(*in.source, *in.target);
+}
+
+}  // namespace fsdl

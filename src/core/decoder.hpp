@@ -1,0 +1,113 @@
+// Forbidden-set distance query decoder (paper §2.1, "Distance Queries").
+//
+// Input: labels of s, t, and every forbidden vertex/edge. The decoder
+// builds the sketch graph H — per level, it keeps exactly those virtual
+// edges for which it can *certify* that at least one endpoint lies outside
+// every fault's protected ball PB_i(f) = B(f, λ_i) — then runs Dijkstra.
+//
+// Certification, per endpoint u against fault center f at level i:
+//   * u ∈ N_{i-c-1} (true for every listed net point; true for an owner
+//     when its recorded net level reaches i-c-1; true for everything at the
+//     lowest level since N_0 = V): u is outside PB_i(f) iff u is missing
+//     from f's level-i point list (then d(f,u) > r_i > λ_i) or is listed
+//     with distance > λ_i. This is exact.
+//   * u is an owner below its net level (typically s or t): triangulate
+//     through u's nearest level-i net point M — f's list gives d(f, M)
+//     exactly (or the lower bound r_i + 1 when absent), u's list gives
+//     d(u, M), and d(f, u) >= d(f, M) - d(u, M) > λ_i certifies u outside.
+//     The paper's analysis provides clearance d(u, F) > μ_i = λ_i + ρ_i
+//     with d(u, M) < ρ_i / 2 in every case where it needs such an edge, so
+//     this certificate always fires there and the (1+ε) bound is preserved.
+//
+// Only certified edges enter H, so every reported distance is realizable in
+// G \ F regardless of parameters (Lemma 2.3 soundness, rechecked in tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/label.hpp"
+#include "core/params.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+struct QueryStats {
+  std::size_t sketch_vertices = 0;
+  std::size_t sketch_edges = 0;
+  std::size_t edges_considered = 0;
+  std::size_t pb_checks = 0;
+};
+
+struct QueryResult {
+  Dist distance = kInfDist;
+  /// Vertex ids (in G) of one shortest sketch path s..t; each consecutive
+  /// pair is a certified virtual edge. Empty when unreachable.
+  std::vector<Vertex> waypoints;
+  QueryStats stats;
+};
+
+struct QueryInput {
+  const VertexLabel* source = nullptr;
+  const VertexLabel* target = nullptr;
+  std::vector<const VertexLabel*> fault_vertices;
+  std::vector<std::pair<const VertexLabel*, const VertexLabel*>> fault_edges;
+};
+
+QueryResult decode_query(const SchemeParams& params, const QueryInput& in);
+
+/// Two-phase decoding for the paper's router scenario: a router holds one
+/// fault set F and answers many (s, t) queries against it. Construction
+/// performs all the |F|-dependent work once — protected-ball tables per
+/// level per fault center, plus the filtering of every fault label's edges
+/// (the O(label·|F|²) part of Lemma 2.6); each query then only filters the
+/// two endpoint labels and runs Dijkstra.
+///
+/// The referenced fault labels must outlive the PreparedFaults object.
+class PreparedFaults {
+ public:
+  PreparedFaults(
+      const SchemeParams& params,
+      std::vector<const VertexLabel*> fault_vertices,
+      std::vector<std::pair<const VertexLabel*, const VertexLabel*>>
+          fault_edges);
+
+  /// Same answer as decode_query with the construction-time fault set.
+  QueryResult query(const VertexLabel& source, const VertexLabel& target) const;
+
+  std::size_t num_centers() const noexcept { return centers_.size(); }
+
+ private:
+  struct LevelTables {
+    /// pb[k]: vertex -> distance map of center k's level list.
+    std::vector<std::unordered_map<Vertex, Dist>> pb;
+  };
+
+  bool vertex_faulty(Vertex v) const {
+    return faulty_vertices_.find(v) != faulty_vertices_.end();
+  }
+
+  /// Filter one label's level-i edges against the protected balls, merging
+  /// survivors into `edges` (keyed on endpoint pair, min weight).
+  void filter_label_edges(const VertexLabel& label, unsigned i,
+                          std::unordered_map<std::uint64_t, Dist>& edges,
+                          QueryStats& stats) const;
+
+  SchemeParams params_;
+  std::vector<const VertexLabel*> centers_;
+  std::unordered_set<Vertex> center_owners_;
+  std::unordered_set<Vertex> faulty_vertices_;
+  std::unordered_set<std::uint64_t> faulty_edges_;
+  unsigned min_level_ = 0;
+  unsigned top_level_ = 0;
+  /// Indexed by level - min_level_.
+  std::vector<LevelTables> levels_;
+  /// Edges contributed by the fault labels themselves, already filtered.
+  std::unordered_map<std::uint64_t, Dist> center_edges_;
+  QueryStats prepare_stats_;
+};
+
+}  // namespace fsdl

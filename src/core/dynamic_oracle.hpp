@@ -1,0 +1,38 @@
+// Fully-dynamic (1+ε) distance oracle (the application noted in §1 via
+// Abraham, Chechik & Gavoille, STOC 2012): maintain a current fault set
+// incrementally — fail/restore vertices and edges — and answer distance
+// queries on the current surviving graph without rebuilding any labels.
+//
+// Update cost is O(1) amortized (set maintenance only); query cost is the
+// labeling query time, O((1+1/ε)^{2α} |F|² log n) with |F| the *current*
+// number of failures. Labels never change.
+#pragma once
+
+#include "core/oracle.hpp"
+#include "graph/fault_view.hpp"
+
+namespace fsdl {
+
+class DynamicOracle {
+ public:
+  explicit DynamicOracle(const ForbiddenSetOracle& oracle)
+      : oracle_(&oracle) {}
+
+  void fail_vertex(Vertex v) { faults_.add_vertex(v); }
+  void restore_vertex(Vertex v) { faults_.remove_vertex(v); }
+  void fail_edge(Vertex a, Vertex b) { faults_.add_edge(a, b); }
+  void restore_edge(Vertex a, Vertex b) { faults_.remove_edge(a, b); }
+
+  /// (1+ε)-approximate distance in the current surviving graph.
+  Dist distance(Vertex s, Vertex t) const {
+    return oracle_->distance(s, t, faults_);
+  }
+
+  const FaultSet& current_faults() const noexcept { return faults_; }
+
+ private:
+  const ForbiddenSetOracle* oracle_;
+  FaultSet faults_;
+};
+
+}  // namespace fsdl

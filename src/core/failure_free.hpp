@@ -1,0 +1,59 @@
+// Failure-free (1+ε)-approximate distance labeling (paper §2.1 warm-up).
+//
+// Label of v: for each level i ∈ {c, …, top} with c = max{0, ⌈log₂(2/ε)⌉},
+// the net points N_{i-c} ∩ B(v, 2^{i+1} - 1) with their exact distances
+// from v. Decoder: find a level where t's nearest level net point appears
+// in s's list and return d(s, M) + d(M, t). Stretch <= 1 + ε, label length
+// O(1 + 1/ε)^α log² n bits.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitstream.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// Decoded failure-free label.
+struct FFLabel {
+  Vertex owner = kNoVertex;
+  unsigned min_level = 0;
+  unsigned top_level = 0;
+  /// levels[k] = (net point, distance) pairs for level min_level + k,
+  /// sorted by net point id. Contains (owner, 0) when owner is a net point.
+  std::vector<std::vector<std::pair<Vertex, Dist>>> levels;
+};
+
+class FailureFreeLabeling {
+ public:
+  static FailureFreeLabeling build(const Graph& g, double eps,
+                                   bool cap_levels_at_diameter = true);
+
+  double epsilon() const noexcept { return epsilon_; }
+  unsigned c() const noexcept { return c_; }
+  Vertex num_vertices() const noexcept {
+    return static_cast<Vertex>(labels_.size());
+  }
+
+  FFLabel label(Vertex v) const;
+  std::size_t label_bits(Vertex v) const { return labels_[v].bit_size(); }
+  std::size_t max_label_bits() const;
+  std::size_t total_bits() const;
+
+  /// Convenience: decode both labels and run the estimator.
+  Dist distance(Vertex s, Vertex t) const;
+
+  /// The pure decoder: labels in, (1+ε)-approximate distance out.
+  static Dist decode_distance(const FFLabel& s, const FFLabel& t);
+
+ private:
+  double epsilon_ = 1.0;
+  unsigned c_ = 0;
+  unsigned vertex_bits_ = 1;
+  std::vector<BitWriter> labels_;
+};
+
+}  // namespace fsdl

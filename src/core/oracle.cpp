@@ -1,0 +1,48 @@
+#include "core/oracle.hpp"
+
+#include <stdexcept>
+
+namespace fsdl {
+
+ForbiddenSetOracle::ForbiddenSetOracle(const ForbiddenSetLabeling& scheme)
+    : scheme_(&scheme), cache_(scheme.num_vertices()) {}
+
+const VertexLabel& ForbiddenSetOracle::label(Vertex v) const {
+  auto& slot = cache_.at(v);
+  if (!slot) slot = std::make_unique<VertexLabel>(scheme_->label(v));
+  return *slot;
+}
+
+QueryResult ForbiddenSetOracle::query(Vertex s, Vertex t,
+                                      const FaultSet& faults) const {
+  QueryInput in;
+  in.source = &label(s);
+  in.target = &label(t);
+  in.fault_vertices.reserve(faults.vertices().size());
+  for (Vertex f : faults.vertices()) in.fault_vertices.push_back(&label(f));
+  in.fault_edges.reserve(faults.edges().size());
+  for (const auto& [a, b] : faults.edges()) {
+    in.fault_edges.emplace_back(&label(a), &label(b));
+  }
+  return decode_query(scheme_->params(), in);
+}
+
+PreparedFaults ForbiddenSetOracle::prepare(const FaultSet& faults) const {
+  std::vector<const VertexLabel*> fault_vertices;
+  fault_vertices.reserve(faults.vertices().size());
+  for (Vertex f : faults.vertices()) fault_vertices.push_back(&label(f));
+  std::vector<std::pair<const VertexLabel*, const VertexLabel*>> fault_edges;
+  fault_edges.reserve(faults.edges().size());
+  for (const auto& [a, b] : faults.edges()) {
+    fault_edges.emplace_back(&label(a), &label(b));
+  }
+  return PreparedFaults(scheme_->params(), std::move(fault_vertices),
+                        std::move(fault_edges));
+}
+
+Dist ForbiddenSetOracle::distance(Vertex s, Vertex t,
+                                  const FaultSet& faults) const {
+  return query(s, t, faults).distance;
+}
+
+}  // namespace fsdl

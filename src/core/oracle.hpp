@@ -1,0 +1,46 @@
+// ForbiddenSetOracle — the §1 "byproduct": a centralized (1+ε) forbidden-set
+// distance oracle assembled from the labeling scheme by storing every
+// vertex's label in a table. Size is n × label-length, independent of how
+// many faults a query carries.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/decoder.hpp"
+#include "core/labeling.hpp"
+#include "graph/fault_view.hpp"
+
+namespace fsdl {
+
+class ForbiddenSetOracle {
+ public:
+  /// Keeps a reference to the scheme; decodes labels lazily and caches them.
+  explicit ForbiddenSetOracle(const ForbiddenSetLabeling& scheme);
+
+  /// (1+ε)-approximate d_{G\F}(s, t); kInfDist when disconnected or when an
+  /// endpoint is itself forbidden.
+  Dist distance(Vertex s, Vertex t, const FaultSet& faults) const;
+
+  /// Full query result (distance, sketch path waypoints, work counters).
+  QueryResult query(Vertex s, Vertex t, const FaultSet& faults) const;
+
+  /// Amortized interface for the router scenario: pay the |F|-dependent
+  /// work once, then answer many (s, t) queries against the same faults.
+  PreparedFaults prepare(const FaultSet& faults) const;
+
+  /// Decoded label access (also used by the routing scheme).
+  const VertexLabel& label(Vertex v) const;
+
+  const ForbiddenSetLabeling& scheme() const noexcept { return *scheme_; }
+
+  /// Oracle size = total bits across all stored labels.
+  std::size_t size_bits() const { return scheme_->total_bits(); }
+
+ private:
+  const ForbiddenSetLabeling* scheme_;
+  // Lazy per-vertex decode cache. Not thread-safe (single-threaded library).
+  mutable std::vector<std::unique_ptr<VertexLabel>> cache_;
+};
+
+}  // namespace fsdl

@@ -1,0 +1,75 @@
+#include "core/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fsdl {
+namespace {
+
+// Radii never need to exceed any graph distance; clamping far below the
+// Dist ceiling keeps every later addition overflow-free.
+constexpr std::uint64_t kRadiusClamp = Dist{1} << 30;
+
+Dist clamp_radius(std::uint64_t r) noexcept {
+  return static_cast<Dist>(std::min(r, kRadiusClamp));
+}
+
+std::uint64_t pow2(unsigned e) noexcept {
+  return e >= 63 ? kRadiusClamp : std::uint64_t{1} << e;
+}
+
+}  // namespace
+
+SchemeParams SchemeParams::faithful(double eps) {
+  if (eps <= 0) throw std::invalid_argument("epsilon must be positive");
+  SchemeParams p;
+  p.epsilon = eps;
+  p.c = std::max<unsigned>(
+      2, static_cast<unsigned>(std::ceil(std::log2(6.0 / eps))));
+  p.faithful_radii = true;
+  p.lowest_level_all_pairs = true;
+  return p;
+}
+
+SchemeParams SchemeParams::compact(double eps, unsigned c_value) {
+  if (eps <= 0) throw std::invalid_argument("epsilon must be positive");
+  if (c_value < 2) throw std::invalid_argument("c must be >= 2 (Claim 1)");
+  SchemeParams p;
+  p.epsilon = eps;
+  p.c = c_value;
+  p.faithful_radii = false;
+  p.lowest_level_all_pairs = false;
+  return p;
+}
+
+Dist SchemeParams::rho(unsigned i) const noexcept {
+  return i >= c ? clamp_radius(pow2(i - c)) : 1;
+}
+
+Dist SchemeParams::lambda(unsigned i) const noexcept {
+  return clamp_radius(pow2(i + 1));
+}
+
+Dist SchemeParams::mu(unsigned i) const noexcept {
+  return clamp_radius(static_cast<std::uint64_t>(rho(i)) + lambda(i));
+}
+
+Dist SchemeParams::r(unsigned i) const noexcept {
+  if (faithful_radii) {
+    // μ_{i+1} + 2^i + ρ_{i+1}
+    return clamp_radius(static_cast<std::uint64_t>(mu(i + 1)) + pow2(i) +
+                        rho(i + 1));
+  }
+  // Minimal sound radius: must exceed λ_i so that "not listed" implies
+  // "outside the protected ball"; the ρ term keeps nearby net points of the
+  // next level in reach.
+  return clamp_radius(static_cast<std::uint64_t>(lambda(i)) + rho(i + 1) + 1);
+}
+
+unsigned failure_free_c(double eps) noexcept {
+  if (eps >= 2.0) return 0;
+  return static_cast<unsigned>(std::ceil(std::log2(2.0 / eps)));
+}
+
+}  // namespace fsdl

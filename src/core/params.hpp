@@ -1,0 +1,63 @@
+// Scheme parameters (paper §2.1).
+//
+// The paper fixes, for precision ε and c = max{⌈log₂(6/ε)⌉, 2}:
+//     ρ_i = 2^{i-c}     net-domination radius at level i
+//     λ_i = 2^{i+1}     max virtual-edge length stored/accepted at level i
+//     μ_i = ρ_i + λ_i   fault-clearance radius used by the analysis
+//     r_i = μ_{i+1} + 2^i + ρ_{i+1}    label ball radius at level i
+// and level i draws its points from net N_{i-c-1}, with levels
+// I = {c+1, …, ⌈log₂ n⌉}.
+//
+// Those constants are enormous in practice (the paper's label bound carries
+// a max{512^{2α}, (1536/ε)^{2α}} factor), so we also provide a *compact*
+// preset with the same algorithmic structure but the smallest radii that
+// keep the decoder sound (r_i > λ_i, so absence from a label still certifies
+// "outside the protected ball"). Compact mode additionally stores only real
+// graph edges (weight 1) at the lowest level. Soundness — every returned
+// distance is achievable in G\F — holds for ANY parameters; the worst-case
+// (1+ε)-stretch proof applies to the faithful preset only.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace fsdl {
+
+struct SchemeParams {
+  /// Target precision (informational for compact mode).
+  double epsilon = 1.0;
+
+  /// Net-fineness shift: level i uses net N_{i-c-1}. c >= 2 (Claim 1).
+  unsigned c = 3;
+
+  /// Paper radii (true) vs minimal sound radii (false).
+  bool faithful_radii = true;
+
+  /// Store all pairwise short edges at the lowest level (paper) vs only
+  /// weight-1 graph edges (compact).
+  bool lowest_level_all_pairs = true;
+
+  /// Paper setting for precision eps: c = max{⌈log₂(6/ε)⌉, 2}.
+  static SchemeParams faithful(double eps);
+
+  /// Compact sound preset with an explicit net-fineness knob.
+  static SchemeParams compact(double eps, unsigned c_value = 2);
+
+  // --- derived radii (computed in 64-bit, clamped to avoid overflow) ---
+  Dist rho(unsigned i) const noexcept;     // 2^{i-c} (>= 1)
+  Dist lambda(unsigned i) const noexcept;  // 2^{i+1}
+  Dist mu(unsigned i) const noexcept;      // rho(i) + lambda(i)
+  Dist r(unsigned i) const noexcept;       // ball radius at level i
+
+  /// Lowest level of I.
+  unsigned min_level() const noexcept { return c + 1; }
+
+  /// Net level used by label level i (requires i >= c + 1).
+  unsigned net_level(unsigned i) const noexcept { return i - c - 1; }
+};
+
+/// Failure-free warm-up scheme constant: c = max{0, ⌈log₂(2/ε)⌉}.
+unsigned failure_free_c(double eps) noexcept;
+
+}  // namespace fsdl

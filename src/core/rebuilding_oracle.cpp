@@ -1,0 +1,76 @@
+#include "core/rebuilding_oracle.hpp"
+
+#include <algorithm>
+
+namespace fsdl {
+
+RebuildingDynamicOracle::RebuildingDynamicOracle(Graph graph,
+                                                 const SchemeParams& params,
+                                                 std::size_t rebuild_threshold,
+                                                 const BuildOptions& options)
+    : original_(std::move(graph)), params_(params), options_(options),
+      threshold_(rebuild_threshold) {
+  scheme_ = std::make_unique<ForbiddenSetLabeling>(
+      ForbiddenSetLabeling::build(original_, params_, options_));
+  oracle_ = std::make_unique<ForbiddenSetOracle>(*scheme_);
+}
+
+void RebuildingDynamicOracle::rebuild() {
+  // "Background" recomputation: labels for the current surviving graph.
+  // Vertex ids are preserved (failed vertices become isolated), so queries
+  // keep addressing the same names.
+  const Graph survivor = apply_faults(original_, active_);
+  scheme_ = std::make_unique<ForbiddenSetLabeling>(
+      ForbiddenSetLabeling::build(survivor, params_, options_));
+  oracle_ = std::make_unique<ForbiddenSetOracle>(*scheme_);
+  delta_ = FaultSet{};
+  ++rebuilds_;
+}
+
+void RebuildingDynamicOracle::maybe_rebuild() {
+  if (delta_.size() > threshold_) rebuild();
+}
+
+void RebuildingDynamicOracle::fail_vertex(Vertex v) {
+  if (active_.vertex_faulty(v)) return;
+  active_.add_vertex(v);
+  delta_.add_vertex(v);
+  maybe_rebuild();
+}
+
+void RebuildingDynamicOracle::fail_edge(Vertex a, Vertex b) {
+  if (active_.edge_faulty(a, b)) return;
+  active_.add_edge(a, b);
+  delta_.add_edge(a, b);
+  maybe_rebuild();
+}
+
+void RebuildingDynamicOracle::restore_vertex(Vertex v) {
+  if (!active_.vertex_faulty(v)) return;
+  active_.remove_vertex(v);
+  if (delta_.vertex_faulty(v)) {
+    delta_.remove_vertex(v);  // labels never saw it: free
+  } else {
+    rebuild();  // absorbed into the base graph: labels must be refreshed
+  }
+}
+
+void RebuildingDynamicOracle::restore_edge(Vertex a, Vertex b) {
+  if (!active_.edge_faulty(a, b)) return;
+  active_.remove_edge(a, b);
+  if (delta_.edge_faulty(a, b)) {
+    delta_.remove_edge(a, b);
+  } else {
+    rebuild();
+  }
+}
+
+Dist RebuildingDynamicOracle::distance(Vertex s, Vertex t) const {
+  // Absorbed faulty vertices are isolated in the base graph, so they come
+  // out unreachable without any special casing; delta faults ride along as
+  // the forbidden set.
+  if (active_.vertex_faulty(s) || active_.vertex_faulty(t)) return kInfDist;
+  return oracle_->distance(s, t, delta_);
+}
+
+}  // namespace fsdl

@@ -1,0 +1,67 @@
+// Rebuilding dynamic oracle — the paper's full recovery story (§1
+// Applications): after failures, keep answering (and routing) immediately
+// via forbidden-set queries on the old labels; meanwhile, once enough
+// failures accumulate, recompute the labels for the surviving graph "in
+// the background" and reset the forbidden set.
+//
+// Concretely: queries run against labels built for a base graph
+// G_base = G_original \ (absorbed faults), carrying only the *delta* —
+// faults arrived since the last rebuild — as the forbidden set. Since query
+// time grows ~|F|² (Lemma 2.6), bounding |delta| by the rebuild threshold
+// bounds the per-query cost, at the price of occasional O(build)
+// recomputations. threshold = ∞ degenerates to DynamicOracle; threshold = 0
+// rebuilds on every failure (pure recomputation).
+//
+// Restoring an element still in the delta is free; restoring an element
+// already absorbed into the base graph forces a rebuild (the labels no
+// longer describe a supergraph of the surviving network).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/fault_view.hpp"
+
+namespace fsdl {
+
+class RebuildingDynamicOracle {
+ public:
+  RebuildingDynamicOracle(Graph graph, const SchemeParams& params,
+                          std::size_t rebuild_threshold,
+                          const BuildOptions& options = {});
+
+  void fail_vertex(Vertex v);
+  void fail_edge(Vertex a, Vertex b);
+  void restore_vertex(Vertex v);
+  void restore_edge(Vertex a, Vertex b);
+
+  /// (1+ε)-approximate distance in the current surviving graph.
+  Dist distance(Vertex s, Vertex t) const;
+
+  /// All currently failed elements (delta + absorbed).
+  const FaultSet& active_faults() const noexcept { return active_; }
+  /// Failed elements the labels do not yet reflect.
+  const FaultSet& delta_faults() const noexcept { return delta_; }
+
+  std::size_t rebuilds() const noexcept { return rebuilds_; }
+  std::size_t rebuild_threshold() const noexcept { return threshold_; }
+
+ private:
+  void rebuild();
+  void maybe_rebuild();
+
+  Graph original_;
+  SchemeParams params_;
+  BuildOptions options_;
+  std::size_t threshold_;
+
+  std::unique_ptr<ForbiddenSetLabeling> scheme_;
+  std::unique_ptr<ForbiddenSetOracle> oracle_;
+  FaultSet active_;
+  FaultSet delta_;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace fsdl

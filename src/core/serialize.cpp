@@ -1,0 +1,109 @@
+#include "core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace fsdl {
+namespace {
+
+constexpr char kMagic[4] = {'F', 'S', 'D', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw std::runtime_error("labeling file truncated");
+  return value;
+}
+
+}  // namespace
+
+class SchemeSerializer {
+ public:
+  static void save(const ForbiddenSetLabeling& scheme, std::ostream& os) {
+    os.write(kMagic, sizeof(kMagic));
+    write_pod(os, kVersion);
+    write_pod(os, scheme.params_.epsilon);
+    write_pod(os, static_cast<std::uint32_t>(scheme.params_.c));
+    write_pod(os, static_cast<std::uint8_t>(scheme.params_.faithful_radii));
+    write_pod(os,
+              static_cast<std::uint8_t>(scheme.params_.lowest_level_all_pairs));
+    write_pod(os, static_cast<std::uint32_t>(scheme.top_level_));
+    write_pod(os, static_cast<std::uint32_t>(scheme.vertex_bits_));
+    write_pod(os, static_cast<std::uint8_t>(scheme.codec_));
+    write_pod(os, static_cast<std::uint32_t>(scheme.labels_.size()));
+    for (const BitWriter& label : scheme.labels_) {
+      write_pod(os, static_cast<std::uint64_t>(label.bit_size()));
+      write_pod(os, static_cast<std::uint64_t>(label.words().size()));
+      os.write(reinterpret_cast<const char*>(label.words().data()),
+               static_cast<std::streamsize>(label.words().size() *
+                                            sizeof(std::uint64_t)));
+    }
+    if (!os) throw std::runtime_error("labeling write failed");
+  }
+
+  static ForbiddenSetLabeling load(std::istream& is) {
+    char magic[4];
+    is.read(magic, sizeof(magic));
+    if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      throw std::runtime_error("not a fsdl labeling file");
+    }
+    if (read_pod<std::uint32_t>(is) != kVersion) {
+      throw std::runtime_error("unsupported labeling file version");
+    }
+    ForbiddenSetLabeling scheme;
+    scheme.params_.epsilon = read_pod<double>(is);
+    scheme.params_.c = read_pod<std::uint32_t>(is);
+    scheme.params_.faithful_radii = read_pod<std::uint8_t>(is) != 0;
+    scheme.params_.lowest_level_all_pairs = read_pod<std::uint8_t>(is) != 0;
+    scheme.top_level_ = read_pod<std::uint32_t>(is);
+    scheme.vertex_bits_ = read_pod<std::uint32_t>(is);
+    scheme.codec_ = static_cast<LabelCodec>(read_pod<std::uint8_t>(is));
+    const std::uint32_t n = read_pod<std::uint32_t>(is);
+    scheme.labels_.reserve(n);
+    for (std::uint32_t v = 0; v < n; ++v) {
+      const std::uint64_t bits = read_pod<std::uint64_t>(is);
+      const std::uint64_t num_words = read_pod<std::uint64_t>(is);
+      if (num_words < (bits + 63) / 64) {
+        throw std::runtime_error("labeling file corrupt (word count)");
+      }
+      std::vector<std::uint64_t> words(num_words);
+      is.read(reinterpret_cast<char*>(words.data()),
+              static_cast<std::streamsize>(num_words * sizeof(std::uint64_t)));
+      if (!is) throw std::runtime_error("labeling file truncated");
+      scheme.labels_.push_back(
+          BitWriter::from_words(std::move(words), static_cast<std::size_t>(bits)));
+    }
+    return scheme;
+  }
+};
+
+void save_labeling(const ForbiddenSetLabeling& scheme, std::ostream& os) {
+  SchemeSerializer::save(scheme, os);
+}
+
+ForbiddenSetLabeling load_labeling(std::istream& is) {
+  return SchemeSerializer::load(is);
+}
+
+void save_labeling(const ForbiddenSetLabeling& scheme,
+                   const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  save_labeling(scheme, os);
+}
+
+ForbiddenSetLabeling load_labeling(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return load_labeling(is);
+}
+
+}  // namespace fsdl

@@ -1,0 +1,26 @@
+// Scheme persistence: write a built labeling to disk and reload it later —
+// the deployment story behind the paper's hand-held-device motivation
+// (precompute labels centrally, ship each device only the labels it needs).
+//
+// Binary little-endian format:
+//   magic "FSDL" + version u32
+//   SchemeParams  (epsilon f64, c u32, faithful_radii u8, all_pairs u8)
+//   top_level u32, vertex_bits u32, n u32
+//   per vertex: bit_size u64, word_count u64, words u64[]
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/labeling.hpp"
+
+namespace fsdl {
+
+void save_labeling(const ForbiddenSetLabeling& scheme, std::ostream& os);
+ForbiddenSetLabeling load_labeling(std::istream& is);
+
+void save_labeling(const ForbiddenSetLabeling& scheme,
+                   const std::string& path);
+ForbiddenSetLabeling load_labeling(const std::string& path);
+
+}  // namespace fsdl

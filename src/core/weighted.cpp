@@ -1,0 +1,175 @@
+#include "core/weighted.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/wsearch.hpp"
+#include "nets/weighted_nets.hpp"
+
+namespace fsdl {
+namespace {
+
+constexpr std::uint32_t kNone = static_cast<std::uint32_t>(-1);
+
+unsigned ceil_log2_plus1(Dist d) noexcept {
+  unsigned t = 0;
+  while ((Dist{1} << t) < static_cast<std::uint64_t>(d) + 1 && t < 31) ++t;
+  return t;
+}
+
+/// Weighted double sweep: eccentricity of the farthest vertex from 0.
+Dist weighted_sweep(const WeightedGraph& g) {
+  auto dist = dijkstra_distances(g, 0);
+  Vertex far = 0;
+  Dist best = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] != kInfDist && dist[v] > best) {
+      best = dist[v];
+      far = v;
+    }
+  }
+  dist = dijkstra_distances(g, far);
+  best = 0;
+  for (Dist d : dist) {
+    if (d != kInfDist) best = std::max(best, d);
+  }
+  return best;
+}
+
+bool weighted_connected(const WeightedGraph& g) {
+  const auto dist = dijkstra_distances(g, 0);
+  return std::find(dist.begin(), dist.end(), kInfDist) == dist.end();
+}
+
+}  // namespace
+
+class WeightedLabelingBuilder {
+ public:
+  static ForbiddenSetLabeling build(const WeightedGraph& g,
+                                    const SchemeParams& params,
+                                    const BuildOptions& options) {
+    const Vertex n = g.num_vertices();
+    if (n == 0) throw std::invalid_argument("empty graph");
+
+    ForbiddenSetLabeling scheme;
+    scheme.params_ = params;
+    scheme.vertex_bits_ = bits_for(n);
+    scheme.codec_ = options.codec;
+
+    // Levels must reach the weighted diameter scale: up to log₂(n·W).
+    unsigned top = ceil_log2_plus1(
+        static_cast<Dist>(std::min<std::uint64_t>(
+            static_cast<std::uint64_t>(n) * std::max<Weight>(g.max_weight(), 1),
+            Dist{1} << 30)));
+    if (options.cap_levels_at_diameter && weighted_connected(g)) {
+      top = std::min(top, ceil_log2_plus1(2 * weighted_sweep(g)));
+    }
+    top = std::max(top, params.min_level());
+    scheme.top_level_ = top;
+
+    const NetHierarchy nets =
+        build_weighted_net_hierarchy(g, top - params.c - 1);
+
+    scheme.labels_.resize(n);
+    for (Vertex v = 0; v < n; ++v) {
+      encode_label_header(v, nets.max_level_of(v), params.min_level(), top,
+                          scheme.vertex_bits_, scheme.labels_[v]);
+    }
+
+    DijkstraRunner search(g);
+    std::vector<std::uint32_t> posn(n, kNone);
+    std::vector<std::uint32_t> rank(n, kNone);
+
+    for (unsigned i = params.min_level(); i <= top; ++i) {
+      const unsigned q = params.net_level(i);
+      const Dist lambda = params.lambda(i);
+      const Dist radius = params.r(i);
+      const auto& net = nets.level(q);
+      const bool all_pairs =
+          params.lowest_level_all_pairs || i > params.min_level();
+
+      std::fill(rank.begin(), rank.end(), kNone);
+      for (std::uint32_t idx = 0; idx < net.size(); ++idx) rank[net[idx]] = idx;
+
+      std::vector<std::vector<std::pair<Vertex, Dist>>> lists(n);
+      std::vector<std::vector<std::pair<Vertex, Dist>>> pair_adj(net.size());
+
+      for (std::uint32_t idx = 0; idx < net.size(); ++idx) {
+        const Vertex x = net[idx];
+        search.run(x, radius, [&](Vertex v, Dist d) {
+          lists[v].emplace_back(x, d);
+          if (all_pairs && d > 0 && d <= lambda && v > x && rank[v] != kNone) {
+            pair_adj[idx].emplace_back(v, d);
+          }
+        });
+      }
+
+      LevelLabel ll;
+      for (Vertex v = 0; v < n; ++v) {
+        ll.points.clear();
+        ll.dists.clear();
+        ll.edges.clear();
+
+        ll.points.push_back(v);
+        ll.dists.push_back(0);
+        for (const auto& [x, d] : lists[v]) {
+          if (x == v) continue;
+          ll.points.push_back(x);
+          ll.dists.push_back(d);
+        }
+        for (std::uint32_t k = 0; k < ll.points.size(); ++k) {
+          posn[ll.points[k]] = k;
+        }
+
+        if (all_pairs) {
+          for (std::uint32_t k = 1; k < ll.points.size(); ++k) {
+            if (ll.dists[k] <= lambda) {
+              ll.edges.push_back({0, k, ll.dists[k], false});
+            }
+          }
+          for (std::uint32_t k = 1; k < ll.points.size(); ++k) {
+            const std::uint32_t rx = rank[ll.points[k]];
+            if (rx == kNone) continue;
+            for (const auto& [y, d] : pair_adj[rx]) {
+              const std::uint32_t j = posn[y];
+              if (j == kNone || j == 0) continue;
+              ll.edges.push_back({std::min(k, j), std::max(k, j), d, false});
+            }
+          }
+        }
+        if (i == params.min_level()) {
+          // Real graph edges among ball members, with their true weights;
+          // the decoder admits these on the fault check alone. A real edge
+          // is always usable, even when heavier than λ or than the current
+          // shortest path (which a fault may sever).
+          for (std::uint32_t k = 0; k < ll.points.size(); ++k) {
+            const Vertex x = ll.points[k];
+            for (const auto& arc : g.arcs(x)) {
+              if (arc.to <= x) continue;
+              const std::uint32_t j = posn[arc.to];
+              if (j == kNone) continue;
+              ll.edges.push_back(
+                  {std::min(k, j), std::max(k, j), arc.weight, true});
+            }
+          }
+        }
+
+        encode_level(ll, v, scheme.vertex_bits_, scheme.labels_[v],
+                     options.codec);
+        for (Vertex p : ll.points) posn[p] = kNone;
+        lists[v].clear();
+        lists[v].shrink_to_fit();
+      }
+    }
+    for (auto& w : scheme.labels_) w.shrink_to_fit();
+    return scheme;
+  }
+};
+
+ForbiddenSetLabeling build_weighted_labeling(const WeightedGraph& g,
+                                             const SchemeParams& params,
+                                             const BuildOptions& options) {
+  return WeightedLabelingBuilder::build(g, params, options);
+}
+
+}  // namespace fsdl

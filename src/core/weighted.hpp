@@ -1,0 +1,32 @@
+// Weighted extension of the forbidden-set labeling scheme.
+//
+// The paper treats unweighted graphs; road networks (its motivating
+// application) are weighted, and its companion planar result
+// (Abraham–Chechik–Gavoille, STOC 2012) handles weights in [1, M]. This
+// extension runs the identical construction over the weighted shortest-path
+// metric: weighted nets, Dijkstra-truncated ball sweeps, levels up to
+// ⌈log₂(weighted diameter)⌉, and real graph edges (with their weights,
+// flagged graph_edge) at the lowest level.
+//
+// Resulting labels use the same format and the same decoder as the
+// unweighted scheme, so ForbiddenSetOracle / ConnectivityOracle /
+// DynamicOracle work unchanged.
+//
+// Guarantees: *soundness* (every answer is a realizable G\F path length,
+// Lemma 2.3's argument is metric-agnostic) holds unconditionally. The
+// worst-case (1+ε) bound is proved by the paper only for the unweighted
+// case; for weights in [1, W] the same argument gives 1 + ε + O(W/2^c)
+// (net snapping overshoots by at most one edge weight), which the weighted
+// tests and bench E12 probe empirically.
+#pragma once
+
+#include "core/labeling.hpp"
+#include "graph/wgraph.hpp"
+
+namespace fsdl {
+
+ForbiddenSetLabeling build_weighted_labeling(const WeightedGraph& g,
+                                             const SchemeParams& params,
+                                             const BuildOptions& options = {});
+
+}  // namespace fsdl

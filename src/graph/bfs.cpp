@@ -1,0 +1,51 @@
+#include "graph/bfs.hpp"
+
+#include <stdexcept>
+
+namespace fsdl {
+
+std::vector<Dist> bfs_distances(const Graph& g, Vertex src) {
+  if (src >= g.num_vertices()) throw std::out_of_range("bfs_distances: src");
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  std::vector<Vertex> queue;
+  queue.reserve(g.num_vertices());
+  dist[src] = 0;
+  queue.push_back(src);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    for (Vertex w : g.neighbors(u)) {
+      if (dist[w] == kInfDist) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+void multi_source_bfs(const Graph& g, std::span<const Vertex> sources,
+                      std::vector<Dist>& dist, std::vector<Vertex>& owner) {
+  dist.assign(g.num_vertices(), kInfDist);
+  owner.assign(g.num_vertices(), kNoVertex);
+  std::vector<Vertex> queue;
+  queue.reserve(g.num_vertices());
+  for (Vertex s : sources) {
+    if (s >= g.num_vertices()) throw std::out_of_range("multi_source_bfs");
+    if (dist[s] == 0 && owner[s] != kNoVertex) continue;  // duplicate source
+    dist[s] = 0;
+    owner[s] = s;
+    queue.push_back(s);
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    for (Vertex w : g.neighbors(u)) {
+      if (dist[w] == kInfDist) {
+        dist[w] = dist[u] + 1;
+        owner[w] = owner[u];
+        queue.push_back(w);
+      }
+    }
+  }
+}
+
+}  // namespace fsdl

@@ -1,0 +1,94 @@
+// Breadth-first search variants.
+//
+// The label constructor performs very many radius-truncated BFS runs, so
+// BfsRunner keeps its per-run scratch (distance array + queue) allocated
+// across calls and resets only the entries it touched.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// Distances from `src` to every vertex (kInfDist if unreachable).
+std::vector<Dist> bfs_distances(const Graph& g, Vertex src);
+
+/// For every vertex: distance to the nearest source and which source it is.
+/// Ties broken toward the source dequeued first (deterministic given order).
+void multi_source_bfs(const Graph& g, std::span<const Vertex> sources,
+                      std::vector<Dist>& dist, std::vector<Vertex>& owner);
+
+/// Reusable truncated-BFS engine.
+class BfsRunner {
+ public:
+  explicit BfsRunner(const Graph& g)
+      : g_(&g), dist_(g.num_vertices(), kInfDist) {}
+
+  /// Visit every vertex v with d_G(src, v) <= radius, in nondecreasing
+  /// distance order, invoking visit(v, d). Includes src at distance 0.
+  template <typename Visit>
+  void run(Vertex src, Dist radius, Visit&& visit) {
+    queue_.clear();
+    queue_.push_back(src);
+    dist_[src] = 0;
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const Vertex u = queue_[head];
+      const Dist du = dist_[u];
+      visit(u, du);
+      if (du == radius) continue;
+      for (Vertex w : g_->neighbors(u)) {
+        if (dist_[w] == kInfDist) {
+          dist_[w] = du + 1;
+          queue_.push_back(w);
+        }
+      }
+    }
+    for (Vertex v : queue_) dist_[v] = kInfDist;
+  }
+
+  /// As run(), but also reports each vertex's BFS-tree parent (the neighbor
+  /// through which it was discovered — one hop closer to src; src reports
+  /// kNoVertex). Used to derive routing ports toward src.
+  template <typename Visit>
+  void run_with_parents(Vertex src, Dist radius, Visit&& visit) {
+    queue_.clear();
+    parent_.resize(dist_.size());
+    queue_.push_back(src);
+    dist_[src] = 0;
+    parent_[src] = kNoVertex;
+    for (std::size_t head = 0; head < queue_.size(); ++head) {
+      const Vertex u = queue_[head];
+      const Dist du = dist_[u];
+      visit(u, du, parent_[u]);
+      if (du == radius) continue;
+      for (Vertex w : g_->neighbors(u)) {
+        if (dist_[w] == kInfDist) {
+          dist_[w] = du + 1;
+          parent_[w] = u;
+          queue_.push_back(w);
+        }
+      }
+    }
+    for (Vertex v : queue_) dist_[v] = kInfDist;
+  }
+
+  /// Distance between two vertices if <= radius, else kInfDist.
+  Dist bounded_distance(Vertex src, Vertex dst, Dist radius) {
+    Dist found = kInfDist;
+    run(src, radius, [&](Vertex v, Dist d) {
+      if (v == dst) found = d;
+    });
+    return found;
+  }
+
+ private:
+  const Graph* g_;
+  std::vector<Dist> dist_;
+  std::vector<Vertex> queue_;
+  std::vector<Vertex> parent_;
+};
+
+}  // namespace fsdl

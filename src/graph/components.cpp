@@ -1,0 +1,58 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+
+namespace fsdl {
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.id.assign(g.num_vertices(), kNoVertex);
+  std::vector<Vertex> queue;
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    if (out.id[s] != kNoVertex) continue;
+    const Vertex comp = out.count++;
+    out.id[s] = comp;
+    queue.clear();
+    queue.push_back(s);
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      for (Vertex w : g.neighbors(queue[head])) {
+        if (out.id[w] == kNoVertex) {
+          out.id[w] = comp;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  return connected_components(g).count == 1;
+}
+
+Graph largest_component_subgraph(const Graph& g,
+                                 std::vector<Vertex>* old_to_new) {
+  const Components comps = connected_components(g);
+  std::vector<std::size_t> sizes(comps.count, 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) ++sizes[comps.id[v]];
+  const Vertex best = static_cast<Vertex>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<Vertex> map(g.num_vertices(), kNoVertex);
+  Vertex next = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (comps.id[v] == best) map[v] = next++;
+  }
+  GraphBuilder builder(next);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (map[v] == kNoVertex) continue;
+    for (Vertex w : g.neighbors(v)) {
+      if (v < w && map[w] != kNoVertex) builder.add_edge(map[v], map[w]);
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(map);
+  return builder.build();
+}
+
+}  // namespace fsdl

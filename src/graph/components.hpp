@@ -1,0 +1,28 @@
+// Connected components and component-based subgraph extraction.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// Component id per vertex (ids are 0..count-1 in discovery order) and the
+/// number of components.
+struct Components {
+  std::vector<Vertex> id;
+  Vertex count = 0;
+};
+
+Components connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// The induced subgraph on the largest connected component, with vertices
+/// renumbered densely. If `old_to_new` is non-null it receives the mapping
+/// (kNoVertex for dropped vertices).
+Graph largest_component_subgraph(const Graph& g,
+                                 std::vector<Vertex>* old_to_new = nullptr);
+
+}  // namespace fsdl

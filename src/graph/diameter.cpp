@@ -1,0 +1,48 @@
+#include "graph/diameter.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+
+namespace fsdl {
+
+Dist eccentricity(const Graph& g, Vertex src) {
+  const auto dist = bfs_distances(g, src);
+  Dist ecc = 0;
+  for (Dist d : dist) {
+    if (d == kInfDist) return kInfDist;
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+Dist exact_diameter(const Graph& g) {
+  Dist diam = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const Dist e = eccentricity(g, v);
+    if (e == kInfDist) return kInfDist;
+    diam = std::max(diam, e);
+  }
+  return diam;
+}
+
+Dist double_sweep_lower_bound(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  auto dist = bfs_distances(g, 0);
+  Vertex far = 0;
+  Dist best = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (dist[v] != kInfDist && dist[v] > best) {
+      best = dist[v];
+      far = v;
+    }
+  }
+  dist = bfs_distances(g, far);
+  best = 0;
+  for (Dist d : dist) {
+    if (d != kInfDist) best = std::max(best, d);
+  }
+  return best;
+}
+
+}  // namespace fsdl

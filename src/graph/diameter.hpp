@@ -1,0 +1,23 @@
+// Diameter and eccentricity helpers.
+//
+// The level hierarchy tops out at ⌈log₂ n⌉ in the paper; capping it at the
+// graph's diameter instead is a pure optimization (levels above the diameter
+// all contain a single net covering everything), so exact/approximate
+// diameter computations are provided here.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// max_v d(src, v); kInfDist if the graph is disconnected from src.
+Dist eccentricity(const Graph& g, Vertex src);
+
+/// Exact diameter via n BFS runs. O(nm) — use on small graphs only.
+Dist exact_diameter(const Graph& g);
+
+/// Lower bound on the diameter from a double BFS sweep. O(m).
+Dist double_sweep_lower_bound(const Graph& g);
+
+}  // namespace fsdl

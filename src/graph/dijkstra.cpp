@@ -1,0 +1,69 @@
+#include "graph/dijkstra.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace fsdl {
+
+SketchGraph::Index SketchGraph::intern(Vertex external_id) {
+  auto [it, inserted] =
+      index_of_.try_emplace(external_id, static_cast<Index>(external_ids_.size()));
+  if (inserted) {
+    external_ids_.push_back(external_id);
+    adjacency_.emplace_back();
+  }
+  return it->second;
+}
+
+SketchGraph::Index SketchGraph::find(Vertex external_id) const {
+  auto it = index_of_.find(external_id);
+  return it == index_of_.end() ? kNoIndex : it->second;
+}
+
+void SketchGraph::add_edge(Index a, Index b, Dist weight) {
+  adjacency_[a].push_back({b, weight});
+  adjacency_[b].push_back({a, weight});
+  ++num_edges_;
+}
+
+Dist sketch_shortest_path(const SketchGraph& h, SketchGraph::Index s,
+                          SketchGraph::Index t,
+                          std::vector<SketchGraph::Index>* path) {
+  using Index = SketchGraph::Index;
+  const std::size_t n = h.num_vertices();
+  if (s >= n || t >= n) return kInfDist;
+
+  // 64-bit tentative distances guard against overflow from summed weights.
+  std::vector<std::uint64_t> dist(n, ~std::uint64_t{0});
+  std::vector<Index> parent(n, SketchGraph::kNoIndex);
+  using Item = std::pair<std::uint64_t, Index>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[s] = 0;
+  heap.emplace(0, s);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;  // stale entry
+    if (u == t) break;
+    for (const auto& arc : h.arcs(u)) {
+      const std::uint64_t nd = d + arc.weight;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = nd;
+        parent[arc.to] = u;
+        heap.emplace(nd, arc.to);
+      }
+    }
+  }
+  if (dist[t] == ~std::uint64_t{0}) return kInfDist;
+  if (path != nullptr) {
+    path->clear();
+    for (Index v = t;; v = parent[v]) {
+      path->push_back(v);
+      if (v == s) break;
+    }
+    std::reverse(path->begin(), path->end());
+  }
+  return static_cast<Dist>(std::min<std::uint64_t>(dist[t], kInfDist - 1));
+}
+
+}  // namespace fsdl

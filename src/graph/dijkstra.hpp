@@ -1,0 +1,57 @@
+// Weighted sketch graphs and shortest paths on them.
+//
+// The decoder materializes, per query, a small weighted graph H whose
+// vertices are net points (plus s, t and fault centers) identified by their
+// ids in the *original* graph. SketchGraph maps those external ids to dense
+// indices and stores an adjacency list; sketch_shortest_path is a plain
+// binary-heap Dijkstra, which matches the paper's query-time analysis.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fsdl {
+
+class SketchGraph {
+ public:
+  using Index = std::uint32_t;
+  static constexpr Index kNoIndex = static_cast<Index>(-1);
+
+  /// Dense index for external vertex id, inserting it if new.
+  Index intern(Vertex external_id);
+
+  /// Dense index if present, kNoIndex otherwise.
+  Index find(Vertex external_id) const;
+
+  /// Add undirected weighted edge between two *interned* indices.
+  /// Parallel edges are allowed; Dijkstra takes the cheapest.
+  void add_edge(Index a, Index b, Dist weight);
+
+  std::size_t num_vertices() const noexcept { return external_ids_.size(); }
+  std::size_t num_edges() const noexcept { return num_edges_; }
+  Vertex external_id(Index i) const { return external_ids_[i]; }
+
+  struct Arc {
+    Index to;
+    Dist weight;
+  };
+  const std::vector<Arc>& arcs(Index i) const { return adjacency_[i]; }
+
+ private:
+  std::unordered_map<Vertex, Index> index_of_;
+  std::vector<Vertex> external_ids_;
+  std::vector<std::vector<Arc>> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+/// Shortest-path length from s to t in the sketch graph; kInfDist if
+/// disconnected. If `path` is non-null it receives the vertex sequence
+/// (dense indices) of one shortest path, s first.
+Dist sketch_shortest_path(const SketchGraph& h, SketchGraph::Index s,
+                          SketchGraph::Index t,
+                          std::vector<SketchGraph::Index>* path = nullptr);
+
+}  // namespace fsdl

@@ -1,0 +1,118 @@
+#include "graph/fault_view.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fsdl {
+
+void FaultSet::add_vertex(Vertex v) {
+  if (vertex_set_.insert(v).second) vertices_.push_back(v);
+}
+
+void FaultSet::add_edge(Vertex a, Vertex b) {
+  if (a == b) throw std::invalid_argument("FaultSet: self-loop edge");
+  if (a > b) std::swap(a, b);
+  if (edge_set_.insert(edge_key(a, b)).second) edges_.emplace_back(a, b);
+}
+
+void FaultSet::remove_vertex(Vertex v) {
+  if (vertex_set_.erase(v) == 0) return;
+  vertices_.erase(std::find(vertices_.begin(), vertices_.end(), v));
+}
+
+void FaultSet::remove_edge(Vertex a, Vertex b) {
+  if (a > b) std::swap(a, b);
+  if (edge_set_.erase(edge_key(a, b)) == 0) return;
+  edges_.erase(std::find(edges_.begin(), edges_.end(), std::make_pair(a, b)));
+}
+
+std::vector<Dist> bfs_distances_avoiding(const Graph& g, Vertex src,
+                                         const FaultSet& faults) {
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  if (src >= g.num_vertices()) throw std::out_of_range("src");
+  if (faults.vertex_faulty(src)) return dist;
+  std::vector<Vertex> queue;
+  dist[src] = 0;
+  queue.push_back(src);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    for (Vertex w : g.neighbors(u)) {
+      if (dist[w] != kInfDist) continue;
+      if (faults.vertex_faulty(w)) continue;
+      if (!faults.edges().empty() && faults.edge_faulty(u, w)) continue;
+      dist[w] = dist[u] + 1;
+      queue.push_back(w);
+    }
+  }
+  return dist;
+}
+
+Dist distance_avoiding(const Graph& g, Vertex s, Vertex t,
+                       const FaultSet& faults) {
+  if (faults.vertex_faulty(s) || faults.vertex_faulty(t)) return kInfDist;
+  if (s == t) return 0;
+  // Plain BFS with early exit at t.
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  std::vector<Vertex> queue;
+  dist[s] = 0;
+  queue.push_back(s);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const Vertex u = queue[head];
+    for (Vertex w : g.neighbors(u)) {
+      if (dist[w] != kInfDist) continue;
+      if (faults.vertex_faulty(w)) continue;
+      if (!faults.edges().empty() && faults.edge_faulty(u, w)) continue;
+      dist[w] = dist[u] + 1;
+      if (w == t) return dist[w];
+      queue.push_back(w);
+    }
+  }
+  return kInfDist;
+}
+
+std::vector<Vertex> shortest_path_avoiding(const Graph& g, Vertex s, Vertex t,
+                                           const FaultSet& faults) {
+  std::vector<Vertex> path;
+  if (faults.vertex_faulty(s) || faults.vertex_faulty(t)) return path;
+  std::vector<Vertex> parent(g.num_vertices(), kNoVertex);
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  std::vector<Vertex> queue;
+  dist[s] = 0;
+  queue.push_back(s);
+  bool found = (s == t);
+  for (std::size_t head = 0; head < queue.size() && !found; ++head) {
+    const Vertex u = queue[head];
+    for (Vertex w : g.neighbors(u)) {
+      if (dist[w] != kInfDist) continue;
+      if (faults.vertex_faulty(w)) continue;
+      if (!faults.edges().empty() && faults.edge_faulty(u, w)) continue;
+      dist[w] = dist[u] + 1;
+      parent[w] = u;
+      if (w == t) {
+        found = true;
+        break;
+      }
+      queue.push_back(w);
+    }
+  }
+  if (!found) return path;
+  for (Vertex v = t; v != kNoVertex; v = parent[v]) path.push_back(v);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+Graph apply_faults(const Graph& g, const FaultSet& faults) {
+  GraphBuilder builder(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (faults.vertex_faulty(v)) continue;
+    for (Vertex w : g.neighbors(v)) {
+      if (v >= w) continue;
+      if (faults.vertex_faulty(w)) continue;
+      if (!faults.edges().empty() && faults.edge_faulty(v, w)) continue;
+      builder.add_edge(v, w);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace fsdl

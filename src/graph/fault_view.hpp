@@ -1,0 +1,73 @@
+// Fault sets F ⊆ V(G) ∪ E(G) and exact shortest paths on G \ F.
+//
+// The BFS here is the ground truth every approximate answer is judged
+// against in tests and benchmarks, and also the "recompute from scratch"
+// baseline the oracle competes with.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// A set of forbidden vertices and/or edges.
+class FaultSet {
+ public:
+  void add_vertex(Vertex v);
+  void add_edge(Vertex a, Vertex b);
+
+  /// Removal supports the fully-dynamic oracle wrapper; O(|F|) per call.
+  void remove_vertex(Vertex v);
+  void remove_edge(Vertex a, Vertex b);
+
+  bool vertex_faulty(Vertex v) const {
+    return vertex_set_.find(v) != vertex_set_.end();
+  }
+  bool edge_faulty(Vertex a, Vertex b) const {
+    return edge_set_.find(edge_key(a, b)) != edge_set_.end();
+  }
+
+  const std::vector<Vertex>& vertices() const noexcept { return vertices_; }
+  const std::vector<std::pair<Vertex, Vertex>>& edges() const noexcept {
+    return edges_;
+  }
+
+  /// |F| — total number of forbidden elements.
+  std::size_t size() const noexcept { return vertices_.size() + edges_.size(); }
+  bool empty() const noexcept { return size() == 0; }
+
+  static std::uint64_t edge_key(Vertex a, Vertex b) noexcept {
+    if (a > b) std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+  }
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+  std::unordered_set<Vertex> vertex_set_;
+  std::unordered_set<std::uint64_t> edge_set_;
+};
+
+/// BFS distances from src in G \ F. Distances for faulty vertices are
+/// kInfDist; if src itself is faulty, everything is kInfDist.
+std::vector<Dist> bfs_distances_avoiding(const Graph& g, Vertex src,
+                                         const FaultSet& faults);
+
+/// d_{G\F}(s, t), kInfDist if disconnected (or either endpoint faulty).
+Dist distance_avoiding(const Graph& g, Vertex s, Vertex t,
+                       const FaultSet& faults);
+
+/// An actual shortest path in G\F (vertex sequence s..t), empty if none.
+std::vector<Vertex> shortest_path_avoiding(const Graph& g, Vertex s, Vertex t,
+                                           const FaultSet& faults);
+
+/// Materialize G \ F as a graph: same vertex ids, forbidden vertices left
+/// isolated, forbidden edges removed. Used by the rebuilding dynamic oracle.
+Graph apply_faults(const Graph& g, const FaultSet& faults);
+
+}  // namespace fsdl

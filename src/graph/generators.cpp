@@ -1,0 +1,305 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "graph/components.hpp"
+
+namespace fsdl {
+namespace {
+
+Vertex checked_pow(Vertex p, unsigned d) {
+  std::uint64_t n = 1;
+  for (unsigned i = 0; i < d; ++i) {
+    n *= p;
+    if (n > (std::uint64_t{1} << 31)) {
+      throw std::invalid_argument("grid family too large: p^d over 2^31");
+    }
+  }
+  return static_cast<Vertex>(n);
+}
+
+/// Enumerate neighbors of `id` in the d-dimensional p-grid under the
+/// predicate accept(l1) where l1 = Σ|Δ| (and max|Δ| = 1 always holds).
+template <typename Accept, typename Emit>
+void for_grid_neighbors(Vertex id, Vertex p, unsigned d, Accept&& accept,
+                        Emit&& emit) {
+  std::vector<int> coords = grid_coords(id, p, d);
+  std::vector<int> delta(d, -1);
+  // Iterate over all offset vectors in {-1,0,1}^d except all-zero.
+  for (;;) {
+    int l1 = 0;
+    bool in_range = true;
+    for (unsigned i = 0; i < d && in_range; ++i) {
+      l1 += std::abs(delta[i]);
+      const int c = coords[i] + delta[i];
+      in_range = c >= 0 && c < static_cast<int>(p);
+    }
+    if (in_range && l1 > 0 && accept(l1)) {
+      std::vector<int> other(d);
+      for (unsigned i = 0; i < d; ++i) other[i] = coords[i] + delta[i];
+      emit(grid_id(other, p));
+    }
+    // Odometer increment over {-1,0,1}^d.
+    unsigned pos = 0;
+    while (pos < d && delta[pos] == 1) delta[pos++] = -1;
+    if (pos == d) break;
+    ++delta[pos];
+  }
+}
+
+}  // namespace
+
+std::vector<int> grid_coords(Vertex id, Vertex p, unsigned d) {
+  std::vector<int> coords(d);
+  for (unsigned i = 0; i < d; ++i) {
+    coords[i] = static_cast<int>(id % p);
+    id /= p;
+  }
+  return coords;
+}
+
+Vertex grid_id(const std::vector<int>& coords, Vertex p) {
+  Vertex id = 0;
+  for (std::size_t i = coords.size(); i-- > 0;) {
+    id = id * p + static_cast<Vertex>(coords[i]);
+  }
+  return id;
+}
+
+Graph make_path(Vertex n) {
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  return b.build();
+}
+
+Graph make_cycle(Vertex n) {
+  if (n < 3) throw std::invalid_argument("cycle needs n >= 3");
+  GraphBuilder b(n);
+  for (Vertex v = 0; v + 1 < n; ++v) b.add_edge(v, v + 1);
+  b.add_edge(n - 1, 0);
+  return b.build();
+}
+
+Graph make_grid2d(Vertex rows, Vertex cols) {
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_torus2d(Vertex rows, Vertex cols) {
+  if (rows < 3 || cols < 3) throw std::invalid_argument("torus needs >= 3x3");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return b.build();
+}
+
+Graph make_king_grid(Vertex rows, Vertex cols) {
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) {
+        b.add_edge(id(r, c), id(r + 1, c));
+        if (c + 1 < cols) b.add_edge(id(r, c), id(r + 1, c + 1));
+        if (c > 0) b.add_edge(id(r, c), id(r + 1, c - 1));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph make_grid3d(Vertex nx, Vertex ny, Vertex nz) {
+  GraphBuilder b(nx * ny * nz);
+  auto id = [=](Vertex x, Vertex y, Vertex z) { return (z * ny + y) * nx + x; };
+  for (Vertex z = 0; z < nz; ++z) {
+    for (Vertex y = 0; y < ny; ++y) {
+      for (Vertex x = 0; x < nx; ++x) {
+        if (x + 1 < nx) b.add_edge(id(x, y, z), id(x + 1, y, z));
+        if (y + 1 < ny) b.add_edge(id(x, y, z), id(x, y + 1, z));
+        if (z + 1 < nz) b.add_edge(id(x, y, z), id(x, y, z + 1));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph make_full_grid(Vertex p, unsigned d) {
+  if (p < 2 || d < 1) throw std::invalid_argument("full grid needs p,d >= 2,1");
+  const Vertex n = checked_pow(p, d);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for_grid_neighbors(
+        v, p, d, [](int) { return true; },
+        [&](Vertex w) {
+          if (v < w) b.add_edge(v, w);
+        });
+  }
+  return b.build();
+}
+
+Graph make_half_grid(Vertex p, unsigned d) {
+  if (p < 2 || d < 2) throw std::invalid_argument("half grid needs p,d >= 2,2");
+  const Vertex n = checked_pow(p, d);
+  const int budget = static_cast<int>(d / 2);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for_grid_neighbors(
+        v, p, d, [budget](int l1) { return l1 <= budget; },
+        [&](Vertex w) {
+          if (v < w) b.add_edge(v, w);
+        });
+  }
+  return b.build();
+}
+
+Graph make_between_grid(Vertex p, unsigned d, double keep_prob, Rng& rng) {
+  if (p < 2 || d < 2) throw std::invalid_argument("between grid needs p,d >= 2");
+  const Vertex n = checked_pow(p, d);
+  const int budget = static_cast<int>(d / 2);
+  GraphBuilder b(n);
+  for (Vertex v = 0; v < n; ++v) {
+    for_grid_neighbors(
+        v, p, d, [](int) { return true; },
+        [&](Vertex w) {
+          if (v >= w) return;
+          // H edges are mandatory; the remaining G\H edges are the free
+          // bits the lower-bound argument counts.
+          bool is_h_edge = true;
+          {
+            const auto a = grid_coords(v, p, d);
+            const auto c = grid_coords(w, p, d);
+            int l1 = 0;
+            for (unsigned i = 0; i < d; ++i) l1 += std::abs(a[i] - c[i]);
+            is_h_edge = l1 <= budget;
+          }
+          if (is_h_edge || rng.chance(keep_prob)) b.add_edge(v, w);
+        });
+  }
+  return b.build();
+}
+
+Graph make_balanced_tree(unsigned arity, unsigned depth) {
+  if (arity < 1) throw std::invalid_argument("tree arity >= 1");
+  std::uint64_t n = 1, layer = 1;
+  for (unsigned i = 0; i < depth; ++i) {
+    layer *= arity;
+    n += layer;
+    if (n > (std::uint64_t{1} << 31)) throw std::invalid_argument("tree too big");
+  }
+  GraphBuilder b(static_cast<Vertex>(n));
+  for (Vertex v = 1; v < n; ++v) b.add_edge(v, (v - 1) / arity);
+  return b.build();
+}
+
+Graph make_caterpillar(Vertex spine, Vertex legs) {
+  if (spine < 1) throw std::invalid_argument("caterpillar spine >= 1");
+  GraphBuilder b(spine * (legs + 1));
+  for (Vertex s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  for (Vertex s = 0; s < spine; ++s) {
+    for (Vertex l = 0; l < legs; ++l) b.add_edge(s, spine + s * legs + l);
+  }
+  return b.build();
+}
+
+Graph make_unit_disk(Vertex n, double radius, Rng& rng,
+                     std::vector<std::pair<double, double>>* points) {
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+
+  // Bucket points on a cell grid of side `radius` so that neighbor search
+  // only inspects the 9 surrounding cells.
+  const int cells = std::max(1, static_cast<int>(1.0 / radius));
+  const double cell_size = 1.0 / cells;
+  std::vector<std::vector<Vertex>> bucket(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](double x) {
+    return std::min(cells - 1, static_cast<int>(x / cell_size));
+  };
+  for (Vertex v = 0; v < n; ++v) {
+    bucket[static_cast<std::size_t>(cell_of(pts[v].second)) * cells +
+           cell_of(pts[v].first)]
+        .push_back(v);
+  }
+
+  GraphBuilder b(n);
+  const double r2 = radius * radius;
+  for (Vertex v = 0; v < n; ++v) {
+    const int cx = cell_of(pts[v].first);
+    const int cy = cell_of(pts[v].second);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (Vertex w : bucket[static_cast<std::size_t>(ny) * cells + nx]) {
+          if (w <= v) continue;
+          const double ddx = pts[v].first - pts[w].first;
+          const double ddy = pts[v].second - pts[w].second;
+          if (ddx * ddx + ddy * ddy <= r2) b.add_edge(v, w);
+        }
+      }
+    }
+  }
+  if (points != nullptr) *points = std::move(pts);
+  return b.build();
+}
+
+Graph make_perturbed_grid(Vertex rows, Vertex cols, double drop_prob,
+                          Rng& rng) {
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols && !rng.chance(drop_prob)) {
+        b.add_edge(id(r, c), id(r, c + 1));
+      }
+      if (r + 1 < rows && !rng.chance(drop_prob)) {
+        b.add_edge(id(r, c), id(r + 1, c));
+      }
+    }
+  }
+  return largest_component_subgraph(b.build());
+}
+
+Graph make_er(Vertex n, double p, Rng& rng) {
+  GraphBuilder b(n);
+  // Geometric skipping over the (n choose 2) edge slots: O(m) expected.
+  if (p > 0) {
+    const double log1mp = std::log1p(-p);
+    std::uint64_t slot = 0;
+    const std::uint64_t total = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    while (slot < total) {
+      if (p < 1.0) {
+        const double u = rng.uniform();
+        slot += static_cast<std::uint64_t>(std::log1p(-u) / log1mp);
+      }
+      if (slot >= total) break;
+      // Invert slot -> (u, v) with u < v.
+      const auto u64 = static_cast<std::uint64_t>(
+          (1.0 + std::sqrt(1.0 + 8.0 * static_cast<double>(slot))) / 2.0);
+      std::uint64_t u = u64;
+      while (u * (u - 1) / 2 > slot) --u;
+      while ((u + 1) * u / 2 <= slot) ++u;
+      const std::uint64_t v = slot - u * (u - 1) / 2;
+      b.add_edge(static_cast<Vertex>(v), static_cast<Vertex>(u));
+      ++slot;
+    }
+  }
+  return b.build();
+}
+
+}  // namespace fsdl

@@ -1,0 +1,72 @@
+// Synthetic graph families.
+//
+// The paper's input model is "unweighted graph of doubling dimension α";
+// these generators realize a spread of α values at laptop scale:
+//   α ≈ 1 : path, cycle, caterpillar
+//   α ≈ 2 : 2-D grid, torus, king grid, unit-disk, perturbed grid ("roads")
+//   α ≈ d : d-dimensional grids G_{p,d} / H_{p,d} (the Theorem 3.1 family)
+// plus trees and Erdős–Rényi graphs as non-doubling contrast cases.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+Graph make_path(Vertex n);
+Graph make_cycle(Vertex n);
+
+/// Axis-neighbor rows×cols grid (doubling dimension ≈ 2).
+Graph make_grid2d(Vertex rows, Vertex cols);
+
+/// rows×cols grid with wraparound in both dimensions.
+Graph make_torus2d(Vertex rows, Vertex cols);
+
+/// Grid with the 8-neighborhood (equals G_{p,2} when rows == cols == p).
+Graph make_king_grid(Vertex rows, Vertex cols);
+
+Graph make_grid3d(Vertex nx, Vertex ny, Vertex nz);
+
+/// The paper's G_{p,d}: vertices are d-tuples over {0..p-1}; x ~ y iff
+/// max_i |x_i - y_i| = 1. n = p^d, minimum degree 2^d - 1.
+Graph make_full_grid(Vertex p, unsigned d);
+
+/// The paper's H_{p,d}: x ~ y iff max_i |x_i - y_i| = 1 and
+/// Σ_i |x_i - y_i| <= d/2 (d even in the paper; we require d >= 2 and use
+/// ⌊d/2⌋). H_{p,d} is a 2-spanner of G_{p,d}.
+Graph make_half_grid(Vertex p, unsigned d);
+
+/// A member of the Theorem 3.1 family F_{n,α}: contains every H_{p,d} edge
+/// and each remaining G_{p,d} edge independently with probability keep_prob.
+Graph make_between_grid(Vertex p, unsigned d, double keep_prob, Rng& rng);
+
+/// Complete `arity`-ary tree with `depth` levels below the root.
+Graph make_balanced_tree(unsigned arity, unsigned depth);
+
+/// Path of `spine` vertices, each with `legs` pendant vertices.
+Graph make_caterpillar(Vertex spine, Vertex legs);
+
+/// n points uniform in the unit square, edge iff Euclidean distance <= radius.
+/// The returned graph may be disconnected; callers usually take the largest
+/// component. If `points` is non-null it receives the coordinates.
+Graph make_unit_disk(Vertex n, double radius, Rng& rng,
+                     std::vector<std::pair<double, double>>* points = nullptr);
+
+/// "Road network" stand-in: 2-D grid with each edge deleted independently
+/// with probability drop_prob, restricted to its largest component.
+Graph make_perturbed_grid(Vertex rows, Vertex cols, double drop_prob,
+                          Rng& rng);
+
+/// Erdős–Rényi G(n, p). Not doubling; contrast case only.
+Graph make_er(Vertex n, double p, Rng& rng);
+
+/// Coordinate helpers for d-dimensional grid vertex ids (row-major,
+/// mixed-radix base p).
+std::vector<int> grid_coords(Vertex id, Vertex p, unsigned d);
+Vertex grid_id(const std::vector<int>& coords, Vertex p);
+
+}  // namespace fsdl

@@ -1,0 +1,51 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fsdl {
+
+bool Graph::has_edge(Vertex u, Vertex v) const noexcept {
+  const auto adj = neighbors(u);
+  return std::binary_search(adj.begin(), adj.end(), v);
+}
+
+void GraphBuilder::add_edge(Vertex u, Vertex v) {
+  if (u >= n_ || v >= n_) throw std::out_of_range("GraphBuilder: vertex id");
+  if (u == v) throw std::invalid_argument("GraphBuilder: self-loop");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(edges_.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Each list was filled from a globally sorted edge list keyed on the lower
+  // endpoint, so lists mixing lower- and higher-endpoint entries still need
+  // a per-vertex sort.
+  for (Vertex v = 0; v < n_; ++v) {
+    auto begin = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+  }
+  edges_.clear();
+  return g;
+}
+
+}  // namespace fsdl

@@ -1,0 +1,71 @@
+// Immutable undirected unweighted graph in compressed-sparse-row form.
+//
+// All algorithms in the library run against this representation. The paper's
+// input model is an unweighted undirected n-vertex graph, so edges carry no
+// weights here; weighted graphs appear only as per-query *sketch* graphs
+// (see graph/dijkstra.hpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fsdl {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  Vertex num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<Vertex>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  std::size_t num_edges() const noexcept { return adjacency_.size() / 2; }
+
+  std::span<const Vertex> neighbors(Vertex v) const noexcept {
+    return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  Vertex degree(Vertex v) const noexcept {
+    return static_cast<Vertex>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// O(log deg) membership test; adjacency lists are sorted.
+  bool has_edge(Vertex u, Vertex v) const noexcept;
+
+  /// Approximate heap footprint, for reporting.
+  std::size_t memory_bytes() const noexcept {
+    return offsets_.capacity() * sizeof(std::size_t) +
+           adjacency_.capacity() * sizeof(Vertex);
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::size_t> offsets_;  // size n+1
+  std::vector<Vertex> adjacency_;     // size 2m, sorted within each vertex
+};
+
+/// Accumulates edges, then produces a canonical Graph (sorted adjacency,
+/// duplicates merged, self-loops rejected).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(Vertex num_vertices) : n_(num_vertices) {}
+
+  /// Add undirected edge {u, v}. Duplicate additions are merged at build().
+  void add_edge(Vertex u, Vertex v);
+
+  Vertex num_vertices() const noexcept { return n_; }
+
+  /// Consumes the builder's edge list.
+  Graph build();
+
+ private:
+  Vertex n_;
+  std::vector<std::pair<Vertex, Vertex>> edges_;
+};
+
+}  // namespace fsdl

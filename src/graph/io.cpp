@@ -1,0 +1,54 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fsdl {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex w : g.neighbors(v)) {
+      if (v < w) os << v << ' ' << w << '\n';
+    }
+  }
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  auto next_content_line = [&]() -> bool {
+    while (std::getline(is, line)) {
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+  if (!next_content_line()) throw std::runtime_error("edge list: empty input");
+  std::istringstream header(line);
+  std::size_t n = 0, m = 0;
+  if (!(header >> n >> m)) throw std::runtime_error("edge list: bad header");
+
+  GraphBuilder builder(static_cast<Vertex>(n));
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!next_content_line()) throw std::runtime_error("edge list: truncated");
+    std::istringstream edge(line);
+    Vertex u = 0, v = 0;
+    if (!(edge >> u >> v)) throw std::runtime_error("edge list: bad edge line");
+    builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  write_edge_list(g, os);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return read_edge_list(is);
+}
+
+}  // namespace fsdl

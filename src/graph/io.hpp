@@ -1,0 +1,22 @@
+// Plain-text edge-list graph I/O.
+//
+// Format:
+//   line 1:  "<n> <m>"
+//   then m lines "<u> <v>" with 0 <= u, v < n.
+// Comment lines starting with '#' are skipped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace fsdl {
+
+void write_edge_list(const Graph& g, std::ostream& os);
+Graph read_edge_list(std::istream& is);
+
+void save_graph(const Graph& g, const std::string& path);
+Graph load_graph(const std::string& path);
+
+}  // namespace fsdl

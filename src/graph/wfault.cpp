@@ -1,0 +1,34 @@
+#include "graph/wfault.hpp"
+
+#include <queue>
+
+namespace fsdl {
+
+Dist weighted_distance_avoiding(const WeightedGraph& g, Vertex s, Vertex t,
+                                const FaultSet& faults) {
+  if (faults.vertex_faulty(s) || faults.vertex_faulty(t)) return kInfDist;
+  if (s == t) return 0;
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  using Item = std::pair<Dist, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[s] = 0;
+  heap.emplace(0, s);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;
+    if (u == t) return d;
+    for (const auto& arc : g.arcs(u)) {
+      if (faults.vertex_faulty(arc.to)) continue;
+      if (!faults.edges().empty() && faults.edge_faulty(u, arc.to)) continue;
+      const std::uint64_t nd = static_cast<std::uint64_t>(d) + arc.weight;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = static_cast<Dist>(nd);
+        heap.emplace(dist[arc.to], arc.to);
+      }
+    }
+  }
+  return dist[t];
+}
+
+}  // namespace fsdl

@@ -1,0 +1,16 @@
+// Exact shortest paths on weighted G \ F — ground truth for the weighted
+// extension's tests and benchmarks.
+#pragma once
+
+#include "graph/fault_view.hpp"
+#include "graph/wgraph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// Dijkstra distance from s to t in G \ F; kInfDist when disconnected or an
+/// endpoint is forbidden.
+Dist weighted_distance_avoiding(const WeightedGraph& g, Vertex s, Vertex t,
+                                const FaultSet& faults);
+
+}  // namespace fsdl

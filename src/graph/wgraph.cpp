@@ -1,0 +1,96 @@
+#include "graph/wgraph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fsdl {
+
+Weight WeightedGraph::edge_weight(Vertex u, Vertex v) const noexcept {
+  const auto a = arcs(u);
+  const auto it = std::lower_bound(
+      a.begin(), a.end(), v,
+      [](const Arc& arc, Vertex target) { return arc.to < target; });
+  return it != a.end() && it->to == v ? it->weight : 0;
+}
+
+void WeightedGraphBuilder::add_edge(Vertex u, Vertex v, Weight w) {
+  if (u >= n_ || v >= n_) throw std::out_of_range("WeightedGraphBuilder: id");
+  if (u == v) throw std::invalid_argument("WeightedGraphBuilder: self-loop");
+  if (w == 0) throw std::invalid_argument("WeightedGraphBuilder: zero weight");
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v, w);
+}
+
+WeightedGraph WeightedGraphBuilder::build() {
+  std::sort(edges_.begin(), edges_.end());
+  // Duplicate endpoints: keep the lightest parallel edge.
+  std::vector<std::tuple<Vertex, Vertex, Weight>> dedup;
+  dedup.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    if (!dedup.empty() && std::get<0>(dedup.back()) == std::get<0>(e) &&
+        std::get<1>(dedup.back()) == std::get<1>(e)) {
+      continue;  // sorted: the first copy has the smallest weight
+    }
+    dedup.push_back(e);
+  }
+
+  WeightedGraph g;
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v, w] : dedup) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+    g.max_weight_ = std::max(g.max_weight_, w);
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.arcs_.resize(dedup.size() * 2);
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v, w] : dedup) {
+    g.arcs_[cursor[u]++] = {v, w};
+    g.arcs_[cursor[v]++] = {u, w};
+  }
+  for (Vertex v = 0; v < n_; ++v) {
+    auto begin = g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]);
+    auto end = g.arcs_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end, [](const WeightedGraph::Arc& a,
+                             const WeightedGraph::Arc& b) { return a.to < b.to; });
+  }
+  edges_.clear();
+  return g;
+}
+
+WeightedGraph weighted_from(const Graph& g) {
+  WeightedGraphBuilder b(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex w : g.neighbors(v)) {
+      if (v < w) b.add_edge(v, w, 1);
+    }
+  }
+  return b.build();
+}
+
+WeightedGraph weighted_from(const Graph& g, Weight max_weight, Rng& rng) {
+  if (max_weight == 0) throw std::invalid_argument("max_weight must be >= 1");
+  WeightedGraphBuilder b(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex w : g.neighbors(v)) {
+      if (v < w) {
+        b.add_edge(v, w, 1 + static_cast<Weight>(rng.below(max_weight)));
+      }
+    }
+  }
+  return b.build();
+}
+
+Graph unweighted_skeleton(const WeightedGraph& g) {
+  GraphBuilder b(g.num_vertices());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& arc : g.arcs(v)) {
+      if (v < arc.to) b.add_edge(v, arc.to);
+    }
+  }
+  return b.build();
+}
+
+}  // namespace fsdl

@@ -1,0 +1,85 @@
+// Weighted undirected graphs (positive integer edge weights) in CSR form.
+//
+// The paper treats unweighted graphs; this is the library's extension
+// (following the weighted planar variant of Abraham–Chechik–Gavoille 2012).
+// Weights are small positive integers, which keeps truncated searches
+// bucket-queue friendly and the level hierarchy logarithmic in n·W.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// Edge weight; positive integers.
+using Weight = std::uint32_t;
+
+class WeightedGraph {
+ public:
+  struct Arc {
+    Vertex to;
+    Weight weight;
+  };
+
+  WeightedGraph() = default;
+
+  Vertex num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<Vertex>(offsets_.size() - 1);
+  }
+  std::size_t num_edges() const noexcept { return arcs_.size() / 2; }
+
+  std::span<const Arc> arcs(Vertex v) const noexcept {
+    return {arcs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+
+  Vertex degree(Vertex v) const noexcept {
+    return static_cast<Vertex>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Weight of edge {u, v}, or 0 if absent. O(log deg).
+  Weight edge_weight(Vertex u, Vertex v) const noexcept;
+  bool has_edge(Vertex u, Vertex v) const noexcept {
+    return edge_weight(u, v) != 0;
+  }
+
+  Weight max_weight() const noexcept { return max_weight_; }
+
+ private:
+  friend class WeightedGraphBuilder;
+
+  std::vector<std::size_t> offsets_;
+  std::vector<Arc> arcs_;  // sorted by target within each vertex
+  Weight max_weight_ = 0;
+};
+
+class WeightedGraphBuilder {
+ public:
+  explicit WeightedGraphBuilder(Vertex num_vertices) : n_(num_vertices) {}
+
+  /// Add undirected edge {u, v} with weight >= 1. Duplicates keep the
+  /// lighter weight.
+  void add_edge(Vertex u, Vertex v, Weight w);
+
+  WeightedGraph build();
+
+ private:
+  Vertex n_;
+  std::vector<std::tuple<Vertex, Vertex, Weight>> edges_;
+};
+
+/// Copy an unweighted graph, assigning every edge weight 1.
+WeightedGraph weighted_from(const Graph& g);
+
+/// Copy an unweighted graph with i.i.d. uniform weights in [1, max_weight].
+WeightedGraph weighted_from(const Graph& g, Weight max_weight, Rng& rng);
+
+/// Forget weights: the underlying unweighted graph.
+Graph unweighted_skeleton(const WeightedGraph& g);
+
+}  // namespace fsdl

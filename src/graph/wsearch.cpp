@@ -1,0 +1,59 @@
+#include "graph/wsearch.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace fsdl {
+
+std::vector<Dist> dijkstra_distances(const WeightedGraph& g, Vertex src) {
+  if (src >= g.num_vertices()) throw std::out_of_range("dijkstra src");
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  using Item = std::pair<Dist, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[src] = 0;
+  heap.emplace(0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;
+    for (const auto& arc : g.arcs(u)) {
+      const std::uint64_t nd = static_cast<std::uint64_t>(d) + arc.weight;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = static_cast<Dist>(nd);
+        heap.emplace(dist[arc.to], arc.to);
+      }
+    }
+  }
+  return dist;
+}
+
+void multi_source_dijkstra(const WeightedGraph& g,
+                           std::span<const Vertex> sources,
+                           std::vector<Dist>& dist,
+                           std::vector<Vertex>& owner) {
+  dist.assign(g.num_vertices(), kInfDist);
+  owner.assign(g.num_vertices(), kNoVertex);
+  using Item = std::pair<Dist, Vertex>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  for (Vertex s : sources) {
+    if (s >= g.num_vertices()) throw std::out_of_range("multi_source src");
+    dist[s] = 0;
+    owner[s] = s;
+    heap.emplace(0, s);
+  }
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d != dist[u]) continue;
+    for (const auto& arc : g.arcs(u)) {
+      const std::uint64_t nd = static_cast<std::uint64_t>(d) + arc.weight;
+      if (nd < dist[arc.to]) {
+        dist[arc.to] = static_cast<Dist>(nd);
+        owner[arc.to] = owner[u];
+        heap.emplace(dist[arc.to], arc.to);
+      }
+    }
+  }
+}
+
+}  // namespace fsdl

@@ -1,0 +1,113 @@
+// Radius-truncated Dijkstra over weighted graphs, with reusable scratch —
+// the weighted counterpart of BfsRunner (the weighted label constructor
+// runs one of these per net point per level).
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/wgraph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+class DijkstraRunner {
+ public:
+  explicit DijkstraRunner(const WeightedGraph& g)
+      : g_(&g), dist_(g.num_vertices(), kInfDist),
+        parent_(g.num_vertices(), kNoVertex) {}
+
+  /// Visit every vertex v with d_G(src, v) <= radius in nondecreasing
+  /// distance order; visit(v, d). Includes src at distance 0.
+  template <typename Visit>
+  void run(Vertex src, Dist radius, Visit&& visit) {
+    run_impl(src, radius, [&](Vertex v, Dist d, Vertex) { visit(v, d); });
+  }
+
+  /// As run(), also reporting the Dijkstra-tree parent (kNoVertex for src).
+  template <typename Visit>
+  void run_with_parents(Vertex src, Dist radius, Visit&& visit) {
+    run_impl(src, radius, std::forward<Visit>(visit));
+  }
+
+  Dist bounded_distance(Vertex src, Vertex dst, Dist radius) {
+    Dist found = kInfDist;
+    run(src, radius, [&](Vertex v, Dist d) {
+      if (v == dst) found = d;
+    });
+    return found;
+  }
+
+ private:
+  template <typename Visit>
+  void run_impl(Vertex src, Dist radius, Visit&& visit) {
+    heap_.clear();
+    touched_.clear();
+    settled_.clear();
+    dist_[src] = 0;
+    parent_[src] = kNoVertex;
+    touched_.push_back(src);
+    push(0, src);
+    while (!heap_.empty()) {
+      const auto [d, u] = pop();
+      if (d != dist_[u] || settled_marker(u)) continue;
+      mark_settled(u);
+      visit(u, d, parent_[u]);
+      for (const auto& arc : g_->arcs(u)) {
+        const std::uint64_t nd = static_cast<std::uint64_t>(d) + arc.weight;
+        if (nd > radius) continue;
+        if (nd < dist_[arc.to]) {
+          if (dist_[arc.to] == kInfDist) touched_.push_back(arc.to);
+          dist_[arc.to] = static_cast<Dist>(nd);
+          parent_[arc.to] = u;
+          push(static_cast<Dist>(nd), arc.to);
+        }
+      }
+    }
+    for (Vertex v : touched_) dist_[v] = kInfDist;
+    for (Vertex v : settled_) settled_flag_[v] = 0;
+  }
+
+  void push(Dist d, Vertex v) {
+    heap_.emplace_back(d, v);
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+  }
+  std::pair<Dist, Vertex> pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const auto top = heap_.back();
+    heap_.pop_back();
+    return top;
+  }
+
+  bool settled_marker(Vertex v) {
+    if (settled_flag_.empty()) settled_flag_.assign(g_->num_vertices(), 0);
+    return settled_flag_[v] != 0;
+  }
+  void mark_settled(Vertex v) {
+    settled_flag_[v] = 1;
+    settled_.push_back(v);
+  }
+
+  static bool cmp(const std::pair<Dist, Vertex>& a,
+                  const std::pair<Dist, Vertex>& b) {
+    return a.first > b.first;  // min-heap
+  }
+
+  const WeightedGraph* g_;
+  std::vector<Dist> dist_;
+  std::vector<Vertex> parent_;
+  std::vector<Vertex> touched_;
+  std::vector<Vertex> settled_;
+  std::vector<char> settled_flag_;
+  std::vector<std::pair<Dist, Vertex>> heap_;
+};
+
+/// Full single-source distances (unbounded radius).
+std::vector<Dist> dijkstra_distances(const WeightedGraph& g, Vertex src);
+
+/// For every vertex: distance to the nearest source and that source.
+void multi_source_dijkstra(const WeightedGraph& g,
+                           std::span<const Vertex> sources,
+                           std::vector<Dist>& dist, std::vector<Vertex>& owner);
+
+}  // namespace fsdl

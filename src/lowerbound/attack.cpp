@@ -1,0 +1,36 @@
+#include "lowerbound/attack.hpp"
+
+#include "graph/fault_view.hpp"
+
+namespace fsdl {
+
+Graph reconstruct_via_connectivity(const ConnectivityOracle& oracle,
+                                   Vertex n) {
+  GraphBuilder builder(n);
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex j = i + 1; j < n; ++j) {
+      FaultSet everywhere;
+      for (Vertex v = 0; v < n; ++v) {
+        if (v != i && v != j) everywhere.add_vertex(v);
+      }
+      if (oracle.connected(i, j, everywhere)) builder.add_edge(i, j);
+    }
+  }
+  return builder.build();
+}
+
+bool same_graph(const Graph& a, const Graph& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  if (a.num_edges() != b.num_edges()) return false;
+  for (Vertex v = 0; v < a.num_vertices(); ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    if (na.size() != nb.size()) return false;
+    for (std::size_t k = 0; k < na.size(); ++k) {
+      if (na[k] != nb[k]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fsdl

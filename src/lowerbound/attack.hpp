@@ -1,0 +1,23 @@
+// The "everywhere failure" reconstruction attack from Theorem 3.1's proof.
+//
+// For every vertex pair (i, j), query connectivity with F = V \ {i, j}:
+// the surviving graph is either the single edge (i, j) or two isolated
+// vertices, so the answers determine the input graph exactly. Running the
+// attack through our own labeling scheme demonstrates constructively that
+// the labels encode at least |E| bits collectively — the information the
+// lower bound counts.
+#pragma once
+
+#include "core/connectivity.hpp"
+#include "graph/graph.hpp"
+
+namespace fsdl {
+
+/// Rebuild the graph edge-by-edge from connectivity queries. O(n²) queries
+/// with |F| = n - 2 each — use only on small graphs.
+Graph reconstruct_via_connectivity(const ConnectivityOracle& oracle, Vertex n);
+
+/// True iff the two graphs have identical vertex counts and edge sets.
+bool same_graph(const Graph& a, const Graph& b);
+
+}  // namespace fsdl

@@ -1,0 +1,26 @@
+#include "lowerbound/family.hpp"
+
+#include "graph/generators.hpp"
+
+namespace fsdl {
+
+FamilyStats family_stats(Vertex p, unsigned d) {
+  const Graph full = make_full_grid(p, d);
+  const Graph half = make_half_grid(p, d);
+  FamilyStats s;
+  s.p = p;
+  s.d = d;
+  s.n = full.num_vertices();
+  s.alpha = 2 * d;
+  s.edges_full = full.num_edges();
+  s.edges_half = half.num_edges();
+  s.free_edges = s.edges_full - s.edges_half;
+  s.bits_per_vertex = static_cast<double>(s.free_edges) / static_cast<double>(s.n);
+  return s;
+}
+
+Graph sample_family_member(Vertex p, unsigned d, Rng& rng) {
+  return make_between_grid(p, d, 0.5, rng);
+}
+
+}  // namespace fsdl

@@ -1,0 +1,34 @@
+// The Theorem 3.1 lower-bound family F_{n,α}.
+//
+// F_{n,α} consists of all subgraphs of G_{p,d} that contain H_{p,d}, where
+// n = p^d and α = 2d. Each "free" edge of E(G_{p,d}) \ E(H_{p,d}) is an
+// independent bit, so |F_{n,α}| = 2^{free} and any forbidden-set
+// connectivity labeling scheme needs a label of at least free/n =
+// Ω(2^{α/2}) bits somewhere (plus the Ω(log n) counting argument).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+
+struct FamilyStats {
+  Vertex p = 0;
+  unsigned d = 0;
+  std::size_t n = 0;           // p^d
+  unsigned alpha = 0;          // 2d (doubling dimension bound of the family)
+  std::size_t edges_full = 0;  // |E(G_{p,d})|
+  std::size_t edges_half = 0;  // |E(H_{p,d})|
+  std::size_t free_edges = 0;  // log₂|F_{n,α}|
+  double bits_per_vertex = 0;  // free_edges / n — the label-length lower bound
+};
+
+/// Exact counts for the (p, d) family instance.
+FamilyStats family_stats(Vertex p, unsigned d);
+
+/// A uniformly random member of F_{n,α} (every free edge kept w.p. 1/2).
+Graph sample_family_member(Vertex p, unsigned d, Rng& rng);
+
+}  // namespace fsdl

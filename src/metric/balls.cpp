@@ -1,0 +1,24 @@
+#include "metric/balls.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+
+namespace fsdl {
+
+std::vector<Vertex> ball_vertices(const Graph& g, Vertex center, Dist radius) {
+  std::vector<Vertex> out;
+  BfsRunner bfs(g);
+  bfs.run(center, radius, [&](Vertex v, Dist) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t ball_size(const Graph& g, Vertex center, Dist radius) {
+  std::size_t count = 0;
+  BfsRunner bfs(g);
+  bfs.run(center, radius, [&](Vertex, Dist) { ++count; });
+  return count;
+}
+
+}  // namespace fsdl

@@ -1,0 +1,18 @@
+// Ball queries over the shortest-path metric of an unweighted graph.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// All vertices within distance `radius` of `center` (including it),
+/// sorted by id.
+std::vector<Vertex> ball_vertices(const Graph& g, Vertex center, Dist radius);
+
+/// |B(center, radius)|.
+std::size_t ball_size(const Graph& g, Vertex center, Dist radius);
+
+}  // namespace fsdl

@@ -1,0 +1,64 @@
+#include "metric/doubling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/bfs.hpp"
+#include "graph/diameter.hpp"
+
+namespace fsdl {
+
+std::size_t greedy_cover_size(const Graph& g, Vertex center, Dist r) {
+  // Collect B(center, 2r) with distances-from-center for determinism.
+  std::vector<Vertex> big_ball;
+  BfsRunner bfs(g);
+  bfs.run(center, 2 * r, [&](Vertex v, Dist) { big_ball.push_back(v); });
+
+  // Farthest-first traversal: repeatedly pick the uncovered vertex farthest
+  // from all chosen centers, cover its r-ball.
+  std::unordered_map<Vertex, Dist> dist_to_centers;
+  dist_to_centers.reserve(big_ball.size());
+  for (Vertex v : big_ball) dist_to_centers[v] = kInfDist;
+
+  std::size_t covers = 0;
+  Vertex next = center;
+  while (next != kNoVertex) {
+    ++covers;
+    bfs.run(next, 2 * r, [&](Vertex v, Dist d) {
+      auto it = dist_to_centers.find(v);
+      if (it != dist_to_centers.end()) it->second = std::min(it->second, d);
+    });
+    next = kNoVertex;
+    Dist far = r;  // only vertices strictly farther than r are uncovered
+    for (Vertex v : big_ball) {
+      const Dist d = dist_to_centers[v];
+      if (d > far || (d == kInfDist && far != kInfDist)) {
+        far = d;
+        next = v;
+      }
+    }
+  }
+  return covers;
+}
+
+DoublingEstimate estimate_doubling_dimension(const Graph& g, unsigned samples,
+                                             Rng& rng) {
+  DoublingEstimate best{0.0, 1, 0, 1};
+  if (g.num_vertices() == 0) return best;
+  const Dist diam_lb = double_sweep_lower_bound(g);
+  std::vector<Dist> radii;
+  for (Dist r = 1; r * 2 <= std::max<Dist>(diam_lb, 2); r *= 2) {
+    radii.push_back(r);
+  }
+  for (unsigned s = 0; s < samples; ++s) {
+    const Vertex v = rng.vertex(g.num_vertices());
+    const Dist r = radii[rng.below(radii.size())];
+    const std::size_t cover = greedy_cover_size(g, v, r);
+    const double alpha = std::log2(static_cast<double>(std::max<std::size_t>(cover, 1)));
+    if (alpha > best.alpha) best = {alpha, cover, v, r};
+  }
+  return best;
+}
+
+}  // namespace fsdl

@@ -1,0 +1,35 @@
+// Empirical doubling-dimension estimation.
+//
+// The doubling dimension is the smallest α such that every ball B(v, 2r)
+// can be covered by 2^α balls of radius r. Computing it exactly is NP-hard
+// in general; we report the greedy-cover upper estimate
+//     α̂ = max over sampled (v, r) of ⌈log₂ |greedy r-cover of B(v, 2r)|⌉,
+// which upper-bounds log₂ of the true cover number at each sampled scale
+// by at most the packing/covering slack. Benchmarks use α̂ to sanity-check
+// that each generator realizes the intended dimension regime.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+struct DoublingEstimate {
+  double alpha;          // max over samples of log2(cover size)
+  std::size_t worst_cover_size;
+  Vertex worst_center;
+  Dist worst_radius;
+};
+
+/// Greedy cover of B(center, 2r) by balls of radius r; returns the number of
+/// balls used. Centers are chosen farthest-first inside the big ball, so the
+/// result is also an r-packing and the bound |cover| <= 2^{2α} holds.
+std::size_t greedy_cover_size(const Graph& g, Vertex center, Dist r);
+
+/// Sampled estimate over `samples` random (center, radius) pairs with radii
+/// drawn from powers of two up to the graph diameter scale.
+DoublingEstimate estimate_doubling_dimension(const Graph& g, unsigned samples,
+                                             Rng& rng);
+
+}  // namespace fsdl

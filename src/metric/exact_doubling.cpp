@@ -1,0 +1,136 @@
+#include "metric/exact_doubling.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/diameter.hpp"
+
+namespace fsdl {
+namespace {
+
+/// Exact minimum set cover by branch and bound. `sets` are bitmasks over a
+/// universe of <= 64 elements; `universe` is the target mask.
+class SetCoverSolver {
+ public:
+  SetCoverSolver(std::vector<std::uint64_t> sets, std::uint64_t universe)
+      : sets_(std::move(sets)), universe_(universe) {
+    // Greedy first: provides the initial upper bound.
+    best_ = greedy();
+  }
+
+  std::size_t solve() {
+    branch(universe_, 0);
+    return best_;
+  }
+
+ private:
+  std::size_t greedy() const {
+    std::uint64_t uncovered = universe_;
+    std::size_t used = 0;
+    while (uncovered != 0) {
+      std::uint64_t best_gain = 0;
+      std::size_t best_set = sets_.size();
+      for (std::size_t k = 0; k < sets_.size(); ++k) {
+        const auto gain = static_cast<std::uint64_t>(
+            std::popcount(sets_[k] & uncovered));
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_set = k;
+        }
+      }
+      if (best_set == sets_.size()) {
+        throw std::logic_error("set cover infeasible");
+      }
+      uncovered &= ~sets_[best_set];
+      ++used;
+    }
+    return used;
+  }
+
+  void branch(std::uint64_t uncovered, std::size_t used) {
+    if (uncovered == 0) {
+      best_ = std::min(best_, used);
+      return;
+    }
+    if (used + 1 >= best_) return;  // even one more set cannot improve
+    // Lower bound: remaining / largest set size.
+    std::size_t max_size = 1;
+    for (const auto s : sets_) {
+      max_size = std::max<std::size_t>(max_size,
+                                       std::popcount(s & uncovered));
+    }
+    const std::size_t remaining = std::popcount(uncovered);
+    if (used + (remaining + max_size - 1) / max_size >= best_) return;
+
+    // Branch on the uncovered element contained in the fewest sets.
+    const int pivot = std::countr_zero(uncovered);
+    const std::uint64_t pivot_bit = std::uint64_t{1} << pivot;
+    for (std::size_t k = 0; k < sets_.size(); ++k) {
+      if (sets_[k] & pivot_bit) {
+        branch(uncovered & ~sets_[k], used + 1);
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> sets_;
+  std::uint64_t universe_;
+  std::size_t best_;
+};
+
+}  // namespace
+
+std::size_t min_ball_cover(const Graph& g, Vertex center, Dist r) {
+  BfsRunner bfs(g);
+  // Universe: B(center, 2r), indexed densely.
+  std::vector<Vertex> ball;
+  bfs.run(center, 2 * r, [&](Vertex v, Dist) { ball.push_back(v); });
+  if (ball.size() > 64) {
+    throw std::invalid_argument("min_ball_cover: ball exceeds 64 vertices");
+  }
+  std::vector<int> index(g.num_vertices(), -1);
+  for (std::size_t k = 0; k < ball.size(); ++k) index[ball[k]] = static_cast<int>(k);
+  const std::uint64_t universe =
+      ball.size() == 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << ball.size()) - 1;
+
+  // Candidate balls: radius r around every vertex (centers may lie outside
+  // the big ball per the definition).
+  std::vector<std::uint64_t> sets;
+  sets.reserve(g.num_vertices());
+  for (Vertex c = 0; c < g.num_vertices(); ++c) {
+    std::uint64_t mask = 0;
+    bfs.run(c, r, [&](Vertex v, Dist) {
+      if (index[v] >= 0) mask |= std::uint64_t{1} << index[v];
+    });
+    if (mask != 0) sets.push_back(mask);
+  }
+  return SetCoverSolver(std::move(sets), universe).solve();
+}
+
+ExactDoubling exact_doubling_dimension(const Graph& g) {
+  ExactDoubling out;
+  if (g.num_vertices() == 0) return out;
+  const Dist diam = exact_diameter(g);
+  if (diam == kInfDist) {
+    throw std::invalid_argument("exact doubling needs a connected graph");
+  }
+  for (Dist r = 1; r <= std::max<Dist>(diam, 1); ++r) {
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      const std::size_t cover = min_ball_cover(g, v, r);
+      if (cover > out.worst_cover) {
+        out.worst_cover = cover;
+        out.worst_center = v;
+        out.worst_radius = r;
+      }
+    }
+  }
+  out.alpha = std::log2(static_cast<double>(out.worst_cover));
+  return out;
+}
+
+}  // namespace fsdl

@@ -1,0 +1,32 @@
+// Exact doubling dimension for small graphs.
+//
+// α(G) = ⌈log₂ max_{v,r} cover(v, r)⌉ where cover(v, r) is the minimum
+// number of r-balls needed to cover B(v, 2r). The minimum cover is an exact
+// set-cover computation (branch and bound), so this is exponential in the
+// worst case — intended for n up to a few dozen, where it validates the
+// sampling estimator (metric/doubling) and the lower-bound family's
+// doubling-dimension claim (Theorem 3.1).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// Minimum number of r-balls (arbitrary centers) covering B(center, 2r).
+std::size_t min_ball_cover(const Graph& g, Vertex center, Dist r);
+
+struct ExactDoubling {
+  double alpha = 0.0;            // log2 of the worst cover
+  std::size_t worst_cover = 1;
+  Vertex worst_center = 0;
+  Dist worst_radius = 1;
+};
+
+/// Exact doubling dimension: maximizes min_ball_cover over every vertex and
+/// every radius 1 <= r <= diameter.
+ExactDoubling exact_doubling_dimension(const Graph& g);
+
+}  // namespace fsdl

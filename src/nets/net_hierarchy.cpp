@@ -1,0 +1,76 @@
+#include "nets/net_hierarchy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "graph/bfs.hpp"
+
+namespace fsdl {
+
+std::vector<Vertex> greedy_dominating_set(const Graph& g, Dist r) {
+  if (r == 0) throw std::invalid_argument("dominating set radius must be >= 1");
+  std::vector<Vertex> selected;
+  std::vector<char> covered(g.num_vertices(), 0);
+  BfsRunner bfs(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (covered[v]) continue;
+    selected.push_back(v);
+    // "Mark as covered all vertices u such that d_G(u, v) < r."
+    bfs.run(v, r - 1, [&](Vertex u, Dist) { covered[u] = 1; });
+  }
+  return selected;
+}
+
+unsigned default_top_level(Vertex n) noexcept {
+  if (n <= 1) return 0;
+  // ⌈log₂ n⌉
+  const unsigned floor_log = std::bit_width(static_cast<std::uint32_t>(n - 1));
+  return floor_log;
+}
+
+NetHierarchy build_net_hierarchy(const Graph& g, unsigned top_level) {
+  const Vertex n = g.num_vertices();
+  if (n == 0) throw std::invalid_argument("empty graph");
+
+  NetHierarchy h;
+  h.top_level_ = top_level;
+  h.max_level_of_.assign(n, 0);
+
+  // W(2^j) per level j, built independently per Fact 1; radii above the
+  // graph diameter naturally produce singleton (or tiny) sets.
+  std::vector<std::vector<Vertex>> w(top_level + 1);
+  for (unsigned j = 0; j <= top_level; ++j) {
+    const Dist r = j >= 31 ? kInfDist / 4 : (Dist{1} << j);
+    w[j] = greedy_dominating_set(g, r);
+    for (Vertex v : w[j]) {
+      h.max_level_of_[v] = std::max(h.max_level_of_[v], j);
+    }
+  }
+
+  // N_i = ∪_{j >= i} W(2^j); with max_level_of computed, N_i is just the
+  // set of vertices whose max level is >= i.
+  h.levels_.resize(top_level + 1);
+  for (Vertex v = 0; v < n; ++v) {
+    for (unsigned i = 0; i <= h.max_level_of_[v]; ++i) {
+      h.levels_[i].push_back(v);
+    }
+  }
+  for (auto& lv : h.levels_) {
+    // Already in id order by construction, but keep the invariant explicit.
+    std::sort(lv.begin(), lv.end());
+  }
+
+  // Nearest net point per level via multi-source BFS.
+  h.nearest_.resize(top_level + 1);
+  h.nearest_dist_.resize(top_level + 1);
+  for (unsigned i = 0; i <= top_level; ++i) {
+    if (h.levels_[i].empty()) {
+      throw std::logic_error("net level empty — graph disconnected?");
+    }
+    multi_source_bfs(g, h.levels_[i], h.nearest_dist_[i], h.nearest_[i]);
+  }
+  return h;
+}
+
+}  // namespace fsdl

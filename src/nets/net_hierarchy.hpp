@@ -1,0 +1,61 @@
+// Hierarchy of nets N_0 ⊇ N_1 ⊇ … ⊇ N_top (paper §2.1, Fact 1, Lemma 2.2).
+//
+// Each W(2^j) is a greedy (2^j - 1)-dominating set whose members are
+// pairwise at distance >= 2^j; N_i = ∪_{j >= i} W(2^j). The hierarchy
+// satisfies:
+//   (1) N_i is a (2^i - 1)-dominating set of G,
+//   (2) N_{i} ⊆ N_{i-1},
+//   (packing) |B(v, R) ∩ N_i| <= 2 · (4R / 2^i)^α      (Lemma 2.2).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace fsdl {
+
+class NetHierarchy {
+ public:
+  /// Levels run 0..top_level inclusive.
+  unsigned top_level() const noexcept { return top_level_; }
+
+  /// Sorted vertex list of N_i.
+  const std::vector<Vertex>& level(unsigned i) const { return levels_.at(i); }
+
+  /// Largest i with v ∈ N_i (0 for every vertex since N_0 = V).
+  unsigned max_level_of(Vertex v) const { return max_level_of_[v]; }
+
+  bool in_level(Vertex v, unsigned i) const { return max_level_of_[v] >= i; }
+
+  /// M_i(v): the net point of N_i nearest to v (paper's net-point map).
+  Vertex nearest(unsigned i, Vertex v) const { return nearest_.at(i)[v]; }
+
+  /// d_G(v, M_i(v)); the construction guarantees this is < 2^i.
+  Dist nearest_dist(unsigned i, Vertex v) const { return nearest_dist_.at(i)[v]; }
+
+ private:
+  friend NetHierarchy build_net_hierarchy(const Graph& g, unsigned top_level);
+  friend class WeightedNetBuilder;  // weighted extension (nets/weighted_nets)
+
+  unsigned top_level_ = 0;
+  std::vector<std::vector<Vertex>> levels_;
+  std::vector<unsigned> max_level_of_;
+  std::vector<std::vector<Vertex>> nearest_;
+  std::vector<std::vector<Dist>> nearest_dist_;
+};
+
+/// Greedy r-dominating set W(r) of Fact 1: scan vertices in id order; select
+/// any vertex not yet covered and cover everything at distance < r.
+/// Members are pairwise >= r apart; for integral r >= 1 the set is
+/// (r-1)-dominating.
+std::vector<Vertex> greedy_dominating_set(const Graph& g, Dist r);
+
+/// Build the full hierarchy with levels 0..top_level.
+/// Requires a connected graph (nearest-net-point maps are total).
+NetHierarchy build_net_hierarchy(const Graph& g, unsigned top_level);
+
+/// Default top level: ⌈log₂ n⌉ as in the paper.
+unsigned default_top_level(Vertex n) noexcept;
+
+}  // namespace fsdl

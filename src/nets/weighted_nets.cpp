@@ -1,0 +1,64 @@
+#include "nets/weighted_nets.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/wsearch.hpp"
+
+namespace fsdl {
+
+class WeightedNetBuilder {
+ public:
+  static NetHierarchy build(const WeightedGraph& g, unsigned top_level) {
+    const Vertex n = g.num_vertices();
+    if (n == 0) throw std::invalid_argument("empty graph");
+
+    NetHierarchy h;
+    h.top_level_ = top_level;
+    h.max_level_of_.assign(n, 0);
+    for (unsigned j = 0; j <= top_level; ++j) {
+      const Dist r = j >= 31 ? kInfDist / 4 : (Dist{1} << j);
+      for (Vertex v : greedy_dominating_set(g, r)) {
+        h.max_level_of_[v] = std::max(h.max_level_of_[v], j);
+      }
+    }
+    h.levels_.resize(top_level + 1);
+    for (Vertex v = 0; v < n; ++v) {
+      for (unsigned i = 0; i <= h.max_level_of_[v]; ++i) {
+        h.levels_[i].push_back(v);
+      }
+    }
+    h.nearest_.resize(top_level + 1);
+    h.nearest_dist_.resize(top_level + 1);
+    for (unsigned i = 0; i <= top_level; ++i) {
+      if (h.levels_[i].empty()) {
+        throw std::logic_error("net level empty — graph disconnected?");
+      }
+      multi_source_dijkstra(g, h.levels_[i], h.nearest_dist_[i], h.nearest_[i]);
+    }
+    return h;
+  }
+};
+
+std::vector<Vertex> greedy_dominating_set(const WeightedGraph& g, Dist r) {
+  if (r == 0) throw std::invalid_argument("dominating set radius must be >= 1");
+  std::vector<Vertex> selected;
+  std::vector<char> covered(g.num_vertices(), 0);
+  DijkstraRunner dijkstra(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (covered[v]) continue;
+    selected.push_back(v);
+    // Cover everything at weighted distance < r (truncate at r, skip == r).
+    dijkstra.run(v, r, [&](Vertex u, Dist d) {
+      if (d < r) covered[u] = 1;
+    });
+  }
+  return selected;
+}
+
+NetHierarchy build_weighted_net_hierarchy(const WeightedGraph& g,
+                                          unsigned top_level) {
+  return WeightedNetBuilder::build(g, top_level);
+}
+
+}  // namespace fsdl

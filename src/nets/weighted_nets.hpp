@@ -1,0 +1,22 @@
+// Net hierarchy over the weighted shortest-path metric (library extension).
+//
+// Same structure as the unweighted hierarchy: W(2^j) greedy dominating sets
+// and N_i = ∪_{j>=i} W(2^j). For weighted graphs W(r) is r-dominating (not
+// (r-1)-dominating: distances are no longer integral multiples of 1 below
+// r), with members pairwise >= r apart — Fact 1's packing bound still
+// applies since it only uses the separation.
+#pragma once
+
+#include "graph/wgraph.hpp"
+#include "nets/net_hierarchy.hpp"
+
+namespace fsdl {
+
+/// Greedy r-dominating set over the weighted metric.
+std::vector<Vertex> greedy_dominating_set(const WeightedGraph& g, Dist r);
+
+/// Hierarchy with levels 0..top_level over the weighted metric.
+NetHierarchy build_weighted_net_hierarchy(const WeightedGraph& g,
+                                          unsigned top_level);
+
+}  // namespace fsdl

@@ -1,0 +1,43 @@
+// Per-vertex port tables: first hop on a shortest path toward each target
+// the vertex may be asked to route to (the net points appearing in its
+// label, per paper §2.2).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fsdl {
+
+class PortTable {
+ public:
+  explicit PortTable(Vertex num_vertices) : table_(num_vertices) {}
+
+  /// Record the next hop from u toward target; first writer wins (any
+  /// shortest-path first hop is equally valid).
+  void set(Vertex u, Vertex target, Vertex next_hop) {
+    table_[u].try_emplace(target, next_hop);
+  }
+
+  /// Next hop from u toward target, or kNoVertex if u stores no port for it.
+  Vertex port(Vertex u, Vertex target) const {
+    const auto& m = table_[u];
+    const auto it = m.find(target);
+    return it == m.end() ? kNoVertex : it->second;
+  }
+
+  std::size_t entries(Vertex u) const { return table_[u].size(); }
+
+  std::size_t total_entries() const {
+    std::size_t sum = 0;
+    for (const auto& m : table_) sum += m.size();
+    return sum;
+  }
+
+ private:
+  std::vector<std::unordered_map<Vertex, Vertex>> table_;
+};
+
+}  // namespace fsdl

@@ -1,0 +1,82 @@
+#include "routing/routing_scheme.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "graph/wsearch.hpp"
+#include "nets/net_hierarchy.hpp"
+#include "nets/weighted_nets.hpp"
+#include "util/bitstream.hpp"
+
+namespace fsdl {
+
+ForbiddenSetRouting ForbiddenSetRouting::build(
+    const Graph& g, const ForbiddenSetLabeling& scheme) {
+  ForbiddenSetRouting routing;
+  routing.scheme_ = &scheme;
+  routing.vertex_bits_ = scheme.vertex_bits();
+  Vertex max_degree = 1;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  routing.port_bits_ = bits_for(max_degree);
+  routing.ports_ = PortTable(g.num_vertices());
+
+  const SchemeParams& params = scheme.params();
+  const unsigned top = scheme.top_level();
+  const unsigned net_top = top - params.c - 1;
+  const NetHierarchy nets = build_net_hierarchy(g, net_top);
+
+  BfsRunner bfs(g);
+  for (unsigned i = params.min_level(); i <= top; ++i) {
+    const Dist radius = params.r(i);
+    for (Vertex x : nets.level(params.net_level(i))) {
+      bfs.run_with_parents(x, radius, [&](Vertex v, Dist, Vertex parent) {
+        if (parent != kNoVertex) routing.ports_.set(v, x, parent);
+      });
+    }
+  }
+  return routing;
+}
+
+ForbiddenSetRouting ForbiddenSetRouting::build(
+    const WeightedGraph& g, const ForbiddenSetLabeling& scheme) {
+  ForbiddenSetRouting routing;
+  routing.scheme_ = &scheme;
+  routing.vertex_bits_ = scheme.vertex_bits();
+  Vertex max_degree = 1;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, g.degree(v));
+  }
+  routing.port_bits_ = bits_for(max_degree);
+  routing.ports_ = PortTable(g.num_vertices());
+
+  const SchemeParams& params = scheme.params();
+  const unsigned top = scheme.top_level();
+  const NetHierarchy nets =
+      build_weighted_net_hierarchy(g, top - params.c - 1);
+
+  DijkstraRunner search(g);
+  for (unsigned i = params.min_level(); i <= top; ++i) {
+    const Dist radius = params.r(i);
+    for (Vertex x : nets.level(params.net_level(i))) {
+      search.run_with_parents(x, radius, [&](Vertex v, Dist, Vertex parent) {
+        if (parent != kNoVertex) routing.ports_.set(v, x, parent);
+      });
+    }
+  }
+  return routing;
+}
+
+std::size_t ForbiddenSetRouting::table_bits(Vertex u) const {
+  return scheme_->label_bits(u) +
+         ports_.entries(u) * (vertex_bits_ + port_bits_);
+}
+
+std::size_t ForbiddenSetRouting::total_table_bits() const {
+  std::size_t sum = 0;
+  for (Vertex v = 0; v < scheme_->num_vertices(); ++v) sum += table_bits(v);
+  return sum;
+}
+
+}  // namespace fsdl

@@ -1,0 +1,52 @@
+// Forbidden-set compact routing scheme (Theorem 2.7).
+//
+// On top of the distance labels, every vertex u stores, for each net point x
+// that can appear in a label ball containing u, the out-going port (first
+// hop) of a shortest u→x path. Given the labels of (s, t, F), the source
+// computes the sketch path — a sequence of certified virtual edges — and
+// puts its waypoints in the packet header; every intermediate vertex on the
+// shortest path realizing a virtual edge (x, y) holds a port toward y, so
+// greedy per-hop forwarding follows a shortest x→y path. Certified edges
+// keep λ_i clearance from every fault, hence every realized hop is fault
+// free and total stretch equals the labeling stretch.
+#pragma once
+
+#include <cstddef>
+
+#include "core/labeling.hpp"
+#include "graph/graph.hpp"
+#include "graph/wgraph.hpp"
+#include "routing/ports.hpp"
+
+namespace fsdl {
+
+class ForbiddenSetRouting {
+ public:
+  /// Build port tables by re-running the label construction's truncated BFS
+  /// sweeps with parent tracking. Every vertex v within r_i of net point x
+  /// (any level i) learns a shortest-path port toward x.
+  static ForbiddenSetRouting build(const Graph& g,
+                                   const ForbiddenSetLabeling& scheme);
+
+  /// Weighted extension: ports from truncated Dijkstra trees over the
+  /// weighted metric (pairs with build_weighted_labeling).
+  static ForbiddenSetRouting build(const WeightedGraph& g,
+                                   const ForbiddenSetLabeling& scheme);
+
+  Vertex port(Vertex u, Vertex target) const { return ports_.port(u, target); }
+
+  /// Routing-table size of u in bits: its distance label plus the port map
+  /// (target id + local port index per entry).
+  std::size_t table_bits(Vertex u) const;
+
+  std::size_t total_table_bits() const;
+  std::size_t port_entries(Vertex u) const { return ports_.entries(u); }
+
+ private:
+  const ForbiddenSetLabeling* scheme_ = nullptr;
+  PortTable ports_{0};
+  unsigned vertex_bits_ = 1;
+  unsigned port_bits_ = 1;
+};
+
+}  // namespace fsdl

@@ -1,0 +1,58 @@
+// Packet-forwarding simulator for the forbidden-set routing scheme.
+//
+// The source computes the sketch path (certified virtual edges) from the
+// labels of (s, t, F) and writes its waypoints into the packet header; each
+// router forwards greedily using its port table. Net-point waypoints are
+// always reachable by ports (every vertex on the realized shortest path
+// stores a port toward them). For *owner* waypoints (s, t, or a fault-edge
+// endpoint) that sit below their level's net, the header additionally
+// carries the owner's per-level nearest-net-point chain (extracted from its
+// own label); when a router lacks a direct port it descends through the
+// lowest reachable chain anchor. The paper's §2.2 asserts port coverage for
+// all of H's edges but only argues it for net-point endpoints; the chain
+// descent closes that gap (see DESIGN.md) at O(log n) extra header entries.
+//
+// The simulator walks the actual graph, refuses to traverse forbidden
+// vertices/edges (recording the event), and reports hops for stretch
+// accounting.
+#pragma once
+
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/graph.hpp"
+#include "graph/wgraph.hpp"
+#include "routing/routing_scheme.hpp"
+
+namespace fsdl {
+
+struct RouteResult {
+  bool delivered = false;
+  Dist hops = 0;
+  /// Weighted walk length (equals hops on unweighted graphs).
+  Dist length = 0;
+  /// Header size: waypoints plus owner chain anchors, ⌈log n⌉ bits each.
+  std::size_t header_bits = 0;
+  /// Forwarding wanted to cross a forbidden vertex/edge (route aborted).
+  bool blocked_by_fault = false;
+  /// No port and no usable chain anchor at some router (route aborted).
+  bool missing_port = false;
+  /// The full walk, s first (delivered ⇒ back() == t).
+  std::vector<Vertex> path;
+};
+
+/// Compute the route at s from labels (via `oracle`), then simulate hop-by-
+/// hop forwarding over g with the given fault set.
+RouteResult route_packet(const Graph& g, const ForbiddenSetRouting& routing,
+                         const ForbiddenSetOracle& oracle, Vertex s, Vertex t,
+                         const FaultSet& faults);
+
+/// Weighted extension: forwarding over a weighted graph (pairs with
+/// build_weighted_labeling + the weighted ForbiddenSetRouting::build).
+RouteResult route_packet(const WeightedGraph& g,
+                         const ForbiddenSetRouting& routing,
+                         const ForbiddenSetOracle& oracle, Vertex s, Vertex t,
+                         const FaultSet& faults);
+
+}  // namespace fsdl

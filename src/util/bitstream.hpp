@@ -1,0 +1,73 @@
+// Bit-granular serialization.
+//
+// Label length is the headline quantity of the paper (Lemma 2.5), so labels
+// are serialized to an actual bit stream and their size reported in bits,
+// rather than estimated from in-memory struct sizes.
+//
+// Encodings provided:
+//   - fixed-width unsigned fields,
+//   - Elias gamma (for small positive integers of unknown magnitude),
+//   - unsigned varint-style gamma for values that may be zero.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace fsdl {
+
+/// Append-only bit buffer.
+class BitWriter {
+ public:
+  /// Append the low `width` bits of `value` (LSB first). width in [0, 64].
+  void write_bits(std::uint64_t value, unsigned width);
+
+  /// Elias gamma code for value >= 1.
+  void write_gamma(std::uint64_t value);
+
+  /// Gamma code shifted to accept 0 (encodes value + 1).
+  void write_gamma0(std::uint64_t value) { write_gamma(value + 1); }
+
+  std::size_t bit_size() const noexcept { return bit_size_; }
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+  /// Drop slack capacity; call once a label is fully written.
+  void shrink_to_fit() { words_.shrink_to_fit(); }
+
+  /// Reconstitute a buffer from persisted words (scheme deserialization).
+  static BitWriter from_words(std::vector<std::uint64_t> words,
+                              std::size_t bit_size) {
+    BitWriter w;
+    w.words_ = std::move(words);
+    w.bit_size_ = bit_size;
+    return w;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  std::size_t bit_size_ = 0;
+};
+
+/// Sequential reader over a BitWriter's buffer.
+class BitReader {
+ public:
+  explicit BitReader(const BitWriter& writer) noexcept
+      : words_(&writer.words()), bit_size_(writer.bit_size()) {}
+
+  std::uint64_t read_bits(unsigned width);
+  std::uint64_t read_gamma();
+  std::uint64_t read_gamma0() { return read_gamma() - 1; }
+
+  std::size_t position() const noexcept { return pos_; }
+  bool exhausted() const noexcept { return pos_ >= bit_size_; }
+
+ private:
+  const std::vector<std::uint64_t>* words_;
+  std::size_t bit_size_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bits needed to store values in [0, n), at least 1.
+unsigned bits_for(std::uint64_t n) noexcept;
+
+}  // namespace fsdl

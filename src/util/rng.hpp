@@ -1,0 +1,90 @@
+// Small, fast, reproducible PRNG (xoshiro256**) plus convenience helpers.
+//
+// We avoid std::mt19937 for speed and to guarantee cross-platform
+// reproducibility of every experiment from a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace fsdl {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept {
+    // SplitMix64 seeding, as recommended by the xoshiro authors.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    // Lemire's nearly-divisionless method would be overkill; plain rejection
+    // sampling keeps the distribution exactly uniform.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Uniform vertex in [0, n).
+  Vertex vertex(Vertex n) noexcept { return static_cast<Vertex>(below(n)); }
+
+  /// k distinct values sampled uniformly from [0, n) (k <= n).
+  std::vector<Vertex> sample_distinct(Vertex n, std::size_t k) {
+    std::vector<Vertex> out;
+    out.reserve(k);
+    // Floyd's algorithm: O(k) expected, no O(n) scratch.
+    for (Vertex j = static_cast<Vertex>(n - k); j < n; ++j) {
+      Vertex t = vertex(j + 1);
+      bool seen = false;
+      for (Vertex v : out) {
+        if (v == t) {
+          seen = true;
+          break;
+        }
+      }
+      out.push_back(seen ? j : t);
+    }
+    return out;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace fsdl

@@ -1,0 +1,48 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace fsdl {
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() const {
+  if (samples_.empty()) throw std::logic_error("Summary::min on empty sample");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double Summary::max() const {
+  if (samples_.empty()) throw std::logic_error("Summary::max on empty sample");
+  ensure_sorted();
+  return samples_.back();
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) throw std::logic_error("Summary::mean on empty sample");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) {
+    throw std::logic_error("Summary::percentile on empty sample");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile must be in [0, 100]");
+  }
+  ensure_sorted();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples_.size())));
+  return samples_[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace fsdl

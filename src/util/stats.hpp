@@ -1,0 +1,32 @@
+// Summary statistics over a sample of doubles: min / max / mean / percentiles.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fsdl {
+
+/// Accumulates samples; computes order statistics on demand.
+class Summary {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// p in [0, 100]; nearest-rank percentile.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  // Sorted lazily; mutable so accessors stay logically const.
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+
+  void ensure_sorted() const;
+};
+
+}  // namespace fsdl

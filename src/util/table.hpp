@@ -1,0 +1,33 @@
+// Console table printer used by every bench binary so experiment output has
+// one consistent, paper-table-like format. Also emits CSV for post-processing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fsdl {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  Table& row();
+  Table& cell(const std::string& value);
+  Table& cell(long long value);
+  Table& cell(unsigned long long value);
+  Table& cell(double value, int precision = 3);
+
+  /// Render with aligned columns, a header rule, and a title line.
+  void print(std::ostream& os, const std::string& title) const;
+
+  /// Comma-separated form (header + rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fsdl

@@ -1,0 +1,21 @@
+// Fundamental scalar types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace fsdl {
+
+/// Vertex identifier. Graphs are laptop-scale, so 32 bits suffice.
+using Vertex = std::uint32_t;
+
+/// Unweighted hop distance (and sketch-graph path length).
+using Dist = std::uint32_t;
+
+/// Sentinel meaning "unreachable".
+inline constexpr Dist kInfDist = std::numeric_limits<Dist>::max();
+
+/// Sentinel vertex meaning "none".
+inline constexpr Vertex kNoVertex = std::numeric_limits<Vertex>::max();
+
+}  // namespace fsdl

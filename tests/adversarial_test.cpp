@@ -1,0 +1,181 @@
+// Adversarial scenarios engineered to stress the stretch and soundness
+// guarantees harder than uniform random sampling does: forced long detours,
+// fault rings, dense non-grid topologies, and degenerate fault sets.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/components.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+void check_contract(const Graph& g, const ForbiddenSetOracle& oracle,
+                    Vertex s, Vertex t, const FaultSet& f, double eps) {
+  const Dist exact = distance_avoiding(g, s, t, f);
+  const Dist approx = oracle.distance(s, t, f);
+  if (exact == kInfDist) {
+    ASSERT_EQ(approx, kInfDist);
+  } else {
+    ASSERT_GE(approx, exact);
+    ASSERT_NE(approx, kInfDist);
+    if (exact > 0) {
+      ASSERT_LE(static_cast<double>(approx), (1.0 + eps) * exact + 1e-9)
+          << "s=" << s << " t=" << t << " |F|=" << f.size();
+    }
+  }
+}
+
+TEST(Adversarial, SnakeMazeForcesMaximalDetours) {
+  // 11x11 grid with alternating wall rows leaving single gaps on
+  // alternating sides: the survivor graph is a serpentine corridor, the
+  // worst-case detour topology for a grid.
+  const Graph g = make_grid2d(11, 11);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  FaultSet maze;
+  for (Vertex r = 1; r < 11; r += 2) {
+    const bool gap_left = (r / 2) % 2 == 0;
+    for (Vertex c = 0; c < 11; ++c) {
+      if (gap_left && c == 0) continue;
+      if (!gap_left && c == 10) continue;
+      maze.add_vertex(r * 11 + c);
+    }
+  }
+  const Vertex s = 0, t = 10 * 11 + 10;
+  const Dist exact = distance_avoiding(g, s, t, maze);
+  ASSERT_NE(exact, kInfDist);
+  ASSERT_GE(exact, 50u);  // the corridor is long
+  check_contract(g, oracle, s, t, maze, 1.0);
+  // And a sample of interior corridor pairs.
+  Rng rng(1);
+  for (int k = 0; k < 30; ++k) {
+    const Vertex a = rng.vertex(g.num_vertices());
+    const Vertex b = rng.vertex(g.num_vertices());
+    if (maze.vertex_faulty(a) || maze.vertex_faulty(b)) continue;
+    check_contract(g, oracle, a, b, maze, 1.0);
+  }
+}
+
+TEST(Adversarial, FaultRingAroundSource) {
+  // Concentric ring of faults at L1-radius 3 around the center, with one
+  // gap: every escape must thread the gap.
+  const Graph g = make_grid2d(13, 13);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  const int cr = 6, cc = 6;
+  FaultSet ring;
+  for (int r = 0; r < 13; ++r) {
+    for (int c = 0; c < 13; ++c) {
+      if (std::abs(r - cr) + std::abs(c - cc) == 3 && !(r == cr + 3 && c == cc)) {
+        ring.add_vertex(static_cast<Vertex>(r * 13 + c));
+      }
+    }
+  }
+  const Vertex s = cr * 13 + cc;
+  for (Vertex t : {0u, 12u, 156u, 168u, 80u}) {
+    check_contract(g, oracle, s, t, ring, 1.0);
+  }
+  // Close the gap: the center is sealed off.
+  ring.add_vertex((cr + 3) * 13 + cc);
+  EXPECT_EQ(oracle.distance(s, 0, ring), kInfDist);
+  EXPECT_EQ(oracle.distance(s, s, ring), 0u);
+}
+
+TEST(Adversarial, CoarseEpsilonStillWithinItsBound) {
+  // ε = 3 (c = 2): the loosest faithful setting — the most likely to show
+  // real stretch, and the bound 1+ε = 4 must still hold everywhere.
+  Rng rng(7);
+  const Graph g =
+      largest_component_subgraph(make_unit_disk(200, 0.13, rng));
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(3.0));
+  const ForbiddenSetOracle oracle(scheme);
+  for (int k = 0; k < 150; ++k) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    FaultSet f;
+    for (unsigned j = 0; j < 4; ++j) {
+      const Vertex x = rng.vertex(g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    check_contract(g, oracle, s, t, f, 3.0);
+  }
+}
+
+TEST(Adversarial, DenseNonDoublingGraphKeepsGuarantee) {
+  // The (1+ε) guarantee of faithful parameters holds for EVERY graph —
+  // only the label size degrades with α. Dense ER is the stress case.
+  Rng rng(9);
+  Graph g = largest_component_subgraph(make_er(90, 0.15, rng));
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  for (int k = 0; k < 120; ++k) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    FaultSet f;
+    for (unsigned j = 0; j < 5; ++j) {
+      const Vertex x = rng.vertex(g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    check_contract(g, oracle, s, t, f, 1.0);
+  }
+}
+
+TEST(Adversarial, FaultSetContainingTheDirectEdge) {
+  // Forbid exactly the s-t edge: the answer must be the best alternative.
+  const Graph g = make_king_grid(8, 8);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  for (Vertex s = 0; s < g.num_vertices(); s += 11) {
+    for (Vertex t : g.neighbors(s)) {
+      FaultSet f;
+      f.add_edge(s, t);
+      const Dist exact = distance_avoiding(g, s, t, f);
+      const Dist approx = oracle.distance(s, t, f);
+      ASSERT_GE(approx, exact);
+      ASSERT_LE(static_cast<double>(approx), 2.0 * exact + 1e-9);
+      ASSERT_GE(approx, 2u);  // the direct edge must not be used
+    }
+  }
+}
+
+TEST(Adversarial, MassiveFaultSetLeavesOnlyOnePath) {
+  // Everything outside one row of the grid fails: |F| = n - width.
+  const Graph g = make_grid2d(8, 8);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  FaultSet f;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (v / 8 != 3) f.add_vertex(v);  // keep only row 3
+  }
+  EXPECT_EQ(oracle.distance(3 * 8 + 0, 3 * 8 + 7, f), 7u);
+  EXPECT_EQ(oracle.distance(3 * 8 + 2, 3 * 8 + 5, f), 3u);
+}
+
+TEST(Adversarial, RepeatedAndOverlappingFaults) {
+  const Graph g = make_cycle(48);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  FaultSet f;
+  f.add_vertex(10);
+  f.add_vertex(10);           // duplicate vertex
+  f.add_edge(10, 11);         // edge incident to a faulty vertex
+  f.add_edge(11, 10);         // same edge, flipped
+  f.add_edge(30, 31);         // plus an independent edge fault
+  const Dist exact = distance_avoiding(g, 0, 20, f);
+  const Dist approx = oracle.distance(0, 20, f);
+  if (exact == kInfDist) {
+    EXPECT_EQ(approx, kInfDist);
+  } else {
+    EXPECT_GE(approx, exact);
+    EXPECT_LE(static_cast<double>(approx), 2.0 * exact + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace fsdl

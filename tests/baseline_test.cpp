@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "baseline/apsp_oracle.hpp"
+#include "baseline/exact_oracle.hpp"
+#include "baseline/sensitivity_oracle.hpp"
+#include "graph/bfs.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(ApspOracle, MatchesBfsEverywhere) {
+  Rng rng(61);
+  const Graph g = make_er(70, 0.06, rng);
+  const ApspOracle apsp(g);
+  for (Vertex s = 0; s < g.num_vertices(); s += 5) {
+    const auto d = bfs_distances(g, s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      EXPECT_EQ(apsp.distance(s, t), d[t]);
+    }
+  }
+  EXPECT_EQ(apsp.size_bits(), 70u * 70 * sizeof(Dist) * 8);
+}
+
+TEST(ExactOracle, DelegatesToFaultAvoidingBfs) {
+  const Graph g = make_cycle(30);
+  const ExactOracle oracle(g);
+  FaultSet f;
+  f.add_vertex(2);
+  EXPECT_EQ(oracle.distance(0, 5, f), 25u);
+  EXPECT_GT(oracle.size_bits(), 0u);
+}
+
+TEST(SensitivityOracle, ExactOnAllTriplesOfSmallGraph) {
+  const Graph g = make_grid2d(5, 5);
+  const SensitivityOracle oracle(g);
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      for (Vertex f = 0; f < g.num_vertices(); ++f) {
+        if (f == s || f == t) continue;
+        FaultSet faults;
+        faults.add_vertex(f);
+        EXPECT_EQ(oracle.distance_avoiding_vertex(s, t, f),
+                  distance_avoiding(g, s, t, faults))
+            << "s=" << s << " t=" << t << " f=" << f;
+      }
+    }
+  }
+}
+
+TEST(SensitivityOracle, DetectsDisconnection) {
+  const Graph g = make_path(7);
+  const SensitivityOracle oracle(g);
+  EXPECT_EQ(oracle.distance_avoiding_vertex(0, 6, 3), kInfDist);
+  EXPECT_EQ(oracle.distance_avoiding_vertex(0, 2, 5), 2u);
+}
+
+TEST(SensitivityOracle, FallbackRateIsMeaningful) {
+  const Graph g = make_path(50);
+  const SensitivityOracle oracle(g);
+  // On a path, the fault lies on the unique s-t route iff it is between
+  // them, so both branches must be exercised.
+  oracle.distance_avoiding_vertex(0, 10, 5);   // fallback
+  oracle.distance_avoiding_vertex(0, 10, 20);  // tree path clean
+  EXPECT_GT(oracle.fallback_rate(), 0.0);
+  EXPECT_LT(oracle.fallback_rate(), 1.0);
+}
+
+TEST(SensitivityOracle, RejectsFaultOnEndpoint) {
+  const Graph g = make_path(5);
+  const SensitivityOracle oracle(g);
+  EXPECT_THROW(oracle.distance_avoiding_vertex(0, 3, 0), std::invalid_argument);
+}
+
+TEST(Baselines, AgreeWithEachOtherOnRandomQueries) {
+  Rng rng(62);
+  const Graph g = make_grid2d(8, 8);
+  const ApspOracle apsp(g);
+  const ExactOracle exact(g);
+  const SensitivityOracle sens(g);
+  const FaultSet none;
+  for (int k = 0; k < 200; ++k) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    EXPECT_EQ(apsp.distance(s, t), exact.distance(s, t, none));
+    Vertex f = rng.vertex(g.num_vertices());
+    if (f == s || f == t) continue;
+    FaultSet single;
+    single.add_vertex(f);
+    EXPECT_EQ(sens.distance_avoiding_vertex(s, t, f),
+              exact.distance(s, t, single));
+  }
+}
+
+}  // namespace
+}  // namespace fsdl

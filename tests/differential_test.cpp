@@ -1,0 +1,150 @@
+// Randomized differential testing across every distance-answering component
+// in the repository: on random graphs, random parameter presets, and random
+// fault sets, all implementations must agree with ground truth within their
+// advertised contracts. Deterministic seeds make failures reproducible.
+#include <gtest/gtest.h>
+
+#include "baseline/exact_oracle.hpp"
+#include "baseline/hub_labeling.hpp"
+#include "core/failure_free.hpp"
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "core/weighted.hpp"
+#include "graph/components.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "graph/wfault.hpp"
+#include "graph/wgraph.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+Graph random_connected_graph(Rng& rng) {
+  switch (rng.below(5)) {
+    case 0: {
+      // Random tree plus a few extra edges.
+      const Vertex n = 40 + rng.vertex(80);
+      GraphBuilder b(n);
+      for (Vertex v = 1; v < n; ++v) b.add_edge(v, rng.vertex(v));
+      for (unsigned k = 0; k < n / 8; ++k) {
+        const Vertex u = rng.vertex(n), v = rng.vertex(n);
+        if (u != v) b.add_edge(u, v);
+      }
+      return b.build();
+    }
+    case 1:
+      return make_grid2d(4 + rng.vertex(8), 4 + rng.vertex(8));
+    case 2:
+      return make_cycle(20 + rng.vertex(100));
+    case 3:
+      return largest_component_subgraph(
+          make_unit_disk(80 + rng.vertex(80), 0.15, rng));
+    default: {
+      Graph g = make_er(60 + rng.vertex(40), 0.08, rng);
+      return largest_component_subgraph(g);
+    }
+  }
+}
+
+SchemeParams random_params(Rng& rng) {
+  switch (rng.below(4)) {
+    case 0: return SchemeParams::faithful(1.0);
+    case 1: return SchemeParams::faithful(2.0 + rng.uniform() * 3);
+    case 2: return SchemeParams::compact(1.0, 2);
+    default: return SchemeParams::compact(1.0, 3);
+  }
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DifferentialFuzz, AllSchemesHonorTheirContracts) {
+  Rng rng(GetParam());
+  const Graph g = random_connected_graph(rng);
+  if (g.num_vertices() < 5) GTEST_SKIP();
+
+  const SchemeParams params = random_params(rng);
+  const auto scheme = ForbiddenSetLabeling::build(g, params);
+  const ForbiddenSetOracle oracle(scheme);
+  const ExactOracle exact(g);
+  const HubLabeling hubs = HubLabeling::build(g);
+  const auto ff = FailureFreeLabeling::build(g, 1.0);
+
+  const bool guaranteed = params.faithful_radii;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    FaultSet f;
+    for (unsigned k = rng.below(4); k > 0; --k) {
+      if (rng.chance(0.35)) {
+        const Vertex a = rng.vertex(g.num_vertices());
+        const auto nb = g.neighbors(a);
+        if (!nb.empty()) f.add_edge(a, nb[rng.below(nb.size())]);
+      } else {
+        const Vertex x = rng.vertex(g.num_vertices());
+        if (x != s && x != t) f.add_vertex(x);
+      }
+    }
+
+    const Dist truth = exact.distance(s, t, f);
+    const Dist ours = oracle.distance(s, t, f);
+    if (truth == kInfDist) {
+      ASSERT_EQ(ours, kInfDist) << "finite answer on disconnected pair";
+    } else {
+      ASSERT_GE(ours, truth);
+      if (guaranteed) {
+        ASSERT_NE(ours, kInfDist);
+        ASSERT_LE(static_cast<double>(ours),
+                  (1.0 + params.epsilon) * truth + 1e-9);
+      }
+    }
+
+    // Failure-free components agree on the fault-free metric.
+    const Dist truth0 = exact.distance(s, t, FaultSet{});
+    ASSERT_EQ(hubs.distance(s, t), truth0);
+    const Dist ff_d = ff.distance(s, t);
+    ASSERT_GE(ff_d, truth0);
+    if (truth0 != kInfDist) {
+      ASSERT_LE(static_cast<double>(ff_d), 2.0 * truth0 + 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzz,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+class WeightedDifferentialFuzz
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WeightedDifferentialFuzz, WeightedSchemeStaysSound) {
+  Rng rng(GetParam() * 1001);
+  Graph base = random_connected_graph(rng);
+  if (base.num_vertices() < 5) GTEST_SKIP();
+  const WeightedGraph g =
+      weighted_from(base, 1 + static_cast<Weight>(rng.below(8)), rng);
+  const auto scheme = build_weighted_labeling(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    FaultSet f;
+    for (unsigned k = rng.below(3); k > 0; --k) {
+      const Vertex x = rng.vertex(g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    const Dist truth = weighted_distance_avoiding(g, s, t, f);
+    const Dist ours = oracle.distance(s, t, f);
+    if (truth == kInfDist) {
+      ASSERT_EQ(ours, kInfDist);
+    } else {
+      ASSERT_GE(ours, truth);
+      ASSERT_NE(ours, kInfDist) << "missed connected weighted pair";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WeightedDifferentialFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "graph/dijkstra.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(SketchGraph, InternIsIdempotent) {
+  SketchGraph h;
+  const auto a = h.intern(100);
+  const auto b = h.intern(200);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(h.intern(100), a);
+  EXPECT_EQ(h.num_vertices(), 2u);
+  EXPECT_EQ(h.external_id(a), 100u);
+  EXPECT_EQ(h.find(200), b);
+  EXPECT_EQ(h.find(300), SketchGraph::kNoIndex);
+}
+
+TEST(SketchShortestPath, SimpleChain) {
+  SketchGraph h;
+  const auto a = h.intern(0), b = h.intern(1), c = h.intern(2);
+  h.add_edge(a, b, 4);
+  h.add_edge(b, c, 5);
+  std::vector<SketchGraph::Index> path;
+  EXPECT_EQ(sketch_shortest_path(h, a, c, &path), 9u);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path.front(), a);
+  EXPECT_EQ(path.back(), c);
+}
+
+TEST(SketchShortestPath, PrefersCheaperRoute) {
+  SketchGraph h;
+  const auto a = h.intern(0), b = h.intern(1), c = h.intern(2);
+  h.add_edge(a, c, 10);
+  h.add_edge(a, b, 3);
+  h.add_edge(b, c, 3);
+  EXPECT_EQ(sketch_shortest_path(h, a, c), 6u);
+}
+
+TEST(SketchShortestPath, ParallelEdgesTakeMinimum) {
+  SketchGraph h;
+  const auto a = h.intern(0), b = h.intern(1);
+  h.add_edge(a, b, 7);
+  h.add_edge(a, b, 3);
+  EXPECT_EQ(sketch_shortest_path(h, a, b), 3u);
+}
+
+TEST(SketchShortestPath, DisconnectedIsInf) {
+  SketchGraph h;
+  const auto a = h.intern(0);
+  const auto b = h.intern(1);
+  EXPECT_EQ(sketch_shortest_path(h, a, b), kInfDist);
+}
+
+TEST(SketchShortestPath, SourceEqualsTarget) {
+  SketchGraph h;
+  const auto a = h.intern(5);
+  std::vector<SketchGraph::Index> path;
+  EXPECT_EQ(sketch_shortest_path(h, a, a, &path), 0u);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], a);
+}
+
+// Property check against Bellman-Ford on random sketch graphs.
+TEST(SketchShortestPath, MatchesBellmanFordOnRandomGraphs) {
+  Rng rng(33);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = 2 + rng.below(20);
+    SketchGraph h;
+    for (Vertex v = 0; v < n; ++v) h.intern(v);
+    std::vector<std::tuple<std::size_t, std::size_t, Dist>> edges;
+    const std::size_t m = rng.below(3 * n);
+    for (std::size_t e = 0; e < m; ++e) {
+      const auto a = static_cast<SketchGraph::Index>(rng.below(n));
+      const auto b = static_cast<SketchGraph::Index>(rng.below(n));
+      if (a == b) continue;
+      const Dist w = 1 + static_cast<Dist>(rng.below(50));
+      h.add_edge(a, b, w);
+      edges.emplace_back(a, b, w);
+    }
+    // Bellman-Ford from vertex 0.
+    std::vector<std::uint64_t> bf(n, ~0ULL);
+    bf[0] = 0;
+    for (std::size_t round = 0; round < n; ++round) {
+      for (const auto& [a, b, w] : edges) {
+        if (bf[a] != ~0ULL && bf[a] + w < bf[b]) bf[b] = bf[a] + w;
+        if (bf[b] != ~0ULL && bf[b] + w < bf[a]) bf[a] = bf[b] + w;
+      }
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      const Dist d = sketch_shortest_path(h, 0, static_cast<SketchGraph::Index>(t));
+      if (bf[t] == ~0ULL) {
+        EXPECT_EQ(d, kInfDist);
+      } else {
+        EXPECT_EQ(static_cast<std::uint64_t>(d), bf[t]);
+      }
+    }
+  }
+}
+
+TEST(SketchShortestPath, PathEdgesExistWithMatchingWeights) {
+  Rng rng(34);
+  SketchGraph h;
+  for (Vertex v = 0; v < 15; ++v) h.intern(v);
+  for (int e = 0; e < 40; ++e) {
+    const auto a = static_cast<SketchGraph::Index>(rng.below(15));
+    const auto b = static_cast<SketchGraph::Index>(rng.below(15));
+    if (a != b) h.add_edge(a, b, 1 + static_cast<Dist>(rng.below(9)));
+  }
+  std::vector<SketchGraph::Index> path;
+  const Dist d = sketch_shortest_path(h, 0, 14, &path);
+  if (d == kInfDist) return;
+  std::uint64_t sum = 0;
+  for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+    Dist best = kInfDist;
+    for (const auto& arc : h.arcs(path[k])) {
+      if (arc.to == path[k + 1]) best = std::min(best, arc.weight);
+    }
+    ASSERT_NE(best, kInfDist) << "path uses nonexistent edge";
+    sum += best;
+  }
+  EXPECT_EQ(sum, d);
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "metric/doubling.hpp"
+#include "metric/exact_doubling.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(MinBallCover, PathIntervals) {
+  const Graph g = make_path(30);
+  // B(15, 2r) is an interval of 4r+1 vertices; two r-balls cover it.
+  for (Dist r : {1u, 2u, 3u}) {
+    EXPECT_EQ(min_ball_cover(g, 15, r), 2u) << "r=" << r;
+  }
+  // At the boundary the interval is one-sided and a single ball suffices.
+  EXPECT_EQ(min_ball_cover(g, 0, 1), 1u);
+}
+
+TEST(MinBallCover, SingletonWhenRadiusCoversEverything) {
+  const Graph g = make_cycle(8);
+  EXPECT_EQ(min_ball_cover(g, 0, 4), 1u);  // one 4-ball is the whole cycle
+}
+
+TEST(ExactDoubling, PathIsDimensionOne) {
+  const auto d = exact_doubling_dimension(make_path(24));
+  EXPECT_EQ(d.worst_cover, 2u);
+  EXPECT_DOUBLE_EQ(d.alpha, 1.0);
+}
+
+TEST(ExactDoubling, CycleIsDimensionOne) {
+  const auto d = exact_doubling_dimension(make_cycle(20));
+  EXPECT_LE(d.worst_cover, 3u);  // wraparound can force a third ball
+  EXPECT_LE(d.alpha, 1.6);
+}
+
+TEST(ExactDoubling, GridIsAboutTwo) {
+  const auto d = exact_doubling_dimension(make_grid2d(5, 5));
+  EXPECT_GE(d.alpha, 1.5);
+  EXPECT_LE(d.alpha, 3.0);  // 2^3 = 8 balls, above the asymptotic 2^2
+}
+
+TEST(ExactDoubling, LowerBoundFamilyRespectsAlphaBound) {
+  // Theorem 3.1: every member of F_{n,α} (subgraph of G_{p,d} containing
+  // H_{p,d}) has doubling dimension <= α = 2d.
+  Rng rng(5);
+  for (int k = 0; k < 3; ++k) {
+    const Graph g = make_between_grid(3, 2, 0.5, rng);
+    const auto d = exact_doubling_dimension(g);
+    EXPECT_LE(d.alpha, 4.0 + 1e-9) << "family member exceeded alpha = 2d";
+  }
+}
+
+TEST(ExactDoubling, EstimatorUpperBoundsExact) {
+  // The greedy sampling estimator over-counts (it is a packing, not an
+  // optimal cover), so estimate + slack >= exact must hold.
+  Rng rng(6);
+  for (const Graph& g :
+       {make_path(24), make_cycle(16), make_grid2d(4, 5),
+        make_balanced_tree(2, 3)}) {
+    const auto exact = exact_doubling_dimension(g);
+    const auto est = estimate_doubling_dimension(g, 60, rng);
+    EXPECT_GE(est.alpha + 1.0, exact.alpha);
+  }
+}
+
+TEST(ExactDoubling, StarIsLowDimensional) {
+  // With arbitrary cover centers, one hub-centered 1-ball covers any
+  // B(v, 2) of a star — high degree alone does not raise the doubling
+  // dimension (unlike the packing-based estimate).
+  const auto star = exact_doubling_dimension(make_caterpillar(1, 16));
+  EXPECT_LE(star.worst_cover, 2u);
+}
+
+TEST(ExactDoubling, DimensionGrowsFrom2DTo3D) {
+  const auto plane = exact_doubling_dimension(make_grid2d(5, 5));
+  const auto cube = exact_doubling_dimension(make_grid3d(3, 3, 3));
+  EXPECT_GT(cube.worst_cover, plane.worst_cover);
+}
+
+TEST(ExactDoubling, RejectsDisconnected) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  EXPECT_THROW(exact_doubling_dimension(b.build()), std::invalid_argument);
+}
+
+TEST(MinBallCover, RejectsOversizedBall) {
+  const Graph g = make_grid2d(12, 12);
+  EXPECT_THROW(min_ball_cover(g, 70, 6), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsdl

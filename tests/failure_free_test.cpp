@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baseline/apsp_oracle.hpp"
+#include "core/failure_free.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+Graph family_graph(const std::string& name) {
+  Rng rng(123);
+  if (name == "path") return make_path(150);
+  if (name == "cycle") return make_cycle(120);
+  if (name == "grid") return make_grid2d(11, 11);
+  if (name == "tree") return make_balanced_tree(2, 6);
+  if (name == "torus") return make_torus2d(8, 8);
+  if (name == "disk") {
+    return largest_component_subgraph(make_unit_disk(200, 0.12, rng));
+  }
+  throw std::invalid_argument("unknown family " + name);
+}
+
+// Sweep families × ε and check the two-sided warm-up guarantee
+// d <= δ <= (1+ε)·d over every vertex pair (Theorem-2.1 warm-up claim).
+class FailureFreeSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(FailureFreeSweep, StretchBoundOnAllPairs) {
+  const auto& [family, eps] = GetParam();
+  const Graph g = family_graph(family);
+  const auto scheme = FailureFreeLabeling::build(g, eps);
+  const ApspOracle exact(g);
+  double worst = 1.0;
+  for (Vertex s = 0; s < g.num_vertices(); ++s) {
+    const FFLabel ls = scheme.label(s);
+    for (Vertex t = s; t < g.num_vertices(); t += 3) {  // stride for speed
+      const FFLabel lt = scheme.label(t);
+      const Dist d = exact.distance(s, t);
+      const Dist est = FailureFreeLabeling::decode_distance(ls, lt);
+      ASSERT_GE(est, d) << family << " s=" << s << " t=" << t;
+      ASSERT_NE(est, kInfDist) << "no estimate on connected pair";
+      if (d > 0) {
+        const double stretch = static_cast<double>(est) / d;
+        ASSERT_LE(stretch, 1.0 + eps + 1e-9)
+            << family << " eps=" << eps << " s=" << s << " t=" << t;
+        worst = std::max(worst, stretch);
+      } else {
+        ASSERT_EQ(est, 0u);
+      }
+    }
+  }
+  RecordProperty("worst_stretch", std::to_string(worst));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesEps, FailureFreeSweep,
+    ::testing::Combine(::testing::Values("path", "cycle", "grid", "tree",
+                                         "torus", "disk"),
+                       ::testing::Values(2.0, 1.0, 0.5)));
+
+TEST(FailureFree, LabelBitsGrowWithPrecision) {
+  const Graph g = make_grid2d(10, 10);
+  const auto coarse = FailureFreeLabeling::build(g, 2.0);
+  const auto fine = FailureFreeLabeling::build(g, 0.5);
+  EXPECT_LT(coarse.max_label_bits(), fine.max_label_bits());
+}
+
+TEST(FailureFree, SameVertexIsZero) {
+  const Graph g = make_path(40);
+  const auto scheme = FailureFreeLabeling::build(g, 1.0);
+  for (Vertex v = 0; v < 40; v += 5) {
+    EXPECT_EQ(scheme.distance(v, v), 0u);
+  }
+}
+
+TEST(FailureFree, AdjacentVerticesExact) {
+  // Distance-1 pairs must be answered exactly (stretch 1+ε with ε < 1
+  // forces the exact answer on integral distances d = 1).
+  const Graph g = make_grid2d(9, 9);
+  const auto scheme = FailureFreeLabeling::build(g, 0.5);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex w : g.neighbors(v)) {
+      EXPECT_EQ(scheme.distance(v, w), 1u);
+    }
+  }
+}
+
+TEST(FailureFree, DecoderIsSymmetricEnough) {
+  // The estimate from (s,t) and (t,s) may differ per the paper's asymmetric
+  // rule, but both must satisfy the stretch bound; our min-based decoder is
+  // in fact symmetric.
+  const Graph g = make_cycle(60);
+  const auto scheme = FailureFreeLabeling::build(g, 1.0);
+  Rng rng(5);
+  for (int k = 0; k < 100; ++k) {
+    const Vertex s = rng.vertex(60), t = rng.vertex(60);
+    EXPECT_EQ(scheme.distance(s, t), scheme.distance(t, s));
+  }
+}
+
+TEST(FailureFree, UncappedLevelsAlsoCorrect) {
+  const Graph g = make_path(100);
+  const auto scheme = FailureFreeLabeling::build(g, 1.0,
+                                                 /*cap_levels_at_diameter=*/false);
+  const ApspOracle exact(g);
+  for (Vertex t = 0; t < 100; t += 7) {
+    const Dist est = scheme.distance(0, t);
+    EXPECT_GE(est, exact.distance(0, t));
+    EXPECT_LE(est, 2 * exact.distance(0, t));
+  }
+}
+
+TEST(FailureFree, BitAccountingConsistent) {
+  const Graph g = make_grid2d(8, 8);
+  const auto scheme = FailureFreeLabeling::build(g, 1.0);
+  std::size_t total = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) total += scheme.label_bits(v);
+  EXPECT_EQ(total, scheme.total_bits());
+  EXPECT_GE(scheme.max_label_bits(), total / g.num_vertices());
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(FaultSet, VertexMembershipAndDedup) {
+  FaultSet f;
+  f.add_vertex(3);
+  f.add_vertex(3);
+  f.add_vertex(5);
+  EXPECT_EQ(f.size(), 2u);
+  EXPECT_TRUE(f.vertex_faulty(3));
+  EXPECT_FALSE(f.vertex_faulty(4));
+}
+
+TEST(FaultSet, EdgeMembershipIsUndirected) {
+  FaultSet f;
+  f.add_edge(7, 2);
+  EXPECT_TRUE(f.edge_faulty(2, 7));
+  EXPECT_TRUE(f.edge_faulty(7, 2));
+  EXPECT_FALSE(f.edge_faulty(2, 8));
+  f.add_edge(2, 7);  // duplicate in other orientation
+  EXPECT_EQ(f.size(), 1u);
+}
+
+TEST(FaultSet, RemoveRestoresState) {
+  FaultSet f;
+  f.add_vertex(1);
+  f.add_edge(2, 3);
+  f.remove_vertex(1);
+  f.remove_edge(3, 2);
+  EXPECT_TRUE(f.empty());
+  f.remove_vertex(99);  // removing absent elements is a no-op
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FaultSet, RejectsSelfLoopEdge) {
+  FaultSet f;
+  EXPECT_THROW(f.add_edge(4, 4), std::invalid_argument);
+}
+
+TEST(DistanceAvoiding, VertexFaultForcesDetour) {
+  Graph g = make_cycle(10);  // two ways around
+  FaultSet f;
+  EXPECT_EQ(distance_avoiding(g, 0, 3, f), 3u);
+  f.add_vertex(1);  // clockwise route blocked
+  EXPECT_EQ(distance_avoiding(g, 0, 3, f), 7u);
+}
+
+TEST(DistanceAvoiding, EdgeFaultForcesDetour) {
+  Graph g = make_cycle(10);
+  FaultSet f;
+  f.add_edge(1, 2);
+  EXPECT_EQ(distance_avoiding(g, 0, 3, f), 7u);
+}
+
+TEST(DistanceAvoiding, FaultyEndpointsUnreachable) {
+  Graph g = make_path(5);
+  FaultSet f;
+  f.add_vertex(0);
+  EXPECT_EQ(distance_avoiding(g, 0, 4, f), kInfDist);
+  FaultSet f2;
+  f2.add_vertex(4);
+  EXPECT_EQ(distance_avoiding(g, 0, 4, f2), kInfDist);
+}
+
+TEST(DistanceAvoiding, DisconnectionDetected) {
+  Graph g = make_path(5);
+  FaultSet f;
+  f.add_vertex(2);
+  EXPECT_EQ(distance_avoiding(g, 0, 4, f), kInfDist);
+  EXPECT_EQ(distance_avoiding(g, 0, 1, f), 1u);
+}
+
+TEST(DistanceAvoiding, SameVertexIsZeroEvenWithFaultsElsewhere) {
+  Graph g = make_path(5);
+  FaultSet f;
+  f.add_vertex(2);
+  EXPECT_EQ(distance_avoiding(g, 1, 1, f), 0u);
+}
+
+TEST(BfsAvoiding, FullDistanceVectorMatchesPointQueries) {
+  Rng rng(20);
+  Graph g = make_grid2d(8, 8);
+  FaultSet f;
+  f.add_vertex(27);
+  f.add_vertex(36);
+  f.add_edge(0, 1);
+  const auto dist = bfs_distances_avoiding(g, 0, f);
+  for (Vertex t = 0; t < g.num_vertices(); ++t) {
+    EXPECT_EQ(dist[t], distance_avoiding(g, 0, t, f)) << "t=" << t;
+  }
+}
+
+TEST(ShortestPathAvoiding, PathIsValidAndOptimal) {
+  Rng rng(21);
+  Graph g = make_grid2d(7, 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Vertex s = rng.vertex(g.num_vertices());
+    Vertex t = rng.vertex(g.num_vertices());
+    FaultSet f;
+    for (unsigned k = 0; k < 3; ++k) {
+      Vertex x = rng.vertex(g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    const auto path = shortest_path_avoiding(g, s, t, f);
+    const Dist d = distance_avoiding(g, s, t, f);
+    if (d == kInfDist) {
+      EXPECT_TRUE(path.empty());
+      continue;
+    }
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    EXPECT_EQ(path.size(), static_cast<std::size_t>(d) + 1);
+    for (std::size_t k = 0; k + 1 < path.size(); ++k) {
+      EXPECT_TRUE(g.has_edge(path[k], path[k + 1]));
+      EXPECT_FALSE(f.edge_faulty(path[k], path[k + 1]));
+    }
+    for (Vertex v : path) EXPECT_FALSE(f.vertex_faulty(v));
+  }
+}
+
+TEST(DistanceAvoiding, MixedFaultsOnGrid) {
+  Graph g = make_grid2d(5, 5);
+  // Wall of vertex faults through column 2 except one gap at row 4,
+  // then close the gap with an edge fault.
+  FaultSet f;
+  for (Vertex r = 0; r < 4; ++r) f.add_vertex(r * 5 + 2);
+  EXPECT_EQ(distance_avoiding(g, 0, 4, f), 12u);  // down, across the gap, up
+  f.add_edge(4 * 5 + 1, 4 * 5 + 2);
+  EXPECT_EQ(distance_avoiding(g, 0, 4, f), kInfDist);
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/components.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+Graph family_graph(const std::string& name) {
+  Rng rng(321);
+  if (name == "path") return make_path(220);
+  if (name == "cycle") return make_cycle(180);
+  if (name == "grid") return make_grid2d(13, 13);
+  if (name == "tree") return make_balanced_tree(2, 6);
+  if (name == "king") return make_king_grid(10, 10);
+  if (name == "disk") {
+    return largest_component_subgraph(make_unit_disk(180, 0.12, rng));
+  }
+  throw std::invalid_argument("unknown family " + name);
+}
+
+enum class FaultKind { kVertices, kEdges, kMixed };
+
+FaultSet random_faults(const Graph& g, Rng& rng, Vertex s, Vertex t,
+                       unsigned count, FaultKind kind) {
+  FaultSet f;
+  for (unsigned k = 0; k < count; ++k) {
+    const bool edge = kind == FaultKind::kEdges ||
+                      (kind == FaultKind::kMixed && rng.chance(0.5));
+    if (edge) {
+      const Vertex a = rng.vertex(g.num_vertices());
+      const auto nb = g.neighbors(a);
+      if (!nb.empty()) f.add_edge(a, nb[rng.below(nb.size())]);
+    } else {
+      const Vertex x = rng.vertex(g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+  }
+  return f;
+}
+
+/// Checks the full contract of one query against ground truth:
+/// soundness, (optional) stretch bound, disconnection detection, and
+/// Lemma 2.3 safety of every sketch edge on the returned path.
+void check_query(const Graph& g, const ForbiddenSetOracle& oracle, Vertex s,
+                 Vertex t, const FaultSet& f, double eps,
+                 bool expect_stretch_bound) {
+  const Dist exact = distance_avoiding(g, s, t, f);
+  const QueryResult qr = oracle.query(s, t, f);
+
+  if (exact == kInfDist) {
+    ASSERT_EQ(qr.distance, kInfDist)
+        << "reported finite distance on a disconnected pair";
+    return;
+  }
+  ASSERT_GE(qr.distance, exact) << "soundness violated (s=" << s
+                                << " t=" << t << " |F|=" << f.size() << ")";
+  if (expect_stretch_bound) {
+    ASSERT_NE(qr.distance, kInfDist)
+        << "missed a connected pair s=" << s << " t=" << t;
+    if (exact > 0) {
+      ASSERT_LE(static_cast<double>(qr.distance),
+                (1.0 + eps) * exact + 1e-9)
+          << "stretch bound violated s=" << s << " t=" << t;
+    }
+  }
+  if (qr.distance == kInfDist) return;
+
+  // Lemma 2.3 safety, re-verified against G\F: the waypoints realize the
+  // reported distance with fault-free subpaths.
+  ASSERT_GE(qr.waypoints.size(), 1u);
+  ASSERT_EQ(qr.waypoints.front(), s);
+  ASSERT_EQ(qr.waypoints.back(), t);
+  Dist total = 0;
+  for (std::size_t k = 0; k + 1 < qr.waypoints.size(); ++k) {
+    const Dist leg =
+        distance_avoiding(g, qr.waypoints[k], qr.waypoints[k + 1], f);
+    ASSERT_NE(leg, kInfDist) << "sketch edge not realizable in G\\F";
+    total += leg;
+  }
+  ASSERT_LE(total, qr.distance) << "waypoint legs exceed reported distance";
+  for (Vertex w : qr.waypoints) {
+    ASSERT_FALSE(f.vertex_faulty(w)) << "waypoint is a forbidden vertex";
+  }
+}
+
+class ForbiddenSetSweep
+    : public ::testing::TestWithParam<
+          std::tuple<const char*, double, FaultKind>> {};
+
+TEST_P(ForbiddenSetSweep, FaithfulContractHolds) {
+  const auto& [family, eps, kind] = GetParam();
+  const Graph g = family_graph(family);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(eps));
+  const ForbiddenSetOracle oracle(scheme);
+  Rng rng(777);
+  for (int trial = 0; trial < 120; ++trial) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    const FaultSet f =
+        random_faults(g, rng, s, t, static_cast<unsigned>(rng.below(6)), kind);
+    check_query(g, oracle, s, t, f, eps, /*expect_stretch_bound=*/true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesEpsTimesFaults, ForbiddenSetSweep,
+    ::testing::Combine(::testing::Values("path", "cycle", "grid", "tree",
+                                         "king", "disk"),
+                       ::testing::Values(1.0, 3.0),
+                       ::testing::Values(FaultKind::kVertices,
+                                         FaultKind::kEdges,
+                                         FaultKind::kMixed)));
+
+// Compact parameters void the worst-case stretch proof but must stay sound.
+class CompactSoundnessSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, FaultKind>> {};
+
+TEST_P(CompactSoundnessSweep, SoundnessAndSafetyHold) {
+  const auto& [family, kind] = GetParam();
+  const Graph g = family_graph(family);
+  const auto scheme =
+      ForbiddenSetLabeling::build(g, SchemeParams::compact(1.0, 2));
+  const ForbiddenSetOracle oracle(scheme);
+  Rng rng(888);
+  for (int trial = 0; trial < 120; ++trial) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    const FaultSet f =
+        random_faults(g, rng, s, t, static_cast<unsigned>(rng.below(6)), kind);
+    check_query(g, oracle, s, t, f, 1.0, /*expect_stretch_bound=*/false);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesFaults, CompactSoundnessSweep,
+    ::testing::Combine(::testing::Values("path", "grid", "disk"),
+                       ::testing::Values(FaultKind::kVertices,
+                                         FaultKind::kMixed)));
+
+class TargetedCases : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = make_cycle(64);
+    scheme_ = std::make_unique<ForbiddenSetLabeling>(
+        ForbiddenSetLabeling::build(g_, SchemeParams::faithful(1.0)));
+    oracle_ = std::make_unique<ForbiddenSetOracle>(*scheme_);
+  }
+  Graph g_;
+  std::unique_ptr<ForbiddenSetLabeling> scheme_;
+  std::unique_ptr<ForbiddenSetOracle> oracle_;
+};
+
+TEST_F(TargetedCases, FaultForcesLongWayAroundCycle) {
+  FaultSet f;
+  f.add_vertex(2);
+  const Dist exact = distance_avoiding(g_, 0, 5, f);  // 59 the long way
+  ASSERT_EQ(exact, 59u);
+  const Dist approx = oracle_->distance(0, 5, f);
+  EXPECT_GE(approx, exact);
+  EXPECT_LE(approx, 2 * exact);
+}
+
+TEST_F(TargetedCases, TwoFaultsDisconnectCycle) {
+  FaultSet f;
+  f.add_vertex(2);
+  f.add_vertex(60);
+  EXPECT_EQ(oracle_->distance(0, 30, f), kInfDist);
+}
+
+TEST_F(TargetedCases, FaultySourceOrTargetIsUnreachable) {
+  FaultSet f;
+  f.add_vertex(0);
+  EXPECT_EQ(oracle_->distance(0, 5, f), kInfDist);
+  EXPECT_EQ(oracle_->distance(5, 0, f), kInfDist);
+}
+
+TEST_F(TargetedCases, SameVertexWithNearbyFaults) {
+  FaultSet f;
+  f.add_vertex(1);
+  f.add_vertex(63);
+  EXPECT_EQ(oracle_->distance(0, 0, f), 0u);
+}
+
+TEST_F(TargetedCases, FaultAdjacentToBothEndpoints) {
+  FaultSet f;
+  f.add_vertex(1);  // on the short route 0→3
+  const Dist exact = distance_avoiding(g_, 0, 3, f);
+  ASSERT_EQ(exact, 61u);
+  const Dist approx = oracle_->distance(0, 3, f);
+  EXPECT_GE(approx, exact);
+  EXPECT_LE(approx, 2 * exact);
+}
+
+TEST_F(TargetedCases, EdgeFaultDetour) {
+  FaultSet f;
+  f.add_edge(3, 4);
+  const Dist exact = distance_avoiding(g_, 0, 10, f);
+  ASSERT_EQ(exact, 54u);
+  const Dist approx = oracle_->distance(0, 10, f);
+  EXPECT_GE(approx, exact);
+  EXPECT_LE(approx, 2 * exact);
+}
+
+TEST_F(TargetedCases, QueryIsDeterministic) {
+  FaultSet f;
+  f.add_vertex(7);
+  f.add_edge(40, 41);
+  const QueryResult a = oracle_->query(3, 50, f);
+  const QueryResult b = oracle_->query(3, 50, f);
+  EXPECT_EQ(a.distance, b.distance);
+  EXPECT_EQ(a.waypoints, b.waypoints);
+}
+
+TEST_F(TargetedCases, AdjacentPairExactEvenNearFaults) {
+  FaultSet f;
+  f.add_vertex(2);
+  EXPECT_EQ(oracle_->distance(0, 1, f), 1u);
+  EXPECT_EQ(oracle_->distance(3, 4, f), 1u);
+}
+
+TEST(ForbiddenSetGrid, WallOfFaults) {
+  const Graph g = make_grid2d(9, 9);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  // Vertical wall with one gap at the bottom row.
+  FaultSet f;
+  for (Vertex r = 0; r < 8; ++r) f.add_vertex(r * 9 + 4);
+  const Vertex s = 0, t = 8;
+  const Dist exact = distance_avoiding(g, s, t, f);
+  ASSERT_EQ(exact, 24u);  // down, through the gap, back up
+  const Dist approx = oracle.distance(s, t, f);
+  EXPECT_GE(approx, exact);
+  EXPECT_LE(static_cast<double>(approx), 2.0 * exact);
+
+  // Close the gap: disconnection must be detected.
+  f.add_vertex(8 * 9 + 4);
+  EXPECT_EQ(oracle.distance(s, t, f), kInfDist);
+}
+
+TEST(ForbiddenSetGrid, IsolatingTargetNeighborhood) {
+  const Graph g = make_grid2d(8, 8);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  const Vertex t = 3 * 8 + 3;
+  FaultSet f;
+  for (Vertex w : g.neighbors(t)) f.add_vertex(w);
+  EXPECT_EQ(oracle.distance(0, t, f), kInfDist);
+  // Edge-isolation variant: forbid the incident edges instead.
+  FaultSet f2;
+  for (Vertex w : g.neighbors(t)) f2.add_edge(t, w);
+  EXPECT_EQ(oracle.distance(0, t, f2), kInfDist);
+}
+
+TEST(ForbiddenSetBuild, UncappedLevelsAgreeWithCapped) {
+  const Graph g = make_path(120);
+  const auto params = SchemeParams::faithful(1.0);
+  BuildOptions uncapped;
+  uncapped.cap_levels_at_diameter = false;
+  const auto a = ForbiddenSetLabeling::build(g, params);
+  const auto b = ForbiddenSetLabeling::build(g, params, uncapped);
+  EXPECT_LE(a.top_level(), b.top_level());
+  const ForbiddenSetOracle oa(a), ob(b);
+  Rng rng(9);
+  for (int k = 0; k < 60; ++k) {
+    const Vertex s = rng.vertex(120), t = rng.vertex(120);
+    FaultSet f;
+    const Vertex x = rng.vertex(120);
+    if (x != s && x != t) f.add_vertex(x);
+    EXPECT_EQ(oa.distance(s, t, f), ob.distance(s, t, f));
+  }
+}
+
+TEST(ForbiddenSetBuild, LabelBitsGrowWithPrecision) {
+  // Needs a graph whose diameter exceeds the coarse setting's ball radii,
+  // otherwise both precisions saturate to whole-graph labels.
+  const Graph g = make_path(400);
+  const auto coarse =
+      ForbiddenSetLabeling::build(g, SchemeParams::faithful(3.0));
+  const auto fine = ForbiddenSetLabeling::build(g, SchemeParams::faithful(0.5));
+  EXPECT_LT(coarse.mean_label_bits(), fine.mean_label_bits());
+  EXPECT_LT(coarse.max_label_bits(), fine.max_label_bits());
+}
+
+TEST(ForbiddenSetBuild, CompactLabelsAreSmaller) {
+  const Graph g = make_grid2d(10, 10);
+  const auto faithful =
+      ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const auto compact =
+      ForbiddenSetLabeling::build(g, SchemeParams::compact(1.0, 3));
+  EXPECT_LT(compact.max_label_bits(), faithful.max_label_bits() / 4);
+}
+
+TEST(ForbiddenSetBuild, DeltaCodecAnswersIdenticallyAndIsSmaller) {
+  const Graph g = make_grid2d(10, 10);
+  const auto params = SchemeParams::faithful(1.0);
+  BuildOptions delta;
+  delta.codec = LabelCodec::kDelta;
+  const auto classic = ForbiddenSetLabeling::build(g, params);
+  const auto compressed = ForbiddenSetLabeling::build(g, params, delta);
+  EXPECT_LT(compressed.total_bits(), classic.total_bits());
+  const ForbiddenSetOracle oc(classic), od(compressed);
+  Rng rng(13);
+  for (int k = 0; k < 80; ++k) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    FaultSet f;
+    for (unsigned j = 0; j < 2; ++j) {
+      const Vertex x = rng.vertex(g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    EXPECT_EQ(oc.distance(s, t, f), od.distance(s, t, f));
+  }
+}
+
+TEST(ForbiddenSetBuild, DisconnectedInputGraph) {
+  GraphBuilder b(12);
+  for (Vertex v = 0; v + 1 < 6; ++v) b.add_edge(v, v + 1);
+  for (Vertex v = 6; v + 1 < 12; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  const FaultSet none;
+  EXPECT_EQ(oracle.distance(0, 5, none), 5u);
+  EXPECT_EQ(oracle.distance(0, 7, none), kInfDist);
+}
+
+TEST(ForbiddenSetStats, QueryWorkCountersPopulated) {
+  const Graph g = make_grid2d(9, 9);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  FaultSet f;
+  f.add_vertex(40);
+  const QueryResult qr = oracle.query(0, 80, f);
+  EXPECT_GT(qr.stats.sketch_vertices, 0u);
+  EXPECT_GT(qr.stats.sketch_edges, 0u);
+  EXPECT_GT(qr.stats.edges_considered, qr.stats.sketch_edges / 2);
+  EXPECT_GT(qr.stats.pb_checks, 0u);
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(Generators, PathShape) {
+  Graph g = make_path(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_edges(), 9u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(5), 2u);
+}
+
+TEST(Generators, CycleShape) {
+  Graph g = make_cycle(8);
+  EXPECT_EQ(g.num_edges(), 8u);
+  for (Vertex v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, Grid2dShape) {
+  Graph g = make_grid2d(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3 + 2u * 4);  // 17
+  EXPECT_EQ(g.degree(0), 2u);   // corner
+  EXPECT_EQ(g.degree(5), 4u);   // interior
+}
+
+TEST(Generators, TorusIsRegular) {
+  Graph g = make_torus2d(4, 5);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_EQ(g.num_edges(), 2u * 4 * 5);
+}
+
+TEST(Generators, KingGridDegrees) {
+  Graph g = make_king_grid(4, 4);
+  EXPECT_EQ(g.degree(0), 3u);    // corner: right, down, diagonal
+  EXPECT_EQ(g.degree(5), 8u);    // interior
+}
+
+TEST(Generators, Grid3dShape) {
+  Graph g = make_grid3d(3, 3, 3);
+  EXPECT_EQ(g.num_vertices(), 27u);
+  EXPECT_EQ(g.degree(13), 6u);  // center
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, FullGridMatchesPaperDegrees) {
+  // G_{p,d}: interior degree 3^d - 1, minimum degree 2^d - 1.
+  for (unsigned d : {2u, 3u}) {
+    Graph g = make_full_grid(4, d);
+    EXPECT_EQ(g.num_vertices(), static_cast<Vertex>(std::pow(4, d)));
+    Vertex min_deg = kNoVertex, max_deg = 0;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      min_deg = std::min(min_deg, g.degree(v));
+      max_deg = std::max(max_deg, g.degree(v));
+    }
+    EXPECT_EQ(min_deg, (1u << d) - 1);
+    EXPECT_EQ(max_deg, static_cast<Vertex>(std::pow(3, d)) - 1);
+  }
+}
+
+TEST(Generators, KingGridEqualsFullGridDim2) {
+  Graph a = make_king_grid(5, 5);
+  Graph b = make_full_grid(5, 2);
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+}
+
+TEST(Generators, HalfGridIsSubgraphOfFullGrid) {
+  Graph full = make_full_grid(4, 4);
+  Graph half = make_half_grid(4, 4);
+  ASSERT_EQ(full.num_vertices(), half.num_vertices());
+  EXPECT_LT(half.num_edges(), full.num_edges());
+  // Paper: |E(H)| <= |E(G)| / 2.
+  EXPECT_LE(2 * half.num_edges(), full.num_edges() + full.num_vertices());
+  for (Vertex v = 0; v < half.num_vertices(); ++v) {
+    for (Vertex w : half.neighbors(v)) {
+      EXPECT_TRUE(full.has_edge(v, w));
+    }
+  }
+}
+
+TEST(Generators, HalfGridIsTwoSpannerOfFullGrid) {
+  // Every G_{p,d} edge's endpoints are at distance <= 2 in H_{p,d}.
+  Graph full = make_full_grid(3, 4);
+  Graph half = make_half_grid(3, 4);
+  BfsRunner bfs(half);
+  for (Vertex v = 0; v < full.num_vertices(); ++v) {
+    for (Vertex w : full.neighbors(v)) {
+      if (w < v) continue;
+      EXPECT_LE(bfs.bounded_distance(v, w, 2), 2u)
+          << "edge (" << v << "," << w << ") not 2-spanned";
+    }
+  }
+}
+
+TEST(Generators, BetweenGridSandwiched) {
+  Rng rng(17);
+  Graph full = make_full_grid(4, 2);
+  Graph half = make_half_grid(4, 2);
+  Graph between = make_between_grid(4, 2, 0.5, rng);
+  EXPECT_GE(between.num_edges(), half.num_edges());
+  EXPECT_LE(between.num_edges(), full.num_edges());
+  for (Vertex v = 0; v < half.num_vertices(); ++v) {
+    for (Vertex w : half.neighbors(v)) {
+      EXPECT_TRUE(between.has_edge(v, w));  // H edges mandatory
+    }
+  }
+  for (Vertex v = 0; v < between.num_vertices(); ++v) {
+    for (Vertex w : between.neighbors(v)) {
+      EXPECT_TRUE(full.has_edge(v, w));  // nothing outside G
+    }
+  }
+}
+
+TEST(Generators, GridCoordsRoundTrip) {
+  for (Vertex id = 0; id < 125; ++id) {
+    const auto coords = grid_coords(id, 5, 3);
+    EXPECT_EQ(grid_id(coords, 5), id);
+    for (int c : coords) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 5);
+    }
+  }
+}
+
+TEST(Generators, BalancedTree) {
+  Graph g = make_balanced_tree(3, 3);
+  EXPECT_EQ(g.num_vertices(), 1u + 3 + 9 + 27);
+  EXPECT_EQ(g.num_edges(), g.num_vertices() - 1u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.degree(0), 3u);
+}
+
+TEST(Generators, Caterpillar) {
+  Graph g = make_caterpillar(5, 3);
+  EXPECT_EQ(g.num_vertices(), 5u * 4);
+  EXPECT_EQ(g.num_edges(), 4u + 15);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, UnitDiskEdgesRespectRadius) {
+  Rng rng(8);
+  std::vector<std::pair<double, double>> pts;
+  Graph g = make_unit_disk(300, 0.1, rng, &pts);
+  ASSERT_EQ(pts.size(), 300u);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex w : g.neighbors(v)) {
+      const double dx = pts[v].first - pts[w].first;
+      const double dy = pts[v].second - pts[w].second;
+      EXPECT_LE(std::sqrt(dx * dx + dy * dy), 0.1 + 1e-12);
+    }
+  }
+  // Completeness: no missing edge within the radius (brute force check).
+  const double r2 = 0.1 * 0.1;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    for (Vertex w = v + 1; w < g.num_vertices(); ++w) {
+      const double dx = pts[v].first - pts[w].first;
+      const double dy = pts[v].second - pts[w].second;
+      if (dx * dx + dy * dy <= r2) {
+        EXPECT_TRUE(g.has_edge(v, w));
+      }
+    }
+  }
+}
+
+TEST(Generators, PerturbedGridConnectedAndSmaller) {
+  Rng rng(9);
+  Graph g = make_perturbed_grid(20, 20, 0.2, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_LE(g.num_vertices(), 400u);
+  EXPECT_GE(g.num_vertices(), 200u);  // drop rate 0.2 keeps the bulk
+}
+
+TEST(Generators, ErdosRenyiEdgeCountNearExpectation) {
+  Rng rng(10);
+  const Vertex n = 200;
+  const double p = 0.05;
+  Graph g = make_er(n, p, rng);
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 4 * std::sqrt(expected));
+}
+
+TEST(Generators, ErdosRenyiExtremes) {
+  Rng rng(11);
+  EXPECT_EQ(make_er(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(make_er(20, 1.0, rng).num_edges(), 190u);
+}
+
+TEST(Generators, InvalidArguments) {
+  Rng rng(1);
+  EXPECT_THROW(make_cycle(2), std::invalid_argument);
+  EXPECT_THROW(make_full_grid(1, 2), std::invalid_argument);
+  EXPECT_THROW(make_half_grid(3, 1), std::invalid_argument);
+  EXPECT_THROW(make_torus2d(2, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/diameter.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(GraphBuilder, MergesDuplicatesAndSortsAdjacency) {
+  GraphBuilder b(4);
+  b.add_edge(2, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 1);
+  b.add_edge(0, 1);
+  Graph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  const auto n1 = g.neighbors(1);
+  ASSERT_EQ(n1.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(n1.begin(), n1.end()));
+  EXPECT_EQ(g.degree(1), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoopsAndBadIds) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 3), std::out_of_range);
+}
+
+TEST(Graph, HasEdge) {
+  Graph g = make_cycle(5);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(4, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Bfs, DistancesOnPath) {
+  Graph g = make_path(6);
+  const auto d = bfs_distances(g, 2);
+  EXPECT_EQ(d[0], 2u);
+  EXPECT_EQ(d[2], 0u);
+  EXPECT_EQ(d[5], 3u);
+}
+
+TEST(Bfs, UnreachableIsInf) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  Graph g = b.build();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kInfDist);
+}
+
+TEST(Bfs, MatchesDefinitionOnRandomGraph) {
+  Rng rng(11);
+  Graph g = make_er(60, 0.08, rng);
+  const auto d = bfs_distances(g, 0);
+  // BFS invariant: for every edge (u, v), |d[u] - d[v]| <= 1.
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      if (d[u] == kInfDist) {
+        EXPECT_EQ(d[v], kInfDist);
+      } else {
+        ASSERT_NE(d[v], kInfDist);
+        EXPECT_LE(d[u] > d[v] ? d[u] - d[v] : d[v] - d[u], 1u);
+      }
+    }
+  }
+}
+
+TEST(Bfs, MultiSourceAssignsNearestOwner) {
+  Graph g = make_path(10);
+  std::vector<Vertex> sources{0, 9};
+  std::vector<Dist> dist;
+  std::vector<Vertex> owner;
+  multi_source_bfs(g, sources, dist, owner);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(owner[0], 0u);
+  EXPECT_EQ(dist[9], 0u);
+  EXPECT_EQ(owner[9], 9u);
+  EXPECT_EQ(dist[4], 4u);
+  EXPECT_EQ(owner[4], 0u);
+  EXPECT_EQ(owner[6], 9u);
+}
+
+TEST(BfsRunner, TruncationRespectsRadius) {
+  Graph g = make_path(20);
+  BfsRunner bfs(g);
+  std::vector<std::pair<Vertex, Dist>> visited;
+  bfs.run(10, 3, [&](Vertex v, Dist d) { visited.emplace_back(v, d); });
+  EXPECT_EQ(visited.size(), 7u);  // 10 ± 3
+  for (const auto& [v, d] : visited) {
+    EXPECT_LE(d, 3u);
+    EXPECT_EQ(d, static_cast<Dist>(std::abs(static_cast<int>(v) - 10)));
+  }
+}
+
+TEST(BfsRunner, ReusableAcrossRuns) {
+  Graph g = make_cycle(12);
+  BfsRunner bfs(g);
+  std::size_t first = 0, second = 0;
+  bfs.run(0, 2, [&](Vertex, Dist) { ++first; });
+  bfs.run(6, 2, [&](Vertex, Dist) { ++second; });
+  EXPECT_EQ(first, 5u);
+  EXPECT_EQ(second, 5u);
+}
+
+TEST(BfsRunner, BoundedDistance) {
+  Graph g = make_path(30);
+  BfsRunner bfs(g);
+  EXPECT_EQ(bfs.bounded_distance(0, 7, 10), 7u);
+  EXPECT_EQ(bfs.bounded_distance(0, 20, 10), kInfDist);
+}
+
+TEST(BfsRunner, ParentsPointTowardSource) {
+  Graph g = make_grid2d(5, 5);
+  BfsRunner bfs(g);
+  std::vector<Dist> dist(g.num_vertices(), kInfDist);
+  bfs.run(12, 10, [&](Vertex v, Dist d) { dist[v] = d; });
+  bfs.run_with_parents(12, 10, [&](Vertex v, Dist d, Vertex parent) {
+    if (v == 12) {
+      EXPECT_EQ(parent, kNoVertex);
+    } else {
+      ASSERT_NE(parent, kNoVertex);
+      EXPECT_TRUE(g.has_edge(v, parent));
+      EXPECT_EQ(dist[parent] + 1, d);
+    }
+  });
+}
+
+TEST(Components, CountsAndIds) {
+  GraphBuilder b(7);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  Graph g = b.build();  // components: {0,1,2}, {3,4}, {5}, {6}
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4u);
+  EXPECT_EQ(c.id[0], c.id[2]);
+  EXPECT_NE(c.id[0], c.id[3]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(make_cycle(5)));
+}
+
+TEST(Components, LargestComponentSubgraph) {
+  GraphBuilder b(8);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(5, 6);
+  Graph g = b.build();
+  std::vector<Vertex> map;
+  Graph lc = largest_component_subgraph(g, &map);
+  EXPECT_EQ(lc.num_vertices(), 4u);
+  EXPECT_EQ(lc.num_edges(), 3u);
+  EXPECT_TRUE(is_connected(lc));
+  EXPECT_EQ(map[4], kNoVertex);
+  EXPECT_NE(map[2], kNoVertex);
+}
+
+TEST(Diameter, PathAndGrid) {
+  EXPECT_EQ(exact_diameter(make_path(10)), 9u);
+  EXPECT_EQ(exact_diameter(make_grid2d(4, 6)), 8u);
+  EXPECT_EQ(exact_diameter(make_cycle(10)), 5u);
+}
+
+TEST(Diameter, DoubleSweepFindsPathDiameter) {
+  // On trees the double sweep is exact.
+  EXPECT_EQ(double_sweep_lower_bound(make_path(50)), 49u);
+  Graph tree = make_balanced_tree(2, 5);
+  EXPECT_EQ(double_sweep_lower_bound(tree), exact_diameter(tree));
+}
+
+TEST(Diameter, EccentricityDisconnected) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_EQ(eccentricity(b.build(), 0), kInfDist);
+}
+
+TEST(GraphIo, RoundTrip) {
+  Rng rng(4);
+  Graph g = make_er(40, 0.1, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  Graph h = read_edge_list(ss);
+  ASSERT_EQ(h.num_vertices(), g.num_vertices());
+  ASSERT_EQ(h.num_edges(), g.num_edges());
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = h.neighbors(v);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+}
+
+TEST(GraphIo, SkipsComments) {
+  std::stringstream ss("# header comment\n3 1\n# edge below\n0 2\n");
+  Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, RejectsTruncatedInput) {
+  std::stringstream ss("3 2\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "baseline/hub_labeling.hpp"
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+void expect_exact_everywhere(const Graph& g) {
+  const HubLabeling hubs = HubLabeling::build(g);
+  for (Vertex s = 0; s < g.num_vertices(); s += 3) {
+    const auto dist = bfs_distances(g, s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      ASSERT_EQ(hubs.distance(s, t), dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(HubLabeling, ExactOnStructuredFamilies) {
+  expect_exact_everywhere(make_path(80));
+  expect_exact_everywhere(make_cycle(60));
+  expect_exact_everywhere(make_grid2d(9, 9));
+  expect_exact_everywhere(make_balanced_tree(3, 4));
+  expect_exact_everywhere(make_king_grid(7, 7));
+}
+
+TEST(HubLabeling, ExactOnRandomGraphs) {
+  Rng rng(81);
+  for (int iter = 0; iter < 5; ++iter) {
+    const Graph g = make_er(70, 0.07, rng);
+    expect_exact_everywhere(g);
+  }
+}
+
+TEST(HubLabeling, HandlesDisconnectedGraphs) {
+  GraphBuilder b(10);
+  for (Vertex v = 0; v + 1 < 5; ++v) b.add_edge(v, v + 1);
+  for (Vertex v = 5; v + 1 < 10; ++v) b.add_edge(v, v + 1);
+  const Graph g = b.build();
+  const HubLabeling hubs = HubLabeling::build(g);
+  EXPECT_EQ(hubs.distance(0, 4), 4u);
+  EXPECT_EQ(hubs.distance(0, 7), kInfDist);
+}
+
+TEST(HubLabeling, PruningKeepsLabelsSmall) {
+  // On a path, PLL with degree ordering yields O(log n)-ish hubs per vertex,
+  // far below the trivial n. Just assert substantial pruning happened.
+  const Graph g = make_path(256);
+  const HubLabeling hubs = HubLabeling::build(g);
+  EXPECT_LT(hubs.mean_hubs(), 32.0);
+  EXPECT_LT(hubs.max_hubs(), 80u);
+}
+
+TEST(HubLabeling, BitAccountingPositiveAndConsistent) {
+  const Graph g = make_grid2d(8, 8);
+  const HubLabeling hubs = HubLabeling::build(g);
+  std::size_t total = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GT(hubs.label_bits(v), 0u);
+    total += hubs.label_bits(v);
+  }
+  EXPECT_EQ(total, hubs.total_bits());
+}
+
+TEST(HubLabeling, HubListsSortedById) {
+  const Graph g = make_grid2d(7, 7);
+  const HubLabeling hubs = HubLabeling::build(g);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto& l = hubs.hubs(v);
+    for (std::size_t k = 1; k < l.size(); ++k) {
+      EXPECT_LT(l[k - 1].first, l[k].first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,183 @@
+// Cross-module scenarios: the full pipeline (generator → nets → labels →
+// oracle → routing → baselines) exercised together on the paper's
+// motivating workload — a road-like network with evolving closures.
+#include <gtest/gtest.h>
+
+#include "baseline/exact_oracle.hpp"
+#include "core/dynamic_oracle.hpp"
+#include "core/failure_free.hpp"
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/components.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "metric/doubling.hpp"
+#include "routing/simulator.hpp"
+#include "util/rng.hpp"
+
+#include <sstream>
+
+namespace fsdl {
+namespace {
+
+class RoadScenario : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(2026);
+    g_ = make_perturbed_grid(14, 14, 0.12, rng);
+    ASSERT_TRUE(is_connected(g_));
+    scheme_ = std::make_unique<ForbiddenSetLabeling>(
+        ForbiddenSetLabeling::build(g_, SchemeParams::faithful(1.0)));
+    oracle_ = std::make_unique<ForbiddenSetOracle>(*scheme_);
+  }
+  Graph g_;
+  std::unique_ptr<ForbiddenSetLabeling> scheme_;
+  std::unique_ptr<ForbiddenSetOracle> oracle_;
+};
+
+TEST_F(RoadScenario, RoadNetworkHasLowDoublingDimension) {
+  Rng rng(1);
+  const auto est = estimate_doubling_dimension(g_, 20, rng);
+  EXPECT_LE(est.alpha, 3.6);  // α ≈ 2 plus greedy slack
+}
+
+TEST_F(RoadScenario, ClosuresStormAgainstGroundTruth) {
+  Rng rng(3);
+  const ExactOracle exact(g_);
+  for (int wave = 0; wave < 25; ++wave) {
+    // Each wave closes a couple of intersections and a couple of roads.
+    FaultSet closures;
+    for (int k = 0; k < 2; ++k) {
+      closures.add_vertex(rng.vertex(g_.num_vertices()));
+      const Vertex a = rng.vertex(g_.num_vertices());
+      const auto nb = g_.neighbors(a);
+      if (!nb.empty()) closures.add_edge(a, nb[rng.below(nb.size())]);
+    }
+    for (int q = 0; q < 10; ++q) {
+      const Vertex s = rng.vertex(g_.num_vertices());
+      const Vertex t = rng.vertex(g_.num_vertices());
+      if (closures.vertex_faulty(s) || closures.vertex_faulty(t)) continue;
+      const Dist truth = exact.distance(s, t, closures);
+      const Dist approx = oracle_->distance(s, t, closures);
+      if (truth == kInfDist) {
+        EXPECT_EQ(approx, kInfDist);
+      } else {
+        EXPECT_GE(approx, truth);
+        EXPECT_LE(static_cast<double>(approx), 2.0 * truth + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(RoadScenario, ReRoutingAfterIncident) {
+  const auto routing = ForbiddenSetRouting::build(g_, *scheme_);
+  Rng rng(4);
+  int rerouted = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vertex s = rng.vertex(g_.num_vertices());
+    const Vertex t = rng.vertex(g_.num_vertices());
+    if (s == t) continue;
+    const FaultSet clear;
+    const RouteResult before = route_packet(g_, routing, *oracle_, s, t, clear);
+    ASSERT_TRUE(before.delivered);
+
+    // An incident closes the first road segment the packet used.
+    FaultSet incident;
+    incident.add_edge(before.path[0], before.path[1]);
+    const Dist truth = distance_avoiding(g_, s, t, incident);
+    const RouteResult after = route_packet(g_, routing, *oracle_, s, t, incident);
+    if (truth == kInfDist) {
+      EXPECT_FALSE(after.delivered);
+      continue;
+    }
+    ASSERT_TRUE(after.delivered);
+    for (std::size_t k = 0; k + 1 < after.path.size(); ++k) {
+      ASSERT_FALSE(incident.edge_faulty(after.path[k], after.path[k + 1]));
+    }
+    EXPECT_LE(static_cast<double>(after.hops), 2.0 * truth + 4.0);
+    ++rerouted;
+  }
+  EXPECT_GT(rerouted, 20);
+}
+
+TEST_F(RoadScenario, DynamicOracleTracksIncidentLifecycle) {
+  DynamicOracle dyn(*oracle_);
+  Rng rng(5);
+  const Vertex s = 0;
+  const Vertex t = g_.num_vertices() - 1;
+  const Dist base = dyn.distance(s, t);
+  ASSERT_NE(base, kInfDist);
+
+  std::vector<Vertex> incidents;
+  for (int k = 0; k < 5; ++k) {
+    const Vertex x = rng.vertex(g_.num_vertices());
+    if (x == s || x == t) continue;
+    incidents.push_back(x);
+    dyn.fail_vertex(x);
+  }
+  const Dist during = dyn.distance(s, t);
+  EXPECT_GE(during, base);  // closures never shorten routes
+  for (Vertex x : incidents) dyn.restore_vertex(x);
+  EXPECT_EQ(dyn.distance(s, t), base);
+}
+
+TEST_F(RoadScenario, FailureFreeAndForbiddenSetAgreeWithoutFaults) {
+  const auto ff = FailureFreeLabeling::build(g_, 1.0);
+  const FaultSet none;
+  Rng rng(6);
+  for (int k = 0; k < 60; ++k) {
+    const Vertex s = rng.vertex(g_.num_vertices());
+    const Vertex t = rng.vertex(g_.num_vertices());
+    const Dist a = ff.distance(s, t);
+    const Dist b = oracle_->distance(s, t, none);
+    const Dist truth = distance_avoiding(g_, s, t, none);
+    EXPECT_GE(a, truth);
+    EXPECT_GE(b, truth);
+    EXPECT_LE(static_cast<double>(a), 2.0 * truth + 1e-9);
+    EXPECT_LE(static_cast<double>(b), 2.0 * truth + 1e-9);
+  }
+}
+
+TEST_F(RoadScenario, GraphSurvivesSerializationRoundTrip) {
+  std::stringstream ss;
+  write_edge_list(g_, ss);
+  const Graph loaded = read_edge_list(ss);
+  // Rebuild the scheme on the reloaded graph: identical labels.
+  const auto scheme2 =
+      ForbiddenSetLabeling::build(loaded, SchemeParams::faithful(1.0));
+  ASSERT_EQ(scheme2.num_vertices(), scheme_->num_vertices());
+  for (Vertex v = 0; v < loaded.num_vertices(); v += 7) {
+    EXPECT_EQ(scheme2.label_bits(v), scheme_->label_bits(v));
+  }
+}
+
+TEST(Integration, MixedParamsConsistencyOnUnitDisk) {
+  Rng rng(2027);
+  const Graph g = largest_component_subgraph(make_unit_disk(250, 0.11, rng));
+  const auto faithful = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const auto compact = ForbiddenSetLabeling::build(g, SchemeParams::compact(1.0, 2));
+  const ForbiddenSetOracle of(faithful), oc(compact);
+  for (int k = 0; k < 40; ++k) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    FaultSet f;
+    const Vertex x = rng.vertex(g.num_vertices());
+    if (x != s && x != t) f.add_vertex(x);
+    const Dist truth = distance_avoiding(g, s, t, f);
+    const Dist df = of.distance(s, t, f);
+    const Dist dc = oc.distance(s, t, f);
+    if (truth == kInfDist) {
+      EXPECT_EQ(df, kInfDist);
+      EXPECT_EQ(dc, kInfDist);
+    } else {
+      EXPECT_GE(df, truth);
+      EXPECT_GE(dc, truth);
+      // Faithful labels are a superset in expressive power; both sound.
+      EXPECT_LE(static_cast<double>(df), 2.0 * truth + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsdl

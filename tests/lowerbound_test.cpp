@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/connectivity.hpp"
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/components.hpp"
+#include "graph/generators.hpp"
+#include "lowerbound/attack.hpp"
+#include "lowerbound/family.hpp"
+#include "metric/doubling.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(Family, StatsMatchDefinitions) {
+  const FamilyStats s = family_stats(4, 2);
+  EXPECT_EQ(s.n, 16u);
+  EXPECT_EQ(s.alpha, 4u);
+  EXPECT_EQ(s.edges_full, make_full_grid(4, 2).num_edges());
+  EXPECT_EQ(s.edges_half, make_half_grid(4, 2).num_edges());
+  EXPECT_EQ(s.free_edges, s.edges_full - s.edges_half);
+  EXPECT_DOUBLE_EQ(s.bits_per_vertex,
+                   static_cast<double>(s.free_edges) / 16.0);
+}
+
+TEST(Family, HalfGridHasAtMostHalfTheEdges) {
+  // The paper uses |E(H_{p,d})| <= m_{p,d}/2. That is an interior-degree
+  // statement: an interior vertex has 3^d - 1 neighbours in G_{p,d} but only
+  // Σ_{k<=d/2} C(d,k)·2^k in H_{p,d}. Check the combinatorial inequality for
+  // the even dimensions the construction uses...
+  for (unsigned d : {2u, 4u, 6u, 8u}) {
+    double half_deg = 0;
+    double binom = 1;  // C(d, k)
+    for (unsigned k = 1; k <= d / 2; ++k) {
+      binom = binom * (d - k + 1) / k;
+      half_deg += binom * std::pow(2.0, k);
+    }
+    const double full_deg = std::pow(3.0, d) - 1;
+    EXPECT_LE(2 * half_deg, full_deg) << "d=" << d;
+  }
+  // ...and the whole-instance count where p is large enough that boundary
+  // truncation (which removes proportionally more G-only edges) is mild.
+  for (const auto& [p, d] :
+       std::vector<std::pair<Vertex, unsigned>>{{4, 2}, {8, 2}, {5, 4}}) {
+    const FamilyStats s = family_stats(p, d);
+    EXPECT_LE(2 * s.edges_half, s.edges_full + 2 * s.n)
+        << "p=" << p << " d=" << d;
+  }
+}
+
+TEST(Family, BitsPerVertexGrowExponentiallyInAlpha) {
+  // Ω(2^{α/2}) behaviour: per-vertex entropy roughly doubles when α grows
+  // by 2 (d grows by 1), for comparable p.
+  const double b2 = family_stats(4, 2).bits_per_vertex;  // α = 4
+  const double b3 = family_stats(4, 3).bits_per_vertex;  // α = 6
+  const double b4 = family_stats(4, 4).bits_per_vertex;  // α = 8
+  EXPECT_GT(b3, 1.6 * b2);
+  EXPECT_GT(b4, 1.6 * b3);
+}
+
+TEST(Family, SampledMemberHasFamilyDoublingDimension) {
+  Rng rng(71);
+  Graph g = sample_family_member(4, 2, rng);
+  // The family guarantees doubling dimension <= α = 2d = 4; the greedy
+  // estimate may exceed the true value but must stay in that ballpark.
+  const auto est = estimate_doubling_dimension(g, 20, rng);
+  EXPECT_LE(est.alpha, 2.0 * 2 + 2.5);
+}
+
+TEST(Family, MembersAreConnected) {
+  Rng rng(72);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_TRUE(is_connected(sample_family_member(3, 2, rng)));
+  }
+}
+
+TEST(Attack, ReconstructsFamilyMembersExactly) {
+  Rng rng(73);
+  for (int k = 0; k < 3; ++k) {
+    const Graph g = sample_family_member(3, 2, rng);
+    const auto scheme =
+        ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+    const ForbiddenSetOracle oracle(scheme);
+    const ConnectivityOracle conn(oracle);
+    const Graph rec = reconstruct_via_connectivity(conn, g.num_vertices());
+    EXPECT_TRUE(same_graph(g, rec));
+  }
+}
+
+TEST(Attack, ReconstructsThePathGraph) {
+  // P_n = G_{n,1} is in the family; the paper's Ω(log n) argument uses it.
+  const Graph g = make_path(20);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  const ConnectivityOracle conn(oracle);
+  EXPECT_TRUE(same_graph(g, reconstruct_via_connectivity(conn, 20)));
+}
+
+TEST(Attack, WorksEvenWithCompactParameters) {
+  // The everywhere-failure query only uses lowest-level weight-1 edges,
+  // so reconstruction succeeds regardless of the radius preset.
+  Rng rng(74);
+  const Graph g = sample_family_member(3, 2, rng);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::compact(1.0, 2));
+  const ForbiddenSetOracle oracle(scheme);
+  const ConnectivityOracle conn(oracle);
+  EXPECT_TRUE(same_graph(g, reconstruct_via_connectivity(conn, g.num_vertices())));
+}
+
+TEST(Attack, SameGraphDetectsDifferences) {
+  const Graph a = make_path(5);
+  const Graph b = make_cycle(5);
+  EXPECT_FALSE(same_graph(a, b));
+  EXPECT_TRUE(same_graph(a, make_path(5)));
+  EXPECT_FALSE(same_graph(a, make_path(6)));
+}
+
+TEST(LowerBoundVsScheme, OurLabelsBeatTheEntropyBoundOnInstances) {
+  // Sanity link between Theorem 3.1 and Theorem 2.1: on an actual family
+  // member, the total bits of our (distance, hence connectivity) labels
+  // must exceed the family's entropy divided by... in fact each oracle in
+  // the family needs >= free_edges bits TOTAL, so our total label bits must
+  // be at least that.
+  Rng rng(75);
+  const FamilyStats stats = family_stats(3, 2);
+  const Graph g = sample_family_member(3, 2, rng);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  EXPECT_GE(scheme.total_bits(), stats.free_edges);
+}
+
+TEST(FailureFreeConnectivity, LogCBitsSuffice) {
+  // The paper's contrast: without forbidden sets, connectivity labels are
+  // just component ids of ⌈log₂ c⌉ bits.
+  GraphBuilder b(10);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();  // components: {0,1,2}, {3,4}, {5..9} singletons
+  const ComponentLabels labels = failure_free_connectivity_labels(g);
+  EXPECT_TRUE(labels.connected(0, 2));
+  EXPECT_FALSE(labels.connected(0, 3));
+  EXPECT_FALSE(labels.connected(5, 6));
+  EXPECT_EQ(labels.bits_per_label, 3u);  // 7 components → 3 bits
+
+  const ComponentLabels one = failure_free_connectivity_labels(make_path(50));
+  EXPECT_EQ(one.bits_per_label, 1u);
+  EXPECT_TRUE(one.connected(0, 49));
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "metric/balls.hpp"
+#include "metric/doubling.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(Balls, PathBallIsInterval) {
+  Graph g = make_path(20);
+  const auto ball = ball_vertices(g, 10, 3);
+  ASSERT_EQ(ball.size(), 7u);
+  for (std::size_t k = 0; k < ball.size(); ++k) {
+    EXPECT_EQ(ball[k], 7u + k);
+  }
+  EXPECT_EQ(ball_size(g, 10, 3), 7u);
+  EXPECT_EQ(ball_size(g, 0, 2), 3u);  // boundary clipping
+}
+
+TEST(Balls, RadiusZeroIsSingleton) {
+  Graph g = make_grid2d(4, 4);
+  EXPECT_EQ(ball_size(g, 5, 0), 1u);
+}
+
+TEST(Balls, GridBallMatchesL1Count) {
+  Graph g = make_grid2d(9, 9);
+  // Interior vertex: |B(v, r)| = 2r² + 2r + 1 in the L1 metric.
+  const Vertex center = 4 * 9 + 4;
+  for (Dist r = 1; r <= 3; ++r) {
+    EXPECT_EQ(ball_size(g, center, r), 2u * r * r + 2 * r + 1);
+  }
+}
+
+TEST(GreedyCover, CoversBigBall) {
+  Graph g = make_grid2d(12, 12);
+  // Any 2r-ball in a 2-D grid is covered by a handful of r-balls; the greedy
+  // farthest-first count must stay within the packing bound ~2^{2α}.
+  for (Dist r : {1u, 2u, 4u}) {
+    const std::size_t cover = greedy_cover_size(g, 5 * 12 + 5, r);
+    EXPECT_GE(cover, 1u);
+    EXPECT_LE(cover, 32u);  // 2^{2·2} = 16 plus greedy slack
+  }
+}
+
+TEST(DoublingEstimate, PathIsLowDimensional) {
+  Graph g = make_path(400);
+  Rng rng(1);
+  const auto est = estimate_doubling_dimension(g, 30, rng);
+  EXPECT_GE(est.alpha, 0.9);  // a line needs 2 half-balls
+  EXPECT_LE(est.alpha, 2.1);
+}
+
+TEST(DoublingEstimate, GridIsAboutTwo) {
+  Graph g = make_grid2d(24, 24);
+  Rng rng(2);
+  const auto est = estimate_doubling_dimension(g, 25, rng);
+  EXPECT_GE(est.alpha, 1.5);
+  EXPECT_LE(est.alpha, 3.6);  // greedy-cover slack above the true α = 2
+}
+
+TEST(DoublingEstimate, OrderingAcrossFamilies) {
+  Rng rng(3);
+  const auto path = estimate_doubling_dimension(make_path(300), 20, rng);
+  const auto grid = estimate_doubling_dimension(make_grid2d(17, 17), 20, rng);
+  const auto cube = estimate_doubling_dimension(make_grid3d(7, 7, 7), 20, rng);
+  EXPECT_LE(path.alpha, grid.alpha + 0.5);
+  EXPECT_LE(grid.alpha, cube.alpha + 0.5);
+}
+
+TEST(DoublingEstimate, StarIsHighDimensional) {
+  // A star (caterpillar with one spine vertex) has unbounded doubling
+  // dimension as leaves grow: B(center, 2) needs a ball per leaf at r = 1...
+  // but r=1 balls centered at leaves contain the center too. The greedy
+  // cover of B(center,2) by 1-balls is small; use radius below leaf scale:
+  // instead verify the estimator reports a larger α for a dense star than
+  // for a path of the same size.
+  Rng rng(4);
+  const auto star = estimate_doubling_dimension(make_caterpillar(1, 199), 20, rng);
+  const auto path = estimate_doubling_dimension(make_path(200), 20, rng);
+  EXPECT_GE(star.alpha + 0.01, path.alpha);
+}
+
+}  // namespace
+}  // namespace fsdl

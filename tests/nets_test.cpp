@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/bfs.hpp"
+#include "graph/generators.hpp"
+#include "metric/balls.hpp"
+#include "nets/net_hierarchy.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(GreedyDominatingSet, DominationRadius) {
+  // Fact 1: for unweighted graphs and integral r >= 1, W(r) is
+  // (r-1)-dominating.
+  for (Dist r : {1u, 2u, 4u, 8u}) {
+    Graph g = make_grid2d(10, 10);
+    const auto w = greedy_dominating_set(g, r);
+    std::vector<Dist> dist;
+    std::vector<Vertex> owner;
+    multi_source_bfs(g, w, dist, owner);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_LE(dist[v], r - 1) << "r=" << r << " v=" << v;
+    }
+  }
+}
+
+TEST(GreedyDominatingSet, PairwiseSeparation) {
+  Graph g = make_grid2d(12, 12);
+  for (Dist r : {2u, 4u, 8u}) {
+    const auto w = greedy_dominating_set(g, r);
+    BfsRunner bfs(g);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      for (std::size_t j = i + 1; j < w.size(); ++j) {
+        EXPECT_EQ(bfs.bounded_distance(w[i], w[j], r - 1), kInfDist)
+            << "net points closer than r";
+      }
+    }
+  }
+}
+
+TEST(GreedyDominatingSet, RadiusOneIsEverything) {
+  Graph g = make_path(30);
+  EXPECT_EQ(greedy_dominating_set(g, 1).size(), 30u);
+}
+
+TEST(GreedyDominatingSet, RejectsZeroRadius) {
+  Graph g = make_path(5);
+  EXPECT_THROW(greedy_dominating_set(g, 0), std::invalid_argument);
+}
+
+TEST(NetHierarchy, PropertyOneDomination) {
+  // N_i is a (2^i - 1)-dominating set.
+  Graph g = make_grid2d(11, 11);
+  const auto h = build_net_hierarchy(g, 5);
+  for (unsigned i = 0; i <= 5; ++i) {
+    const Dist bound = (Dist{1} << i) - 1;
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_LE(h.nearest_dist(i, v), bound) << "i=" << i;
+    }
+  }
+}
+
+TEST(NetHierarchy, PropertyTwoNesting) {
+  Graph g = make_grid2d(11, 11);
+  const auto h = build_net_hierarchy(g, 5);
+  for (unsigned i = 1; i <= 5; ++i) {
+    for (Vertex v : h.level(i)) {
+      EXPECT_TRUE(h.in_level(v, i - 1)) << "N_" << i << " ⊄ N_" << (i - 1);
+    }
+    EXPECT_LE(h.level(i).size(), h.level(i - 1).size());
+  }
+}
+
+TEST(NetHierarchy, LevelZeroIsEverything) {
+  Graph g = make_cycle(40);
+  const auto h = build_net_hierarchy(g, 4);
+  EXPECT_EQ(h.level(0).size(), 40u);
+}
+
+TEST(NetHierarchy, NearestIsConsistent) {
+  Graph g = make_path(64);
+  const auto h = build_net_hierarchy(g, 6);
+  BfsRunner bfs(g);
+  for (unsigned i = 0; i <= 6; ++i) {
+    for (Vertex v = 0; v < g.num_vertices(); v += 7) {
+      const Vertex m = h.nearest(i, v);
+      EXPECT_TRUE(h.in_level(m, i));
+      // The reported distance matches the graph metric.
+      EXPECT_EQ(bfs.bounded_distance(v, m, 64), h.nearest_dist(i, v));
+      // No strictly closer net point exists.
+      for (Vertex x : h.level(i)) {
+        const Dist dx = static_cast<Dist>(
+            std::abs(static_cast<int>(x) - static_cast<int>(v)));
+        EXPECT_GE(dx, h.nearest_dist(i, v));
+      }
+    }
+  }
+}
+
+TEST(NetHierarchy, MaxLevelOfAgreesWithLevels) {
+  Graph g = make_grid2d(9, 9);
+  const auto h = build_net_hierarchy(g, 4);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const unsigned top = h.max_level_of(v);
+    EXPECT_TRUE(h.in_level(v, top));
+    for (unsigned i = 0; i <= 4; ++i) {
+      const bool in_list =
+          std::binary_search(h.level(i).begin(), h.level(i).end(), v);
+      EXPECT_EQ(in_list, i <= top);
+    }
+  }
+}
+
+// Lemma 2.2 packing bound: |B(v, R) ∩ N_i| <= 2 · (4R / 2^i)^α.
+class PackingBoundTest
+    : public ::testing::TestWithParam<std::tuple<const char*, double>> {};
+
+TEST_P(PackingBoundTest, Lemma22Holds) {
+  const auto& [family, alpha] = GetParam();
+  Graph g = std::string(family) == "path"  ? make_path(256)
+            : std::string(family) == "grid" ? make_grid2d(16, 16)
+                                            : make_cycle(256);
+  const unsigned top = 5;
+  const auto h = build_net_hierarchy(g, top);
+  Rng rng(42);
+  BfsRunner bfs(g);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vertex v = rng.vertex(g.num_vertices());
+    const unsigned i = static_cast<unsigned>(rng.below(top + 1));
+    const Dist radius = static_cast<Dist>((Dist{1} << i) + rng.below(64));
+    std::size_t count = 0;
+    bfs.run(v, radius, [&](Vertex u, Dist) {
+      if (h.in_level(u, i)) ++count;
+    });
+    const double bound =
+        2.0 * std::pow(4.0 * radius / std::pow(2.0, i), alpha);
+    EXPECT_LE(static_cast<double>(count), bound)
+        << family << " v=" << v << " i=" << i << " R=" << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PackingBoundTest,
+                         ::testing::Values(std::make_tuple("path", 1.0),
+                                           std::make_tuple("cycle", 1.0),
+                                           std::make_tuple("grid", 2.0)));
+
+TEST(DefaultTopLevel, CeilLog2) {
+  EXPECT_EQ(default_top_level(1), 0u);
+  EXPECT_EQ(default_top_level(2), 1u);
+  EXPECT_EQ(default_top_level(3), 2u);
+  EXPECT_EQ(default_top_level(4), 2u);
+  EXPECT_EQ(default_top_level(5), 3u);
+  EXPECT_EQ(default_top_level(1024), 10u);
+  EXPECT_EQ(default_top_level(1025), 11u);
+}
+
+}  // namespace
+}  // namespace fsdl

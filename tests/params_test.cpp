@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(SchemeParams, FaithfulCFormula) {
+  // c = max{⌈log₂(6/ε)⌉, 2}
+  EXPECT_EQ(SchemeParams::faithful(3.0).c, 2u);   // log2(2) = 1 → max(1,2)=2
+  EXPECT_EQ(SchemeParams::faithful(1.5).c, 2u);   // log2(4) = 2
+  EXPECT_EQ(SchemeParams::faithful(1.0).c, 3u);   // ⌈log2(6)⌉ = 3
+  EXPECT_EQ(SchemeParams::faithful(0.5).c, 4u);   // ⌈log2(12)⌉ = 4
+  EXPECT_EQ(SchemeParams::faithful(0.25).c, 5u);  // ⌈log2(24)⌉ = 5
+}
+
+TEST(SchemeParams, FaithfulRadiiMatchPaperFormulas) {
+  const auto p = SchemeParams::faithful(1.0);  // c = 3
+  for (unsigned i = p.min_level(); i <= 16; ++i) {
+    EXPECT_EQ(p.rho(i), Dist{1} << (i - 3));
+    EXPECT_EQ(p.lambda(i), Dist{1} << (i + 1));
+    EXPECT_EQ(p.mu(i), p.rho(i) + p.lambda(i));
+    EXPECT_EQ(p.r(i), p.mu(i + 1) + (Dist{1} << i) + p.rho(i + 1));
+  }
+}
+
+TEST(SchemeParams, Claim1aHolds) {
+  // λ_i >= ρ_i + ρ_{i+1} + 2^i for every c >= 2 (paper Claim 1(a)).
+  for (double eps : {4.0, 2.0, 1.0, 0.5, 0.25, 0.1}) {
+    const auto p = SchemeParams::faithful(eps);
+    for (unsigned i = p.min_level(); i <= 20; ++i) {
+      EXPECT_GE(p.lambda(i),
+                p.rho(i) + p.rho(i + 1) + (Dist{1} << i))
+          << "eps=" << eps << " i=" << i;
+    }
+  }
+}
+
+TEST(SchemeParams, RadiusExceedsLambdaInBothModes) {
+  // r_i > λ_i is what makes "not listed" certify "outside PB_i" — the
+  // soundness invariant of the decoder.
+  for (const auto& p :
+       {SchemeParams::faithful(1.0), SchemeParams::faithful(0.25),
+        SchemeParams::compact(1.0, 2), SchemeParams::compact(1.0, 5)}) {
+    for (unsigned i = p.min_level(); i <= 24; ++i) {
+      EXPECT_GT(p.r(i), p.lambda(i)) << "c=" << p.c << " i=" << i;
+    }
+  }
+}
+
+TEST(SchemeParams, FaithfulRadiusBelowPaperBound) {
+  // Lemma 2.5's accounting uses r_i < 2^{i+3} (valid for c >= 2).
+  for (double eps : {2.0, 1.0, 0.5}) {
+    const auto p = SchemeParams::faithful(eps);
+    for (unsigned i = p.min_level(); i <= 20; ++i) {
+      EXPECT_LT(p.r(i), Dist{1} << (i + 3));
+    }
+  }
+}
+
+TEST(SchemeParams, CompactIsSmallerThanFaithful) {
+  const auto f = SchemeParams::faithful(1.0);
+  const auto k = SchemeParams::compact(1.0, f.c);
+  for (unsigned i = f.min_level(); i <= 20; ++i) {
+    EXPECT_LT(k.r(i), f.r(i));
+  }
+}
+
+TEST(SchemeParams, NetLevelShift) {
+  const auto p = SchemeParams::faithful(1.0);  // c = 3
+  EXPECT_EQ(p.min_level(), 4u);
+  EXPECT_EQ(p.net_level(4), 0u);
+  EXPECT_EQ(p.net_level(10), 6u);
+}
+
+TEST(SchemeParams, RadiiClampInsteadOfOverflow) {
+  const auto p = SchemeParams::faithful(1.0);
+  EXPECT_GT(p.lambda(60), 0u);
+  EXPECT_LE(p.lambda(60), Dist{1} << 30);
+  EXPECT_LE(p.r(62), (Dist{1} << 30));
+}
+
+TEST(SchemeParams, InvalidArguments) {
+  EXPECT_THROW(SchemeParams::faithful(0.0), std::invalid_argument);
+  EXPECT_THROW(SchemeParams::faithful(-1.0), std::invalid_argument);
+  EXPECT_THROW(SchemeParams::compact(1.0, 1), std::invalid_argument);
+}
+
+TEST(FailureFreeC, Formula) {
+  // c = max{0, ⌈log₂(2/ε)⌉}
+  EXPECT_EQ(failure_free_c(2.0), 0u);
+  EXPECT_EQ(failure_free_c(4.0), 0u);
+  EXPECT_EQ(failure_free_c(1.0), 1u);
+  EXPECT_EQ(failure_free_c(0.5), 2u);
+  EXPECT_EQ(failure_free_c(0.25), 3u);
+}
+
+}  // namespace
+}  // namespace fsdl

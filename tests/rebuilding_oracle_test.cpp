@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/rebuilding_oracle.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(RebuildingOracle, MatchesGroundTruthAcrossRandomStream) {
+  const Graph g = make_grid2d(9, 9);
+  for (std::size_t threshold : {std::size_t{0}, std::size_t{2}, std::size_t{100}}) {
+    RebuildingDynamicOracle oracle(g, SchemeParams::faithful(1.0), threshold);
+    FaultSet mirror;
+    Rng rng(41);
+    for (int step = 0; step < 60; ++step) {
+      const bool fail = mirror.empty() || rng.chance(0.7);
+      if (fail) {
+        if (rng.chance(0.3)) {
+          const Vertex a = rng.vertex(g.num_vertices());
+          const auto nb = g.neighbors(a);
+          if (!nb.empty()) {
+            const Vertex b = nb[rng.below(nb.size())];
+            oracle.fail_edge(a, b);
+            mirror.add_edge(a, b);
+          }
+        } else {
+          const Vertex v = rng.vertex(g.num_vertices());
+          oracle.fail_vertex(v);
+          mirror.add_vertex(v);
+        }
+      } else if (!mirror.vertices().empty() && rng.chance(0.6)) {
+        const Vertex v = mirror.vertices()[rng.below(mirror.vertices().size())];
+        oracle.restore_vertex(v);
+        mirror.remove_vertex(v);
+      } else if (!mirror.edges().empty()) {
+        const auto [a, b] = mirror.edges()[rng.below(mirror.edges().size())];
+        oracle.restore_edge(a, b);
+        mirror.remove_edge(a, b);
+      }
+
+      // Contract: sound and within 1+eps of the true surviving distance.
+      for (int q = 0; q < 5; ++q) {
+        const Vertex s = rng.vertex(g.num_vertices());
+        const Vertex t = rng.vertex(g.num_vertices());
+        const Dist truth = distance_avoiding(g, s, t, mirror);
+        const Dist est = oracle.distance(s, t);
+        if (truth == kInfDist) {
+          ASSERT_EQ(est, kInfDist) << "threshold=" << threshold;
+        } else {
+          ASSERT_GE(est, truth);
+          ASSERT_LE(static_cast<double>(est), 2.0 * truth + 1e-9)
+              << "threshold=" << threshold << " s=" << s << " t=" << t;
+        }
+      }
+    }
+    EXPECT_EQ(oracle.active_faults().size(), mirror.size());
+  }
+}
+
+TEST(RebuildingOracle, ThresholdZeroAlwaysRebuildsAndKeepsDeltaEmpty) {
+  const Graph g = make_cycle(40);
+  RebuildingDynamicOracle oracle(g, SchemeParams::faithful(1.0), 0);
+  oracle.fail_vertex(5);
+  EXPECT_EQ(oracle.rebuilds(), 1u);
+  EXPECT_TRUE(oracle.delta_faults().empty());
+  oracle.fail_vertex(20);
+  EXPECT_EQ(oracle.rebuilds(), 2u);
+  // With delta empty the query runs fault-free on the rebuilt labels.
+  EXPECT_EQ(oracle.distance(6, 19), 13u);
+  EXPECT_EQ(oracle.distance(4, 6), kInfDist);  // 5 removed splits the arc
+}
+
+TEST(RebuildingOracle, HighThresholdNeverRebuildsOnFailures) {
+  const Graph g = make_cycle(40);
+  RebuildingDynamicOracle oracle(g, SchemeParams::faithful(1.0), 100);
+  for (Vertex v = 0; v < 10; ++v) oracle.fail_vertex(v);
+  EXPECT_EQ(oracle.rebuilds(), 0u);
+  EXPECT_EQ(oracle.delta_faults().size(), 10u);
+}
+
+TEST(RebuildingOracle, RestoreFromDeltaIsFree) {
+  const Graph g = make_cycle(30);
+  RebuildingDynamicOracle oracle(g, SchemeParams::faithful(1.0), 10);
+  oracle.fail_vertex(3);
+  oracle.restore_vertex(3);
+  EXPECT_EQ(oracle.rebuilds(), 0u);
+  EXPECT_EQ(oracle.distance(2, 4), 2u);
+}
+
+TEST(RebuildingOracle, RestoreOfAbsorbedFaultForcesRebuild) {
+  const Graph g = make_cycle(30);
+  RebuildingDynamicOracle oracle(g, SchemeParams::faithful(1.0), 1);
+  oracle.fail_vertex(3);
+  oracle.fail_vertex(10);  // delta size 2 > 1 → rebuild, both absorbed
+  ASSERT_EQ(oracle.rebuilds(), 1u);
+  EXPECT_EQ(oracle.distance(2, 4), kInfDist);  // both arcs severed
+  oracle.restore_vertex(3);                    // absorbed → rebuild again
+  EXPECT_EQ(oracle.rebuilds(), 2u);
+  EXPECT_EQ(oracle.distance(2, 4), 2u);
+}
+
+TEST(RebuildingOracle, DuplicateOperationsAreNoOps) {
+  const Graph g = make_path(20);
+  RebuildingDynamicOracle oracle(g, SchemeParams::faithful(1.0), 5);
+  oracle.fail_vertex(7);
+  oracle.fail_vertex(7);
+  EXPECT_EQ(oracle.active_faults().size(), 1u);
+  oracle.restore_vertex(9);  // never failed
+  EXPECT_EQ(oracle.active_faults().size(), 1u);
+  EXPECT_EQ(oracle.rebuilds(), 0u);
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/bfs.hpp"
+#include "graph/components.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "routing/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+struct Setup {
+  Graph g;
+  std::unique_ptr<ForbiddenSetLabeling> scheme;
+  std::unique_ptr<ForbiddenSetOracle> oracle;
+  std::unique_ptr<ForbiddenSetRouting> routing;
+};
+
+Setup make_setup(Graph g, const SchemeParams& params) {
+  Setup s;
+  s.g = std::move(g);
+  s.scheme = std::make_unique<ForbiddenSetLabeling>(
+      ForbiddenSetLabeling::build(s.g, params));
+  s.oracle = std::make_unique<ForbiddenSetOracle>(*s.scheme);
+  s.routing =
+      std::make_unique<ForbiddenSetRouting>(ForbiddenSetRouting::build(s.g, *s.scheme));
+  return s;
+}
+
+/// Validates the walk itself: consecutive hops are real edges, no forbidden
+/// vertex or edge is traversed.
+void check_walk(const Graph& g, const FaultSet& f, const RouteResult& rr,
+                Vertex s) {
+  ASSERT_FALSE(rr.path.empty());
+  EXPECT_EQ(rr.path.front(), s);
+  EXPECT_EQ(rr.hops + 1, rr.path.size());
+  for (std::size_t k = 0; k + 1 < rr.path.size(); ++k) {
+    ASSERT_TRUE(g.has_edge(rr.path[k], rr.path[k + 1]));
+    ASSERT_FALSE(f.edge_faulty(rr.path[k], rr.path[k + 1]));
+  }
+  for (std::size_t k = 1; k < rr.path.size(); ++k) {
+    ASSERT_FALSE(f.vertex_faulty(rr.path[k]));
+  }
+}
+
+TEST(Routing, PortsAreValidNeighbors) {
+  auto su = make_setup(make_grid2d(8, 8), SchemeParams::faithful(1.0));
+  Rng rng(5);
+  std::size_t checked = 0;
+  for (Vertex u = 0; u < su.g.num_vertices(); ++u) {
+    const VertexLabel label = su.scheme->label(u);
+    for (const auto& ll : label.levels) {
+      for (std::size_t k = 1; k < ll.points.size(); ++k) {
+        const Vertex p = su.routing->port(u, ll.points[k]);
+        ASSERT_NE(p, kNoVertex)
+            << "label point without port: u=" << u << " x=" << ll.points[k];
+        ASSERT_TRUE(su.g.has_edge(u, p));
+        ++checked;
+      }
+      if (checked > 5000) return;  // plenty of evidence
+    }
+  }
+}
+
+TEST(Routing, PortsDecreaseDistanceToTarget) {
+  auto su = make_setup(make_grid2d(7, 7), SchemeParams::faithful(1.0));
+  const auto apsp = [&](Vertex a) { return bfs_distances(su.g, a); };
+  const VertexLabel label = su.scheme->label(24);
+  const auto& ll = label.levels.front();
+  for (std::size_t k = 1; k < ll.points.size() && k < 30; ++k) {
+    const Vertex target = ll.points[k];
+    const auto dist = apsp(target);
+    const Vertex p = su.routing->port(24, target);
+    ASSERT_NE(p, kNoVertex);
+    EXPECT_EQ(dist[p] + 1, dist[24]);
+  }
+}
+
+class RoutingSweep
+    : public ::testing::TestWithParam<std::tuple<const char*, unsigned>> {};
+
+TEST_P(RoutingSweep, DeliversWithBoundedStretch) {
+  const auto& [family, max_faults] = GetParam();
+  const double eps = 1.0;
+  Graph g = std::string(family) == "grid"   ? make_grid2d(12, 12)
+            : std::string(family) == "cycle" ? make_cycle(128)
+            : std::string(family) == "tree"  ? make_balanced_tree(2, 6)
+                                             : make_path(160);
+  auto su = make_setup(std::move(g), SchemeParams::faithful(eps));
+  Rng rng(31);
+  int delivered = 0, total = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const Vertex s = rng.vertex(su.g.num_vertices());
+    const Vertex t = rng.vertex(su.g.num_vertices());
+    if (s == t) continue;
+    FaultSet f;
+    for (unsigned k = 0; k < max_faults; ++k) {
+      const Vertex x = rng.vertex(su.g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    const Dist exact = distance_avoiding(su.g, s, t, f);
+    if (exact == kInfDist) continue;
+    ++total;
+    const RouteResult rr = route_packet(su.g, *su.routing, *su.oracle, s, t, f);
+    check_walk(su.g, f, rr, s);
+    ASSERT_TRUE(rr.delivered)
+        << family << " s=" << s << " t=" << t << " |F|=" << f.size()
+        << (rr.blocked_by_fault ? " (blocked)" : " (missing port)");
+    ++delivered;
+    // Routing stretch equals labeling stretch (Theorem 2.7); allow the
+    // final-mile chain descent its O(ε)-scale slack.
+    EXPECT_LE(static_cast<double>(rr.hops), (1.0 + eps) * exact + 4.0)
+        << family << " s=" << s << " t=" << t;
+    EXPECT_GT(rr.header_bits, 0u);
+  }
+  EXPECT_EQ(delivered, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(FamiliesTimesFaults, RoutingSweep,
+                         ::testing::Combine(::testing::Values("grid", "cycle",
+                                                              "tree", "path"),
+                                            ::testing::Values(0u, 2u, 4u)));
+
+TEST(Routing, CompactParamsStillDeliverWhenPlanExists) {
+  auto su = make_setup(make_grid2d(14, 14), SchemeParams::compact(1.0, 2));
+  Rng rng(41);
+  int planned = 0, delivered = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Vertex s = rng.vertex(su.g.num_vertices());
+    const Vertex t = rng.vertex(su.g.num_vertices());
+    FaultSet f;
+    for (unsigned k = 0; k < 2; ++k) {
+      const Vertex x = rng.vertex(su.g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    if (su.oracle->distance(s, t, f) == kInfDist) continue;
+    ++planned;
+    const RouteResult rr = route_packet(su.g, *su.routing, *su.oracle, s, t, f);
+    check_walk(su.g, f, rr, s);
+    if (rr.delivered) ++delivered;
+  }
+  EXPECT_EQ(delivered, planned);
+}
+
+TEST(Routing, UnreachableTargetYieldsNoRoute) {
+  auto su = make_setup(make_cycle(32), SchemeParams::faithful(1.0));
+  FaultSet f;
+  f.add_vertex(4);
+  f.add_vertex(28);
+  const RouteResult rr = route_packet(su.g, *su.routing, *su.oracle, 0, 16, f);
+  EXPECT_FALSE(rr.delivered);
+  EXPECT_EQ(rr.hops, 0u);
+}
+
+TEST(Routing, TableBitsExceedLabelBits) {
+  auto su = make_setup(make_grid2d(8, 8), SchemeParams::faithful(1.0));
+  std::size_t total = 0;
+  for (Vertex v = 0; v < su.g.num_vertices(); ++v) {
+    EXPECT_GT(su.routing->table_bits(v), su.scheme->label_bits(v));
+    EXPECT_GT(su.routing->port_entries(v), 0u);
+    total += su.routing->table_bits(v);
+  }
+  EXPECT_EQ(total, su.routing->total_table_bits());
+}
+
+TEST(Routing, RouteFollowsPlanOnFaultFreeLine) {
+  auto su = make_setup(make_path(100), SchemeParams::faithful(1.0));
+  const FaultSet none;
+  const RouteResult rr = route_packet(su.g, *su.routing, *su.oracle, 5, 90, none);
+  ASSERT_TRUE(rr.delivered);
+  EXPECT_EQ(rr.hops, 85u);  // a path graph leaves no room for detours
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/oracle.hpp"
+#include "core/serialize.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(Serialize, RoundTripPreservesEveryLabelBitForBit) {
+  const Graph g = make_grid2d(9, 9);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  std::stringstream ss;
+  save_labeling(scheme, ss);
+  const auto loaded = load_labeling(ss);
+
+  ASSERT_EQ(loaded.num_vertices(), scheme.num_vertices());
+  EXPECT_EQ(loaded.top_level(), scheme.top_level());
+  EXPECT_EQ(loaded.vertex_bits(), scheme.vertex_bits());
+  EXPECT_EQ(loaded.params().c, scheme.params().c);
+  EXPECT_EQ(loaded.params().faithful_radii, scheme.params().faithful_radii);
+  EXPECT_DOUBLE_EQ(loaded.params().epsilon, scheme.params().epsilon);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(loaded.label_bits(v), scheme.label_bits(v)) << "v=" << v;
+  }
+  EXPECT_EQ(loaded.total_bits(), scheme.total_bits());
+}
+
+TEST(Serialize, LoadedSchemeAnswersIdentically) {
+  const Graph g = make_cycle(80);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::compact(1.0, 2));
+  std::stringstream ss;
+  save_labeling(scheme, ss);
+  const auto loaded = load_labeling(ss);
+
+  const ForbiddenSetOracle original(scheme), reloaded(loaded);
+  Rng rng(77);
+  for (int k = 0; k < 150; ++k) {
+    const Vertex s = rng.vertex(80), t = rng.vertex(80);
+    FaultSet f;
+    for (unsigned j = 0; j < 2; ++j) {
+      const Vertex x = rng.vertex(80);
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    EXPECT_EQ(original.distance(s, t, f), reloaded.distance(s, t, f));
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const Graph g = make_path(60);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const std::string path = ::testing::TempDir() + "scheme.fsdl";
+  save_labeling(scheme, path);
+  const auto loaded = load_labeling(path);
+  EXPECT_EQ(loaded.total_bits(), scheme.total_bits());
+}
+
+TEST(Serialize, DeltaCodecSurvivesRoundTrip) {
+  const Graph g = make_path(70);
+  BuildOptions delta;
+  delta.codec = LabelCodec::kDelta;
+  const auto scheme =
+      ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0), delta);
+  std::stringstream ss;
+  save_labeling(scheme, ss);
+  const auto loaded = load_labeling(ss);
+  EXPECT_EQ(loaded.codec(), LabelCodec::kDelta);
+  const ForbiddenSetOracle a(scheme), b(loaded);
+  FaultSet f;
+  f.add_vertex(30);
+  EXPECT_EQ(a.distance(0, 69, f), b.distance(0, 69, f));
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss("this is not a labeling file");
+  EXPECT_THROW(load_labeling(ss), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  const Graph g = make_path(30);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  std::stringstream ss;
+  save_labeling(scheme, ss);
+  const std::string full = ss.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(load_labeling(cut), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_labeling(std::string("/nonexistent/dir/x.fsdl")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "baseline/tree_labeling.hpp"
+#include "graph/bfs.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+Graph random_tree(Vertex n, Rng& rng) {
+  GraphBuilder b(n);
+  for (Vertex v = 1; v < n; ++v) {
+    b.add_edge(v, rng.vertex(v));  // random attachment: uniform-ish tree
+  }
+  return b.build();
+}
+
+TEST(TreeLabeling, RejectsNonTrees) {
+  EXPECT_THROW(TreeDistanceLabeling::build(make_cycle(5)),
+               std::invalid_argument);
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  EXPECT_THROW(TreeDistanceLabeling::build(b.build()), std::invalid_argument);
+}
+
+TEST(TreeLabeling, ExactOnPath) {
+  const Graph g = make_path(50);
+  const auto scheme = TreeDistanceLabeling::build(g);
+  for (Vertex s = 0; s < 50; s += 3) {
+    for (Vertex t = 0; t < 50; t += 7) {
+      EXPECT_EQ(scheme.distance(s, t),
+                static_cast<Dist>(std::abs(static_cast<int>(s) -
+                                           static_cast<int>(t))));
+    }
+  }
+}
+
+class TreeLabelingSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(TreeLabelingSweep, ExactOnAllPairsOfRandomTrees) {
+  Rng rng(GetParam());
+  const Graph g = random_tree(120, rng);
+  const auto scheme = TreeDistanceLabeling::build(g);
+  for (Vertex s = 0; s < g.num_vertices(); s += 4) {
+    const auto dist = bfs_distances(g, s);
+    for (Vertex t = 0; t < g.num_vertices(); ++t) {
+      ASSERT_EQ(scheme.distance(s, t), dist[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST_P(TreeLabelingSweep, ExactUnderFaults) {
+  Rng rng(1000 + GetParam());
+  const Graph g = random_tree(100, rng);
+  const auto scheme = TreeDistanceLabeling::build(g);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vertex s = rng.vertex(100);
+    const Vertex t = rng.vertex(100);
+    FaultSet f;
+    for (unsigned k = 0; k < 3; ++k) {
+      if (rng.chance(0.5)) {
+        const Vertex x = rng.vertex(100);
+        if (x != s && x != t) f.add_vertex(x);
+      } else {
+        const Vertex a = rng.vertex(100);
+        const auto nb = g.neighbors(a);
+        if (!nb.empty()) f.add_edge(a, nb[rng.below(nb.size())]);
+      }
+    }
+    ASSERT_EQ(scheme.distance(s, t, f), distance_avoiding(g, s, t, f))
+        << "s=" << s << " t=" << t << " |F|=" << f.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeLabelingSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(TreeLabeling, BalancedAndDegenerateShapes) {
+  for (const Graph& g :
+       {make_balanced_tree(2, 7), make_balanced_tree(5, 3),
+        make_caterpillar(30, 3), make_path(200)}) {
+    const auto scheme = TreeDistanceLabeling::build(g);
+    Rng rng(9);
+    for (int k = 0; k < 100; ++k) {
+      const Vertex s = rng.vertex(g.num_vertices());
+      const Vertex t = rng.vertex(g.num_vertices());
+      const FaultSet none;
+      ASSERT_EQ(scheme.distance(s, t), distance_avoiding(g, s, t, none));
+    }
+  }
+}
+
+TEST(TreeLabeling, FaultyEndpointIsUnreachable) {
+  const Graph g = make_path(10);
+  const auto scheme = TreeDistanceLabeling::build(g);
+  FaultSet f;
+  f.add_vertex(0);
+  EXPECT_EQ(scheme.distance(0, 5, f), kInfDist);
+}
+
+TEST(TreeLabeling, NonTreeForbiddenEdgeIsIgnored) {
+  const Graph g = make_path(10);
+  const auto scheme = TreeDistanceLabeling::build(g);
+  FaultSet f;
+  f.add_edge(2, 7);  // not an edge of the path
+  EXPECT_EQ(scheme.distance(0, 9, f), 9u);
+}
+
+TEST(TreeLabeling, LabelBitsAreLogSquared) {
+  // O(log² n) bits: on a balanced binary tree of 2^13 - 1 vertices the
+  // descriptor has <= 13 chains of <= 2·13 + 13 bits each.
+  const Graph g = make_balanced_tree(2, 12);
+  const auto scheme = TreeDistanceLabeling::build(g);
+  const double log_n = std::log2(static_cast<double>(g.num_vertices()));
+  EXPECT_LE(static_cast<double>(scheme.max_label_bits()),
+            4.0 * log_n * log_n + 64);
+}
+
+TEST(TreeLabeling, ChainCountLogarithmic) {
+  Rng rng(14);
+  const Graph g = random_tree(4096, rng);
+  const auto scheme = TreeDistanceLabeling::build(g);
+  for (Vertex v = 0; v < g.num_vertices(); v += 97) {
+    EXPECT_LE(scheme.label(v).chains.size(), 13u);  // ⌈log₂ 4096⌉ + 1
+  }
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "util/bitstream.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(BitStream, FixedWidthRoundTrip) {
+  BitWriter w;
+  w.write_bits(0b101, 3);
+  w.write_bits(0, 1);
+  w.write_bits(0xdeadbeefULL, 32);
+  w.write_bits(~std::uint64_t{0}, 64);
+  EXPECT_EQ(w.bit_size(), 3u + 1 + 32 + 64);
+
+  BitReader r(w);
+  EXPECT_EQ(r.read_bits(3), 0b101u);
+  EXPECT_EQ(r.read_bits(1), 0u);
+  EXPECT_EQ(r.read_bits(32), 0xdeadbeefULL);
+  EXPECT_EQ(r.read_bits(64), ~std::uint64_t{0});
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitStream, ZeroWidthWritesNothing) {
+  BitWriter w;
+  w.write_bits(123, 0);
+  EXPECT_EQ(w.bit_size(), 0u);
+}
+
+TEST(BitStream, MasksValueToWidth) {
+  BitWriter w;
+  w.write_bits(0xff, 4);  // only the low 4 bits should land
+  BitReader r(w);
+  EXPECT_EQ(r.read_bits(4), 0xfu);
+}
+
+TEST(BitStream, GammaRoundTripSmallValues) {
+  BitWriter w;
+  for (std::uint64_t v = 1; v <= 300; ++v) w.write_gamma(v);
+  BitReader r(w);
+  for (std::uint64_t v = 1; v <= 300; ++v) EXPECT_EQ(r.read_gamma(), v);
+}
+
+TEST(BitStream, GammaRejectsZero) {
+  BitWriter w;
+  EXPECT_THROW(w.write_gamma(0), std::invalid_argument);
+}
+
+TEST(BitStream, Gamma0HandlesZero) {
+  BitWriter w;
+  w.write_gamma0(0);
+  w.write_gamma0(41);
+  BitReader r(w);
+  EXPECT_EQ(r.read_gamma0(), 0u);
+  EXPECT_EQ(r.read_gamma0(), 41u);
+}
+
+TEST(BitStream, RandomizedMixedRoundTrip) {
+  Rng rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, unsigned>> fixed;
+    std::vector<std::uint64_t> gammas;
+    for (int k = 0; k < 200; ++k) {
+      if (rng.chance(0.5)) {
+        const unsigned width = 1 + static_cast<unsigned>(rng.below(64));
+        const std::uint64_t value =
+            rng.next() & (width == 64 ? ~0ULL : (1ULL << width) - 1);
+        fixed.emplace_back(value, width);
+        gammas.push_back(0);  // placeholder for ordering
+        w.write_bits(value, width);
+      } else {
+        const std::uint64_t value = 1 + rng.below(1 << 20);
+        fixed.emplace_back(0, 0);
+        gammas.push_back(value);
+        w.write_gamma(value);
+      }
+    }
+    BitReader r(w);
+    for (std::size_t k = 0; k < fixed.size(); ++k) {
+      if (fixed[k].second > 0) {
+        EXPECT_EQ(r.read_bits(fixed[k].second), fixed[k].first);
+      } else {
+        EXPECT_EQ(r.read_gamma(), gammas[k]);
+      }
+    }
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(BitStream, ReaderThrowsPastEnd) {
+  BitWriter w;
+  w.write_bits(1, 1);
+  BitReader r(w);
+  r.read_bits(1);
+  EXPECT_THROW(r.read_bits(1), std::out_of_range);
+}
+
+TEST(BitsFor, KnownValues) {
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 1u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 2u);
+  EXPECT_EQ(bits_for(5), 3u);
+  EXPECT_EQ(bits_for(256), 8u);
+  EXPECT_EQ(bits_for(257), 9u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(2);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, SampleDistinctProducesDistinctInRange) {
+  Rng rng(3);
+  const auto sample = rng.sample_distinct(100, 30);
+  ASSERT_EQ(sample.size(), 30u);
+  std::vector<bool> seen(100, false);
+  for (Vertex v : sample) {
+    ASSERT_LT(v, 100u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+}
+
+TEST(Summary, OrderStatistics) {
+  Summary s;
+  for (int v : {5, 1, 9, 3, 7}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 9.0);
+  EXPECT_DOUBLE_EQ(s.percentile(20), 1.0);
+}
+
+TEST(Summary, EmptyThrows) {
+  Summary s;
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.percentile(50), std::logic_error);
+}
+
+TEST(Summary, AddAfterQueryStillCorrect) {
+  Summary s;
+  s.add(2);
+  EXPECT_DOUBLE_EQ(s.max(), 2.0);
+  s.add(10);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Table, AlignedOutputContainsCells) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(42LL);
+  t.row().cell("b").cell(3.14159, 2);
+  std::ostringstream os;
+  t.print(os, "demo");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.row().cell(1LL).cell(2LL);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+#include "core/weighted.hpp"
+#include "graph/generators.hpp"
+#include "graph/wfault.hpp"
+#include "graph/wgraph.hpp"
+#include "routing/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+struct WSetup {
+  WeightedGraph g;
+  std::unique_ptr<ForbiddenSetLabeling> scheme;
+  std::unique_ptr<ForbiddenSetOracle> oracle;
+  std::unique_ptr<ForbiddenSetRouting> routing;
+};
+
+WSetup make_setup(const Graph& base, Weight max_w, std::uint64_t seed) {
+  Rng rng(seed);
+  WSetup s;
+  s.g = max_w == 1 ? weighted_from(base) : weighted_from(base, max_w, rng);
+  s.scheme = std::make_unique<ForbiddenSetLabeling>(
+      build_weighted_labeling(s.g, SchemeParams::faithful(1.0)));
+  s.oracle = std::make_unique<ForbiddenSetOracle>(*s.scheme);
+  s.routing = std::make_unique<ForbiddenSetRouting>(
+      ForbiddenSetRouting::build(s.g, *s.scheme));
+  return s;
+}
+
+void check_walk(const WeightedGraph& g, const FaultSet& f,
+                const RouteResult& rr, Vertex s) {
+  ASSERT_FALSE(rr.path.empty());
+  EXPECT_EQ(rr.path.front(), s);
+  Dist length = 0;
+  for (std::size_t k = 0; k + 1 < rr.path.size(); ++k) {
+    const Weight w = g.edge_weight(rr.path[k], rr.path[k + 1]);
+    ASSERT_GT(w, 0u) << "walk uses a nonexistent edge";
+    ASSERT_FALSE(f.edge_faulty(rr.path[k], rr.path[k + 1]));
+    length += w;
+  }
+  EXPECT_EQ(length, rr.length);
+  for (std::size_t k = 1; k < rr.path.size(); ++k) {
+    ASSERT_FALSE(f.vertex_faulty(rr.path[k]));
+  }
+}
+
+class WeightedRoutingSweep : public ::testing::TestWithParam<Weight> {};
+
+TEST_P(WeightedRoutingSweep, DeliversWithModestStretch) {
+  const Weight max_w = GetParam();
+  WSetup su = make_setup(make_grid2d(10, 10), max_w, 5);
+  Rng rng(31);
+  int total = 0, delivered = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    const Vertex s = rng.vertex(su.g.num_vertices());
+    const Vertex t = rng.vertex(su.g.num_vertices());
+    if (s == t) continue;
+    FaultSet f;
+    for (unsigned k = 0; k < 2; ++k) {
+      const Vertex x = rng.vertex(su.g.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    const Dist exact = weighted_distance_avoiding(su.g, s, t, f);
+    if (exact == kInfDist) continue;
+    ++total;
+    const RouteResult rr =
+        route_packet(su.g, *su.routing, *su.oracle, s, t, f);
+    check_walk(su.g, f, rr, s);
+    ASSERT_TRUE(rr.delivered) << "s=" << s << " t=" << t;
+    ++delivered;
+    // Empirical weighted bound: labeling stretch plus chain-descent slack.
+    EXPECT_LE(static_cast<double>(rr.length), 2.0 * exact + 4.0 * max_w)
+        << "s=" << s << " t=" << t;
+  }
+  EXPECT_EQ(delivered, total);
+  EXPECT_GT(total, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, WeightedRoutingSweep,
+                         ::testing::Values(1u, 3u, 8u));
+
+TEST(WeightedRouting, UnitWeightsMatchUnweightedSimulator) {
+  const Graph base = make_cycle(60);
+  WSetup su = make_setup(base, 1, 7);
+  const auto u_scheme =
+      ForbiddenSetLabeling::build(base, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle u_oracle(u_scheme);
+  const auto u_routing = ForbiddenSetRouting::build(base, u_scheme);
+  Rng rng(9);
+  for (int k = 0; k < 40; ++k) {
+    const Vertex s = rng.vertex(60), t = rng.vertex(60);
+    if (s == t) continue;
+    FaultSet f;
+    const Vertex x = rng.vertex(60);
+    if (x != s && x != t) f.add_vertex(x);
+    const RouteResult a = route_packet(su.g, *su.routing, *su.oracle, s, t, f);
+    const RouteResult b = route_packet(base, u_routing, u_oracle, s, t, f);
+    EXPECT_EQ(a.delivered, b.delivered);
+    if (a.delivered && b.delivered) {
+      EXPECT_EQ(a.length, a.hops);
+      EXPECT_EQ(a.hops, b.hops);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "core/oracle.hpp"
+#include "core/weighted.hpp"
+#include "graph/generators.hpp"
+#include "graph/wfault.hpp"
+#include "graph/wgraph.hpp"
+#include "graph/wsearch.hpp"
+#include "nets/weighted_nets.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(WeightedGraph, BuilderAndAccessors) {
+  WeightedGraphBuilder b(4);
+  b.add_edge(0, 1, 3);
+  b.add_edge(1, 2, 5);
+  b.add_edge(1, 2, 2);  // duplicate: lighter weight wins
+  const WeightedGraph g = b.build();
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge_weight(0, 1), 3u);
+  EXPECT_EQ(g.edge_weight(2, 1), 2u);
+  EXPECT_EQ(g.edge_weight(0, 2), 0u);
+  EXPECT_EQ(g.max_weight(), 3u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(WeightedGraph, BuilderRejectsBadEdges) {
+  WeightedGraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 0, 1), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(b.add_edge(0, 5, 1), std::out_of_range);
+}
+
+TEST(WeightedGraph, ConversionRoundTrip) {
+  Rng rng(3);
+  const Graph g = make_grid2d(6, 6);
+  const WeightedGraph wu = weighted_from(g);
+  EXPECT_EQ(wu.num_edges(), g.num_edges());
+  EXPECT_EQ(wu.max_weight(), 1u);
+  const WeightedGraph wr = weighted_from(g, 7, rng);
+  EXPECT_LE(wr.max_weight(), 7u);
+  const Graph back = unweighted_skeleton(wr);
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+}
+
+TEST(DijkstraRunner, MatchesFullDijkstraWithinRadius) {
+  Rng rng(5);
+  const WeightedGraph g = weighted_from(make_grid2d(8, 8), 5, rng);
+  const auto full = dijkstra_distances(g, 10);
+  DijkstraRunner runner(g);
+  std::vector<Dist> seen(g.num_vertices(), kInfDist);
+  runner.run(10, 12, [&](Vertex v, Dist d) { seen[v] = d; });
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (full[v] <= 12) {
+      EXPECT_EQ(seen[v], full[v]) << "v=" << v;
+    } else {
+      EXPECT_EQ(seen[v], kInfDist) << "v=" << v;
+    }
+  }
+}
+
+TEST(DijkstraRunner, ReusableAndNondecreasing) {
+  Rng rng(6);
+  const WeightedGraph g = weighted_from(make_cycle(30), 3, rng);
+  DijkstraRunner runner(g);
+  for (Vertex s : {0u, 7u, 19u}) {
+    Dist last = 0;
+    runner.run(s, 20, [&](Vertex, Dist d) {
+      EXPECT_GE(d, last);
+      last = d;
+    });
+  }
+}
+
+TEST(DijkstraRunner, ParentsFormShortestPathTree) {
+  Rng rng(7);
+  const WeightedGraph g = weighted_from(make_grid2d(6, 6), 4, rng);
+  const auto full = dijkstra_distances(g, 0);
+  DijkstraRunner runner(g);
+  runner.run_with_parents(0, 50, [&](Vertex v, Dist d, Vertex parent) {
+    if (v == 0) {
+      EXPECT_EQ(parent, kNoVertex);
+    } else {
+      ASSERT_NE(parent, kNoVertex);
+      EXPECT_EQ(full[parent] + g.edge_weight(parent, v), d);
+    }
+  });
+}
+
+TEST(WeightedNets, DominationAndSeparation) {
+  Rng rng(8);
+  const WeightedGraph g = weighted_from(make_grid2d(9, 9), 3, rng);
+  for (Dist r : {2u, 4u, 8u, 16u}) {
+    const auto w = greedy_dominating_set(g, r);
+    std::vector<Dist> dist;
+    std::vector<Vertex> owner;
+    multi_source_dijkstra(g, w, dist, owner);
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_LT(dist[v], r) << "not r-dominating at r=" << r;
+    }
+    DijkstraRunner runner(g);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      for (std::size_t j = i + 1; j < w.size(); ++j) {
+        EXPECT_GE(runner.bounded_distance(w[i], w[j], 4 * r), r)
+            << "net points too close at r=" << r;
+      }
+    }
+  }
+}
+
+TEST(WeightedNets, HierarchyNesting) {
+  Rng rng(9);
+  const WeightedGraph g = weighted_from(make_grid2d(8, 8), 4, rng);
+  const auto h = build_weighted_net_hierarchy(g, 5);
+  EXPECT_EQ(h.level(0).size(), g.num_vertices());
+  for (unsigned i = 1; i <= 5; ++i) {
+    for (Vertex v : h.level(i)) {
+      EXPECT_TRUE(h.in_level(v, i - 1));
+    }
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_LE(h.nearest_dist(i, v), (Dist{1} << i));
+    }
+  }
+}
+
+struct WeightedCase {
+  const char* family;
+  Weight max_weight;
+};
+
+class WeightedSchemeSweep : public ::testing::TestWithParam<WeightedCase> {};
+
+TEST_P(WeightedSchemeSweep, SoundAndAccurate) {
+  const auto& [family, max_w] = GetParam();
+  Rng rng(11);
+  const Graph base = std::string(family) == "path"  ? make_path(180)
+                     : std::string(family) == "grid" ? make_grid2d(11, 11)
+                                                     : make_cycle(150);
+  const WeightedGraph g = weighted_from(base, max_w, rng);
+  const auto scheme = build_weighted_labeling(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+
+  int finite = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vertex s = rng.vertex(g.num_vertices());
+    const Vertex t = rng.vertex(g.num_vertices());
+    FaultSet f;
+    for (unsigned k = 0; k < 3; ++k) {
+      if (rng.chance(0.4)) {
+        const Vertex a = rng.vertex(g.num_vertices());
+        const auto arcs = g.arcs(a);
+        if (!arcs.empty()) f.add_edge(a, arcs[rng.below(arcs.size())].to);
+      } else {
+        const Vertex x = rng.vertex(g.num_vertices());
+        if (x != s && x != t) f.add_vertex(x);
+      }
+    }
+    const Dist exact = weighted_distance_avoiding(g, s, t, f);
+    const Dist approx = oracle.distance(s, t, f);
+    if (exact == kInfDist) {
+      ASSERT_EQ(approx, kInfDist);
+      continue;
+    }
+    ASSERT_GE(approx, exact) << "soundness violated";
+    ASSERT_NE(approx, kInfDist) << "missed connected pair s=" << s
+                                << " t=" << t << " |F|=" << f.size();
+    ++finite;
+    if (exact > 0) {
+      // Empirical bound: 1 + ε plus the O(W/2^c) weighted-snapping slack.
+      ASSERT_LE(static_cast<double>(approx),
+                2.0 * exact + 2.0 * max_w)
+          << "s=" << s << " t=" << t;
+    }
+  }
+  EXPECT_GT(finite, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesTimesWeights, WeightedSchemeSweep,
+    ::testing::Values(WeightedCase{"path", 1}, WeightedCase{"path", 4},
+                      WeightedCase{"path", 16}, WeightedCase{"grid", 4},
+                      WeightedCase{"cycle", 8}));
+
+TEST(WeightedScheme, UnitWeightsMatchUnweightedScheme) {
+  const Graph base = make_grid2d(9, 9);
+  const WeightedGraph g = weighted_from(base);
+  const auto weighted = build_weighted_labeling(g, SchemeParams::faithful(1.0));
+  const auto unweighted =
+      ForbiddenSetLabeling::build(base, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle ow(weighted), ou(unweighted);
+  Rng rng(12);
+  for (int k = 0; k < 100; ++k) {
+    const Vertex s = rng.vertex(base.num_vertices());
+    const Vertex t = rng.vertex(base.num_vertices());
+    FaultSet f;
+    const Vertex x = rng.vertex(base.num_vertices());
+    if (x != s && x != t) f.add_vertex(x);
+    EXPECT_EQ(ow.distance(s, t, f), ou.distance(s, t, f))
+        << "s=" << s << " t=" << t;
+  }
+}
+
+TEST(WeightedScheme, HeavyEdgeSurvivesWhenShortcutFails) {
+  // A triangle-ish graph: s-t direct edge weight 10, plus a 2-hop shortcut
+  // of total weight 4 through m. Failing m must fall back to the heavy
+  // real edge — this exercises the graph_edge flag with weight > 1.
+  WeightedGraphBuilder b(3);
+  b.add_edge(0, 1, 10);
+  b.add_edge(0, 2, 2);
+  b.add_edge(2, 1, 2);
+  const WeightedGraph g = b.build();
+  const auto scheme = build_weighted_labeling(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  const FaultSet none;
+  EXPECT_EQ(oracle.distance(0, 1, none), 4u);
+  FaultSet f;
+  f.add_vertex(2);
+  EXPECT_EQ(oracle.distance(0, 1, f), 10u);
+  FaultSet fe;
+  fe.add_edge(0, 2);
+  EXPECT_EQ(oracle.distance(0, 1, fe), 10u);
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,0 +1,212 @@
+// fsdl — command-line front end.
+//
+//   fsdl gen <family> <args...> <out.edges>   generate a graph
+//       families: path N | cycle N | grid R C | torus R C | king R C |
+//                 tree ARITY DEPTH | disk N RADIUS SEED | roads R C DROP SEED
+//   fsdl build <graph.edges> <out.fsdl> [--eps E] [--compact C]
+//       preprocess labels (faithful by default; --compact C for the sound
+//       small-label preset with net shift C)
+//   fsdl stats <scheme.fsdl>
+//       print label-size statistics
+//   fsdl query <scheme.fsdl> S T [-v F]... [-e A B]...
+//       forbidden-set distance query from labels only
+//   fsdl exact <graph.edges> S T [-v F]... [-e A B]...
+//       ground-truth BFS on G\F (for comparison)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "core/serialize.hpp"
+#include "graph/components.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fsdl;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  fsdl gen <family> <args...> <out.edges>\n"
+               "  fsdl build <graph.edges> <out.fsdl> [--eps E] [--compact C]\n"
+               "  fsdl stats <scheme.fsdl>\n"
+               "  fsdl query <scheme.fsdl> S T [-v F]... [-e A B]...\n"
+               "  fsdl exact <graph.edges> S T [-v F]... [-e A B]...\n");
+  std::exit(2);
+}
+
+long arg_int(const std::vector<std::string>& args, std::size_t k) {
+  if (k >= args.size()) usage("missing numeric argument");
+  return std::strtol(args[k].c_str(), nullptr, 10);
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage("gen: need family, args, output path");
+  const std::string& family = args[0];
+  const std::string& out = args.back();
+  Graph g;
+  if (family == "path") {
+    g = make_path(static_cast<Vertex>(arg_int(args, 1)));
+  } else if (family == "cycle") {
+    g = make_cycle(static_cast<Vertex>(arg_int(args, 1)));
+  } else if (family == "grid") {
+    g = make_grid2d(static_cast<Vertex>(arg_int(args, 1)),
+                    static_cast<Vertex>(arg_int(args, 2)));
+  } else if (family == "torus") {
+    g = make_torus2d(static_cast<Vertex>(arg_int(args, 1)),
+                     static_cast<Vertex>(arg_int(args, 2)));
+  } else if (family == "king") {
+    g = make_king_grid(static_cast<Vertex>(arg_int(args, 1)),
+                       static_cast<Vertex>(arg_int(args, 2)));
+  } else if (family == "tree") {
+    g = make_balanced_tree(static_cast<unsigned>(arg_int(args, 1)),
+                           static_cast<unsigned>(arg_int(args, 2)));
+  } else if (family == "disk") {
+    Rng rng(static_cast<std::uint64_t>(arg_int(args, 3)));
+    g = largest_component_subgraph(make_unit_disk(
+        static_cast<Vertex>(arg_int(args, 1)),
+        std::strtod(args[2].c_str(), nullptr), rng));
+  } else if (family == "roads") {
+    Rng rng(static_cast<std::uint64_t>(arg_int(args, 4)));
+    g = make_perturbed_grid(static_cast<Vertex>(arg_int(args, 1)),
+                            static_cast<Vertex>(arg_int(args, 2)),
+                            std::strtod(args[3].c_str(), nullptr), rng);
+  } else {
+    usage("gen: unknown family");
+  }
+  save_graph(g, out);
+  std::printf("wrote %s: n=%u m=%zu\n", out.c_str(), g.num_vertices(),
+              g.num_edges());
+  return 0;
+}
+
+int cmd_build(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("build: need graph and output path");
+  double eps = 1.0;
+  long compact_c = -1;
+  for (std::size_t k = 2; k < args.size(); ++k) {
+    if (args[k] == "--eps" && k + 1 < args.size()) {
+      eps = std::strtod(args[++k].c_str(), nullptr);
+    } else if (args[k] == "--compact" && k + 1 < args.size()) {
+      compact_c = std::strtol(args[++k].c_str(), nullptr, 10);
+    } else {
+      usage("build: unknown option");
+    }
+  }
+  const Graph g = load_graph(args[0]);
+  const SchemeParams params =
+      compact_c >= 0 ? SchemeParams::compact(eps, static_cast<unsigned>(compact_c))
+                     : SchemeParams::faithful(eps);
+  WallTimer timer;
+  const auto scheme = ForbiddenSetLabeling::build(g, params);
+  std::printf("built labels for n=%u in %.2fs (%s, eps=%.3g, c=%u)\n",
+              g.num_vertices(), timer.elapsed_seconds(),
+              params.faithful_radii ? "faithful" : "compact", eps, params.c);
+  save_labeling(scheme, args[1]);
+  std::printf("wrote %s: mean %.0f bits/label, max %zu bits\n",
+              args[1].c_str(), scheme.mean_label_bits(),
+              scheme.max_label_bits());
+  return 0;
+}
+
+int cmd_stats(const std::vector<std::string>& args) {
+  if (args.size() != 1) usage("stats: need scheme path");
+  const auto scheme = load_labeling(args[0]);
+  Summary bits;
+  for (Vertex v = 0; v < scheme.num_vertices(); ++v) {
+    bits.add(static_cast<double>(scheme.label_bits(v)));
+  }
+  std::printf("scheme: n=%u levels=[%u..%u] %s eps=%.3g c=%u\n",
+              scheme.num_vertices(), scheme.min_level(), scheme.top_level(),
+              scheme.params().faithful_radii ? "faithful" : "compact",
+              scheme.params().epsilon, scheme.params().c);
+  std::printf("label bits: min=%.0f mean=%.0f median=%.0f p95=%.0f max=%.0f\n",
+              bits.min(), bits.mean(), bits.median(), bits.percentile(95),
+              bits.max());
+  std::printf("total: %zu bits (%.1f MiB)\n", scheme.total_bits(),
+              static_cast<double>(scheme.total_bits()) / 8.0 / 1024 / 1024);
+  return 0;
+}
+
+FaultSet parse_faults(const std::vector<std::string>& args, std::size_t from) {
+  FaultSet f;
+  for (std::size_t k = from; k < args.size();) {
+    if (args[k] == "-v" && k + 1 < args.size()) {
+      f.add_vertex(static_cast<Vertex>(arg_int(args, k + 1)));
+      k += 2;
+    } else if (args[k] == "-e" && k + 2 < args.size()) {
+      f.add_edge(static_cast<Vertex>(arg_int(args, k + 1)),
+                 static_cast<Vertex>(arg_int(args, k + 2)));
+      k += 3;
+    } else {
+      usage("bad fault specification");
+    }
+  }
+  return f;
+}
+
+int cmd_query(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage("query: need scheme, S, T");
+  const auto scheme = load_labeling(args[0]);
+  const ForbiddenSetOracle oracle(scheme);
+  const auto s = static_cast<Vertex>(arg_int(args, 1));
+  const auto t = static_cast<Vertex>(arg_int(args, 2));
+  const FaultSet f = parse_faults(args, 3);
+  WallTimer timer;
+  const QueryResult qr = oracle.query(s, t, f);
+  const double us = timer.elapsed_us();
+  if (qr.distance == kInfDist) {
+    std::printf("d(%u, %u | %zu faults) = unreachable   [%.0f us]\n", s, t,
+                f.size(), us);
+  } else {
+    std::printf("d(%u, %u | %zu faults) <= %u   [%.0f us]\nwaypoints:", s, t,
+                f.size(), qr.distance, us);
+    for (Vertex w : qr.waypoints) std::printf(" %u", w);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_exact(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage("exact: need graph, S, T");
+  const Graph g = load_graph(args[0]);
+  const auto s = static_cast<Vertex>(arg_int(args, 1));
+  const auto t = static_cast<Vertex>(arg_int(args, 2));
+  const FaultSet f = parse_faults(args, 3);
+  const Dist d = distance_avoiding(g, s, t, f);
+  if (d == kInfDist) {
+    std::printf("d(%u, %u | %zu faults) = unreachable\n", s, t, f.size());
+  } else {
+    std::printf("d(%u, %u | %zu faults) = %u\n", s, t, f.size(), d);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "query") return cmd_query(args);
+    if (cmd == "exact") return cmd_exact(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage("unknown command");
+}
