@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hub_labels.dir/bench_hub_labels.cpp.o"
+  "CMakeFiles/bench_hub_labels.dir/bench_hub_labels.cpp.o.d"
+  "bench_hub_labels"
+  "bench_hub_labels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hub_labels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nets.dir/bench_nets.cpp.o"
+  "CMakeFiles/bench_nets.dir/bench_nets.cpp.o.d"
+  "bench_nets"
+  "bench_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

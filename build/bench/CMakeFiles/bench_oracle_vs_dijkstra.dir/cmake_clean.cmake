@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oracle_vs_dijkstra.dir/bench_oracle_vs_dijkstra.cpp.o"
+  "CMakeFiles/bench_oracle_vs_dijkstra.dir/bench_oracle_vs_dijkstra.cpp.o.d"
+  "bench_oracle_vs_dijkstra"
+  "bench_oracle_vs_dijkstra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_vs_dijkstra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rebuilding.dir/bench_rebuilding.cpp.o"
+  "CMakeFiles/bench_rebuilding.dir/bench_rebuilding.cpp.o.d"
+  "bench_rebuilding"
+  "bench_rebuilding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rebuilding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

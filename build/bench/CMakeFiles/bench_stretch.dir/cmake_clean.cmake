@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stretch.dir/bench_stretch.cpp.o"
+  "CMakeFiles/bench_stretch.dir/bench_stretch.cpp.o.d"
+  "bench_stretch"
+  "bench_stretch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stretch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

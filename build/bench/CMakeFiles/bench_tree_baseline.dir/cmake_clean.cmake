@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_baseline.dir/bench_tree_baseline.cpp.o"
+  "CMakeFiles/bench_tree_baseline.dir/bench_tree_baseline.cpp.o.d"
+  "bench_tree_baseline"
+  "bench_tree_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_oracle.dir/dynamic_oracle.cpp.o"
+  "CMakeFiles/dynamic_oracle.dir/dynamic_oracle.cpp.o.d"
+  "dynamic_oracle"
+  "dynamic_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

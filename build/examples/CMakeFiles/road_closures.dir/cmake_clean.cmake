@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_closures.dir/road_closures.cpp.o"
+  "CMakeFiles/road_closures.dir/road_closures.cpp.o.d"
+  "road_closures"
+  "road_closures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_closures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

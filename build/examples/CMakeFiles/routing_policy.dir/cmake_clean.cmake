@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_policy.dir/routing_policy.cpp.o"
+  "CMakeFiles/routing_policy.dir/routing_policy.cpp.o.d"
+  "routing_policy"
+  "routing_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weighted_roads.dir/weighted_roads.cpp.o"
+  "CMakeFiles/weighted_roads.dir/weighted_roads.cpp.o.d"
+  "weighted_roads"
+  "weighted_roads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weighted_roads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for weighted_roads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/apsp_oracle.cpp" "src/CMakeFiles/fsdl.dir/baseline/apsp_oracle.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/baseline/apsp_oracle.cpp.o.d"
+  "/root/repo/src/baseline/hub_labeling.cpp" "src/CMakeFiles/fsdl.dir/baseline/hub_labeling.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/baseline/hub_labeling.cpp.o.d"
+  "/root/repo/src/baseline/sensitivity_oracle.cpp" "src/CMakeFiles/fsdl.dir/baseline/sensitivity_oracle.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/baseline/sensitivity_oracle.cpp.o.d"
+  "/root/repo/src/baseline/tree_labeling.cpp" "src/CMakeFiles/fsdl.dir/baseline/tree_labeling.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/baseline/tree_labeling.cpp.o.d"
+  "/root/repo/src/core/builder.cpp" "src/CMakeFiles/fsdl.dir/core/builder.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/core/builder.cpp.o.d"
+  "/root/repo/src/core/decoder.cpp" "src/CMakeFiles/fsdl.dir/core/decoder.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/core/decoder.cpp.o.d"
+  "/root/repo/src/core/failure_free.cpp" "src/CMakeFiles/fsdl.dir/core/failure_free.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/core/failure_free.cpp.o.d"
+  "/root/repo/src/core/label.cpp" "src/CMakeFiles/fsdl.dir/core/label.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/core/label.cpp.o.d"
+  "/root/repo/src/core/oracle.cpp" "src/CMakeFiles/fsdl.dir/core/oracle.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/core/oracle.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/fsdl.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/rebuilding_oracle.cpp" "src/CMakeFiles/fsdl.dir/core/rebuilding_oracle.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/core/rebuilding_oracle.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/fsdl.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/core/weighted.cpp" "src/CMakeFiles/fsdl.dir/core/weighted.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/core/weighted.cpp.o.d"
+  "/root/repo/src/graph/bfs.cpp" "src/CMakeFiles/fsdl.dir/graph/bfs.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/bfs.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/fsdl.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/diameter.cpp" "src/CMakeFiles/fsdl.dir/graph/diameter.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/diameter.cpp.o.d"
+  "/root/repo/src/graph/dijkstra.cpp" "src/CMakeFiles/fsdl.dir/graph/dijkstra.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/dijkstra.cpp.o.d"
+  "/root/repo/src/graph/fault_view.cpp" "src/CMakeFiles/fsdl.dir/graph/fault_view.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/fault_view.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/fsdl.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/fsdl.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/fsdl.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/wfault.cpp" "src/CMakeFiles/fsdl.dir/graph/wfault.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/wfault.cpp.o.d"
+  "/root/repo/src/graph/wgraph.cpp" "src/CMakeFiles/fsdl.dir/graph/wgraph.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/wgraph.cpp.o.d"
+  "/root/repo/src/graph/wsearch.cpp" "src/CMakeFiles/fsdl.dir/graph/wsearch.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/graph/wsearch.cpp.o.d"
+  "/root/repo/src/lowerbound/attack.cpp" "src/CMakeFiles/fsdl.dir/lowerbound/attack.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/lowerbound/attack.cpp.o.d"
+  "/root/repo/src/lowerbound/family.cpp" "src/CMakeFiles/fsdl.dir/lowerbound/family.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/lowerbound/family.cpp.o.d"
+  "/root/repo/src/metric/balls.cpp" "src/CMakeFiles/fsdl.dir/metric/balls.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/metric/balls.cpp.o.d"
+  "/root/repo/src/metric/doubling.cpp" "src/CMakeFiles/fsdl.dir/metric/doubling.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/metric/doubling.cpp.o.d"
+  "/root/repo/src/metric/exact_doubling.cpp" "src/CMakeFiles/fsdl.dir/metric/exact_doubling.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/metric/exact_doubling.cpp.o.d"
+  "/root/repo/src/nets/net_hierarchy.cpp" "src/CMakeFiles/fsdl.dir/nets/net_hierarchy.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/nets/net_hierarchy.cpp.o.d"
+  "/root/repo/src/nets/weighted_nets.cpp" "src/CMakeFiles/fsdl.dir/nets/weighted_nets.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/nets/weighted_nets.cpp.o.d"
+  "/root/repo/src/routing/routing_scheme.cpp" "src/CMakeFiles/fsdl.dir/routing/routing_scheme.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/routing/routing_scheme.cpp.o.d"
+  "/root/repo/src/routing/simulator.cpp" "src/CMakeFiles/fsdl.dir/routing/simulator.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/routing/simulator.cpp.o.d"
+  "/root/repo/src/util/bitstream.cpp" "src/CMakeFiles/fsdl.dir/util/bitstream.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/util/bitstream.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/fsdl.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/fsdl.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/fsdl.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

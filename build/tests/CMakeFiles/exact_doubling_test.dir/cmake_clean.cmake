@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_doubling_test.dir/exact_doubling_test.cpp.o"
+  "CMakeFiles/exact_doubling_test.dir/exact_doubling_test.cpp.o.d"
+  "exact_doubling_test"
+  "exact_doubling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_doubling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

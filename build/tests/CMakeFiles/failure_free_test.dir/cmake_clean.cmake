@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_free_test.dir/failure_free_test.cpp.o"
+  "CMakeFiles/failure_free_test.dir/failure_free_test.cpp.o.d"
+  "failure_free_test"
+  "failure_free_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_free_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forbidden_set_test.dir/forbidden_set_test.cpp.o"
+  "CMakeFiles/forbidden_set_test.dir/forbidden_set_test.cpp.o.d"
+  "forbidden_set_test"
+  "forbidden_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forbidden_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

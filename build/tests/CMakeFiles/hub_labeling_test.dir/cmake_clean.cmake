@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hub_labeling_test.dir/hub_labeling_test.cpp.o"
+  "CMakeFiles/hub_labeling_test.dir/hub_labeling_test.cpp.o.d"
+  "hub_labeling_test"
+  "hub_labeling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hub_labeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prepared_faults_test.dir/prepared_faults_test.cpp.o"
+  "CMakeFiles/prepared_faults_test.dir/prepared_faults_test.cpp.o.d"
+  "prepared_faults_test"
+  "prepared_faults_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prepared_faults_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

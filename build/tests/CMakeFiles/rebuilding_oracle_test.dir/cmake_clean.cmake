@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebuilding_oracle_test.dir/rebuilding_oracle_test.cpp.o"
+  "CMakeFiles/rebuilding_oracle_test.dir/rebuilding_oracle_test.cpp.o.d"
+  "rebuilding_oracle_test"
+  "rebuilding_oracle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebuilding_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_labeling_test.dir/tree_labeling_test.cpp.o"
+  "CMakeFiles/tree_labeling_test.dir/tree_labeling_test.cpp.o.d"
+  "tree_labeling_test"
+  "tree_labeling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_labeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fsdl_cli.dir/fsdl_cli.cpp.o"
+  "CMakeFiles/fsdl_cli.dir/fsdl_cli.cpp.o.d"
+  "fsdl"
+  "fsdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fsdl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
