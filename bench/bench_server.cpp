@@ -1,0 +1,172 @@
+// E16 — serving throughput: the query server under concurrent load.
+//
+// Two tables:
+//   (a) QPS vs. worker threads — a fixed mixed workload (DIST + BATCH, one
+//       warm fault set pool) against servers with 1/2/4/8 workers; the
+//       shared read-only oracle should scale until client count bounds it.
+//   (b) cache-hit ratio and QPS vs. fault-set churn — the PreparedFaults
+//       LRU pays Lemma 2.6's O(|F|²) certification once per distinct fault
+//       set; as churn rises toward every-request-a-new-fault-set, the hit
+//       rate falls and per-query cost climbs back toward one-shot decoding.
+//       The cache-warm row must beat the cache-cold row in QPS (the
+//       acceptance gate for the serving subsystem).
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+
+namespace fsdl::bench {
+namespace {
+
+struct LoadResult {
+  double qps = 0;
+  double mean_us = 0;
+  double p99_us = 0;
+  double hit_rate = 0;
+};
+
+/// Drive `server` with `client_threads` loopback connections; each sends
+/// `requests` frames (7 of 8 are DIST, every 8th a BATCH of 8). With
+/// probability `churn` a request carries a never-seen-before fault set (a
+/// guaranteed certification miss); otherwise it reuses one of `pool_size`
+/// recurring sets. churn = 0 is the cache-warm extreme, churn = 1 the
+/// cache-cold one.
+LoadResult drive(server::Server& server, const Graph& g,
+                 unsigned client_threads, unsigned requests,
+                 unsigned pool_size, double churn, std::uint64_t seed) {
+  std::vector<FaultSet> pool(pool_size);
+  Rng pool_rng(seed);
+  for (auto& f : pool) {
+    while (f.size() < 2) f.add_vertex(pool_rng.vertex(g.num_vertices()));
+  }
+
+  std::mutex agg_mu;
+  Histogram latency(1.25);
+  std::atomic<std::uint64_t> queries{0};
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < client_threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Rng rng(seed ^ (0x9E37u + tid));
+      server::Client client;
+      client.connect("127.0.0.1", server.port());
+      Histogram local(1.25);
+      std::uint64_t local_queries = 0;
+      std::uint64_t fresh_tag = 1;
+      for (unsigned r = 0; r < requests; ++r) {
+        FaultSet faults;
+        if (churn > 0.0 && rng.chance(churn)) {
+          // Never-seen fault set: the tag makes it unique across the run,
+          // so this request must pay the full |F|² certification.
+          faults.add_vertex(rng.vertex(g.num_vertices()));
+          faults.add_vertex(
+              static_cast<Vertex>((tid * 131071ull + fresh_tag++) %
+                                  g.num_vertices()));
+        } else {
+          faults = pool[rng.below(pool.size())];
+        }
+        WallTimer timer;
+        if (r % 8 == 7) {
+          std::vector<std::pair<Vertex, Vertex>> pairs;
+          for (int k = 0; k < 8; ++k) {
+            pairs.emplace_back(rng.vertex(g.num_vertices()),
+                               rng.vertex(g.num_vertices()));
+          }
+          local_queries += client.batch(pairs, faults).size();
+        } else {
+          (void)client.dist(rng.vertex(g.num_vertices()),
+                            rng.vertex(g.num_vertices()), faults);
+          ++local_queries;
+        }
+        local.add(timer.elapsed_us());
+      }
+      queries.fetch_add(local_queries);
+      std::lock_guard<std::mutex> lock(agg_mu);
+      latency.merge(local);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = wall.elapsed_seconds();
+
+  LoadResult out;
+  out.qps = secs > 0 ? static_cast<double>(queries.load()) / secs : 0.0;
+  out.mean_us = latency.mean();
+  out.p99_us = latency.percentile(99);
+  out.hit_rate = server.cache_stats().hit_rate();
+  return out;
+}
+
+}  // namespace
+}  // namespace fsdl::bench
+
+int main() {
+  using namespace fsdl;
+  using namespace fsdl::bench;
+
+  const Graph g = workload("grid");
+  const auto scheme =
+      ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const ForbiddenSetOracle oracle(scheme);
+  oracle.warm();
+
+  std::cout << "E16 | serving throughput: grid n=" << g.num_vertices()
+            << ", faithful eps=1, loopback TCP, mixed DIST/BATCH (8:1), "
+               "|F|=2\n"
+            << "prediction: QPS grows with workers until client-bound; "
+               "hit rate falls and QPS drops as fault-set churn rises\n\n";
+
+  {
+    Table t({"workers", "clients", "qps", "mean_us", "p99_us"});
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+      server::ServerOptions options;
+      options.workers = workers;
+      options.cache_capacity = 64;
+      server::Server srv(oracle, options);
+      srv.start();
+      const auto r = drive(srv, g, /*client_threads=*/8, /*requests=*/400,
+                           /*pool_size=*/4, /*churn=*/0.0, /*seed=*/17);
+      srv.stop();
+      t.row()
+          .cell(static_cast<long long>(workers))
+          .cell(8LL)
+          .cell(r.qps, 0)
+          .cell(r.mean_us, 1)
+          .cell(r.p99_us, 1);
+    }
+    emit(t, "E16a: QPS vs worker threads (warm cache)");
+  }
+
+  std::cout << "\n";
+
+  {
+    Table t({"churn", "hit_rate", "qps", "mean_us", "p99_us"});
+    struct Row {
+      const char* name;
+      double churn;
+    };
+    for (const Row& row : {Row{"0.00 (warm)", 0.0}, Row{"0.10", 0.1},
+                           Row{"0.50", 0.5}, Row{"1.00 (cold)", 1.0}}) {
+      server::ServerOptions options;
+      options.workers = 4;
+      options.cache_capacity = 64;
+      server::Server srv(oracle, options);
+      srv.start();
+      const auto r = drive(srv, g, /*client_threads=*/4, /*requests=*/300,
+                           /*pool_size=*/4, row.churn, /*seed=*/23);
+      srv.stop();
+      t.row()
+          .cell(row.name)
+          .cell(r.hit_rate, 3)
+          .cell(r.qps, 0)
+          .cell(r.mean_us, 1)
+          .cell(r.p99_us, 1);
+    }
+    emit(t, "E16b: cache-hit ratio & QPS vs fault-set churn");
+  }
+  return 0;
+}

@@ -57,6 +57,8 @@ struct QueryInput {
   std::vector<std::pair<const VertexLabel*, const VertexLabel*>> fault_edges;
 };
 
+/// Pure function of its inputs — safe to call concurrently from any number
+/// of threads as long as the referenced labels are not mutated.
 QueryResult decode_query(const SchemeParams& params, const QueryInput& in);
 
 /// Two-phase decoding for the paper's router scenario: a router holds one
@@ -67,6 +69,11 @@ QueryResult decode_query(const SchemeParams& params, const QueryInput& in);
 /// two endpoint labels and runs Dijkstra.
 ///
 /// The referenced fault labels must outlive the PreparedFaults object.
+///
+/// Thread safety: construction does all the mutation; query() is const,
+/// touches only immutable tables plus its own locals, and is safe from any
+/// number of concurrent threads (the server's fault-set cache shares one
+/// instance across its whole worker pool).
 class PreparedFaults {
  public:
   PreparedFaults(

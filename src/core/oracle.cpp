@@ -7,10 +7,26 @@ namespace fsdl {
 ForbiddenSetOracle::ForbiddenSetOracle(const ForbiddenSetLabeling& scheme)
     : scheme_(&scheme), cache_(scheme.num_vertices()) {}
 
+ForbiddenSetOracle::~ForbiddenSetOracle() {
+  for (auto& slot : cache_) delete slot.load(std::memory_order_relaxed);
+}
+
 const VertexLabel& ForbiddenSetOracle::label(Vertex v) const {
   auto& slot = cache_.at(v);
-  if (!slot) slot = std::make_unique<VertexLabel>(scheme_->label(v));
-  return *slot;
+  const VertexLabel* cached = slot.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  // Decode outside the publish; losers of the race delete their copy.
+  const VertexLabel* fresh = new VertexLabel(scheme_->label(v));
+  if (slot.compare_exchange_strong(cached, fresh, std::memory_order_release,
+                                   std::memory_order_acquire)) {
+    return *fresh;
+  }
+  delete fresh;
+  return *cached;
+}
+
+void ForbiddenSetOracle::warm() const {
+  for (Vertex v = 0; v < scheme_->num_vertices(); ++v) label(v);
 }
 
 QueryResult ForbiddenSetOracle::query(Vertex s, Vertex t,

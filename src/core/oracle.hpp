@@ -4,7 +4,7 @@
 // many faults a query carries.
 #pragma once
 
-#include <memory>
+#include <atomic>
 #include <vector>
 
 #include "core/decoder.hpp"
@@ -13,10 +13,18 @@
 
 namespace fsdl {
 
+/// Thread safety: after construction, every const member is safe to call
+/// from any number of threads concurrently (the lazy label cache publishes
+/// decoded labels with an atomic compare-exchange; a decode race wastes one
+/// duplicate decode, never corrupts). The query server relies on this.
 class ForbiddenSetOracle {
  public:
   /// Keeps a reference to the scheme; decodes labels lazily and caches them.
   explicit ForbiddenSetOracle(const ForbiddenSetLabeling& scheme);
+  ~ForbiddenSetOracle();
+
+  ForbiddenSetOracle(const ForbiddenSetOracle&) = delete;
+  ForbiddenSetOracle& operator=(const ForbiddenSetOracle&) = delete;
 
   /// (1+ε)-approximate d_{G\F}(s, t); kInfDist when disconnected or when an
   /// endpoint is itself forbidden.
@@ -29,8 +37,14 @@ class ForbiddenSetOracle {
   /// work once, then answer many (s, t) queries against the same faults.
   PreparedFaults prepare(const FaultSet& faults) const;
 
-  /// Decoded label access (also used by the routing scheme).
+  /// Decoded label access (also used by the routing scheme). Safe under
+  /// concurrent callers; the returned reference stays valid for the
+  /// oracle's lifetime (entries are never evicted).
   const VertexLabel& label(Vertex v) const;
+
+  /// Decode every label up front — optional warm-up so a serving process
+  /// pays decode cost at startup instead of on first touch.
+  void warm() const;
 
   const ForbiddenSetLabeling& scheme() const noexcept { return *scheme_; }
 
@@ -39,8 +53,9 @@ class ForbiddenSetOracle {
 
  private:
   const ForbiddenSetLabeling* scheme_;
-  // Lazy per-vertex decode cache. Not thread-safe (single-threaded library).
-  mutable std::vector<std::unique_ptr<VertexLabel>> cache_;
+  // Lazy per-vertex decode cache. Each slot is null until first use, then
+  // holds an immutable decoded label published via compare-exchange.
+  mutable std::vector<std::atomic<const VertexLabel*>> cache_;
 };
 
 }  // namespace fsdl

@@ -1,0 +1,133 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace fsdl::server {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), framer_(std::move(other.framer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    framer_ = std::move(other.framer_);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(std::string("connect() failed: ") +
+                             std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  framer_ = Framer{};
+}
+
+void Client::send_raw(const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("send() failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Response Client::read_response() {
+  std::vector<std::uint8_t> payload;
+  std::uint8_t chunk[64 * 1024];
+  while (!framer_.next(payload)) {
+    if (framer_.fatal()) throw std::runtime_error("oversized reply frame");
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("recv() failed");
+    }
+    if (n == 0) throw std::runtime_error("server closed connection");
+    framer_.feed(chunk, static_cast<std::size_t>(n));
+  }
+  Response resp;
+  std::string error;
+  if (!decode_response(payload.data(), payload.size(), resp, error)) {
+    throw std::runtime_error("malformed reply: " + error);
+  }
+  return resp;
+}
+
+Response Client::call(const Request& req) {
+  const auto wire = frame(encode_request(req));
+  send_raw(wire.data(), wire.size());
+  return read_response();
+}
+
+Dist Client::dist(Vertex s, Vertex t, const FaultSet& faults) {
+  Request req;
+  req.opcode = Opcode::kDist;
+  req.pairs.emplace_back(s, t);
+  req.faults = faults;
+  const Response resp = call(req);
+  if (!resp.ok || resp.distances.size() != 1) {
+    throw std::runtime_error("DIST failed: " + resp.text);
+  }
+  return resp.distances[0];
+}
+
+std::vector<Dist> Client::batch(
+    const std::vector<std::pair<Vertex, Vertex>>& pairs,
+    const FaultSet& faults) {
+  Request req;
+  req.opcode = Opcode::kBatch;
+  req.pairs = pairs;
+  req.faults = faults;
+  Response resp = call(req);
+  if (!resp.ok || resp.distances.size() != pairs.size()) {
+    throw std::runtime_error("BATCH failed: " + resp.text);
+  }
+  return std::move(resp.distances);
+}
+
+std::string Client::stats() {
+  Request req;
+  req.opcode = Opcode::kStats;
+  Response resp = call(req);
+  if (!resp.ok) throw std::runtime_error("STATS failed: " + resp.text);
+  return std::move(resp.text);
+}
+
+}  // namespace fsdl::server

@@ -1,0 +1,50 @@
+// Minimal blocking client for the fsdl query service — one TCP connection,
+// synchronous request/response. Shared by fsdl_loadgen, bench_server (E16),
+// and the end-to-end tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.hpp"
+
+namespace fsdl::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connect to host:port ("127.0.0.1" for loopback). Throws on failure.
+  void connect(const std::string& host, std::uint16_t port);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Round-trip one request. Throws std::runtime_error on transport
+  /// failure (send/recv error, peer close, malformed reply frame); protocol
+  /// errors come back as Response{ok = false}.
+  Response call(const Request& req);
+
+  /// Shorthands.
+  Dist dist(Vertex s, Vertex t, const FaultSet& faults);
+  std::vector<Dist> batch(const std::vector<std::pair<Vertex, Vertex>>& pairs,
+                          const FaultSet& faults);
+  std::string stats();
+
+  /// Send raw bytes on the wire (tests: garbage / truncated frames).
+  void send_raw(const std::uint8_t* data, std::size_t size);
+  /// Read one frame and decode it as a Response (throws on transport/frame
+  /// error, like call()).
+  Response read_response();
+
+ private:
+  int fd_ = -1;
+  Framer framer_;
+};
+
+}  // namespace fsdl::server

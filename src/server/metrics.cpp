@@ -1,0 +1,91 @@
+#include "server/metrics.hpp"
+
+#include <cstdio>
+
+namespace fsdl::server {
+
+Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  queries_.store(0, std::memory_order_relaxed);
+  connections_.store(0, std::memory_order_relaxed);
+}
+
+void Metrics::record(RequestType type, std::uint64_t queries, double micros) {
+  counts_[static_cast<unsigned>(type)].fetch_add(1, std::memory_order_relaxed);
+  queries_.fetch_add(queries, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(lat_mu_);
+  latency_[static_cast<unsigned>(type)].add(micros);
+}
+
+void Metrics::record_error() {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Metrics::record_connection() {
+  connections_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Metrics::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+std::string Metrics::render(const PreparedCache::Stats& cache) const {
+  static const char* kNames[kNumRequestTypes] = {"dist", "batch", "stats"};
+  char line[160];
+  std::string out;
+  const double up = uptime_seconds();
+  const std::uint64_t q = total_queries();
+  std::snprintf(line, sizeof line, "uptime_s: %.1f\n", up);
+  out += line;
+  std::snprintf(line, sizeof line, "connections: %llu\n",
+                static_cast<unsigned long long>(
+                    connections_.load(std::memory_order_relaxed)));
+  out += line;
+  std::snprintf(line, sizeof line, "queries_total: %llu\n",
+                static_cast<unsigned long long>(q));
+  out += line;
+  std::snprintf(line, sizeof line, "qps: %.1f\n",
+                up > 0 ? static_cast<double>(q) / up : 0.0);
+  out += line;
+  std::snprintf(line, sizeof line, "errors: %llu\n",
+                static_cast<unsigned long long>(errors()));
+  out += line;
+  {
+    std::lock_guard<std::mutex> lock(lat_mu_);
+    for (unsigned k = 0; k < kNumRequestTypes; ++k) {
+      const std::uint64_t n = counts_[k].load(std::memory_order_relaxed);
+      std::snprintf(line, sizeof line, "%s_requests: %llu\n", kNames[k],
+                    static_cast<unsigned long long>(n));
+      out += line;
+      if (!latency_[k].empty()) {
+        std::snprintf(line, sizeof line,
+                      "%s_latency_us: mean=%.1f p50=%.1f p95=%.1f p99=%.1f "
+                      "max=%.1f\n",
+                      kNames[k], latency_[k].mean(), latency_[k].percentile(50),
+                      latency_[k].percentile(95), latency_[k].percentile(99),
+                      latency_[k].max());
+        out += line;
+      }
+    }
+  }
+  std::snprintf(line, sizeof line, "cache_entries: %zu\n", cache.entries);
+  out += line;
+  std::snprintf(line, sizeof line, "cache_hits: %llu\n",
+                static_cast<unsigned long long>(cache.hits));
+  out += line;
+  std::snprintf(line, sizeof line, "cache_misses: %llu\n",
+                static_cast<unsigned long long>(cache.misses));
+  out += line;
+  std::snprintf(line, sizeof line, "cache_evictions: %llu\n",
+                static_cast<unsigned long long>(cache.evictions));
+  out += line;
+  std::snprintf(line, sizeof line, "cache_hit_rate: %.3f\n",
+                cache.hit_rate());
+  out += line;
+  return out;
+}
+
+}  // namespace fsdl::server

@@ -1,0 +1,56 @@
+// Server-side metrics registry: per-request-type counters, latency
+// histograms (p50/p95/p99 via util/stats Histogram), QPS over the uptime
+// window, and the cache hit rate pulled from PreparedCache. Rendered as the
+// STATS reply text and dumped on graceful shutdown.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "server/prepared_cache.hpp"
+#include "util/stats.hpp"
+
+namespace fsdl::server {
+
+enum class RequestType : unsigned { kDist = 0, kBatch = 1, kStats = 2 };
+inline constexpr unsigned kNumRequestTypes = 3;
+
+class Metrics {
+ public:
+  Metrics();
+
+  /// Record one completed request of `type` that answered `queries`
+  /// point-to-point queries in `micros` wall time.
+  void record(RequestType type, std::uint64_t queries, double micros);
+  void record_error();
+  void record_connection();
+
+  std::uint64_t requests(RequestType type) const {
+    return counts_[static_cast<unsigned>(type)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_queries() const {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  double uptime_seconds() const;
+
+  /// Human-readable snapshot (also machine-greppable `key: value` lines).
+  std::string render(const PreparedCache::Stats& cache) const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> counts_[kNumRequestTypes];
+  std::atomic<std::uint64_t> errors_;
+  std::atomic<std::uint64_t> queries_;
+  std::atomic<std::uint64_t> connections_;
+  // One latency histogram per request type, microsecond samples.
+  mutable std::mutex lat_mu_;
+  Histogram latency_[kNumRequestTypes];
+};
+
+}  // namespace fsdl::server

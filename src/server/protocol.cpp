@@ -1,0 +1,297 @@
+#include "server/protocol.hpp"
+
+#include <cstring>
+
+namespace fsdl::server {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > size_) return false;
+    v = data_[pos_++];
+    return true;
+  }
+
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > size_) return false;
+    v = static_cast<std::uint32_t>(data_[pos_]) |
+        (static_cast<std::uint32_t>(data_[pos_ + 1]) << 8) |
+        (static_cast<std::uint32_t>(data_[pos_ + 2]) << 16) |
+        (static_cast<std::uint32_t>(data_[pos_ + 3]) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool bytes(std::string& v, std::size_t n) {
+    if (pos_ + n > size_) return false;
+    v.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_request(const Request& req) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(req.opcode));
+  switch (req.opcode) {
+    case Opcode::kDist: {
+      const auto& [s, t] = req.pairs.at(0);
+      put_u32(out, s);
+      put_u32(out, t);
+      put_u32(out, static_cast<std::uint32_t>(req.faults.vertices().size()));
+      put_u32(out, static_cast<std::uint32_t>(req.faults.edges().size()));
+      for (Vertex f : req.faults.vertices()) put_u32(out, f);
+      for (const auto& [a, b] : req.faults.edges()) {
+        put_u32(out, a);
+        put_u32(out, b);
+      }
+      break;
+    }
+    case Opcode::kBatch: {
+      put_u32(out, static_cast<std::uint32_t>(req.pairs.size()));
+      put_u32(out, static_cast<std::uint32_t>(req.faults.vertices().size()));
+      put_u32(out, static_cast<std::uint32_t>(req.faults.edges().size()));
+      for (Vertex f : req.faults.vertices()) put_u32(out, f);
+      for (const auto& [a, b] : req.faults.edges()) {
+        put_u32(out, a);
+        put_u32(out, b);
+      }
+      for (const auto& [s, t] : req.pairs) {
+        put_u32(out, s);
+        put_u32(out, t);
+      }
+      break;
+    }
+    case Opcode::kStats:
+      break;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& resp) {
+  std::vector<std::uint8_t> out;
+  out.push_back(resp.ok ? 0 : 1);
+  if (!resp.ok || !resp.text.empty()) {
+    put_u32(out, static_cast<std::uint32_t>(resp.text.size()));
+    out.insert(out.end(), resp.text.begin(), resp.text.end());
+    return out;
+  }
+  if (resp.distances.size() == 1) {
+    put_u32(out, resp.distances[0]);
+  } else {
+    put_u32(out, static_cast<std::uint32_t>(resp.distances.size()));
+    for (Dist d : resp.distances) put_u32(out, d);
+  }
+  return out;
+}
+
+namespace {
+
+bool decode_fault_block(Cursor& c, std::uint32_t nv, std::uint32_t ne,
+                        FaultSet& faults, std::string& error) {
+  // Each listed fault costs at least 4 bytes; reject counts the payload
+  // cannot possibly back before allocating.
+  if (static_cast<std::uint64_t>(nv) * 4 + static_cast<std::uint64_t>(ne) * 8 >
+      c.remaining()) {
+    error = "fault counts exceed payload size";
+    return false;
+  }
+  for (std::uint32_t k = 0; k < nv; ++k) {
+    std::uint32_t v;
+    if (!c.u32(v)) {
+      error = "truncated fault vertex list";
+      return false;
+    }
+    faults.add_vertex(v);
+  }
+  for (std::uint32_t k = 0; k < ne; ++k) {
+    std::uint32_t a, b;
+    if (!c.u32(a) || !c.u32(b)) {
+      error = "truncated fault edge list";
+      return false;
+    }
+    faults.add_edge(a, b);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
+                    std::string& error) {
+  out = Request{};
+  Cursor c(data, size);
+  std::uint8_t op;
+  if (!c.u8(op)) {
+    error = "empty request payload";
+    return false;
+  }
+  switch (op) {
+    case static_cast<std::uint8_t>(Opcode::kDist): {
+      out.opcode = Opcode::kDist;
+      std::uint32_t s, t, nv, ne;
+      if (!c.u32(s) || !c.u32(t) || !c.u32(nv) || !c.u32(ne)) {
+        error = "truncated DIST header";
+        return false;
+      }
+      out.pairs.emplace_back(s, t);
+      if (!decode_fault_block(c, nv, ne, out.faults, error)) return false;
+      break;
+    }
+    case static_cast<std::uint8_t>(Opcode::kBatch): {
+      out.opcode = Opcode::kBatch;
+      std::uint32_t npairs, nv, ne;
+      if (!c.u32(npairs) || !c.u32(nv) || !c.u32(ne)) {
+        error = "truncated BATCH header";
+        return false;
+      }
+      if (!decode_fault_block(c, nv, ne, out.faults, error)) return false;
+      if (static_cast<std::uint64_t>(npairs) * 8 > c.remaining()) {
+        error = "pair count exceeds payload size";
+        return false;
+      }
+      out.pairs.reserve(npairs);
+      for (std::uint32_t k = 0; k < npairs; ++k) {
+        std::uint32_t s, t;
+        if (!c.u32(s) || !c.u32(t)) {
+          error = "truncated BATCH pair list";
+          return false;
+        }
+        out.pairs.emplace_back(s, t);
+      }
+      break;
+    }
+    case static_cast<std::uint8_t>(Opcode::kStats):
+      out.opcode = Opcode::kStats;
+      break;
+    default:
+      error = "unknown opcode " + std::to_string(op);
+      return false;
+  }
+  if (!c.done()) {
+    error = "trailing bytes after request";
+    return false;
+  }
+  return true;
+}
+
+bool decode_response(const std::uint8_t* data, std::size_t size, Response& out,
+                     std::string& error) {
+  out = Response{};
+  Cursor c(data, size);
+  std::uint8_t status;
+  if (!c.u8(status)) {
+    error = "empty response payload";
+    return false;
+  }
+  if (status != 0 && status != 1) {
+    error = "bad response status";
+    return false;
+  }
+  out.ok = status == 0;
+  if (!out.ok) {
+    std::uint32_t len;
+    if (!c.u32(len) || len != c.remaining() || !c.bytes(out.text, len)) {
+      error = "malformed error body";
+      return false;
+    }
+    return true;
+  }
+  // Ambiguity between the three OK bodies is resolved by total length:
+  // DIST is exactly 5 bytes; STATS/BATCH carry a count/length word that
+  // must match the remainder. A STATS body is distinguished from BATCH by
+  // the caller knowing what it asked; here we decode structurally: try
+  // count-prefixed u32 array first, else text.
+  if (size == 5) {
+    std::uint32_t d = 0;
+    c.u32(d);
+    out.distances.push_back(d);
+    return true;
+  }
+  std::uint32_t n;
+  if (!c.u32(n)) {
+    error = "truncated response";
+    return false;
+  }
+  if (static_cast<std::uint64_t>(n) * 4 == c.remaining()) {
+    out.distances.reserve(n);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      std::uint32_t d = 0;
+      c.u32(d);
+      out.distances.push_back(d);
+    }
+    return true;
+  }
+  if (n == c.remaining()) {
+    c.bytes(out.text, n);
+    return true;
+  }
+  error = "response body length mismatch";
+  return false;
+}
+
+Response error_response(std::string message) {
+  Response r;
+  r.ok = false;
+  r.text = std::move(message);
+  return r;
+}
+
+void Framer::feed(const std::uint8_t* data, std::size_t size) {
+  // Compact the consumed prefix before it grows unbounded.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + size);
+}
+
+bool Framer::next(std::vector<std::uint8_t>& payload) {
+  if (fatal_) return false;
+  if (buf_.size() - pos_ < 4) return false;
+  std::uint32_t len;
+  std::memcpy(&len, buf_.data() + pos_, 4);  // wire is little-endian; so are
+                                             // all supported targets
+  if (len > kMaxFramePayload) {
+    fatal_ = true;
+    return false;
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) return false;
+  payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
+                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
+  pos_ += 4 + len;
+  return true;
+}
+
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 4);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace fsdl::server

@@ -1,0 +1,100 @@
+// Wire protocol of the fsdl query service.
+//
+// Transport framing: every message (both directions) is a length-prefixed
+// binary frame — u32 little-endian payload length, then the payload. Frames
+// above kMaxFramePayload are a protocol violation (the stream can no longer
+// be trusted to be in sync, so the server replies with an error and closes
+// the connection); any *decodable* frame with a malformed payload gets an
+// error reply on a connection that stays open.
+//
+// Request payloads (all integers u32 little-endian unless noted):
+//   DIST  = opcode 1, s, t, |Fv|, |Fe|, Fv..., Fe as (a, b)...
+//   BATCH = opcode 2, npairs, |Fv|, |Fe|, Fv..., Fe..., (s, t) × npairs
+//           — one fault set shared by all pairs, matching the PreparedFaults
+//           amortization (the road-closure workload: few live fault sets,
+//           many point-to-point queries).
+//   STATS = opcode 3 (no body) — server metrics snapshot.
+//
+// Response payloads:
+//   status u8 (0 = ok, 1 = error)
+//   ok DIST:  distance u32 (kInfDist = unreachable)
+//   ok BATCH: npairs u32, distance u32 × npairs
+//   ok STATS: text_len u32, UTF-8 text
+//   error:    text_len u32, UTF-8 message
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/fault_view.hpp"
+#include "util/types.hpp"
+
+namespace fsdl::server {
+
+/// Hard cap on payload bytes per frame; large enough for a ~500k-pair batch,
+/// small enough that a garbage length prefix cannot drive allocation.
+inline constexpr std::uint32_t kMaxFramePayload = 8u * 1024 * 1024;
+
+enum class Opcode : std::uint8_t { kDist = 1, kBatch = 2, kStats = 3 };
+
+struct Request {
+  Opcode opcode = Opcode::kDist;
+  /// DIST uses pairs[0]; BATCH uses all of pairs.
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  FaultSet faults;
+};
+
+struct Response {
+  bool ok = true;
+  /// DIST: one entry; BATCH: one per pair.
+  std::vector<Dist> distances;
+  /// STATS text, or the error message when !ok.
+  std::string text;
+};
+
+// --- payload codecs (framing excluded; see Framer below) ---
+
+std::vector<std::uint8_t> encode_request(const Request& req);
+std::vector<std::uint8_t> encode_response(const Response& resp);
+
+/// Strict decode: every byte must be consumed, all counts bounded by the
+/// payload size. On failure returns false and sets `error` to a
+/// human-readable reason; `out` is left unspecified.
+bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
+                    std::string& error);
+bool decode_response(const std::uint8_t* data, std::size_t size, Response& out,
+                     std::string& error);
+
+/// Convenience: an error response with a message.
+Response error_response(std::string message);
+
+// --- incremental framer ---
+
+/// Feed bytes as they arrive off a socket; pop complete payloads. Detects
+/// oversized frames (a fatal, connection-level error: once the length
+/// prefix is garbage there is no way back into sync).
+class Framer {
+ public:
+  /// Append raw bytes from the wire.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// True if a complete frame is buffered; fills `payload` and consumes it.
+  bool next(std::vector<std::uint8_t>& payload);
+
+  /// Set once a frame announces a payload above kMaxFramePayload.
+  bool fatal() const noexcept { return fatal_; }
+
+  /// Bytes buffered but not yet returned (mid-frame when > 0 and !fatal()).
+  std::size_t pending_bytes() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool fatal_ = false;
+};
+
+/// Prepend the u32 length prefix to a payload.
+std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload);
+
+}  // namespace fsdl::server

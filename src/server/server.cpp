@@ -1,0 +1,219 @@
+#include "server/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/timer.hpp"
+
+namespace fsdl::server {
+
+namespace {
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_response(int fd, const Response& resp) {
+  const auto wire = frame(encode_response(resp));
+  return send_all(fd, wire.data(), wire.size());
+}
+
+}  // namespace
+
+Server::Server(const ForbiddenSetOracle& oracle, const ServerOptions& options)
+    : oracle_(&oracle),
+      options_(options),
+      cache_(oracle, options.cache_capacity, options.cache_shards) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.load()) throw std::logic_error("Server already started");
+  if (options_.warm_labels) oracle_->warm();
+
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(lfd);
+    throw std::runtime_error(std::string("bind() failed: ") +
+                             std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(lfd, 64) < 0) {
+    ::close(lfd);
+    throw std::runtime_error("listen() failed");
+  }
+  listen_fd_.store(lfd);
+
+  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listener unblocks accept(); shutting the connection fds
+  // unblocks any worker mid-recv.
+  if (const int lfd = listen_fd_.exchange(-1); lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_) pool_->shutdown();
+}
+
+void Server::track(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.insert(fd);
+}
+
+void Server::untrack(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(fd);
+}
+
+void Server::accept_loop() {
+  while (running_.load()) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (stop()) or unrecoverable
+    }
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    metrics_.record_connection();
+    track(fd);
+    const bool queued = pool_->submit([this, fd] {
+      serve_connection(fd);
+      untrack(fd);
+      ::close(fd);
+    });
+    if (!queued) {
+      untrack(fd);
+      ::close(fd);
+    }
+  }
+}
+
+void Server::serve_connection(int fd) {
+  Framer framer;
+  std::uint8_t chunk[64 * 1024];
+  std::vector<std::uint8_t> payload;
+  while (running_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (n == 0) return;  // peer closed
+    framer.feed(chunk, static_cast<std::size_t>(n));
+    while (framer.next(payload)) {
+      Request req;
+      std::string decode_error;
+      Response resp;
+      if (!decode_request(payload.data(), payload.size(), req, decode_error)) {
+        metrics_.record_error();
+        resp = error_response("bad request: " + decode_error);
+      } else {
+        resp = handle(req);
+        if (!resp.ok) metrics_.record_error();
+      }
+      if (!send_response(fd, resp)) return;
+    }
+    if (framer.fatal()) {
+      // Length prefix exceeded kMaxFramePayload: the stream is unsyncable.
+      metrics_.record_error();
+      send_response(fd, error_response("frame exceeds size limit"));
+      return;
+    }
+  }
+}
+
+Response Server::handle(const Request& req) {
+  WallTimer timer;
+  Response resp;
+  switch (req.opcode) {
+    case Opcode::kStats: {
+      resp.text = metrics_.render(cache_.stats());
+      metrics_.record(RequestType::kStats, 0, timer.elapsed_us());
+      return resp;
+    }
+    case Opcode::kDist:
+    case Opcode::kBatch: {
+      if (req.pairs.empty()) return error_response("empty batch");
+      const Vertex n = oracle_->scheme().num_vertices();
+      for (const auto& [s, t] : req.pairs) {
+        if (s >= n || t >= n) {
+          return error_response("vertex id out of range");
+        }
+      }
+      for (Vertex v : req.faults.vertices()) {
+        if (v >= n) return error_response("fault vertex id out of range");
+      }
+      for (const auto& [a, b] : req.faults.edges()) {
+        if (a >= n || b >= n) {
+          return error_response("fault edge id out of range");
+        }
+      }
+      if (req.faults.empty()) {
+        // No faults: skip the cache, decode directly (the fault-free path
+        // needs no certification state).
+        resp.distances.reserve(req.pairs.size());
+        for (const auto& [s, t] : req.pairs) {
+          resp.distances.push_back(
+              oracle_->query(s, t, req.faults).distance);
+        }
+      } else {
+        const auto prepared = cache_.get(req.faults);
+        resp.distances.reserve(req.pairs.size());
+        for (const auto& [s, t] : req.pairs) {
+          // PreparedFaults handles forbidden endpoints (returns kInfDist).
+          resp.distances.push_back(
+              prepared->query(oracle_->label(s), oracle_->label(t)).distance);
+        }
+      }
+      metrics_.record(
+          req.opcode == Opcode::kDist ? RequestType::kDist
+                                      : RequestType::kBatch,
+          req.pairs.size(), timer.elapsed_us());
+      return resp;
+    }
+  }
+  return error_response("unhandled opcode");
+}
+
+}  // namespace fsdl::server

@@ -1,0 +1,92 @@
+// fsdl query server: a multithreaded TCP service over one read-only
+// ForbiddenSetOracle.
+//
+// Architecture (one box, the §1 "centralized oracle" deployed):
+//
+//   accept thread ──► ThreadPool workers ──► shared ForbiddenSetOracle
+//        │                  │                        (immutable labels)
+//        │                  ├─► PreparedCache (sharded LRU of PreparedFaults)
+//        │                  └─► Metrics (counters + latency histograms)
+//        └── each accepted connection becomes one pool job that serves the
+//            connection's requests sequentially; concurrency = min(workers,
+//            open connections), which matches the loadgen/client model of
+//            one connection per client thread.
+//
+// Protocol handling per frame: decodable-but-invalid payloads get an error
+// reply and the connection lives on; an oversized length prefix poisons the
+// stream, so the server sends one error frame and closes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "core/oracle.hpp"
+#include "server/metrics.hpp"
+#include "server/prepared_cache.hpp"
+#include "server/protocol.hpp"
+#include "server/thread_pool.hpp"
+
+namespace fsdl::server {
+
+struct ServerOptions {
+  /// 0 = let the kernel pick an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  unsigned workers = 4;
+  /// Max distinct fault sets kept prepared.
+  std::size_t cache_capacity = 256;
+  std::size_t cache_shards = 8;
+  /// Decode every label at startup instead of on first touch.
+  bool warm_labels = false;
+};
+
+class Server {
+ public:
+  Server(const ForbiddenSetOracle& oracle, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen on 127.0.0.1, spawn accept thread + workers.
+  /// Throws std::runtime_error on socket failure.
+  void start();
+
+  /// Graceful stop: close the listener, shut open connections, drain the
+  /// pool, join. Idempotent; also called by the destructor.
+  void stop();
+
+  /// Bound port (valid after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  const Metrics& metrics() const noexcept { return metrics_; }
+  PreparedCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Answer one decoded request — the transport-independent core, shared
+  /// with tests that exercise dispatch without sockets.
+  Response handle(const Request& req);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void track(int fd);
+  void untrack(int fd);
+
+  const ForbiddenSetOracle* oracle_;
+  ServerOptions options_;
+  PreparedCache cache_;
+  Metrics metrics_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  // Written by start()/stop(), read by the accept thread.
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::mutex conn_mu_;
+  std::unordered_set<int> conn_fds_;
+};
+
+}  // namespace fsdl::server

@@ -45,4 +45,123 @@ double Summary::percentile(double p) const {
   return samples_[rank == 0 ? 0 : rank - 1];
 }
 
+Histogram::Histogram(double growth, double ref)
+    : growth_(growth), log_growth_(std::log(growth)), ref_(ref) {
+  if (!(growth > 1.0)) throw std::invalid_argument("Histogram growth must be > 1");
+  if (!(ref > 0.0)) throw std::invalid_argument("Histogram ref must be > 0");
+}
+
+int Histogram::bucket_index(double x) const {
+  return static_cast<int>(std::floor(std::log(x / ref_) / log_growth_));
+}
+
+void Histogram::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  if (x <= 0.0) {
+    ++underflow_;
+    return;
+  }
+  const int k = bucket_index(x);
+  if (buckets_.empty()) {
+    offset_ = k;
+    buckets_.assign(1, 0);
+  } else if (k < offset_) {
+    buckets_.insert(buckets_.begin(), static_cast<std::size_t>(offset_ - k), 0);
+    offset_ = k;
+  } else if (k >= offset_ + static_cast<int>(buckets_.size())) {
+    buckets_.resize(static_cast<std::size_t>(k - offset_) + 1, 0);
+  }
+  ++buckets_[static_cast<std::size_t>(k - offset_)];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (growth_ != other.growth_ || ref_ != other.ref_) {
+    throw std::invalid_argument("Histogram::merge requires identical scales");
+  }
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  underflow_ += other.underflow_;
+  for (std::size_t j = 0; j < other.buckets_.size(); ++j) {
+    if (other.buckets_[j] == 0) continue;
+    const int k = other.offset_ + static_cast<int>(j);
+    if (buckets_.empty()) {
+      offset_ = k;
+      buckets_.assign(1, 0);
+    } else if (k < offset_) {
+      buckets_.insert(buckets_.begin(), static_cast<std::size_t>(offset_ - k),
+                      0);
+      offset_ = k;
+    } else if (k >= offset_ + static_cast<int>(buckets_.size())) {
+      buckets_.resize(static_cast<std::size_t>(k - offset_) + 1, 0);
+    }
+    buckets_[static_cast<std::size_t>(k - offset_)] += other.buckets_[j];
+  }
+}
+
+void Histogram::reset() {
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+  underflow_ = 0;
+  offset_ = 0;
+  buckets_.clear();
+}
+
+double Histogram::min() const {
+  if (count_ == 0) throw std::logic_error("Histogram::min on empty sample");
+  return min_;
+}
+
+double Histogram::max() const {
+  if (count_ == 0) throw std::logic_error("Histogram::max on empty sample");
+  return max_;
+}
+
+double Histogram::mean() const {
+  if (count_ == 0) throw std::logic_error("Histogram::mean on empty sample");
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) {
+    throw std::logic_error("Histogram::percentile on empty sample");
+  }
+  if (p < 0.0 || p > 100.0) {
+    throw std::invalid_argument("percentile must be in [0, 100]");
+  }
+  // Nearest-rank, matching Summary::percentile.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  // The extreme ranks are tracked exactly.
+  if (rank == 1) return min_;
+  if (rank == count_) return max_;
+  if (rank <= underflow_) return min_;
+  std::uint64_t seen = underflow_;
+  for (std::size_t j = 0; j < buckets_.size(); ++j) {
+    seen += buckets_[j];
+    if (seen >= rank) {
+      const int k = offset_ + static_cast<int>(j);
+      const double upper = ref_ * std::pow(growth_, k + 1);
+      return std::min(std::max(upper, min_), max_);
+    }
+  }
+  return max_;
+}
+
 }  // namespace fsdl

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace fsdl {
@@ -27,6 +28,53 @@ class Summary {
   mutable bool sorted_ = false;
 
   void ensure_sorted() const;
+};
+
+/// Streaming histogram with geometric buckets: O(1) memory regardless of
+/// sample count, O(1) add, percentile estimates with bounded relative error
+/// (one bucket width, i.e. a factor of `growth`). Built for long-running
+/// latency tracking — the server metrics registry keeps one per request
+/// type — but equally usable by the benches in place of Summary when the
+/// sample stream is unbounded.
+///
+/// Buckets cover (0, ∞) geometrically: bucket k holds x with
+/// ref·growth^k <= x < ref·growth^{k+1}; a dedicated bucket holds x <= 0.
+/// min/max/sum are tracked exactly, so min()/max()/mean() are not estimates.
+class Histogram {
+ public:
+  /// growth: bucket width factor (> 1). 1.25 gives <= 25% percentile error
+  /// over ~100 buckets per 9 decades; ref: lower edge of bucket 0.
+  explicit Histogram(double growth = 1.25, double ref = 1.0);
+
+  void add(double x);
+  /// Combine another histogram's samples; requires identical (growth, ref).
+  void merge(const Histogram& other);
+  void reset();
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double sum() const noexcept { return sum_; }
+  double min() const;   // exact
+  double max() const;   // exact
+  double mean() const;  // exact
+  /// p in [0, 100]; returns the upper edge of the bucket holding the
+  /// nearest-rank sample, clamped to the exact [min, max] range.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+ private:
+  int bucket_index(double x) const;
+
+  double growth_;
+  double log_growth_;
+  double ref_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t underflow_ = 0;  // x <= 0
+  int offset_ = 0;               // buckets_[0] is bucket index offset_
+  std::vector<std::uint64_t> buckets_;
 };
 
 }  // namespace fsdl

@@ -1,0 +1,215 @@
+#include "server/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace fsdl::server {
+namespace {
+
+Request make_dist_request() {
+  Request req;
+  req.opcode = Opcode::kDist;
+  req.pairs.emplace_back(3, 17);
+  req.faults.add_vertex(5);
+  req.faults.add_vertex(9);
+  req.faults.add_edge(2, 6);
+  return req;
+}
+
+TEST(Protocol, DistRequestRoundTrip) {
+  const Request req = make_dist_request();
+  const auto bytes = encode_request(req);
+  Request back;
+  std::string error;
+  ASSERT_TRUE(decode_request(bytes.data(), bytes.size(), back, error)) << error;
+  EXPECT_EQ(back.opcode, Opcode::kDist);
+  ASSERT_EQ(back.pairs.size(), 1u);
+  EXPECT_EQ(back.pairs[0], std::make_pair(Vertex{3}, Vertex{17}));
+  EXPECT_TRUE(back.faults.vertex_faulty(5));
+  EXPECT_TRUE(back.faults.vertex_faulty(9));
+  EXPECT_TRUE(back.faults.edge_faulty(6, 2));
+  EXPECT_EQ(back.faults.size(), 3u);
+}
+
+TEST(Protocol, BatchRequestRoundTrip) {
+  Request req;
+  req.opcode = Opcode::kBatch;
+  for (Vertex k = 0; k < 10; ++k) req.pairs.emplace_back(k, 2 * k + 1);
+  req.faults.add_vertex(40);
+  const auto bytes = encode_request(req);
+  Request back;
+  std::string error;
+  ASSERT_TRUE(decode_request(bytes.data(), bytes.size(), back, error)) << error;
+  EXPECT_EQ(back.opcode, Opcode::kBatch);
+  EXPECT_EQ(back.pairs, req.pairs);
+  EXPECT_TRUE(back.faults.vertex_faulty(40));
+}
+
+TEST(Protocol, StatsRequestRoundTrip) {
+  Request req;
+  req.opcode = Opcode::kStats;
+  const auto bytes = encode_request(req);
+  EXPECT_EQ(bytes.size(), 1u);
+  Request back;
+  std::string error;
+  ASSERT_TRUE(decode_request(bytes.data(), bytes.size(), back, error)) << error;
+  EXPECT_EQ(back.opcode, Opcode::kStats);
+}
+
+TEST(Protocol, ResponseRoundTrips) {
+  Response dist;
+  dist.distances = {42};
+  auto bytes = encode_response(dist);
+  Response back;
+  std::string error;
+  ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.distances, std::vector<Dist>{42});
+
+  Response batch;
+  batch.distances = {1, kInfDist, 7, 0};
+  bytes = encode_response(batch);
+  ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.distances, batch.distances);
+
+  Response stats;
+  stats.text = "qps: 12.5\ncache_hit_rate: 0.99\n";
+  bytes = encode_response(stats);
+  ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error));
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.text, stats.text);
+
+  const Response err = error_response("boom");
+  bytes = encode_response(err);
+  ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.text, "boom");
+}
+
+TEST(Protocol, TruncatedRequestRejected) {
+  const auto bytes = encode_request(make_dist_request());
+  Request back;
+  std::string error;
+  // Every strict prefix must fail cleanly, never crash or over-read.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(decode_request(bytes.data(), cut, back, error))
+        << "prefix of " << cut << " bytes decoded";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Protocol, TrailingBytesRejected) {
+  auto bytes = encode_request(make_dist_request());
+  bytes.push_back(0);
+  Request back;
+  std::string error;
+  EXPECT_FALSE(decode_request(bytes.data(), bytes.size(), back, error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(Protocol, UnknownOpcodeRejected) {
+  const std::uint8_t bytes[] = {0xAB};
+  Request back;
+  std::string error;
+  EXPECT_FALSE(decode_request(bytes, 1, back, error));
+  EXPECT_NE(error.find("opcode"), std::string::npos);
+}
+
+TEST(Protocol, LyingFaultCountsRejectedWithoutAllocation) {
+  // A DIST header claiming 2^31 fault vertices in a 21-byte payload must be
+  // rejected up front (count bounded by remaining bytes), not attempted.
+  Request req;
+  req.opcode = Opcode::kDist;
+  req.pairs.emplace_back(0, 1);
+  auto bytes = encode_request(req);
+  ASSERT_EQ(bytes.size(), 17u);
+  bytes[9] = 0xFF;  // |Fv| low byte
+  bytes[12] = 0x7F; // |Fv| high byte -> huge count
+  Request back;
+  std::string error;
+  EXPECT_FALSE(decode_request(bytes.data(), bytes.size(), back, error));
+  EXPECT_NE(error.find("exceed"), std::string::npos);
+}
+
+TEST(Protocol, RandomGarbageNeverCrashes) {
+  Rng rng(99);
+  Request back;
+  std::string error;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.below(256));
+    // Must return, with either outcome; decoded garbage is fine as long as
+    // it was structurally valid.
+    (void)decode_request(junk.data(), junk.size(), back, error);
+    Response resp;
+    (void)decode_response(junk.data(), junk.size(), resp, error);
+  }
+}
+
+TEST(Framer, ReassemblesByteByByte) {
+  const auto payload = encode_request(make_dist_request());
+  const auto wire = frame(payload);
+  Framer framer;
+  std::vector<std::uint8_t> out;
+  for (std::size_t k = 0; k + 1 < wire.size(); ++k) {
+    framer.feed(&wire[k], 1);
+    EXPECT_FALSE(framer.next(out)) << "frame completed early at byte " << k;
+  }
+  framer.feed(&wire[wire.size() - 1], 1);
+  ASSERT_TRUE(framer.next(out));
+  EXPECT_EQ(out, payload);
+  EXPECT_FALSE(framer.next(out));
+  EXPECT_EQ(framer.pending_bytes(), 0u);
+}
+
+TEST(Framer, SplitsConcatenatedFrames) {
+  const auto p1 = encode_request(make_dist_request());
+  Request stats;
+  stats.opcode = Opcode::kStats;
+  const auto p2 = encode_request(stats);
+  auto wire = frame(p1);
+  const auto w2 = frame(p2);
+  wire.insert(wire.end(), w2.begin(), w2.end());
+  Framer framer;
+  framer.feed(wire.data(), wire.size());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(framer.next(out));
+  EXPECT_EQ(out, p1);
+  ASSERT_TRUE(framer.next(out));
+  EXPECT_EQ(out, p2);
+  EXPECT_FALSE(framer.next(out));
+}
+
+TEST(Framer, OversizedFrameIsFatal) {
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(huge), static_cast<std::uint8_t>(huge >> 8),
+      static_cast<std::uint8_t>(huge >> 16),
+      static_cast<std::uint8_t>(huge >> 24)};
+  Framer framer;
+  framer.feed(prefix, 4);
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(framer.next(out));
+  EXPECT_TRUE(framer.fatal());
+  // Feeding more keeps it fatal, never yields frames.
+  framer.feed(prefix, 4);
+  EXPECT_FALSE(framer.next(out));
+  EXPECT_TRUE(framer.fatal());
+}
+
+TEST(Framer, MaxSizePayloadAccepted) {
+  // Exactly kMaxFramePayload is legal (boundary).
+  std::vector<std::uint8_t> payload(kMaxFramePayload, 0x5A);
+  const auto wire = frame(payload);
+  Framer framer;
+  framer.feed(wire.data(), wire.size());
+  std::vector<std::uint8_t> out;
+  ASSERT_TRUE(framer.next(out));
+  EXPECT_EQ(out.size(), payload.size());
+  EXPECT_FALSE(framer.fatal());
+}
+
+}  // namespace
+}  // namespace fsdl::server

@@ -1,0 +1,226 @@
+// End-to-end loopback tests of the query server: real sockets, real
+// framing, answers checked against the exact G\F baseline, and the
+// malformed-frame paths (garbage payload -> error reply + live connection;
+// oversized frame -> error reply + close; truncated frame -> no reply).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static constexpr double kEps = 1.0;
+
+  void SetUp() override {
+    graph_ = make_grid2d(8, 8);
+    scheme_ = std::make_unique<ForbiddenSetLabeling>(
+        ForbiddenSetLabeling::build(graph_, SchemeParams::faithful(kEps)));
+    oracle_ = std::make_unique<ForbiddenSetOracle>(*scheme_);
+    server::ServerOptions options;
+    options.workers = 4;
+    options.cache_capacity = 8;
+    server_ = std::make_unique<server::Server>(*oracle_, options);
+    server_->start();
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  server::Client connect() {
+    server::Client c;
+    c.connect("127.0.0.1", server_->port());
+    return c;
+  }
+
+  /// d <= answer <= (1+eps) d, infinities agreeing.
+  void check_bound(Vertex s, Vertex t, const FaultSet& f, Dist answer) {
+    const Dist exact = distance_avoiding(graph_, s, t, f);
+    if (exact == kInfDist || answer == kInfDist) {
+      EXPECT_EQ(exact, answer) << "s=" << s << " t=" << t;
+      return;
+    }
+    EXPECT_GE(answer, exact) << "s=" << s << " t=" << t;
+    EXPECT_LE(static_cast<double>(answer),
+              (1.0 + kEps) * static_cast<double>(exact) + 1e-9)
+        << "s=" << s << " t=" << t;
+  }
+
+  Graph graph_;
+  std::unique_ptr<ForbiddenSetLabeling> scheme_;
+  std::unique_ptr<ForbiddenSetOracle> oracle_;
+  std::unique_ptr<server::Server> server_;
+};
+
+TEST_F(ServerTest, DistMatchesBaselineBound) {
+  auto client = connect();
+  Rng rng(41);
+  for (int k = 0; k < 60; ++k) {
+    const Vertex s = rng.vertex(graph_.num_vertices());
+    const Vertex t = rng.vertex(graph_.num_vertices());
+    FaultSet f;
+    while (f.size() < 2) {
+      const Vertex x = rng.vertex(graph_.num_vertices());
+      if (x != s && x != t) f.add_vertex(x);
+    }
+    check_bound(s, t, f, client.dist(s, t, f));
+  }
+}
+
+TEST_F(ServerTest, BatchSharedFaultSet) {
+  auto client = connect();
+  FaultSet f;
+  f.add_vertex(27);
+  f.add_edge(0, 1);
+  Rng rng(42);
+  std::vector<std::pair<Vertex, Vertex>> pairs;
+  for (int k = 0; k < 32; ++k) {
+    pairs.emplace_back(rng.vertex(graph_.num_vertices()),
+                       rng.vertex(graph_.num_vertices()));
+  }
+  const auto answers = client.batch(pairs, f);
+  ASSERT_EQ(answers.size(), pairs.size());
+  for (std::size_t k = 0; k < pairs.size(); ++k) {
+    check_bound(pairs[k].first, pairs[k].second, f, answers[k]);
+  }
+}
+
+TEST_F(ServerTest, ForbiddenEndpointIsUnreachable) {
+  auto client = connect();
+  FaultSet f;
+  f.add_vertex(10);
+  EXPECT_EQ(client.dist(10, 3, f), kInfDist);
+  EXPECT_EQ(client.dist(3, 10, f), kInfDist);
+}
+
+TEST_F(ServerTest, StatsReportsTraffic) {
+  auto client = connect();
+  FaultSet f;
+  f.add_vertex(5);
+  (void)client.dist(0, 63, f);
+  (void)client.dist(1, 62, f);
+  const std::string text = client.stats();
+  EXPECT_NE(text.find("dist_requests: 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("qps:"), std::string::npos);
+  EXPECT_NE(text.find("cache_hit_rate:"), std::string::npos);
+  // Second identical fault set was a cache hit.
+  EXPECT_NE(text.find("cache_hits: 1"), std::string::npos) << text;
+}
+
+TEST_F(ServerTest, ConcurrentClientsGetConsistentAnswers) {
+  constexpr unsigned kClients = 8;
+  FaultSet f;
+  f.add_vertex(20);
+  f.add_vertex(43);
+  const Dist expected = oracle_->distance(0, 63, f);
+  std::atomic<unsigned> mismatches{0};
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < kClients; ++tid) {
+    threads.emplace_back([&] {
+      server::Client c;
+      c.connect("127.0.0.1", server_->port());
+      for (int k = 0; k < 25; ++k) {
+        if (c.dist(0, 63, f) != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_GE(server_->metrics().requests(server::RequestType::kDist),
+            static_cast<std::uint64_t>(kClients) * 25);
+}
+
+TEST_F(ServerTest, GarbagePayloadGetsErrorReplyConnectionSurvives) {
+  auto client = connect();
+  // A framed payload that decodes to no known opcode.
+  const std::vector<std::uint8_t> junk = {0xDE, 0xAD, 0xBE, 0xEF};
+  const auto wire = server::frame(junk);
+  client.send_raw(wire.data(), wire.size());
+  const auto resp = client.read_response();
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.text.find("bad request"), std::string::npos);
+  // Same connection still serves valid traffic.
+  EXPECT_EQ(client.dist(0, 0, FaultSet{}), 0u);
+}
+
+TEST_F(ServerTest, OutOfRangeVertexGetsErrorReply) {
+  auto client = connect();
+  server::Request req;
+  req.opcode = server::Opcode::kDist;
+  req.pairs.emplace_back(0, 1000000);
+  const auto resp = client.call(req);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.text.find("out of range"), std::string::npos);
+  EXPECT_EQ(client.dist(0, 1, FaultSet{}), 1u);
+}
+
+TEST_F(ServerTest, EmptyBatchGetsErrorReply) {
+  auto client = connect();
+  server::Request req;
+  req.opcode = server::Opcode::kBatch;
+  const auto resp = client.call(req);
+  EXPECT_FALSE(resp.ok);
+}
+
+TEST_F(ServerTest, OversizedFrameGetsErrorThenClose) {
+  auto client = connect();
+  const std::uint32_t huge = server::kMaxFramePayload + 1;
+  const std::uint8_t prefix[4] = {
+      static_cast<std::uint8_t>(huge), static_cast<std::uint8_t>(huge >> 8),
+      static_cast<std::uint8_t>(huge >> 16),
+      static_cast<std::uint8_t>(huge >> 24)};
+  client.send_raw(prefix, 4);
+  const auto resp = client.read_response();
+  EXPECT_FALSE(resp.ok);
+  EXPECT_NE(resp.text.find("size limit"), std::string::npos);
+  // The server closed the stream: the next read must fail, not hang.
+  EXPECT_THROW(client.read_response(), std::runtime_error);
+}
+
+TEST_F(ServerTest, TruncatedFrameThenCompletionIsServed) {
+  auto client = connect();
+  server::Request req;
+  req.opcode = server::Opcode::kDist;
+  req.pairs.emplace_back(0, 63);
+  const auto wire = server::frame(encode_request(req));
+  // Dribble the frame in two halves; the server must wait, not misparse.
+  client.send_raw(wire.data(), wire.size() / 2);
+  client.send_raw(wire.data() + wire.size() / 2, wire.size() - wire.size() / 2);
+  const auto resp = client.read_response();
+  ASSERT_TRUE(resp.ok);
+  ASSERT_EQ(resp.distances.size(), 1u);
+  check_bound(0, 63, FaultSet{}, resp.distances[0]);
+}
+
+TEST_F(ServerTest, FaultFreeDistExact) {
+  auto client = connect();
+  // Without faults the served distance must still respect the (1+eps)
+  // bound against plain BFS.
+  FaultSet none;
+  Rng rng(43);
+  for (int k = 0; k < 20; ++k) {
+    const Vertex s = rng.vertex(graph_.num_vertices());
+    const Vertex t = rng.vertex(graph_.num_vertices());
+    check_bound(s, t, none, client.dist(s, t, none));
+  }
+}
+
+TEST_F(ServerTest, StopIsIdempotentAndRefusesNewConnections) {
+  server_->stop();
+  server_->stop();
+  server::Client c;
+  EXPECT_THROW(c.connect("127.0.0.1", server_->port()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fsdl

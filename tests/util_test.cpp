@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -173,6 +174,88 @@ TEST(Summary, AddAfterQueryStillCorrect) {
   EXPECT_DOUBLE_EQ(s.max(), 2.0);
   s.add(10);
   EXPECT_DOUBLE_EQ(s.max(), 10.0);
+}
+
+TEST(Histogram, ExactMomentsEstimatedPercentiles) {
+  Histogram h(1.25);
+  Summary exact;
+  Rng rng(7);
+  for (int k = 0; k < 5000; ++k) {
+    const double x = 1.0 + 999.0 * rng.uniform();
+    h.add(x);
+    exact.add(x);
+  }
+  EXPECT_EQ(h.count(), 5000u);
+  EXPECT_DOUBLE_EQ(h.min(), exact.min());
+  EXPECT_DOUBLE_EQ(h.max(), exact.max());
+  // Mean accumulates in stream order, Summary in sorted order: equal up to
+  // floating-point associativity.
+  EXPECT_NEAR(h.mean(), exact.mean(), 1e-9 * exact.mean());
+  // Percentile estimates land within one bucket width (factor `growth`).
+  for (double p : {10.0, 50.0, 90.0, 95.0, 99.0}) {
+    const double est = h.percentile(p);
+    const double ref = exact.percentile(p);
+    EXPECT_GE(est, ref / 1.25) << "p=" << p;
+    EXPECT_LE(est, ref * 1.25 * 1.05) << "p=" << p;
+  }
+}
+
+TEST(Histogram, PercentileClampedToObservedRange) {
+  Histogram h;
+  h.add(3.0);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 5.0);
+  EXPECT_GE(h.median(), 3.0);
+  EXPECT_LE(h.median(), 5.0);
+}
+
+TEST(Histogram, HandlesZeroAndNegativeSamples) {
+  Histogram h;
+  h.add(0.0);
+  h.add(-2.5);
+  h.add(4.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), -2.5);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.5);
+  // Rank-1 and rank-2 samples sit in the underflow bucket -> exact min.
+  EXPECT_DOUBLE_EQ(h.percentile(50), -2.5);
+}
+
+TEST(Histogram, MergeMatchesCombinedStream) {
+  Histogram a(1.25), b(1.25), combined(1.25);
+  Rng rng(11);
+  for (int k = 0; k < 1000; ++k) {
+    const double x = std::pow(10.0, 4.0 * rng.uniform());
+    (k % 2 == 0 ? a : b).add(x);
+    combined.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_DOUBLE_EQ(a.min(), combined.min());
+  EXPECT_DOUBLE_EQ(a.max(), combined.max());
+  EXPECT_DOUBLE_EQ(a.sum(), combined.sum());
+  for (double p : {25.0, 50.0, 75.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), combined.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(Histogram, MergeRejectsMismatchedScales) {
+  Histogram a(1.25), b(2.0);
+  b.add(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, EmptyThrowsAndResetClears) {
+  Histogram h;
+  EXPECT_THROW(h.min(), std::logic_error);
+  EXPECT_THROW(h.percentile(50), std::logic_error);
+  h.add(1.0);
+  EXPECT_FALSE(h.empty());
+  h.reset();
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW(h.mean(), std::logic_error);
 }
 
 TEST(Table, AlignedOutputContainsCells) {

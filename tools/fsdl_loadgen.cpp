@@ -1,0 +1,245 @@
+// fsdl_loadgen — load generator / correctness checker for fsdl_serve.
+//
+//   fsdl_loadgen --port P [--host H] [--threads N] [--requests R]
+//                [--batch B] [--fault-pool K] [--faults F] [--churn C]
+//                [--stats-every M] [--n N | --verify graph.edges]
+//                [--eps E] [--seed S]
+//
+// N client threads, one connection each, R requests per thread. Each
+// request draws its fault set from a pool of K pre-generated sets; with
+// probability C the thread switches to a different pool entry first
+// (fault-set churn = cache pressure on the server's PreparedFaults LRU).
+// B = 0 sends single DIST requests, B > 0 sends BATCH frames of B pairs.
+// Every M-th request additionally sends a STATS probe.
+//
+// With --verify, every returned distance δ is checked against the exact
+// ground truth d = d_{G\F} from a BFS on the local graph copy:
+// d ≤ δ ≤ (1+ε)·d (and δ = ∞ iff d = ∞). Exit status is nonzero if any
+// violation occurred — this is the end-to-end acceptance gate.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/fault_view.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "server/client.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fsdl;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  unsigned threads = 4;
+  unsigned requests = 1000;
+  unsigned batch = 0;
+  unsigned fault_pool = 4;
+  unsigned faults = 2;
+  double churn = 0.1;
+  unsigned stats_every = 100;
+  Vertex n = 0;
+  std::string verify_graph;
+  double eps = 1.0;
+  std::uint64_t seed = 1;
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: fsdl_loadgen --port P [--host H] [--threads N] [--requests R]\n"
+      "                    [--batch B] [--fault-pool K] [--faults F]\n"
+      "                    [--churn C] [--stats-every M]\n"
+      "                    [--n N | --verify graph.edges] [--eps E] "
+      "[--seed S]\n");
+  std::exit(2);
+}
+
+struct SharedState {
+  Options opt;
+  const Graph* graph = nullptr;  // non-null with --verify
+  std::vector<FaultSet> fault_pool;
+  std::atomic<std::uint64_t> violations{0};
+  std::atomic<std::uint64_t> transport_errors{0};
+  std::atomic<std::uint64_t> queries{0};
+  std::mutex agg_mu;
+  Histogram latency_us{1.25};
+};
+
+/// δ within [d, (1+ε)d]; infinities must agree exactly.
+bool bound_ok(Dist exact, Dist approx, double eps) {
+  if (exact == kInfDist || approx == kInfDist) return exact == approx;
+  if (approx < exact) return false;
+  return static_cast<double>(approx) <=
+         (1.0 + eps) * static_cast<double>(exact) + 1e-9;
+}
+
+void worker(SharedState& state, unsigned tid) {
+  const Options& opt = state.opt;
+  Rng rng(state.opt.seed * 7919 + tid);
+  server::Client client;
+  Histogram local_latency{1.25};
+  std::uint64_t local_violations = 0;
+  std::uint64_t local_queries = 0;
+  try {
+    client.connect(opt.host, opt.port);
+    std::size_t fault_idx = tid % state.fault_pool.size();
+    for (unsigned r = 0; r < opt.requests; ++r) {
+      if (rng.chance(opt.churn)) {
+        fault_idx = rng.below(state.fault_pool.size());
+      }
+      const FaultSet& faults = state.fault_pool[fault_idx];
+      std::vector<std::pair<Vertex, Vertex>> pairs;
+      const unsigned npairs = opt.batch == 0 ? 1 : opt.batch;
+      pairs.reserve(npairs);
+      for (unsigned k = 0; k < npairs; ++k) {
+        pairs.emplace_back(rng.vertex(opt.n), rng.vertex(opt.n));
+      }
+
+      WallTimer timer;
+      std::vector<Dist> answers;
+      if (opt.batch == 0) {
+        answers.push_back(client.dist(pairs[0].first, pairs[0].second, faults));
+      } else {
+        answers = client.batch(pairs, faults);
+      }
+      local_latency.add(timer.elapsed_us());
+      local_queries += answers.size();
+
+      if (state.graph != nullptr) {
+        for (std::size_t k = 0; k < pairs.size(); ++k) {
+          const Dist exact = distance_avoiding(*state.graph, pairs[k].first,
+                                               pairs[k].second, faults);
+          if (!bound_ok(exact, answers[k], opt.eps)) {
+            ++local_violations;
+            std::fprintf(stderr,
+                         "violation: d(%u,%u |F|=%zu) exact=%u served=%u\n",
+                         pairs[k].first, pairs[k].second, faults.size(), exact,
+                         answers[k]);
+          }
+        }
+      }
+      if (opt.stats_every != 0 && (r + 1) % opt.stats_every == 0) {
+        (void)client.stats();
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "thread %u: %s\n", tid, e.what());
+    state.transport_errors.fetch_add(1);
+  }
+  state.violations.fetch_add(local_violations);
+  state.queries.fetch_add(local_queries);
+  std::lock_guard<std::mutex> lock(state.agg_mu);
+  state.latency_us.merge(local_latency);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    auto next = [&]() -> const char* {
+      if (k + 1 >= argc) usage("missing argument value");
+      return argv[++k];
+    };
+    if (arg == "--host") opt.host = next();
+    else if (arg == "--port") opt.port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--threads") opt.threads = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--requests") opt.requests = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--batch") opt.batch = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--fault-pool") opt.fault_pool = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--faults") opt.faults = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--churn") opt.churn = std::strtod(next(), nullptr);
+    else if (arg == "--stats-every") opt.stats_every = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--n") opt.n = static_cast<Vertex>(std::atol(next()));
+    else if (arg == "--verify") opt.verify_graph = next();
+    else if (arg == "--eps") opt.eps = std::strtod(next(), nullptr);
+    else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else usage("unknown option");
+  }
+  if (opt.port == 0) usage("--port is required");
+  if (opt.fault_pool == 0) opt.fault_pool = 1;
+
+  try {
+    Graph graph;
+    SharedState state;
+    if (!opt.verify_graph.empty()) {
+      graph = load_graph(opt.verify_graph);
+      state.graph = &graph;
+      opt.n = graph.num_vertices();
+    }
+    if (opt.n == 0) usage("need --n or --verify to size the workload");
+
+    // Pre-generate the fault-set pool (vertex faults; with a graph at hand,
+    // mix in real edge faults too).
+    Rng pool_rng(opt.seed);
+    state.fault_pool.resize(opt.fault_pool);
+    for (auto& f : state.fault_pool) {
+      unsigned guard = 0;
+      while (f.size() < opt.faults && ++guard < 20 * opt.faults + 20) {
+        if (state.graph != nullptr && pool_rng.chance(0.3)) {
+          const Vertex a = pool_rng.vertex(opt.n);
+          const auto nb = state.graph->neighbors(a);
+          if (!nb.empty()) f.add_edge(a, nb[pool_rng.below(nb.size())]);
+        } else {
+          f.add_vertex(pool_rng.vertex(opt.n));
+        }
+      }
+    }
+    state.opt = opt;
+
+    WallTimer wall;
+    std::vector<std::thread> threads;
+    threads.reserve(opt.threads);
+    for (unsigned tid = 0; tid < opt.threads; ++tid) {
+      threads.emplace_back(worker, std::ref(state), tid);
+    }
+    for (auto& t : threads) t.join();
+    const double secs = wall.elapsed_seconds();
+
+    const std::uint64_t q = state.queries.load();
+    std::printf("loadgen: threads=%u requests/thread=%u batch=%u "
+                "fault_pool=%u churn=%.2f\n",
+                opt.threads, opt.requests, opt.batch, opt.fault_pool,
+                opt.churn);
+    std::printf("queries: %llu in %.2fs  ->  %.0f q/s\n",
+                static_cast<unsigned long long>(q), secs,
+                secs > 0 ? static_cast<double>(q) / secs : 0.0);
+    if (!state.latency_us.empty()) {
+      std::printf("request latency us: mean=%.1f p50=%.1f p95=%.1f p99=%.1f "
+                  "max=%.1f\n",
+                  state.latency_us.mean(), state.latency_us.percentile(50),
+                  state.latency_us.percentile(95),
+                  state.latency_us.percentile(99), state.latency_us.max());
+    }
+    if (state.graph != nullptr) {
+      std::printf("verified against exact baseline (eps=%.3g): %llu "
+                  "violations\n",
+                  opt.eps,
+                  static_cast<unsigned long long>(state.violations.load()));
+    }
+
+    // Final server-side snapshot.
+    server::Client probe;
+    probe.connect(opt.host, opt.port);
+    std::printf("--- server stats ---\n%s", probe.stats().c_str());
+
+    const bool failed =
+        state.violations.load() != 0 || state.transport_errors.load() != 0;
+    return failed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

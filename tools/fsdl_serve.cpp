@@ -1,0 +1,94 @@
+// fsdl_serve — the query service daemon.
+//
+//   fsdl_serve <scheme.fsdl> [--port P] [--workers N] [--cache C] [--warm]
+//
+// Loads a serialized labeling (fsdl build), shares one read-only oracle
+// across a worker pool, and answers DIST / BATCH / STATS frames on
+// 127.0.0.1:P (P=0 picks an ephemeral port, printed on stdout). SIGINT or
+// SIGTERM triggers a graceful shutdown: stop accepting, drain in-flight
+// requests, dump the metrics snapshot.
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/oracle.hpp"
+#include "core/serialize.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+// Self-pipe: the signal handler writes one byte; main blocks on read().
+int g_shutdown_pipe[2] = {-1, -1};
+
+void on_signal(int) {
+  const char byte = 1;
+  // write() is async-signal-safe; best effort.
+  [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: fsdl_serve <scheme.fsdl> [--port P] [--workers N]\n"
+               "                  [--cache C] [--warm]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fsdl;
+  if (argc < 2) usage();
+  const std::string scheme_path = argv[1];
+  server::ServerOptions options;
+  for (int k = 2; k < argc; ++k) {
+    const std::string arg = argv[k];
+    if (arg == "--port" && k + 1 < argc) {
+      options.port = static_cast<std::uint16_t>(std::atoi(argv[++k]));
+    } else if (arg == "--workers" && k + 1 < argc) {
+      options.workers = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--cache" && k + 1 < argc) {
+      options.cache_capacity = static_cast<std::size_t>(std::atol(argv[++k]));
+    } else if (arg == "--warm") {
+      options.warm_labels = true;
+    } else {
+      usage("unknown option");
+    }
+  }
+
+  try {
+    const auto scheme = load_labeling(scheme_path);
+    const ForbiddenSetOracle oracle(scheme);
+    server::Server srv(oracle, options);
+
+    if (::pipe(g_shutdown_pipe) != 0) {
+      std::fprintf(stderr, "error: pipe() failed\n");
+      return 1;
+    }
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+
+    srv.start();
+    std::printf("fsdl_serve: n=%u eps=%.3g workers=%u cache=%zu port=%u\n",
+                scheme.num_vertices(), scheme.params().epsilon,
+                options.workers, options.cache_capacity, srv.port());
+    std::fflush(stdout);
+
+    char byte;
+    while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    std::printf("\nfsdl_serve: shutting down...\n");
+    srv.stop();
+    std::printf("%s", srv.metrics().render(srv.cache_stats()).c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,51 @@
+# End-to-end serving pipeline: build a grid labeling, start fsdl_serve,
+# drive it with fsdl_loadgen (4 threads, DIST + BATCH + STATS, fault churn,
+# every answer verified against the exact G\F baseline), shut down with
+# SIGINT and check the metrics dump appears.
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+set(graph ${WORK_DIR}/serve_test_graph.edges)
+set(scheme ${WORK_DIR}/serve_test_scheme.fsdl)
+set(log ${WORK_DIR}/serve_test_server.log)
+
+run_checked(${FSDL_BIN} gen grid 8 8 ${graph})
+run_checked(${FSDL_BIN} build ${graph} ${scheme} --eps 1.0)
+
+# The server runs in the background; shell orchestration handles the PID,
+# port discovery from the startup line, and the SIGINT shutdown.
+execute_process(
+  COMMAND sh -ec "\
+    '${SERVE_BIN}' '${scheme}' --port 0 --workers 4 --cache 8 > '${log}' & \
+    pid=$!; \
+    for k in $(seq 1 100); do \
+      grep -q 'port=' '${log}' && break; sleep 0.1; \
+    done; \
+    port=$(sed -n 's/.*port=\\([0-9][0-9]*\\).*/\\1/p' '${log}'); \
+    test -n \"$port\" || { kill $pid; echo 'no port in server log'; exit 1; }; \
+    '${LOADGEN_BIN}' --port $port --threads 4 --requests 60 \
+        --fault-pool 3 --faults 2 --churn 0.2 --stats-every 20 \
+        --verify '${graph}' --eps 1.0 --seed 7; \
+    '${LOADGEN_BIN}' --port $port --threads 4 --requests 20 --batch 8 \
+        --fault-pool 3 --faults 2 --churn 0.2 --stats-every 10 \
+        --verify '${graph}' --eps 1.0 --seed 8; \
+    kill -INT $pid; \
+    wait $pid"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve pipeline failed (${rc}):\n${out}\n${err}")
+endif()
+
+file(READ ${log} server_log)
+if(NOT server_log MATCHES "cache_hit_rate")
+  message(FATAL_ERROR "server shutdown dump missing metrics:\n${server_log}")
+endif()
+if(NOT out MATCHES "0 violations")
+  message(FATAL_ERROR "loadgen reported violations:\n${out}")
+endif()
