@@ -4,6 +4,8 @@
 
 #include "graph/dijkstra.hpp"
 #include "graph/fault_view.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
 
 namespace fsdl {
 namespace {
@@ -35,6 +37,8 @@ PreparedFaults::PreparedFaults(
     std::vector<const VertexLabel*> fault_vertices,
     std::vector<std::pair<const VertexLabel*, const VertexLabel*>> fault_edges)
     : params_(params) {
+  FSDL_SPAN("prepare");
+  const WallTimer prepare_timer;
   for (const VertexLabel* f : fault_vertices) {
     faulty_vertices_.insert(f->owner);
   }
@@ -52,7 +56,10 @@ PreparedFaults::PreparedFaults(
     add_center(a);
     add_center(b);
   }
-  if (centers_.empty()) return;
+  if (centers_.empty()) {
+    prepare_us_ = prepare_timer.elapsed_us();
+    return;
+  }
 
   min_level_ = centers_.front()->min_level;
   top_level_ = centers_.front()->top_level;
@@ -76,6 +83,9 @@ PreparedFaults::PreparedFaults(
       filter_label_edges(*center, i, center_edges_, prepare_stats_);
     }
   }
+  prepare_us_ = prepare_timer.elapsed_us();
+  FSDL_COUNT(kEdgesConsidered, prepare_stats_.edges_considered);
+  FSDL_COUNT(kSafeEdgeChecks, prepare_stats_.pb_checks);
 }
 
 void PreparedFaults::filter_label_edges(
@@ -136,6 +146,7 @@ void PreparedFaults::filter_label_edges(
 
 QueryResult PreparedFaults::query(const VertexLabel& source,
                                   const VertexLabel& target) const {
+  FSDL_SPAN("query");
   QueryResult result;
   result.stats = prepare_stats_;
 
@@ -148,27 +159,48 @@ QueryResult PreparedFaults::query(const VertexLabel& source,
     return result;
   }
 
-  std::unordered_map<std::uint64_t, Dist> edges = center_edges_;
-  for (const VertexLabel* l : {&source, &target}) {
-    if (center_owners_.count(l->owner)) continue;  // already contributed
-    for (unsigned i = l->min_level; i <= l->top_level; ++i) {
-      filter_label_edges(*l, i, edges, result.stats);
-    }
-  }
-
+  const WallTimer assemble_timer;
   SketchGraph h;
-  const auto s_idx = h.intern(source.owner);
-  const auto t_idx = h.intern(target.owner);
-  for (const auto& [key, w] : edges) {
-    const Vertex x = static_cast<Vertex>(key >> 32);
-    const Vertex y = static_cast<Vertex>(key & 0xffffffffu);
-    h.add_edge(h.intern(x), h.intern(y), w);
-  }
-  result.stats.sketch_vertices = h.num_vertices();
-  result.stats.sketch_edges = h.num_edges();
+  std::size_t endpoint_pb_checks = 0;
+  {
+    FSDL_SPAN("assemble");
+    std::unordered_map<std::uint64_t, Dist> edges = center_edges_;
+    for (const VertexLabel* l : {&source, &target}) {
+      if (center_owners_.count(l->owner)) continue;  // already contributed
+      for (unsigned i = l->min_level; i <= l->top_level; ++i) {
+        filter_label_edges(*l, i, edges, result.stats);
+      }
+    }
 
+    h.intern(source.owner);
+    h.intern(target.owner);
+    for (const auto& [key, w] : edges) {
+      const Vertex x = static_cast<Vertex>(key >> 32);
+      const Vertex y = static_cast<Vertex>(key & 0xffffffffu);
+      h.add_edge(h.intern(x), h.intern(y), w);
+    }
+    result.stats.sketch_vertices = h.num_vertices();
+    result.stats.sketch_edges = h.num_edges();
+    endpoint_pb_checks = result.stats.pb_checks - prepare_stats_.pb_checks;
+  }
+  result.stats.assemble_us = assemble_timer.elapsed_us();
+
+  const WallTimer dijkstra_timer;
   std::vector<SketchGraph::Index> path;
-  result.distance = sketch_shortest_path(h, s_idx, t_idx, &path);
+  {
+    FSDL_SPAN("dijkstra");
+    result.distance =
+        sketch_shortest_path(h, h.find(source.owner), h.find(target.owner),
+                             &path, &result.stats.dijkstra_relaxations);
+  }
+  result.stats.dijkstra_us = dijkstra_timer.elapsed_us();
+  FSDL_COUNT(kSketchVertices, result.stats.sketch_vertices);
+  FSDL_COUNT(kSketchEdges, result.stats.sketch_edges);
+  FSDL_COUNT(kEdgesConsidered,
+             result.stats.edges_considered - prepare_stats_.edges_considered);
+  FSDL_COUNT(kSafeEdgeChecks, endpoint_pb_checks);
+  FSDL_COUNT(kDijkstraRelaxations, result.stats.dijkstra_relaxations);
+
   if (result.distance != kInfDist) {
     result.waypoints.reserve(path.size());
     for (const auto idx : path) {

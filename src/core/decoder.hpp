@@ -35,11 +35,34 @@
 
 namespace fsdl {
 
+// Work counters + stage timings of one decode. The counters are the units
+// of the paper's cost bounds (pb_checks ⇔ Lemma 2.3 certification,
+// dijkstra_relaxations ⇔ Lemma 2.6's sketch search); the *_us stages let a
+// caller attribute wall time to the |F|²-certification term vs. the
+// (1+1/ε)^{2α} sketch term without a tracing build (tools/fsdl_trace, the
+// server's slow-query log). For a PreparedFaults query the stats start from
+// the construction-time counters, so pb_checks includes the fault-label
+// certification paid (once) for this fault set.
 struct QueryStats {
   std::size_t sketch_vertices = 0;
   std::size_t sketch_edges = 0;
   std::size_t edges_considered = 0;
   std::size_t pb_checks = 0;
+  std::size_t dijkstra_relaxations = 0;
+  /// Sketch assembly: endpoint-label filtering + building H.
+  double assemble_us = 0.0;
+  /// Dijkstra over H only.
+  double dijkstra_us = 0.0;
+
+  void accumulate(const QueryStats& other) {
+    sketch_vertices += other.sketch_vertices;
+    sketch_edges += other.sketch_edges;
+    edges_considered += other.edges_considered;
+    pb_checks += other.pb_checks;
+    dijkstra_relaxations += other.dijkstra_relaxations;
+    assemble_us += other.assemble_us;
+    dijkstra_us += other.dijkstra_us;
+  }
 };
 
 struct QueryResult {
@@ -87,6 +110,13 @@ class PreparedFaults {
 
   std::size_t num_centers() const noexcept { return centers_.size(); }
 
+  /// Wall time of the constructor — the once-per-fault-set O(label·|F|²)
+  /// certification cost (Lemma 2.6's quadratic term).
+  double prepare_us() const noexcept { return prepare_us_; }
+  /// Counters accumulated during construction (also folded into every
+  /// query's stats).
+  const QueryStats& prepare_stats() const noexcept { return prepare_stats_; }
+
  private:
   struct LevelTables {
     /// pb[k]: vertex -> distance map of center k's level list.
@@ -115,6 +145,7 @@ class PreparedFaults {
   /// Edges contributed by the fault labels themselves, already filtered.
   std::unordered_map<std::uint64_t, Dist> center_edges_;
   QueryStats prepare_stats_;
+  double prepare_us_ = 0.0;
 };
 
 }  // namespace fsdl

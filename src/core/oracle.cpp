@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace fsdl {
 
 ForbiddenSetOracle::ForbiddenSetOracle(const ForbiddenSetLabeling& scheme)
@@ -14,7 +16,11 @@ ForbiddenSetOracle::~ForbiddenSetOracle() {
 const VertexLabel& ForbiddenSetOracle::label(Vertex v) const {
   auto& slot = cache_.at(v);
   const VertexLabel* cached = slot.load(std::memory_order_acquire);
-  if (cached != nullptr) return *cached;
+  if (cached != nullptr) {
+    FSDL_COUNT(kLabelCacheHit, 1);
+    return *cached;
+  }
+  FSDL_COUNT(kLabelCacheMiss, 1);
   // Decode outside the publish; losers of the race delete their copy.
   const VertexLabel* fresh = new VertexLabel(scheme_->label(v));
   if (slot.compare_exchange_strong(cached, fresh, std::memory_order_release,

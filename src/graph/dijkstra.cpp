@@ -28,9 +28,12 @@ void SketchGraph::add_edge(Index a, Index b, Dist weight) {
 
 Dist sketch_shortest_path(const SketchGraph& h, SketchGraph::Index s,
                           SketchGraph::Index t,
-                          std::vector<SketchGraph::Index>* path) {
+                          std::vector<SketchGraph::Index>* path,
+                          std::size_t* relaxations) {
   using Index = SketchGraph::Index;
   const std::size_t n = h.num_vertices();
+  std::size_t scans = 0;
+  if (relaxations != nullptr) *relaxations = 0;
   if (s >= n || t >= n) return kInfDist;
 
   // 64-bit tentative distances guard against overflow from summed weights.
@@ -46,6 +49,7 @@ Dist sketch_shortest_path(const SketchGraph& h, SketchGraph::Index s,
     if (d != dist[u]) continue;  // stale entry
     if (u == t) break;
     for (const auto& arc : h.arcs(u)) {
+      ++scans;
       const std::uint64_t nd = d + arc.weight;
       if (nd < dist[arc.to]) {
         dist[arc.to] = nd;
@@ -54,6 +58,7 @@ Dist sketch_shortest_path(const SketchGraph& h, SketchGraph::Index s,
       }
     }
   }
+  if (relaxations != nullptr) *relaxations = scans;
   if (dist[t] == ~std::uint64_t{0}) return kInfDist;
   if (path != nullptr) {
     path->clear();

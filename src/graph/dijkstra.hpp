@@ -49,9 +49,12 @@ class SketchGraph {
 
 /// Shortest-path length from s to t in the sketch graph; kInfDist if
 /// disconnected. If `path` is non-null it receives the vertex sequence
-/// (dense indices) of one shortest path, s first.
+/// (dense indices) of one shortest path, s first. If `relaxations` is
+/// non-null it receives the number of arc scans performed — the unit of
+/// Lemma 2.6's query-time bound, surfaced for the stage-cost accounting.
 Dist sketch_shortest_path(const SketchGraph& h, SketchGraph::Index s,
                           SketchGraph::Index t,
-                          std::vector<SketchGraph::Index>* path = nullptr);
+                          std::vector<SketchGraph::Index>* path = nullptr,
+                          std::size_t* relaxations = nullptr);
 
 }  // namespace fsdl

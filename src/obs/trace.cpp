@@ -1,0 +1,171 @@
+#include "obs/trace.hpp"
+
+// The whole implementation vanishes in FSDL_TRACE=OFF builds: trace.cpp
+// becomes an empty translation unit and the header's inline no-ops are all
+// that exists of fsdl::obs (CI's symbol guard relies on this).
+#if FSDL_TRACE_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+namespace fsdl::obs {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(Level::kCounters)};
+
+double now_us() noexcept {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-thread counter block. Owner thread writes with plain relaxed stores
+/// (no RMW: the owner is the only writer); snapshotters read relaxed. The
+/// registry keeps ownership after thread exit so totals never go backwards.
+struct CounterBlock {
+  std::array<std::atomic<std::uint64_t>, kNumCounters> slots{};
+
+  void add(Counter c, std::uint64_t n) noexcept {
+    auto& slot = slots[static_cast<unsigned>(c)];
+    slot.store(slot.load(std::memory_order_relaxed) + n,
+               std::memory_order_relaxed);
+  }
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<CounterBlock*> blocks;  // never removed; leak bounded by
+                                      // peak thread count, freed at exit
+  ~Registry() {
+    for (CounterBlock* b : blocks) delete b;
+  }
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+CounterBlock& local_block() {
+  thread_local CounterBlock* block = [] {
+    auto* b = new CounterBlock();
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    r.blocks.push_back(b);
+    return b;
+  }();
+  return *block;
+}
+
+/// Fixed-capacity single-writer span ring; one per thread, drained only by
+/// its owner (see header), so no synchronization whatsoever.
+constexpr std::size_t kRingCapacity = 1024;  // power of two
+
+struct SpanRing {
+  std::array<SpanEvent, kRingCapacity> events;
+  std::uint64_t seq = 0;   // total spans ever completed on this thread
+  std::uint32_t depth = 0; // current nesting depth
+
+  void push(const SpanEvent& e) noexcept {
+    events[seq % kRingCapacity] = e;
+    ++seq;
+  }
+};
+
+SpanRing& local_ring() {
+  thread_local SpanRing ring;
+  return ring;
+}
+
+}  // namespace
+
+Level level() noexcept {
+  return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_level(Level level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void count(Counter c, std::uint64_t n) noexcept {
+  if (level() < Level::kCounters || n == 0) return;
+  local_block().add(c, n);
+}
+
+CounterSnapshot snapshot_counters() {
+  CounterSnapshot out;
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const CounterBlock* b : r.blocks) {
+    for (unsigned k = 0; k < kNumCounters; ++k) {
+      out.values[k] += b->slots[k].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void reset_counters() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (CounterBlock* b : r.blocks) {
+    for (auto& slot : b->slots) slot.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t span_mark() noexcept { return local_ring().seq; }
+
+std::vector<SpanEvent> spans_since(std::uint64_t mark) {
+  const SpanRing& ring = local_ring();
+  std::vector<SpanEvent> out;
+  if (ring.seq <= mark) return out;
+  std::uint64_t first = mark;
+  if (ring.seq - first > kRingCapacity) first = ring.seq - kRingCapacity;
+  out.reserve(static_cast<std::size_t>(ring.seq - first));
+  for (std::uint64_t s = first; s < ring.seq; ++s) {
+    out.push_back(ring.events[s % kRingCapacity]);
+  }
+  return out;
+}
+
+Span::Span(const char* name) noexcept
+    : name_(name), start_us_(0.0), active_(level() >= Level::kSpans) {
+  if (!active_) return;
+  ++local_ring().depth;
+  start_us_ = now_us();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  SpanRing& ring = local_ring();
+  --ring.depth;
+  ring.push(SpanEvent{name_, ring.depth, start_us_, now_us() - start_us_});
+}
+
+std::string format_span_tree(const std::vector<SpanEvent>& events) {
+  // Completion order interleaves parents after children; start order plus
+  // recorded depth reproduces the call tree.
+  std::vector<const SpanEvent*> ordered;
+  ordered.reserve(events.size());
+  for (const SpanEvent& e : events) ordered.push_back(&e);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanEvent* a, const SpanEvent* b) {
+                     return a->start_us < b->start_us;
+                   });
+  std::string out;
+  char line[160];
+  for (const SpanEvent* e : ordered) {
+    std::snprintf(line, sizeof line, "%*s%s %.1fus\n",
+                  static_cast<int>(2 * e->depth), "",
+                  e->name != nullptr ? e->name : "?", e->dur_us);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace fsdl::obs
+
+#endif  // FSDL_TRACE_ENABLED

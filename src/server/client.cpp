@@ -130,4 +130,12 @@ std::string Client::stats() {
   return std::move(resp.text);
 }
 
+std::string Client::metrics() {
+  Request req;
+  req.opcode = Opcode::kMetrics;
+  Response resp = call(req);
+  if (!resp.ok) throw std::runtime_error("METRICS failed: " + resp.text);
+  return std::move(resp.text);
+}
+
 }  // namespace fsdl::server

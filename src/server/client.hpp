@@ -35,6 +35,8 @@ class Client {
   std::vector<Dist> batch(const std::vector<std::pair<Vertex, Vertex>>& pairs,
                           const FaultSet& faults);
   std::string stats();
+  /// Prometheus text exposition of the server's metrics registry.
+  std::string metrics();
 
   /// Send raw bytes on the wire (tests: garbage / truncated frames).
   void send_raw(const std::uint8_t* data, std::size_t size);

@@ -1,21 +1,55 @@
 #include "server/metrics.hpp"
 
+#include <cinttypes>
+#include <cstdarg>
 #include <cstdio>
+
+#include "obs/trace.hpp"
 
 namespace fsdl::server {
 
+namespace {
+
+const char* kTypeNames[kNumRequestTypes] = {"dist", "batch", "stats",
+                                            "metrics"};
+
+void append_line(std::string& out, const char* fmt, ...) {
+  char line[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(line, sizeof line, fmt, args);
+  va_end(args);
+  out += line;
+}
+
+}  // namespace
+
+const char* stage_counter_name(StageCounter c) {
+  switch (c) {
+    case StageCounter::kSketchVertices: return "sketch_vertices";
+    case StageCounter::kSketchEdges: return "sketch_edges";
+    case StageCounter::kEdgesConsidered: return "edges_considered";
+    case StageCounter::kSafeEdgeChecks: return "safe_edge_checks";
+    case StageCounter::kDijkstraRelaxations: return "dijkstra_relaxations";
+    case StageCounter::kCount_: break;
+  }
+  return "?";
+}
+
 Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (auto& s : stages_) s.store(0, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
   queries_.store(0, std::memory_order_relaxed);
   connections_.store(0, std::memory_order_relaxed);
 }
 
 void Metrics::record(RequestType type, std::uint64_t queries, double micros) {
-  counts_[static_cast<unsigned>(type)].fetch_add(1, std::memory_order_relaxed);
+  const unsigned k = static_cast<unsigned>(type);
+  counts_[k].fetch_add(1, std::memory_order_relaxed);
   queries_.fetch_add(queries, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(lat_mu_);
-  latency_[static_cast<unsigned>(type)].add(micros);
+  std::lock_guard<std::mutex> lock(lat_mu_[k]);
+  latency_[k].add(micros);
 }
 
 void Metrics::record_error() {
@@ -26,6 +60,20 @@ void Metrics::record_connection() {
   connections_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void Metrics::record_query_stats(const QueryStats& stats) {
+  auto add = [&](StageCounter c, std::size_t n) {
+    if (n != 0) {
+      stages_[static_cast<unsigned>(c)].fetch_add(n,
+                                                  std::memory_order_relaxed);
+    }
+  };
+  add(StageCounter::kSketchVertices, stats.sketch_vertices);
+  add(StageCounter::kSketchEdges, stats.sketch_edges);
+  add(StageCounter::kEdgesConsidered, stats.edges_considered);
+  add(StageCounter::kSafeEdgeChecks, stats.pb_checks);
+  add(StageCounter::kDijkstraRelaxations, stats.dijkstra_relaxations);
+}
+
 double Metrics::uptime_seconds() const {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start_)
@@ -33,58 +81,150 @@ double Metrics::uptime_seconds() const {
 }
 
 std::string Metrics::render(const PreparedCache::Stats& cache) const {
-  static const char* kNames[kNumRequestTypes] = {"dist", "batch", "stats"};
-  char line[160];
   std::string out;
   const double up = uptime_seconds();
   const std::uint64_t q = total_queries();
-  std::snprintf(line, sizeof line, "uptime_s: %.1f\n", up);
-  out += line;
-  std::snprintf(line, sizeof line, "connections: %llu\n",
-                static_cast<unsigned long long>(
-                    connections_.load(std::memory_order_relaxed)));
-  out += line;
-  std::snprintf(line, sizeof line, "queries_total: %llu\n",
-                static_cast<unsigned long long>(q));
-  out += line;
-  std::snprintf(line, sizeof line, "qps: %.1f\n",
-                up > 0 ? static_cast<double>(q) / up : 0.0);
-  out += line;
-  std::snprintf(line, sizeof line, "errors: %llu\n",
-                static_cast<unsigned long long>(errors()));
-  out += line;
-  {
-    std::lock_guard<std::mutex> lock(lat_mu_);
-    for (unsigned k = 0; k < kNumRequestTypes; ++k) {
-      const std::uint64_t n = counts_[k].load(std::memory_order_relaxed);
-      std::snprintf(line, sizeof line, "%s_requests: %llu\n", kNames[k],
-                    static_cast<unsigned long long>(n));
-      out += line;
-      if (!latency_[k].empty()) {
-        std::snprintf(line, sizeof line,
-                      "%s_latency_us: mean=%.1f p50=%.1f p95=%.1f p99=%.1f "
-                      "max=%.1f\n",
-                      kNames[k], latency_[k].mean(), latency_[k].percentile(50),
-                      latency_[k].percentile(95), latency_[k].percentile(99),
-                      latency_[k].max());
-        out += line;
-      }
+  append_line(out, "uptime_s: %.1f\n", up);
+  append_line(out, "connections: %" PRIu64 "\n",
+              connections_.load(std::memory_order_relaxed));
+  append_line(out, "queries_total: %" PRIu64 "\n", q);
+  append_line(out, "qps: %.1f\n", up > 0 ? static_cast<double>(q) / up : 0.0);
+  append_line(out, "errors: %" PRIu64 "\n", errors());
+  for (unsigned k = 0; k < kNumRequestTypes; ++k) {
+    const std::uint64_t n = counts_[k].load(std::memory_order_relaxed);
+    append_line(out, "%s_requests: %" PRIu64 "\n", kTypeNames[k], n);
+    std::lock_guard<std::mutex> lock(lat_mu_[k]);
+    if (!latency_[k].empty()) {
+      append_line(out,
+                  "%s_latency_us: mean=%.1f p50=%.1f p95=%.1f p99=%.1f "
+                  "max=%.1f\n",
+                  kTypeNames[k], latency_[k].mean(), latency_[k].percentile(50),
+                  latency_[k].percentile(95), latency_[k].percentile(99),
+                  latency_[k].max());
     }
   }
-  std::snprintf(line, sizeof line, "cache_entries: %zu\n", cache.entries);
-  out += line;
-  std::snprintf(line, sizeof line, "cache_hits: %llu\n",
-                static_cast<unsigned long long>(cache.hits));
-  out += line;
-  std::snprintf(line, sizeof line, "cache_misses: %llu\n",
-                static_cast<unsigned long long>(cache.misses));
-  out += line;
-  std::snprintf(line, sizeof line, "cache_evictions: %llu\n",
-                static_cast<unsigned long long>(cache.evictions));
-  out += line;
-  std::snprintf(line, sizeof line, "cache_hit_rate: %.3f\n",
-                cache.hit_rate());
-  out += line;
+  for (unsigned k = 0; k < kNumStageCounters; ++k) {
+    append_line(out, "stage_%s: %" PRIu64 "\n",
+                stage_counter_name(static_cast<StageCounter>(k)),
+                stages_[k].load(std::memory_order_relaxed));
+  }
+  append_line(out, "cache_entries: %zu\n", cache.entries);
+  append_line(out, "cache_hits: %" PRIu64 "\n", cache.hits);
+  append_line(out, "cache_misses: %" PRIu64 "\n", cache.misses);
+  append_line(out, "cache_evictions: %" PRIu64 "\n", cache.evictions);
+  append_line(out, "cache_hit_rate: %.3f\n", cache.hit_rate());
+  return out;
+}
+
+std::string Metrics::render_prometheus(
+    const PreparedCache::Stats& cache) const {
+  std::string out;
+  out.reserve(4096);
+
+  append_line(out, "# HELP fsdl_uptime_seconds Seconds since server start.\n");
+  append_line(out, "# TYPE fsdl_uptime_seconds gauge\n");
+  append_line(out, "fsdl_uptime_seconds %.3f\n", uptime_seconds());
+
+  append_line(out, "# HELP fsdl_connections_total Accepted TCP connections.\n");
+  append_line(out, "# TYPE fsdl_connections_total counter\n");
+  append_line(out, "fsdl_connections_total %" PRIu64 "\n",
+              connections_.load(std::memory_order_relaxed));
+
+  append_line(out, "# HELP fsdl_requests_total Completed requests by type.\n");
+  append_line(out, "# TYPE fsdl_requests_total counter\n");
+  for (unsigned k = 0; k < kNumRequestTypes; ++k) {
+    append_line(out, "fsdl_requests_total{type=\"%s\"} %" PRIu64 "\n",
+                kTypeNames[k], counts_[k].load(std::memory_order_relaxed));
+  }
+
+  append_line(out,
+              "# HELP fsdl_queries_total Point-to-point distance queries "
+              "answered.\n");
+  append_line(out, "# TYPE fsdl_queries_total counter\n");
+  append_line(out, "fsdl_queries_total %" PRIu64 "\n", total_queries());
+
+  append_line(out, "# HELP fsdl_errors_total Requests answered with an "
+                   "error.\n");
+  append_line(out, "# TYPE fsdl_errors_total counter\n");
+  append_line(out, "fsdl_errors_total %" PRIu64 "\n", errors());
+
+  append_line(out,
+              "# HELP fsdl_request_latency_microseconds Request wall time by "
+              "type (geometric buckets).\n");
+  append_line(out, "# TYPE fsdl_request_latency_microseconds histogram\n");
+  for (unsigned k = 0; k < kNumRequestTypes; ++k) {
+    std::vector<Histogram::Bucket> buckets;
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    {
+      std::lock_guard<std::mutex> lock(lat_mu_[k]);
+      buckets = latency_[k].buckets();
+      sum = latency_[k].sum();
+      count = latency_[k].count();
+    }
+    std::uint64_t cumulative = 0;
+    for (const auto& b : buckets) {
+      cumulative += b.count;
+      append_line(out,
+                  "fsdl_request_latency_microseconds_bucket{type=\"%s\","
+                  "le=\"%.6g\"} %" PRIu64 "\n",
+                  kTypeNames[k], b.upper, cumulative);
+    }
+    append_line(out,
+                "fsdl_request_latency_microseconds_bucket{type=\"%s\","
+                "le=\"+Inf\"} %" PRIu64 "\n",
+                kTypeNames[k], count);
+    append_line(out,
+                "fsdl_request_latency_microseconds_sum{type=\"%s\"} %.6g\n",
+                kTypeNames[k], sum);
+    append_line(out,
+                "fsdl_request_latency_microseconds_count{type=\"%s\"} %" PRIu64
+                "\n",
+                kTypeNames[k], count);
+  }
+
+  append_line(out,
+              "# HELP fsdl_stage_work_total Decoder work units by stage "
+              "(see DESIGN.md instrumentation table).\n");
+  append_line(out, "# TYPE fsdl_stage_work_total counter\n");
+  for (unsigned k = 0; k < kNumStageCounters; ++k) {
+    append_line(out, "fsdl_stage_work_total{stage=\"%s\"} %" PRIu64 "\n",
+                stage_counter_name(static_cast<StageCounter>(k)),
+                stages_[k].load(std::memory_order_relaxed));
+  }
+
+  append_line(out,
+              "# HELP fsdl_prepared_cache_entries Fault sets currently "
+              "prepared.\n");
+  append_line(out, "# TYPE fsdl_prepared_cache_entries gauge\n");
+  append_line(out, "fsdl_prepared_cache_entries %zu\n", cache.entries);
+  append_line(out, "# HELP fsdl_prepared_cache_events_total PreparedFaults "
+                   "LRU events.\n");
+  append_line(out, "# TYPE fsdl_prepared_cache_events_total counter\n");
+  append_line(out, "fsdl_prepared_cache_events_total{event=\"hit\"} %" PRIu64
+                   "\n",
+              cache.hits);
+  append_line(out, "fsdl_prepared_cache_events_total{event=\"miss\"} %" PRIu64
+                   "\n",
+              cache.misses);
+  append_line(out,
+              "fsdl_prepared_cache_events_total{event=\"eviction\"} %" PRIu64
+              "\n",
+              cache.evictions);
+
+#if FSDL_TRACE_ENABLED
+  // Tracing build: also expose the process-wide obs counters (they cover
+  // every oracle in the process, not only this server's request path).
+  const obs::CounterSnapshot snap = obs::snapshot_counters();
+  append_line(out, "# HELP fsdl_obs_work_total Process-wide instrumentation "
+                   "counters (FSDL_TRACE build).\n");
+  append_line(out, "# TYPE fsdl_obs_work_total counter\n");
+  for (unsigned k = 0; k < obs::kNumCounters; ++k) {
+    append_line(out, "fsdl_obs_work_total{counter=\"%s\"} %" PRIu64 "\n",
+                obs::counter_name(static_cast<obs::Counter>(k)),
+                snap.values[k]);
+  }
+#endif
   return out;
 }
 

@@ -1,7 +1,9 @@
 // Server-side metrics registry: per-request-type counters, latency
 // histograms (p50/p95/p99 via util/stats Histogram), QPS over the uptime
-// window, and the cache hit rate pulled from PreparedCache. Rendered as the
-// STATS reply text and dumped on graceful shutdown.
+// window, the cache hit rate pulled from PreparedCache, and decoder stage
+// counters accumulated from QueryStats. Rendered two ways: the STATS reply
+// (human-readable `key: value` lines, also dumped on graceful shutdown) and
+// the METRICS reply (Prometheus text exposition, scrape-ready).
 #pragma once
 
 #include <atomic>
@@ -10,23 +12,51 @@
 #include <mutex>
 #include <string>
 
+#include "core/decoder.hpp"
 #include "server/prepared_cache.hpp"
 #include "util/stats.hpp"
 
 namespace fsdl::server {
 
-enum class RequestType : unsigned { kDist = 0, kBatch = 1, kStats = 2 };
-inline constexpr unsigned kNumRequestTypes = 3;
+enum class RequestType : unsigned {
+  kDist = 0,
+  kBatch = 1,
+  kStats = 2,
+  kMetrics = 3
+};
+inline constexpr unsigned kNumRequestTypes = 4;
+
+/// Decoder stage counters surfaced server-wide — one slot per QueryStats
+/// field. Always on (a handful of relaxed adds per *request*, never per
+/// edge); independent of the FSDL_TRACE build flag.
+enum class StageCounter : unsigned {
+  kSketchVertices = 0,
+  kSketchEdges,
+  kEdgesConsidered,
+  kSafeEdgeChecks,
+  kDijkstraRelaxations,
+  kCount_
+};
+inline constexpr unsigned kNumStageCounters =
+    static_cast<unsigned>(StageCounter::kCount_);
+
+const char* stage_counter_name(StageCounter c);
 
 class Metrics {
  public:
   Metrics();
 
   /// Record one completed request of `type` that answered `queries`
-  /// point-to-point queries in `micros` wall time.
+  /// point-to-point queries in `micros` wall time. Latency histograms are
+  /// striped per request type, so concurrent DIST and BATCH recording
+  /// never serialize against each other.
   void record(RequestType type, std::uint64_t queries, double micros);
   void record_error();
   void record_connection();
+
+  /// Fold one request's accumulated decoder work into the stage counters
+  /// (the caller sums QueryStats across a batch first).
+  void record_query_stats(const QueryStats& stats);
 
   std::uint64_t requests(RequestType type) const {
     return counts_[static_cast<unsigned>(type)].load(std::memory_order_relaxed);
@@ -37,10 +67,17 @@ class Metrics {
   std::uint64_t total_queries() const {
     return queries_.load(std::memory_order_relaxed);
   }
+  std::uint64_t stage_total(StageCounter c) const {
+    return stages_[static_cast<unsigned>(c)].load(std::memory_order_relaxed);
+  }
   double uptime_seconds() const;
 
   /// Human-readable snapshot (also machine-greppable `key: value` lines).
   std::string render(const PreparedCache::Stats& cache) const;
+
+  /// Prometheus text exposition (version 0.0.4): counters, gauges, and the
+  /// latency histograms with cumulative geometric `le` buckets.
+  std::string render_prometheus(const PreparedCache::Stats& cache) const;
 
  private:
   std::chrono::steady_clock::time_point start_;
@@ -48,8 +85,11 @@ class Metrics {
   std::atomic<std::uint64_t> errors_;
   std::atomic<std::uint64_t> queries_;
   std::atomic<std::uint64_t> connections_;
-  // One latency histogram per request type, microsecond samples.
-  mutable std::mutex lat_mu_;
+  std::atomic<std::uint64_t> stages_[kNumStageCounters];
+  // One latency histogram per request type, microsecond samples, each
+  // behind its own mutex (lock striping: recording a DIST latency must not
+  // contend with BATCH recording; only a renderer takes them all).
+  mutable std::mutex lat_mu_[kNumRequestTypes];
   Histogram latency_[kNumRequestTypes];
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace fsdl::server {
 
 FaultKey canonical_key(const FaultSet& faults) {
@@ -61,12 +63,14 @@ std::shared_ptr<const PreparedFaults> PreparedCache::get(
       for (auto it : chain->second) {
         if (it->key == key) {
           ++shard.hits;
+          FSDL_COUNT(kPreparedCacheHit, 1);
           shard.lru.splice(shard.lru.begin(), shard.lru, it);
           return it->prepared;
         }
       }
     }
     ++shard.misses;
+    FSDL_COUNT(kPreparedCacheMiss, 1);
   }
 
   // Build outside the lock: an O(|F|²) certification must not serialize the

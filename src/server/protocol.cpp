@@ -86,6 +86,7 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
       break;
     }
     case Opcode::kStats:
+    case Opcode::kMetrics:
       break;
   }
   return out;
@@ -186,6 +187,9 @@ bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
     }
     case static_cast<std::uint8_t>(Opcode::kStats):
       out.opcode = Opcode::kStats;
+      break;
+    case static_cast<std::uint8_t>(Opcode::kMetrics):
+      out.opcode = Opcode::kMetrics;
       break;
     default:
       error = "unknown opcode " + std::to_string(op);

@@ -13,13 +13,16 @@
 //           — one fault set shared by all pairs, matching the PreparedFaults
 //           amortization (the road-closure workload: few live fault sets,
 //           many point-to-point queries).
-//   STATS = opcode 3 (no body) — server metrics snapshot.
+//   STATS = opcode 3 (no body) — server metrics snapshot, human-readable.
+//   METRICS = opcode 4 (no body) — the same registry rendered as Prometheus
+//             text exposition format (scrape through any sidecar that can
+//             speak the protocol, or via `fsdl_serve --metrics-dump`).
 //
 // Response payloads:
 //   status u8 (0 = ok, 1 = error)
 //   ok DIST:  distance u32 (kInfDist = unreachable)
 //   ok BATCH: npairs u32, distance u32 × npairs
-//   ok STATS: text_len u32, UTF-8 text
+//   ok STATS / METRICS: text_len u32, UTF-8 text
 //   error:    text_len u32, UTF-8 message
 #pragma once
 
@@ -36,7 +39,12 @@ namespace fsdl::server {
 /// small enough that a garbage length prefix cannot drive allocation.
 inline constexpr std::uint32_t kMaxFramePayload = 8u * 1024 * 1024;
 
-enum class Opcode : std::uint8_t { kDist = 1, kBatch = 2, kStats = 3 };
+enum class Opcode : std::uint8_t {
+  kDist = 1,
+  kBatch = 2,
+  kStats = 3,
+  kMetrics = 4
+};
 
 struct Request {
   Opcode opcode = Opcode::kDist;
@@ -49,7 +57,7 @@ struct Response {
   bool ok = true;
   /// DIST: one entry; BATCH: one per pair.
   std::vector<Dist> distances;
-  /// STATS text, or the error message when !ok.
+  /// STATS / METRICS text, or the error message when !ok.
   std::string text;
 };
 

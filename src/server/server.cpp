@@ -6,9 +6,12 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cinttypes>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace fsdl::server {
@@ -172,6 +175,11 @@ Response Server::handle(const Request& req) {
       metrics_.record(RequestType::kStats, 0, timer.elapsed_us());
       return resp;
     }
+    case Opcode::kMetrics: {
+      resp.text = prometheus();
+      metrics_.record(RequestType::kMetrics, 0, timer.elapsed_us());
+      return resp;
+    }
     case Opcode::kDist:
     case Opcode::kBatch: {
       if (req.pairs.empty()) return error_response("empty batch");
@@ -189,31 +197,67 @@ Response Server::handle(const Request& req) {
           return error_response("fault edge id out of range");
         }
       }
+      // Span-tree capture for the slow-query log: only spans completed on
+      // this worker thread after the mark belong to this request.
+      const std::uint64_t span_mark = obs::span_mark();
+      QueryStats request_stats;
+      resp.distances.reserve(req.pairs.size());
       if (req.faults.empty()) {
         // No faults: skip the cache, decode directly (the fault-free path
         // needs no certification state).
-        resp.distances.reserve(req.pairs.size());
         for (const auto& [s, t] : req.pairs) {
-          resp.distances.push_back(
-              oracle_->query(s, t, req.faults).distance);
+          const QueryResult r = oracle_->query(s, t, req.faults);
+          resp.distances.push_back(r.distance);
+          request_stats.accumulate(r.stats);
         }
       } else {
         const auto prepared = cache_.get(req.faults);
-        resp.distances.reserve(req.pairs.size());
         for (const auto& [s, t] : req.pairs) {
           // PreparedFaults handles forbidden endpoints (returns kInfDist).
-          resp.distances.push_back(
-              prepared->query(oracle_->label(s), oracle_->label(t)).distance);
+          const QueryResult r =
+              prepared->query(oracle_->label(s), oracle_->label(t));
+          resp.distances.push_back(r.distance);
+          request_stats.accumulate(r.stats);
         }
       }
+      const double total_us = timer.elapsed_us();
       metrics_.record(
           req.opcode == Opcode::kDist ? RequestType::kDist
                                       : RequestType::kBatch,
-          req.pairs.size(), timer.elapsed_us());
+          req.pairs.size(), total_us);
+      metrics_.record_query_stats(request_stats);
+      if (options_.slow_query_us > 0 && total_us >= options_.slow_query_us) {
+        log_slow_query(req, request_stats, total_us,
+                       obs::format_span_tree(obs::spans_since(span_mark)));
+      }
       return resp;
     }
   }
   return error_response("unhandled opcode");
+}
+
+void Server::log_slow_query(const Request& req, const QueryStats& stats,
+                            double total_us, const std::string& span_tree) {
+  char line[512];
+  std::snprintf(
+      line, sizeof line,
+      "slow_query: op=%s pairs=%zu fault_vertices=%zu fault_edges=%zu "
+      "total_us=%.1f assemble_us=%.1f dijkstra_us=%.1f "
+      "sketch_vertices=%zu sketch_edges=%zu pb_checks=%zu relaxations=%zu\n",
+      req.opcode == Opcode::kDist ? "DIST" : "BATCH", req.pairs.size(),
+      req.faults.vertices().size(), req.faults.edges().size(), total_us,
+      stats.assemble_us, stats.dijkstra_us, stats.sketch_vertices,
+      stats.sketch_edges, stats.pb_checks, stats.dijkstra_relaxations);
+  std::string report = line;
+  if (!span_tree.empty()) report += span_tree;
+  if (options_.slow_query_sink) {
+    options_.slow_query_sink(report);
+  } else {
+    // One mutex-serialized fputs keeps concurrent workers' reports whole.
+    static std::mutex stderr_mu;
+    std::lock_guard<std::mutex> lock(stderr_mu);
+    std::fputs(report.c_str(), stderr);
+  }
 }
 
 }  // namespace fsdl::server

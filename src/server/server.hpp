@@ -19,8 +19,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_set>
 
@@ -41,6 +43,15 @@ struct ServerOptions {
   std::size_t cache_shards = 8;
   /// Decode every label at startup instead of on first touch.
   bool warm_labels = false;
+  /// Slow-query log threshold in microseconds; 0 disables. A DIST/BATCH
+  /// request slower than this emits one multi-line report (request shape,
+  /// fault-set size, per-stage micros, and — in FSDL_TRACE builds at span
+  /// level — the span tree) through `slow_query_sink`.
+  double slow_query_us = 0.0;
+  /// Destination for slow-query reports; defaults to stderr. The sink is
+  /// called from worker threads and must be callable concurrently (the
+  /// default serializes writes internally).
+  std::function<void(const std::string&)> slow_query_sink;
 };
 
 class Server {
@@ -65,6 +76,12 @@ class Server {
   const Metrics& metrics() const noexcept { return metrics_; }
   PreparedCache::Stats cache_stats() const { return cache_.stats(); }
 
+  /// Prometheus text exposition of the current registry + cache state (the
+  /// METRICS opcode body; also written by fsdl_serve --metrics-dump).
+  std::string prometheus() const {
+    return metrics_.render_prometheus(cache_.stats());
+  }
+
   /// Answer one decoded request — the transport-independent core, shared
   /// with tests that exercise dispatch without sockets.
   Response handle(const Request& req);
@@ -74,6 +91,8 @@ class Server {
   void serve_connection(int fd);
   void track(int fd);
   void untrack(int fd);
+  void log_slow_query(const Request& req, const QueryStats& stats,
+                      double total_us, const std::string& span_tree);
 
   const ForbiddenSetOracle* oracle_;
   ServerOptions options_;

@@ -137,6 +137,17 @@ double Histogram::mean() const {
   return sum_ / static_cast<double>(count_);
 }
 
+std::vector<Histogram::Bucket> Histogram::buckets() const {
+  std::vector<Bucket> out;
+  if (underflow_ > 0) out.push_back({0.0, underflow_});
+  for (std::size_t j = 0; j < buckets_.size(); ++j) {
+    if (buckets_[j] == 0) continue;
+    const int k = offset_ + static_cast<int>(j);
+    out.push_back({ref_ * std::pow(growth_, k + 1), buckets_[j]});
+  }
+  return out;
+}
+
 double Histogram::percentile(double p) const {
   if (count_ == 0) {
     throw std::logic_error("Histogram::percentile on empty sample");

@@ -62,6 +62,20 @@ class Histogram {
   double percentile(double p) const;
   double median() const { return percentile(50.0); }
 
+  /// One non-empty bucket of the exposition view: `count` samples with
+  /// value <= `upper` and > the previous bucket's upper edge.
+  struct Bucket {
+    double upper = 0.0;
+    std::uint64_t count = 0;
+  };
+  /// Non-cumulative buckets in increasing `upper` order, empty buckets
+  /// skipped. Samples <= 0 appear as a leading bucket with upper = 0.
+  /// A Prometheus-style renderer turns these into cumulative `le` buckets;
+  /// the counts sum to count().
+  std::vector<Bucket> buckets() const;
+
+  double growth() const noexcept { return growth_; }
+
  private:
   int bucket_index(double x) const;
 

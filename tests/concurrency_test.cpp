@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -13,6 +15,7 @@
 #include "core/oracle.hpp"
 #include "graph/fault_view.hpp"
 #include "graph/generators.hpp"
+#include "server/metrics.hpp"
 #include "server/prepared_cache.hpp"
 #include "server/thread_pool.hpp"
 #include "util/rng.hpp"
@@ -157,6 +160,70 @@ TEST_F(ConcurrencyTest, CanonicalKeyIsOrderIndependent) {
   v_only.add_vertex(1);
   e_only.add_edge(0, 1);
   EXPECT_FALSE(server::canonical_key(v_only) == server::canonical_key(e_only));
+}
+
+TEST(MetricsTest, ConcurrentRecordingAcrossStripes) {
+  // The latency histograms are striped per request type: threads recording
+  // different types must never contend on one lock, and threads sharing a
+  // type must still merge losslessly. Hammer all four stripes plus the
+  // atomic counters and stage totals while a reader renders snapshots
+  // mid-flight (TSAN covers the data-race side; the sums cover atomicity).
+  server::Metrics metrics;
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kOps = 4000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    server::PreparedCache::Stats cache{};
+    while (!stop.load()) {
+      (void)metrics.render(cache);
+      (void)metrics.render_prometheus(cache);
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&metrics, t] {
+      const auto type = static_cast<server::RequestType>(
+          t % server::kNumRequestTypes);
+      QueryStats stats;
+      stats.pb_checks = 3;
+      stats.dijkstra_relaxations = 2;
+      for (std::uint64_t k = 0; k < kOps; ++k) {
+        metrics.record(type, /*queries=*/1, /*micros=*/1.0 + (k % 100));
+        metrics.record_query_stats(stats);
+        if (k % 64 == 0) metrics.record_connection();
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  std::uint64_t total_requests = 0;
+  for (unsigned k = 0; k < server::kNumRequestTypes; ++k) {
+    const auto type = static_cast<server::RequestType>(k);
+    EXPECT_EQ(metrics.requests(type), (kThreads / 4) * kOps) << "type " << k;
+    total_requests += metrics.requests(type);
+  }
+  EXPECT_EQ(total_requests, kThreads * kOps);
+  EXPECT_EQ(metrics.total_queries(), kThreads * kOps);
+  EXPECT_EQ(metrics.stage_total(server::StageCounter::kSafeEdgeChecks),
+            kThreads * kOps * 3);
+  EXPECT_EQ(metrics.stage_total(server::StageCounter::kDijkstraRelaxations),
+            kThreads * kOps * 2);
+  EXPECT_EQ(metrics.errors(), 0u);
+
+  // The final render reflects every recorded sample: each histogram's
+  // _count line equals the per-type request count.
+  const std::string prom =
+      metrics.render_prometheus(server::PreparedCache::Stats{});
+  for (const char* type_name : {"dist", "batch", "stats", "metrics"}) {
+    const std::string needle =
+        std::string("fsdl_request_latency_microseconds_count{type=\"") +
+        type_name + "\"} " + std::to_string((kThreads / 4) * kOps);
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
 }
 
 TEST(ThreadPoolTest, RunsAllJobsAcrossWorkers) {

@@ -1,0 +1,281 @@
+// Metrics registry + Prometheus exposition tests: drive Server::handle()
+// directly (no sockets), then parse the METRICS reply as a scraper would —
+// structural validity of the text format, cumulative histogram buckets,
+// and counter values that match the traffic actually sent.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/generators.hpp"
+#include "server/server.hpp"
+
+namespace fsdl::server {
+namespace {
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+/// Minimal parser for the Prometheus text format subset we emit. Fails the
+/// test on any line that is neither a comment nor `name{labels} value`.
+class Exposition {
+ public:
+  explicit Exposition(const std::string& text) {
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty()) {
+        ADD_FAILURE() << "blank line in exposition";
+        continue;
+      }
+      if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream ls(line);
+        std::string hash, kind, name, rest;
+        ls >> hash >> kind >> name;
+        std::getline(ls, rest);
+        if (rest.size() < 2) {
+          ADD_FAILURE() << "comment without text: " << line;
+        }
+        (kind == "HELP" ? help_ : type_).insert(name);
+        continue;
+      }
+      if (line[0] == '#') {
+        ADD_FAILURE() << "unknown comment form: " << line;
+        continue;
+      }
+      parse_sample(line);
+    }
+  }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Samples with this exact metric name (histogram series use the
+  /// _bucket/_sum/_count suffixed names).
+  std::vector<Sample> named(const std::string& name) const {
+    std::vector<Sample> out;
+    for (const auto& s : samples_) {
+      if (s.name == name) out.push_back(s);
+    }
+    return out;
+  }
+
+  double value(const std::string& name,
+               const std::map<std::string, std::string>& labels = {}) const {
+    for (const auto& s : samples_) {
+      if (s.name == name && s.labels == labels) return s.value;
+    }
+    ADD_FAILURE() << "no sample " << name;
+    return -1.0;
+  }
+
+  bool has_metadata(const std::string& family) const {
+    return help_.count(family) != 0 && type_.count(family) != 0;
+  }
+
+ private:
+  void parse_sample(const std::string& line) {
+    Sample s;
+    std::size_t k = 0;
+    while (k < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[k])) ||
+            line[k] == '_' || line[k] == ':')) {
+      s.name += line[k++];
+    }
+    ASSERT_FALSE(s.name.empty()) << "no metric name: " << line;
+    if (k < line.size() && line[k] == '{') {
+      const std::size_t close = line.find('}', k);
+      ASSERT_NE(close, std::string::npos) << "unterminated labels: " << line;
+      std::string body = line.substr(k + 1, close - k - 1);
+      std::istringstream ls(body);
+      std::string item;
+      while (std::getline(ls, item, ',')) {
+        const std::size_t eq = item.find("=\"");
+        ASSERT_NE(eq, std::string::npos) << "bad label: " << item;
+        ASSERT_EQ(item.back(), '"') << "bad label: " << item;
+        s.labels[item.substr(0, eq)] =
+            item.substr(eq + 2, item.size() - eq - 3);
+      }
+      k = close + 1;
+    }
+    ASSERT_LT(k, line.size()) << "no value: " << line;
+    ASSERT_EQ(line[k], ' ') << "expected space before value: " << line;
+    const std::string value_text = line.substr(k + 1);
+    if (value_text == "+Inf") {
+      s.value = std::numeric_limits<double>::infinity();
+    } else {
+      std::size_t used = 0;
+      s.value = std::stod(value_text, &used);
+      ASSERT_EQ(used, value_text.size()) << "trailing junk: " << line;
+    }
+    samples_.push_back(std::move(s));
+  }
+
+  std::vector<Sample> samples_;
+  std::set<std::string> help_;
+  std::set<std::string> type_;
+};
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  MetricsTest()
+      : graph_(make_grid2d(6, 6)),
+        scheme_(ForbiddenSetLabeling::build(graph_,
+                                            SchemeParams::compact(1.0))),
+        oracle_(scheme_) {}
+
+  Graph graph_;
+  ForbiddenSetLabeling scheme_;
+  ForbiddenSetOracle oracle_;
+};
+
+TEST_F(MetricsTest, PrometheusExpositionMatchesTraffic) {
+  Server srv(oracle_, ServerOptions{});  // handle() needs no sockets
+
+  Request dist;
+  dist.opcode = Opcode::kDist;
+  dist.pairs = {{0, 35}};
+  for (int k = 0; k < 3; ++k) {
+    const Response r = srv.handle(dist);
+    ASSERT_TRUE(r.ok);
+    ASSERT_EQ(r.distances.size(), 1u);
+  }
+
+  Request batch;
+  batch.opcode = Opcode::kBatch;
+  batch.pairs = {{0, 5}, {6, 29}, {10, 10}, {2, 33}};
+  batch.faults.add_vertex(14);
+  batch.faults.add_edge(0, 1);
+  const Response br = srv.handle(batch);
+  ASSERT_TRUE(br.ok);
+  ASSERT_EQ(br.distances.size(), 4u);
+
+  Request bad;
+  bad.opcode = Opcode::kDist;
+  bad.pairs = {{0, 9999}};
+  EXPECT_FALSE(srv.handle(bad).ok);
+
+  Request metrics;
+  metrics.opcode = Opcode::kMetrics;
+  const Response mr = srv.handle(metrics);
+  ASSERT_TRUE(mr.ok);
+  ASSERT_FALSE(mr.text.empty());
+
+  Exposition exp(mr.text);
+
+  // Every family we advertise carries HELP + TYPE metadata.
+  for (const char* family :
+       {"fsdl_uptime_seconds", "fsdl_connections_total", "fsdl_requests_total",
+        "fsdl_queries_total", "fsdl_errors_total",
+        "fsdl_request_latency_microseconds", "fsdl_stage_work_total",
+        "fsdl_prepared_cache_entries", "fsdl_prepared_cache_events_total"}) {
+    EXPECT_TRUE(exp.has_metadata(family)) << family;
+  }
+
+  EXPECT_EQ(exp.value("fsdl_requests_total", {{"type", "dist"}}), 3.0);
+  EXPECT_EQ(exp.value("fsdl_requests_total", {{"type", "batch"}}), 1.0);
+  EXPECT_EQ(exp.value("fsdl_queries_total"), 7.0);  // 3 DIST + 4 in the batch
+  EXPECT_EQ(exp.value("fsdl_errors_total"), 0.0);   // range check pre-dates handling
+  // The faulted batch missed the prepared cache once, then the entry stayed.
+  EXPECT_EQ(exp.value("fsdl_prepared_cache_events_total", {{"event", "miss"}}),
+            1.0);
+  EXPECT_EQ(exp.value("fsdl_prepared_cache_entries"), 1.0);
+  // Decoder stage work flowed into the registry (7 sketch searches ran).
+  EXPECT_GT(exp.value("fsdl_stage_work_total", {{"stage", "sketch_vertices"}}),
+            0.0);
+  EXPECT_GT(
+      exp.value("fsdl_stage_work_total", {{"stage", "dijkstra_relaxations"}}),
+      0.0);
+
+  // Histogram structure for the dist series: cumulative bucket counts,
+  // +Inf bucket == _count == number of requests, _sum > 0.
+  const auto buckets =
+      exp.named("fsdl_request_latency_microseconds_bucket");
+  double prev = 0.0;
+  std::uint64_t dist_buckets = 0;
+  for (const auto& b : buckets) {
+    ASSERT_TRUE(b.labels.count("le")) << "bucket without le label";
+    if (b.labels.at("type") != "dist") continue;
+    ++dist_buckets;
+    EXPECT_GE(b.value, prev) << "bucket counts must be cumulative";
+    prev = b.value;
+  }
+  ASSERT_GT(dist_buckets, 0u);
+  EXPECT_EQ(prev, 3.0);  // the +Inf bucket (rendered last) counts everything
+  EXPECT_EQ(exp.value("fsdl_request_latency_microseconds_count",
+                      {{"type", "dist"}}),
+            3.0);
+  EXPECT_GT(exp.value("fsdl_request_latency_microseconds_sum",
+                      {{"type", "dist"}}),
+            0.0);
+}
+
+TEST_F(MetricsTest, StageCountersAccumulateQueryStats) {
+  Metrics m;
+  QueryStats stats;
+  stats.sketch_vertices = 5;
+  stats.sketch_edges = 9;
+  stats.pb_checks = 100;
+  stats.dijkstra_relaxations = 42;
+  m.record_query_stats(stats);
+  m.record_query_stats(stats);
+  EXPECT_EQ(m.stage_total(StageCounter::kSketchVertices), 10u);
+  EXPECT_EQ(m.stage_total(StageCounter::kSketchEdges), 18u);
+  EXPECT_EQ(m.stage_total(StageCounter::kSafeEdgeChecks), 200u);
+  EXPECT_EQ(m.stage_total(StageCounter::kDijkstraRelaxations), 84u);
+  EXPECT_EQ(m.stage_total(StageCounter::kEdgesConsidered), 0u);
+}
+
+TEST_F(MetricsTest, SlowQueryLogReportsStages) {
+  ServerOptions options;
+  options.slow_query_us = 0.001;  // everything is "slow"
+  std::vector<std::string> reports;
+  options.slow_query_sink = [&](const std::string& r) {
+    reports.push_back(r);
+  };
+  Server srv(oracle_, options);
+
+  Request req;
+  req.opcode = Opcode::kDist;
+  req.pairs = {{0, 35}};
+  req.faults.add_vertex(7);
+  ASSERT_TRUE(srv.handle(req).ok);
+
+  ASSERT_EQ(reports.size(), 1u);
+  const std::string& report = reports[0];
+  EXPECT_NE(report.find("slow_query: op=DIST pairs=1 fault_vertices=1"),
+            std::string::npos)
+      << report;
+  for (const char* field : {"total_us=", "assemble_us=", "dijkstra_us=",
+                            "sketch_vertices=", "pb_checks=", "relaxations="}) {
+    EXPECT_NE(report.find(field), std::string::npos) << field;
+  }
+}
+
+TEST_F(MetricsTest, SlowQueryLogSilentUnderThreshold) {
+  ServerOptions options;
+  options.slow_query_us = 1e9;  // nothing is that slow
+  std::vector<std::string> reports;
+  options.slow_query_sink = [&](const std::string& r) {
+    reports.push_back(r);
+  };
+  Server srv(oracle_, options);
+  Request req;
+  req.opcode = Opcode::kDist;
+  req.pairs = {{0, 1}};
+  ASSERT_TRUE(srv.handle(req).ok);
+  EXPECT_TRUE(reports.empty());
+}
+
+}  // namespace
+}  // namespace fsdl::server

@@ -1,0 +1,157 @@
+// Tests for the observability layer (src/obs). The interesting behavior —
+// per-thread counter blocks, runtime levels, the span ring — only exists in
+// FSDL_TRACE=ON builds (CI runs this file in both configurations); in the
+// default build the same entry points must compile and behave as no-ops.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace fsdl::obs {
+namespace {
+
+TEST(ObsCounterNames, CoverEverySlot) {
+  for (unsigned k = 0; k < kNumCounters; ++k) {
+    const char* name = counter_name(static_cast<Counter>(k));
+    EXPECT_STRNE(name, "?") << "counter " << k << " has no name";
+  }
+  EXPECT_STREQ(counter_name(Counter::kSafeEdgeChecks), "safe_edge_checks");
+  EXPECT_STREQ(counter_name(Counter::kDijkstraRelaxations),
+               "dijkstra_relaxations");
+}
+
+TEST(ObsFormatSpanTree, IndentsByDepth) {
+  std::vector<SpanEvent> events = {
+      {"dijkstra", 1, 30.0, 5.0},   // completion order: children first
+      {"assemble", 1, 10.0, 15.0},  // out of start order on purpose
+      {"query", 0, 0.0, 40.0},
+  };
+  const std::string tree = format_span_tree(events);
+#if FSDL_TRACE_ENABLED
+  // Sorted by start time, indented two spaces per level.
+  const auto q = tree.find("query");
+  const auto a = tree.find("  assemble");
+  const auto d = tree.find("  dijkstra");
+  EXPECT_NE(q, std::string::npos);
+  EXPECT_NE(a, std::string::npos);
+  EXPECT_NE(d, std::string::npos);
+  EXPECT_LT(q, a);
+  EXPECT_LT(a, d);
+  EXPECT_NE(tree.find("40.0us"), std::string::npos);
+#else
+  EXPECT_TRUE(tree.empty());
+#endif
+}
+
+#if FSDL_TRACE_ENABLED
+
+/// RAII guard: every test leaves the process-global level as it found it.
+struct LevelGuard {
+  Level saved = level();
+  ~LevelGuard() { set_level(saved); }
+};
+
+TEST(ObsCounters, AggregateAcrossThreads) {
+  LevelGuard guard;
+  set_level(Level::kCounters);
+  const CounterSnapshot before = snapshot_counters();
+
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (std::uint64_t k = 0; k < kPerThread; ++k) {
+        count(Counter::kSafeEdgeChecks, 1);
+      }
+      count(Counter::kSketchEdges, 7);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const CounterSnapshot after = snapshot_counters();
+  EXPECT_EQ(after[Counter::kSafeEdgeChecks] - before[Counter::kSafeEdgeChecks],
+            kThreads * kPerThread);
+  EXPECT_EQ(after[Counter::kSketchEdges] - before[Counter::kSketchEdges],
+            kThreads * 7u);
+}
+
+TEST(ObsCounters, LevelOffDropsIncrements) {
+  LevelGuard guard;
+  set_level(Level::kOff);
+  const CounterSnapshot before = snapshot_counters();
+  count(Counter::kSketchVertices, 1000);
+  const CounterSnapshot after = snapshot_counters();
+  EXPECT_EQ(after[Counter::kSketchVertices],
+            before[Counter::kSketchVertices]);
+}
+
+TEST(ObsSpans, NestedSpansDrainAsTree) {
+  LevelGuard guard;
+  set_level(Level::kSpans);
+  const std::uint64_t mark = span_mark();
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+    { Span sibling("sibling"); }
+  }
+  const auto events = spans_since(mark);
+  ASSERT_EQ(events.size(), 3u);
+  // Completion order: inner, sibling, outer.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "sibling");
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_STREQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].depth, 0u);
+  EXPECT_GE(events[2].dur_us, events[0].dur_us);
+
+  const std::string tree = format_span_tree(events);
+  EXPECT_LT(tree.find("outer"), tree.find("  inner"));
+}
+
+TEST(ObsSpans, BelowSpanLevelRecordsNothing) {
+  LevelGuard guard;
+  set_level(Level::kCounters);
+  const std::uint64_t mark = span_mark();
+  { Span s("invisible"); }
+  EXPECT_TRUE(spans_since(mark).empty());
+}
+
+TEST(ObsSpans, RingWrapKeepsNewestEvents) {
+  LevelGuard guard;
+  set_level(Level::kSpans);
+  const std::uint64_t mark = span_mark();
+  constexpr int kOverfill = 3000;  // > ring capacity (1024)
+  for (int k = 0; k < kOverfill; ++k) {
+    Span s(k == kOverfill - 1 ? "last" : "bulk");
+  }
+  const auto events = spans_since(mark);
+  ASSERT_FALSE(events.empty());
+  EXPECT_LT(events.size(), static_cast<std::size_t>(kOverfill));
+  // The newest event survives the wrap; the oldest are gone.
+  EXPECT_STREQ(events.back().name, "last");
+}
+
+#else  // default build: the layer must be inert, not absent
+
+TEST(ObsDisabled, EntryPointsAreNoOps) {
+  EXPECT_EQ(level(), Level::kOff);
+  set_level(Level::kSpans);  // ignored
+  EXPECT_EQ(level(), Level::kOff);
+  count(Counter::kSafeEdgeChecks, 42);
+  EXPECT_EQ(snapshot_counters()[Counter::kSafeEdgeChecks], 0u);
+  const std::uint64_t mark = span_mark();
+  {
+    FSDL_SPAN("nothing");
+    FSDL_COUNT(kSketchEdges, 9);
+  }
+  EXPECT_TRUE(spans_since(mark).empty());
+}
+
+#endif  // FSDL_TRACE_ENABLED
+
+}  // namespace
+}  // namespace fsdl::obs

@@ -241,6 +241,106 @@ TEST(Histogram, MergeMatchesCombinedStream) {
   }
 }
 
+TEST(Histogram, MergeShiftedDistributions) {
+  // Disjoint value ranges (three decades apart) force the merge to splice
+  // bucket arrays with different offsets, not just add aligned slots.
+  Histogram low(1.25), high(1.25), combined(1.25);
+  Rng rng(13);
+  for (int k = 0; k < 500; ++k) {
+    const double a = 1.0 + 9.0 * rng.uniform();       // [1, 10)
+    const double b = 1e4 * (1.0 + 9.0 * rng.uniform());  // [1e4, 1e5)
+    low.add(a);
+    high.add(b);
+    combined.add(a);
+    combined.add(b);
+  }
+  low.merge(high);
+  EXPECT_EQ(low.count(), combined.count());
+  EXPECT_DOUBLE_EQ(low.min(), combined.min());
+  EXPECT_DOUBLE_EQ(low.max(), combined.max());
+  // Summation order differs between the two accumulations.
+  EXPECT_NEAR(low.sum(), combined.sum(), 1e-9 * combined.sum());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(low.percentile(p), combined.percentile(p)) << "p=" << p;
+  }
+  // p25 sits in the low cloud, p75 in the high cloud.
+  EXPECT_LT(low.percentile(25), 11.0);
+  EXPECT_GT(low.percentile(75), 9999.0);
+}
+
+TEST(Histogram, MergeEmptyEitherDirection) {
+  Histogram filled(1.25), empty(1.25);
+  for (double x : {1.0, 5.0, 80.0}) filled.add(x);
+
+  Histogram a = filled;
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), filled.sum());
+  EXPECT_DOUBLE_EQ(a.percentile(50), filled.percentile(50));
+
+  Histogram b(1.25);
+  b.merge(filled);  // adopt everything
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 80.0);
+
+  Histogram c(1.25);
+  c.merge(empty);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(Histogram, QuantileWithinDocumentedRelativeError) {
+  // The class documents percentile error of one bucket width: the estimate
+  // may be off from the exact order statistic by at most a factor of
+  // `growth`. Check p50 and p99 against an exact Summary on the same
+  // stream, for a coarse and a fine histogram.
+  for (double growth : {1.5, 1.05}) {
+    Histogram h(growth);
+    Summary exact;
+    Rng rng(17);
+    for (int k = 0; k < 20000; ++k) {
+      const double x = std::pow(10.0, 3.0 * rng.uniform());
+      h.add(x);
+      exact.add(x);
+    }
+    for (double p : {50.0, 99.0}) {
+      const double est = h.percentile(p);
+      const double ref = exact.percentile(p);
+      EXPECT_LE(est, ref * growth * (1 + 1e-12))
+          << "p=" << p << " growth=" << growth;
+      EXPECT_GE(est, ref / growth * (1 - 1e-12))
+          << "p=" << p << " growth=" << growth;
+    }
+  }
+}
+
+TEST(Histogram, BucketsSumToCountWithIncreasingUppers) {
+  Histogram h(1.25);
+  Rng rng(19);
+  h.add(-3.0);  // underflow bucket
+  h.add(0.0);
+  for (int k = 0; k < 1000; ++k) {
+    h.add(std::pow(10.0, 4.0 * rng.uniform()));
+  }
+  const auto buckets = h.buckets();
+  ASSERT_FALSE(buckets.empty());
+  EXPECT_DOUBLE_EQ(buckets.front().upper, 0.0);  // x <= 0 leads
+  EXPECT_EQ(buckets.front().count, 2u);
+  std::uint64_t total = 0;
+  double prev_upper = -1.0;
+  for (const auto& b : buckets) {
+    EXPECT_GT(b.count, 0u) << "empty buckets must be skipped";
+    EXPECT_GT(b.upper, prev_upper) << "uppers must increase";
+    prev_upper = b.upper;
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+  // Every sample is <= the top bucket's upper edge.
+  EXPECT_GE(buckets.back().upper, h.max());
+
+  EXPECT_TRUE(Histogram(1.25).buckets().empty());
+}
+
 TEST(Histogram, MergeRejectsMismatchedScales) {
   Histogram a(1.25), b(2.0);
   b.add(1.0);

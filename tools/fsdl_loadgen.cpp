@@ -69,12 +69,27 @@ struct SharedState {
   Options opt;
   const Graph* graph = nullptr;  // non-null with --verify
   std::vector<FaultSet> fault_pool;
+  std::atomic<bool> first_violation_reported{false};
   std::atomic<std::uint64_t> violations{0};
   std::atomic<std::uint64_t> transport_errors{0};
   std::atomic<std::uint64_t> queries{0};
   std::mutex agg_mu;
   Histogram latency_us{1.25};
 };
+
+/// "v3 v9 e(4,5)" — the fault set spelled out for a violation report.
+std::string describe_faults(const FaultSet& faults) {
+  std::string out;
+  for (Vertex v : faults.vertices()) {
+    if (!out.empty()) out += ' ';
+    out += 'v' + std::to_string(v);
+  }
+  for (const auto& [a, b] : faults.edges()) {
+    if (!out.empty()) out += ' ';
+    out += "e(" + std::to_string(a) + ',' + std::to_string(b) + ')';
+  }
+  return out.empty() ? std::string("empty") : out;
+}
 
 /// δ within [d, (1+ε)d]; infinities must agree exactly.
 bool bound_ok(Dist exact, Dist approx, double eps) {
@@ -122,6 +137,16 @@ void worker(SharedState& state, unsigned tid) {
                                                pairs[k].second, faults);
           if (!bound_ok(exact, answers[k], opt.eps)) {
             ++local_violations;
+            // The first offender gets the full (s, t, F) tuple so the
+            // failure reproduces with one fsdl query invocation.
+            if (!state.first_violation_reported.exchange(true)) {
+              std::fprintf(stderr,
+                           "first violation: s=%u t=%u F={%s} exact=%u "
+                           "served=%u eps=%.3g\n",
+                           pairs[k].first, pairs[k].second,
+                           describe_faults(faults).c_str(), exact, answers[k],
+                           opt.eps);
+            }
             std::fprintf(stderr,
                          "violation: d(%u,%u |F|=%zu) exact=%u served=%u\n",
                          pairs[k].first, pairs[k].second, faults.size(), exact,

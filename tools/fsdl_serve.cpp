@@ -1,12 +1,24 @@
 // fsdl_serve — the query service daemon.
 //
 //   fsdl_serve <scheme.fsdl> [--port P] [--workers N] [--cache C] [--warm]
+//              [--metrics-dump FILE] [--metrics-interval S]
+//              [--slow-query-us T] [--trace-level off|counters|spans]
 //
 // Loads a serialized labeling (fsdl build), shares one read-only oracle
-// across a worker pool, and answers DIST / BATCH / STATS frames on
-// 127.0.0.1:P (P=0 picks an ephemeral port, printed on stdout). SIGINT or
-// SIGTERM triggers a graceful shutdown: stop accepting, drain in-flight
+// across a worker pool, and answers DIST / BATCH / STATS / METRICS frames
+// on 127.0.0.1:P (P=0 picks an ephemeral port, printed on stdout). SIGINT
+// or SIGTERM triggers a graceful shutdown: stop accepting, drain in-flight
 // requests, dump the metrics snapshot.
+//
+// Observability plumbing:
+//   --metrics-dump FILE    write the Prometheus text exposition to FILE
+//                          every --metrics-interval seconds (default 5) and
+//                          once at shutdown — point a node_exporter textfile
+//                          collector (or any file scraper) at it.
+//   --slow-query-us T      log requests slower than T microseconds with
+//                          per-stage breakdown (span tree in trace builds).
+//   --trace-level L        runtime level of the compiled-in tracer; only
+//                          meaningful when built with -DFSDL_TRACE=ON.
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -15,15 +27,17 @@
 #include <string>
 #include <vector>
 
+#include <poll.h>
 #include <unistd.h>
 
 #include "core/oracle.hpp"
 #include "core/serialize.hpp"
+#include "obs/trace.hpp"
 #include "server/server.hpp"
 
 namespace {
 
-// Self-pipe: the signal handler writes one byte; main blocks on read().
+// Self-pipe: the signal handler writes one byte; main polls it.
 int g_shutdown_pipe[2] = {-1, -1};
 
 void on_signal(int) {
@@ -36,8 +50,22 @@ void on_signal(int) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
                "usage: fsdl_serve <scheme.fsdl> [--port P] [--workers N]\n"
-               "                  [--cache C] [--warm]\n");
+               "                  [--cache C] [--warm]\n"
+               "                  [--metrics-dump FILE] [--metrics-interval "
+               "S]\n"
+               "                  [--slow-query-us T]\n"
+               "                  [--trace-level off|counters|spans]\n");
   std::exit(2);
+}
+
+/// Write atomically (tmp + rename) so a scraper never reads a torn file.
+bool dump_metrics(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok && std::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 }  // namespace
@@ -47,6 +75,8 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string scheme_path = argv[1];
   server::ServerOptions options;
+  std::string metrics_path;
+  double metrics_interval_s = 5.0;
   for (int k = 2; k < argc; ++k) {
     const std::string arg = argv[k];
     if (arg == "--port" && k + 1 < argc) {
@@ -57,10 +87,28 @@ int main(int argc, char** argv) {
       options.cache_capacity = static_cast<std::size_t>(std::atol(argv[++k]));
     } else if (arg == "--warm") {
       options.warm_labels = true;
+    } else if (arg == "--metrics-dump" && k + 1 < argc) {
+      metrics_path = argv[++k];
+    } else if (arg == "--metrics-interval" && k + 1 < argc) {
+      metrics_interval_s = std::strtod(argv[++k], nullptr);
+    } else if (arg == "--slow-query-us" && k + 1 < argc) {
+      options.slow_query_us = std::strtod(argv[++k], nullptr);
+    } else if (arg == "--trace-level" && k + 1 < argc) {
+      const std::string level = argv[++k];
+      if (level == "off") obs::set_level(obs::Level::kOff);
+      else if (level == "counters") obs::set_level(obs::Level::kCounters);
+      else if (level == "spans") obs::set_level(obs::Level::kSpans);
+      else usage("unknown trace level");
+#if !FSDL_TRACE_ENABLED
+      std::fprintf(stderr,
+                   "fsdl_serve: warning: built without FSDL_TRACE, "
+                   "--trace-level has no effect\n");
+#endif
     } else {
       usage("unknown option");
     }
   }
+  if (metrics_interval_s <= 0) usage("--metrics-interval must be > 0");
 
   try {
     const auto scheme = load_labeling(scheme_path);
@@ -80,11 +128,27 @@ int main(int argc, char** argv) {
                 options.workers, options.cache_capacity, srv.port());
     std::fflush(stdout);
 
-    char byte;
-    while (::read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    // Wait for the shutdown byte; with --metrics-dump the wait doubles as
+    // the flush period (poll timeout), so no dedicated flusher thread.
+    const int timeout_ms =
+        metrics_path.empty() ? -1
+                             : static_cast<int>(metrics_interval_s * 1000.0);
+    for (;;) {
+      struct pollfd pfd{g_shutdown_pipe[0], POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (rc > 0) break;  // signal arrived
+      if (!dump_metrics(metrics_path, srv.prometheus())) {
+        std::fprintf(stderr, "fsdl_serve: cannot write metrics to %s\n",
+                     metrics_path.c_str());
+      }
     }
     std::printf("\nfsdl_serve: shutting down...\n");
     srv.stop();
+    if (!metrics_path.empty()) dump_metrics(metrics_path, srv.prometheus());
     std::printf("%s", srv.metrics().render(srv.cache_stats()).c_str());
     return 0;
   } catch (const std::exception& e) {

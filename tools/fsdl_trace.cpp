@@ -1,0 +1,273 @@
+// fsdl_trace — offline query-cost profiler.
+//
+//   fsdl_trace <scheme.fsdl> [options]
+//   fsdl_trace --grid R C [--preset compact|faithful] [--eps E] [--c C]
+//              [options]
+//
+//   options: [--queries Q] [--faults LIST] [--fault-pool K] [--seed S]
+//            [--check] [--csv]
+//
+// Replays a synthetic workload against a labeling (loaded from disk or
+// built in-process on a 2-d grid) and attributes wall time to the paper's
+// cost stages, one table row per fault-set size in LIST (comma-separated,
+// e.g. "0,1,2,4"):
+//
+//   prepare   PreparedFaults construction — the once-per-fault-set
+//             O(label·|F|²) certification term of Lemma 2.6
+//   assemble  per-query endpoint filtering + sketch-graph H build
+//             (Lemma 2.3 protected-ball checks for s and t)
+//   dijkstra  per-query search over H (the (1+1/ε)^{2α} sketch term,
+//             Lemma 2.4/2.6)
+//
+// alongside the matching work counters (sketch size, pb_checks,
+// relaxations). This needs no tracing build: the per-stage micros live in
+// the always-on QueryStats. `coverage` = (prepare + assemble + dijkstra) /
+// end-to-end wall for the row's whole workload; with --check the exit
+// status is nonzero unless aggregate coverage lands in [0.9, 1.1] — the
+// self-test that the stage accounting explains where the time goes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "core/serialize.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace fsdl;
+
+struct Options {
+  std::string scheme_path;
+  Vertex grid_rows = 0;
+  Vertex grid_cols = 0;
+  std::string preset = "compact";
+  double eps = 0.5;
+  unsigned c_value = 2;
+  unsigned queries = 200;
+  std::vector<unsigned> fault_sizes = {0, 1, 2, 4};
+  unsigned fault_pool = 4;
+  std::uint64_t seed = 1;
+  bool check = false;
+  bool csv = false;
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: fsdl_trace <scheme.fsdl> [options]\n"
+      "       fsdl_trace --grid R C [--preset compact|faithful] [--eps E]\n"
+      "                  [--c C] [options]\n"
+      "options: [--queries Q] [--faults LIST] [--fault-pool K] [--seed S]\n"
+      "         [--check] [--csv]\n");
+  std::exit(2);
+}
+
+std::vector<unsigned> parse_sweep(const char* text) {
+  std::vector<unsigned> out;
+  const char* p = text;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v < 0) usage("--faults wants a comma-separated list");
+    out.push_back(static_cast<unsigned>(v));
+    p = (*end == ',') ? end + 1 : end;
+    if (*end != ',' && *end != '\0') usage("--faults wants a comma-separated list");
+  }
+  if (out.empty()) usage("--faults list is empty");
+  return out;
+}
+
+/// One fault set of `target` faults; mixes in edge faults when the graph is
+/// available (same 30/70 split as fsdl_loadgen).
+FaultSet make_faults(Rng& rng, Vertex n, const Graph* graph, unsigned target) {
+  FaultSet f;
+  unsigned guard = 0;
+  while (f.size() < target && ++guard < 20 * target + 20) {
+    if (graph != nullptr && rng.chance(0.3)) {
+      const Vertex a = rng.vertex(n);
+      const auto nb = graph->neighbors(a);
+      if (!nb.empty()) f.add_edge(a, nb[rng.below(nb.size())]);
+    } else {
+      f.add_vertex(rng.vertex(n));
+    }
+  }
+  return f;
+}
+
+struct RowTotals {
+  double wall_us = 0.0;     // end-to-end: prepares + queries
+  double prepare_us = 0.0;  // sum over pool constructions
+  double assemble_us = 0.0;
+  double dijkstra_us = 0.0;
+  // Per-query counter sums (construction-time counters subtracted out so
+  // the row shows marginal per-query work, not the amortized |F|² part).
+  std::size_t sketch_vertices = 0;
+  std::size_t sketch_edges = 0;
+  std::size_t pb_checks = 0;
+  std::size_t relaxations = 0;
+  std::size_t queries = 0;
+  std::size_t prepares = 0;
+
+  double stage_us() const { return prepare_us + assemble_us + dijkstra_us; }
+};
+
+RowTotals run_row(const ForbiddenSetOracle& oracle, const Graph* graph,
+                  unsigned fault_size, const Options& opt, Rng& rng) {
+  const Vertex n = oracle.scheme().num_vertices();
+  RowTotals row;
+  WallTimer wall;
+
+  std::vector<PreparedFaults> pool;
+  pool.reserve(opt.fault_pool);
+  for (unsigned k = 0; k < opt.fault_pool; ++k) {
+    const FaultSet faults = make_faults(rng, n, graph, fault_size);
+    pool.push_back(oracle.prepare(faults));
+    row.prepare_us += pool.back().prepare_us();
+    ++row.prepares;
+  }
+
+  for (unsigned q = 0; q < opt.queries; ++q) {
+    const PreparedFaults& prepared = pool[q % pool.size()];
+    const Vertex s = rng.vertex(n);
+    const Vertex t = rng.vertex(n);
+    const QueryResult r = prepared.query(oracle.label(s), oracle.label(t));
+    const QueryStats& base = prepared.prepare_stats();
+    row.assemble_us += r.stats.assemble_us;
+    row.dijkstra_us += r.stats.dijkstra_us;
+    row.sketch_vertices += r.stats.sketch_vertices;
+    row.sketch_edges += r.stats.sketch_edges;
+    row.pb_checks += r.stats.pb_checks - base.pb_checks;
+    row.relaxations += r.stats.dijkstra_relaxations;
+    ++row.queries;
+  }
+  row.wall_us = wall.elapsed_us();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    auto next = [&]() -> const char* {
+      if (k + 1 >= argc) usage("missing argument value");
+      return argv[++k];
+    };
+    if (arg == "--grid") {
+      opt.grid_rows = static_cast<Vertex>(std::atol(next()));
+      opt.grid_cols = static_cast<Vertex>(std::atol(next()));
+    } else if (arg == "--preset") opt.preset = next();
+    else if (arg == "--eps") opt.eps = std::strtod(next(), nullptr);
+    else if (arg == "--c") opt.c_value = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--queries") opt.queries = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--faults") opt.fault_sizes = parse_sweep(next());
+    else if (arg == "--fault-pool") opt.fault_pool = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--check") opt.check = true;
+    else if (arg == "--csv") opt.csv = true;
+    else if (!arg.empty() && arg[0] == '-') usage("unknown option");
+    else if (opt.scheme_path.empty()) opt.scheme_path = arg;
+    else usage("more than one scheme path");
+  }
+  const bool have_grid = opt.grid_rows > 0 && opt.grid_cols > 0;
+  if (opt.scheme_path.empty() == !have_grid) {
+    usage("need exactly one of <scheme.fsdl> or --grid R C");
+  }
+  if (opt.fault_pool == 0) opt.fault_pool = 1;
+  if (opt.queries == 0) usage("--queries must be > 0");
+
+  try {
+    Graph graph;
+    const Graph* graph_ptr = nullptr;
+    ForbiddenSetLabeling scheme = [&] {
+      if (!opt.scheme_path.empty()) return load_labeling(opt.scheme_path);
+      graph = make_grid2d(opt.grid_rows, opt.grid_cols);
+      graph_ptr = &graph;
+      SchemeParams params = opt.preset == "faithful"
+                                ? SchemeParams::faithful(opt.eps)
+                                : SchemeParams::compact(opt.eps, opt.c_value);
+      WallTimer build_timer;
+      auto built = ForbiddenSetLabeling::build(graph, params);
+      std::fprintf(stderr, "fsdl_trace: built %ux%u grid scheme in %.2fs\n",
+                   opt.grid_rows, opt.grid_cols,
+                   build_timer.elapsed_seconds());
+      return built;
+    }();
+    const ForbiddenSetOracle oracle(scheme);
+    // Decode every label up front: label-decode cost is startup work, not a
+    // query stage, and would otherwise pollute the coverage check.
+    oracle.warm();
+
+    Rng rng(opt.seed);
+    Table table({"|F|", "queries", "prepare_us/F", "assemble_us/q",
+                 "dijkstra_us/q", "wall_us/q", "sketch_V/q", "sketch_E/q",
+                 "pb_checks/q", "relax/q", "coverage"});
+    double total_wall = 0.0;
+    double total_stage = 0.0;
+    for (unsigned f : opt.fault_sizes) {
+      const RowTotals row = run_row(oracle, graph_ptr, f, opt, rng);
+      total_wall += row.wall_us;
+      total_stage += row.stage_us();
+      const double nq = static_cast<double>(row.queries);
+      table.row()
+          .cell(static_cast<unsigned long long>(f))
+          .cell(static_cast<unsigned long long>(row.queries))
+          .cell(row.prepare_us / static_cast<double>(row.prepares), 1)
+          .cell(row.assemble_us / nq, 1)
+          .cell(row.dijkstra_us / nq, 1)
+          .cell(row.wall_us / nq, 1)
+          .cell(static_cast<double>(row.sketch_vertices) / nq, 1)
+          .cell(static_cast<double>(row.sketch_edges) / nq, 1)
+          .cell(static_cast<double>(row.pb_checks) / nq, 1)
+          .cell(static_cast<double>(row.relaxations) / nq, 1)
+          .cell(row.stage_us() / row.wall_us, 3);
+    }
+
+    const double coverage = total_wall > 0 ? total_stage / total_wall : 0.0;
+    if (opt.csv) {
+      table.print_csv(std::cout);
+    } else {
+      table.print(std::cout,
+                  "fsdl_trace: per-stage query cost (n=" +
+                      std::to_string(scheme.num_vertices()) +
+                      ", eps=" + std::to_string(scheme.params().epsilon) + ")");
+      std::printf("stage sum %.1fus / wall %.1fus -> coverage %.3f\n",
+                  total_stage, total_wall, coverage);
+    }
+#if FSDL_TRACE_ENABLED
+    if (obs::level() >= obs::Level::kCounters) {
+      std::printf("--- obs counters ---\n");
+      const obs::CounterSnapshot snap = obs::snapshot_counters();
+      for (std::size_t k = 0; k < obs::kNumCounters; ++k) {
+        std::printf("%s: %llu\n",
+                    obs::counter_name(static_cast<obs::Counter>(k)),
+                    static_cast<unsigned long long>(snap.values[k]));
+      }
+    }
+#endif
+    if (opt.check && (coverage < 0.9 || coverage > 1.1)) {
+      std::fprintf(stderr,
+                   "fsdl_trace: coverage %.3f outside [0.9, 1.1] — stage "
+                   "accounting does not explain the wall time\n",
+                   coverage);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -14,15 +14,23 @@ endfunction()
 set(graph ${WORK_DIR}/serve_test_graph.edges)
 set(scheme ${WORK_DIR}/serve_test_scheme.fsdl)
 set(log ${WORK_DIR}/serve_test_server.log)
+set(prom ${WORK_DIR}/serve_test_metrics.prom)
 
 run_checked(${FSDL_BIN} gen grid 8 8 ${graph})
 run_checked(${FSDL_BIN} build ${graph} ${scheme} --eps 1.0)
 
+file(REMOVE ${prom})
+
 # The server runs in the background; shell orchestration handles the PID,
-# port discovery from the startup line, and the SIGINT shutdown.
+# port discovery from the startup line, and the SIGINT shutdown. The tiny
+# slow-query threshold makes every request log a per-stage report, and the
+# periodic flusher (plus the final dump at shutdown) must leave a Prometheus
+# textfile behind.
 execute_process(
   COMMAND sh -ec "\
-    '${SERVE_BIN}' '${scheme}' --port 0 --workers 4 --cache 8 > '${log}' & \
+    '${SERVE_BIN}' '${scheme}' --port 0 --workers 4 --cache 8 \
+        --metrics-dump '${prom}' --metrics-interval 0.5 \
+        --slow-query-us 1 > '${log}' 2> '${log}.err' & \
     pid=$!; \
     for k in $(seq 1 100); do \
       grep -q 'port=' '${log}' && break; sleep 0.1; \
@@ -48,4 +56,18 @@ if(NOT server_log MATCHES "cache_hit_rate")
 endif()
 if(NOT out MATCHES "0 violations")
   message(FATAL_ERROR "loadgen reported violations:\n${out}")
+endif()
+if(NOT EXISTS ${prom})
+  message(FATAL_ERROR "fsdl_serve --metrics-dump left no file at ${prom}")
+endif()
+file(READ ${prom} prom_text)
+if(NOT prom_text MATCHES "fsdl_requests_total" OR
+   NOT prom_text MATCHES "fsdl_stage_work_total")
+  message(FATAL_ERROR "metrics dump is not the expected Prometheus "
+                      "exposition:\n${prom_text}")
+endif()
+file(READ ${log}.err server_err)
+if(NOT server_err MATCHES "slow_query: op=")
+  message(FATAL_ERROR "no slow-query report despite --slow-query-us 1:\n"
+                      "${server_err}")
 endif()
