@@ -3,12 +3,30 @@
 // Measures wall-clock label construction across n per family, one build per
 // configuration. Paper-predicted shape: near-linear growth in n·log n for
 // fixed α and ε (each level costs one truncated BFS per net point).
+//
+// E18 — thread-scaling mode (`--threads [LIST]`): sweeps
+// BuildOptions::threads over 1, 2, 4, …, hardware concurrency (or an
+// explicit comma-separated LIST) on a 10^4-vertex grid (`--grid S` for an
+// SxS grid instead) and emits one JSON line per configuration with the
+// wall time, speedup over the serial build, and a bit-identity check of
+// the produced labels against the serial run. Exits non-zero on any
+// identity mismatch, so the sweep doubles as a determinism gate in
+// scripts.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "bench/common.hpp"
 #include "core/failure_free.hpp"
+#include "core/serialize.hpp"
+#include "util/parallel.hpp"
 
 using namespace fsdl;
 using namespace fsdl::bench;
@@ -75,6 +93,72 @@ BENCHMARK(BM_BuildFailureFree)
     ->Arg(1024)->Arg(4096)->Arg(16384)
     ->Unit(benchmark::kMillisecond)->Iterations(1);
 
+/// The E18 sweep. Compact parameters keep the 10^4-vertex grid build in
+/// the seconds range; the speedup shape is the same as faithful's because
+/// both spend their time in the identical per-net-point BFS fan-out.
+int run_threads_sweep(const std::vector<unsigned>& requested, unsigned side) {
+  const Graph g = make_grid2d(side, side);
+  const SchemeParams params = SchemeParams::compact(1.0, 2);
+
+  std::vector<unsigned> sweep = requested;
+  if (sweep.empty()) {
+    const unsigned hw = resolve_threads(0);
+    for (unsigned t = 1; t < hw; t <<= 1) sweep.push_back(t);
+    sweep.push_back(hw);
+  }
+
+  const auto serialized = [&](unsigned threads) {
+    BuildOptions options;
+    options.threads = threads;
+    const WallTimer timer;
+    const auto scheme = ForbiddenSetLabeling::build(g, params, options);
+    std::ostringstream out;
+    save_labeling(scheme, out);
+    return std::make_tuple(timer.elapsed_seconds(), scheme.total_bits(),
+                           out.str());
+  };
+
+  const auto [serial_s, serial_bits, serial_blob] = serialized(1);
+  bool all_identical = true;
+  for (const unsigned t : sweep) {
+    const auto [build_s, bits, blob] = serialized(t);
+    const bool identical = blob == serial_blob && bits == serial_bits;
+    all_identical = all_identical && identical;
+    std::printf(
+        "{\"bench\":\"construction_threads\",\"graph\":\"grid%ux%u\","
+        "\"n\":%u,\"threads\":%u,\"build_s\":%.3f,\"speedup_vs_1\":%.2f,"
+        "\"total_bits\":%zu,\"identical_to_serial\":%s}\n",
+        side, side, g.num_vertices(), t, build_s, serial_s / build_s, bits,
+        identical ? "true" : "false");
+    std::fflush(stdout);
+  }
+  return all_identical ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool sweep = false;
+  std::vector<unsigned> list;
+  unsigned side = 100;  // 10^4-vertex grid by default
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--threads") == 0) {
+      sweep = true;
+      if (k + 1 < argc && argv[k + 1][0] != '-') {
+        std::stringstream ss(argv[++k]);
+        for (std::string item; std::getline(ss, item, ',');) {
+          const long v = std::strtol(item.c_str(), nullptr, 10);
+          if (v > 0) list.push_back(static_cast<unsigned>(v));
+        }
+      }
+    } else if (std::strcmp(argv[k], "--grid") == 0 && k + 1 < argc) {
+      side = static_cast<unsigned>(std::strtol(argv[++k], nullptr, 10));
+    }
+  }
+  if (sweep) return run_threads_sweep(list, side);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

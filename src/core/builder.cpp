@@ -11,6 +11,26 @@
 //
 // Total work is Σ_i Σ_{x ∈ N_q} |B(x, r_i)| ⋅ deg — the net density and the
 // ball radius grow/shrink in lockstep, giving n ⋅ 2^{O(α)} per level.
+//
+// Parallel construction (BuildOptions::threads). Each level runs three
+// passes:
+//   1. BFS fan-out over net points — each net point's truncated BFS is an
+//      independent read-only walk of G, so workers run them concurrently
+//      with per-worker BfsRunner scratch, writing into per-net-point output
+//      slots (visits[idx], pair_adj[idx]). A slot's content depends only on
+//      the graph and its source, never on which worker ran it.
+//   2. Serial inversion of visits into per-vertex ball lists. Iterating net
+//      points in net order reproduces the serial builder's increasing-
+//      net-point ordering of lists[v] exactly; this pass is O(Σ|B|) plain
+//      appends, a sliver of the BFS edge-scan work it follows.
+//   3. Assemble+encode fan-out over vertices — each vertex's level graph is
+//      a pure function of lists[v], pair_adj, and rank, and is encoded into
+//      its own preallocated labels_[v] BitWriter with per-worker posn /
+//      LevelLabel scratch. Distinct vector slots, no shared mutation.
+// Hence labels are bit-identical for every thread count, which
+// parallel_build_test asserts and the CI thread matrix re-checks. With a
+// single worker, passes 1-2 fuse into the classic direct-append loop (no
+// per-net-point visit buffers), so the serial build pays no staging tax.
 #include <algorithm>
 #include <stdexcept>
 
@@ -19,6 +39,7 @@
 #include "graph/components.hpp"
 #include "graph/diameter.hpp"
 #include "nets/net_hierarchy.hpp"
+#include "util/parallel.hpp"
 
 namespace fsdl {
 namespace {
@@ -64,10 +85,18 @@ ForbiddenSetLabeling ForbiddenSetLabeling::build(const Graph& g,
                         scheme.vertex_bits_, scheme.labels_[v]);
   }
 
-  BfsRunner bfs(g);
-  // Scratch: position of a vertex in the current label's point list.
-  std::vector<std::uint32_t> posn(n, kNone);
-  // Scratch: rank of a vertex within the current level's net (or kNone).
+  const unsigned threads = resolve_threads(options.threads);
+  // Per-worker scratch. Workers never share a slot: worker t touches only
+  // runners[t], posn[t], scratch[t].
+  std::vector<BfsRunner> runners;
+  runners.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) runners.emplace_back(g);
+  // posn[t]: position of a vertex in the current label's point list.
+  std::vector<std::vector<std::uint32_t>> posn(
+      threads, std::vector<std::uint32_t>(n, kNone));
+  std::vector<LevelLabel> scratch(threads);
+  // Shared, read-only during the fan-outs: rank of a vertex within the
+  // current level's net (or kNone).
   std::vector<std::uint32_t> rank(n, kNone);
 
   for (unsigned i = params.min_level(); i <= top; ++i) {
@@ -80,37 +109,72 @@ ForbiddenSetLabeling ForbiddenSetLabeling::build(const Graph& g,
     std::fill(rank.begin(), rank.end(), kNone);
     for (std::uint32_t idx = 0; idx < net.size(); ++idx) rank[net[idx]] = idx;
 
-    // lists[v] = (net point, distance) pairs with d <= r_i, in increasing
-    // net-point id order (net is sorted and appends happen per source).
+    // Pass 1 — one truncated BFS per net point, fanned out over workers.
+    // visits[idx] = (vertex, distance) pairs of B(net[idx], r_i) in BFS
+    // order; pair_adj[rank(x)] = net points y > x with d_G(x, y) <= λ_i.
+    // Pass 2 — invert per-source visit lists into per-vertex ball lists:
+    // lists[v] = (net point, distance) pairs with d <= r_i. Iterating the
+    // net in order yields increasing net-point id order in every lists[v]
+    // regardless of which worker ran which BFS. Each visit list is released
+    // as soon as it is consumed. With a single worker the two passes fuse:
+    // the BFS callback appends straight into lists[v], skipping the visit
+    // buffers entirely — the net iteration order alone already yields the
+    // same per-vertex ordering, so the output is unchanged.
     std::vector<std::vector<std::pair<Vertex, Dist>>> lists(n);
-    // pair_adj[rank(x)] = net points y > x with d_G(x, y) <= λ_i.
     std::vector<std::vector<std::pair<Vertex, Dist>>> pair_adj(net.size());
-
-    for (std::uint32_t idx = 0; idx < net.size(); ++idx) {
-      const Vertex x = net[idx];
-      bfs.run(x, radius, [&](Vertex v, Dist d) {
-        lists[v].emplace_back(x, d);
-        if (all_pairs && d > 0 && d <= lambda && v > x && rank[v] != kNone) {
-          pair_adj[idx].emplace_back(v, d);
-        }
+    if (threads <= 1) {
+      for (std::uint32_t idx = 0; idx < net.size(); ++idx) {
+        const Vertex x = net[idx];
+        auto& pairs = pair_adj[idx];
+        runners[0].run(x, radius, [&](Vertex v, Dist d) {
+          lists[v].emplace_back(x, d);
+          if (all_pairs && d > 0 && d <= lambda && v > x && rank[v] != kNone) {
+            pairs.emplace_back(v, d);
+          }
+        });
+      }
+    } else {
+      std::vector<std::vector<std::pair<Vertex, Dist>>> visits(net.size());
+      parallel_for(net.size(), threads, [&](unsigned tid, std::size_t idx) {
+        const Vertex x = net[idx];
+        auto& vis = visits[idx];
+        auto& pairs = pair_adj[idx];
+        runners[tid].run(x, radius, [&](Vertex v, Dist d) {
+          vis.emplace_back(v, d);
+          if (all_pairs && d > 0 && d <= lambda && v > x && rank[v] != kNone) {
+            pairs.emplace_back(v, d);
+          }
+        });
       });
+      for (std::uint32_t idx = 0; idx < net.size(); ++idx) {
+        const Vertex x = net[idx];
+        for (const auto& [v, d] : visits[idx]) lists[v].emplace_back(x, d);
+        std::vector<std::pair<Vertex, Dist>>().swap(visits[idx]);
+      }
     }
 
-    LevelLabel ll;
-    for (Vertex v = 0; v < n; ++v) {
+    // Pass 3 — assemble and encode each vertex's level graph, fanned out
+    // over vertices; each writes only its own labels_[v] slot.
+    parallel_for(n, threads, [&](unsigned tid, std::size_t vi) {
+      const Vertex v = static_cast<Vertex>(vi);
+      LevelLabel& ll = scratch[tid];
+      std::vector<std::uint32_t>& pos = posn[tid];
       ll.points.clear();
       ll.dists.clear();
       ll.edges.clear();
 
+      // Take ownership of this vertex's ball list; its buffer is freed when
+      // `list` leaves scope instead of surviving to the end of the level.
+      const auto list = std::move(lists[v]);
       ll.points.push_back(v);
       ll.dists.push_back(0);
-      for (const auto& [x, d] : lists[v]) {
+      for (const auto& [x, d] : list) {
         if (x == v) continue;  // owner occupies slot 0
         ll.points.push_back(x);
         ll.dists.push_back(d);
       }
       for (std::uint32_t k = 0; k < ll.points.size(); ++k) {
-        posn[ll.points[k]] = k;
+        pos[ll.points[k]] = k;
       }
 
       if (all_pairs) {
@@ -127,7 +191,7 @@ ForbiddenSetLabeling ForbiddenSetLabeling::build(const Graph& g,
           const std::uint32_t rx = rank[ll.points[k]];
           if (rx == kNone) continue;  // owner-only entries are never here
           for (const auto& [y, d] : pair_adj[rx]) {
-            const std::uint32_t j = posn[y];
+            const std::uint32_t j = pos[y];
             if (j == kNone || j == 0) continue;  // absent, or owner (covered)
             ll.edges.push_back({std::min(k, j), std::max(k, j), d,
                                 i == params.min_level() && d == 1});
@@ -139,7 +203,7 @@ ForbiddenSetLabeling ForbiddenSetLabeling::build(const Graph& g,
           const Vertex x = ll.points[k];
           for (Vertex y : g.neighbors(x)) {
             if (y <= x) continue;
-            const std::uint32_t j = posn[y];
+            const std::uint32_t j = pos[y];
             if (j == kNone) continue;
             ll.edges.push_back({std::min(k, j), std::max(k, j), 1, true});
           }
@@ -147,11 +211,9 @@ ForbiddenSetLabeling ForbiddenSetLabeling::build(const Graph& g,
       }
 
       encode_level(ll, v, scheme.vertex_bits_, scheme.labels_[v],
-                     options.codec);
-      for (Vertex p : ll.points) posn[p] = kNone;
-      lists[v].clear();
-      lists[v].shrink_to_fit();
-    }
+                   options.codec);
+      for (Vertex p : ll.points) pos[p] = kNone;
+    });
   }
   for (auto& w : scheme.labels_) w.shrink_to_fit();
   return scheme;

@@ -24,10 +24,19 @@ std::uint32_t nearest_point_slot(const LevelLabel& ll) {
   return best;
 }
 
-void keep_edge(std::unordered_map<std::uint64_t, Dist>& edges, Vertex x,
-               Vertex y, Dist w) {
-  auto [it, inserted] = edges.try_emplace(FaultSet::edge_key(x, y), w);
-  if (!inserted && w < it->second) it->second = w;
+/// Per-thread reusable scratch for the assemble stage. query() is const and
+/// called concurrently from the server's worker pool, so the reuse is per
+/// thread; capacity sticks across calls, so a warmed-up thread assembles
+/// without heap allocation. Never borrowed across a nested call: the only
+/// two users (PreparedFaults construction and query) never nest.
+EdgeAccumulator& edge_scratch() {
+  static thread_local EdgeAccumulator acc;
+  return acc;
+}
+
+SketchGraph& sketch_scratch() {
+  static thread_local SketchGraph h;
+  return h;
 }
 
 }  // namespace
@@ -39,22 +48,39 @@ PreparedFaults::PreparedFaults(
     : params_(params) {
   FSDL_SPAN("prepare");
   const WallTimer prepare_timer;
-  for (const VertexLabel* f : fault_vertices) {
-    faulty_vertices_.insert(f->owner);
+  {
+    std::vector<Vertex> faulty;
+    faulty.reserve(fault_vertices.size());
+    for (const VertexLabel* f : fault_vertices) faulty.push_back(f->owner);
+    faulty_vertices_ = SortedSet<Vertex>(std::move(faulty));
   }
-  for (const auto& [a, b] : fault_edges) {
-    faulty_edges_.insert(FaultSet::edge_key(a->owner, b->owner));
+  {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(fault_edges.size());
+    for (const auto& [a, b] : fault_edges) {
+      keys.push_back(FaultSet::edge_key(a->owner, b->owner));
+    }
+    faulty_edges_ = SortedSet<std::uint64_t>(std::move(keys));
   }
 
   // Protected-ball centers: forbidden vertices plus both endpoints of every
   // forbidden edge (the latter are ball centers but remain usable vertices).
   auto add_center = [&](const VertexLabel* l) {
-    if (center_owners_.insert(l->owner).second) centers_.push_back(l);
+    for (const VertexLabel* seen : centers_) {
+      if (seen->owner == l->owner) return;
+    }
+    centers_.push_back(l);
   };
   for (const VertexLabel* f : fault_vertices) add_center(f);
   for (const auto& [a, b] : fault_edges) {
     add_center(a);
     add_center(b);
+  }
+  {
+    std::vector<Vertex> owners;
+    owners.reserve(centers_.size());
+    for (const VertexLabel* c : centers_) owners.push_back(c->owner);
+    center_owners_ = SortedSet<Vertex>(std::move(owners));
   }
   if (centers_.empty()) {
     prepare_us_ = prepare_timer.elapsed_us();
@@ -64,33 +90,39 @@ PreparedFaults::PreparedFaults(
   min_level_ = centers_.front()->min_level;
   top_level_ = centers_.front()->top_level;
   levels_.resize(top_level_ - min_level_ + 1);
+  std::vector<std::pair<Vertex, Dist>> entries;
   for (unsigned i = min_level_; i <= top_level_; ++i) {
     auto& tables = levels_[i - min_level_];
-    tables.pb.resize(centers_.size());
+    tables.pb.reserve(centers_.size());
     for (std::size_t k = 0; k < centers_.size(); ++k) {
       const LevelLabel& ll = centers_[k]->level(i);
-      tables.pb[k].reserve(ll.points.size());
+      entries.clear();
+      entries.reserve(ll.points.size());
       for (std::size_t j = 0; j < ll.points.size(); ++j) {
-        tables.pb[k].emplace(ll.points[j], ll.dists[j]);  // slot 0: d = 0
+        entries.emplace_back(ll.points[j], ll.dists[j]);  // slot 0: d = 0
       }
+      tables.pb.emplace_back(entries);
     }
   }
 
   // The fault labels' own edge contributions do not depend on (s, t):
-  // filter them once.
+  // filter them once and snapshot the survivors for query() to seed from.
+  EdgeAccumulator& edges = edge_scratch();
+  edges.clear();
   for (const VertexLabel* center : centers_) {
     for (unsigned i = min_level_; i <= top_level_; ++i) {
-      filter_label_edges(*center, i, center_edges_, prepare_stats_);
+      filter_label_edges(*center, i, edges, prepare_stats_);
     }
   }
+  center_edges_ = edges.entries();
   prepare_us_ = prepare_timer.elapsed_us();
   FSDL_COUNT(kEdgesConsidered, prepare_stats_.edges_considered);
   FSDL_COUNT(kSafeEdgeChecks, prepare_stats_.pb_checks);
 }
 
-void PreparedFaults::filter_label_edges(
-    const VertexLabel& label, unsigned i,
-    std::unordered_map<std::uint64_t, Dist>& edges, QueryStats& stats) const {
+void PreparedFaults::filter_label_edges(const VertexLabel& label, unsigned i,
+                                        EdgeAccumulator& edges,
+                                        QueryStats& stats) const {
   const LevelLabel& ll = label.level(i);
   const Dist lambda = params_.lambda(i);
   const Dist radius = params_.r(i);
@@ -107,18 +139,18 @@ void PreparedFaults::filter_label_edges(
   auto certified_out = [&](std::uint32_t slot, std::size_t k) -> bool {
     ++stats.pb_checks;
     const Vertex u = ll.points[slot];
-    const auto& pb = tables->pb[k];
+    const FlatDistMap& pb = tables->pb[k];
     const bool in_nq = slot != 0 || owner_in_nq;
     if (in_nq) {
-      const auto it = pb.find(u);
-      return it == pb.end() || it->second > lambda;
+      const Dist* d = pb.find(u);
+      return d == nullptr || *d > lambda;
     }
     // Owner below net level: triangulate through the nearest net point.
     if (anchor == 0) return false;
     const Vertex m = ll.points[anchor];
     const Dist d_um = ll.dists[anchor];
-    const auto it = pb.find(m);
-    const Dist d_mf_lb = it == pb.end() ? radius + 1 : it->second;
+    const Dist* d = pb.find(m);
+    const Dist d_mf_lb = d == nullptr ? radius + 1 : *d;
     return d_mf_lb > d_um && d_mf_lb - d_um > lambda;
   };
 
@@ -131,8 +163,8 @@ void PreparedFaults::filter_label_edges(
       // nor the edge itself is forbidden.
       if (!vertex_faulty(x) && !vertex_faulty(y) &&
           (faulty_edges_.empty() ||
-           !faulty_edges_.count(FaultSet::edge_key(x, y)))) {
-        keep_edge(edges, x, y, e.w);
+           !faulty_edges_.contains(FaultSet::edge_key(x, y)))) {
+        edges.keep_min(FaultSet::edge_key(x, y), e.w);
       }
       continue;
     }
@@ -140,7 +172,7 @@ void PreparedFaults::filter_label_edges(
     for (std::size_t k = 0; k < centers_.size() && survives; ++k) {
       survives = certified_out(e.a, k) || certified_out(e.b, k);
     }
-    if (survives) keep_edge(edges, x, y, e.w);
+    if (survives) edges.keep_min(FaultSet::edge_key(x, y), e.w);
   }
 }
 
@@ -160,21 +192,29 @@ QueryResult PreparedFaults::query(const VertexLabel& source,
   }
 
   const WallTimer assemble_timer;
-  SketchGraph h;
+  SketchGraph& h = sketch_scratch();
+  h.clear();
   std::size_t endpoint_pb_checks = 0;
   {
     FSDL_SPAN("assemble");
-    std::unordered_map<std::uint64_t, Dist> edges = center_edges_;
+    // Seed from the prepared center contributions, then add the two
+    // endpoint labels' survivors. Both scratch structures retain capacity
+    // across queries, so this loop allocates nothing in steady state.
+    EdgeAccumulator& edges = edge_scratch();
+    edges.clear();
+    edges.reserve(center_edges_.size());
+    for (const auto& [key, w] : center_edges_) edges.keep_min(key, w);
     for (const VertexLabel* l : {&source, &target}) {
-      if (center_owners_.count(l->owner)) continue;  // already contributed
+      if (center_owners_.contains(l->owner)) continue;  // already contributed
       for (unsigned i = l->min_level; i <= l->top_level; ++i) {
         filter_label_edges(*l, i, edges, result.stats);
       }
     }
 
+    h.reserve(edges.size() + 2);
     h.intern(source.owner);
     h.intern(target.owner);
-    for (const auto& [key, w] : edges) {
+    for (const auto& [key, w] : edges.entries()) {
       const Vertex x = static_cast<Vertex>(key >> 32);
       const Vertex y = static_cast<Vertex>(key & 0xffffffffu);
       h.add_edge(h.intern(x), h.intern(y), w);

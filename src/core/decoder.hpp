@@ -25,12 +25,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "core/label.hpp"
 #include "core/params.hpp"
+#include "util/flat_map.hpp"
 #include "util/types.hpp"
 
 namespace fsdl {
@@ -94,7 +94,9 @@ QueryResult decode_query(const SchemeParams& params, const QueryInput& in);
 /// The referenced fault labels must outlive the PreparedFaults object.
 ///
 /// Thread safety: construction does all the mutation; query() is const,
-/// touches only immutable tables plus its own locals, and is safe from any
+/// touches only immutable tables plus per-thread scratch (a thread_local
+/// edge accumulator and sketch graph that keep their capacity across calls,
+/// making the steady-state hot path allocation-free), and is safe from any
 /// number of concurrent threads (the server's fault-set cache shares one
 /// instance across its whole worker pool).
 class PreparedFaults {
@@ -119,31 +121,31 @@ class PreparedFaults {
 
  private:
   struct LevelTables {
-    /// pb[k]: vertex -> distance map of center k's level list.
-    std::vector<std::unordered_map<Vertex, Dist>> pb;
+    /// pb[k]: open-addressed (vertex, distance) view of center k's level
+    /// list, probed on every certification check — the decoder's hottest
+    /// lookup.
+    std::vector<FlatDistMap> pb;
   };
 
-  bool vertex_faulty(Vertex v) const {
-    return faulty_vertices_.find(v) != faulty_vertices_.end();
-  }
+  bool vertex_faulty(Vertex v) const { return faulty_vertices_.contains(v); }
 
   /// Filter one label's level-i edges against the protected balls, merging
   /// survivors into `edges` (keyed on endpoint pair, min weight).
   void filter_label_edges(const VertexLabel& label, unsigned i,
-                          std::unordered_map<std::uint64_t, Dist>& edges,
-                          QueryStats& stats) const;
+                          EdgeAccumulator& edges, QueryStats& stats) const;
 
   SchemeParams params_;
   std::vector<const VertexLabel*> centers_;
-  std::unordered_set<Vertex> center_owners_;
-  std::unordered_set<Vertex> faulty_vertices_;
-  std::unordered_set<std::uint64_t> faulty_edges_;
+  SortedSet<Vertex> center_owners_;
+  SortedSet<Vertex> faulty_vertices_;
+  SortedSet<std::uint64_t> faulty_edges_;
   unsigned min_level_ = 0;
   unsigned top_level_ = 0;
   /// Indexed by level - min_level_.
   std::vector<LevelTables> levels_;
-  /// Edges contributed by the fault labels themselves, already filtered.
-  std::unordered_map<std::uint64_t, Dist> center_edges_;
+  /// Edges contributed by the fault labels themselves, already filtered —
+  /// the flat snapshot every query() seeds its edge accumulator from.
+  std::vector<std::pair<std::uint64_t, Dist>> center_edges_;
   QueryStats prepare_stats_;
   double prepare_us_ = 0.0;
 };

@@ -29,6 +29,12 @@ struct BuildOptions {
   /// fixed-width accounting; kDelta gap-codes sorted point/edge lists
   /// (identical information, fewer bits — measured in E4).
   LabelCodec codec = LabelCodec::kClassic;
+
+  /// Construction worker threads. 0 = auto (FSDL_BUILD_THREADS environment
+  /// override, else hardware concurrency). The produced labels are
+  /// bit-identical for every thread count — see builder.cpp for the
+  /// determinism argument — so this is purely a wall-clock knob.
+  unsigned threads = 0;
 };
 
 class ForbiddenSetLabeling {

@@ -7,12 +7,30 @@ namespace fsdl {
 
 SketchGraph::Index SketchGraph::intern(Vertex external_id) {
   auto [it, inserted] =
-      index_of_.try_emplace(external_id, static_cast<Index>(external_ids_.size()));
+      index_of_.try_emplace(external_id, static_cast<Index>(num_vertices_));
   if (inserted) {
-    external_ids_.push_back(external_id);
-    adjacency_.emplace_back();
+    if (num_vertices_ == adjacency_.size()) {
+      external_ids_.push_back(external_id);
+      adjacency_.emplace_back();
+    } else {
+      external_ids_[num_vertices_] = external_id;
+      adjacency_[num_vertices_].clear();
+    }
+    ++num_vertices_;
   }
   return it->second;
+}
+
+void SketchGraph::reserve(std::size_t n) {
+  index_of_.reserve(n);
+  external_ids_.reserve(n);
+  adjacency_.reserve(n);
+}
+
+void SketchGraph::clear() noexcept {
+  index_of_.clear();
+  num_vertices_ = 0;
+  num_edges_ = 0;
 }
 
 SketchGraph::Index SketchGraph::find(Vertex external_id) const {

@@ -30,7 +30,15 @@ class SketchGraph {
   /// Parallel edges are allowed; Dijkstra takes the cheapest.
   void add_edge(Index a, Index b, Dist weight);
 
-  std::size_t num_vertices() const noexcept { return external_ids_.size(); }
+  /// Pre-size the intern table for ~n vertices (one rehash, not log n).
+  void reserve(std::size_t n);
+
+  /// Reset to empty while keeping every allocation (hash buckets, id and
+  /// adjacency storage), so a reused instance interns without allocating
+  /// once it has seen a query of each size.
+  void clear() noexcept;
+
+  std::size_t num_vertices() const noexcept { return num_vertices_; }
   std::size_t num_edges() const noexcept { return num_edges_; }
   Vertex external_id(Index i) const { return external_ids_[i]; }
 
@@ -42,8 +50,11 @@ class SketchGraph {
 
  private:
   std::unordered_map<Vertex, Index> index_of_;
+  // external_ids_/adjacency_ act as high-water-mark pools: slots at index
+  // >= num_vertices_ are retired but keep their heap buffers for reuse.
   std::vector<Vertex> external_ids_;
   std::vector<std::vector<Arc>> adjacency_;
+  std::size_t num_vertices_ = 0;
   std::size_t num_edges_ = 0;
 };
 

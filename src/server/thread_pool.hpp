@@ -1,43 +1,13 @@
-// Fixed-size worker pool with a blocking job queue — the dispatch layer
-// between the server's accept loop and the shared read-only oracle.
+// The server's dispatch pool. The implementation moved to
+// util/thread_pool.* so the label builder's callers and tools can share the
+// same worker primitive; the server keeps its blocking-queue semantics
+// (submit/shutdown, one long-lived job per connection) through this alias.
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+#include "util/thread_pool.hpp"
 
 namespace fsdl::server {
 
-class ThreadPool {
- public:
-  explicit ThreadPool(unsigned num_threads);
-  /// Drains outstanding jobs, then joins.
-  ~ThreadPool();
-
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  /// Enqueue a job. Returns false (job dropped) after shutdown() began.
-  bool submit(std::function<void()> job);
-
-  /// Stop accepting jobs, finish queued ones, join all workers. Idempotent.
-  void shutdown();
-
-  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
-
- private:
-  void worker_loop();
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool closed_ = false;
-  std::once_flag join_once_;
-  std::vector<std::thread> workers_;
-};
+using ThreadPool = ::fsdl::ThreadPool;
 
 }  // namespace fsdl::server

@@ -1,0 +1,64 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsdl {
+
+unsigned resolve_threads(unsigned requested) noexcept {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("FSDL_BUILD_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::size_t count, unsigned threads,
+                  const std::function<void(unsigned, std::size_t)>& body) {
+  if (threads > count) threads = static_cast<unsigned>(count);
+  if (threads <= 1 || count < 2) {
+    for (std::size_t k = 0; k < count; ++k) body(0, k);
+    return;
+  }
+
+  // Chunks of ~1/8 of a fair share per grab: coarse enough that the shared
+  // counter is cold, fine enough to rebalance skewed iterations.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, count / (std::size_t{threads} * 8));
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mu;
+
+  auto worker = [&](unsigned worker_id) {
+    try {
+      for (;;) {
+        const std::size_t begin =
+            next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= count || failed.load(std::memory_order_relaxed)) return;
+        const std::size_t end = std::min(count, begin + chunk);
+        for (std::size_t k = begin; k < end; ++k) body(worker_id, k);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!error) error = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads - 1);
+  for (unsigned t = 1; t < threads; ++t) workers.emplace_back(worker, t);
+  worker(0);
+  for (auto& w : workers) w.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace fsdl

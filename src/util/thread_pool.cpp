@@ -1,6 +1,6 @@
-#include "server/thread_pool.hpp"
+#include "util/thread_pool.hpp"
 
-namespace fsdl::server {
+namespace fsdl {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -47,4 +47,4 @@ void ThreadPool::worker_loop() {
   }
 }
 
-}  // namespace fsdl::server
+}  // namespace fsdl

@@ -1,0 +1,47 @@
+// Fixed-size worker pool with a blocking job queue.
+//
+// Lived in src/server/ originally; hoisted into util/ so it sits next to
+// parallel_for as the long-lived-job half of the threading toolkit. The
+// server's dispatch layer (fsdl::server::ThreadPool) is an alias of this
+// class and keeps its submit/shutdown queue semantics unchanged.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fsdl {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  /// Drains outstanding jobs, then joins.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a job. Returns false (job dropped) after shutdown() began.
+  bool submit(std::function<void()> job);
+
+  /// Stop accepting jobs, finish queued ones, join all workers. Idempotent.
+  void shutdown();
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool closed_ = false;
+  std::once_flag join_once_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fsdl

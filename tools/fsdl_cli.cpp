@@ -3,9 +3,11 @@
 //   fsdl gen <family> <args...> <out.edges>   generate a graph
 //       families: path N | cycle N | grid R C | torus R C | king R C |
 //                 tree ARITY DEPTH | disk N RADIUS SEED | roads R C DROP SEED
-//   fsdl build <graph.edges> <out.fsdl> [--eps E] [--compact C]
+//   fsdl build <graph.edges> <out.fsdl> [--eps E] [--compact C] [--threads N]
 //       preprocess labels (faithful by default; --compact C for the sound
-//       small-label preset with net shift C)
+//       small-label preset with net shift C; --threads N construction
+//       workers, 0 = hardware concurrency — output is bit-identical for
+//       every N)
 //   fsdl stats <scheme.fsdl>
 //       print label-size statistics
 //   fsdl query <scheme.fsdl> S T [-v F]... [-e A B]...
@@ -25,6 +27,7 @@
 #include "graph/fault_view.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -38,7 +41,8 @@ using namespace fsdl;
   std::fprintf(stderr,
                "usage:\n"
                "  fsdl gen <family> <args...> <out.edges>\n"
-               "  fsdl build <graph.edges> <out.fsdl> [--eps E] [--compact C]\n"
+               "  fsdl build <graph.edges> <out.fsdl> [--eps E] [--compact C]"
+               " [--threads N]\n"
                "  fsdl stats <scheme.fsdl>\n"
                "  fsdl query <scheme.fsdl> S T [-v F]... [-e A B]...\n"
                "  fsdl exact <graph.edges> S T [-v F]... [-e A B]...\n");
@@ -94,11 +98,15 @@ int cmd_build(const std::vector<std::string>& args) {
   if (args.size() < 2) usage("build: need graph and output path");
   double eps = 1.0;
   long compact_c = -1;
+  BuildOptions build_options;
   for (std::size_t k = 2; k < args.size(); ++k) {
     if (args[k] == "--eps" && k + 1 < args.size()) {
       eps = std::strtod(args[++k].c_str(), nullptr);
     } else if (args[k] == "--compact" && k + 1 < args.size()) {
       compact_c = std::strtol(args[++k].c_str(), nullptr, 10);
+    } else if (args[k] == "--threads" && k + 1 < args.size()) {
+      build_options.threads =
+          static_cast<unsigned>(std::strtol(args[++k].c_str(), nullptr, 10));
     } else {
       usage("build: unknown option");
     }
@@ -108,10 +116,11 @@ int cmd_build(const std::vector<std::string>& args) {
       compact_c >= 0 ? SchemeParams::compact(eps, static_cast<unsigned>(compact_c))
                      : SchemeParams::faithful(eps);
   WallTimer timer;
-  const auto scheme = ForbiddenSetLabeling::build(g, params);
-  std::printf("built labels for n=%u in %.2fs (%s, eps=%.3g, c=%u)\n",
+  const auto scheme = ForbiddenSetLabeling::build(g, params, build_options);
+  std::printf("built labels for n=%u in %.2fs (%s, eps=%.3g, c=%u, threads=%u)\n",
               g.num_vertices(), timer.elapsed_seconds(),
-              params.faithful_radii ? "faithful" : "compact", eps, params.c);
+              params.faithful_radii ? "faithful" : "compact", eps, params.c,
+              resolve_threads(build_options.threads));
   save_labeling(scheme, args[1]);
   std::printf("wrote %s: mean %.0f bits/label, max %zu bits\n",
               args[1].c_str(), scheme.mean_label_bits(),

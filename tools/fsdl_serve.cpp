@@ -3,12 +3,16 @@
 //   fsdl_serve <scheme.fsdl> [--port P] [--workers N] [--cache C] [--warm]
 //              [--metrics-dump FILE] [--metrics-interval S]
 //              [--slow-query-us T] [--trace-level off|counters|spans]
+//   fsdl_serve <graph.edges> --build [--build-threads N] [--build-eps E]
+//              [--build-compact C] [...same serving flags]
 //
-// Loads a serialized labeling (fsdl build), shares one read-only oracle
-// across a worker pool, and answers DIST / BATCH / STATS / METRICS frames
-// on 127.0.0.1:P (P=0 picks an ephemeral port, printed on stdout). SIGINT
-// or SIGTERM triggers a graceful shutdown: stop accepting, drain in-flight
-// requests, dump the metrics snapshot.
+// Loads a serialized labeling (fsdl build) — or, with --build, an edge-list
+// graph whose labels are constructed at startup on --build-threads workers
+// (default 0 = hardware concurrency; cold-start wall time is logged) —
+// shares one read-only oracle across a worker pool, and answers DIST /
+// BATCH / STATS / METRICS frames on 127.0.0.1:P (P=0 picks an ephemeral
+// port, printed on stdout). SIGINT or SIGTERM triggers a graceful shutdown:
+// stop accepting, drain in-flight requests, dump the metrics snapshot.
 //
 // Observability plumbing:
 //   --metrics-dump FILE    write the Prometheus text exposition to FILE
@@ -30,10 +34,14 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include "core/labeling.hpp"
 #include "core/oracle.hpp"
 #include "core/serialize.hpp"
+#include "graph/io.hpp"
 #include "obs/trace.hpp"
 #include "server/server.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -54,7 +62,9 @@ void on_signal(int) {
                "                  [--metrics-dump FILE] [--metrics-interval "
                "S]\n"
                "                  [--slow-query-us T]\n"
-               "                  [--trace-level off|counters|spans]\n");
+               "                  [--trace-level off|counters|spans]\n"
+               "       fsdl_serve <graph.edges> --build [--build-threads N]\n"
+               "                  [--build-eps E] [--build-compact C] [...]\n");
   std::exit(2);
 }
 
@@ -77,9 +87,21 @@ int main(int argc, char** argv) {
   server::ServerOptions options;
   std::string metrics_path;
   double metrics_interval_s = 5.0;
+  bool build_from_graph = false;
+  unsigned build_threads = 0;
+  double build_eps = 1.0;
+  long build_compact = -1;
   for (int k = 2; k < argc; ++k) {
     const std::string arg = argv[k];
-    if (arg == "--port" && k + 1 < argc) {
+    if (arg == "--build") {
+      build_from_graph = true;
+    } else if (arg == "--build-threads" && k + 1 < argc) {
+      build_threads = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--build-eps" && k + 1 < argc) {
+      build_eps = std::strtod(argv[++k], nullptr);
+    } else if (arg == "--build-compact" && k + 1 < argc) {
+      build_compact = std::strtol(argv[++k], nullptr, 10);
+    } else if (arg == "--port" && k + 1 < argc) {
       options.port = static_cast<std::uint16_t>(std::atoi(argv[++k]));
     } else if (arg == "--workers" && k + 1 < argc) {
       options.workers = static_cast<unsigned>(std::atoi(argv[++k]));
@@ -111,7 +133,23 @@ int main(int argc, char** argv) {
   if (metrics_interval_s <= 0) usage("--metrics-interval must be > 0");
 
   try {
-    const auto scheme = load_labeling(scheme_path);
+    const auto scheme = [&] {
+      if (!build_from_graph) return load_labeling(scheme_path);
+      const Graph g = load_graph(scheme_path);
+      const SchemeParams params =
+          build_compact >= 0
+              ? SchemeParams::compact(build_eps,
+                                      static_cast<unsigned>(build_compact))
+              : SchemeParams::faithful(build_eps);
+      BuildOptions build_options;
+      build_options.threads = build_threads;
+      const WallTimer build_timer;
+      auto built = ForbiddenSetLabeling::build(g, params, build_options);
+      std::printf("fsdl_serve: built labels n=%u in %.2fs (threads=%u)\n",
+                  g.num_vertices(), build_timer.elapsed_seconds(),
+                  resolve_threads(build_threads));
+      return built;
+    }();
     const ForbiddenSetOracle oracle(scheme);
     server::Server srv(oracle, options);
 
