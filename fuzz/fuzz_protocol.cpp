@@ -1,0 +1,68 @@
+// libFuzzer harness for the wire-protocol decoders and the incremental
+// framer — the two parsers that face raw, attacker-controlled bytes off a
+// socket. Invariants under fuzz (ASan/UBSan catch the rest):
+//
+//   * decode_request / decode_response never crash, over-read, or succeed
+//     while leaving `error` unset on failure;
+//   * the Framer never yields a payload longer than kMaxFramePayload, and
+//     once fatal() it stays fatal and yields nothing;
+//   * any frame the Framer yields carries a payload whose CRC matched, so
+//     re-framing and re-feeding it must yield the identical payload.
+//
+// Build with -DFSDL_FUZZ=ON (clang only); run via fuzz/run_fuzzers.sh or
+//   ./fuzz_protocol fuzz/corpus/protocol -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace fsdl::server;
+
+  Request req;
+  std::string error;
+  if (decode_request(data, size, req, error)) {
+    // A structurally valid request must re-encode without crashing (the
+    // re-encoding need not be byte-identical: fault-set order is canonical).
+    (void)encode_request(req);
+  } else if (error.empty()) {
+    __builtin_trap();  // failure without a reason is a reporting bug
+  }
+
+  Response resp;
+  error.clear();
+  if (decode_response(data, size, resp, error)) {
+    (void)encode_response(resp);
+  } else if (error.empty()) {
+    __builtin_trap();
+  }
+
+  // Incremental framing: feed the same bytes in fuzz-chosen chunk sizes
+  // (first byte picks the chunk length) and drain frames as they complete.
+  Framer framer;
+  const std::size_t chunk = size == 0 ? 1 : 1 + (data[0] & 0x3F);
+  std::vector<std::uint8_t> payload;
+  for (std::size_t pos = 0; pos < size; pos += chunk) {
+    const std::size_t n = pos + chunk <= size ? chunk : size - pos;
+    framer.feed(data + pos, n);
+    while (framer.next(payload)) {
+      if (payload.size() > kMaxFramePayload) __builtin_trap();
+      // The framer verified the CRC; a round trip must reproduce it.
+      Framer again;
+      const auto wire = frame(payload);
+      again.feed(wire.data(), wire.size());
+      std::vector<std::uint8_t> back;
+      if (!again.next(back) || back != payload) __builtin_trap();
+    }
+    if (framer.fatal()) {
+      // Fatal is sticky: more bytes must never produce frames again.
+      framer.feed(data, size < 16 ? size : 16);
+      if (framer.next(payload)) __builtin_trap();
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,51 +1,111 @@
 #include "core/serialize.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
+#include <vector>
+
+#include "util/crc32.hpp"
 
 namespace fsdl {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'S', 'D', 'L'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;
+
+/// Refuse to even try reading bodies above this; a corrupt/garbage size
+/// field must not drive allocation. 1 TiB is far beyond any labeling this
+/// code can build (DESIGN.md's scale table tops out in megabits).
+constexpr std::uint64_t kMaxBodyBytes = 1ull << 40;
+
+std::atomic<std::uint64_t> g_crc_failures{0};
 
 template <typename T>
-void write_pod(std::ostream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void append_pod(std::string& out, const T& value) {
+  const char* p = reinterpret_cast<const char*>(&value);
+  out.append(p, sizeof(T));
 }
 
-template <typename T>
-T read_pod(std::istream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!is) throw std::runtime_error("labeling file truncated");
-  return value;
-}
+/// Bounds-checked reader over the in-memory body. Every read is validated
+/// against the body size *before* touching memory, so corrupt or
+/// adversarial length fields fail cleanly instead of over-reading.
+class BodyReader {
+ public:
+  BodyReader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (size_ - pos_ < sizeof(T)) {
+      throw std::runtime_error("labeling file corrupt (truncated body)");
+    }
+    T value{};
+    std::memcpy(&value, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  /// num_words u64 words, bounds-checked without u64 multiply overflow.
+  std::vector<std::uint64_t> words(std::uint64_t num_words) {
+    if (num_words > (size_ - pos_) / sizeof(std::uint64_t)) {
+      throw std::runtime_error("labeling file corrupt (word count exceeds "
+                               "file size)");
+    }
+    std::vector<std::uint64_t> out(static_cast<std::size_t>(num_words));
+    std::memcpy(out.data(), data_ + pos_,
+                static_cast<std::size_t>(num_words) * sizeof(std::uint64_t));
+    pos_ += static_cast<std::size_t>(num_words) * sizeof(std::uint64_t);
+    return out;
+  }
+
+  std::size_t remaining() const noexcept { return size_ - pos_; }
+  bool done() const noexcept { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace
+
+std::uint64_t labeling_crc_failures() noexcept {
+  return g_crc_failures.load(std::memory_order_relaxed);
+}
 
 class SchemeSerializer {
  public:
   static void save(const ForbiddenSetLabeling& scheme, std::ostream& os) {
-    os.write(kMagic, sizeof(kMagic));
-    write_pod(os, kVersion);
-    write_pod(os, scheme.params_.epsilon);
-    write_pod(os, static_cast<std::uint32_t>(scheme.params_.c));
-    write_pod(os, static_cast<std::uint8_t>(scheme.params_.faithful_radii));
-    write_pod(os,
-              static_cast<std::uint8_t>(scheme.params_.lowest_level_all_pairs));
-    write_pod(os, static_cast<std::uint32_t>(scheme.top_level_));
-    write_pod(os, static_cast<std::uint32_t>(scheme.vertex_bits_));
-    write_pod(os, static_cast<std::uint8_t>(scheme.codec_));
-    write_pod(os, static_cast<std::uint32_t>(scheme.labels_.size()));
+    // Serialize the body to memory first: the CRC covers exactly the bytes
+    // between the size field and the trailer.
+    std::string body;
+    append_pod(body, scheme.params_.epsilon);
+    append_pod(body, static_cast<std::uint32_t>(scheme.params_.c));
+    append_pod(body, static_cast<std::uint8_t>(scheme.params_.faithful_radii));
+    append_pod(
+        body, static_cast<std::uint8_t>(scheme.params_.lowest_level_all_pairs));
+    append_pod(body, static_cast<std::uint32_t>(scheme.top_level_));
+    append_pod(body, static_cast<std::uint32_t>(scheme.vertex_bits_));
+    append_pod(body, static_cast<std::uint8_t>(scheme.codec_));
+    append_pod(body, static_cast<std::uint32_t>(scheme.labels_.size()));
     for (const BitWriter& label : scheme.labels_) {
-      write_pod(os, static_cast<std::uint64_t>(label.bit_size()));
-      write_pod(os, static_cast<std::uint64_t>(label.words().size()));
-      os.write(reinterpret_cast<const char*>(label.words().data()),
-               static_cast<std::streamsize>(label.words().size() *
-                                            sizeof(std::uint64_t)));
+      append_pod(body, static_cast<std::uint64_t>(label.bit_size()));
+      append_pod(body, static_cast<std::uint64_t>(label.words().size()));
+      body.append(reinterpret_cast<const char*>(label.words().data()),
+                  label.words().size() * sizeof(std::uint64_t));
     }
+
+    os.write(kMagic, sizeof(kMagic));
+    const std::uint32_t version = kVersion;
+    os.write(reinterpret_cast<const char*>(&version), sizeof version);
+    const std::uint64_t body_size = body.size();
+    os.write(reinterpret_cast<const char*>(&body_size), sizeof body_size);
+    os.write(body.data(), static_cast<std::streamsize>(body.size()));
+    const std::uint32_t crc = crc32(body.data(), body.size());
+    os.write(reinterpret_cast<const char*>(&crc), sizeof crc);
     if (!os) throw std::runtime_error("labeling write failed");
   }
 
@@ -55,31 +115,73 @@ class SchemeSerializer {
     if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
       throw std::runtime_error("not a fsdl labeling file");
     }
-    if (read_pod<std::uint32_t>(is) != kVersion) {
-      throw std::runtime_error("unsupported labeling file version");
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char*>(&version), sizeof version);
+    if (!is) throw std::runtime_error("labeling file truncated");
+    if (version != kVersion) {
+      throw std::runtime_error(
+          "unsupported labeling file version " + std::to_string(version) +
+          " (this build reads v" + std::to_string(kVersion) +
+          "; rebuild the labels with `fsdl build`)");
     }
+    std::uint64_t body_size = 0;
+    is.read(reinterpret_cast<char*>(&body_size), sizeof body_size);
+    if (!is) throw std::runtime_error("labeling file truncated");
+    if (body_size > kMaxBodyBytes) {
+      throw std::runtime_error("labeling file corrupt (implausible size)");
+    }
+    // Chunked read: a lying size field runs into EOF after the real bytes,
+    // so memory use is bounded by the actual file size, not the claim.
+    std::string body;
+    constexpr std::size_t kChunk = 1u << 20;
+    while (body.size() < body_size) {
+      const std::size_t want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(kChunk, body_size - body.size()));
+      const std::size_t old = body.size();
+      body.resize(old + want);
+      is.read(body.data() + old, static_cast<std::streamsize>(want));
+      if (!is) throw std::runtime_error("labeling file truncated");
+    }
+    std::uint32_t stored_crc = 0;
+    is.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc);
+    if (!is) throw std::runtime_error("labeling file truncated");
+    if (crc32(body.data(), body.size()) != stored_crc) {
+      g_crc_failures.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error(
+          "labeling file rejected: CRC32 mismatch (file is corrupt; "
+          "rebuild or re-copy it)");
+    }
+
+    BodyReader r(body.data(), body.size());
     ForbiddenSetLabeling scheme;
-    scheme.params_.epsilon = read_pod<double>(is);
-    scheme.params_.c = read_pod<std::uint32_t>(is);
-    scheme.params_.faithful_radii = read_pod<std::uint8_t>(is) != 0;
-    scheme.params_.lowest_level_all_pairs = read_pod<std::uint8_t>(is) != 0;
-    scheme.top_level_ = read_pod<std::uint32_t>(is);
-    scheme.vertex_bits_ = read_pod<std::uint32_t>(is);
-    scheme.codec_ = static_cast<LabelCodec>(read_pod<std::uint8_t>(is));
-    const std::uint32_t n = read_pod<std::uint32_t>(is);
+    scheme.params_.epsilon = r.pod<double>();
+    scheme.params_.c = r.pod<std::uint32_t>();
+    scheme.params_.faithful_radii = r.pod<std::uint8_t>() != 0;
+    scheme.params_.lowest_level_all_pairs = r.pod<std::uint8_t>() != 0;
+    scheme.top_level_ = r.pod<std::uint32_t>();
+    scheme.vertex_bits_ = r.pod<std::uint32_t>();
+    scheme.codec_ = static_cast<LabelCodec>(r.pod<std::uint8_t>());
+    const std::uint32_t n = r.pod<std::uint32_t>();
+    // Each label costs at least 16 body bytes; reject counts the body
+    // cannot back before reserving.
+    if (n > r.remaining() / 16) {
+      throw std::runtime_error("labeling file corrupt (vertex count exceeds "
+                               "file size)");
+    }
     scheme.labels_.reserve(n);
     for (std::uint32_t v = 0; v < n; ++v) {
-      const std::uint64_t bits = read_pod<std::uint64_t>(is);
-      const std::uint64_t num_words = read_pod<std::uint64_t>(is);
-      if (num_words < (bits + 63) / 64) {
+      const std::uint64_t bits = r.pod<std::uint64_t>();
+      const std::uint64_t num_words = r.pod<std::uint64_t>();
+      // bits/64 never overflows; num_words is bounds-checked against the
+      // remaining body inside words().
+      if (num_words < bits / 64 + (bits % 64 != 0)) {
         throw std::runtime_error("labeling file corrupt (word count)");
       }
-      std::vector<std::uint64_t> words(num_words);
-      is.read(reinterpret_cast<char*>(words.data()),
-              static_cast<std::streamsize>(num_words * sizeof(std::uint64_t)));
-      if (!is) throw std::runtime_error("labeling file truncated");
-      scheme.labels_.push_back(
-          BitWriter::from_words(std::move(words), static_cast<std::size_t>(bits)));
+      scheme.labels_.push_back(BitWriter::from_words(
+          r.words(num_words), static_cast<std::size_t>(bits)));
+    }
+    if (!r.done()) {
+      throw std::runtime_error("labeling file corrupt (trailing bytes)");
     }
     return scheme;
   }

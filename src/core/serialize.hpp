@@ -2,13 +2,25 @@
 // the deployment story behind the paper's hand-held-device motivation
 // (precompute labels centrally, ship each device only the labels it needs).
 //
-// Binary little-endian format:
+// Binary little-endian format, version 2:
 //   magic "FSDL" + version u32
-//   SchemeParams  (epsilon f64, c u32, faithful_radii u8, all_pairs u8)
-//   top_level u32, vertex_bits u32, n u32
-//   per vertex: bit_size u64, word_count u64, words u64[]
+//   body_size u64            — bytes of body that follow
+//   body:
+//     SchemeParams  (epsilon f64, c u32, faithful_radii u8, all_pairs u8)
+//     top_level u32, vertex_bits u32, codec u8, n u32
+//     per vertex: bit_size u64, word_count u64, words u64[]
+//   crc32(body) u32          — integrity trailer
+//
+// The CRC makes label files corruption-proof in the only sense that
+// matters: a flipped bit (disk rot, torn copy, truncation) is rejected at
+// load with a clear error instead of being decoded into structurally valid
+// but wrong labels that would silently serve wrong distances. Version-1
+// files (no checksum) are rejected with an actionable message — rebuild
+// with `fsdl build`. Every length field is bounds-checked against the body
+// before any allocation.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -22,5 +34,10 @@ ForbiddenSetLabeling load_labeling(std::istream& is);
 void save_labeling(const ForbiddenSetLabeling& scheme,
                    const std::string& path);
 ForbiddenSetLabeling load_labeling(const std::string& path);
+
+/// Process-wide count of label loads rejected because the body CRC32 did
+/// not match (surfaced by the server's metrics as
+/// fsdl_label_crc_failures_total).
+std::uint64_t labeling_crc_failures() noexcept;
 
 }  // namespace fsdl

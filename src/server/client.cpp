@@ -1,34 +1,73 @@
 #include "server/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace fsdl::server {
 
+namespace {
+
+void set_socket_timeout(int fd, int option, unsigned ms) {
+  if (ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof tv);
+}
+
+/// Transient server statuses: retrying the same idempotent query later is
+/// expected to succeed (or at least is safe).
+bool retryable_status(Status s) {
+  return s == Status::kOverloaded || s == Status::kTimeout ||
+         s == Status::kDraining;
+}
+
+}  // namespace
+
 Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), framer_(std::move(other.framer_)) {}
+    : options_(other.options_),
+      fd_(std::exchange(other.fd_, -1)),
+      framer_(std::move(other.framer_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      jitter_rng_(other.jitter_rng_),
+      retries_(other.retries_),
+      sheds_seen_(other.sheds_seen_) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
+    options_ = other.options_;
     fd_ = std::exchange(other.fd_, -1);
     framer_ = std::move(other.framer_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    jitter_rng_ = other.jitter_rng_;
+    retries_ = other.retries_;
+    sheds_seen_ = other.sheds_seen_;
   }
   return *this;
 }
 
 void Client::connect(const std::string& host, std::uint16_t port) {
   close();
+  host_ = host;
+  port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw std::runtime_error("socket() failed");
   sockaddr_in addr{};
@@ -39,14 +78,47 @@ void Client::connect(const std::string& host, std::uint16_t port) {
     fd_ = -1;
     throw std::runtime_error("bad host address: " + host);
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(fd_);
-    fd_ = -1;
-    throw std::runtime_error(std::string("connect() failed: ") +
-                             std::strerror(errno));
+  if (options_.connect_timeout_ms == 0) {
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error(std::string("connect() failed: ") +
+                               std::strerror(errno));
+    }
+  } else {
+    // Deadline-bounded connect: nonblocking connect + poll, then read back
+    // SO_ERROR for the real outcome.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    if (rc < 0 && errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error(std::string("connect() failed: ") +
+                               std::strerror(err));
+    }
+    if (rc < 0) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      rc = ::poll(&pfd, 1, static_cast<int>(options_.connect_timeout_ms));
+      int soerr = ETIMEDOUT;
+      if (rc > 0) {
+        socklen_t len = sizeof soerr;
+        ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len);
+      }
+      if (rc <= 0 || soerr != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error(std::string("connect() failed: ") +
+                                 std::strerror(soerr));
+      }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  set_socket_timeout(fd_, SO_RCVTIMEO, options_.recv_timeout_ms);
+  set_socket_timeout(fd_, SO_SNDTIMEO, options_.send_timeout_ms);
 }
 
 void Client::close() {
@@ -63,6 +135,9 @@ void Client::send_raw(const std::uint8_t* data, std::size_t size) {
     const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("send() timed out");
+      }
       throw std::runtime_error("send() failed");
     }
     sent += static_cast<std::size_t>(n);
@@ -73,10 +148,18 @@ Response Client::read_response() {
   std::vector<std::uint8_t> payload;
   std::uint8_t chunk[64 * 1024];
   while (!framer_.next(payload)) {
-    if (framer_.fatal()) throw std::runtime_error("oversized reply frame");
+    if (framer_.fatal()) {
+      throw std::runtime_error(
+          framer_.fatal_reason() == Framer::Fatal::kChecksum
+              ? "reply frame failed checksum"
+              : "oversized reply frame");
+    }
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw std::runtime_error("recv() timed out");
+      }
       throw std::runtime_error("recv() failed");
     }
     if (n == 0) throw std::runtime_error("server closed connection");
@@ -96,14 +179,50 @@ Response Client::call(const Request& req) {
   return read_response();
 }
 
+void Client::backoff(unsigned attempt) {
+  ++retries_;
+  std::uint64_t ms = options_.retry_base_ms == 0 ? 1 : options_.retry_base_ms;
+  for (unsigned k = 0; k < attempt && ms < options_.retry_max_ms; ++k) ms *= 2;
+  if (ms > options_.retry_max_ms) ms = options_.retry_max_ms;
+  // Jitter to [0.5x, 1x]: a fleet of shed clients must not retry in phase.
+  const double jittered =
+      static_cast<double>(ms) * (0.5 + 0.5 * jitter_rng_.uniform());
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::uint64_t>(jittered * 1000)));
+}
+
+Response Client::call_idempotent(const Request& req) {
+  for (unsigned attempt = 0;; ++attempt) {
+    const bool last = attempt >= options_.max_retries;
+    try {
+      if (!connected()) connect(host_, port_);
+      Response resp = call(req);
+      if (resp.status == Status::kOverloaded) ++sheds_seen_;
+      if (!last && retryable_status(resp.status)) {
+        // The server shed, timed out, or is draining; our stream may also
+        // have been closed right after the frame. Reconnect fresh.
+        close();
+        backoff(attempt);
+        continue;
+      }
+      return resp;
+    } catch (const std::runtime_error&) {
+      close();
+      if (last) throw;
+      backoff(attempt);
+    }
+  }
+}
+
 Dist Client::dist(Vertex s, Vertex t, const FaultSet& faults) {
   Request req;
   req.opcode = Opcode::kDist;
   req.pairs.emplace_back(s, t);
   req.faults = faults;
-  const Response resp = call(req);
-  if (!resp.ok || resp.distances.size() != 1) {
-    throw std::runtime_error("DIST failed: " + resp.text);
+  const Response resp = call_idempotent(req);
+  if (!resp.ok() || resp.distances.size() != 1) {
+    throw std::runtime_error(std::string("DIST failed (") +
+                             status_name(resp.status) + "): " + resp.text);
   }
   return resp.distances[0];
 }
@@ -115,9 +234,10 @@ std::vector<Dist> Client::batch(
   req.opcode = Opcode::kBatch;
   req.pairs = pairs;
   req.faults = faults;
-  Response resp = call(req);
-  if (!resp.ok || resp.distances.size() != pairs.size()) {
-    throw std::runtime_error("BATCH failed: " + resp.text);
+  Response resp = call_idempotent(req);
+  if (!resp.ok() || resp.distances.size() != pairs.size()) {
+    throw std::runtime_error(std::string("BATCH failed (") +
+                             status_name(resp.status) + "): " + resp.text);
   }
   return std::move(resp.distances);
 }
@@ -126,7 +246,7 @@ std::string Client::stats() {
   Request req;
   req.opcode = Opcode::kStats;
   Response resp = call(req);
-  if (!resp.ok) throw std::runtime_error("STATS failed: " + resp.text);
+  if (!resp.ok()) throw std::runtime_error("STATS failed: " + resp.text);
   return std::move(resp.text);
 }
 
@@ -134,7 +254,7 @@ std::string Client::metrics() {
   Request req;
   req.opcode = Opcode::kMetrics;
   Response resp = call(req);
-  if (!resp.ok) throw std::runtime_error("METRICS failed: " + resp.text);
+  if (!resp.ok()) throw std::runtime_error("METRICS failed: " + resp.text);
   return std::move(resp.text);
 }
 

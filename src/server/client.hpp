@@ -1,18 +1,49 @@
-// Minimal blocking client for the fsdl query service — one TCP connection,
+// Blocking client for the fsdl query service — one TCP connection,
 // synchronous request/response. Shared by fsdl_loadgen, bench_server (E16),
 // and the end-to-end tests.
+//
+// Resilience: ClientOptions adds connect/receive/send deadlines and an
+// exponential-backoff-with-jitter retry policy. Retries apply only to the
+// idempotent query shorthands (dist/batch) — re-asking a distance is always
+// safe — and trigger on transport failures (reset, close, timeout, frame
+// corruption) and on the server's explicit transient statuses (OVERLOADED,
+// TIMEOUT, DRAINING). kError is a bad request and is never retried. Each
+// retry reconnects, because a failed stream cannot be resynchronized.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "server/protocol.hpp"
+#include "util/rng.hpp"
 
 namespace fsdl::server {
+
+struct ClientOptions {
+  /// connect(2) deadline, milliseconds; 0 = block until the kernel decides.
+  unsigned connect_timeout_ms = 0;
+  /// Per-recv() deadline, milliseconds; 0 disables. A hung or chaos-delayed
+  /// server surfaces as a transport error instead of a wedged client.
+  unsigned recv_timeout_ms = 0;
+  /// Per-send() deadline, milliseconds; 0 disables.
+  unsigned send_timeout_ms = 0;
+  /// Extra attempts for idempotent queries after the first fails
+  /// retryably. 0 = the historical fail-fast behavior.
+  unsigned max_retries = 0;
+  /// First backoff delay; doubles each retry up to retry_max_ms, each
+  /// jittered to [0.5x, 1x] so a shed client fleet does not reconverge on
+  /// the server in lockstep.
+  unsigned retry_base_ms = 10;
+  unsigned retry_max_ms = 1000;
+  /// Seed for the jitter RNG (deterministic tests / loadgen runs).
+  std::uint64_t retry_seed = 1;
+};
 
 class Client {
  public:
   Client() = default;
+  explicit Client(const ClientOptions& options)
+      : options_(options), jitter_rng_(options.retry_seed) {}
   ~Client();
 
   Client(const Client&) = delete;
@@ -20,23 +51,31 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  /// Connect to host:port ("127.0.0.1" for loopback). Throws on failure.
+  /// Connect to host:port ("127.0.0.1" for loopback). Throws on failure
+  /// (including a connect deadline blown). Remembers the address so the
+  /// retry policy can reconnect.
   void connect(const std::string& host, std::uint16_t port);
   bool connected() const noexcept { return fd_ >= 0; }
   void close();
 
-  /// Round-trip one request. Throws std::runtime_error on transport
-  /// failure (send/recv error, peer close, malformed reply frame); protocol
-  /// errors come back as Response{ok = false}.
+  /// Round-trip one request, no retries. Throws std::runtime_error on
+  /// transport failure (send/recv error, deadline, peer close, malformed
+  /// or corrupt reply frame); protocol errors come back as a Response with
+  /// a non-ok status.
   Response call(const Request& req);
 
-  /// Shorthands.
+  /// Shorthands. dist/batch apply the retry policy (idempotent).
   Dist dist(Vertex s, Vertex t, const FaultSet& faults);
   std::vector<Dist> batch(const std::vector<std::pair<Vertex, Vertex>>& pairs,
                           const FaultSet& faults);
   std::string stats();
   /// Prometheus text exposition of the server's metrics registry.
   std::string metrics();
+
+  /// Retries performed so far (reconnect + resend events).
+  std::uint64_t retries() const noexcept { return retries_; }
+  /// Requests that came back OVERLOADED at least once (shed observations).
+  std::uint64_t sheds_seen() const noexcept { return sheds_seen_; }
 
   /// Send raw bytes on the wire (tests: garbage / truncated frames).
   void send_raw(const std::uint8_t* data, std::size_t size);
@@ -45,8 +84,18 @@ class Client {
   Response read_response();
 
  private:
+  /// call() wrapped in the reconnect/backoff retry loop.
+  Response call_idempotent(const Request& req);
+  void backoff(unsigned attempt);
+
+  ClientOptions options_;
   int fd_ = -1;
   Framer framer_;
+  std::string host_;
+  std::uint16_t port_ = 0;
+  Rng jitter_rng_{1};
+  std::uint64_t retries_ = 0;
+  std::uint64_t sheds_seen_ = 0;
 };
 
 }  // namespace fsdl::server

@@ -4,6 +4,7 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "core/serialize.hpp"
 #include "obs/trace.hpp"
 
 namespace fsdl::server {
@@ -36,9 +37,23 @@ const char* stage_counter_name(StageCounter c) {
   return "?";
 }
 
+const char* failure_counter_name(FailureCounter c) {
+  switch (c) {
+    case FailureCounter::kRequestTimeouts: return "request_timeouts";
+    case FailureCounter::kSheds: return "sheds";
+    case FailureCounter::kEvictions: return "evictions";
+    case FailureCounter::kAcceptRetries: return "accept_retries";
+    case FailureCounter::kDrainRejects: return "drain_rejects";
+    case FailureCounter::kFrameCrcErrors: return "frame_crc_errors";
+    case FailureCounter::kCount_: break;
+  }
+  return "?";
+}
+
 Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   for (auto& s : stages_) s.store(0, std::memory_order_relaxed);
+  for (auto& f : failures_) f.store(0, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
   queries_.store(0, std::memory_order_relaxed);
   connections_.store(0, std::memory_order_relaxed);
@@ -108,6 +123,13 @@ std::string Metrics::render(const PreparedCache::Stats& cache) const {
                 stage_counter_name(static_cast<StageCounter>(k)),
                 stages_[k].load(std::memory_order_relaxed));
   }
+  for (unsigned k = 0; k < kNumFailureCounters; ++k) {
+    append_line(out, "%s: %" PRIu64 "\n",
+                failure_counter_name(static_cast<FailureCounter>(k)),
+                failures_[k].load(std::memory_order_relaxed));
+  }
+  append_line(out, "label_crc_failures: %" PRIu64 "\n",
+              labeling_crc_failures());
   append_line(out, "cache_entries: %zu\n", cache.entries);
   append_line(out, "cache_hits: %" PRIu64 "\n", cache.hits);
   append_line(out, "cache_misses: %" PRIu64 "\n", cache.misses);
@@ -192,6 +214,24 @@ std::string Metrics::render_prometheus(
                 stage_counter_name(static_cast<StageCounter>(k)),
                 stages_[k].load(std::memory_order_relaxed));
   }
+
+  append_line(out,
+              "# HELP fsdl_failure_events_total Fault-tolerance events "
+              "(load shedding, deadline evictions, accept retries, frame "
+              "corruption).\n");
+  append_line(out, "# TYPE fsdl_failure_events_total counter\n");
+  for (unsigned k = 0; k < kNumFailureCounters; ++k) {
+    append_line(out, "fsdl_failure_events_total{event=\"%s\"} %" PRIu64 "\n",
+                failure_counter_name(static_cast<FailureCounter>(k)),
+                failures_[k].load(std::memory_order_relaxed));
+  }
+
+  append_line(out,
+              "# HELP fsdl_label_crc_failures_total Label files rejected at "
+              "load because the body CRC32 did not match (process-wide).\n");
+  append_line(out, "# TYPE fsdl_label_crc_failures_total counter\n");
+  append_line(out, "fsdl_label_crc_failures_total %" PRIu64 "\n",
+              labeling_crc_failures());
 
   append_line(out,
               "# HELP fsdl_prepared_cache_entries Fault sets currently "

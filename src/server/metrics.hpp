@@ -42,6 +42,30 @@ inline constexpr unsigned kNumStageCounters =
 
 const char* stage_counter_name(StageCounter c);
 
+/// Fault-tolerance event counters — every way the serving stack refuses,
+/// evicts, or retries work instead of failing silently. One slot per
+/// shedding/robustness decision so overload and fault behavior is
+/// observable (and assertable in tests) rather than anecdotal.
+enum class FailureCounter : unsigned {
+  /// A DIST/BATCH request exceeded ServerOptions::request_deadline_ms.
+  kRequestTimeouts = 0,
+  /// A connection was admitted-control shed with an OVERLOADED reply.
+  kSheds,
+  /// A slow or idle connection was evicted after the socket deadline.
+  kEvictions,
+  /// accept() hit a transient error (EMFILE/ENFILE/...) and was retried.
+  kAcceptRetries,
+  /// A request arrived while draining and was refused with DRAINING.
+  kDrainRejects,
+  /// An inbound frame failed its CRC32 (corruption on the wire).
+  kFrameCrcErrors,
+  kCount_
+};
+inline constexpr unsigned kNumFailureCounters =
+    static_cast<unsigned>(FailureCounter::kCount_);
+
+const char* failure_counter_name(FailureCounter c);
+
 class Metrics {
  public:
   Metrics();
@@ -58,6 +82,12 @@ class Metrics {
   /// (the caller sums QueryStats across a batch first).
   void record_query_stats(const QueryStats& stats);
 
+  /// Count one fault-tolerance event (shed, eviction, timeout, ...).
+  void record_failure(FailureCounter c) {
+    failures_[static_cast<unsigned>(c)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
+
   std::uint64_t requests(RequestType type) const {
     return counts_[static_cast<unsigned>(type)].load(std::memory_order_relaxed);
   }
@@ -69,6 +99,9 @@ class Metrics {
   }
   std::uint64_t stage_total(StageCounter c) const {
     return stages_[static_cast<unsigned>(c)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t failure_total(FailureCounter c) const {
+    return failures_[static_cast<unsigned>(c)].load(std::memory_order_relaxed);
   }
   double uptime_seconds() const;
 
@@ -86,6 +119,7 @@ class Metrics {
   std::atomic<std::uint64_t> queries_;
   std::atomic<std::uint64_t> connections_;
   std::atomic<std::uint64_t> stages_[kNumStageCounters];
+  std::atomic<std::uint64_t> failures_[kNumFailureCounters];
   // One latency histogram per request type, microsecond samples, each
   // behind its own mutex (lock striping: recording a DIST latency must not
   // contend with BATCH recording; only a renderer takes them all).

@@ -2,7 +2,20 @@
 
 #include <cstring>
 
+#include "util/crc32.hpp"
+
 namespace fsdl::server {
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kError: return "error";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kTimeout: return "timeout";
+    case Status::kDraining: return "draining";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -94,8 +107,8 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
 
 std::vector<std::uint8_t> encode_response(const Response& resp) {
   std::vector<std::uint8_t> out;
-  out.push_back(resp.ok ? 0 : 1);
-  if (!resp.ok || !resp.text.empty()) {
+  out.push_back(static_cast<std::uint8_t>(resp.status));
+  if (!resp.ok() || !resp.text.empty()) {
     put_u32(out, static_cast<std::uint32_t>(resp.text.size()));
     out.insert(out.end(), resp.text.begin(), resp.text.end());
     return out;
@@ -211,12 +224,12 @@ bool decode_response(const std::uint8_t* data, std::size_t size, Response& out,
     error = "empty response payload";
     return false;
   }
-  if (status != 0 && status != 1) {
+  if (status > static_cast<std::uint8_t>(Status::kDraining)) {
     error = "bad response status";
     return false;
   }
-  out.ok = status == 0;
-  if (!out.ok) {
+  out.status = static_cast<Status>(status);
+  if (!out.ok()) {
     std::uint32_t len;
     if (!c.u32(len) || len != c.remaining() || !c.bytes(out.text, len)) {
       error = "malformed error body";
@@ -257,9 +270,9 @@ bool decode_response(const std::uint8_t* data, std::size_t size, Response& out,
   return false;
 }
 
-Response error_response(std::string message) {
+Response error_response(std::string message, Status status) {
   Response r;
-  r.ok = false;
+  r.status = status;
   r.text = std::move(message);
   return r;
 }
@@ -274,26 +287,35 @@ void Framer::feed(const std::uint8_t* data, std::size_t size) {
 }
 
 bool Framer::next(std::vector<std::uint8_t>& payload) {
-  if (fatal_) return false;
-  if (buf_.size() - pos_ < 4) return false;
-  std::uint32_t len;
+  if (fatal()) return false;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) return false;
+  std::uint32_t len, crc;
   std::memcpy(&len, buf_.data() + pos_, 4);  // wire is little-endian; so are
-                                             // all supported targets
+  std::memcpy(&crc, buf_.data() + pos_ + 4, 4);  // all supported targets
   if (len > kMaxFramePayload) {
-    fatal_ = true;
+    fatal_ = Fatal::kOversized;
     return false;
   }
-  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(len)) return false;
-  payload.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4),
-                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + 4 + len));
-  pos_ += 4 + len;
+  if (buf_.size() - pos_ < kFrameHeaderBytes + static_cast<std::size_t>(len)) {
+    return false;
+  }
+  const std::uint8_t* body = buf_.data() + pos_ + kFrameHeaderBytes;
+  if (crc32(body, len) != crc) {
+    // A failed checksum means either the payload or the header itself is
+    // corrupt, so even the length cannot be trusted to resync on.
+    fatal_ = Fatal::kChecksum;
+    return false;
+  }
+  payload.assign(body, body + len);
+  pos_ += kFrameHeaderBytes + len;
   return true;
 }
 
 std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> out;
-  out.reserve(payload.size() + 4);
+  out.reserve(payload.size() + kFrameHeaderBytes);
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }

@@ -1,11 +1,18 @@
 // Wire protocol of the fsdl query service.
 //
-// Transport framing: every message (both directions) is a length-prefixed
-// binary frame — u32 little-endian payload length, then the payload. Frames
-// above kMaxFramePayload are a protocol violation (the stream can no longer
-// be trusted to be in sync, so the server replies with an error and closes
-// the connection); any *decodable* frame with a malformed payload gets an
-// error reply on a connection that stays open.
+// Transport framing: every message (both directions) is a checksummed,
+// length-prefixed binary frame —
+//
+//   u32 LE payload length | u32 LE crc32(payload) | payload
+//
+// The CRC makes in-flight corruption *detectable*: a bit flip anywhere in
+// the payload (or a length word that no longer matches the bytes it
+// frames) fails the checksum instead of silently decoding into a different
+// request or a wrong distance. Checksum failures and frames above
+// kMaxFramePayload are connection-fatal — once length or checksum is
+// untrustworthy the stream cannot be resynchronized, so the server replies
+// with one error frame and closes. Any *decodable* frame with a malformed
+// payload gets an error reply on a connection that stays open.
 //
 // Request payloads (all integers u32 little-endian unless noted):
 //   DIST  = opcode 1, s, t, |Fv|, |Fe|, Fv..., Fe as (a, b)...
@@ -19,11 +26,16 @@
 //             speak the protocol, or via `fsdl_serve --metrics-dump`).
 //
 // Response payloads:
-//   status u8 (0 = ok, 1 = error)
+//   status u8 (Status below)
 //   ok DIST:  distance u32 (kInfDist = unreachable)
 //   ok BATCH: npairs u32, distance u32 × npairs
 //   ok STATS / METRICS: text_len u32, UTF-8 text
-//   error:    text_len u32, UTF-8 message
+//   any non-ok status: text_len u32, UTF-8 message
+//
+// Non-ok statuses tell a well-behaved client what to do: kError is a bad
+// request (do not retry), kOverloaded and kTimeout are transient server
+// states (safe to retry an idempotent query after backoff), kDraining means
+// the server is shutting down (reconnect elsewhere / later).
 #pragma once
 
 #include <cstdint>
@@ -39,12 +51,32 @@ namespace fsdl::server {
 /// small enough that a garbage length prefix cannot drive allocation.
 inline constexpr std::uint32_t kMaxFramePayload = 8u * 1024 * 1024;
 
+/// Frame header bytes on the wire: u32 payload length + u32 payload CRC.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
 enum class Opcode : std::uint8_t {
   kDist = 1,
   kBatch = 2,
   kStats = 3,
   kMetrics = 4
 };
+
+/// Response status byte. Everything except kOk carries a text body.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  /// Malformed or unanswerable request; retrying the same bytes is futile.
+  kError = 1,
+  /// Admission control shed this connection/request; retry after backoff.
+  kOverloaded = 2,
+  /// The request (or the connection feeding it) blew its deadline; an
+  /// idempotent query may be retried.
+  kTimeout = 3,
+  /// Server is draining for shutdown and takes no new work.
+  kDraining = 4,
+};
+
+/// Human-readable status name ("ok", "error", "overloaded", ...).
+const char* status_name(Status s) noexcept;
 
 struct Request {
   Opcode opcode = Opcode::kDist;
@@ -54,11 +86,13 @@ struct Request {
 };
 
 struct Response {
-  bool ok = true;
+  Status status = Status::kOk;
   /// DIST: one entry; BATCH: one per pair.
   std::vector<Dist> distances;
-  /// STATS / METRICS text, or the error message when !ok.
+  /// STATS / METRICS text, or the status message when !ok().
   std::string text;
+
+  bool ok() const noexcept { return status == Status::kOk; }
 };
 
 // --- payload codecs (framing excluded; see Framer below) ---
@@ -74,24 +108,35 @@ bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
 bool decode_response(const std::uint8_t* data, std::size_t size, Response& out,
                      std::string& error);
 
-/// Convenience: an error response with a message.
-Response error_response(std::string message);
+/// Convenience: a non-ok response with a message (defaults to kError).
+Response error_response(std::string message, Status status = Status::kError);
 
 // --- incremental framer ---
 
-/// Feed bytes as they arrive off a socket; pop complete payloads. Detects
-/// oversized frames (a fatal, connection-level error: once the length
-/// prefix is garbage there is no way back into sync).
+/// Feed bytes as they arrive off a socket; pop complete, checksum-verified
+/// payloads. Oversized length prefixes and checksum mismatches are fatal,
+/// connection-level errors: once length or CRC is garbage there is no way
+/// back into sync.
 class Framer {
  public:
+  enum class Fatal : std::uint8_t {
+    kNone = 0,
+    /// Length prefix exceeded kMaxFramePayload.
+    kOversized,
+    /// Payload bytes did not match the header CRC (corruption in flight).
+    kChecksum,
+  };
+
   /// Append raw bytes from the wire.
   void feed(const std::uint8_t* data, std::size_t size);
 
-  /// True if a complete frame is buffered; fills `payload` and consumes it.
+  /// True if a complete, CRC-valid frame is buffered; fills `payload` and
+  /// consumes it.
   bool next(std::vector<std::uint8_t>& payload);
 
-  /// Set once a frame announces a payload above kMaxFramePayload.
-  bool fatal() const noexcept { return fatal_; }
+  /// Set once the stream is unsyncable (oversized frame / CRC mismatch).
+  bool fatal() const noexcept { return fatal_ != Fatal::kNone; }
+  Fatal fatal_reason() const noexcept { return fatal_; }
 
   /// Bytes buffered but not yet returned (mid-frame when > 0 and !fatal()).
   std::size_t pending_bytes() const noexcept { return buf_.size() - pos_; }
@@ -99,10 +144,10 @@ class Framer {
  private:
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;  // consumed prefix of buf_
-  bool fatal_ = false;
+  Fatal fatal_ = Fatal::kNone;
 };
 
-/// Prepend the u32 length prefix to a payload.
+/// Prepend the length + CRC frame header to a payload.
 std::vector<std::uint8_t> frame(const std::vector<std::uint8_t>& payload);
 
 }  // namespace fsdl::server

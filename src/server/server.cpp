@@ -3,9 +3,11 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +36,37 @@ bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
 bool send_response(int fd, const Response& resp) {
   const auto wire = frame(encode_response(resp));
   return send_all(fd, wire.data(), wire.size());
+}
+
+void set_socket_timeout(int fd, int option, unsigned ms) {
+  if (ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof tv);
+}
+
+/// accept() errnos that mean "try again shortly", not "the listener is
+/// dead": per-process/system fd exhaustion, a connection that was reset
+/// before we got to it, and transient resource pressure. Treating these as
+/// fatal is how an accept loop dies permanently at the worst moment.
+bool transient_accept_errno(int err) {
+  switch (err) {
+    case EMFILE:
+    case ENFILE:
+    case ECONNABORTED:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ENOBUFS:
+    case ENOMEM:
+    case EPROTO:
+    case EINTR:
+      return true;
+    default:
+      return false;
+  }
 }
 
 }  // namespace
@@ -66,25 +99,50 @@ void Server::start() {
   socklen_t len = sizeof addr;
   ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  if (::listen(lfd, 64) < 0) {
+  if (options_.listen_backlog <= 0) options_.listen_backlog = 64;
+  if (::listen(lfd, options_.listen_backlog) < 0) {
     ::close(lfd);
     throw std::runtime_error("listen() failed");
   }
   listen_fd_.store(lfd);
 
-  pool_ = std::make_unique<ThreadPool>(options_.workers);
+  pool_ = std::make_unique<ThreadPool>(options_.workers,
+                                       options_.max_queued_connections);
   running_.store(true);
+  draining_.store(false);
+  stop_done_.store(false);
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
-void Server::stop() {
-  if (!running_.exchange(false)) return;
-  // Closing the listener unblocks accept(); shutting the connection fds
-  // unblocks any worker mid-recv.
+void Server::begin_drain() {
+  if (!running_.load()) return;
+  draining_.store(true, std::memory_order_release);
+  // Closing the listener stops new connections and unblocks accept().
   if (const int lfd = listen_fd_.exchange(-1); lfd >= 0) {
     ::shutdown(lfd, SHUT_RDWR);
     ::close(lfd);
   }
+}
+
+void Server::stop() {
+  if (stop_done_.exchange(true)) return;
+  if (!running_.load()) return;
+
+  begin_drain();
+  if (options_.drain_deadline_ms > 0) {
+    // Wait for in-flight requests to complete. Connections merely idle in
+    // recv() hold no request, so they never delay the drain.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.drain_deadline_ms);
+    while (in_flight_.load(std::memory_order_acquire) > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  running_.store(false);
+  // Shutting the connection fds unblocks any worker mid-recv.
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
@@ -104,20 +162,35 @@ void Server::untrack(int fd) {
 }
 
 void Server::accept_loop() {
+  unsigned backoff_ms = 1;
   while (running_.load()) {
     const int lfd = listen_fd_.load();
-    if (lfd < 0) break;
+    if (lfd < 0) break;  // begin_drain()/stop() closed the listener
     const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listener closed (stop()) or unrecoverable
+      const int err = errno;
+      if (listen_fd_.load() < 0 || !running_.load()) break;
+      if (err == EINTR) continue;
+      if (transient_accept_errno(err)) {
+        // fd exhaustion or resource pressure: back off briefly and keep the
+        // server alive — connections already established keep being served,
+        // and accepting resumes the moment pressure clears.
+        metrics_.record_failure(FailureCounter::kAcceptRetries);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = backoff_ms < 100 ? backoff_ms * 2 : 200;
+        continue;
+      }
+      break;  // genuinely unrecoverable (listener fd invalid, ...)
     }
+    backoff_ms = 1;
     if (!running_.load()) {
       ::close(fd);
       break;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    set_socket_timeout(fd, SO_RCVTIMEO, options_.recv_timeout_ms);
+    set_socket_timeout(fd, SO_SNDTIMEO, options_.send_timeout_ms);
     metrics_.record_connection();
     track(fd);
     const bool queued = pool_->submit([this, fd] {
@@ -126,6 +199,11 @@ void Server::accept_loop() {
       ::close(fd);
     });
     if (!queued) {
+      // Admission control: every worker busy and the waiting line full.
+      // One OVERLOADED frame tells the client to back off; then shed.
+      metrics_.record_failure(FailureCounter::kSheds);
+      send_response(fd, error_response("server overloaded, retry later",
+                                       Status::kOverloaded));
       untrack(fd);
       ::close(fd);
     }
@@ -140,27 +218,56 @@ void Server::serve_connection(int fd) {
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // The per-connection receive deadline fired. Whether the client is
+        // mid-frame (slowloris) or simply idle, it is holding a worker —
+        // tell it why and evict.
+        metrics_.record_failure(FailureCounter::kEvictions);
+        send_response(fd, error_response(
+                              framer.pending_bytes() > 0
+                                  ? "receive deadline exceeded mid-frame"
+                                  : "idle deadline exceeded",
+                              Status::kTimeout));
+      }
       return;
     }
     if (n == 0) return;  // peer closed
     framer.feed(chunk, static_cast<std::size_t>(n));
     while (framer.next(payload)) {
+      if (draining_.load(std::memory_order_acquire)) {
+        // Frames decoded after the drain flip are new work: refuse them.
+        metrics_.record_failure(FailureCounter::kDrainRejects);
+        send_response(fd, error_response("server draining, not accepting "
+                                         "new requests",
+                                         Status::kDraining));
+        return;
+      }
       Request req;
       std::string decode_error;
       Response resp;
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
       if (!decode_request(payload.data(), payload.size(), req, decode_error)) {
         metrics_.record_error();
         resp = error_response("bad request: " + decode_error);
       } else {
         resp = handle(req);
-        if (!resp.ok) metrics_.record_error();
+        if (!resp.ok()) metrics_.record_error();
       }
-      if (!send_response(fd, resp)) return;
+      const bool sent = send_response(fd, resp);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      if (!sent) return;
     }
     if (framer.fatal()) {
-      // Length prefix exceeded kMaxFramePayload: the stream is unsyncable.
+      // The stream is unsyncable: either the length prefix exceeded
+      // kMaxFramePayload or the payload failed its CRC. One diagnostic
+      // frame, then close.
       metrics_.record_error();
-      send_response(fd, error_response("frame exceeds size limit"));
+      if (framer.fatal_reason() == Framer::Fatal::kChecksum) {
+        metrics_.record_failure(FailureCounter::kFrameCrcErrors);
+        send_response(fd, error_response("frame checksum mismatch"));
+      } else {
+        send_response(fd, error_response("frame exceeds size limit"));
+      }
       return;
     }
   }
@@ -197,15 +304,21 @@ Response Server::handle(const Request& req) {
           return error_response("fault edge id out of range");
         }
       }
+      const double deadline_us = options_.request_deadline_ms * 1000.0;
       // Span-tree capture for the slow-query log: only spans completed on
       // this worker thread after the mark belong to this request.
       const std::uint64_t span_mark = obs::span_mark();
       QueryStats request_stats;
       resp.distances.reserve(req.pairs.size());
+      bool deadline_hit = false;
       if (req.faults.empty()) {
         // No faults: skip the cache, decode directly (the fault-free path
         // needs no certification state).
         for (const auto& [s, t] : req.pairs) {
+          if (deadline_us > 0 && timer.elapsed_us() > deadline_us) {
+            deadline_hit = true;
+            break;
+          }
           const QueryResult r = oracle_->query(s, t, req.faults);
           resp.distances.push_back(r.distance);
           request_stats.accumulate(r.stats);
@@ -213,6 +326,10 @@ Response Server::handle(const Request& req) {
       } else {
         const auto prepared = cache_.get(req.faults);
         for (const auto& [s, t] : req.pairs) {
+          if (deadline_us > 0 && timer.elapsed_us() > deadline_us) {
+            deadline_hit = true;
+            break;
+          }
           // PreparedFaults handles forbidden endpoints (returns kInfDist).
           const QueryResult r =
               prepared->query(oracle_->label(s), oracle_->label(t));
@@ -224,11 +341,17 @@ Response Server::handle(const Request& req) {
       metrics_.record(
           req.opcode == Opcode::kDist ? RequestType::kDist
                                       : RequestType::kBatch,
-          req.pairs.size(), total_us);
+          resp.distances.size(), total_us);
       metrics_.record_query_stats(request_stats);
       if (options_.slow_query_us > 0 && total_us >= options_.slow_query_us) {
         log_slow_query(req, request_stats, total_us,
                        obs::format_span_tree(obs::spans_since(span_mark)));
+      }
+      if (deadline_hit) {
+        // Partial batches are not returnable (the client cannot tell which
+        // pairs were answered); the whole request times out.
+        metrics_.record_failure(FailureCounter::kRequestTimeouts);
+        return error_response("request deadline exceeded", Status::kTimeout);
       }
       return resp;
     }

@@ -12,9 +12,25 @@
 //            open connections), which matches the loadgen/client model of
 //            one connection per client thread.
 //
+// Fault-tolerance posture (what survives an impolite world):
+//   * the accept loop retries transient accept() failures (EMFILE, ENFILE,
+//     ECONNABORTED, ...) with capped backoff instead of dying;
+//   * admission control: when every worker is busy and the waiting line is
+//     at max_queued_connections, new connections get one OVERLOADED frame
+//     and are closed (shed) rather than queueing unboundedly;
+//   * per-connection deadlines: SO_RCVTIMEO/SO_SNDTIMEO evict slow-loris
+//     and idle clients with a TIMEOUT frame; request_deadline_ms bounds the
+//     compute time of a single DIST/BATCH request;
+//   * graceful drain: stop() (and fsdl_serve's SIGTERM) flips to draining —
+//     in-flight requests finish (up to drain_deadline_ms), frames arriving
+//     after the flip get a DRAINING reply, then connections are torn down;
+//   * corruption containment: every frame carries a CRC32; a mismatch is
+//     answered with one error frame and a close, never a wrong distance.
+//
 // Protocol handling per frame: decodable-but-invalid payloads get an error
-// reply and the connection lives on; an oversized length prefix poisons the
-// stream, so the server sends one error frame and closes.
+// reply and the connection lives on; an oversized length prefix or a CRC
+// mismatch poisons the stream, so the server sends one error frame and
+// closes.
 #pragma once
 
 #include <atomic>
@@ -43,6 +59,26 @@ struct ServerOptions {
   std::size_t cache_shards = 8;
   /// Decode every label at startup instead of on first touch.
   bool warm_labels = false;
+  /// listen(2) backlog. Connections beyond it queue in the kernel (or are
+  /// refused), before user-space admission control even sees them.
+  int listen_backlog = 64;
+  /// Socket receive deadline per recv() call, milliseconds; 0 disables.
+  /// When it fires the connection is evicted with a TIMEOUT frame — this is
+  /// both the slowloris defense (partial frame, no progress) and the idle
+  /// reaper (connection holding a worker without traffic).
+  unsigned recv_timeout_ms = 0;
+  /// Socket send deadline, milliseconds; 0 disables. A peer that stops
+  /// reading cannot wedge a worker forever.
+  unsigned send_timeout_ms = 0;
+  /// Compute budget for one DIST/BATCH request, milliseconds; 0 disables.
+  /// Exceeding it returns a TIMEOUT response instead of the distances.
+  double request_deadline_ms = 0.0;
+  /// Connections allowed to wait for a worker before new ones are shed
+  /// with OVERLOADED. Default: unbounded (historical behavior).
+  std::size_t max_queued_connections = ThreadPool::kUnboundedQueue;
+  /// How long stop() waits for in-flight requests to finish before tearing
+  /// connections down, milliseconds. 0 = hard stop (historical behavior).
+  unsigned drain_deadline_ms = 0;
   /// Slow-query log threshold in microseconds; 0 disables. A DIST/BATCH
   /// request slower than this emits one multi-line report (request shape,
   /// fault-set size, per-stage micros, and — in FSDL_TRACE builds at span
@@ -66,9 +102,19 @@ class Server {
   /// Throws std::runtime_error on socket failure.
   void start();
 
-  /// Graceful stop: close the listener, shut open connections, drain the
-  /// pool, join. Idempotent; also called by the destructor.
+  /// Begin draining: close the listener (no new connections), keep serving
+  /// requests already in flight, answer frames that arrive after the flip
+  /// with a DRAINING frame. Idempotent; stop() calls it first.
+  void begin_drain();
+
+  /// Graceful stop: drain (waiting up to drain_deadline_ms for in-flight
+  /// requests), then shut open connections, drain the pool, join.
+  /// Idempotent; also called by the destructor.
   void stop();
+
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   /// Bound port (valid after start()).
   std::uint16_t port() const noexcept { return port_; }
@@ -101,6 +147,11 @@ class Server {
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_done_{false};
+  /// Requests currently inside handle() on worker threads — what drain
+  /// waits on.
+  std::atomic<int> in_flight_{0};
   // Written by start()/stop(), read by the accept thread.
   std::atomic<int> listen_fd_{-1};
   std::uint16_t port_ = 0;

@@ -1,0 +1,37 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace fsdl {
+
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;  // reflected IEEE 802.3
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t b = 0; b < 256; ++b) {
+    std::uint32_t c = b;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+    }
+    table[b] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t k = 0; k < size; ++k) {
+    c = kTable[(c ^ p[k]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace fsdl

@@ -2,7 +2,8 @@
 
 namespace fsdl {
 
-ThreadPool::ThreadPool(unsigned num_threads) {
+ThreadPool::ThreadPool(unsigned num_threads, std::size_t max_queue)
+    : max_queue_(max_queue) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (unsigned k = 0; k < num_threads; ++k) {
@@ -16,6 +17,16 @@ bool ThreadPool::submit(std::function<void()> job) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return false;
+    // Saturated: the waiting line is at its bound after the idle workers
+    // absorb the jobs already queued ahead of them. Jobs queued but not yet
+    // claimed must count against the idle capacity, or a burst submitted
+    // before any worker wakes bypasses the bound entirely. Reject
+    // synchronously (the caller sheds) instead of hiding the overload as
+    // unbounded queueing delay.
+    if (max_queue_ != kUnboundedQueue &&
+        queue_.size() >= idle_workers_ + max_queue_) {
+      return false;
+    }
     queue_.push_back(std::move(job));
   }
   cv_.notify_one();
@@ -33,17 +44,34 @@ void ThreadPool::shutdown() {
   });
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t ThreadPool::active_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      ++idle_workers_;
       cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      --idle_workers_;
       if (queue_.empty()) return;  // closed_ and drained
       job = std::move(queue_.front());
       queue_.pop_front();
+      ++active_;
     }
     job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
   }
 }
 

@@ -18,14 +18,24 @@ namespace fsdl {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(unsigned num_threads);
+  /// No queue bound (the historical behavior).
+  static constexpr std::size_t kUnboundedQueue = static_cast<std::size_t>(-1);
+
+  /// `max_queue` bounds the number of *waiting* jobs (jobs submitted while
+  /// every worker is busy); 0 means a job is only accepted when a worker is
+  /// free to take it. A bounded queue is the admission-control half of load
+  /// shedding: the caller learns synchronously that the pool is saturated
+  /// instead of queueing latency invisibly.
+  explicit ThreadPool(unsigned num_threads,
+                      std::size_t max_queue = kUnboundedQueue);
   /// Drains outstanding jobs, then joins.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a job. Returns false (job dropped) after shutdown() began.
+  /// Enqueue a job. Returns false (job dropped) after shutdown() began or
+  /// when a bounded queue is full.
   bool submit(std::function<void()> job);
 
   /// Stop accepting jobs, finish queued ones, join all workers. Idempotent.
@@ -33,12 +43,21 @@ class ThreadPool {
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
+  /// Jobs submitted but not yet picked up by a worker.
+  std::size_t queue_depth() const;
+
+  /// Workers currently inside a job.
+  std::size_t active_jobs() const;
+
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
+  std::size_t max_queue_ = 0;
+  std::size_t idle_workers_ = 0;
+  std::size_t active_ = 0;
   bool closed_ = false;
   std::once_flag join_once_;
   std::vector<std::thread> workers_;

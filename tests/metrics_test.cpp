@@ -147,7 +147,7 @@ TEST_F(MetricsTest, PrometheusExpositionMatchesTraffic) {
   dist.pairs = {{0, 35}};
   for (int k = 0; k < 3; ++k) {
     const Response r = srv.handle(dist);
-    ASSERT_TRUE(r.ok);
+    ASSERT_TRUE(r.ok());
     ASSERT_EQ(r.distances.size(), 1u);
   }
 
@@ -157,18 +157,18 @@ TEST_F(MetricsTest, PrometheusExpositionMatchesTraffic) {
   batch.faults.add_vertex(14);
   batch.faults.add_edge(0, 1);
   const Response br = srv.handle(batch);
-  ASSERT_TRUE(br.ok);
+  ASSERT_TRUE(br.ok());
   ASSERT_EQ(br.distances.size(), 4u);
 
   Request bad;
   bad.opcode = Opcode::kDist;
   bad.pairs = {{0, 9999}};
-  EXPECT_FALSE(srv.handle(bad).ok);
+  EXPECT_FALSE(srv.handle(bad).ok());
 
   Request metrics;
   metrics.opcode = Opcode::kMetrics;
   const Response mr = srv.handle(metrics);
-  ASSERT_TRUE(mr.ok);
+  ASSERT_TRUE(mr.ok());
   ASSERT_FALSE(mr.text.empty());
 
   Exposition exp(mr.text);
@@ -178,8 +178,18 @@ TEST_F(MetricsTest, PrometheusExpositionMatchesTraffic) {
        {"fsdl_uptime_seconds", "fsdl_connections_total", "fsdl_requests_total",
         "fsdl_queries_total", "fsdl_errors_total",
         "fsdl_request_latency_microseconds", "fsdl_stage_work_total",
-        "fsdl_prepared_cache_entries", "fsdl_prepared_cache_events_total"}) {
+        "fsdl_prepared_cache_entries", "fsdl_prepared_cache_events_total",
+        "fsdl_failure_events_total", "fsdl_label_crc_failures_total"}) {
     EXPECT_TRUE(exp.has_metadata(family)) << family;
+  }
+
+  // Every failure-event series is present from the start (a dashboard can
+  // alert on rate() without waiting for the first incident).
+  for (const char* event :
+       {"request_timeouts", "sheds", "evictions", "accept_retries",
+        "drain_rejects", "frame_crc_errors"}) {
+    EXPECT_EQ(exp.value("fsdl_failure_events_total", {{"event", event}}), 0.0)
+        << event;
   }
 
   EXPECT_EQ(exp.value("fsdl_requests_total", {{"type", "dist"}}), 3.0);
@@ -220,6 +230,36 @@ TEST_F(MetricsTest, PrometheusExpositionMatchesTraffic) {
             0.0);
 }
 
+TEST_F(MetricsTest, FailureCountersFlowIntoBothRenderings) {
+  Metrics m;
+  m.record_failure(FailureCounter::kSheds);
+  m.record_failure(FailureCounter::kSheds);
+  m.record_failure(FailureCounter::kRequestTimeouts);
+  m.record_failure(FailureCounter::kEvictions);
+  m.record_failure(FailureCounter::kFrameCrcErrors);
+  EXPECT_EQ(m.failure_total(FailureCounter::kSheds), 2u);
+  EXPECT_EQ(m.failure_total(FailureCounter::kRequestTimeouts), 1u);
+  EXPECT_EQ(m.failure_total(FailureCounter::kDrainRejects), 0u);
+
+  const std::string prom = m.render_prometheus(PreparedCache::Stats{});
+  Exposition exp(prom);
+  EXPECT_EQ(exp.value("fsdl_failure_events_total", {{"event", "sheds"}}), 2.0);
+  EXPECT_EQ(
+      exp.value("fsdl_failure_events_total", {{"event", "request_timeouts"}}),
+      1.0);
+  EXPECT_EQ(exp.value("fsdl_failure_events_total", {{"event", "evictions"}}),
+            1.0);
+  EXPECT_EQ(
+      exp.value("fsdl_failure_events_total", {{"event", "frame_crc_errors"}}),
+      1.0);
+
+  // The human-readable STATS rendering carries the same counters.
+  const std::string text = m.render(PreparedCache::Stats{});
+  EXPECT_NE(text.find("sheds: 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("request_timeouts: 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("label_crc_failures:"), std::string::npos) << text;
+}
+
 TEST_F(MetricsTest, StageCountersAccumulateQueryStats) {
   Metrics m;
   QueryStats stats;
@@ -249,7 +289,7 @@ TEST_F(MetricsTest, SlowQueryLogReportsStages) {
   req.opcode = Opcode::kDist;
   req.pairs = {{0, 35}};
   req.faults.add_vertex(7);
-  ASSERT_TRUE(srv.handle(req).ok);
+  ASSERT_TRUE(srv.handle(req).ok());
 
   ASSERT_EQ(reports.size(), 1u);
   const std::string& report = reports[0];
@@ -273,7 +313,7 @@ TEST_F(MetricsTest, SlowQueryLogSilentUnderThreshold) {
   Request req;
   req.opcode = Opcode::kDist;
   req.pairs = {{0, 1}};
-  ASSERT_TRUE(srv.handle(req).ok);
+  ASSERT_TRUE(srv.handle(req).ok());
   EXPECT_TRUE(reports.empty());
 }
 

@@ -64,28 +64,55 @@ TEST(Protocol, ResponseRoundTrips) {
   Response back;
   std::string error;
   ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error));
-  EXPECT_TRUE(back.ok);
+  EXPECT_TRUE(back.ok());
   EXPECT_EQ(back.distances, std::vector<Dist>{42});
 
   Response batch;
   batch.distances = {1, kInfDist, 7, 0};
   bytes = encode_response(batch);
   ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error));
-  EXPECT_TRUE(back.ok);
+  EXPECT_TRUE(back.ok());
   EXPECT_EQ(back.distances, batch.distances);
 
   Response stats;
   stats.text = "qps: 12.5\ncache_hit_rate: 0.99\n";
   bytes = encode_response(stats);
   ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error));
-  EXPECT_TRUE(back.ok);
+  EXPECT_TRUE(back.ok());
   EXPECT_EQ(back.text, stats.text);
 
   const Response err = error_response("boom");
   bytes = encode_response(err);
   ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error));
-  EXPECT_FALSE(back.ok);
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.status, Status::kError);
   EXPECT_EQ(back.text, "boom");
+}
+
+TEST(Protocol, EveryStatusRoundTrips) {
+  for (const Status status : {Status::kOk, Status::kError, Status::kOverloaded,
+                              Status::kTimeout, Status::kDraining}) {
+    Response resp;
+    resp.status = status;
+    if (status != Status::kOk) resp.text = status_name(status);
+    const auto bytes = encode_response(resp);
+    Response back;
+    std::string error;
+    ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error))
+        << error;
+    EXPECT_EQ(back.status, status);
+    EXPECT_EQ(back.ok(), status == Status::kOk);
+  }
+}
+
+TEST(Protocol, UnknownStatusByteRejected) {
+  Response resp;
+  auto bytes = encode_response(resp);
+  bytes[0] = 0x7E;  // not a Status value
+  Response back;
+  std::string error;
+  EXPECT_FALSE(decode_response(bytes.data(), bytes.size(), back, error));
+  EXPECT_NE(error.find("status"), std::string::npos);
 }
 
 TEST(Protocol, TruncatedRequestRejected) {
@@ -184,19 +211,49 @@ TEST(Framer, SplitsConcatenatedFrames) {
 
 TEST(Framer, OversizedFrameIsFatal) {
   const std::uint32_t huge = kMaxFramePayload + 1;
-  std::uint8_t prefix[4] = {
+  // 8-byte header: length then (here meaningless) checksum.
+  std::uint8_t prefix[8] = {
       static_cast<std::uint8_t>(huge), static_cast<std::uint8_t>(huge >> 8),
       static_cast<std::uint8_t>(huge >> 16),
-      static_cast<std::uint8_t>(huge >> 24)};
+      static_cast<std::uint8_t>(huge >> 24), 0, 0, 0, 0};
   Framer framer;
-  framer.feed(prefix, 4);
+  framer.feed(prefix, 8);
   std::vector<std::uint8_t> out;
   EXPECT_FALSE(framer.next(out));
   EXPECT_TRUE(framer.fatal());
+  EXPECT_EQ(framer.fatal_reason(), Framer::Fatal::kOversized);
   // Feeding more keeps it fatal, never yields frames.
-  framer.feed(prefix, 4);
+  framer.feed(prefix, 8);
   EXPECT_FALSE(framer.next(out));
   EXPECT_TRUE(framer.fatal());
+}
+
+TEST(Framer, CorruptedPayloadFailsChecksum) {
+  const auto payload = encode_request(make_dist_request());
+  auto wire = frame(payload);
+  // Flip one payload bit; the CRC in the header no longer matches.
+  wire[kFrameHeaderBytes + 3] ^= 0x10;
+  Framer framer;
+  framer.feed(wire.data(), wire.size());
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(framer.next(out));
+  EXPECT_TRUE(framer.fatal());
+  EXPECT_EQ(framer.fatal_reason(), Framer::Fatal::kChecksum);
+}
+
+TEST(Framer, CorruptedLengthNeverDecodesAsShorterFrame) {
+  // Shrink the length field so the CRC is checked over a prefix: the frame
+  // must be rejected (checksum), not surfaced as a truncated payload.
+  const auto payload = encode_request(make_dist_request());
+  auto wire = frame(payload);
+  ASSERT_GT(payload.size(), 4u);
+  wire[0] = static_cast<std::uint8_t>(payload.size() - 4);
+  Framer framer;
+  framer.feed(wire.data(), wire.size());
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(framer.next(out));
+  EXPECT_TRUE(framer.fatal());
+  EXPECT_EQ(framer.fatal_reason(), Framer::Fatal::kChecksum);
 }
 
 TEST(Framer, MaxSizePayloadAccepted) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <sstream>
 
 #include "core/oracle.hpp"
@@ -93,6 +95,95 @@ TEST(Serialize, RejectsTruncation) {
 TEST(Serialize, MissingFileThrows) {
   EXPECT_THROW(load_labeling(std::string("/nonexistent/dir/x.fsdl")),
                std::runtime_error);
+}
+
+TEST(Serialize, EveryFlippedBitIsRejectedByCrc) {
+  const Graph g = make_path(20);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  std::stringstream ss;
+  save_labeling(scheme, ss);
+  const std::string good = ss.str();
+  const std::uint64_t failures_before = labeling_crc_failures();
+
+  // Flip one bit in every byte past the 16-byte header — body bytes and
+  // the CRC trailer itself (a corrupt trailer must not verify either).
+  // Every single corruption must throw; none may load into a scheme that
+  // would answer queries.
+  Rng rng(11);
+  std::uint64_t crc_rejections = 0;
+  for (std::size_t pos = 16; pos < good.size(); ++pos) {
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ (1 << rng.below(8)));
+    std::stringstream corrupt(bad);
+    try {
+      (void)load_labeling(corrupt);
+      FAIL() << "bit flip at byte " << pos << " loaded successfully";
+    } catch (const std::runtime_error& e) {
+      if (std::string(e.what()).find("CRC32") != std::string::npos) {
+        ++crc_rejections;
+      }
+    }
+  }
+  EXPECT_GT(crc_rejections, 0u);
+  // The global counter (exported as fsdl_label_crc_failures_total) saw
+  // every CRC rejection.
+  EXPECT_EQ(labeling_crc_failures() - failures_before, crc_rejections);
+}
+
+TEST(Serialize, RejectsOldFormatVersionWithActionableMessage) {
+  const Graph g = make_path(20);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  std::stringstream ss;
+  save_labeling(scheme, ss);
+  std::string bytes = ss.str();
+  bytes[4] = 1;  // version field follows the 4-byte magic
+  std::stringstream old(bytes);
+  try {
+    (void)load_labeling(old);
+    FAIL() << "version-1 file loaded";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("rebuild"), std::string::npos) << what;
+  }
+}
+
+TEST(Serialize, RejectsImplausibleBodySizeWithoutAllocating) {
+  // Magic + version, then a body_size claiming 2^63 bytes: the loader must
+  // refuse up front instead of trying to allocate.
+  std::string bytes = "FSDL";
+  const std::uint32_t version = 2;
+  bytes.append(reinterpret_cast<const char*>(&version), 4);
+  const std::uint64_t huge = 1ull << 63;
+  bytes.append(reinterpret_cast<const char*>(&huge), 8);
+  std::stringstream ss(bytes);
+  try {
+    (void)load_labeling(ss);
+    FAIL() << "implausible size accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("implausible"), std::string::npos);
+  }
+}
+
+TEST(Serialize, LyingBodySizeHitsEofNotOverread) {
+  // A plausible-but-wrong size (larger than the real body) must surface as
+  // truncation when the stream runs dry.
+  const Graph g = make_path(20);
+  const auto scheme = ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  std::stringstream ss;
+  save_labeling(scheme, ss);
+  std::string bytes = ss.str();
+  std::uint64_t size = 0;
+  std::memcpy(&size, bytes.data() + 8, 8);
+  size += 4096;
+  std::memcpy(bytes.data() + 8, &size, 8);
+  std::stringstream lying(bytes);
+  try {
+    (void)load_labeling(lying);
+    FAIL() << "lying size accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
 }
 
 }  // namespace

@@ -147,7 +147,7 @@ TEST_F(ServerTest, GarbagePayloadGetsErrorReplyConnectionSurvives) {
   const auto wire = server::frame(junk);
   client.send_raw(wire.data(), wire.size());
   const auto resp = client.read_response();
-  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.ok());
   EXPECT_NE(resp.text.find("bad request"), std::string::npos);
   // Same connection still serves valid traffic.
   EXPECT_EQ(client.dist(0, 0, FaultSet{}), 0u);
@@ -159,7 +159,7 @@ TEST_F(ServerTest, OutOfRangeVertexGetsErrorReply) {
   req.opcode = server::Opcode::kDist;
   req.pairs.emplace_back(0, 1000000);
   const auto resp = client.call(req);
-  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.ok());
   EXPECT_NE(resp.text.find("out of range"), std::string::npos);
   EXPECT_EQ(client.dist(0, 1, FaultSet{}), 1u);
 }
@@ -169,19 +169,19 @@ TEST_F(ServerTest, EmptyBatchGetsErrorReply) {
   server::Request req;
   req.opcode = server::Opcode::kBatch;
   const auto resp = client.call(req);
-  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.ok());
 }
 
 TEST_F(ServerTest, OversizedFrameGetsErrorThenClose) {
   auto client = connect();
   const std::uint32_t huge = server::kMaxFramePayload + 1;
-  const std::uint8_t prefix[4] = {
+  const std::uint8_t prefix[8] = {
       static_cast<std::uint8_t>(huge), static_cast<std::uint8_t>(huge >> 8),
       static_cast<std::uint8_t>(huge >> 16),
-      static_cast<std::uint8_t>(huge >> 24)};
-  client.send_raw(prefix, 4);
+      static_cast<std::uint8_t>(huge >> 24), 0, 0, 0, 0};
+  client.send_raw(prefix, 8);
   const auto resp = client.read_response();
-  EXPECT_FALSE(resp.ok);
+  EXPECT_FALSE(resp.ok());
   EXPECT_NE(resp.text.find("size limit"), std::string::npos);
   // The server closed the stream: the next read must fail, not hang.
   EXPECT_THROW(client.read_response(), std::runtime_error);
@@ -197,7 +197,7 @@ TEST_F(ServerTest, TruncatedFrameThenCompletionIsServed) {
   client.send_raw(wire.data(), wire.size() / 2);
   client.send_raw(wire.data() + wire.size() / 2, wire.size() - wire.size() / 2);
   const auto resp = client.read_response();
-  ASSERT_TRUE(resp.ok);
+  ASSERT_TRUE(resp.ok());
   ASSERT_EQ(resp.distances.size(), 1u);
   check_bound(0, 63, FaultSet{}, resp.distances[0]);
 }

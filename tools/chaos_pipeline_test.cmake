@@ -1,0 +1,150 @@
+# End-to-end hardening pipeline, three acts:
+#
+#   1. Corruption: a label file with one byte changed must be rejected at
+#      load with a CRC error (never decoded into wrong-answer labels).
+#   2. Chaos: fsdl_loadgen drives fsdl_serve through the fsdl_chaos proxy,
+#      which drops/delays/truncates/bit-flips traffic for a window. With
+#      retries armed the run must finish with ZERO verification violations
+#      (corruption surfaces as errors, not wrong distances) and the server
+#      must survive. After the window, a strict run (no tolerated transport
+#      errors) proves full recovery.
+#   3. Overload: a 1-worker server with a zero-length waiting line under
+#      6 concurrent clients must shed with OVERLOADED, visible both to the
+#      clients (sheds_seen) and in the Prometheus metrics.
+function(run_checked)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(LAST_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+set(graph ${WORK_DIR}/chaos_graph.edges)
+set(scheme ${WORK_DIR}/chaos_scheme.fsdl)
+set(bad_scheme ${WORK_DIR}/chaos_scheme_bad.fsdl)
+set(slog ${WORK_DIR}/chaos_server.log)
+set(plog ${WORK_DIR}/chaos_proxy.log)
+set(olog ${WORK_DIR}/chaos_overload.log)
+set(prom ${WORK_DIR}/chaos_overload_metrics.prom)
+
+run_checked(${FSDL_BIN} gen grid 8 8 ${graph})
+run_checked(${FSDL_BIN} build ${graph} ${scheme} --eps 1.0)
+
+# --- Act 1: bit-rot in the label file is caught by the CRC trailer. -------
+# Offset 25 lands inside the body (16-byte header + params); the byte is
+# replaced by its value + 1 mod 256, so the file always actually changes.
+execute_process(
+  COMMAND sh -ec "\
+    cp '${scheme}' '${bad_scheme}'; \
+    b=$(od -An -tu1 -j25 -N1 '${bad_scheme}' | tr -d ' '); \
+    printf \"$(printf '\\\\%03o' $(( (b + 1) % 256 )))\" | \
+      dd of='${bad_scheme}' bs=1 seek=25 count=1 conv=notrunc 2>/dev/null; \
+    if timeout 10 '${SERVE_BIN}' '${bad_scheme}' --port 0 \
+        2>'${WORK_DIR}/crc_err.txt'; \
+    then echo 'corrupt labeling file was accepted'; exit 1; fi; \
+    grep -q 'CRC32 mismatch' '${WORK_DIR}/crc_err.txt'"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "corrupt label file not rejected (${rc}):\n${out}\n${err}")
+endif()
+
+# --- Act 2: seeded chaos window, then recovery. ---------------------------
+execute_process(
+  COMMAND sh -ec "\
+    '${SERVE_BIN}' '${scheme}' --port 0 --workers 4 --cache 8 \
+        --recv-timeout-ms 2000 --send-timeout-ms 2000 --drain-ms 500 \
+        > '${slog}' 2> '${slog}.err' & \
+    spid=$!; \
+    trap 'kill $spid $cpid 2>/dev/null || true' EXIT; \
+    for k in $(seq 1 100); do \
+      grep -q 'port=' '${slog}' && break; sleep 0.1; \
+    done; \
+    sport=$(sed -n 's/.*port=\\([0-9][0-9]*\\).*/\\1/p' '${slog}'); \
+    test -n \"$sport\" || { kill $spid; echo 'no server port'; exit 1; }; \
+    '${CHAOS_BIN}' --upstream-port $sport --seed 13 --drop-p 0.03 \
+        --delay-p 0.03 --delay-ms 30 --truncate-p 0.03 --flip-p 0.04 \
+        --chaos-s 4 > '${plog}' 2>&1 & \
+    cpid=$!; \
+    for k in $(seq 1 100); do \
+      grep -q 'port=' '${plog}' && break; sleep 0.1; \
+    done; \
+    cport=$(sed -n 's/.*port=\\([0-9][0-9]*\\).*/\\1/p' '${plog}'); \
+    test -n \"$cport\" || { kill $spid $cpid; echo 'no proxy port'; exit 1; }; \
+    '${LOADGEN_BIN}' --port $cport --threads 4 --requests 40 \
+        --fault-pool 3 --faults 2 --churn 0.2 --stats-every 0 \
+        --verify '${graph}' --eps 1.0 --seed 7 \
+        --retries 5 --timeout-ms 400 --allow-transport-errors; \
+    sleep 5; \
+    echo '=== recovery ==='; \
+    '${LOADGEN_BIN}' --port $cport --threads 4 --requests 30 \
+        --fault-pool 3 --faults 2 --churn 0.2 --stats-every 10 \
+        --verify '${graph}' --eps 1.0 --seed 8 \
+        --retries 3 --timeout-ms 2000; \
+    kill -INT $spid; \
+    wait $spid; \
+    kill $cpid 2>/dev/null || true"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "chaos pipeline failed (${rc}):\n${out}\n${err}")
+endif()
+
+# Both the chaos run and the recovery run must report zero violations:
+# injected corruption may cost requests, never correctness.
+string(REGEX MATCHALL "verified against exact baseline[^\n]*" verdicts "${out}")
+list(LENGTH verdicts n_verdicts)
+if(NOT n_verdicts EQUAL 2)
+  message(FATAL_ERROR "expected 2 verification verdicts, got ${n_verdicts}:\n${out}")
+endif()
+foreach(v IN LISTS verdicts)
+  if(NOT v MATCHES "0 violations")
+    message(FATAL_ERROR "violations under chaos: ${v}\n${out}")
+  endif()
+endforeach()
+string(REGEX MATCH "=== recovery ===.*" recovery_out "${out}")
+if(NOT recovery_out MATCHES "transport_errors=0")
+  message(FATAL_ERROR "recovery run after chaos was not clean:\n${recovery_out}")
+endif()
+# The server survived the chaos window: its graceful-shutdown metrics dump
+# made it into the log.
+file(READ ${slog} server_log)
+if(NOT server_log MATCHES "cache_hit_rate")
+  message(FATAL_ERROR "server did not shut down cleanly after chaos:\n${server_log}")
+endif()
+
+# --- Act 3: overload is shed with OVERLOADED, not queued unboundedly. -----
+execute_process(
+  COMMAND sh -ec "\
+    '${SERVE_BIN}' '${scheme}' --port 0 --workers 1 --max-queued 0 \
+        --backlog 8 --metrics-dump '${prom}' --metrics-interval 0.3 \
+        > '${olog}' 2> '${olog}.err' & \
+    opid=$!; \
+    trap 'kill $opid 2>/dev/null || true' EXIT; \
+    for k in $(seq 1 100); do \
+      grep -q 'port=' '${olog}' && break; sleep 0.1; \
+    done; \
+    oport=$(sed -n 's/.*port=\\([0-9][0-9]*\\).*/\\1/p' '${olog}'); \
+    test -n \"$oport\" || { kill $opid; echo 'no server port'; exit 1; }; \
+    '${LOADGEN_BIN}' --port $oport --threads 6 --requests 200 --batch 8 \
+        --fault-pool 2 --faults 2 --stats-every 0 --n 64 --seed 9 \
+        --retries 8 --timeout-ms 1000 --allow-transport-errors; \
+    kill -INT $opid; \
+    wait $opid"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "overload pipeline failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "sheds_seen=[1-9]")
+  message(FATAL_ERROR "clients observed no OVERLOADED sheds:\n${out}")
+endif()
+file(READ ${olog} overload_log)
+if(NOT overload_log MATCHES "backlog=8")
+  message(FATAL_ERROR "effective backlog not logged at startup:\n${overload_log}")
+endif()
+if(NOT EXISTS ${prom})
+  message(FATAL_ERROR "no metrics dump from the overload server")
+endif()
+file(READ ${prom} prom_text)
+if(NOT prom_text MATCHES "fsdl_failure_events_total{event=\"sheds\"} [1-9]")
+  message(FATAL_ERROR "shed events missing from Prometheus metrics:\n${prom_text}")
+endif()

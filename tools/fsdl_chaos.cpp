@@ -1,0 +1,255 @@
+// fsdl_chaos — a fault-injecting TCP proxy for hardening tests.
+//
+//   fsdl_chaos --upstream-port U [--upstream-host H] [--listen-port P]
+//              [--seed S] [--drop-p D] [--delay-p D --delay-ms M]
+//              [--truncate-p T] [--flip-p F] [--chaos-s W]
+//
+// Sits between a client (fsdl_loadgen) and fsdl_serve and misbehaves on
+// purpose, in both directions, with deterministic seeded randomness:
+//
+//   drop      sever the connection mid-stream (both halves)
+//   delay     stall a chunk by --delay-ms (exercises client recv deadlines)
+//   truncate  forward only a prefix of a chunk, then sever
+//   flip      flip one random bit in a forwarded chunk (exercises the
+//             frame CRC — a flipped bit must surface as a checksum error,
+//             never as a wrong distance)
+//
+// Faults are injected only during the first --chaos-s seconds after startup
+// (0 = forever); afterwards the proxy forwards bytes verbatim, so one
+// loadgen run through the proxy sees a chaos window followed by calm — the
+// recovery phase the chaos pipeline asserts on.
+//
+// Prints "fsdl_chaos: ... port=N" on stdout once listening (P=0 picks an
+// ephemeral port), mirroring fsdl_serve so scripts can scrape the port.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace {
+
+using fsdl::Rng;
+
+struct Options {
+  std::string upstream_host = "127.0.0.1";
+  std::uint16_t upstream_port = 0;
+  std::uint16_t listen_port = 0;
+  std::uint64_t seed = 1;
+  double drop_p = 0.0;
+  double delay_p = 0.0;
+  unsigned delay_ms = 50;
+  double truncate_p = 0.0;
+  double flip_p = 0.0;
+  double chaos_s = 0.0;  // 0 = chaos never ends
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(
+      stderr,
+      "usage: fsdl_chaos --upstream-port U [--upstream-host H]\n"
+      "                  [--listen-port P] [--seed S] [--drop-p D]\n"
+      "                  [--delay-p D --delay-ms M] [--truncate-p T]\n"
+      "                  [--flip-p F] [--chaos-s W]\n");
+  std::exit(2);
+}
+
+std::atomic<std::uint64_t> g_drops{0};
+std::atomic<std::uint64_t> g_delays{0};
+std::atomic<std::uint64_t> g_truncates{0};
+std::atomic<std::uint64_t> g_flips{0};
+
+/// One proxied connection: both relay threads share the fd pair so a fault
+/// in either direction can sever the whole connection.
+struct Conn {
+  int client_fd;
+  int upstream_fd;
+  void sever() const {
+    ::shutdown(client_fd, SHUT_RDWR);
+    ::shutdown(upstream_fd, SHUT_RDWR);
+  }
+};
+
+/// Relay src -> dst until EOF/error, injecting faults while chaos is on.
+void relay(std::shared_ptr<Conn> conn, int src, int dst, Rng rng,
+           const Options& opt,
+           std::chrono::steady_clock::time_point chaos_end) {
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(src, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    std::size_t len = static_cast<std::size_t>(n);
+
+    const bool chaos_on = opt.chaos_s == 0.0 ||
+                          std::chrono::steady_clock::now() < chaos_end;
+    if (chaos_on) {
+      if (rng.chance(opt.drop_p)) {
+        g_drops.fetch_add(1, std::memory_order_relaxed);
+        break;  // sever without forwarding
+      }
+      if (rng.chance(opt.delay_p)) {
+        g_delays.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(opt.delay_ms));
+      }
+      bool truncate_after = false;
+      if (len > 1 && rng.chance(opt.truncate_p)) {
+        g_truncates.fetch_add(1, std::memory_order_relaxed);
+        len = 1 + static_cast<std::size_t>(rng.below(len - 1));
+        truncate_after = true;  // forward the prefix, then sever
+      }
+      if (rng.chance(opt.flip_p)) {
+        g_flips.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t bit = static_cast<std::size_t>(rng.below(len * 8));
+        chunk[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      std::size_t sent = 0;
+      bool send_failed = false;
+      while (sent < len) {
+        const ssize_t m = ::send(dst, chunk + sent, len - sent, MSG_NOSIGNAL);
+        if (m < 0 && errno == EINTR) continue;
+        if (m <= 0) {
+          send_failed = true;
+          break;
+        }
+        sent += static_cast<std::size_t>(m);
+      }
+      if (send_failed || truncate_after) break;
+      continue;
+    }
+
+    std::size_t sent = 0;
+    bool send_failed = false;
+    while (sent < len) {
+      const ssize_t m = ::send(dst, chunk + sent, len - sent, MSG_NOSIGNAL);
+      if (m < 0 && errno == EINTR) continue;
+      if (m <= 0) {
+        send_failed = true;
+        break;
+      }
+      sent += static_cast<std::size_t>(m);
+    }
+    if (send_failed) break;
+  }
+  conn->sever();
+}
+
+int connect_upstream(const Options& opt) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt.upstream_port);
+  if (::inet_pton(AF_INET, opt.upstream_host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    auto next = [&]() -> const char* {
+      if (k + 1 >= argc) usage("missing argument value");
+      return argv[++k];
+    };
+    if (arg == "--upstream-host") opt.upstream_host = next();
+    else if (arg == "--upstream-port") opt.upstream_port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--listen-port") opt.listen_port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--drop-p") opt.drop_p = std::strtod(next(), nullptr);
+    else if (arg == "--delay-p") opt.delay_p = std::strtod(next(), nullptr);
+    else if (arg == "--delay-ms") opt.delay_ms = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--truncate-p") opt.truncate_p = std::strtod(next(), nullptr);
+    else if (arg == "--flip-p") opt.flip_p = std::strtod(next(), nullptr);
+    else if (arg == "--chaos-s") opt.chaos_s = std::strtod(next(), nullptr);
+    else usage("unknown option");
+  }
+  if (opt.upstream_port == 0) usage("--upstream-port is required");
+
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) {
+    std::fprintf(stderr, "error: socket() failed\n");
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opt.listen_port);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(lfd, 64) < 0) {
+    std::fprintf(stderr, "error: bind/listen failed: %s\n",
+                 std::strerror(errno));
+    return 1;
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len);
+
+  std::printf("fsdl_chaos: upstream=%s:%u seed=%llu drop=%.3g delay=%.3g/"
+              "%ums truncate=%.3g flip=%.3g chaos_s=%.3g port=%u\n",
+              opt.upstream_host.c_str(), opt.upstream_port,
+              static_cast<unsigned long long>(opt.seed), opt.drop_p,
+              opt.delay_p, opt.delay_ms, opt.truncate_p, opt.flip_p,
+              opt.chaos_s, ntohs(addr.sin_port));
+  std::fflush(stdout);
+
+  const auto chaos_end =
+      std::chrono::steady_clock::now() +
+      std::chrono::microseconds(static_cast<long>(opt.chaos_s * 1e6));
+
+  std::uint64_t conn_id = 0;
+  for (;;) {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const int ufd = connect_upstream(opt);
+    if (ufd < 0) {
+      ::close(cfd);
+      continue;
+    }
+    ++conn_id;
+    auto conn = std::make_shared<Conn>(Conn{cfd, ufd});
+    // Two relay threads per connection, each with its own deterministic
+    // stream of fault decisions. The closer thread owns both fds.
+    std::thread forward(relay, conn, cfd, ufd, Rng(opt.seed * 2654435761u +
+                                                   conn_id * 2),
+                        std::cref(opt), chaos_end);
+    std::thread backward([conn, cfd, ufd, &opt, chaos_end, conn_id] {
+      relay(conn, ufd, cfd,
+            Rng(opt.seed * 2654435761u + conn_id * 2 + 1), opt, chaos_end);
+    });
+    std::thread([conn, f = std::move(forward), b = std::move(backward)]()
+                    mutable {
+      f.join();
+      b.join();
+      ::close(conn->client_fd);
+      ::close(conn->upstream_fd);
+    }).detach();
+  }
+  return 0;
+}

@@ -3,7 +3,15 @@
 //   fsdl_loadgen --port P [--host H] [--threads N] [--requests R]
 //                [--batch B] [--fault-pool K] [--faults F] [--churn C]
 //                [--stats-every M] [--n N | --verify graph.edges]
-//                [--eps E] [--seed S]
+//                [--eps E] [--seed S] [--retries R] [--timeout-ms T]
+//                [--allow-transport-errors]
+//
+// Resilience knobs (the chaos pipeline's client side): --retries arms the
+// client's exponential-backoff retry policy for idempotent queries,
+// --timeout-ms sets the connect/recv/send deadlines, and
+// --allow-transport-errors keeps transport failures out of the exit status
+// (verification violations always fail the run — corruption must surface
+// as an error, never as a wrong distance).
 //
 // N client threads, one connection each, R requests per thread. Each
 // request draws its fault set from a pool of K pre-generated sets; with
@@ -51,6 +59,9 @@ struct Options {
   std::string verify_graph;
   double eps = 1.0;
   std::uint64_t seed = 1;
+  unsigned retries = 0;
+  unsigned timeout_ms = 0;
+  bool allow_transport_errors = false;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -61,7 +72,9 @@ struct Options {
       "                    [--batch B] [--fault-pool K] [--faults F]\n"
       "                    [--churn C] [--stats-every M]\n"
       "                    [--n N | --verify graph.edges] [--eps E] "
-      "[--seed S]\n");
+      "[--seed S]\n"
+      "                    [--retries R] [--timeout-ms T] "
+      "[--allow-transport-errors]\n");
   std::exit(2);
 }
 
@@ -73,6 +86,8 @@ struct SharedState {
   std::atomic<std::uint64_t> violations{0};
   std::atomic<std::uint64_t> transport_errors{0};
   std::atomic<std::uint64_t> queries{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> sheds_seen{0};
   std::mutex agg_mu;
   Histogram latency_us{1.25};
 };
@@ -102,10 +117,17 @@ bool bound_ok(Dist exact, Dist approx, double eps) {
 void worker(SharedState& state, unsigned tid) {
   const Options& opt = state.opt;
   Rng rng(state.opt.seed * 7919 + tid);
-  server::Client client;
+  server::ClientOptions copt;
+  copt.connect_timeout_ms = opt.timeout_ms;
+  copt.recv_timeout_ms = opt.timeout_ms;
+  copt.send_timeout_ms = opt.timeout_ms;
+  copt.max_retries = opt.retries;
+  copt.retry_seed = opt.seed * 104729 + tid;
+  server::Client client(copt);
   Histogram local_latency{1.25};
   std::uint64_t local_violations = 0;
   std::uint64_t local_queries = 0;
+  std::uint64_t local_transport_errors = 0;
   try {
     client.connect(opt.host, opt.port);
     std::size_t fault_idx = tid % state.fault_pool.size();
@@ -123,10 +145,22 @@ void worker(SharedState& state, unsigned tid) {
 
       WallTimer timer;
       std::vector<Dist> answers;
-      if (opt.batch == 0) {
-        answers.push_back(client.dist(pairs[0].first, pairs[0].second, faults));
-      } else {
-        answers = client.batch(pairs, faults);
+      try {
+        if (opt.batch == 0) {
+          answers.push_back(
+              client.dist(pairs[0].first, pairs[0].second, faults));
+        } else {
+          answers = client.batch(pairs, faults);
+        }
+      } catch (const std::exception& e) {
+        // Retries exhausted (or a hard protocol error). Skip this request;
+        // the client reconnects on the next one. Lost requests count as
+        // transport errors, never as silent success.
+        ++local_transport_errors;
+        if (local_transport_errors <= 3) {
+          std::fprintf(stderr, "thread %u request %u: %s\n", tid, r, e.what());
+        }
+        continue;
       }
       local_latency.add(timer.elapsed_us());
       local_queries += answers.size();
@@ -155,15 +189,24 @@ void worker(SharedState& state, unsigned tid) {
         }
       }
       if (opt.stats_every != 0 && (r + 1) % opt.stats_every == 0) {
-        (void)client.stats();
+        try {
+          (void)client.stats();
+        } catch (const std::exception&) {
+          // STATS is a probe, not part of the measured workload; a failed
+          // probe only costs the connection (rebuilt on the next query).
+          client.close();
+        }
       }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "thread %u: %s\n", tid, e.what());
-    state.transport_errors.fetch_add(1);
+    ++local_transport_errors;
   }
   state.violations.fetch_add(local_violations);
   state.queries.fetch_add(local_queries);
+  state.transport_errors.fetch_add(local_transport_errors);
+  state.retries.fetch_add(client.retries());
+  state.sheds_seen.fetch_add(client.sheds_seen());
   std::lock_guard<std::mutex> lock(state.agg_mu);
   state.latency_us.merge(local_latency);
 }
@@ -191,6 +234,9 @@ int main(int argc, char** argv) {
     else if (arg == "--verify") opt.verify_graph = next();
     else if (arg == "--eps") opt.eps = std::strtod(next(), nullptr);
     else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--retries") opt.retries = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--timeout-ms") opt.timeout_ms = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--allow-transport-errors") opt.allow_transport_errors = true;
     else usage("unknown option");
   }
   if (opt.port == 0) usage("--port is required");
@@ -248,6 +294,11 @@ int main(int argc, char** argv) {
                   state.latency_us.percentile(95),
                   state.latency_us.percentile(99), state.latency_us.max());
     }
+    std::printf("resilience: retries=%llu sheds_seen=%llu "
+                "transport_errors=%llu\n",
+                static_cast<unsigned long long>(state.retries.load()),
+                static_cast<unsigned long long>(state.sheds_seen.load()),
+                static_cast<unsigned long long>(state.transport_errors.load()));
     if (state.graph != nullptr) {
       std::printf("verified against exact baseline (eps=%.3g): %llu "
                   "violations\n",
@@ -255,13 +306,19 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(state.violations.load()));
     }
 
-    // Final server-side snapshot.
-    server::Client probe;
-    probe.connect(opt.host, opt.port);
-    std::printf("--- server stats ---\n%s", probe.stats().c_str());
+    // Final server-side snapshot; best effort (under chaos the probe
+    // connection itself can be hit).
+    try {
+      server::Client probe;
+      probe.connect(opt.host, opt.port);
+      std::printf("--- server stats ---\n%s", probe.stats().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "stats probe failed: %s\n", e.what());
+    }
 
     const bool failed =
-        state.violations.load() != 0 || state.transport_errors.load() != 0;
+        state.violations.load() != 0 ||
+        (!opt.allow_transport_errors && state.transport_errors.load() != 0);
     return failed ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

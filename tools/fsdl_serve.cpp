@@ -1,6 +1,8 @@
 // fsdl_serve — the query service daemon.
 //
 //   fsdl_serve <scheme.fsdl> [--port P] [--workers N] [--cache C] [--warm]
+//              [--backlog B] [--recv-timeout-ms T] [--send-timeout-ms T]
+//              [--request-deadline-ms D] [--max-queued Q] [--drain-ms D]
 //              [--metrics-dump FILE] [--metrics-interval S]
 //              [--slow-query-us T] [--trace-level off|counters|spans]
 //   fsdl_serve <graph.edges> --build [--build-threads N] [--build-eps E]
@@ -58,7 +60,12 @@ void on_signal(int) {
   if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
                "usage: fsdl_serve <scheme.fsdl> [--port P] [--workers N]\n"
-               "                  [--cache C] [--warm]\n"
+               "                  [--cache C] [--warm] [--backlog B]\n"
+               "                  [--recv-timeout-ms T] [--send-timeout-ms "
+               "T]\n"
+               "                  [--request-deadline-ms D] [--max-queued "
+               "Q]\n"
+               "                  [--drain-ms D]\n"
                "                  [--metrics-dump FILE] [--metrics-interval "
                "S]\n"
                "                  [--slow-query-us T]\n"
@@ -109,6 +116,19 @@ int main(int argc, char** argv) {
       options.cache_capacity = static_cast<std::size_t>(std::atol(argv[++k]));
     } else if (arg == "--warm") {
       options.warm_labels = true;
+    } else if (arg == "--backlog" && k + 1 < argc) {
+      options.listen_backlog = std::atoi(argv[++k]);
+    } else if (arg == "--recv-timeout-ms" && k + 1 < argc) {
+      options.recv_timeout_ms = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--send-timeout-ms" && k + 1 < argc) {
+      options.send_timeout_ms = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--request-deadline-ms" && k + 1 < argc) {
+      options.request_deadline_ms = std::strtod(argv[++k], nullptr);
+    } else if (arg == "--max-queued" && k + 1 < argc) {
+      options.max_queued_connections =
+          static_cast<std::size_t>(std::atol(argv[++k]));
+    } else if (arg == "--drain-ms" && k + 1 < argc) {
+      options.drain_deadline_ms = static_cast<unsigned>(std::atoi(argv[++k]));
     } else if (arg == "--metrics-dump" && k + 1 < argc) {
       metrics_path = argv[++k];
     } else if (arg == "--metrics-interval" && k + 1 < argc) {
@@ -161,9 +181,15 @@ int main(int argc, char** argv) {
     std::signal(SIGTERM, on_signal);
 
     srv.start();
-    std::printf("fsdl_serve: n=%u eps=%.3g workers=%u cache=%zu port=%u\n",
+    // Server::start() normalizes listen_backlog <= 0 to its default; log
+    // the effective value the listener actually got.
+    const int effective_backlog =
+        options.listen_backlog <= 0 ? 64 : options.listen_backlog;
+    std::printf("fsdl_serve: n=%u eps=%.3g workers=%u cache=%zu backlog=%d "
+                "port=%u\n",
                 scheme.num_vertices(), scheme.params().epsilon,
-                options.workers, options.cache_capacity, srv.port());
+                options.workers, options.cache_capacity, effective_backlog,
+                srv.port());
     std::fflush(stdout);
 
     // Wait for the shutdown byte; with --metrics-dump the wait doubles as
