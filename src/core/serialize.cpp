@@ -5,9 +5,11 @@
 #include <cstring>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
 
 namespace fsdl {
@@ -197,9 +199,17 @@ ForbiddenSetLabeling load_labeling(std::istream& is) {
 
 void save_labeling(const ForbiddenSetLabeling& scheme,
                    const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) throw std::runtime_error("cannot open for write: " + path);
-  save_labeling(scheme, os);
+  // Crash-safe: serialize to memory, then tmp + fsync + rename. A process
+  // killed mid-save can leave a stale `path + ".tmp"` behind, but the file
+  // at `path` is always either the previous complete labeling or the new
+  // one — never missing and never truncated.
+  std::ostringstream buffer(std::ios::binary);
+  save_labeling(scheme, buffer);
+  const std::string bytes = buffer.str();
+  std::string error;
+  if (!atomic_write_file(path, bytes.data(), bytes.size(), &error)) {
+    throw std::runtime_error("labeling save failed: " + error);
+  }
 }
 
 ForbiddenSetLabeling load_labeling(const std::string& path) {

@@ -31,6 +31,10 @@ namespace fsdl {
 void save_labeling(const ForbiddenSetLabeling& scheme, std::ostream& os);
 ForbiddenSetLabeling load_labeling(std::istream& is);
 
+/// Crash-safe save: writes `path + ".tmp"`, fsyncs, then renames over
+/// `path` (util/atomic_file). A crash mid-save never leaves the target
+/// missing or truncated — at worst a stale `.tmp` survives next to the
+/// previous good file.
 void save_labeling(const ForbiddenSetLabeling& scheme,
                    const std::string& path);
 ForbiddenSetLabeling load_labeling(const std::string& path);

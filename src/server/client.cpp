@@ -258,4 +258,35 @@ std::string Client::metrics() {
   return std::move(resp.text);
 }
 
+std::string Client::health() {
+  Request req;
+  req.opcode = Opcode::kHealth;
+  Response resp = call(req);
+  if (!resp.ok()) throw std::runtime_error("HEALTH failed: " + resp.text);
+  return std::move(resp.text);
+}
+
+std::string Client::admin_reload() {
+  Request req;
+  req.opcode = Opcode::kReload;
+  Response resp = call(req);
+  if (!resp.ok()) throw std::runtime_error("RELOAD failed: " + resp.text);
+  return std::move(resp.text);
+}
+
+void Client::send_request(const Request& req) {
+  const auto wire = frame(encode_request(req));
+  send_raw(wire.data(), wire.size());
+}
+
+bool Client::wait_readable(int timeout_ms) {
+  if (fd_ < 0) throw std::runtime_error("not connected");
+  // Bytes already buffered in the framer count as readable: a previous
+  // recv() may have pulled more than one frame off the wire.
+  if (framer_.pending_bytes() > 0) return true;
+  pollfd pfd{fd_, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, timeout_ms);
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
 }  // namespace fsdl::server

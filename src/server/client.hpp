@@ -56,6 +56,9 @@ class Client {
   /// retry policy can reconnect.
   void connect(const std::string& host, std::uint16_t port);
   bool connected() const noexcept { return fd_ >= 0; }
+  /// Raw socket fd (-1 when closed). ReplicaClient polls two clients at
+  /// once when racing a hedged request.
+  int fd() const noexcept { return fd_; }
   void close();
 
   /// Round-trip one request, no retries. Throws std::runtime_error on
@@ -71,6 +74,22 @@ class Client {
   std::string stats();
   /// Prometheus text exposition of the server's metrics registry.
   std::string metrics();
+  /// One HEALTH round-trip; returns the probe text ("ready epoch=1 n=64",
+  /// "draining ...", ...). No retries — the whole point is to learn the
+  /// current state, including the bad ones. Throws on transport failure.
+  std::string health();
+  /// Admin RELOAD: ask the server to hot-swap its label file. Returns the
+  /// server's reply text; throws if the server refuses or reload fails.
+  std::string admin_reload();
+
+  /// Send one request without waiting for the reply (the hedging primitive:
+  /// ReplicaClient fires a request, polls, and only then commits to a
+  /// backup). Pair with read_response().
+  void send_request(const Request& req);
+  /// True if at least one byte of reply is readable within `timeout_ms`
+  /// (0 = immediate check). A complete buffered frame also counts. Throws
+  /// if not connected.
+  bool wait_readable(int timeout_ms);
 
   /// Retries performed so far (reconnect + resend events).
   std::uint64_t retries() const noexcept { return retries_; }

@@ -1,0 +1,37 @@
+#include "server/label_store.hpp"
+
+namespace fsdl::server {
+
+LabelSnapshot::LabelSnapshot(ForbiddenSetLabeling scheme,
+                             std::size_t cache_capacity,
+                             std::size_t cache_shards, std::uint64_t epoch)
+    : owned_scheme_(std::make_unique<const ForbiddenSetLabeling>(
+          std::move(scheme))),
+      owned_oracle_(std::make_unique<const ForbiddenSetOracle>(*owned_scheme_)),
+      oracle_(owned_oracle_.get()),
+      cache_(*oracle_, cache_capacity, cache_shards),
+      epoch_(epoch) {}
+
+LabelSnapshot::LabelSnapshot(const ForbiddenSetOracle& oracle,
+                             std::size_t cache_capacity,
+                             std::size_t cache_shards, std::uint64_t epoch)
+    : oracle_(&oracle),
+      cache_(oracle, cache_capacity, cache_shards),
+      epoch_(epoch) {}
+
+void LabelStore::publish(std::shared_ptr<const LabelSnapshot> snapshot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = std::move(snapshot);
+}
+
+std::shared_ptr<const LabelSnapshot> LabelStore::current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+std::uint64_t LabelStore::epoch() const {
+  const auto snap = current();
+  return snap ? snap->epoch() : 0;
+}
+
+}  // namespace fsdl::server

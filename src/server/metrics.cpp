@@ -11,8 +11,8 @@ namespace fsdl::server {
 
 namespace {
 
-const char* kTypeNames[kNumRequestTypes] = {"dist", "batch", "stats",
-                                            "metrics"};
+const char* kTypeNames[kNumRequestTypes] = {"dist",    "batch",  "stats",
+                                            "metrics", "health", "reload"};
 
 void append_line(std::string& out, const char* fmt, ...) {
   char line[256];
@@ -50,13 +50,27 @@ const char* failure_counter_name(FailureCounter c) {
   return "?";
 }
 
+const char* reload_result_name(ReloadResult r) {
+  switch (r) {
+    case ReloadResult::kOk: return "ok";
+    case ReloadResult::kCrcFailed: return "crc_failed";
+    case ReloadResult::kError: return "error";
+    case ReloadResult::kCount_: break;
+  }
+  return "?";
+}
+
 Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   for (auto& s : stages_) s.store(0, std::memory_order_relaxed);
   for (auto& f : failures_) f.store(0, std::memory_order_relaxed);
+  for (auto& r : reloads_) r.store(0, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
   queries_.store(0, std::memory_order_relaxed);
   connections_.store(0, std::memory_order_relaxed);
+  failovers_.store(0, std::memory_order_relaxed);
+  hedges_won_.store(0, std::memory_order_relaxed);
+  hedges_lost_.store(0, std::memory_order_relaxed);
 }
 
 void Metrics::record(RequestType type, std::uint64_t queries, double micros) {
@@ -127,6 +141,14 @@ std::string Metrics::render(const PreparedCache::Stats& cache) const {
     append_line(out, "%s: %" PRIu64 "\n",
                 failure_counter_name(static_cast<FailureCounter>(k)),
                 failures_[k].load(std::memory_order_relaxed));
+  }
+  append_line(out, "failovers: %" PRIu64 "\n", failovers());
+  append_line(out, "hedged_won: %" PRIu64 "\n", hedges(true));
+  append_line(out, "hedged_lost: %" PRIu64 "\n", hedges(false));
+  for (unsigned k = 0; k < kNumReloadResults; ++k) {
+    append_line(out, "label_reloads_%s: %" PRIu64 "\n",
+                reload_result_name(static_cast<ReloadResult>(k)),
+                reloads_[k].load(std::memory_order_relaxed));
   }
   append_line(out, "label_crc_failures: %" PRIu64 "\n",
               labeling_crc_failures());
@@ -224,6 +246,31 @@ std::string Metrics::render_prometheus(
     append_line(out, "fsdl_failure_events_total{event=\"%s\"} %" PRIu64 "\n",
                 failure_counter_name(static_cast<FailureCounter>(k)),
                 failures_[k].load(std::memory_order_relaxed));
+  }
+
+  append_line(out,
+              "# HELP fsdl_failovers_total Requests rerouted to another "
+              "replica after a failure or transient status (client-side).\n");
+  append_line(out, "# TYPE fsdl_failovers_total counter\n");
+  append_line(out, "fsdl_failovers_total %" PRIu64 "\n", failovers());
+
+  append_line(out,
+              "# HELP fsdl_hedged_requests_total Hedged requests that fired "
+              "a backup, by whether the backup answered first.\n");
+  append_line(out, "# TYPE fsdl_hedged_requests_total counter\n");
+  append_line(out, "fsdl_hedged_requests_total{outcome=\"won\"} %" PRIu64 "\n",
+              hedges(true));
+  append_line(out, "fsdl_hedged_requests_total{outcome=\"lost\"} %" PRIu64 "\n",
+              hedges(false));
+
+  append_line(out,
+              "# HELP fsdl_label_reloads_total Hot label reload attempts "
+              "(SIGHUP / admin RELOAD) by outcome.\n");
+  append_line(out, "# TYPE fsdl_label_reloads_total counter\n");
+  for (unsigned k = 0; k < kNumReloadResults; ++k) {
+    append_line(out, "fsdl_label_reloads_total{result=\"%s\"} %" PRIu64 "\n",
+                reload_result_name(static_cast<ReloadResult>(k)),
+                reloads_[k].load(std::memory_order_relaxed));
   }
 
   append_line(out,

@@ -22,9 +22,11 @@ enum class RequestType : unsigned {
   kDist = 0,
   kBatch = 1,
   kStats = 2,
-  kMetrics = 3
+  kMetrics = 3,
+  kHealth = 4,
+  kReload = 5
 };
-inline constexpr unsigned kNumRequestTypes = 4;
+inline constexpr unsigned kNumRequestTypes = 6;
 
 /// Decoder stage counters surfaced server-wide — one slot per QueryStats
 /// field. Always on (a handful of relaxed adds per *request*, never per
@@ -66,6 +68,20 @@ inline constexpr unsigned kNumFailureCounters =
 
 const char* failure_counter_name(FailureCounter c);
 
+/// Outcome of one hot label reload attempt (SIGHUP or the admin RELOAD
+/// opcode). `kCrcFailed` is split out because it is the interesting alarm:
+/// someone shipped a corrupt label file and the server refused to swap.
+enum class ReloadResult : unsigned {
+  kOk = 0,
+  kCrcFailed,
+  kError,
+  kCount_
+};
+inline constexpr unsigned kNumReloadResults =
+    static_cast<unsigned>(ReloadResult::kCount_);
+
+const char* reload_result_name(ReloadResult r);
+
 class Metrics {
  public:
   Metrics();
@@ -88,6 +104,26 @@ class Metrics {
                                                   std::memory_order_relaxed);
   }
 
+  /// Count one client-side failover: a request rerouted to another replica
+  /// after its first choice failed (connect error, transport error, or a
+  /// transient TIMEOUT/OVERLOADED/DRAINING status). Recorded by
+  /// ReplicaClient into the registry fsdl_loadgen dumps.
+  void record_failover() {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Count one hedged request that actually fired a backup; `backup_won`
+  /// says whether the backup's answer beat the primary's.
+  void record_hedge(bool backup_won) {
+    (backup_won ? hedges_won_ : hedges_lost_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Count one hot label reload attempt by outcome.
+  void record_reload(ReloadResult r) {
+    reloads_[static_cast<unsigned>(r)].fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::uint64_t requests(RequestType type) const {
     return counts_[static_cast<unsigned>(type)].load(std::memory_order_relaxed);
   }
@@ -102,6 +138,16 @@ class Metrics {
   }
   std::uint64_t failure_total(FailureCounter c) const {
     return failures_[static_cast<unsigned>(c)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t hedges(bool backup_won) const {
+    return (backup_won ? hedges_won_ : hedges_lost_)
+        .load(std::memory_order_relaxed);
+  }
+  std::uint64_t reloads(ReloadResult r) const {
+    return reloads_[static_cast<unsigned>(r)].load(std::memory_order_relaxed);
   }
   double uptime_seconds() const;
 
@@ -120,6 +166,10 @@ class Metrics {
   std::atomic<std::uint64_t> connections_;
   std::atomic<std::uint64_t> stages_[kNumStageCounters];
   std::atomic<std::uint64_t> failures_[kNumFailureCounters];
+  std::atomic<std::uint64_t> failovers_;
+  std::atomic<std::uint64_t> hedges_won_;
+  std::atomic<std::uint64_t> hedges_lost_;
+  std::atomic<std::uint64_t> reloads_[kNumReloadResults];
   // One latency histogram per request type, microsecond samples, each
   // behind its own mutex (lock striping: recording a DIST latency must not
   // contend with BATCH recording; only a renderer takes them all).

@@ -100,6 +100,8 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
     }
     case Opcode::kStats:
     case Opcode::kMetrics:
+    case Opcode::kHealth:
+    case Opcode::kReload:
       break;
   }
   return out;
@@ -203,6 +205,12 @@ bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
       break;
     case static_cast<std::uint8_t>(Opcode::kMetrics):
       out.opcode = Opcode::kMetrics;
+      break;
+    case static_cast<std::uint8_t>(Opcode::kHealth):
+      out.opcode = Opcode::kHealth;
+      break;
+    case static_cast<std::uint8_t>(Opcode::kReload):
+      out.opcode = Opcode::kReload;
       break;
     default:
       error = "unknown opcode " + std::to_string(op);

@@ -24,6 +24,18 @@
 //   METRICS = opcode 4 (no body) — the same registry rendered as Prometheus
 //             text exposition format (scrape through any sidecar that can
 //             speak the protocol, or via `fsdl_serve --metrics-dump`).
+//   HEALTH = opcode 5 (no body) — liveness/readiness probe. The reply text
+//            starts with one of `loading` / `ready` / `draining` followed by
+//            `epoch=E n=N` (any reply at all means "alive"). HEALTH is the
+//            one request a draining server still answers, so load balancers
+//            and the replica client's circuit breaker can distinguish "going
+//            away" from "dead". Never retried, never counted as a failure.
+//   RELOAD = opcode 6 (no body) — admin: reload the label file the server
+//            was started from (hot swap, see Server::reload). Refused with
+//            kError unless the server was started with admin commands
+//            enabled. The reply text reports the new epoch or the load
+//            error (CRC-corrupt files are rejected and the old labels keep
+//            serving).
 //
 // Response payloads:
 //   status u8 (Status below)
@@ -58,7 +70,9 @@ enum class Opcode : std::uint8_t {
   kDist = 1,
   kBatch = 2,
   kStats = 3,
-  kMetrics = 4
+  kMetrics = 4,
+  kHealth = 5,
+  kReload = 6
 };
 
 /// Response status byte. Everything except kOk carries a text body.

@@ -1,0 +1,308 @@
+#include "server/replica_client.hpp"
+
+#include <poll.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace fsdl::server {
+
+namespace {
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool retryable_status(Status s) {
+  return s == Status::kOverloaded || s == Status::kTimeout ||
+         s == Status::kDraining;
+}
+
+}  // namespace
+
+std::vector<Endpoint> parse_endpoints(const std::string& spec) {
+  std::vector<Endpoint> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos
+                                                    : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) {
+      if (comma == std::string::npos && out.empty() && spec.empty()) break;
+      throw std::runtime_error("empty endpoint in list: \"" + spec + "\"");
+    }
+    Endpoint ep;
+    const std::size_t colon = item.rfind(':');
+    const std::string port_str =
+        colon == std::string::npos ? item : item.substr(colon + 1);
+    ep.host = colon == std::string::npos ? std::string("127.0.0.1")
+                                         : item.substr(0, colon);
+    if (ep.host.empty()) ep.host = "127.0.0.1";
+    try {
+      const unsigned long p = std::stoul(port_str);
+      if (p == 0 || p > 65535) throw std::out_of_range("port");
+      ep.port = static_cast<std::uint16_t>(p);
+    } catch (const std::exception&) {
+      throw std::runtime_error("bad endpoint \"" + item +
+                               "\" (want host:port)");
+    }
+    out.push_back(std::move(ep));
+  }
+  if (out.empty()) throw std::runtime_error("no endpoints given");
+  return out;
+}
+
+ReplicaClient::ReplicaClient(std::vector<Endpoint> endpoints,
+                             const ReplicaClientOptions& options,
+                             Metrics* metrics)
+    : options_(options), metrics_(metrics), jitter_rng_(options.seed) {
+  if (endpoints.empty()) {
+    throw std::runtime_error("ReplicaClient needs at least one endpoint");
+  }
+  // The failover loop owns retries; an inner retry against a dead replica
+  // would only delay the switch to a live one.
+  options_.client.max_retries = 0;
+  replicas_.reserve(endpoints.size());
+  for (auto& ep : endpoints) {
+    Replica r;
+    r.addr = std::move(ep);
+    r.client = Client(options_.client);
+    replicas_.push_back(std::move(r));
+  }
+  stats_.endpoints.resize(replicas_.size());
+}
+
+void ReplicaClient::open_breaker(Replica& r) {
+  if (!r.breaker_open) {
+    const std::size_t idx = static_cast<std::size_t>(&r - replicas_.data());
+    ++stats_.endpoints[idx].breaker_opens;
+  }
+  r.breaker_open = true;
+  r.open_until_ms = now_ms() + options_.breaker_cooldown_ms;
+  r.client.close();
+}
+
+void ReplicaClient::record_failure(std::size_t idx) {
+  Replica& r = replicas_[idx];
+  ++stats_.endpoints[idx].failures;
+  ++r.consecutive_failures;
+  r.client.close();
+  if (r.consecutive_failures >= options_.breaker_threshold) open_breaker(r);
+}
+
+void ReplicaClient::record_success(std::size_t idx) {
+  Replica& r = replicas_[idx];
+  ++stats_.endpoints[idx].requests;
+  r.consecutive_failures = 0;
+  r.breaker_open = false;
+}
+
+bool ReplicaClient::probe(std::size_t idx) {
+  Replica& r = replicas_[idx];
+  ++stats_.endpoints[idx].probes;
+  try {
+    r.client.close();
+    r.client.connect(r.addr.host, r.addr.port);
+    const std::string h = r.client.health();
+    if (h.rfind("ready", 0) == 0) {
+      r.breaker_open = false;
+      r.consecutive_failures = 0;
+      return true;
+    }
+  } catch (const std::exception&) {
+  }
+  // Probe refused ("loading"/"draining") or failed outright: another
+  // cooldown before the next probe.
+  open_breaker(r);
+  return false;
+}
+
+int ReplicaClient::next_closed(int exclude) const {
+  const int n = static_cast<int>(replicas_.size());
+  for (int step = 0; step < n; ++step) {
+    const int idx = (primary_ + step) % n;
+    if (idx != exclude && !replicas_[idx].breaker_open) return idx;
+  }
+  return -1;
+}
+
+int ReplicaClient::pick_replica() {
+  if (!replicas_[primary_].breaker_open) return primary_;
+  const int closed = next_closed(-1);
+  if (closed >= 0) return closed;
+  // Everyone is open. Probe the endpoint whose cooldown expires first;
+  // wait for it if the expiry is imminent (capped so one pick never
+  // stalls longer than ~one cooldown).
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(replicas_.size()); ++i) {
+    if (replicas_[i].open_until_ms < replicas_[best].open_until_ms) best = i;
+  }
+  const std::uint64_t now = now_ms();
+  if (replicas_[best].open_until_ms > now) {
+    const std::uint64_t wait = replicas_[best].open_until_ms - now;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        wait > options_.breaker_cooldown_ms ? options_.breaker_cooldown_ms
+                                            : wait));
+  }
+  return probe(static_cast<std::size_t>(best)) ? best : -1;
+}
+
+void ReplicaClient::backoff(unsigned sweep) {
+  std::uint64_t ms = options_.retry_base_ms == 0 ? 1 : options_.retry_base_ms;
+  for (unsigned k = 0; k < sweep && ms < options_.retry_max_ms; ++k) ms *= 2;
+  if (ms > options_.retry_max_ms) ms = options_.retry_max_ms;
+  const double jittered =
+      static_cast<double>(ms) * (0.5 + 0.5 * jitter_rng_.uniform());
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<std::uint64_t>(jittered * 1000)));
+}
+
+Response ReplicaClient::roundtrip(std::size_t idx, const Request& req) {
+  Replica& r = replicas_[idx];
+  if (!r.client.connected()) r.client.connect(r.addr.host, r.addr.port);
+  if (options_.hedge_us > 0 && replicas_.size() > 1 &&
+      (req.opcode == Opcode::kDist || req.opcode == Opcode::kBatch)) {
+    return hedged_roundtrip(idx, req);
+  }
+  return r.client.call(req);
+}
+
+Response ReplicaClient::hedged_roundtrip(std::size_t idx, const Request& req) {
+  Replica& prim = replicas_[idx];
+  prim.client.send_request(req);
+  const int wait_ms =
+      static_cast<int>((options_.hedge_us + 999) / 1000);  // ceil to ms
+  if (prim.client.wait_readable(wait_ms)) return prim.client.read_response();
+
+  const int backup_idx = next_closed(static_cast<int>(idx));
+  if (backup_idx < 0) return prim.client.read_response();
+  Replica& back = replicas_[static_cast<std::size_t>(backup_idx)];
+  try {
+    if (!back.client.connected()) {
+      back.client.connect(back.addr.host, back.addr.port);
+    }
+    back.client.send_request(req);
+  } catch (const std::exception&) {
+    // The hedge could not even launch; charge the backup and fall back to
+    // waiting on the primary alone.
+    record_failure(static_cast<std::size_t>(backup_idx));
+    return prim.client.read_response();
+  }
+  ++stats_.hedges_fired;
+
+  // Race the two streams: first readable fd wins the hedge.
+  for (;;) {
+    pollfd pfds[2] = {{prim.client.fd(), POLLIN, 0},
+                      {back.client.fd(), POLLIN, 0}};
+    const int rc = ::poll(pfds, 2, 100);
+    if (rc < 0) continue;
+    const bool prim_ready = (pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    const bool back_ready = (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+    if (!prim_ready && !back_ready) continue;
+    const bool backup_won = back_ready && !prim_ready;
+    Replica& winner = backup_won ? back : prim;
+    Replica& loser = backup_won ? prim : back;
+    Response resp = winner.client.read_response();
+    // The loser's reply is in flight and will never be read; close so a
+    // stale frame cannot desynchronize the next request on that stream.
+    loser.client.close();
+    ++(backup_won ? stats_.hedges_won : stats_.hedges_lost);
+    if (metrics_ != nullptr) metrics_->record_hedge(backup_won);
+    if (backup_won) {
+      // Also count the backup endpoint's service; the outer loop only
+      // credits `idx`.
+      ++stats_.endpoints[static_cast<std::size_t>(backup_idx)].requests;
+    }
+    return resp;
+  }
+}
+
+Response ReplicaClient::call_idempotent(const Request& req) {
+  const unsigned max_attempts =
+      options_.max_attempts != 0
+          ? options_.max_attempts
+          : 2 * static_cast<unsigned>(replicas_.size());
+  std::string last_error = "no endpoint available";
+  int last_failed = -1;
+  unsigned sweep = 0;
+  for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    const int idx = pick_replica();
+    if (idx < 0) {
+      // Every breaker open and the probe failed too: back off before the
+      // next sweep so a fully dead fleet is not hammered in a tight loop.
+      backoff(sweep++);
+      continue;
+    }
+    if (last_failed >= 0 && idx != last_failed) {
+      ++stats_.failovers;
+      if (metrics_ != nullptr) metrics_->record_failover();
+    }
+    last_failed = -1;
+    primary_ = idx;
+    try {
+      Response resp = roundtrip(static_cast<std::size_t>(idx), req);
+      if (retryable_status(resp.status)) {
+        // OVERLOADED/TIMEOUT/DRAINING: this replica cannot take the query
+        // right now; charge it and move on.
+        if (resp.status == Status::kOverloaded) ++stats_.sheds_seen;
+        record_failure(static_cast<std::size_t>(idx));
+        last_failed = idx;
+        last_error = std::string(status_name(resp.status)) + ": " + resp.text;
+        continue;
+      }
+      record_success(static_cast<std::size_t>(idx));
+      return resp;
+    } catch (const std::exception& e) {
+      record_failure(static_cast<std::size_t>(idx));
+      last_failed = idx;
+      last_error = e.what();
+    }
+  }
+  throw std::runtime_error("all replicas failed: " + last_error);
+}
+
+Dist ReplicaClient::dist(Vertex s, Vertex t, const FaultSet& faults) {
+  Request req;
+  req.opcode = Opcode::kDist;
+  req.pairs.emplace_back(s, t);
+  req.faults = faults;
+  const Response resp = call_idempotent(req);
+  if (!resp.ok() || resp.distances.size() != 1) {
+    throw std::runtime_error(std::string("DIST failed (") +
+                             status_name(resp.status) + "): " + resp.text);
+  }
+  return resp.distances[0];
+}
+
+std::vector<Dist> ReplicaClient::batch(
+    const std::vector<std::pair<Vertex, Vertex>>& pairs,
+    const FaultSet& faults) {
+  Request req;
+  req.opcode = Opcode::kBatch;
+  req.pairs = pairs;
+  req.faults = faults;
+  Response resp = call_idempotent(req);
+  if (!resp.ok() || resp.distances.size() != pairs.size()) {
+    throw std::runtime_error(std::string("BATCH failed (") +
+                             status_name(resp.status) + "): " + resp.text);
+  }
+  return std::move(resp.distances);
+}
+
+std::string ReplicaClient::stats() {
+  Request req;
+  req.opcode = Opcode::kStats;
+  Response resp = call_idempotent(req);
+  if (!resp.ok()) throw std::runtime_error("STATS failed: " + resp.text);
+  return std::move(resp.text);
+}
+
+}  // namespace fsdl::server

@@ -1,0 +1,161 @@
+// Replica-aware client: one logical connection fanned over N fsdl_serve
+// endpoints, with per-endpoint circuit breakers, automatic failover, and
+// optional hedged requests. This is the client half of the HA story — the
+// server half (hot reload, drain, HEALTH) lives in server/server.hpp.
+//
+// Routing model:
+//   * sticky primary: requests go to one endpoint until it fails, so the
+//     server-side PreparedCache stays hot for this client's fault sets;
+//   * failover: a transport failure (connect/send/recv/frame error) or a
+//     transient status (OVERLOADED, TIMEOUT, DRAINING) moves the primary to
+//     the next healthy endpoint and retries there. kError is a bad request
+//     and is returned as-is — no replica can answer it better;
+//   * circuit breaker, per endpoint: `breaker_threshold` consecutive
+//     failures open the breaker; an open endpoint takes no traffic for
+//     `breaker_cooldown_ms`, then one half-open HEALTH probe decides
+//     whether it closes again. A probe seeing "loading"/"draining" (or no
+//     answer) re-opens the breaker for another cooldown;
+//   * hedging (hedge_us > 0): fire on the primary, wait hedge_us, and if no
+//     reply has arrived, fire the same request on the next healthy replica
+//     and take whichever answers first. Only idempotent queries are hedged
+//     (the same rule the Client retry policy uses). The loser's connection
+//     is closed — its late reply must not desynchronize the stream.
+//
+// Not thread-safe: like Client, one ReplicaClient per worker thread. The
+// optional Metrics registry IS thread-safe, so many ReplicaClients can
+// share one (fsdl_loadgen does, to get a fleet-wide Prometheus dump).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/metrics.hpp"
+#include "server/protocol.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl::server {
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parse "host:port,host:port,..." (the --endpoints syntax). A bare "port"
+/// element means 127.0.0.1:port. Throws std::runtime_error on malformed
+/// input.
+std::vector<Endpoint> parse_endpoints(const std::string& spec);
+
+struct ReplicaClientOptions {
+  /// Per-connection transport options. max_retries is forced to 0: the
+  /// failover loop owns retrying, and an inner retry against a dead
+  /// replica would only delay the switch.
+  ClientOptions client;
+  /// Total attempts for one idempotent request before giving up;
+  /// 0 = 2 * (number of endpoints).
+  unsigned max_attempts = 0;
+  /// Consecutive failures that open an endpoint's breaker.
+  unsigned breaker_threshold = 3;
+  /// How long an open breaker blocks traffic before one half-open probe.
+  unsigned breaker_cooldown_ms = 500;
+  /// Hedge delay in microseconds; 0 disables hedging.
+  unsigned hedge_us = 0;
+  /// Backoff between failover sweeps when every endpoint just failed
+  /// (same doubling+jitter shape as ClientOptions).
+  unsigned retry_base_ms = 10;
+  unsigned retry_max_ms = 1000;
+  std::uint64_t seed = 1;
+};
+
+struct ReplicaStats {
+  struct PerEndpoint {
+    /// Requests this endpoint answered (including non-ok statuses).
+    std::uint64_t requests = 0;
+    /// Transport failures + transient statuses charged to this endpoint.
+    std::uint64_t failures = 0;
+    std::uint64_t breaker_opens = 0;
+    /// Half-open HEALTH probes sent (successful or not).
+    std::uint64_t probes = 0;
+  };
+  std::vector<PerEndpoint> endpoints;
+  /// Times the primary moved to a different endpoint after a failure.
+  std::uint64_t failovers = 0;
+  /// Attempts beyond a request's first (the failover loop re-issuing).
+  std::uint64_t retries = 0;
+  /// OVERLOADED replies observed from any replica (shed-and-retry events).
+  std::uint64_t sheds_seen = 0;
+  std::uint64_t hedges_fired = 0;
+  /// Hedges where the backup's answer arrived first / the primary's did.
+  std::uint64_t hedges_won = 0;
+  std::uint64_t hedges_lost = 0;
+};
+
+class ReplicaClient {
+ public:
+  /// At least one endpoint required. `metrics`, if given, receives
+  /// failover/hedge events (fsdl_failovers_total & friends) and must
+  /// outlive the client.
+  ReplicaClient(std::vector<Endpoint> endpoints,
+                const ReplicaClientOptions& options,
+                Metrics* metrics = nullptr);
+
+  ReplicaClient(const ReplicaClient&) = delete;
+  ReplicaClient& operator=(const ReplicaClient&) = delete;
+
+  /// Idempotent query shorthands, same contract as Client's: throw on
+  /// protocol error or when every attempt failed.
+  Dist dist(Vertex s, Vertex t, const FaultSet& faults);
+  std::vector<Dist> batch(const std::vector<std::pair<Vertex, Vertex>>& pairs,
+                          const FaultSet& faults);
+  /// STATS from the current primary (read-only, so routed with failover).
+  std::string stats();
+
+  /// The full failover/hedge loop for any idempotent request.
+  Response call_idempotent(const Request& req);
+
+  const ReplicaStats& replica_stats() const noexcept { return stats_; }
+  std::size_t num_endpoints() const noexcept { return replicas_.size(); }
+  const Endpoint& endpoint(std::size_t i) const { return replicas_[i].addr; }
+  /// Index of the current sticky primary.
+  std::size_t primary() const noexcept { return static_cast<std::size_t>(primary_); }
+
+ private:
+  struct Replica {
+    Endpoint addr;
+    Client client;
+    unsigned consecutive_failures = 0;
+    bool breaker_open = false;
+    /// Valid while breaker_open: steady-clock deadline (ms since an
+    /// arbitrary epoch) after which a half-open probe may go out.
+    std::uint64_t open_until_ms = 0;
+  };
+
+  /// Choose the endpoint for the next attempt: the sticky primary if its
+  /// breaker is closed, else the next closed endpoint, else a half-open
+  /// probe of the longest-cooled open endpoint. Returns -1 when every
+  /// breaker is open and still cooling.
+  int pick_replica();
+  /// Half-open probe: reconnect + HEALTH. Closes the breaker only on a
+  /// "ready" answer; anything else re-opens it for another cooldown.
+  bool probe(std::size_t idx);
+  void record_failure(std::size_t idx);
+  void record_success(std::size_t idx);
+  void open_breaker(Replica& r);
+  /// Next closed endpoint != `exclude`, or -1.
+  int next_closed(int exclude) const;
+  /// One round-trip on replica `idx`, hedged onto a second replica when
+  /// configured and possible.
+  Response roundtrip(std::size_t idx, const Request& req);
+  Response hedged_roundtrip(std::size_t idx, const Request& req);
+  void backoff(unsigned sweep);
+
+  ReplicaClientOptions options_;
+  std::vector<Replica> replicas_;
+  Metrics* metrics_ = nullptr;
+  ReplicaStats stats_;
+  int primary_ = 0;
+  Rng jitter_rng_{1};
+};
+
+}  // namespace fsdl::server

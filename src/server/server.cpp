@@ -13,6 +13,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/serialize.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 
@@ -72,15 +73,69 @@ bool transient_accept_errno(int err) {
 }  // namespace
 
 Server::Server(const ForbiddenSetOracle& oracle, const ServerOptions& options)
-    : oracle_(&oracle),
-      options_(options),
-      cache_(oracle, options.cache_capacity, options.cache_shards) {}
+    : options_(options) {
+  store_.publish(std::make_shared<const LabelSnapshot>(
+      oracle, options.cache_capacity, options.cache_shards, /*epoch=*/1));
+}
+
+Server::Server(ForbiddenSetLabeling scheme, const ServerOptions& options)
+    : options_(options) {
+  store_.publish(std::make_shared<const LabelSnapshot>(
+      std::move(scheme), options.cache_capacity, options.cache_shards,
+      /*epoch=*/1));
+}
 
 Server::~Server() { stop(); }
 
+std::string Server::reload(const std::string& path) {
+  const std::string source = path.empty() ? options_.label_path : path;
+  if (source.empty()) {
+    metrics_.record_reload(ReloadResult::kError);
+    return "no label path configured (server was started from in-memory "
+           "labels)";
+  }
+  // One reload at a time; queries never wait on this lock — they read the
+  // published snapshot, which is only touched by the final publish().
+  std::lock_guard<std::mutex> lock(reload_mu_);
+  reloading_.store(true, std::memory_order_release);
+  const std::uint64_t crc_before = labeling_crc_failures();
+  try {
+    // The slow part — disk read + CRC sweep + label table build — happens
+    // entirely off to the side, on the caller's thread, against no lock the
+    // query path takes.
+    auto snapshot = std::make_shared<const LabelSnapshot>(
+        load_labeling(source), options_.cache_capacity, options_.cache_shards,
+        store_.epoch() + 1);
+    if (options_.warm_labels) snapshot->oracle().warm();
+    store_.publish(std::move(snapshot));
+    metrics_.record_reload(ReloadResult::kOk);
+    reloading_.store(false, std::memory_order_release);
+    return {};
+  } catch (const std::exception& e) {
+    // Old labels keep serving; the only trace is the counter + the message.
+    metrics_.record_reload(labeling_crc_failures() > crc_before
+                               ? ReloadResult::kCrcFailed
+                               : ReloadResult::kError);
+    reloading_.store(false, std::memory_order_release);
+    return e.what();
+  }
+}
+
+std::string Server::health_text() const {
+  const auto snap = store_.current();
+  const char* state = draining_.load(std::memory_order_acquire) ? "draining"
+                      : reloading_.load(std::memory_order_acquire)
+                          ? "loading"
+                          : "ready";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s epoch=%" PRIu64 " n=%u", state,
+                snap->epoch(), snap->oracle().scheme().num_vertices());
+  return buf;
+}
+
 void Server::start() {
   if (running_.load()) throw std::logic_error("Server already started");
-  if (options_.warm_labels) oracle_->warm();
+  if (options_.warm_labels) store_.current()->oracle().warm();
 
   const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (lfd < 0) throw std::runtime_error("socket() failed");
@@ -234,19 +289,24 @@ void Server::serve_connection(int fd) {
     if (n == 0) return;  // peer closed
     framer.feed(chunk, static_cast<std::size_t>(n));
     while (framer.next(payload)) {
-      if (draining_.load(std::memory_order_acquire)) {
+      Request req;
+      std::string decode_error;
+      const bool decoded =
+          decode_request(payload.data(), payload.size(), req, decode_error);
+      if (draining_.load(std::memory_order_acquire) &&
+          !(decoded && req.opcode == Opcode::kHealth)) {
         // Frames decoded after the drain flip are new work: refuse them.
+        // HEALTH is exempt — a prober must see "draining", not a refusal,
+        // so it can tell a graceful goodbye from a crash.
         metrics_.record_failure(FailureCounter::kDrainRejects);
         send_response(fd, error_response("server draining, not accepting "
                                          "new requests",
                                          Status::kDraining));
         return;
       }
-      Request req;
-      std::string decode_error;
       Response resp;
       in_flight_.fetch_add(1, std::memory_order_acq_rel);
-      if (!decode_request(payload.data(), payload.size(), req, decode_error)) {
+      if (!decoded) {
         metrics_.record_error();
         resp = error_response("bad request: " + decode_error);
       } else {
@@ -276,21 +336,46 @@ void Server::serve_connection(int fd) {
 Response Server::handle(const Request& req) {
   WallTimer timer;
   Response resp;
+  // One snapshot per request: labels, oracle, and prepared cache stay
+  // mutually consistent for the request's whole lifetime even if a reload
+  // publishes a new epoch mid-flight (RCU-style — the shared_ptr keeps the
+  // old snapshot alive until the last reader finishes).
+  const std::shared_ptr<const LabelSnapshot> snap = store_.current();
+  const ForbiddenSetOracle& oracle = snap->oracle();
   switch (req.opcode) {
     case Opcode::kStats: {
-      resp.text = metrics_.render(cache_.stats());
+      resp.text = metrics_.render(snap->cache().stats());
       metrics_.record(RequestType::kStats, 0, timer.elapsed_us());
       return resp;
     }
     case Opcode::kMetrics: {
-      resp.text = prometheus();
+      resp.text = metrics_.render_prometheus(snap->cache().stats());
       metrics_.record(RequestType::kMetrics, 0, timer.elapsed_us());
+      return resp;
+    }
+    case Opcode::kHealth: {
+      resp.text = health_text();
+      metrics_.record(RequestType::kHealth, 0, timer.elapsed_us());
+      return resp;
+    }
+    case Opcode::kReload: {
+      if (!options_.admin) {
+        return error_response("RELOAD refused: admin commands disabled "
+                              "(start the server with --admin)");
+      }
+      const std::string error = reload();
+      metrics_.record(RequestType::kReload, 0, timer.elapsed_us());
+      if (!error.empty()) return error_response("reload failed: " + error);
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "reloaded epoch=%" PRIu64,
+                    store_.epoch());
+      resp.text = buf;
       return resp;
     }
     case Opcode::kDist:
     case Opcode::kBatch: {
       if (req.pairs.empty()) return error_response("empty batch");
-      const Vertex n = oracle_->scheme().num_vertices();
+      const Vertex n = oracle.scheme().num_vertices();
       for (const auto& [s, t] : req.pairs) {
         if (s >= n || t >= n) {
           return error_response("vertex id out of range");
@@ -319,12 +404,12 @@ Response Server::handle(const Request& req) {
             deadline_hit = true;
             break;
           }
-          const QueryResult r = oracle_->query(s, t, req.faults);
+          const QueryResult r = oracle.query(s, t, req.faults);
           resp.distances.push_back(r.distance);
           request_stats.accumulate(r.stats);
         }
       } else {
-        const auto prepared = cache_.get(req.faults);
+        const auto prepared = snap->cache().get(req.faults);
         for (const auto& [s, t] : req.pairs) {
           if (deadline_us > 0 && timer.elapsed_us() > deadline_us) {
             deadline_hit = true;
@@ -332,7 +417,7 @@ Response Server::handle(const Request& req) {
           }
           // PreparedFaults handles forbidden endpoints (returns kInfDist).
           const QueryResult r =
-              prepared->query(oracle_->label(s), oracle_->label(t));
+              prepared->query(oracle.label(s), oracle.label(t));
           resp.distances.push_back(r.distance);
           request_stats.accumulate(r.stats);
         }

@@ -23,9 +23,16 @@
 //     compute time of a single DIST/BATCH request;
 //   * graceful drain: stop() (and fsdl_serve's SIGTERM) flips to draining —
 //     in-flight requests finish (up to drain_deadline_ms), frames arriving
-//     after the flip get a DRAINING reply, then connections are torn down;
+//     after the flip get a DRAINING reply, then connections are torn down
+//     (HEALTH frames are still answered so probers see "draining", not a
+//     dead socket);
 //   * corruption containment: every frame carries a CRC32; a mismatch is
-//     answered with one error frame and a close, never a wrong distance.
+//     answered with one error frame and a close, never a wrong distance;
+//   * hot label reload: reload() loads a new label file, validates its CRC,
+//     and atomically publishes it through the LabelStore while in-flight
+//     requests finish on the labels they started with (see
+//     server/label_store.hpp). A corrupt file is rejected and the old
+//     labels keep serving.
 //
 // Protocol handling per frame: decodable-but-invalid payloads get an error
 // reply and the connection lives on; an oversized length prefix or a CRC
@@ -43,6 +50,7 @@
 #include <unordered_set>
 
 #include "core/oracle.hpp"
+#include "server/label_store.hpp"
 #include "server/metrics.hpp"
 #include "server/prepared_cache.hpp"
 #include "server/protocol.hpp"
@@ -88,11 +96,24 @@ struct ServerOptions {
   /// called from worker threads and must be callable concurrently (the
   /// default serializes writes internally).
   std::function<void(const std::string&)> slow_query_sink;
+  /// Label file backing this server; the source for SIGHUP / RELOAD hot
+  /// reloads. Empty = reloads refused (e.g. labels built in memory).
+  std::string label_path;
+  /// Allow the RELOAD admin opcode over the wire. Off by default: a network
+  /// peer should not be able to force disk reads unless explicitly enabled
+  /// (SIGHUP reloads work regardless — sending a signal already requires
+  /// being on the box).
+  bool admin = false;
 };
 
 class Server {
  public:
+  /// Borrow an externally owned oracle (it must outlive the server). A
+  /// later reload() replaces it with server-owned labels loaded from disk.
   Server(const ForbiddenSetOracle& oracle, const ServerOptions& options);
+  /// Own the labels from the start (what fsdl_serve uses): the server
+  /// builds its oracle + prepared cache around the given labeling.
+  Server(ForbiddenSetLabeling scheme, const ServerOptions& options);
   ~Server();
 
   Server(const Server&) = delete;
@@ -116,16 +137,37 @@ class Server {
     return draining_.load(std::memory_order_acquire);
   }
 
+  /// Hot label reload: load `path` (empty = options.label_path), validate
+  /// its CRC, and atomically swap the labels + oracle + prepared cache as
+  /// one snapshot. In-flight requests finish on the labels they started
+  /// with; new requests see the new epoch. Returns the empty string on
+  /// success or a human-readable error (in which case the old labels keep
+  /// serving). Thread-safe; concurrent reloads serialize.
+  std::string reload(const std::string& path = "");
+
+  /// Monotonic label version: 1 for the labels the server started with,
+  /// +1 per successful reload.
+  std::uint64_t label_epoch() const { return store_.epoch(); }
+
+  /// Health probe body: "loading|ready|draining epoch=E n=N". Any reply at
+  /// all means "alive"; `loading` means a reload is currently in progress
+  /// (queries still answered from the old labels).
+  std::string health_text() const;
+
   /// Bound port (valid after start()).
   std::uint16_t port() const noexcept { return port_; }
 
   const Metrics& metrics() const noexcept { return metrics_; }
-  PreparedCache::Stats cache_stats() const { return cache_.stats(); }
+  /// Stats of the *current* snapshot's prepared cache (reset on reload —
+  /// the old cache dies with the old labels).
+  PreparedCache::Stats cache_stats() const {
+    return store_.current()->cache().stats();
+  }
 
   /// Prometheus text exposition of the current registry + cache state (the
   /// METRICS opcode body; also written by fsdl_serve --metrics-dump).
   std::string prometheus() const {
-    return metrics_.render_prometheus(cache_.stats());
+    return metrics_.render_prometheus(cache_stats());
   }
 
   /// Answer one decoded request — the transport-independent core, shared
@@ -140,9 +182,11 @@ class Server {
   void log_slow_query(const Request& req, const QueryStats& stats,
                       double total_us, const std::string& span_tree);
 
-  const ForbiddenSetOracle* oracle_;
   ServerOptions options_;
-  PreparedCache cache_;
+  LabelStore store_;
+  /// Serializes reloads (the swap itself is the store's one pointer write).
+  std::mutex reload_mu_;
+  std::atomic<bool> reloading_{false};
   Metrics metrics_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;

@@ -1,0 +1,79 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace fsdl {
+
+namespace {
+
+void set_error(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+}
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  std::size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size, std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "cannot open " + tmp);
+    return false;
+  }
+  if (!write_all(fd, static_cast<const char*>(data), size)) {
+    set_error(error, "write to " + tmp + " failed");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // The data must be durable *before* the rename publishes it: otherwise a
+  // power cut after the rename could expose a new name with old/empty
+  // blocks behind it.
+  if (::fsync(fd) != 0) {
+    set_error(error, "fsync of " + tmp + " failed");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "close of " + tmp + " failed");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    set_error(error, "rename " + tmp + " -> " + path + " failed");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Best effort: persist the directory entry so the rename itself survives
+  // a crash. Failure here is not fatal — the file content is already safe.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return true;
+}
+
+}  // namespace fsdl

@@ -1,0 +1,32 @@
+// Crash-safe whole-file replacement: write to `path + ".tmp"`, fsync the
+// data, then rename(2) over the target. POSIX rename is atomic within a
+// filesystem, so at every instant `path` is either the complete old file or
+// the complete new file — a crash (or SIGKILL) mid-write can leave a stale
+// `.tmp` behind but can never leave `path` missing, truncated, or torn.
+//
+// Two consumers with the same failure story:
+//   * label persistence (core/serialize.cpp): a crash mid-save must not
+//     destroy the previous good `.fsdl` file the serving fleet restarts
+//     from;
+//   * metrics exposition dumps (fsdl_serve / fsdl_loadgen --metrics-dump):
+//     a file scraper must never read a half-written exposition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace fsdl {
+
+/// Atomically replace the contents of `path` with `size` bytes of `data`.
+/// On success returns true. On failure returns false, sets `*error` (when
+/// non-null) to a human-readable reason, removes the temporary file, and
+/// leaves any existing file at `path` untouched.
+bool atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size, std::string* error = nullptr);
+
+inline bool atomic_write_file(const std::string& path, const std::string& text,
+                              std::string* error = nullptr) {
+  return atomic_write_file(path, text.data(), text.size(), error);
+}
+
+}  // namespace fsdl

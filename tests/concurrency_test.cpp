@@ -200,10 +200,19 @@ TEST(MetricsTest, ConcurrentRecordingAcrossStripes) {
   stop.store(true);
   reader.join();
 
+  // Writer t records into type t % kNumRequestTypes, so types are not hit
+  // evenly when kThreads isn't a multiple of the type count.
+  const auto writers_for = [&](unsigned type) {
+    unsigned n = 0;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      if (t % server::kNumRequestTypes == type) ++n;
+    }
+    return n;
+  };
   std::uint64_t total_requests = 0;
   for (unsigned k = 0; k < server::kNumRequestTypes; ++k) {
     const auto type = static_cast<server::RequestType>(k);
-    EXPECT_EQ(metrics.requests(type), (kThreads / 4) * kOps) << "type " << k;
+    EXPECT_EQ(metrics.requests(type), writers_for(k) * kOps) << "type " << k;
     total_requests += metrics.requests(type);
   }
   EXPECT_EQ(total_requests, kThreads * kOps);
@@ -218,10 +227,14 @@ TEST(MetricsTest, ConcurrentRecordingAcrossStripes) {
   // _count line equals the per-type request count.
   const std::string prom =
       metrics.render_prometheus(server::PreparedCache::Stats{});
-  for (const char* type_name : {"dist", "batch", "stats", "metrics"}) {
+  const char* kTypeNames[] = {"dist",    "batch",  "stats",
+                              "metrics", "health", "reload"};
+  static_assert(std::size(kTypeNames) == server::kNumRequestTypes);
+  for (unsigned k = 0; k < server::kNumRequestTypes; ++k) {
+    if (writers_for(k) == 0) continue;
     const std::string needle =
         std::string("fsdl_request_latency_microseconds_count{type=\"") +
-        type_name + "\"} " + std::to_string((kThreads / 4) * kOps);
+        kTypeNames[k] + "\"} " + std::to_string(writers_for(k) * kOps);
     EXPECT_NE(prom.find(needle), std::string::npos) << needle;
   }
 }

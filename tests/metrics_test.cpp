@@ -317,5 +317,61 @@ TEST_F(MetricsTest, SlowQueryLogSilentUnderThreshold) {
   EXPECT_TRUE(reports.empty());
 }
 
+TEST_F(MetricsTest, HighAvailabilityCountersFlowIntoBothRenderings) {
+  Metrics metrics;
+  metrics.record_failover();
+  metrics.record_failover();
+  metrics.record_failover();
+  metrics.record_hedge(/*backup_won=*/true);
+  metrics.record_hedge(/*backup_won=*/true);
+  metrics.record_hedge(/*backup_won=*/false);
+  metrics.record_reload(ReloadResult::kOk);
+  metrics.record_reload(ReloadResult::kOk);
+  metrics.record_reload(ReloadResult::kCrcFailed);
+  metrics.record_reload(ReloadResult::kError);
+
+  EXPECT_EQ(metrics.failovers(), 3u);
+  EXPECT_EQ(metrics.hedges(true), 2u);
+  EXPECT_EQ(metrics.hedges(false), 1u);
+  EXPECT_EQ(metrics.reloads(ReloadResult::kOk), 2u);
+  EXPECT_EQ(metrics.reloads(ReloadResult::kCrcFailed), 1u);
+  EXPECT_EQ(metrics.reloads(ReloadResult::kError), 1u);
+
+  const std::string text = metrics.render(PreparedCache::Stats{});
+  EXPECT_NE(text.find("failovers: 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("hedged_won: 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("hedged_lost: 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("label_reloads_ok: 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("label_reloads_crc_failed: 1"), std::string::npos)
+      << text;
+
+  Exposition prom(metrics.render_prometheus(PreparedCache::Stats{}));
+  EXPECT_EQ(prom.value("fsdl_failovers_total"), 3.0);
+  EXPECT_EQ(prom.value("fsdl_hedged_requests_total", {{"outcome", "won"}}),
+            2.0);
+  EXPECT_EQ(prom.value("fsdl_hedged_requests_total", {{"outcome", "lost"}}),
+            1.0);
+  EXPECT_EQ(prom.value("fsdl_label_reloads_total", {{"result", "ok"}}), 2.0);
+  EXPECT_EQ(
+      prom.value("fsdl_label_reloads_total", {{"result", "crc_failed"}}),
+      1.0);
+  EXPECT_EQ(prom.value("fsdl_label_reloads_total", {{"result", "error"}}),
+            1.0);
+  EXPECT_TRUE(prom.has_metadata("fsdl_failovers_total"));
+  EXPECT_TRUE(prom.has_metadata("fsdl_hedged_requests_total"));
+  EXPECT_TRUE(prom.has_metadata("fsdl_label_reloads_total"));
+}
+
+TEST_F(MetricsTest, ReloadCountersFlowThroughTheServer) {
+  ServerOptions options;
+  Server srv(oracle_, options);  // borrowed oracle, no label_path
+  EXPECT_NE(srv.reload(), "");  // nothing to reload from
+  EXPECT_EQ(srv.metrics().reloads(ReloadResult::kError), 1u);
+  Exposition prom(srv.prometheus());
+  EXPECT_EQ(prom.value("fsdl_label_reloads_total", {{"result", "error"}}),
+            1.0);
+  EXPECT_EQ(prom.value("fsdl_label_reloads_total", {{"result", "ok"}}), 0.0);
+}
+
 }  // namespace
 }  // namespace fsdl::server

@@ -57,6 +57,20 @@ TEST(Protocol, StatsRequestRoundTrip) {
   EXPECT_EQ(back.opcode, Opcode::kStats);
 }
 
+TEST(Protocol, HealthAndReloadRequestsRoundTrip) {
+  for (const Opcode op : {Opcode::kHealth, Opcode::kReload}) {
+    Request req;
+    req.opcode = op;
+    const auto bytes = encode_request(req);
+    EXPECT_EQ(bytes.size(), 1u);  // bodyless, like STATS
+    Request back;
+    std::string error;
+    ASSERT_TRUE(decode_request(bytes.data(), bytes.size(), back, error))
+        << error;
+    EXPECT_EQ(back.opcode, op);
+  }
+}
+
 TEST(Protocol, ResponseRoundTrips) {
   Response dist;
   dist.distances = {42};

@@ -1,0 +1,235 @@
+// Hot label reload under fire: queries keep flowing over real sockets
+// while the server swaps label snapshots, every answer must be valid for
+// SOME published label version (never a torn mix), a CRC-corrupt file is
+// rejected while the old labels keep serving, and the RELOAD opcode obeys
+// the --admin gate. This is the RCU-style LabelStore's acceptance test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/serialize.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+/// The two label versions the tests alternate between. Both are built on
+/// the same grid, so a distance answered from either version must satisfy
+/// the looser of the two stretch bounds — that is what "valid against one
+/// of the two versions" means for a query that races a swap.
+constexpr double kEpsA = 1.0;
+constexpr double kEpsB = 0.5;
+
+class ReloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = make_grid2d(7, 7);
+    path_a_ = ::testing::TempDir() + "reload_a.fsdl";
+    path_b_ = ::testing::TempDir() + "reload_b.fsdl";
+    auto scheme_a =
+        ForbiddenSetLabeling::build(graph_, SchemeParams::faithful(kEpsA));
+    auto scheme_b =
+        ForbiddenSetLabeling::build(graph_, SchemeParams::faithful(kEpsB));
+    save_labeling(scheme_a, path_a_);
+    save_labeling(scheme_b, path_b_);
+    scheme_ = std::make_unique<ForbiddenSetLabeling>(std::move(scheme_a));
+  }
+
+  void TearDown() override {
+    std::remove(path_a_.c_str());
+    std::remove(path_b_.c_str());
+  }
+
+  std::unique_ptr<server::Server> make_server(bool admin) {
+    server::ServerOptions options;
+    options.workers = 4;
+    options.cache_capacity = 16;
+    options.label_path = path_a_;
+    options.admin = admin;
+    auto srv = std::make_unique<server::Server>(*scheme_, options);
+    srv->start();
+    return srv;
+  }
+
+  /// Valid for at least one published version: both versions are
+  /// (1+eps)-stretch labelings of the same graph, so the union of their
+  /// admissible ranges is [d, (1+max(epsA, epsB)) d].
+  void check_either_version(Vertex s, Vertex t, const FaultSet& f,
+                            Dist answer) {
+    const Dist exact = distance_avoiding(graph_, s, t, f);
+    if (exact == kInfDist || answer == kInfDist) {
+      EXPECT_EQ(exact, answer) << "s=" << s << " t=" << t;
+      return;
+    }
+    EXPECT_GE(answer, exact) << "s=" << s << " t=" << t;
+    const double loosest = kEpsA > kEpsB ? kEpsA : kEpsB;
+    EXPECT_LE(static_cast<double>(answer),
+              (1.0 + loosest) * static_cast<double>(exact) + 1e-9)
+        << "s=" << s << " t=" << t;
+  }
+
+  Graph graph_;
+  std::unique_ptr<ForbiddenSetLabeling> scheme_;
+  std::string path_a_;
+  std::string path_b_;
+};
+
+TEST_F(ReloadTest, SwapsEpochAndInvalidatesPreparedCache) {
+  auto srv = make_server(/*admin=*/false);
+  EXPECT_EQ(srv->label_epoch(), 1u);
+
+  // Populate the prepared cache on the first snapshot.
+  server::Client client;
+  client.connect("127.0.0.1", srv->port());
+  FaultSet f;
+  f.add_vertex(10);
+  (void)client.dist(0, 48, f);
+  EXPECT_GE(srv->cache_stats().entries, 1u);
+
+  ASSERT_EQ(srv->reload(path_b_), "");
+  EXPECT_EQ(srv->label_epoch(), 2u);
+  // The old cache died with the old snapshot; prepared fault sets must be
+  // rebuilt against the new labels, never replayed across epochs.
+  EXPECT_EQ(srv->cache_stats().entries, 0u);
+  EXPECT_EQ(srv->metrics().reloads(server::ReloadResult::kOk), 1u);
+
+  // The same query still answers correctly on the new labels.
+  check_either_version(0, 48, f, client.dist(0, 48, f));
+}
+
+TEST_F(ReloadTest, QueriesStayValidWhileReloadsAlternate) {
+  auto srv = make_server(/*admin=*/false);
+  const std::uint16_t port = srv->port();
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> answered{0};
+
+  constexpr unsigned kThreads = 4;
+  std::vector<std::thread> hammer;
+  for (unsigned tid = 0; tid < kThreads; ++tid) {
+    hammer.emplace_back([&, tid] {
+      server::ClientOptions copt;
+      copt.max_retries = 3;
+      copt.retry_base_ms = 1;
+      server::Client client(copt);
+      client.connect("127.0.0.1", port);
+      Rng rng(1000 + tid);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Vertex s = rng.vertex(graph_.num_vertices());
+        const Vertex t = rng.vertex(graph_.num_vertices());
+        FaultSet f;
+        while (f.size() < 2) {
+          const Vertex x = rng.vertex(graph_.num_vertices());
+          if (x != s && x != t) f.add_vertex(x);
+        }
+        check_either_version(s, t, f, client.dist(s, t, f));
+        answered.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Alternate label versions under the hammering; every swap is a full
+  // RCU publish racing the in-flight queries above.
+  unsigned swaps = 0;
+  for (int k = 0; k < 10; ++k) {
+    const std::string& next = (k % 2 == 0) ? path_b_ : path_a_;
+    ASSERT_EQ(srv->reload(next), "") << "swap " << k;
+    ++swaps;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  stop.store(true);
+  for (auto& t : hammer) t.join();
+
+  EXPECT_EQ(srv->label_epoch(), 1u + swaps);
+  EXPECT_EQ(srv->metrics().reloads(server::ReloadResult::kOk), swaps);
+  EXPECT_GT(answered.load(), 0u);
+}
+
+TEST_F(ReloadTest, CorruptFileIsRejectedAndOldLabelsKeepServing) {
+  auto srv = make_server(/*admin=*/false);
+
+  // Copy version A and flip one byte in the CRC-covered body.
+  const std::string corrupt = ::testing::TempDir() + "reload_corrupt.fsdl";
+  {
+    std::ifstream in(path_a_, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[bytes.size() / 2] ^= 0x40;
+    std::ofstream out(corrupt, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  const std::string error = srv->reload(corrupt);
+  EXPECT_NE(error, "");
+  EXPECT_EQ(srv->label_epoch(), 1u) << "failed reload must not bump epoch";
+  EXPECT_EQ(srv->metrics().reloads(server::ReloadResult::kCrcFailed), 1u);
+  EXPECT_EQ(srv->metrics().reloads(server::ReloadResult::kOk), 0u);
+
+  // The old labels are still serving, correctly.
+  server::Client client;
+  client.connect("127.0.0.1", srv->port());
+  FaultSet f;
+  f.add_vertex(24);
+  check_either_version(3, 45, f, client.dist(3, 45, f));
+  std::remove(corrupt.c_str());
+}
+
+TEST_F(ReloadTest, ReloadWithoutLabelPathIsAnError) {
+  server::ServerOptions options;
+  options.workers = 2;
+  server::Server srv(*scheme_, options);  // no label_path
+  srv.start();
+  EXPECT_NE(srv.reload(), "");
+  EXPECT_EQ(srv.label_epoch(), 1u);
+  EXPECT_EQ(srv.metrics().reloads(server::ReloadResult::kError), 1u);
+  srv.stop();
+}
+
+TEST_F(ReloadTest, ReloadOpcodeRequiresAdmin) {
+  auto srv = make_server(/*admin=*/false);
+  server::Client client;
+  client.connect("127.0.0.1", srv->port());
+  EXPECT_THROW((void)client.admin_reload(), std::runtime_error);
+  EXPECT_EQ(srv->label_epoch(), 1u);
+}
+
+TEST_F(ReloadTest, ReloadOpcodeWorksWithAdmin) {
+  auto srv = make_server(/*admin=*/true);
+  server::Client client;
+  client.connect("127.0.0.1", srv->port());
+  const std::string reply = client.admin_reload();
+  EXPECT_NE(reply.find("epoch=2"), std::string::npos) << reply;
+  EXPECT_EQ(srv->label_epoch(), 2u);
+  EXPECT_EQ(srv->metrics().reloads(server::ReloadResult::kOk), 1u);
+}
+
+TEST_F(ReloadTest, HealthReportsReadyAndDraining) {
+  auto srv = make_server(/*admin=*/false);
+  server::Client client;
+  client.connect("127.0.0.1", srv->port());
+  const std::string ready = client.health();
+  EXPECT_EQ(ready.rfind("ready", 0), 0u) << ready;
+  EXPECT_NE(ready.find("epoch=1"), std::string::npos) << ready;
+  EXPECT_NE(ready.find("n=49"), std::string::npos) << ready;
+
+  srv->begin_drain();
+  // HEALTH is the one request a draining server still answers; queries
+  // get DRAINING.
+  const std::string draining = client.health();
+  EXPECT_EQ(draining.rfind("draining", 0), 0u) << draining;
+  EXPECT_THROW((void)client.dist(0, 1, FaultSet{}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace fsdl

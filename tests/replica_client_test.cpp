@@ -1,0 +1,304 @@
+// ReplicaClient unit + loopback tests: endpoint parsing, failover away
+// from a dead replica, circuit-breaker opening, half-open recovery after
+// the replica comes back on the same port, hedged requests, and the
+// client-side failover counters that feed the Prometheus exposition.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "server/metrics.hpp"
+#include "server/replica_client.hpp"
+#include "server/server.hpp"
+#include "util/rng.hpp"
+
+namespace fsdl {
+namespace {
+
+TEST(ParseEndpointsTest, HostPortList) {
+  const auto eps = server::parse_endpoints("127.0.0.1:8000,10.0.0.2:8001");
+  ASSERT_EQ(eps.size(), 2u);
+  EXPECT_EQ(eps[0].host, "127.0.0.1");
+  EXPECT_EQ(eps[0].port, 8000);
+  EXPECT_EQ(eps[1].host, "10.0.0.2");
+  EXPECT_EQ(eps[1].port, 8001);
+}
+
+TEST(ParseEndpointsTest, BarePortDefaultsToLoopback) {
+  const auto eps = server::parse_endpoints("9000");
+  ASSERT_EQ(eps.size(), 1u);
+  EXPECT_EQ(eps[0].host, "127.0.0.1");
+  EXPECT_EQ(eps[0].port, 9000);
+}
+
+TEST(ParseEndpointsTest, RejectsMalformedInput) {
+  EXPECT_THROW(server::parse_endpoints(""), std::runtime_error);
+  EXPECT_THROW(server::parse_endpoints("host:0"), std::runtime_error);
+  EXPECT_THROW(server::parse_endpoints("host:70000"), std::runtime_error);
+  EXPECT_THROW(server::parse_endpoints("host:abc"), std::runtime_error);
+  EXPECT_THROW(server::parse_endpoints("a:1,,b:2"), std::runtime_error);
+}
+
+class ReplicaClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = make_grid2d(6, 6);
+    scheme_ = std::make_unique<ForbiddenSetLabeling>(
+        ForbiddenSetLabeling::build(graph_, SchemeParams::faithful(1.0)));
+    oracle_ = std::make_unique<ForbiddenSetOracle>(*scheme_);
+  }
+
+  std::unique_ptr<server::Server> start_server(std::uint16_t port = 0) {
+    server::ServerOptions options;
+    options.port = port;
+    options.workers = 2;
+    auto srv = std::make_unique<server::Server>(*oracle_, options);
+    srv->start();
+    return srv;
+  }
+
+  static server::ReplicaClientOptions fast_options() {
+    server::ReplicaClientOptions opt;
+    opt.client.connect_timeout_ms = 500;
+    opt.client.recv_timeout_ms = 1000;
+    opt.client.send_timeout_ms = 1000;
+    opt.breaker_threshold = 2;
+    opt.breaker_cooldown_ms = 50;
+    opt.retry_base_ms = 1;
+    return opt;
+  }
+
+  void check_answer(Vertex s, Vertex t, const FaultSet& f, Dist answer) {
+    const Dist exact = distance_avoiding(graph_, s, t, f);
+    if (exact == kInfDist || answer == kInfDist) {
+      EXPECT_EQ(exact, answer);
+      return;
+    }
+    EXPECT_GE(answer, exact);
+    EXPECT_LE(static_cast<double>(answer),
+              2.0 * static_cast<double>(exact) + 1e-9);
+  }
+
+  Graph graph_;
+  std::unique_ptr<ForbiddenSetLabeling> scheme_;
+  std::unique_ptr<ForbiddenSetOracle> oracle_;
+};
+
+TEST_F(ReplicaClientTest, ServesFromSingleEndpoint) {
+  auto srv = start_server();
+  server::ReplicaClient client({{"127.0.0.1", srv->port()}}, fast_options());
+  FaultSet f;
+  f.add_vertex(14);
+  check_answer(0, 35, f, client.dist(0, 35, f));
+  const auto pairs = std::vector<std::pair<Vertex, Vertex>>{{0, 5}, {7, 30}};
+  const auto answers = client.batch(pairs, f);
+  ASSERT_EQ(answers.size(), 2u);
+  check_answer(0, 5, f, answers[0]);
+  check_answer(7, 30, f, answers[1]);
+  EXPECT_EQ(client.replica_stats().failovers, 0u);
+  EXPECT_NE(client.stats().find("queries_total"), std::string::npos);
+}
+
+TEST_F(ReplicaClientTest, FailsOverFromDeadPrimary) {
+  auto live = start_server();
+  // Endpoint 0 is a dead port (the kernel refuses), endpoint 1 is live:
+  // the first request must fail over and every later one stick to the
+  // live replica.
+  server::Metrics registry;
+  server::ReplicaClient client(
+      {{"127.0.0.1", 1}, {"127.0.0.1", live->port()}}, fast_options(),
+      &registry);
+  FaultSet f;
+  f.add_vertex(20);
+  for (int k = 0; k < 5; ++k) {
+    check_answer(2, 33, f, client.dist(2, 33, f));
+  }
+  const auto& stats = client.replica_stats();
+  EXPECT_GE(stats.failovers, 1u);
+  EXPECT_GE(stats.endpoints[0].failures, 1u);
+  EXPECT_EQ(stats.endpoints[0].requests, 0u);
+  EXPECT_EQ(stats.endpoints[1].requests, 5u);
+  EXPECT_EQ(client.primary(), 1u);
+  EXPECT_EQ(registry.failovers(), stats.failovers);
+}
+
+TEST_F(ReplicaClientTest, BreakerOpensAndStopsHammeringDeadEndpoint) {
+  auto live = start_server();
+  auto opt = fast_options();
+  opt.breaker_threshold = 2;
+  server::ReplicaClient client(
+      {{"127.0.0.1", 1}, {"127.0.0.1", live->port()}}, opt);
+  FaultSet f;
+  for (int k = 0; k < 10; ++k) {
+    (void)client.dist(0, 1, f);
+  }
+  const auto& stats = client.replica_stats();
+  EXPECT_GE(stats.endpoints[0].breaker_opens, 1u);
+  // Once open (after breaker_threshold failures), the dead endpoint is
+  // skipped entirely — failures stop accumulating per request.
+  EXPECT_LE(stats.endpoints[0].failures, 3u);
+  EXPECT_EQ(stats.endpoints[1].requests, 10u);
+}
+
+TEST_F(ReplicaClientTest, AllReplicasDownThrows) {
+  auto opt = fast_options();
+  opt.max_attempts = 3;
+  server::ReplicaClient client({{"127.0.0.1", 1}, {"127.0.0.1", 2}}, opt);
+  FaultSet f;
+  EXPECT_THROW((void)client.dist(0, 1, f), std::runtime_error);
+  EXPECT_GE(client.replica_stats().endpoints[0].failures +
+                client.replica_stats().endpoints[1].failures,
+            2u);
+}
+
+TEST_F(ReplicaClientTest, HalfOpenProbeRecoversRestartedReplica) {
+  auto srv = start_server();
+  const std::uint16_t port = srv->port();
+  auto opt = fast_options();
+  opt.breaker_threshold = 1;
+  opt.breaker_cooldown_ms = 30;
+  opt.max_attempts = 8;
+  server::ReplicaClient client({{"127.0.0.1", port}}, opt);
+  FaultSet f;
+  check_answer(0, 30, f, client.dist(0, 30, f));
+
+  // Kill the only replica: the next request opens the breaker and, with
+  // nowhere to fail over, exhausts its attempts.
+  srv->stop();
+  srv.reset();
+  EXPECT_THROW((void)client.dist(0, 30, f), std::runtime_error);
+  EXPECT_GE(client.replica_stats().endpoints[0].breaker_opens, 1u);
+
+  // Restart on the same port (SO_REUSEADDR): the half-open HEALTH probe
+  // must notice and close the breaker again.
+  auto restarted = start_server(port);
+  check_answer(0, 30, f, client.dist(0, 30, f));
+  EXPECT_GE(client.replica_stats().endpoints[0].probes, 1u);
+}
+
+/// Accepts connections and never replies — a deterministically "slow"
+/// primary, so every hedged request must be won by the live backup.
+class SilentServer {
+ public:
+  SilentServer() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    ::listen(listen_fd_, 16);
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    accept_thread_ = std::thread([this] {
+      for (;;) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        if (::poll(&pfd, 1, 50) < 0) break;
+        if (stop_.load()) break;
+        if ((pfd.revents & POLLIN) == 0) continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd >= 0) conns_.push_back(fd);  // hold open, never answer
+      }
+    });
+  }
+  ~SilentServer() {
+    stop_.store(true);
+    accept_thread_.join();
+    for (int fd : conns_) ::close(fd);
+    ::close(listen_fd_);
+  }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::vector<int> conns_;
+};
+
+TEST_F(ReplicaClientTest, HedgedRequestsWonByLiveBackup) {
+  SilentServer slow;  // the primary: accepts, never replies
+  auto live = start_server();
+  server::Metrics registry;
+  auto opt = fast_options();
+  opt.hedge_us = 1000;  // 1ms — far below the recv deadline
+  server::ReplicaClient client(
+      {{"127.0.0.1", slow.port()}, {"127.0.0.1", live->port()}}, opt,
+      &registry);
+  FaultSet f;
+  f.add_vertex(7);
+  for (int k = 0; k < 10; ++k) {
+    check_answer(1, 34, f, client.dist(1, 34, f));
+  }
+  const auto& stats = client.replica_stats();
+  // Every request hedged (the primary never answers) and every hedge was
+  // won by the backup — without a single failover, because the hedge
+  // answered before the primary's deadline could expire.
+  EXPECT_EQ(stats.hedges_fired, 10u);
+  EXPECT_EQ(stats.hedges_won, 10u);
+  EXPECT_EQ(stats.hedges_lost, 0u);
+  EXPECT_EQ(registry.hedges(true), 10u);
+  EXPECT_EQ(stats.failovers, 0u);
+}
+
+TEST_F(ReplicaClientTest, HedgeAgainstFastPrimaryKeepsAnswersValid) {
+  auto a = start_server();
+  auto b = start_server();
+  server::Metrics registry;
+  auto opt = fast_options();
+  opt.hedge_us = 1;  // aggressive: hedge whenever the primary needs >1ms
+  server::ReplicaClient client(
+      {{"127.0.0.1", a->port()}, {"127.0.0.1", b->port()}}, opt, &registry);
+  FaultSet f;
+  f.add_vertex(7);
+  for (int k = 0; k < 50; ++k) {
+    check_answer(1, 34, f, client.dist(1, 34, f));
+  }
+  const auto& stats = client.replica_stats();
+  // A fast primary usually beats the 1ms poll, so how many hedges fire is
+  // timing-dependent — but the books must balance and every answer above
+  // was bound-checked (a hedge must never corrupt the stream).
+  EXPECT_EQ(stats.hedges_won + stats.hedges_lost, stats.hedges_fired);
+  EXPECT_EQ(registry.hedges(true) + registry.hedges(false),
+            stats.hedges_fired);
+  EXPECT_EQ(stats.failovers, 0u);
+}
+
+TEST_F(ReplicaClientTest, DrainingReplicaTriggersFailover) {
+  auto a = start_server();
+  auto b = start_server();
+  server::ReplicaClient client(
+      {{"127.0.0.1", a->port()}, {"127.0.0.1", b->port()}}, fast_options());
+  FaultSet f;
+  check_answer(0, 20, f, client.dist(0, 20, f));
+  EXPECT_EQ(client.primary(), 0u);
+
+  // Drain the primary: its DRAINING replies must push traffic to b.
+  a->begin_drain();
+  for (int k = 0; k < 3; ++k) {
+    check_answer(0, 20, f, client.dist(0, 20, f));
+  }
+  EXPECT_EQ(client.primary(), 1u);
+  EXPECT_GE(client.replica_stats().failovers, 1u);
+}
+
+}  // namespace
+}  // namespace fsdl

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 #include "core/oracle.hpp"
@@ -184,6 +186,50 @@ TEST(Serialize, LyingBodySizeHitsEofNotOverread) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
   }
+}
+
+TEST(Serialize, FailedSaveLeavesExistingFileIntact) {
+  // save_labeling() goes through tmp+fsync+rename, so a save that cannot
+  // complete must never clobber (or even touch) the previous good file.
+  const Graph g = make_path(16);
+  const auto scheme =
+      ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const std::string path = ::testing::TempDir() + "serialize_atomic.fsdl";
+  save_labeling(scheme, path);
+  const auto before = load_labeling(path);  // sanity: good file on disk
+
+  // A save into a nonexistent directory fails before any rename.
+  EXPECT_THROW(
+      save_labeling(scheme, ::testing::TempDir() + "no_dir_zz/out.fsdl"),
+      std::runtime_error);
+
+  // The original file still loads bit-for-bit.
+  const auto after = load_labeling(path);
+  ASSERT_EQ(after.num_vertices(), before.num_vertices());
+  EXPECT_EQ(after.total_bits(), before.total_bits());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, StaleTmpFromKilledSaverIsInvisibleToLoad) {
+  // A saver killed mid-write leaves only "<path>.tmp" behind; the target
+  // path either has the old complete file or nothing. Loading must never
+  // see the torn bytes.
+  const Graph g = make_path(16);
+  const auto scheme =
+      ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  const std::string path = ::testing::TempDir() + "serialize_stale.fsdl";
+  save_labeling(scheme, path);
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "FSDLtorn-half-written";
+  }
+  const auto loaded = load_labeling(path);  // unaffected by the .tmp
+  EXPECT_EQ(loaded.num_vertices(), scheme.num_vertices());
+  // And a new atomic save replaces both cleanly.
+  save_labeling(scheme, path);
+  EXPECT_EQ(load_labeling(path).total_bits(), scheme.total_bits());
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 }  // namespace

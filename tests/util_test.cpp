@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
+#include "util/atomic_file.hpp"
 #include "util/bitstream.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -377,6 +381,50 @@ TEST(Table, CsvOutput) {
   std::ostringstream os;
   t.print_csv(os);
   EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+namespace {
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+}  // namespace
+
+TEST(AtomicFile, WritesAndReplaces) {
+  const std::string path = ::testing::TempDir() + "atomic_file_basic.txt";
+  ASSERT_TRUE(atomic_write_file(path, "first"));
+  EXPECT_EQ(slurp(path), "first");
+  // Replacement is atomic: the new content fully supersedes the old.
+  ASSERT_TRUE(atomic_write_file(path, "second, longer content"));
+  EXPECT_EQ(slurp(path), "second, longer content");
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, FailedWriteLeavesTargetUntouched) {
+  const std::string path =
+      ::testing::TempDir() + "no_such_dir_zz/atomic_file.txt";
+  std::string error;
+  EXPECT_FALSE(atomic_write_file(path, "doomed", &error));
+  EXPECT_NE(error, "");
+  EXPECT_EQ(slurp(path), "");  // target never appeared
+}
+
+TEST(AtomicFile, LeftoverTmpFromACrashDoesNotShadowTheTarget) {
+  // Simulate a crash mid-save from a previous process: a stale .tmp with
+  // garbage sits next to the target. A fresh atomic write must succeed
+  // and the garbage must not survive as the visible file.
+  const std::string path = ::testing::TempDir() + "atomic_file_crash.txt";
+  ASSERT_TRUE(atomic_write_file(path, "good old content"));
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "torn half-written garb";
+  }
+  EXPECT_EQ(slurp(path), "good old content") << "tmp must not be visible";
+  ASSERT_TRUE(atomic_write_file(path, "good new content"));
+  EXPECT_EQ(slurp(path), "good new content");
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
 }
 
 }  // namespace

@@ -1,17 +1,31 @@
 // fsdl_loadgen — load generator / correctness checker for fsdl_serve.
 //
-//   fsdl_loadgen --port P [--host H] [--threads N] [--requests R]
+//   fsdl_loadgen --port P | --endpoints H:P1,H:P2,...
+//                [--host H] [--threads N] [--requests R]
 //                [--batch B] [--fault-pool K] [--faults F] [--churn C]
 //                [--stats-every M] [--n N | --verify graph.edges]
 //                [--eps E] [--seed S] [--retries R] [--timeout-ms T]
-//                [--allow-transport-errors]
+//                [--hedge-us U] [--think-us U] [--min-success RATE]
+//                [--metrics-dump FILE] [--allow-transport-errors]
 //
 // Resilience knobs (the chaos pipeline's client side): --retries arms the
-// client's exponential-backoff retry policy for idempotent queries,
-// --timeout-ms sets the connect/recv/send deadlines, and
-// --allow-transport-errors keeps transport failures out of the exit status
-// (verification violations always fail the run — corruption must surface
-// as an error, never as a wrong distance).
+// client's retry/failover policy for idempotent queries, --timeout-ms sets
+// the connect/recv/send deadlines, and --allow-transport-errors keeps
+// transport failures out of the exit status (verification violations
+// always fail the run — corruption must surface as an error, never as a
+// wrong distance).
+//
+// High availability knobs (the HA pipeline's client side): --endpoints
+// fans each thread's traffic over N replicas through a ReplicaClient
+// (sticky primary, per-endpoint circuit breaker, failover on
+// OVERLOADED/TIMEOUT/DRAINING and transport errors); --hedge-us U fires a
+// backup request on a second replica when the primary hasn't answered
+// within U microseconds and takes the first answer; --think-us stretches
+// the run (idle time between requests) so chaos events land mid-run;
+// --min-success RATE fails the exit status when fewer than RATE of all
+// requests got an answer; --metrics-dump FILE writes the *client-side*
+// Prometheus exposition (fsdl_failovers_total, fsdl_hedged_requests_total)
+// atomically at the end of the run.
 //
 // N client threads, one connection each, R requests per thread. Each
 // request draws its fault set from a pool of K pre-generated sets; with
@@ -25,6 +39,7 @@
 // d ≤ δ ≤ (1+ε)·d (and δ = ∞ iff d = ∞). Exit status is nonzero if any
 // violation occurred — this is the end-to-end acceptance gate.
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +52,9 @@
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
 #include "server/client.hpp"
+#include "server/metrics.hpp"
+#include "server/replica_client.hpp"
+#include "util/atomic_file.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -62,6 +80,13 @@ struct Options {
   unsigned retries = 0;
   unsigned timeout_ms = 0;
   bool allow_transport_errors = false;
+  /// Replica endpoints ("--endpoints h:p,h:p"); empty = single host:port.
+  std::vector<server::Endpoint> endpoints;
+  unsigned hedge_us = 0;
+  unsigned think_us = 0;
+  /// Minimum fraction of requests that must get an answer (0 disables).
+  double min_success = 0.0;
+  std::string metrics_dump;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -74,7 +99,10 @@ struct Options {
       "                    [--n N | --verify graph.edges] [--eps E] "
       "[--seed S]\n"
       "                    [--retries R] [--timeout-ms T] "
-      "[--allow-transport-errors]\n");
+      "[--allow-transport-errors]\n"
+      "                    [--endpoints H:P1,H:P2,...] [--hedge-us U]\n"
+      "                    [--think-us U] [--min-success RATE]\n"
+      "                    [--metrics-dump FILE]\n");
   std::exit(2);
 }
 
@@ -86,11 +114,34 @@ struct SharedState {
   std::atomic<std::uint64_t> violations{0};
   std::atomic<std::uint64_t> transport_errors{0};
   std::atomic<std::uint64_t> queries{0};
-  std::atomic<std::uint64_t> retries{0};
-  std::atomic<std::uint64_t> sheds_seen{0};
+  std::atomic<std::uint64_t> successes{0};
+  /// Client-side registry shared by every worker's ReplicaClient; its
+  /// Prometheus exposition is what --metrics-dump writes.
+  server::Metrics client_metrics;
   std::mutex agg_mu;
   Histogram latency_us{1.25};
+  /// Fleet-wide replica stats, merged under agg_mu as workers exit.
+  server::ReplicaStats replica_stats;
 };
+
+void merge_replica_stats(server::ReplicaStats& into,
+                         const server::ReplicaStats& from) {
+  if (into.endpoints.size() < from.endpoints.size()) {
+    into.endpoints.resize(from.endpoints.size());
+  }
+  for (std::size_t k = 0; k < from.endpoints.size(); ++k) {
+    into.endpoints[k].requests += from.endpoints[k].requests;
+    into.endpoints[k].failures += from.endpoints[k].failures;
+    into.endpoints[k].breaker_opens += from.endpoints[k].breaker_opens;
+    into.endpoints[k].probes += from.endpoints[k].probes;
+  }
+  into.failovers += from.failovers;
+  into.retries += from.retries;
+  into.sheds_seen += from.sheds_seen;
+  into.hedges_fired += from.hedges_fired;
+  into.hedges_won += from.hedges_won;
+  into.hedges_lost += from.hedges_lost;
+}
 
 /// "v3 v9 e(4,5)" — the fault set spelled out for a violation report.
 std::string describe_faults(const FaultSet& faults) {
@@ -117,19 +168,22 @@ bool bound_ok(Dist exact, Dist approx, double eps) {
 void worker(SharedState& state, unsigned tid) {
   const Options& opt = state.opt;
   Rng rng(state.opt.seed * 7919 + tid);
-  server::ClientOptions copt;
-  copt.connect_timeout_ms = opt.timeout_ms;
-  copt.recv_timeout_ms = opt.timeout_ms;
-  copt.send_timeout_ms = opt.timeout_ms;
-  copt.max_retries = opt.retries;
-  copt.retry_seed = opt.seed * 104729 + tid;
-  server::Client client(copt);
+  server::ReplicaClientOptions ropt;
+  ropt.client.connect_timeout_ms = opt.timeout_ms;
+  ropt.client.recv_timeout_ms = opt.timeout_ms;
+  ropt.client.send_timeout_ms = opt.timeout_ms;
+  // --retries R = R extra attempts after the first, spread over the
+  // replica set (same meaning the single-endpoint client gave it).
+  ropt.max_attempts = opt.retries + 1;
+  ropt.hedge_us = opt.hedge_us;
+  ropt.seed = opt.seed * 104729 + tid;
+  server::ReplicaClient client(opt.endpoints, ropt, &state.client_metrics);
   Histogram local_latency{1.25};
   std::uint64_t local_violations = 0;
   std::uint64_t local_queries = 0;
+  std::uint64_t local_successes = 0;
   std::uint64_t local_transport_errors = 0;
   try {
-    client.connect(opt.host, opt.port);
     std::size_t fault_idx = tid % state.fault_pool.size();
     for (unsigned r = 0; r < opt.requests; ++r) {
       if (rng.chance(opt.churn)) {
@@ -142,6 +196,9 @@ void worker(SharedState& state, unsigned tid) {
       for (unsigned k = 0; k < npairs; ++k) {
         pairs.emplace_back(rng.vertex(opt.n), rng.vertex(opt.n));
       }
+      if (opt.think_us != 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(opt.think_us));
+      }
 
       WallTimer timer;
       std::vector<Dist> answers;
@@ -153,9 +210,9 @@ void worker(SharedState& state, unsigned tid) {
           answers = client.batch(pairs, faults);
         }
       } catch (const std::exception& e) {
-        // Retries exhausted (or a hard protocol error). Skip this request;
-        // the client reconnects on the next one. Lost requests count as
-        // transport errors, never as silent success.
+        // Every replica failed (or a hard protocol error). Skip this
+        // request; the client reconnects on the next one. Lost requests
+        // count as transport errors, never as silent success.
         ++local_transport_errors;
         if (local_transport_errors <= 3) {
           std::fprintf(stderr, "thread %u request %u: %s\n", tid, r, e.what());
@@ -164,6 +221,7 @@ void worker(SharedState& state, unsigned tid) {
       }
       local_latency.add(timer.elapsed_us());
       local_queries += answers.size();
+      ++local_successes;
 
       if (state.graph != nullptr) {
         for (std::size_t k = 0; k < pairs.size(); ++k) {
@@ -193,8 +251,8 @@ void worker(SharedState& state, unsigned tid) {
           (void)client.stats();
         } catch (const std::exception&) {
           // STATS is a probe, not part of the measured workload; a failed
-          // probe only costs the connection (rebuilt on the next query).
-          client.close();
+          // probe costs nothing (the replica client reconnects on the next
+          // query).
         }
       }
     }
@@ -204,11 +262,11 @@ void worker(SharedState& state, unsigned tid) {
   }
   state.violations.fetch_add(local_violations);
   state.queries.fetch_add(local_queries);
+  state.successes.fetch_add(local_successes);
   state.transport_errors.fetch_add(local_transport_errors);
-  state.retries.fetch_add(client.retries());
-  state.sheds_seen.fetch_add(client.sheds_seen());
   std::lock_guard<std::mutex> lock(state.agg_mu);
   state.latency_us.merge(local_latency);
+  merge_replica_stats(state.replica_stats, client.replica_stats());
 }
 
 }  // namespace
@@ -237,9 +295,23 @@ int main(int argc, char** argv) {
     else if (arg == "--retries") opt.retries = static_cast<unsigned>(std::atoi(next()));
     else if (arg == "--timeout-ms") opt.timeout_ms = static_cast<unsigned>(std::atoi(next()));
     else if (arg == "--allow-transport-errors") opt.allow_transport_errors = true;
+    else if (arg == "--endpoints") {
+      try {
+        opt.endpoints = server::parse_endpoints(next());
+      } catch (const std::exception& e) {
+        usage(e.what());
+      }
+    }
+    else if (arg == "--hedge-us") opt.hedge_us = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--think-us") opt.think_us = static_cast<unsigned>(std::atoi(next()));
+    else if (arg == "--min-success") opt.min_success = std::strtod(next(), nullptr);
+    else if (arg == "--metrics-dump") opt.metrics_dump = next();
     else usage("unknown option");
   }
-  if (opt.port == 0) usage("--port is required");
+  if (opt.endpoints.empty()) {
+    if (opt.port == 0) usage("--port or --endpoints is required");
+    opt.endpoints.push_back({opt.host, opt.port});
+  }
   if (opt.fault_pool == 0) opt.fault_pool = 1;
 
   try {
@@ -294,11 +366,36 @@ int main(int argc, char** argv) {
                   state.latency_us.percentile(95),
                   state.latency_us.percentile(99), state.latency_us.max());
     }
-    std::printf("resilience: retries=%llu sheds_seen=%llu "
-                "transport_errors=%llu\n",
-                static_cast<unsigned long long>(state.retries.load()),
-                static_cast<unsigned long long>(state.sheds_seen.load()),
-                static_cast<unsigned long long>(state.transport_errors.load()));
+    const std::uint64_t attempted =
+        static_cast<std::uint64_t>(opt.threads) * opt.requests;
+    const double success_rate =
+        attempted == 0 ? 1.0
+                       : static_cast<double>(state.successes.load()) /
+                             static_cast<double>(attempted);
+    const server::ReplicaStats& rs = state.replica_stats;
+    std::printf(
+        "resilience: retries=%llu sheds_seen=%llu transport_errors=%llu "
+        "success_rate=%.4f\n",
+        static_cast<unsigned long long>(rs.retries),
+        static_cast<unsigned long long>(rs.sheds_seen),
+        static_cast<unsigned long long>(state.transport_errors.load()),
+        success_rate);
+    for (std::size_t k = 0; k < rs.endpoints.size(); ++k) {
+      std::printf("replica %s:%u: requests=%llu failures=%llu "
+                  "breaker_opens=%llu probes=%llu\n",
+                  opt.endpoints[k].host.c_str(), opt.endpoints[k].port,
+                  static_cast<unsigned long long>(rs.endpoints[k].requests),
+                  static_cast<unsigned long long>(rs.endpoints[k].failures),
+                  static_cast<unsigned long long>(
+                      rs.endpoints[k].breaker_opens),
+                  static_cast<unsigned long long>(rs.endpoints[k].probes));
+    }
+    std::printf("ha: failovers=%llu hedges_fired=%llu hedges_won=%llu "
+                "hedges_lost=%llu\n",
+                static_cast<unsigned long long>(rs.failovers),
+                static_cast<unsigned long long>(rs.hedges_fired),
+                static_cast<unsigned long long>(rs.hedges_won),
+                static_cast<unsigned long long>(rs.hedges_lost));
     if (state.graph != nullptr) {
       std::printf("verified against exact baseline (eps=%.3g): %llu "
                   "violations\n",
@@ -306,19 +403,43 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(state.violations.load()));
     }
 
+    // Client-side Prometheus dump (failovers/hedges as a scraper would see
+    // them); atomic so a concurrent reader never sees a torn file.
+    if (!opt.metrics_dump.empty()) {
+      std::string error;
+      if (!atomic_write_file(
+              opt.metrics_dump,
+              state.client_metrics.render_prometheus(
+                  server::PreparedCache::Stats{}),
+              &error)) {
+        std::fprintf(stderr, "cannot write metrics dump to %s: %s\n",
+                     opt.metrics_dump.c_str(), error.c_str());
+      }
+    }
+
     // Final server-side snapshot; best effort (under chaos the probe
-    // connection itself can be hit).
-    try {
-      server::Client probe;
-      probe.connect(opt.host, opt.port);
-      std::printf("--- server stats ---\n%s", probe.stats().c_str());
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "stats probe failed: %s\n", e.what());
+    // connection itself can be hit). Try each replica until one answers.
+    for (const auto& ep : opt.endpoints) {
+      try {
+        server::Client probe;
+        probe.connect(ep.host, ep.port);
+        std::printf("--- server stats (%s:%u) ---\n%s", ep.host.c_str(),
+                    ep.port, probe.stats().c_str());
+        break;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "stats probe %s:%u failed: %s\n", ep.host.c_str(),
+                     ep.port, e.what());
+      }
     }
 
     const bool failed =
         state.violations.load() != 0 ||
-        (!opt.allow_transport_errors && state.transport_errors.load() != 0);
+        (!opt.allow_transport_errors && state.transport_errors.load() != 0) ||
+        success_rate < opt.min_success;
+    if (success_rate < opt.min_success) {
+      std::fprintf(stderr, "FAIL: success_rate %.4f < --min-success %.4f\n",
+                   success_rate, opt.min_success);
+    }
     return failed ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

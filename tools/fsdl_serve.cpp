@@ -3,10 +3,11 @@
 //   fsdl_serve <scheme.fsdl> [--port P] [--workers N] [--cache C] [--warm]
 //              [--backlog B] [--recv-timeout-ms T] [--send-timeout-ms T]
 //              [--request-deadline-ms D] [--max-queued Q] [--drain-ms D]
-//              [--metrics-dump FILE] [--metrics-interval S]
+//              [--metrics-dump FILE] [--metrics-interval S] [--admin]
 //              [--slow-query-us T] [--trace-level off|counters|spans]
 //   fsdl_serve <graph.edges> --build [--build-threads N] [--build-eps E]
 //              [--build-compact C] [...same serving flags]
+//   fsdl_serve --health HOST:PORT        one-shot readiness probe
 //
 // Loads a serialized labeling (fsdl build) — or, with --build, an edge-list
 // graph whose labels are constructed at startup on --build-threads workers
@@ -15,6 +16,21 @@
 // BATCH / STATS / METRICS frames on 127.0.0.1:P (P=0 picks an ephemeral
 // port, printed on stdout). SIGINT or SIGTERM triggers a graceful shutdown:
 // stop accepting, drain in-flight requests, dump the metrics snapshot.
+//
+// High availability plumbing:
+//   SIGHUP                 hot-reload the label file the server was started
+//                          from: load + CRC-validate in the background, then
+//                          atomically swap; in-flight queries finish on the
+//                          old labels. A corrupt file is rejected and the
+//                          old labels keep serving. (File-backed servers
+//                          only; --build has no file to reload.)
+//   --admin                also accept the RELOAD opcode over the wire
+//                          (off by default — a network peer should not be
+//                          able to force disk reads unless opted in).
+//   --health HOST:PORT     probe mode: send one HEALTH frame and print the
+//                          reply. Exit 0 = ready, 1 = alive but not ready
+//                          (loading/draining), 2 = unreachable. What a
+//                          load balancer or supervisor calls.
 //
 // Observability plumbing:
 //   --metrics-dump FILE    write the Prometheus text exposition to FILE
@@ -41,18 +57,28 @@
 #include "core/serialize.hpp"
 #include "graph/io.hpp"
 #include "obs/trace.hpp"
+#include "server/client.hpp"
+#include "server/replica_client.hpp"
 #include "server/server.hpp"
+#include "util/atomic_file.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace {
 
-// Self-pipe: the signal handler writes one byte; main polls it.
+// Self-pipe: the signal handler writes one byte; main polls it. The byte
+// value carries which event fired: 't' = terminate (SIGINT/SIGTERM),
+// 'h' = hot reload (SIGHUP).
 int g_shutdown_pipe[2] = {-1, -1};
 
-void on_signal(int) {
-  const char byte = 1;
+void on_terminate(int) {
+  const char byte = 't';
   // write() is async-signal-safe; best effort.
+  [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
+}
+
+void on_hup(int) {
+  const char byte = 'h';
   [[maybe_unused]] ssize_t n = ::write(g_shutdown_pipe[1], &byte, 1);
 }
 
@@ -71,18 +97,30 @@ void on_signal(int) {
                "                  [--slow-query-us T]\n"
                "                  [--trace-level off|counters|spans]\n"
                "       fsdl_serve <graph.edges> --build [--build-threads N]\n"
-               "                  [--build-eps E] [--build-compact C] [...]\n");
+               "                  [--build-eps E] [--build-compact C] [...]\n"
+               "       fsdl_serve --health HOST:PORT\n");
   std::exit(2);
 }
 
-/// Write atomically (tmp + rename) so a scraper never reads a torn file.
-bool dump_metrics(const std::string& path, const std::string& text) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "w");
-  if (f == nullptr) return false;
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  std::fclose(f);
-  return ok && std::rename(tmp.c_str(), path.c_str()) == 0;
+/// --health HOST:PORT probe: one HEALTH round-trip, reply on stdout.
+/// Exit codes: 0 ready, 1 alive-but-not-ready, 2 unreachable.
+int run_health_probe(const std::string& target) {
+  using namespace fsdl::server;
+  try {
+    const std::vector<Endpoint> eps = parse_endpoints(target);
+    ClientOptions copt;
+    copt.connect_timeout_ms = 2000;
+    copt.recv_timeout_ms = 2000;
+    copt.send_timeout_ms = 2000;
+    Client client(copt);
+    client.connect(eps[0].host, eps[0].port);
+    const std::string reply = client.health();
+    std::printf("%s\n", reply.c_str());
+    return reply.rfind("ready", 0) == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "unreachable: %s\n", e.what());
+    return 2;
+  }
 }
 
 }  // namespace
@@ -90,6 +128,10 @@ bool dump_metrics(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   using namespace fsdl;
   if (argc < 2) usage();
+  if (std::string(argv[1]) == "--health") {
+    if (argc != 3) usage("--health takes exactly one HOST:PORT");
+    return run_health_probe(argv[2]);
+  }
   const std::string scheme_path = argv[1];
   server::ServerOptions options;
   std::string metrics_path;
@@ -129,6 +171,8 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atol(argv[++k]));
     } else if (arg == "--drain-ms" && k + 1 < argc) {
       options.drain_deadline_ms = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--admin") {
+      options.admin = true;
     } else if (arg == "--metrics-dump" && k + 1 < argc) {
       metrics_path = argv[++k];
     } else if (arg == "--metrics-interval" && k + 1 < argc) {
@@ -153,7 +197,7 @@ int main(int argc, char** argv) {
   if (metrics_interval_s <= 0) usage("--metrics-interval must be > 0");
 
   try {
-    const auto scheme = [&] {
+    auto scheme = [&] {
       if (!build_from_graph) return load_labeling(scheme_path);
       const Graph g = load_graph(scheme_path);
       const SchemeParams params =
@@ -170,15 +214,19 @@ int main(int argc, char** argv) {
                   resolve_threads(build_threads));
       return built;
     }();
-    const ForbiddenSetOracle oracle(scheme);
-    server::Server srv(oracle, options);
+    const unsigned n = scheme.num_vertices();
+    const double eps = scheme.params().epsilon;
+    // Only a file-backed server has something to reload on SIGHUP/RELOAD.
+    if (!build_from_graph) options.label_path = scheme_path;
+    server::Server srv(std::move(scheme), options);
 
     if (::pipe(g_shutdown_pipe) != 0) {
       std::fprintf(stderr, "error: pipe() failed\n");
       return 1;
     }
-    std::signal(SIGINT, on_signal);
-    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_terminate);
+    std::signal(SIGTERM, on_terminate);
+    std::signal(SIGHUP, on_hup);
 
     srv.start();
     // Server::start() normalizes listen_backlog <= 0 to its default; log
@@ -186,17 +234,24 @@ int main(int argc, char** argv) {
     const int effective_backlog =
         options.listen_backlog <= 0 ? 64 : options.listen_backlog;
     std::printf("fsdl_serve: n=%u eps=%.3g workers=%u cache=%zu backlog=%d "
-                "port=%u\n",
-                scheme.num_vertices(), scheme.params().epsilon,
-                options.workers, options.cache_capacity, effective_backlog,
-                srv.port());
+                "port=%u%s\n",
+                n, eps, options.workers, options.cache_capacity,
+                effective_backlog, srv.port(),
+                options.admin ? " admin=on" : "");
     std::fflush(stdout);
 
-    // Wait for the shutdown byte; with --metrics-dump the wait doubles as
-    // the flush period (poll timeout), so no dedicated flusher thread.
+    // Wait for signal bytes; with --metrics-dump the wait doubles as the
+    // flush period (poll timeout), so no dedicated flusher thread.
     const int timeout_ms =
         metrics_path.empty() ? -1
                              : static_cast<int>(metrics_interval_s * 1000.0);
+    const auto flush_metrics = [&] {
+      std::string error;
+      if (!atomic_write_file(metrics_path, srv.prometheus(), &error)) {
+        std::fprintf(stderr, "fsdl_serve: cannot write metrics to %s: %s\n",
+                     metrics_path.c_str(), error.c_str());
+      }
+    };
     for (;;) {
       struct pollfd pfd{g_shutdown_pipe[0], POLLIN, 0};
       const int rc = ::poll(&pfd, 1, timeout_ms);
@@ -204,15 +259,34 @@ int main(int argc, char** argv) {
         if (errno == EINTR) continue;
         break;
       }
-      if (rc > 0) break;  // signal arrived
-      if (!dump_metrics(metrics_path, srv.prometheus())) {
-        std::fprintf(stderr, "fsdl_serve: cannot write metrics to %s\n",
-                     metrics_path.c_str());
+      if (rc == 0) {  // metrics flush tick
+        flush_metrics();
+        continue;
       }
+      char byte = 't';
+      if (::read(g_shutdown_pipe[0], &byte, 1) <= 0) break;
+      if (byte != 'h') break;  // terminate
+      // SIGHUP: hot-reload the label file. Queries keep flowing the whole
+      // time; on failure the old labels keep serving.
+      const WallTimer reload_timer;
+      const std::string error = srv.reload();
+      if (error.empty()) {
+        std::printf("fsdl_serve: reloaded %s epoch=%llu in %.2fs\n",
+                    scheme_path.c_str(),
+                    static_cast<unsigned long long>(srv.label_epoch()),
+                    reload_timer.elapsed_seconds());
+      } else {
+        std::fprintf(stderr, "fsdl_serve: reload failed (%s); still serving "
+                             "epoch=%llu\n",
+                     error.c_str(),
+                     static_cast<unsigned long long>(srv.label_epoch()));
+      }
+      std::fflush(stdout);
+      std::fflush(stderr);
     }
     std::printf("\nfsdl_serve: shutting down...\n");
     srv.stop();
-    if (!metrics_path.empty()) dump_metrics(metrics_path, srv.prometheus());
+    if (!metrics_path.empty()) flush_metrics();
     std::printf("%s", srv.metrics().render(srv.cache_stats()).c_str());
     return 0;
   } catch (const std::exception& e) {
