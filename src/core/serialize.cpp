@@ -149,7 +149,7 @@ class SchemeSerializer {
     if (!is) throw std::runtime_error("labeling file truncated");
     if (crc32(body.data(), body.size()) != stored_crc) {
       g_crc_failures.fetch_add(1, std::memory_order_relaxed);
-      throw std::runtime_error(
+      throw LabelingCrcError(
           "labeling file rejected: CRC32 mismatch (file is corrupt; "
           "rebuild or re-copy it)");
     }
@@ -199,10 +199,10 @@ ForbiddenSetLabeling load_labeling(std::istream& is) {
 
 void save_labeling(const ForbiddenSetLabeling& scheme,
                    const std::string& path) {
-  // Crash-safe: serialize to memory, then tmp + fsync + rename. A process
-  // killed mid-save can leave a stale `path + ".tmp"` behind, but the file
-  // at `path` is always either the previous complete labeling or the new
-  // one — never missing and never truncated.
+  // Crash-safe: serialize to memory, then unique tmp + fsync + rename. A
+  // process killed mid-save can leave a stale `path + ".tmp.*"` behind,
+  // but the file at `path` is always either the previous complete labeling
+  // or the new one — never missing and never truncated.
   std::ostringstream buffer(std::ios::binary);
   save_labeling(scheme, buffer);
   const std::string bytes = buffer.str();

@@ -22,19 +22,30 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "core/labeling.hpp"
 
 namespace fsdl {
 
+/// Thrown by load_labeling when the body CRC32 does not match: the file is
+/// corrupt. A distinct type so callers (Server::reload) can classify the
+/// failure directly instead of diffing the process-global counter, which
+/// would misattribute a concurrent load's CRC failure elsewhere in the
+/// process.
+class LabelingCrcError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 void save_labeling(const ForbiddenSetLabeling& scheme, std::ostream& os);
 ForbiddenSetLabeling load_labeling(std::istream& is);
 
-/// Crash-safe save: writes `path + ".tmp"`, fsyncs, then renames over
-/// `path` (util/atomic_file). A crash mid-save never leaves the target
-/// missing or truncated — at worst a stale `.tmp` survives next to the
-/// previous good file.
+/// Crash-safe save: writes a unique temp file next to `path`, fsyncs, then
+/// renames over `path` (util/atomic_file). A crash mid-save never leaves
+/// the target missing or truncated — at worst a stale `.tmp.*` survives
+/// next to the previous good file.
 void save_labeling(const ForbiddenSetLabeling& scheme,
                    const std::string& path);
 ForbiddenSetLabeling load_labeling(const std::string& path);

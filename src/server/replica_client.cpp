@@ -164,17 +164,20 @@ void ReplicaClient::backoff(unsigned sweep) {
       std::chrono::microseconds(static_cast<std::uint64_t>(jittered * 1000)));
 }
 
-Response ReplicaClient::roundtrip(std::size_t idx, const Request& req) {
+Response ReplicaClient::roundtrip(std::size_t idx, const Request& req,
+                                  std::size_t& served_by) {
+  served_by = idx;
   Replica& r = replicas_[idx];
   if (!r.client.connected()) r.client.connect(r.addr.host, r.addr.port);
   if (options_.hedge_us > 0 && replicas_.size() > 1 &&
       (req.opcode == Opcode::kDist || req.opcode == Opcode::kBatch)) {
-    return hedged_roundtrip(idx, req);
+    return hedged_roundtrip(idx, req, served_by);
   }
   return r.client.call(req);
 }
 
-Response ReplicaClient::hedged_roundtrip(std::size_t idx, const Request& req) {
+Response ReplicaClient::hedged_roundtrip(std::size_t idx, const Request& req,
+                                         std::size_t& served_by) {
   Replica& prim = replicas_[idx];
   prim.client.send_request(req);
   const int wait_ms =
@@ -197,11 +200,33 @@ Response ReplicaClient::hedged_roundtrip(std::size_t idx, const Request& req) {
   }
   ++stats_.hedges_fired;
 
-  // Race the two streams: first readable fd wins the hedge.
+  // Race the two streams: first readable fd wins the hedge. The race is
+  // bounded by recv_timeout_ms (when set): without a deadline here, turning
+  // hedging on would strip the timeout protection the non-hedged path gets
+  // from SO_RCVTIMEO — a partitioned pair of replicas would hang the client
+  // forever.
+  const std::uint64_t deadline_ms =
+      options_.client.recv_timeout_ms == 0
+          ? 0
+          : now_ms() + options_.client.recv_timeout_ms;
   for (;;) {
+    int poll_ms = 100;
+    if (deadline_ms != 0) {
+      const std::uint64_t now = now_ms();
+      if (now >= deadline_ms) {
+        // Both streams still have an unread reply in flight; the protocol
+        // has no request IDs, so a later request on either stream would
+        // read the stale frame as its own answer. Close both.
+        prim.client.close();
+        back.client.close();
+        throw std::runtime_error("hedged request timed out on both replicas");
+      }
+      const std::uint64_t left = deadline_ms - now;
+      if (left < 100) poll_ms = static_cast<int>(left);
+    }
     pollfd pfds[2] = {{prim.client.fd(), POLLIN, 0},
                       {back.client.fd(), POLLIN, 0}};
-    const int rc = ::poll(pfds, 2, 100);
+    const int rc = ::poll(pfds, 2, poll_ms);
     if (rc < 0) continue;
     const bool prim_ready = (pfds[0].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
     const bool back_ready = (pfds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0;
@@ -209,17 +234,24 @@ Response ReplicaClient::hedged_roundtrip(std::size_t idx, const Request& req) {
     const bool backup_won = back_ready && !prim_ready;
     Replica& winner = backup_won ? back : prim;
     Replica& loser = backup_won ? prim : back;
-    Response resp = winner.client.read_response();
+    Response resp;
+    try {
+      resp = winner.client.read_response();
+    } catch (...) {
+      // The winner's stream broke mid-reply (e.g. the server was SIGKILLed
+      // after becoming readable). The loser's reply is still in flight and
+      // will never be read — close BOTH streams before the failover loop
+      // retries, or the loser's stale frame would answer the next request.
+      loser.client.close();
+      winner.client.close();
+      throw;
+    }
     // The loser's reply is in flight and will never be read; close so a
     // stale frame cannot desynchronize the next request on that stream.
     loser.client.close();
     ++(backup_won ? stats_.hedges_won : stats_.hedges_lost);
     if (metrics_ != nullptr) metrics_->record_hedge(backup_won);
-    if (backup_won) {
-      // Also count the backup endpoint's service; the outer loop only
-      // credits `idx`.
-      ++stats_.endpoints[static_cast<std::size_t>(backup_idx)].requests;
-    }
+    if (backup_won) served_by = static_cast<std::size_t>(backup_idx);
     return resp;
   }
 }
@@ -248,17 +280,23 @@ Response ReplicaClient::call_idempotent(const Request& req) {
     last_failed = -1;
     primary_ = idx;
     try {
-      Response resp = roundtrip(static_cast<std::size_t>(idx), req);
+      // `served` reports which endpoint actually produced the reply — the
+      // hedge backup when it wins the race, `idx` otherwise — so success
+      // and failure land on the replica that answered, not the one we
+      // aimed at (a primary that always loses hedges must not have its
+      // breaker reset by the backup's answers).
+      std::size_t served = static_cast<std::size_t>(idx);
+      Response resp = roundtrip(static_cast<std::size_t>(idx), req, served);
       if (retryable_status(resp.status)) {
         // OVERLOADED/TIMEOUT/DRAINING: this replica cannot take the query
         // right now; charge it and move on.
         if (resp.status == Status::kOverloaded) ++stats_.sheds_seen;
-        record_failure(static_cast<std::size_t>(idx));
-        last_failed = idx;
+        record_failure(served);
+        last_failed = static_cast<int>(served);
         last_error = std::string(status_name(resp.status)) + ": " + resp.text;
         continue;
       }
-      record_success(static_cast<std::size_t>(idx));
+      record_success(served);
       return resp;
     } catch (const std::exception& e) {
       record_failure(static_cast<std::size_t>(idx));

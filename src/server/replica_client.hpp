@@ -19,7 +19,9 @@
 //     reply has arrived, fire the same request on the next healthy replica
 //     and take whichever answers first. Only idempotent queries are hedged
 //     (the same rule the Client retry policy uses). The loser's connection
-//     is closed — its late reply must not desynchronize the stream.
+//     is closed — its late reply must not desynchronize the stream — and
+//     the race is bounded by recv_timeout_ms, so hedging never weakens the
+//     deadline protection of the non-hedged path.
 //
 // Not thread-safe: like Client, one ReplicaClient per worker thread. The
 // optional Metrics registry IS thread-safe, so many ReplicaClients can
@@ -145,9 +147,13 @@ class ReplicaClient {
   /// Next closed endpoint != `exclude`, or -1.
   int next_closed(int exclude) const;
   /// One round-trip on replica `idx`, hedged onto a second replica when
-  /// configured and possible.
-  Response roundtrip(std::size_t idx, const Request& req);
-  Response hedged_roundtrip(std::size_t idx, const Request& req);
+  /// configured and possible. `served_by` reports which endpoint actually
+  /// produced the reply (`idx` unless the hedge backup won the race), so
+  /// the caller credits success/failure to the right breaker.
+  Response roundtrip(std::size_t idx, const Request& req,
+                     std::size_t& served_by);
+  Response hedged_roundtrip(std::size_t idx, const Request& req,
+                            std::size_t& served_by);
   void backoff(unsigned sweep);
 
   ReplicaClientOptions options_;

@@ -98,7 +98,6 @@ std::string Server::reload(const std::string& path) {
   // published snapshot, which is only touched by the final publish().
   std::lock_guard<std::mutex> lock(reload_mu_);
   reloading_.store(true, std::memory_order_release);
-  const std::uint64_t crc_before = labeling_crc_failures();
   try {
     // The slow part — disk read + CRC sweep + label table build — happens
     // entirely off to the side, on the caller's thread, against no lock the
@@ -111,11 +110,16 @@ std::string Server::reload(const std::string& path) {
     metrics_.record_reload(ReloadResult::kOk);
     reloading_.store(false, std::memory_order_release);
     return {};
+  } catch (const LabelingCrcError& e) {
+    // Old labels keep serving. The distinct type (not the process-global
+    // counter, which another load elsewhere could bump concurrently) is
+    // what classifies this reload's failure as crc_failed.
+    metrics_.record_reload(ReloadResult::kCrcFailed);
+    reloading_.store(false, std::memory_order_release);
+    return e.what();
   } catch (const std::exception& e) {
     // Old labels keep serving; the only trace is the counter + the message.
-    metrics_.record_reload(labeling_crc_failures() > crc_before
-                               ? ReloadResult::kCrcFailed
-                               : ReloadResult::kError);
+    metrics_.record_reload(ReloadResult::kError);
     reloading_.store(false, std::memory_order_release);
     return e.what();
   }

@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 namespace fsdl {
@@ -33,12 +34,19 @@ bool write_all(int fd, const char* data, std::size_t size) {
 
 bool atomic_write_file(const std::string& path, const void* data,
                        std::size_t size, std::string* error) {
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // Unique temp name per writer: if two processes save the same target
+  // concurrently, a shared fixed tmp path would make them write into the
+  // same inode and one rename could publish the other's half-written
+  // bytes, defeating the torn-file guarantee.
+  std::string tmp = path + ".tmp.XXXXXX";
+  const int fd = ::mkstemp(tmp.data());
   if (fd < 0) {
-    set_error(error, "cannot open " + tmp);
+    set_error(error, "cannot create temp file " + tmp);
     return false;
   }
+  // mkstemp creates 0600; widen to the 0644 a plain create would ask for,
+  // so the published file stays readable by scrapers and other processes.
+  ::fchmod(fd, 0644);
   if (!write_all(fd, static_cast<const char*>(data), size)) {
     set_error(error, "write to " + tmp + " failed");
     ::close(fd);

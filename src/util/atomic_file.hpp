@@ -1,8 +1,10 @@
-// Crash-safe whole-file replacement: write to `path + ".tmp"`, fsync the
+// Crash-safe whole-file replacement: write to a unique temp file next to
+// the target (mkstemp on `path + ".tmp.XXXXXX"` — per-writer, so two
+// concurrent savers of the same target never share a tmp inode), fsync the
 // data, then rename(2) over the target. POSIX rename is atomic within a
 // filesystem, so at every instant `path` is either the complete old file or
 // the complete new file — a crash (or SIGKILL) mid-write can leave a stale
-// `.tmp` behind but can never leave `path` missing, truncated, or torn.
+// `.tmp.*` behind but can never leave `path` missing, truncated, or torn.
 //
 // Two consumers with the same failure story:
 //   * label persistence (core/serialize.cpp): a crash mid-save must not

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -257,6 +258,36 @@ TEST_F(ReplicaClientTest, HedgedRequestsWonByLiveBackup) {
   EXPECT_EQ(stats.hedges_lost, 0u);
   EXPECT_EQ(registry.hedges(true), 10u);
   EXPECT_EQ(stats.failovers, 0u);
+  // Service is credited to the backup that actually answered, not to the
+  // silent primary — an endpoint that only ever loses hedges must not have
+  // its request count or breaker state refreshed by answers it never gave.
+  EXPECT_EQ(stats.endpoints[0].requests, 0u);
+  EXPECT_EQ(stats.endpoints[1].requests, 10u);
+}
+
+TEST_F(ReplicaClientTest, HedgeRaceIsBoundedByRecvDeadline) {
+  // BOTH replicas accept and never reply. The hedge race must then give up
+  // after recv_timeout_ms per attempt — without the deadline, enabling
+  // hedging would hang this call forever (the non-hedged path is bounded
+  // by SO_RCVTIMEO; the race loop must be no weaker).
+  SilentServer a;
+  SilentServer b;
+  auto opt = fast_options();
+  opt.client.recv_timeout_ms = 200;
+  opt.hedge_us = 1000;
+  opt.max_attempts = 2;
+  opt.breaker_cooldown_ms = 10;
+  server::ReplicaClient client(
+      {{"127.0.0.1", a.port()}, {"127.0.0.1", b.port()}}, opt);
+  FaultSet f;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.dist(0, 1, f), std::runtime_error);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+  // Two attempts, each bounded by the 200ms recv deadline, plus breaker
+  // probes; far under the would-be-infinite hang this guards against.
+  EXPECT_LT(elapsed_ms, 5000);
 }
 
 TEST_F(ReplicaClientTest, HedgeAgainstFastPrimaryKeepsAnswersValid) {

@@ -120,10 +120,12 @@ TEST(Serialize, EveryFlippedBitIsRejectedByCrc) {
     try {
       (void)load_labeling(corrupt);
       FAIL() << "bit flip at byte " << pos << " loaded successfully";
-    } catch (const std::runtime_error& e) {
-      if (std::string(e.what()).find("CRC32") != std::string::npos) {
-        ++crc_rejections;
-      }
+    } catch (const LabelingCrcError&) {
+      // The distinct type is load-bearing: Server::reload uses it to
+      // classify the failure as crc_failed without consulting globals.
+      ++crc_rejections;
+    } catch (const std::runtime_error&) {
+      // Structural rejection (truncated/corrupt field) before the CRC.
     }
   }
   EXPECT_GT(crc_rejections, 0u);

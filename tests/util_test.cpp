@@ -423,6 +423,10 @@ TEST(AtomicFile, LeftoverTmpFromACrashDoesNotShadowTheTarget) {
   EXPECT_EQ(slurp(path), "good old content") << "tmp must not be visible";
   ASSERT_TRUE(atomic_write_file(path, "good new content"));
   EXPECT_EQ(slurp(path), "good new content");
+  // Each writer uses its own mkstemp name, so the stale tmp was neither
+  // reused nor renamed into place — two concurrent writers can never
+  // publish each other's half-written bytes through a shared tmp inode.
+  EXPECT_EQ(slurp(path + ".tmp"), "torn half-written garb");
   std::remove(path.c_str());
   std::remove((path + ".tmp").c_str());
 }

@@ -419,9 +419,16 @@ int main(int argc, char** argv) {
 
     // Final server-side snapshot; best effort (under chaos the probe
     // connection itself can be hit). Try each replica until one answers.
+    // The probe gets the run's deadlines: a wedged replica (e.g. SIGSTOPped
+    // by the chaos supervisor) must fail the probe, not hang the whole
+    // loadgen run on a deadline-less recv.
+    server::ClientOptions probe_opt;
+    probe_opt.connect_timeout_ms = opt.timeout_ms;
+    probe_opt.recv_timeout_ms = opt.timeout_ms;
+    probe_opt.send_timeout_ms = opt.timeout_ms;
     for (const auto& ep : opt.endpoints) {
       try {
-        server::Client probe;
+        server::Client probe(probe_opt);
         probe.connect(ep.host, ep.port);
         std::printf("--- server stats (%s:%u) ---\n%s", ep.host.c_str(),
                     ep.port, probe.stats().c_str());
