@@ -1,0 +1,173 @@
+// E21 — scatter-gather router latency: fsdl_router in front of a sharded
+// fleet vs. a client talking to one monolithic server directly.
+//
+// One table: p50/p99/QPS for direct serving and for the router at shard
+// counts 1, 2, 4 (one replica per shard, loopback TCP), plus the router's
+// label-LRU hit rate. The router pays an extra network hop per *cold*
+// label, so its latency premium over direct is bounded by the cache miss
+// rate: with a warm working set (the steady state the LRU exists for) the
+// decode happens router-side on cached labels and the premium shrinks to
+// one hop of framing. p99 at 2 and 4 shards also shows the scatter cost —
+// a cold query must wait for its slowest owning shard.
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_store.hpp"
+
+namespace fsdl::bench {
+namespace {
+
+struct LoadResult {
+  double qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Mixed DIST/BATCH (8:1) against whatever speaks the protocol on `port`;
+/// the fault pool is small and recurring, so the prepared caches on both
+/// architectures stay warm and the comparison isolates transport + label
+/// locality.
+LoadResult drive(std::uint16_t port, const Graph& g, unsigned client_threads,
+                 unsigned requests, std::uint64_t seed) {
+  std::vector<FaultSet> pool(4);
+  Rng pool_rng(seed);
+  for (auto& f : pool) {
+    while (f.size() < 2) f.add_vertex(pool_rng.vertex(g.num_vertices()));
+  }
+
+  std::mutex agg_mu;
+  Histogram latency(1.25);
+  std::uint64_t queries = 0;
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (unsigned tid = 0; tid < client_threads; ++tid) {
+    threads.emplace_back([&, tid] {
+      Rng rng(seed ^ (0x9E37u + tid));
+      server::Client client;
+      client.connect("127.0.0.1", port);
+      Histogram local(1.25);
+      std::uint64_t local_queries = 0;
+      for (unsigned r = 0; r < requests; ++r) {
+        const FaultSet& faults = pool[rng.below(pool.size())];
+        WallTimer timer;
+        if (r % 8 == 7) {
+          std::vector<std::pair<Vertex, Vertex>> pairs;
+          for (int k = 0; k < 8; ++k) {
+            pairs.emplace_back(rng.vertex(g.num_vertices()),
+                               rng.vertex(g.num_vertices()));
+          }
+          local_queries += client.batch(pairs, faults).size();
+        } else {
+          (void)client.dist(rng.vertex(g.num_vertices()),
+                            rng.vertex(g.num_vertices()), faults);
+          ++local_queries;
+        }
+        local.add(timer.elapsed_us());
+      }
+      std::lock_guard<std::mutex> lock(agg_mu);
+      queries += local_queries;
+      latency.merge(local);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double secs = wall.elapsed_seconds();
+
+  LoadResult out;
+  out.qps = secs > 0 ? static_cast<double>(queries) / secs : 0.0;
+  out.p50_us = latency.percentile(50);
+  out.p99_us = latency.percentile(99);
+  return out;
+}
+
+}  // namespace
+}  // namespace fsdl::bench
+
+int main() {
+  using namespace fsdl;
+  using namespace fsdl::bench;
+
+  const Graph g = workload("grid");
+  const auto scheme =
+      ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+  constexpr unsigned kClients = 4;
+  constexpr unsigned kRequests = 300;
+
+  std::cout << "E21 | router scatter-gather: grid n=" << g.num_vertices()
+            << ", faithful eps=1, loopback TCP, mixed DIST/BATCH (8:1), "
+               "|F|=2 warm pool, 1 replica/shard\n"
+            << "prediction: router p50 approaches direct once the label LRU "
+               "is warm; p99 grows with shard count (cold scatter waits on "
+               "the slowest shard)\n\n";
+
+  Table t({"config", "p50_us", "p99_us", "qps", "label_hit"});
+
+  {
+    server::ServerOptions options;
+    options.workers = 4;
+    options.cache_capacity = 64;
+    server::Server srv(ForbiddenSetLabeling(scheme), options);
+    srv.start();
+    const auto r = drive(srv.port(), g, kClients, kRequests, /*seed=*/31);
+    srv.stop();
+    t.row()
+        .cell("direct")
+        .cell(r.p50_us, 1)
+        .cell(r.p99_us, 1)
+        .cell(r.qps, 0)
+        .cell("-");
+  }
+
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    std::vector<std::unique_ptr<server::Server>> fleet;
+    shard::RouterOptions ropt;
+    ropt.transport.workers = 4;
+    auto add_server = [&](ForbiddenSetLabeling piece) {
+      server::ServerOptions options;
+      options.workers = 2;
+      fleet.push_back(
+          std::make_unique<server::Server>(std::move(piece), options));
+      fleet.back()->start();
+      ropt.shards.push_back(
+          {server::Endpoint{"127.0.0.1", fleet.back()->port()}});
+    };
+    if (shards == 1) {
+      add_server(ForbiddenSetLabeling(scheme));  // unsharded == 1-shard
+    } else {
+      for (auto& piece : shard::split_labeling(scheme, shards)) {
+        add_server(std::move(piece));
+      }
+    }
+
+    shard::Router router(ropt);
+    router.start();
+    const auto r =
+        drive(router.port(), g, kClients, kRequests, /*seed=*/31 + shards);
+    const double hits =
+        static_cast<double>(router.metrics().label_cache(true));
+    const double misses =
+        static_cast<double>(router.metrics().label_cache(false));
+    const double hit_rate =
+        hits + misses > 0 ? hits / (hits + misses) : 0.0;
+    router.stop();
+    for (auto& s : fleet) s->stop();
+
+    char name[32];
+    std::snprintf(name, sizeof name, "router K=%u", shards);
+    t.row()
+        .cell(name)
+        .cell(r.p50_us, 1)
+        .cell(r.p99_us, 1)
+        .cell(r.qps, 0)
+        .cell(hit_rate, 3);
+  }
+
+  emit(t, "E21: router vs direct serving (latency, throughput, label LRU)");
+  return 0;
+}

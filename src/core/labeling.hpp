@@ -13,10 +13,15 @@
 #include "core/label.hpp"
 #include "core/params.hpp"
 #include "graph/graph.hpp"
+#include "shard/partition.hpp"
 #include "util/bitstream.hpp"
 #include "util/types.hpp"
 
 namespace fsdl {
+
+namespace shard {
+class ShardStore;
+}  // namespace shard
 
 struct BuildOptions {
   /// Cap the top level at ⌈log₂(diam+1)⌉ instead of the paper's ⌈log₂ n⌉.
@@ -61,18 +66,34 @@ class ForbiddenSetLabeling {
   double mean_label_bits() const;
   std::size_t total_bits() const;
 
+  /// Partition identity: which shard of which consistent-hash ring this
+  /// object holds. Default-constructed (shard 0 of 1) for anything built in
+  /// process; set by shard::ShardStore::split and by deserialization. A
+  /// sharded labeling still has num_vertices() slots — unowned vertices
+  /// hold empty bit buffers and must not be decoded.
+  const shard::PartitionInfo& partition() const noexcept { return partition_; }
+
+  /// True when this object holds v's label bits (always true unsharded;
+  /// equivalent to a nonempty stored buffer for a split labeling).
+  bool stores_label(Vertex v) const {
+    return !partition_.sharded() || labels_[v].bit_size() > 0;
+  }
+
  private:
   // The weighted extension builds the same storage through its own
   // constructor logic (core/weighted.cpp); persistence reads/writes the raw
-  // buffers (core/serialize.cpp).
+  // buffers (core/serialize.cpp); the shard store cuts and reassembles
+  // them (shard/shard_store.cpp).
   friend class WeightedLabelingBuilder;
   friend class SchemeSerializer;
+  friend class shard::ShardStore;
 
   SchemeParams params_;
   unsigned top_level_ = 0;
   unsigned vertex_bits_ = 1;
   LabelCodec codec_ = LabelCodec::kClassic;
   std::vector<BitWriter> labels_;
+  shard::PartitionInfo partition_;
 };
 
 }  // namespace fsdl

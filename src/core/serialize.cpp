@@ -16,7 +16,7 @@ namespace fsdl {
 namespace {
 
 constexpr char kMagic[4] = {'F', 'S', 'D', 'L'};
-constexpr std::uint32_t kVersion = 2;
+constexpr std::uint32_t kVersion = 3;
 
 /// Refuse to even try reading bodies above this; a corrupt/garbage size
 /// field must not drive allocation. 1 TiB is far beyond any labeling this
@@ -92,8 +92,24 @@ class SchemeSerializer {
     append_pod(body, static_cast<std::uint32_t>(scheme.top_level_));
     append_pod(body, static_cast<std::uint32_t>(scheme.vertex_bits_));
     append_pod(body, static_cast<std::uint8_t>(scheme.codec_));
+    // Partition identity inside the CRC-covered body (see header comment).
+    append_pod(body, scheme.partition_.shard_id);
+    append_pod(body, scheme.partition_.shard_count);
+    append_pod(body, scheme.partition_.ring_seed);
+    append_pod(body, scheme.partition_.ring_points);
     append_pod(body, static_cast<std::uint32_t>(scheme.labels_.size()));
+    // Sparse, vertex-tagged records: a shard file stores only the labels it
+    // owns. Empty buffers mark unowned slots (a built label is never empty
+    // — the encoder always writes a header).
+    std::uint32_t stored = 0;
     for (const BitWriter& label : scheme.labels_) {
+      if (label.bit_size() > 0) ++stored;
+    }
+    append_pod(body, stored);
+    for (std::uint32_t v = 0; v < scheme.labels_.size(); ++v) {
+      const BitWriter& label = scheme.labels_[v];
+      if (label.bit_size() == 0) continue;
+      append_pod(body, v);
       append_pod(body, static_cast<std::uint64_t>(label.bit_size()));
       append_pod(body, static_cast<std::uint64_t>(label.words().size()));
       body.append(reinterpret_cast<const char*>(label.words().data()),
@@ -163,24 +179,57 @@ class SchemeSerializer {
     scheme.top_level_ = r.pod<std::uint32_t>();
     scheme.vertex_bits_ = r.pod<std::uint32_t>();
     scheme.codec_ = static_cast<LabelCodec>(r.pod<std::uint8_t>());
+    scheme.partition_.shard_id = r.pod<std::uint32_t>();
+    scheme.partition_.shard_count = r.pod<std::uint32_t>();
+    scheme.partition_.ring_seed = r.pod<std::uint64_t>();
+    scheme.partition_.ring_points = r.pod<std::uint32_t>();
+    if (scheme.partition_.shard_count == 0 ||
+        scheme.partition_.shard_id >= scheme.partition_.shard_count) {
+      throw std::runtime_error("labeling file corrupt (shard id " +
+                               std::to_string(scheme.partition_.shard_id) +
+                               " out of range for shard count " +
+                               std::to_string(scheme.partition_.shard_count) +
+                               ")");
+    }
     const std::uint32_t n = r.pod<std::uint32_t>();
-    // Each label costs at least 16 body bytes; reject counts the body
+    const std::uint32_t stored = r.pod<std::uint32_t>();
+    if (stored > n) {
+      throw std::runtime_error(
+          "labeling file corrupt (stored label count exceeds vertex count)");
+    }
+    if (!scheme.partition_.sharded() && stored != n) {
+      throw std::runtime_error(
+          "labeling file corrupt (unsharded file missing labels)");
+    }
+    // Each record costs at least 20 body bytes; reject counts the body
     // cannot back before reserving.
-    if (n > r.remaining() / 16) {
-      throw std::runtime_error("labeling file corrupt (vertex count exceeds "
+    if (stored > r.remaining() / 20) {
+      throw std::runtime_error("labeling file corrupt (label count exceeds "
                                "file size)");
     }
-    scheme.labels_.reserve(n);
-    for (std::uint32_t v = 0; v < n; ++v) {
+    scheme.labels_.assign(n, BitWriter{});
+    std::uint64_t prev = 0;  // strictly ascending: next vertex >= prev
+    for (std::uint32_t i = 0; i < stored; ++i) {
+      const std::uint32_t v = r.pod<std::uint32_t>();
+      if (v >= n || (i > 0 && v <= prev)) {
+        throw std::runtime_error(
+            "labeling file corrupt (label records not ascending)");
+      }
+      prev = v;
       const std::uint64_t bits = r.pod<std::uint64_t>();
       const std::uint64_t num_words = r.pod<std::uint64_t>();
+      // A stored record must hold actual label bits — empty means unowned
+      // and those slots are simply absent from the file.
+      if (bits == 0) {
+        throw std::runtime_error("labeling file corrupt (empty label record)");
+      }
       // bits/64 never overflows; num_words is bounds-checked against the
       // remaining body inside words().
       if (num_words < bits / 64 + (bits % 64 != 0)) {
         throw std::runtime_error("labeling file corrupt (word count)");
       }
-      scheme.labels_.push_back(BitWriter::from_words(
-          r.words(num_words), static_cast<std::size_t>(bits)));
+      scheme.labels_[v] = BitWriter::from_words(
+          r.words(num_words), static_cast<std::size_t>(bits));
     }
     if (!r.done()) {
       throw std::runtime_error("labeling file corrupt (trailing bytes)");

@@ -2,21 +2,33 @@
 // the deployment story behind the paper's hand-held-device motivation
 // (precompute labels centrally, ship each device only the labels it needs).
 //
-// Binary little-endian format, version 2:
+// Binary little-endian format, version 3:
 //   magic "FSDL" + version u32
 //   body_size u64            — bytes of body that follow
 //   body:
 //     SchemeParams  (epsilon f64, c u32, faithful_radii u8, all_pairs u8)
-//     top_level u32, vertex_bits u32, codec u8, n u32
-//     per vertex: bit_size u64, word_count u64, words u64[]
+//     top_level u32, vertex_bits u32, codec u8
+//     partition: shard_id u32, shard_count u32, ring_seed u64,
+//                ring_points u32   (shard 0 of 1 = unsharded)
+//     n u32                  — vertices of the *whole* labeling
+//     stored u32             — label records that follow (== n unsharded)
+//     per record, ascending: vertex u32, bit_size u64, word_count u64,
+//                            words u64[]
 //   crc32(body) u32          — integrity trailer
+//
+// The partition identity lives *inside* the CRC-covered body, never in the
+// raw header: a flipped bit in the shard metadata must fail the checksum,
+// not silently reroute queries to the wrong shard. Label records are
+// vertex-tagged and sparse so a shard file stores only the labels its
+// shard owns while still declaring the full n (every process agrees on the
+// id space and the ownership ring).
 //
 // The CRC makes label files corruption-proof in the only sense that
 // matters: a flipped bit (disk rot, torn copy, truncation) is rejected at
 // load with a clear error instead of being decoded into structurally valid
-// but wrong labels that would silently serve wrong distances. Version-1
-// files (no checksum) are rejected with an actionable message — rebuild
-// with `fsdl build`. Every length field is bounds-checked against the body
+// but wrong labels that would silently serve wrong distances. Version-1/2
+// files are rejected with an actionable message — rebuild with
+// `fsdl build`. Every length field is bounds-checked against the body
 // before any allocation.
 #pragma once
 

@@ -1,0 +1,281 @@
+#include "server/frame_server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fsdl::server {
+
+namespace {
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool send_response(int fd, const Response& resp) {
+  const auto wire = frame(encode_response(resp));
+  return send_all(fd, wire.data(), wire.size());
+}
+
+void set_socket_timeout(int fd, int option, unsigned ms) {
+  if (ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof tv);
+}
+
+/// accept() errnos that mean "try again shortly", not "the listener is
+/// dead": per-process/system fd exhaustion, a connection that was reset
+/// before we got to it, and transient resource pressure. Treating these as
+/// fatal is how an accept loop dies permanently at the worst moment.
+bool transient_accept_errno(int err) {
+  switch (err) {
+    case EMFILE:
+    case ENFILE:
+    case ECONNABORTED:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ENOBUFS:
+    case ENOMEM:
+    case EPROTO:
+    case EINTR:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+FrameServer::FrameServer(const TransportOptions& transport)
+    : transport_(transport) {}
+
+FrameServer::~FrameServer() {
+  // Subclass destructors call stop() themselves (their handle() must stay
+  // callable while workers drain); this is the backstop for subclasses that
+  // never started.
+  stop();
+}
+
+void FrameServer::start() {
+  if (running_.load()) throw std::logic_error("server already started");
+  on_start();
+
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(transport_.port);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(lfd);
+    throw std::runtime_error(std::string("bind() failed: ") +
+                             std::strerror(errno));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (transport_.listen_backlog <= 0) transport_.listen_backlog = 64;
+  if (::listen(lfd, transport_.listen_backlog) < 0) {
+    ::close(lfd);
+    throw std::runtime_error("listen() failed");
+  }
+  listen_fd_.store(lfd);
+
+  pool_ = std::make_unique<ThreadPool>(transport_.workers,
+                                       transport_.max_queued_connections);
+  running_.store(true);
+  draining_.store(false);
+  stop_done_.store(false);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void FrameServer::begin_drain() {
+  if (!running_.load()) return;
+  draining_.store(true, std::memory_order_release);
+  // Closing the listener stops new connections and unblocks accept().
+  if (const int lfd = listen_fd_.exchange(-1); lfd >= 0) {
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+}
+
+void FrameServer::stop() {
+  if (stop_done_.exchange(true)) return;
+  if (!running_.load()) return;
+
+  begin_drain();
+  if (transport_.drain_deadline_ms > 0) {
+    // Wait for in-flight requests to complete. Connections merely idle in
+    // recv() hold no request, so they never delay the drain.
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(transport_.drain_deadline_ms);
+    while (in_flight_.load(std::memory_order_acquire) > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  running_.store(false);
+  // Shutting the connection fds unblocks any worker mid-recv.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_) pool_->shutdown();
+}
+
+void FrameServer::track(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.insert(fd);
+}
+
+void FrameServer::untrack(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  conn_fds_.erase(fd);
+}
+
+void FrameServer::accept_loop() {
+  unsigned backoff_ms = 1;
+  while (running_.load()) {
+    const int lfd = listen_fd_.load();
+    if (lfd < 0) break;  // begin_drain()/stop() closed the listener
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      const int err = errno;
+      if (listen_fd_.load() < 0 || !running_.load()) break;
+      if (err == EINTR) continue;
+      if (transient_accept_errno(err)) {
+        // fd exhaustion or resource pressure: back off briefly and keep the
+        // server alive — connections already established keep being served,
+        // and accepting resumes the moment pressure clears.
+        metrics_.record_failure(FailureCounter::kAcceptRetries);
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = backoff_ms < 100 ? backoff_ms * 2 : 200;
+        continue;
+      }
+      break;  // genuinely unrecoverable (listener fd invalid, ...)
+    }
+    backoff_ms = 1;
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    set_socket_timeout(fd, SO_RCVTIMEO, transport_.recv_timeout_ms);
+    set_socket_timeout(fd, SO_SNDTIMEO, transport_.send_timeout_ms);
+    metrics_.record_connection();
+    track(fd);
+    const bool queued = pool_->submit([this, fd] {
+      serve_connection(fd);
+      untrack(fd);
+      ::close(fd);
+    });
+    if (!queued) {
+      // Admission control: every worker busy and the waiting line full.
+      // One OVERLOADED frame tells the client to back off; then shed.
+      metrics_.record_failure(FailureCounter::kSheds);
+      send_response(fd, error_response("server overloaded, retry later",
+                                       Status::kOverloaded));
+      untrack(fd);
+      ::close(fd);
+    }
+  }
+}
+
+void FrameServer::serve_connection(int fd) {
+  Framer framer;
+  std::uint8_t chunk[64 * 1024];
+  std::vector<std::uint8_t> payload;
+  while (running_.load()) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // The per-connection receive deadline fired. Whether the client is
+        // mid-frame (slowloris) or simply idle, it is holding a worker —
+        // tell it why and evict.
+        metrics_.record_failure(FailureCounter::kEvictions);
+        send_response(fd, error_response(
+                              framer.pending_bytes() > 0
+                                  ? "receive deadline exceeded mid-frame"
+                                  : "idle deadline exceeded",
+                              Status::kTimeout));
+      }
+      return;
+    }
+    if (n == 0) return;  // peer closed
+    framer.feed(chunk, static_cast<std::size_t>(n));
+    while (framer.next(payload)) {
+      Request req;
+      std::string decode_error;
+      const bool decoded =
+          decode_request(payload.data(), payload.size(), req, decode_error);
+      if (draining_.load(std::memory_order_acquire) &&
+          !(decoded && req.opcode == Opcode::kHealth)) {
+        // Frames decoded after the drain flip are new work: refuse them.
+        // HEALTH is exempt — a prober must see "draining", not a refusal,
+        // so it can tell a graceful goodbye from a crash.
+        metrics_.record_failure(FailureCounter::kDrainRejects);
+        send_response(fd, error_response("server draining, not accepting "
+                                         "new requests",
+                                         Status::kDraining));
+        return;
+      }
+      Response resp;
+      in_flight_.fetch_add(1, std::memory_order_acq_rel);
+      if (!decoded) {
+        metrics_.record_error();
+        resp = error_response("bad request: " + decode_error);
+      } else {
+        resp = handle(req);
+        if (!resp.ok()) metrics_.record_error();
+      }
+      const bool sent = send_response(fd, resp);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+      if (!sent) return;
+    }
+    if (framer.fatal()) {
+      // The stream is unsyncable: either the length prefix exceeded
+      // kMaxFramePayload or the payload failed its CRC. One diagnostic
+      // frame, then close.
+      metrics_.record_error();
+      if (framer.fatal_reason() == Framer::Fatal::kChecksum) {
+        metrics_.record_failure(FailureCounter::kFrameCrcErrors);
+        send_response(fd, error_response("frame checksum mismatch"));
+      } else {
+        send_response(fd, error_response("frame exceeds size limit"));
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace fsdl::server

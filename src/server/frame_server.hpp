@@ -1,0 +1,121 @@
+// FrameServer — the transport half of the fsdl serving stack, factored out
+// of Server so the shard router (shard/router.hpp) and the label server
+// speak the identical wire protocol with identical fault-tolerance
+// behavior instead of two divergent copies:
+//
+//   accept thread ──► ThreadPool workers ──► virtual handle(Request)
+//        │                  │
+//        │                  └─► Metrics (connections, sheds, evictions, ...)
+//        └── each accepted connection becomes one pool job serving that
+//            connection's frames sequentially.
+//
+// What lives here (and is therefore shared): the accept loop with
+// transient-errno backoff, admission control (OVERLOADED shed when all
+// workers are busy and the waiting line is full), per-connection
+// SO_RCVTIMEO/SO_SNDTIMEO deadlines with TIMEOUT eviction, frame
+// decode/CRC handling, and graceful drain (in-flight requests finish,
+// late frames get DRAINING, HEALTH stays answered so probers can tell a
+// goodbye from a crash).
+//
+// What subclasses own: everything behind handle() — labels, caches,
+// reloads for Server; scatter-gather fan-out for shard::Router.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "server/metrics.hpp"
+#include "server/protocol.hpp"
+#include "server/thread_pool.hpp"
+
+namespace fsdl::server {
+
+/// Socket/worker knobs common to every frame service (the subset of
+/// ServerOptions that is about the transport, not the labels).
+struct TransportOptions {
+  /// 0 = let the kernel pick an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  unsigned workers = 4;
+  /// listen(2) backlog (<= 0 coerced to 64 at start()).
+  int listen_backlog = 64;
+  /// Socket receive deadline per recv() call, milliseconds; 0 disables.
+  unsigned recv_timeout_ms = 0;
+  /// Socket send deadline, milliseconds; 0 disables.
+  unsigned send_timeout_ms = 0;
+  /// Connections allowed to wait for a worker before new ones are shed
+  /// with OVERLOADED.
+  std::size_t max_queued_connections = ThreadPool::kUnboundedQueue;
+  /// How long stop() waits for in-flight requests to finish before tearing
+  /// connections down, milliseconds. 0 = hard stop.
+  unsigned drain_deadline_ms = 0;
+};
+
+class FrameServer {
+ public:
+  explicit FrameServer(const TransportOptions& transport);
+  virtual ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Bind, listen on 127.0.0.1, spawn accept thread + workers.
+  /// Throws std::runtime_error on socket failure.
+  void start();
+
+  /// Begin draining: close the listener (no new connections), keep serving
+  /// requests already in flight, answer frames that arrive after the flip
+  /// with a DRAINING frame (HEALTH excepted). Idempotent.
+  void begin_drain();
+
+  /// Graceful stop: drain (waiting up to drain_deadline_ms for in-flight
+  /// requests), then shut open connections, drain the pool, join.
+  /// Idempotent; subclass destructors call it.
+  void stop();
+
+  bool draining() const noexcept {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Bound port (valid after start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  const Metrics& metrics() const noexcept { return metrics_; }
+
+  /// Answer one decoded request — the transport-independent core, public so
+  /// tests can exercise dispatch without sockets.
+  virtual Response handle(const Request& req) = 0;
+
+ protected:
+  /// Subclass warm-up run by start() before the listener binds (decode
+  /// labels, probe upstream shards, ...). Throwing aborts the start.
+  virtual void on_start() {}
+
+  Metrics metrics_;
+  TransportOptions transport_;
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void track(int fd);
+  void untrack(int fd);
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_done_{false};
+  /// Requests currently inside handle() on worker threads — what drain
+  /// waits on.
+  std::atomic<int> in_flight_{0};
+  // Written by start()/stop(), read by the accept thread.
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  std::mutex conn_mu_;
+  std::unordered_set<int> conn_fds_;
+};
+
+}  // namespace fsdl::server

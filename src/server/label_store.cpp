@@ -10,14 +10,18 @@ LabelSnapshot::LabelSnapshot(ForbiddenSetLabeling scheme,
       owned_oracle_(std::make_unique<const ForbiddenSetOracle>(*owned_scheme_)),
       oracle_(owned_oracle_.get()),
       cache_(*oracle_, cache_capacity, cache_shards),
-      epoch_(epoch) {}
+      epoch_(epoch),
+      partitioner_(std::make_unique<const shard::Partitioner>(
+          oracle_->scheme().partition())) {}
 
 LabelSnapshot::LabelSnapshot(const ForbiddenSetOracle& oracle,
                              std::size_t cache_capacity,
                              std::size_t cache_shards, std::uint64_t epoch)
     : oracle_(&oracle),
       cache_(oracle, cache_capacity, cache_shards),
-      epoch_(epoch) {}
+      epoch_(epoch),
+      partitioner_(std::make_unique<const shard::Partitioner>(
+          oracle.scheme().partition())) {}
 
 void LabelStore::publish(std::shared_ptr<const LabelSnapshot> snapshot) {
   std::lock_guard<std::mutex> lock(mu_);

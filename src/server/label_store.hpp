@@ -32,6 +32,7 @@
 #include "core/labeling.hpp"
 #include "core/oracle.hpp"
 #include "server/prepared_cache.hpp"
+#include "shard/partition.hpp"
 
 namespace fsdl::server {
 
@@ -56,6 +57,17 @@ class LabelSnapshot {
   PreparedCache& cache() const noexcept { return cache_; }
   std::uint64_t epoch() const noexcept { return epoch_; }
 
+  /// The labeling's partition identity and the ownership function over it
+  /// (trivial for an unsharded labeling: every vertex → shard 0). Built
+  /// once per snapshot so the per-request ownership check is a ring lookup,
+  /// never a ring rebuild.
+  const shard::PartitionInfo& partition() const noexcept {
+    return partitioner_->info();
+  }
+  const shard::Partitioner& partitioner() const noexcept {
+    return *partitioner_;
+  }
+
  private:
   // Destruction order matters (reverse of declaration): cache_ releases its
   // PreparedFaults before owned_oracle_, which drops its decoded-label
@@ -65,6 +77,7 @@ class LabelSnapshot {
   const ForbiddenSetOracle* oracle_;
   mutable PreparedCache cache_;
   std::uint64_t epoch_;
+  std::unique_ptr<const shard::Partitioner> partitioner_;
 };
 
 class LabelStore {

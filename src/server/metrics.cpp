@@ -11,8 +11,9 @@ namespace fsdl::server {
 
 namespace {
 
-const char* kTypeNames[kNumRequestTypes] = {"dist",    "batch",  "stats",
-                                            "metrics", "health", "reload"};
+const char* kTypeNames[kNumRequestTypes] = {"dist",   "batch",  "stats",
+                                            "metrics", "health", "reload",
+                                            "get_label"};
 
 void append_line(std::string& out, const char* fmt, ...) {
   char line[256];
@@ -60,11 +61,24 @@ const char* reload_result_name(ReloadResult r) {
   return "?";
 }
 
+const char* label_fetch_result_name(LabelFetchResult r) {
+  switch (r) {
+    case LabelFetchResult::kOk: return "ok";
+    case LabelFetchResult::kError: return "error";
+    case LabelFetchResult::kUnavailable: return "unavailable";
+    case LabelFetchResult::kCount_: break;
+  }
+  return "?";
+}
+
 Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   for (auto& s : stages_) s.store(0, std::memory_order_relaxed);
   for (auto& f : failures_) f.store(0, std::memory_order_relaxed);
   for (auto& r : reloads_) r.store(0, std::memory_order_relaxed);
+  for (auto& l : label_fetches_) l.store(0, std::memory_order_relaxed);
+  label_cache_hits_.store(0, std::memory_order_relaxed);
+  label_cache_misses_.store(0, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
   queries_.store(0, std::memory_order_relaxed);
   connections_.store(0, std::memory_order_relaxed);
@@ -150,6 +164,15 @@ std::string Metrics::render(const PreparedCache::Stats& cache) const {
                 reload_result_name(static_cast<ReloadResult>(k)),
                 reloads_[k].load(std::memory_order_relaxed));
   }
+  for (unsigned k = 0; k < kNumLabelFetchResults; ++k) {
+    append_line(out, "router_label_fetches_%s: %" PRIu64 "\n",
+                label_fetch_result_name(static_cast<LabelFetchResult>(k)),
+                label_fetches_[k].load(std::memory_order_relaxed));
+  }
+  append_line(out, "router_label_cache_hits: %" PRIu64 "\n",
+              label_cache(true));
+  append_line(out, "router_label_cache_misses: %" PRIu64 "\n",
+              label_cache(false));
   append_line(out, "label_crc_failures: %" PRIu64 "\n",
               labeling_crc_failures());
   append_line(out, "cache_entries: %zu\n", cache.entries);
@@ -272,6 +295,30 @@ std::string Metrics::render_prometheus(
                 reload_result_name(static_cast<ReloadResult>(k)),
                 reloads_[k].load(std::memory_order_relaxed));
   }
+
+  append_line(out,
+              "# HELP fsdl_router_label_fetches_total Router-to-shard "
+              "GET_LABEL round trips by outcome (cache misses only).\n");
+  append_line(out, "# TYPE fsdl_router_label_fetches_total counter\n");
+  for (unsigned k = 0; k < kNumLabelFetchResults; ++k) {
+    append_line(out, "fsdl_router_label_fetches_total{result=\"%s\"} %" PRIu64
+                     "\n",
+                label_fetch_result_name(static_cast<LabelFetchResult>(k)),
+                label_fetches_[k].load(std::memory_order_relaxed));
+  }
+
+  append_line(out,
+              "# HELP fsdl_router_label_cache_hits_total Router label-LRU "
+              "lookups served without a shard round trip.\n");
+  append_line(out, "# TYPE fsdl_router_label_cache_hits_total counter\n");
+  append_line(out, "fsdl_router_label_cache_hits_total %" PRIu64 "\n",
+              label_cache(true));
+  append_line(out,
+              "# HELP fsdl_router_label_cache_misses_total Router label-LRU "
+              "lookups that required a shard fetch.\n");
+  append_line(out, "# TYPE fsdl_router_label_cache_misses_total counter\n");
+  append_line(out, "fsdl_router_label_cache_misses_total %" PRIu64 "\n",
+              label_cache(false));
 
   append_line(out,
               "# HELP fsdl_label_crc_failures_total Label files rejected at "

@@ -24,9 +24,10 @@ enum class RequestType : unsigned {
   kStats = 2,
   kMetrics = 3,
   kHealth = 4,
-  kReload = 5
+  kReload = 5,
+  kGetLabel = 6
 };
-inline constexpr unsigned kNumRequestTypes = 6;
+inline constexpr unsigned kNumRequestTypes = 7;
 
 /// Decoder stage counters surfaced server-wide — one slot per QueryStats
 /// field. Always on (a handful of relaxed adds per *request*, never per
@@ -82,6 +83,21 @@ inline constexpr unsigned kNumReloadResults =
 
 const char* reload_result_name(ReloadResult r);
 
+/// Outcome of one router→shard label fetch (the GET_LABEL round trip
+/// behind a cache miss). `kError` is a definitive shard-side refusal
+/// (unknown vertex, wrong shard); `kUnavailable` means every replica of
+/// the owning shard was unreachable within the retry budget.
+enum class LabelFetchResult : unsigned {
+  kOk = 0,
+  kError,
+  kUnavailable,
+  kCount_
+};
+inline constexpr unsigned kNumLabelFetchResults =
+    static_cast<unsigned>(LabelFetchResult::kCount_);
+
+const char* label_fetch_result_name(LabelFetchResult r);
+
 class Metrics {
  public:
   Metrics();
@@ -124,6 +140,18 @@ class Metrics {
     reloads_[static_cast<unsigned>(r)].fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Count one router→shard GET_LABEL round trip by outcome.
+  void record_label_fetch(LabelFetchResult r) {
+    label_fetches_[static_cast<unsigned>(r)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Count one router label-LRU lookup.
+  void record_label_cache(bool hit) {
+    (hit ? label_cache_hits_ : label_cache_misses_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::uint64_t requests(RequestType type) const {
     return counts_[static_cast<unsigned>(type)].load(std::memory_order_relaxed);
   }
@@ -149,6 +177,14 @@ class Metrics {
   std::uint64_t reloads(ReloadResult r) const {
     return reloads_[static_cast<unsigned>(r)].load(std::memory_order_relaxed);
   }
+  std::uint64_t label_fetches(LabelFetchResult r) const {
+    return label_fetches_[static_cast<unsigned>(r)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t label_cache(bool hit) const {
+    return (hit ? label_cache_hits_ : label_cache_misses_)
+        .load(std::memory_order_relaxed);
+  }
   double uptime_seconds() const;
 
   /// Human-readable snapshot (also machine-greppable `key: value` lines).
@@ -170,6 +206,9 @@ class Metrics {
   std::atomic<std::uint64_t> hedges_won_;
   std::atomic<std::uint64_t> hedges_lost_;
   std::atomic<std::uint64_t> reloads_[kNumReloadResults];
+  std::atomic<std::uint64_t> label_fetches_[kNumLabelFetchResults];
+  std::atomic<std::uint64_t> label_cache_hits_;
+  std::atomic<std::uint64_t> label_cache_misses_;
   // One latency histogram per request type, microsecond samples, each
   // behind its own mutex (lock striping: recording a DIST latency must not
   // contend with BATCH recording; only a renderer takes them all).

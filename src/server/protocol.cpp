@@ -98,6 +98,9 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
       }
       break;
     }
+    case Opcode::kGetLabel:
+      put_u32(out, req.pairs.at(0).first);
+      break;
     case Opcode::kStats:
     case Opcode::kMetrics:
     case Opcode::kHealth:
@@ -212,6 +215,16 @@ bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
     case static_cast<std::uint8_t>(Opcode::kReload):
       out.opcode = Opcode::kReload;
       break;
+    case static_cast<std::uint8_t>(Opcode::kGetLabel): {
+      out.opcode = Opcode::kGetLabel;
+      std::uint32_t v;
+      if (!c.u32(v)) {
+        error = "truncated GET_LABEL body";
+        return false;
+      }
+      out.pairs.emplace_back(v, 0);
+      break;
+    }
     default:
       error = "unknown opcode " + std::to_string(op);
       return false;

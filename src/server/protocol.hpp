@@ -36,12 +36,20 @@
 //            enabled. The reply text reports the new epoch or the load
 //            error (CRC-corrupt files are rejected and the old labels keep
 //            serving).
+//   GET_LABEL = opcode 7, vertex u32 — fetch the raw serialized label bits
+//            of one vertex (plus the scheme description needed to decode
+//            them; see shard/wire_label.hpp for the blob layout). This is
+//            the fetch half of the fetch/decode split the router tier is
+//            built on: shards hand out label bytes, the router decodes and
+//            answers locally. kError if the vertex is out of range or owned
+//            by a different shard (the reply names the owner).
 //
 // Response payloads:
 //   status u8 (Status below)
 //   ok DIST:  distance u32 (kInfDist = unreachable)
 //   ok BATCH: npairs u32, distance u32 × npairs
 //   ok STATS / METRICS: text_len u32, UTF-8 text
+//   ok GET_LABEL: blob_len u32, wire-label blob (see shard/wire_label.hpp)
 //   any non-ok status: text_len u32, UTF-8 message
 //
 // Non-ok statuses tell a well-behaved client what to do: kError is a bad
@@ -72,7 +80,8 @@ enum class Opcode : std::uint8_t {
   kStats = 3,
   kMetrics = 4,
   kHealth = 5,
-  kReload = 6
+  kReload = 6,
+  kGetLabel = 7
 };
 
 /// Response status byte. Everything except kOk carries a text body.

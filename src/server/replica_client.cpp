@@ -170,7 +170,8 @@ Response ReplicaClient::roundtrip(std::size_t idx, const Request& req,
   Replica& r = replicas_[idx];
   if (!r.client.connected()) r.client.connect(r.addr.host, r.addr.port);
   if (options_.hedge_us > 0 && replicas_.size() > 1 &&
-      (req.opcode == Opcode::kDist || req.opcode == Opcode::kBatch)) {
+      (req.opcode == Opcode::kDist || req.opcode == Opcode::kBatch ||
+       req.opcode == Opcode::kGetLabel)) {
     return hedged_roundtrip(idx, req, served_by);
   }
   return r.client.call(req);

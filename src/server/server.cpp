@@ -1,91 +1,46 @@
 #include "server/server.hpp"
 
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <sys/time.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <chrono>
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
 #include <stdexcept>
 
 #include "core/serialize.hpp"
 #include "obs/trace.hpp"
+#include "shard/wire_label.hpp"
 #include "util/timer.hpp"
 
 namespace fsdl::server {
 
-namespace {
-
-bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
+TransportOptions Server::transport_of(const ServerOptions& options) {
+  TransportOptions t;
+  t.port = options.port;
+  t.workers = options.workers;
+  t.listen_backlog = options.listen_backlog;
+  t.recv_timeout_ms = options.recv_timeout_ms;
+  t.send_timeout_ms = options.send_timeout_ms;
+  t.max_queued_connections = options.max_queued_connections;
+  t.drain_deadline_ms = options.drain_deadline_ms;
+  return t;
 }
-
-bool send_response(int fd, const Response& resp) {
-  const auto wire = frame(encode_response(resp));
-  return send_all(fd, wire.data(), wire.size());
-}
-
-void set_socket_timeout(int fd, int option, unsigned ms) {
-  if (ms == 0) return;
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(ms / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof tv);
-}
-
-/// accept() errnos that mean "try again shortly", not "the listener is
-/// dead": per-process/system fd exhaustion, a connection that was reset
-/// before we got to it, and transient resource pressure. Treating these as
-/// fatal is how an accept loop dies permanently at the worst moment.
-bool transient_accept_errno(int err) {
-  switch (err) {
-    case EMFILE:
-    case ENFILE:
-    case ECONNABORTED:
-    case EAGAIN:
-#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
-    case EWOULDBLOCK:
-#endif
-    case ENOBUFS:
-    case ENOMEM:
-    case EPROTO:
-    case EINTR:
-      return true;
-    default:
-      return false;
-  }
-}
-
-}  // namespace
 
 Server::Server(const ForbiddenSetOracle& oracle, const ServerOptions& options)
-    : options_(options) {
+    : FrameServer(transport_of(options)), options_(options) {
   store_.publish(std::make_shared<const LabelSnapshot>(
       oracle, options.cache_capacity, options.cache_shards, /*epoch=*/1));
 }
 
 Server::Server(ForbiddenSetLabeling scheme, const ServerOptions& options)
-    : options_(options) {
+    : FrameServer(transport_of(options)), options_(options) {
   store_.publish(std::make_shared<const LabelSnapshot>(
       std::move(scheme), options.cache_capacity, options.cache_shards,
       /*epoch=*/1));
 }
 
 Server::~Server() { stop(); }
+
+void Server::on_start() {
+  if (options_.warm_labels) store_.current()->oracle().warm();
+}
 
 std::string Server::reload(const std::string& path) {
   const std::string source = path.empty() ? options_.label_path : path;
@@ -102,8 +57,30 @@ std::string Server::reload(const std::string& path) {
     // The slow part — disk read + CRC sweep + label table build — happens
     // entirely off to the side, on the caller's thread, against no lock the
     // query path takes.
+    ForbiddenSetLabeling scheme = load_labeling(source);
+    // Partition identity check: a shard server must keep serving *its*
+    // partition across reloads. Accepting a file cut for a different shard
+    // (or a different ring) would flip which vertices this process answers
+    // while routers keep sending it the old ones — every such query would
+    // fail, or worse, a stale ring could silently misattribute ownership.
+    const shard::PartitionInfo& current = store_.current()->partition();
+    const shard::PartitionInfo& incoming = scheme.partition();
+    if (!(incoming == current)) {
+      metrics_.record_reload(ReloadResult::kError);
+      reloading_.store(false, std::memory_order_release);
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "label file is shard %u/%u (ring seed %" PRIx64
+                    ", %u points) but this server serves shard %u/%u "
+                    "(ring seed %" PRIx64 ", %u points)",
+                    incoming.shard_id, incoming.shard_count, incoming.ring_seed,
+                    incoming.ring_points, current.shard_id,
+                    current.shard_count, current.ring_seed,
+                    current.ring_points);
+      return buf;
+    }
     auto snapshot = std::make_shared<const LabelSnapshot>(
-        load_labeling(source), options_.cache_capacity, options_.cache_shards,
+        std::move(scheme), options_.cache_capacity, options_.cache_shards,
         store_.epoch() + 1);
     if (options_.warm_labels) snapshot->oracle().warm();
     store_.publish(std::move(snapshot));
@@ -127,215 +104,42 @@ std::string Server::reload(const std::string& path) {
 
 std::string Server::health_text() const {
   const auto snap = store_.current();
-  const char* state = draining_.load(std::memory_order_acquire) ? "draining"
+  const char* state = draining() ? "draining"
                       : reloading_.load(std::memory_order_acquire)
                           ? "loading"
                           : "ready";
-  char buf[96];
-  std::snprintf(buf, sizeof buf, "%s epoch=%" PRIu64 " n=%u", state,
-                snap->epoch(), snap->oracle().scheme().num_vertices());
+  const shard::PartitionInfo& part = snap->partition();
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s epoch=%" PRIu64 " n=%u shard=%u/%u",
+                state, snap->epoch(), snap->oracle().scheme().num_vertices(),
+                part.shard_id, part.shard_count);
   return buf;
 }
 
-void Server::start() {
-  if (running_.load()) throw std::logic_error("Server already started");
-  if (options_.warm_labels) store_.current()->oracle().warm();
+namespace {
 
-  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (lfd < 0) throw std::runtime_error("socket() failed");
-  const int one = 1;
-  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options_.port);
-  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    ::close(lfd);
-    throw std::runtime_error(std::string("bind() failed: ") +
-                             std::strerror(errno));
-  }
-  socklen_t len = sizeof addr;
-  ::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (options_.listen_backlog <= 0) options_.listen_backlog = 64;
-  if (::listen(lfd, options_.listen_backlog) < 0) {
-    ::close(lfd);
-    throw std::runtime_error("listen() failed");
-  }
-  listen_fd_.store(lfd);
-
-  pool_ = std::make_unique<ThreadPool>(options_.workers,
-                                       options_.max_queued_connections);
-  running_.store(true);
-  draining_.store(false);
-  stop_done_.store(false);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+/// The distinct "wrong shard" refusal (satellite b): names the owner so a
+/// misconfigured client (or a router with a stale ring) can see exactly
+/// where the vertex lives instead of a generic failure.
+Response wrong_shard_response(const char* what, Vertex v,
+                              std::uint32_t owner,
+                              const shard::PartitionInfo& part) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "%s %u not on this shard: owned by shard %u/%u (this server "
+                "serves shard %u/%u)",
+                what, v, owner, part.shard_count, part.shard_id,
+                part.shard_count);
+  return error_response(buf);
 }
 
-void Server::begin_drain() {
-  if (!running_.load()) return;
-  draining_.store(true, std::memory_order_release);
-  // Closing the listener stops new connections and unblocks accept().
-  if (const int lfd = listen_fd_.exchange(-1); lfd >= 0) {
-    ::shutdown(lfd, SHUT_RDWR);
-    ::close(lfd);
-  }
+Response out_of_range_response(const char* what, Vertex v, Vertex n) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s %u out of range (n=%u)", what, v, n);
+  return error_response(buf);
 }
 
-void Server::stop() {
-  if (stop_done_.exchange(true)) return;
-  if (!running_.load()) return;
-
-  begin_drain();
-  if (options_.drain_deadline_ms > 0) {
-    // Wait for in-flight requests to complete. Connections merely idle in
-    // recv() hold no request, so they never delay the drain.
-    const auto deadline =
-        std::chrono::steady_clock::now() +
-        std::chrono::milliseconds(options_.drain_deadline_ms);
-    while (in_flight_.load(std::memory_order_acquire) > 0 &&
-           std::chrono::steady_clock::now() < deadline) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
-    }
-  }
-
-  running_.store(false);
-  // Shutting the connection fds unblocks any worker mid-recv.
-  {
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  if (pool_) pool_->shutdown();
-}
-
-void Server::track(int fd) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  conn_fds_.insert(fd);
-}
-
-void Server::untrack(int fd) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  conn_fds_.erase(fd);
-}
-
-void Server::accept_loop() {
-  unsigned backoff_ms = 1;
-  while (running_.load()) {
-    const int lfd = listen_fd_.load();
-    if (lfd < 0) break;  // begin_drain()/stop() closed the listener
-    const int fd = ::accept(lfd, nullptr, nullptr);
-    if (fd < 0) {
-      const int err = errno;
-      if (listen_fd_.load() < 0 || !running_.load()) break;
-      if (err == EINTR) continue;
-      if (transient_accept_errno(err)) {
-        // fd exhaustion or resource pressure: back off briefly and keep the
-        // server alive — connections already established keep being served,
-        // and accepting resumes the moment pressure clears.
-        metrics_.record_failure(FailureCounter::kAcceptRetries);
-        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-        backoff_ms = backoff_ms < 100 ? backoff_ms * 2 : 200;
-        continue;
-      }
-      break;  // genuinely unrecoverable (listener fd invalid, ...)
-    }
-    backoff_ms = 1;
-    if (!running_.load()) {
-      ::close(fd);
-      break;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-    set_socket_timeout(fd, SO_RCVTIMEO, options_.recv_timeout_ms);
-    set_socket_timeout(fd, SO_SNDTIMEO, options_.send_timeout_ms);
-    metrics_.record_connection();
-    track(fd);
-    const bool queued = pool_->submit([this, fd] {
-      serve_connection(fd);
-      untrack(fd);
-      ::close(fd);
-    });
-    if (!queued) {
-      // Admission control: every worker busy and the waiting line full.
-      // One OVERLOADED frame tells the client to back off; then shed.
-      metrics_.record_failure(FailureCounter::kSheds);
-      send_response(fd, error_response("server overloaded, retry later",
-                                       Status::kOverloaded));
-      untrack(fd);
-      ::close(fd);
-    }
-  }
-}
-
-void Server::serve_connection(int fd) {
-  Framer framer;
-  std::uint8_t chunk[64 * 1024];
-  std::vector<std::uint8_t> payload;
-  while (running_.load()) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // The per-connection receive deadline fired. Whether the client is
-        // mid-frame (slowloris) or simply idle, it is holding a worker —
-        // tell it why and evict.
-        metrics_.record_failure(FailureCounter::kEvictions);
-        send_response(fd, error_response(
-                              framer.pending_bytes() > 0
-                                  ? "receive deadline exceeded mid-frame"
-                                  : "idle deadline exceeded",
-                              Status::kTimeout));
-      }
-      return;
-    }
-    if (n == 0) return;  // peer closed
-    framer.feed(chunk, static_cast<std::size_t>(n));
-    while (framer.next(payload)) {
-      Request req;
-      std::string decode_error;
-      const bool decoded =
-          decode_request(payload.data(), payload.size(), req, decode_error);
-      if (draining_.load(std::memory_order_acquire) &&
-          !(decoded && req.opcode == Opcode::kHealth)) {
-        // Frames decoded after the drain flip are new work: refuse them.
-        // HEALTH is exempt — a prober must see "draining", not a refusal,
-        // so it can tell a graceful goodbye from a crash.
-        metrics_.record_failure(FailureCounter::kDrainRejects);
-        send_response(fd, error_response("server draining, not accepting "
-                                         "new requests",
-                                         Status::kDraining));
-        return;
-      }
-      Response resp;
-      in_flight_.fetch_add(1, std::memory_order_acq_rel);
-      if (!decoded) {
-        metrics_.record_error();
-        resp = error_response("bad request: " + decode_error);
-      } else {
-        resp = handle(req);
-        if (!resp.ok()) metrics_.record_error();
-      }
-      const bool sent = send_response(fd, resp);
-      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
-      if (!sent) return;
-    }
-    if (framer.fatal()) {
-      // The stream is unsyncable: either the length prefix exceeded
-      // kMaxFramePayload or the payload failed its CRC. One diagnostic
-      // frame, then close.
-      metrics_.record_error();
-      if (framer.fatal_reason() == Framer::Fatal::kChecksum) {
-        metrics_.record_failure(FailureCounter::kFrameCrcErrors);
-        send_response(fd, error_response("frame checksum mismatch"));
-      } else {
-        send_response(fd, error_response("frame exceeds size limit"));
-      }
-      return;
-    }
-  }
-}
+}  // namespace
 
 Response Server::handle(const Request& req) {
   WallTimer timer;
@@ -376,22 +180,49 @@ Response Server::handle(const Request& req) {
       resp.text = buf;
       return resp;
     }
+    case Opcode::kGetLabel: {
+      const Vertex v = req.pairs.at(0).first;
+      const Vertex n = oracle.scheme().num_vertices();
+      if (v >= n) return out_of_range_response("vertex id", v, n);
+      const std::uint32_t owner = snap->partitioner().owner(v);
+      const shard::PartitionInfo& part = snap->partition();
+      if (owner != part.shard_id) {
+        return wrong_shard_response("vertex id", v, owner, part);
+      }
+      resp.text = shard::encode_wire_label(oracle.scheme(), v, snap->epoch());
+      metrics_.record(RequestType::kGetLabel, 0, timer.elapsed_us());
+      return resp;
+    }
     case Opcode::kDist:
     case Opcode::kBatch: {
       if (req.pairs.empty()) return error_response("empty batch");
       const Vertex n = oracle.scheme().num_vertices();
+      const shard::PartitionInfo& part = snap->partition();
+      // Ownership gate for a shard server: the decoder would read an empty
+      // bit buffer for an unowned vertex and produce garbage, so unowned
+      // endpoints are refused with the owner named (satellite b). Fault
+      // vertices only need their ids (membership tests), not their labels,
+      // so they pass on the range check alone.
       for (const auto& [s, t] : req.pairs) {
-        if (s >= n || t >= n) {
-          return error_response("vertex id out of range");
+        if (s >= n) return out_of_range_response("vertex id", s, n);
+        if (t >= n) return out_of_range_response("vertex id", t, n);
+        if (part.sharded()) {
+          const std::uint32_t owner_s = snap->partitioner().owner(s);
+          if (owner_s != part.shard_id) {
+            return wrong_shard_response("vertex id", s, owner_s, part);
+          }
+          const std::uint32_t owner_t = snap->partitioner().owner(t);
+          if (owner_t != part.shard_id) {
+            return wrong_shard_response("vertex id", t, owner_t, part);
+          }
         }
       }
       for (Vertex v : req.faults.vertices()) {
-        if (v >= n) return error_response("fault vertex id out of range");
+        if (v >= n) return out_of_range_response("fault vertex id", v, n);
       }
       for (const auto& [a, b] : req.faults.edges()) {
-        if (a >= n || b >= n) {
-          return error_response("fault edge id out of range");
-        }
+        if (a >= n) return out_of_range_response("fault edge id", a, n);
+        if (b >= n) return out_of_range_response("fault edge id", b, n);
       }
       const double deadline_us = options_.request_deadline_ms * 1000.0;
       // Span-tree capture for the slow-query log: only spans completed on

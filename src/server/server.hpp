@@ -3,41 +3,27 @@
 //
 // Architecture (one box, the §1 "centralized oracle" deployed):
 //
-//   accept thread ──► ThreadPool workers ──► shared ForbiddenSetOracle
-//        │                  │                        (immutable labels)
-//        │                  ├─► PreparedCache (sharded LRU of PreparedFaults)
-//        │                  └─► Metrics (counters + latency histograms)
-//        └── each accepted connection becomes one pool job that serves the
-//            connection's requests sequentially; concurrency = min(workers,
-//            open connections), which matches the loadgen/client model of
-//            one connection per client thread.
+//   FrameServer transport ──► handle() ──► shared ForbiddenSetOracle
+//    (accept thread, pool,      │                  (immutable labels)
+//     deadlines, drain —        ├─► PreparedCache (LRU of PreparedFaults)
+//     server/frame_server.hpp)  └─► Metrics (counters + histograms)
 //
-// Fault-tolerance posture (what survives an impolite world):
-//   * the accept loop retries transient accept() failures (EMFILE, ENFILE,
-//     ECONNABORTED, ...) with capped backoff instead of dying;
-//   * admission control: when every worker is busy and the waiting line is
-//     at max_queued_connections, new connections get one OVERLOADED frame
-//     and are closed (shed) rather than queueing unboundedly;
-//   * per-connection deadlines: SO_RCVTIMEO/SO_SNDTIMEO evict slow-loris
-//     and idle clients with a TIMEOUT frame; request_deadline_ms bounds the
-//     compute time of a single DIST/BATCH request;
-//   * graceful drain: stop() (and fsdl_serve's SIGTERM) flips to draining —
-//     in-flight requests finish (up to drain_deadline_ms), frames arriving
-//     after the flip get a DRAINING reply, then connections are torn down
-//     (HEALTH frames are still answered so probers see "draining", not a
-//     dead socket);
-//   * corruption containment: every frame carries a CRC32; a mismatch is
-//     answered with one error frame and a close, never a wrong distance;
-//   * hot label reload: reload() loads a new label file, validates its CRC,
-//     and atomically publishes it through the LabelStore while in-flight
-//     requests finish on the labels they started with (see
-//     server/label_store.hpp). A corrupt file is rejected and the old
-//     labels keep serving.
-//
-// Protocol handling per frame: decodable-but-invalid payloads get an error
-// reply and the connection lives on; an oversized length prefix or a CRC
-// mismatch poisons the stream, so the server sends one error frame and
-// closes.
+// The transport — accept loop with transient-errno backoff, admission
+// control (OVERLOADED sheds), per-connection deadlines, frame CRC
+// handling, graceful drain with a HEALTH exemption — lives in the
+// FrameServer base class and is shared verbatim with the scatter-gather
+// router (shard/router.hpp). What this class adds on top:
+//   * hot label reload: reload() loads a new label file, validates its CRC
+//     *and* its partition identity, and atomically publishes it through
+//     the LabelStore while in-flight requests finish on the labels they
+//     started with (see server/label_store.hpp). A corrupt or
+//     wrong-partition file is rejected and the old labels keep serving;
+//   * shard awareness: a server started on a shard file answers only for
+//     the vertices its shard owns — queries for other vertices get a
+//     distinct error naming the owning shard, and GET_LABEL hands out raw
+//     label bits for the router tier's fetch/decode split;
+//   * query handling: DIST/BATCH with PreparedFaults amortization,
+//     request deadlines, slow-query logging, decoder stage counters.
 #pragma once
 
 #include <atomic>
@@ -46,10 +32,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_set>
 
 #include "core/oracle.hpp"
+#include "server/frame_server.hpp"
 #include "server/label_store.hpp"
 #include "server/metrics.hpp"
 #include "server/prepared_cache.hpp"
@@ -106,7 +91,7 @@ struct ServerOptions {
   bool admin = false;
 };
 
-class Server {
+class Server : public FrameServer {
  public:
   /// Borrow an externally owned oracle (it must outlive the server). A
   /// later reload() replaces it with server-owned labels loaded from disk.
@@ -114,50 +99,28 @@ class Server {
   /// Own the labels from the start (what fsdl_serve uses): the server
   /// builds its oracle + prepared cache around the given labeling.
   Server(ForbiddenSetLabeling scheme, const ServerOptions& options);
-  ~Server();
-
-  Server(const Server&) = delete;
-  Server& operator=(const Server&) = delete;
-
-  /// Bind, listen on 127.0.0.1, spawn accept thread + workers.
-  /// Throws std::runtime_error on socket failure.
-  void start();
-
-  /// Begin draining: close the listener (no new connections), keep serving
-  /// requests already in flight, answer frames that arrive after the flip
-  /// with a DRAINING frame. Idempotent; stop() calls it first.
-  void begin_drain();
-
-  /// Graceful stop: drain (waiting up to drain_deadline_ms for in-flight
-  /// requests), then shut open connections, drain the pool, join.
-  /// Idempotent; also called by the destructor.
-  void stop();
-
-  bool draining() const noexcept {
-    return draining_.load(std::memory_order_acquire);
-  }
+  ~Server() override;
 
   /// Hot label reload: load `path` (empty = options.label_path), validate
-  /// its CRC, and atomically swap the labels + oracle + prepared cache as
-  /// one snapshot. In-flight requests finish on the labels they started
-  /// with; new requests see the new epoch. Returns the empty string on
-  /// success or a human-readable error (in which case the old labels keep
-  /// serving). Thread-safe; concurrent reloads serialize.
+  /// its CRC and that it describes the same partition this server was
+  /// started on (same shard id + ring), and atomically swap the labels +
+  /// oracle + prepared cache as one snapshot. In-flight requests finish on
+  /// the labels they started with; new requests see the new epoch. Returns
+  /// the empty string on success or a human-readable error (in which case
+  /// the old labels keep serving). Thread-safe; concurrent reloads
+  /// serialize.
   std::string reload(const std::string& path = "");
 
   /// Monotonic label version: 1 for the labels the server started with,
   /// +1 per successful reload.
   std::uint64_t label_epoch() const { return store_.epoch(); }
 
-  /// Health probe body: "loading|ready|draining epoch=E n=N". Any reply at
-  /// all means "alive"; `loading` means a reload is currently in progress
-  /// (queries still answered from the old labels).
+  /// Health probe body: "loading|ready|draining epoch=E n=N shard=I/K"
+  /// (shard=0/1 for an unsharded server). Any reply at all means "alive";
+  /// `loading` means a reload is currently in progress (queries still
+  /// answered from the old labels).
   std::string health_text() const;
 
-  /// Bound port (valid after start()).
-  std::uint16_t port() const noexcept { return port_; }
-
-  const Metrics& metrics() const noexcept { return metrics_; }
   /// Stats of the *current* snapshot's prepared cache (reset on reload —
   /// the old cache dies with the old labels).
   PreparedCache::Stats cache_stats() const {
@@ -172,35 +135,21 @@ class Server {
 
   /// Answer one decoded request — the transport-independent core, shared
   /// with tests that exercise dispatch without sockets.
-  Response handle(const Request& req);
+  Response handle(const Request& req) override;
+
+ protected:
+  void on_start() override;
 
  private:
-  void accept_loop();
-  void serve_connection(int fd);
-  void track(int fd);
-  void untrack(int fd);
   void log_slow_query(const Request& req, const QueryStats& stats,
                       double total_us, const std::string& span_tree);
+  static TransportOptions transport_of(const ServerOptions& options);
 
   ServerOptions options_;
   LabelStore store_;
   /// Serializes reloads (the swap itself is the store's one pointer write).
   std::mutex reload_mu_;
   std::atomic<bool> reloading_{false};
-  Metrics metrics_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::thread accept_thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> draining_{false};
-  std::atomic<bool> stop_done_{false};
-  /// Requests currently inside handle() on worker threads — what drain
-  /// waits on.
-  std::atomic<int> in_flight_{0};
-  // Written by start()/stop(), read by the accept thread.
-  std::atomic<int> listen_fd_{-1};
-  std::uint16_t port_ = 0;
-  std::mutex conn_mu_;
-  std::unordered_set<int> conn_fds_;
 };
 
 }  // namespace fsdl::server

@@ -1,0 +1,65 @@
+#include "shard/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fsdl::shard {
+
+namespace {
+
+/// SplitMix64 step — the same full-avalanche mixer the Rng seeder uses, so
+/// consecutive vertex ids (and consecutive vnode indices) land uniformly
+/// over the whole ring.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Vertex hash stream: high bit set keeps it disjoint from the small
+/// integers feeding the per-shard ring streams.
+std::uint64_t vertex_hash(std::uint64_t seed, Vertex v) noexcept {
+  return mix64(seed ^ (0x8000000000000000ULL | static_cast<std::uint64_t>(v)));
+}
+
+}  // namespace
+
+Partitioner::Partitioner(const PartitionInfo& info) : info_(info) {
+  if (info_.shard_count == 0) {
+    throw std::invalid_argument("Partitioner: shard_count must be >= 1");
+  }
+  if (info_.shard_count == 1) return;  // everything belongs to shard 0
+  if (info_.ring_points == 0) {
+    throw std::invalid_argument("Partitioner: ring_points must be >= 1");
+  }
+  ring_.reserve(static_cast<std::size_t>(info_.shard_count) *
+                info_.ring_points);
+  for (std::uint32_t s = 0; s < info_.shard_count; ++s) {
+    // Per-shard vnode stream: one mix to derive the shard's base, a second
+    // per vnode, so the (shard, vnode) lattice cannot survive into ring
+    // positions.
+    const std::uint64_t base =
+        mix64(info_.ring_seed ^ (static_cast<std::uint64_t>(s) + 1));
+    for (std::uint32_t k = 0; k < info_.ring_points; ++k) {
+      ring_.emplace_back(mix64(base + k), s);
+    }
+  }
+  // Pair order (hash, then shard) makes the ring deterministic even in the
+  // astronomically unlikely event of a hash collision between shards.
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::uint32_t Partitioner::owner(Vertex v) const noexcept {
+  if (info_.shard_count == 1) return 0;
+  const std::uint64_t h = vertex_hash(info_.ring_seed, v);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& p, std::uint64_t key) {
+        return p.first < key;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+}  // namespace fsdl::shard

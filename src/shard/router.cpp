@@ -1,0 +1,512 @@
+#include "shard/router.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace fsdl::shard {
+
+using server::FaultKey;
+using server::LabelFetchResult;
+using server::Opcode;
+using server::Request;
+using server::RequestType;
+using server::Response;
+using server::Status;
+using server::error_response;
+
+Router::Router(const RouterOptions& options)
+    : FrameServer(options.transport),
+      options_(options),
+      partitioner_(static_cast<std::uint32_t>(options.shards.size()),
+                   options.ring_seed, options.ring_points) {
+  if (options.shards.empty()) {
+    throw std::invalid_argument("Router needs at least one shard");
+  }
+  channels_.reserve(options.shards.size());
+  for (std::size_t i = 0; i < options.shards.size(); ++i) {
+    if (options.shards[i].empty()) {
+      throw std::invalid_argument("shard " + std::to_string(i) +
+                                  " has no replica endpoints");
+    }
+    channels_.push_back(std::make_unique<ShardChannel>(
+        options.shards[i], options_.replica, &metrics_));
+  }
+  const std::size_t cache_shards =
+      options.label_cache_shards == 0 ? 1 : options.label_cache_shards;
+  cache_.reserve(cache_shards);
+  for (std::size_t i = 0; i < cache_shards; ++i) {
+    cache_.push_back(std::make_unique<CacheShard>());
+  }
+  per_cache_shard_capacity_ =
+      std::max<std::size_t>(1, options.label_cache_capacity / cache_shards);
+}
+
+Router::~Router() { stop(); }
+
+void Router::on_start() {
+  // Topology validation: every shard must identify as the shard the router
+  // thinks it is talking to, under the same shard count, and all must agree
+  // on n. This catches the operational failure modes — endpoint lists in
+  // the wrong order, a fleet cut at a different shard count, a stray
+  // unsharded server — at startup, before any query can be misrouted.
+  Vertex n = 0;
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    Request req;
+    req.opcode = Opcode::kHealth;
+    Response resp;
+    try {
+      std::lock_guard<std::mutex> lock(channels_[i]->mu);
+      resp = channels_[i]->client.call_idempotent(req);
+    } catch (const std::exception& e) {
+      throw std::runtime_error("shard " + std::to_string(i) +
+                               " health check failed: " + e.what());
+    }
+    unsigned shard_n = 0, shard_id = 0, shard_count = 0;
+    std::uint64_t epoch = 0;
+    if (std::sscanf(resp.text.c_str(),
+                    "%*s epoch=%" SCNu64 " n=%u shard=%u/%u", &epoch,
+                    &shard_n, &shard_id, &shard_count) != 4) {
+      throw std::runtime_error("shard " + std::to_string(i) +
+                               " reports no shard identity (health: \"" +
+                               resp.text + "\")");
+    }
+    if (shard_id != i || shard_count != channels_.size()) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "endpoint configured as shard %zu identifies as shard "
+                    "%u/%u (router expects %zu shards)",
+                    i, shard_id, shard_count, channels_.size());
+      throw std::runtime_error(buf);
+    }
+    if (i == 0) {
+      n = shard_n;
+    } else if (shard_n != n) {
+      throw std::runtime_error(
+          "shards disagree on vertex count (shard 0: n=" + std::to_string(n) +
+          ", shard " + std::to_string(i) + ": n=" + std::to_string(shard_n) +
+          ")");
+    }
+  }
+  total_n_ = n;
+}
+
+Router::CacheShard& Router::cache_shard(Vertex v) {
+  return *cache_[v % cache_.size()];
+}
+
+std::shared_ptr<const VertexLabel> Router::cache_get(Vertex v) {
+  CacheShard& shard = cache_shard(v);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.index.find(v);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->label;
+}
+
+void Router::cache_put(Vertex v, std::shared_ptr<const VertexLabel> label) {
+  CacheShard& shard = cache_shard(v);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.index.find(v) != shard.index.end()) return;  // racing fetch won
+  shard.lru.push_front(CacheShard::Entry{v, std::move(label)});
+  shard.index.emplace(v, shard.lru.begin());
+  while (shard.lru.size() > per_cache_shard_capacity_) {
+    shard.index.erase(shard.lru.back().vertex);
+    shard.lru.pop_back();
+  }
+}
+
+bool Router::adopt_meta(const WireLabelMeta& meta, std::string& error) {
+  std::lock_guard<std::mutex> lock(meta_mu_);
+  if (!meta_known_) {
+    if (total_n_ != 0 && meta.total_n != total_n_) {
+      error = "shard label reports n=" + std::to_string(meta.total_n) +
+              " but the fleet reported n=" + std::to_string(total_n_) +
+              " at startup";
+      return false;
+    }
+    meta_ = meta;
+    meta_known_ = true;
+    return true;
+  }
+  if (!meta_.compatible(meta)) {
+    // Two shards serving labelings with different parameters would decode
+    // individually fine and combine into garbage — refuse loudly.
+    error = "shard serves an incompatible labeling (scheme parameters, "
+            "codec, or vertex count disagree across shards)";
+    return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const VertexLabel> Router::fetch_label(Vertex v,
+                                                       Response& error) {
+  const std::uint32_t owner = partitioner_.owner(v);
+  Request req;
+  req.opcode = Opcode::kGetLabel;
+  req.pairs.emplace_back(v, 0);
+  Response resp;
+  try {
+    std::lock_guard<std::mutex> lock(channels_[owner]->mu);
+    resp = channels_[owner]->client.call_idempotent(req);
+  } catch (const std::exception& e) {
+    // Every replica of the owning shard failed within the retry budget.
+    // TIMEOUT, not ERROR: the query is fine, the shard is not — a client
+    // may retry once a replica comes back.
+    metrics_.record_label_fetch(LabelFetchResult::kUnavailable);
+    error = error_response("shard " + std::to_string(owner) +
+                               " unavailable: " + e.what(),
+                           Status::kTimeout);
+    return nullptr;
+  }
+  if (!resp.ok()) {
+    // Definitive shard-side refusal (unknown vertex, wrong shard under a
+    // mismatched ring, ...). Propagate the shard's own message — it names
+    // the owner it believes in, which is the actionable part.
+    metrics_.record_label_fetch(LabelFetchResult::kError);
+    error = error_response("shard " + std::to_string(owner) +
+                               " refused label fetch: " + resp.text,
+                           resp.status);
+    return nullptr;
+  }
+  try {
+    WireLabel wire = decode_wire_label(resp.text);
+    if (wire.vertex != v) {
+      throw std::runtime_error("shard returned the label of vertex " +
+                               std::to_string(wire.vertex));
+    }
+    std::string meta_error;
+    if (!adopt_meta(wire.meta, meta_error)) {
+      metrics_.record_label_fetch(LabelFetchResult::kError);
+      error = error_response(std::move(meta_error));
+      return nullptr;
+    }
+    metrics_.record_label_fetch(LabelFetchResult::kOk);
+    return std::make_shared<const VertexLabel>(std::move(wire.label));
+  } catch (const std::exception& e) {
+    metrics_.record_label_fetch(LabelFetchResult::kError);
+    error = error_response("label from shard " + std::to_string(owner) +
+                           " is malformed: " + e.what());
+    return nullptr;
+  }
+}
+
+bool Router::gather_labels(
+    const std::vector<Vertex>& needed,
+    std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>>& out,
+    Response& error) {
+  // Cache pass first; group the misses by owning shard.
+  std::vector<std::vector<Vertex>> missing(channels_.size());
+  std::size_t miss_shards = 0;
+  for (Vertex v : needed) {
+    if (out.find(v) != out.end()) continue;
+    if (auto label = cache_get(v)) {
+      metrics_.record_label_cache(true);
+      out.emplace(v, std::move(label));
+      continue;
+    }
+    metrics_.record_label_cache(false);
+    auto& group = missing[partitioner_.owner(v)];
+    if (group.empty()) ++miss_shards;
+    group.push_back(v);
+    out.emplace(v, nullptr);  // dedupe placeholder, filled below
+  }
+  if (miss_shards == 0) return true;
+
+  // Scatter: when the misses span several shards, fetch the groups
+  // concurrently — each group serializes on its own shard channel, so the
+  // round trips overlap instead of queueing behind one another.
+  struct GroupResult {
+    std::vector<std::pair<Vertex, std::shared_ptr<const VertexLabel>>> labels;
+    Response error;
+    bool failed = false;
+  };
+  std::vector<GroupResult> results(channels_.size());
+  auto fetch_group = [this, &missing, &results](std::size_t shard) {
+    GroupResult& r = results[shard];
+    for (Vertex v : missing[shard]) {
+      auto label = fetch_label(v, r.error);
+      if (label == nullptr) {
+        r.failed = true;
+        return;
+      }
+      r.labels.emplace_back(v, std::move(label));
+    }
+  };
+  if (miss_shards == 1) {
+    for (std::size_t s = 0; s < missing.size(); ++s) {
+      if (!missing[s].empty()) fetch_group(s);
+    }
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(miss_shards);
+    for (std::size_t s = 0; s < missing.size(); ++s) {
+      if (!missing[s].empty()) threads.emplace_back(fetch_group, s);
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // Gather: merge the per-shard results; the first failure wins and the
+  // placeholders are scrubbed so a failed gather never leaves null labels
+  // behind for a later code path to dereference.
+  bool ok = true;
+  for (std::size_t s = 0; s < results.size(); ++s) {
+    if (results[s].failed && ok) {
+      ok = false;
+      error = std::move(results[s].error);
+    }
+    for (auto& [v, label] : results[s].labels) {
+      cache_put(v, label);
+      out[v] = std::move(label);
+    }
+  }
+  if (!ok) {
+    for (auto it = out.begin(); it != out.end();) {
+      it = it->second == nullptr ? out.erase(it) : std::next(it);
+    }
+  }
+  return ok;
+}
+
+std::shared_ptr<const Router::PinnedPrepared> Router::prepared_get(
+    const FaultSet& faults,
+    const std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>>&
+        labels) {
+  const FaultKey key = server::canonical_key(faults);
+  const std::uint64_t hash = server::fault_hash(key);
+  {
+    std::lock_guard<std::mutex> lock(prepared_mu_);
+    const auto chain = prepared_index_.find(hash);
+    if (chain != prepared_index_.end()) {
+      for (const auto& it : chain->second) {
+        if (it->key == key) {
+          ++prepared_hits_;
+          prepared_lru_.splice(prepared_lru_.begin(), prepared_lru_, it);
+          return it->value;
+        }
+      }
+    }
+    ++prepared_misses_;
+  }
+
+  // Build outside the lock (same policy as the server's PreparedCache: two
+  // racing builders do duplicate work; neither blocks other fault sets).
+  SchemeParams params;
+  {
+    std::lock_guard<std::mutex> lock(meta_mu_);
+    params = meta_.params;
+  }
+  auto pinned = std::make_shared<PinnedPrepared>();
+  std::vector<const VertexLabel*> fault_vertices;
+  fault_vertices.reserve(faults.vertices().size());
+  for (Vertex v : faults.vertices()) {
+    const auto& label = labels.at(v);
+    pinned->pins.push_back(label);
+    fault_vertices.push_back(label.get());
+  }
+  std::vector<std::pair<const VertexLabel*, const VertexLabel*>> fault_edges;
+  fault_edges.reserve(faults.edges().size());
+  for (const auto& [a, b] : faults.edges()) {
+    const auto& la = labels.at(a);
+    const auto& lb = labels.at(b);
+    pinned->pins.push_back(la);
+    pinned->pins.push_back(lb);
+    fault_edges.emplace_back(la.get(), lb.get());
+  }
+  pinned->prepared = std::make_unique<const PreparedFaults>(
+      params, std::move(fault_vertices), std::move(fault_edges));
+
+  std::lock_guard<std::mutex> lock(prepared_mu_);
+  const auto chain = prepared_index_.find(hash);
+  if (chain != prepared_index_.end()) {
+    for (const auto& it : chain->second) {
+      if (it->key == key) return it->value;  // the racing builder won
+    }
+  }
+  prepared_lru_.push_front(PreparedEntry{key, pinned});
+  prepared_index_[hash].push_back(prepared_lru_.begin());
+  while (prepared_lru_.size() > std::max<std::size_t>(
+                                    1, options_.prepared_capacity)) {
+    const PreparedEntry& victim = prepared_lru_.back();
+    const std::uint64_t victim_hash = server::fault_hash(victim.key);
+    auto victim_chain = prepared_index_.find(victim_hash);
+    if (victim_chain != prepared_index_.end()) {
+      auto& vec = victim_chain->second;
+      for (auto it = vec.begin(); it != vec.end(); ++it) {
+        if ((*it)->key == victim.key) {
+          vec.erase(it);
+          break;
+        }
+      }
+      if (vec.empty()) prepared_index_.erase(victim_chain);
+    }
+    prepared_lru_.pop_back();
+    ++prepared_evictions_;
+  }
+  return pinned;
+}
+
+server::PreparedCache::Stats Router::prepared_stats() const {
+  std::lock_guard<std::mutex> lock(prepared_mu_);
+  server::PreparedCache::Stats s;
+  s.hits = prepared_hits_;
+  s.misses = prepared_misses_;
+  s.evictions = prepared_evictions_;
+  s.entries = prepared_lru_.size();
+  return s;
+}
+
+std::string Router::health_text() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s n=%u shards=%u",
+                draining() ? "draining" : "ready", total_n_, shard_count());
+  return buf;
+}
+
+Response Router::handle_query(const Request& req) {
+  WallTimer timer;
+  if (req.pairs.empty()) return error_response("empty batch");
+  const Vertex n = total_n_;
+  for (const auto& [s, t] : req.pairs) {
+    for (Vertex v : {s, t}) {
+      if (v >= n) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "vertex id %u out of range (n=%u)", v,
+                      n);
+        return error_response(buf);
+      }
+    }
+  }
+  for (Vertex v : req.faults.vertices()) {
+    if (v >= n) {
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "fault vertex id %u out of range (n=%u)",
+                    v, n);
+      return error_response(buf);
+    }
+  }
+  for (const auto& [a, b] : req.faults.edges()) {
+    for (Vertex v : {a, b}) {
+      if (v >= n) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "fault edge id %u out of range (n=%u)",
+                      v, n);
+        return error_response(buf);
+      }
+    }
+  }
+
+  // The full label shopping list: endpoints, forbidden vertices, and both
+  // endpoints of forbidden edges (the decoder filters each fault label's
+  // edges, so edge faults need labels too).
+  std::vector<Vertex> needed;
+  needed.reserve(req.pairs.size() * 2 + req.faults.size() * 2);
+  for (const auto& [s, t] : req.pairs) {
+    needed.push_back(s);
+    needed.push_back(t);
+  }
+  needed.insert(needed.end(), req.faults.vertices().begin(),
+                req.faults.vertices().end());
+  for (const auto& [a, b] : req.faults.edges()) {
+    needed.push_back(a);
+    needed.push_back(b);
+  }
+
+  std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>> labels;
+  labels.reserve(needed.size());
+  Response gather_error;
+  if (!gather_labels(needed, labels, gather_error)) return gather_error;
+
+  Response resp;
+  resp.distances.reserve(req.pairs.size());
+  QueryStats request_stats;
+  if (req.faults.empty()) {
+    SchemeParams params;
+    {
+      std::lock_guard<std::mutex> lock(meta_mu_);
+      params = meta_.params;
+    }
+    for (const auto& [s, t] : req.pairs) {
+      QueryInput in;
+      in.source = labels.at(s).get();
+      in.target = labels.at(t).get();
+      const QueryResult r = decode_query(params, in);
+      resp.distances.push_back(r.distance);
+      request_stats.accumulate(r.stats);
+    }
+  } else {
+    const auto prepared = prepared_get(req.faults, labels);
+    for (const auto& [s, t] : req.pairs) {
+      // PreparedFaults handles forbidden endpoints (returns kInfDist).
+      const QueryResult r =
+          prepared->prepared->query(*labels.at(s), *labels.at(t));
+      resp.distances.push_back(r.distance);
+      request_stats.accumulate(r.stats);
+    }
+  }
+  metrics_.record(req.opcode == Opcode::kDist ? RequestType::kDist
+                                              : RequestType::kBatch,
+                  resp.distances.size(), timer.elapsed_us());
+  metrics_.record_query_stats(request_stats);
+  return resp;
+}
+
+Response Router::handle(const Request& req) {
+  WallTimer timer;
+  Response resp;
+  switch (req.opcode) {
+    case Opcode::kStats: {
+      resp.text = metrics_.render(prepared_stats());
+      metrics_.record(RequestType::kStats, 0, timer.elapsed_us());
+      return resp;
+    }
+    case Opcode::kMetrics: {
+      resp.text = metrics_.render_prometheus(prepared_stats());
+      metrics_.record(RequestType::kMetrics, 0, timer.elapsed_us());
+      return resp;
+    }
+    case Opcode::kHealth: {
+      resp.text = health_text();
+      metrics_.record(RequestType::kHealth, 0, timer.elapsed_us());
+      return resp;
+    }
+    case Opcode::kReload: {
+      return error_response(
+          "RELOAD refused: the router holds no labels of its own (reload "
+          "the shard servers; the router's caches follow)");
+    }
+    case Opcode::kGetLabel: {
+      // Proxy to the owning shard: a client behind the router can use the
+      // fetch/decode split too (e.g. a second-tier router).
+      const Vertex v = req.pairs.at(0).first;
+      if (v >= total_n_) {
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "vertex id %u out of range (n=%u)", v,
+                      total_n_);
+        return error_response(buf);
+      }
+      const std::uint32_t owner = partitioner_.owner(v);
+      try {
+        std::lock_guard<std::mutex> lock(channels_[owner]->mu);
+        resp = channels_[owner]->client.call_idempotent(req);
+      } catch (const std::exception& e) {
+        return error_response("shard " + std::to_string(owner) +
+                                  " unavailable: " + e.what(),
+                              Status::kTimeout);
+      }
+      metrics_.record(RequestType::kGetLabel, 0, timer.elapsed_us());
+      return resp;
+    }
+    case Opcode::kDist:
+    case Opcode::kBatch:
+      return handle_query(req);
+  }
+  return error_response("unhandled opcode");
+}
+
+}  // namespace fsdl::shard

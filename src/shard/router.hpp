@@ -1,0 +1,199 @@
+// Scatter-gather router over a fleet of sharded fsdl_serve processes.
+//
+//                         ┌── shard 0: replica A, replica B   (ReplicaClient)
+//   client ──► Router ────┼── shard 1: replica A, replica B   (ReplicaClient)
+//            (FrameServer)└── ...
+//
+// The router speaks the *existing* wire protocol on its front door — a
+// client cannot tell a router from a single fsdl_serve holding the whole
+// labeling — and decomposes every DIST/BATCH into the fetch/decode split
+// the label format makes natural:
+//
+//   fetch:  the labels of s, t, every forbidden vertex, and both endpoints
+//           of every forbidden edge are pulled with GET_LABEL from the
+//           shards that own them (consistent-hash ring, shard/partition.hpp),
+//           through one ReplicaClient per shard — so the failover unit is
+//           (shard, replica) and the breakers / hedging / retry machinery
+//           of the HA client applies per shard unchanged. Fetched labels
+//           land in a bounded sharded LRU; a hot working set stops paying
+//           the network round trip entirely.
+//   decode: the forbidden-set decoder runs *in the router* on the gathered
+//           labels (decode_query, or PreparedFaults cached per fault set —
+//           the same Lemma 2.6 amortization the single server uses). The
+//           answer is exactly what a monolithic server would compute: the
+//           decoder is a pure function of the labels, and the labels are
+//           byte-identical to the unsharded file's (split is lossless).
+//
+// Safety over availability: every label carries its scheme description
+// (shard/wire_label.hpp) and the router refuses to combine labels from
+// incompatible schemes; a shard that does not own a requested vertex
+// refuses with a named error rather than guessing. A wrong ring
+// configuration therefore degrades to visible errors, never to silently
+// wrong distances. When every replica of an owning shard is down, the
+// affected query fails with TIMEOUT (retryable) while queries touching
+// only healthy shards keep answering.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/decoder.hpp"
+#include "core/label.hpp"
+#include "server/frame_server.hpp"
+#include "server/prepared_cache.hpp"
+#include "server/replica_client.hpp"
+#include "shard/partition.hpp"
+#include "shard/wire_label.hpp"
+
+namespace fsdl::shard {
+
+struct RouterOptions {
+  server::TransportOptions transport;
+  /// shards[i] = replica endpoints of shard i; size() is the shard count
+  /// the ring is built for. Every inner list needs >= 1 endpoint.
+  std::vector<std::vector<server::Endpoint>> shards;
+  /// Failover/breaker/hedging knobs applied to each shard's ReplicaClient.
+  server::ReplicaClientOptions replica;
+  /// Ring parameters; must match the values the labeling was split with
+  /// (a mismatch is safe — shards refuse unowned vertices — but useless).
+  std::uint64_t ring_seed = kDefaultRingSeed;
+  std::uint32_t ring_points = kDefaultRingPoints;
+  /// Decoded labels kept in the router's LRU, across all cache shards.
+  std::size_t label_cache_capacity = 4096;
+  std::size_t label_cache_shards = 8;
+  /// Distinct fault sets kept prepared (each pins its fault labels).
+  std::size_t prepared_capacity = 64;
+};
+
+class Router : public server::FrameServer {
+ public:
+  /// Throws std::invalid_argument on an empty shard list or an empty
+  /// replica list for any shard.
+  explicit Router(const RouterOptions& options);
+  ~Router() override;
+
+  /// Front-door dispatch: DIST/BATCH scatter-gather + local decode,
+  /// GET_LABEL proxied to the owning shard, STATS/METRICS/HEALTH answered
+  /// locally, RELOAD refused (reload the shards, not the router).
+  server::Response handle(const server::Request& req) override;
+
+  /// "ready|draining n=N shards=K" — N is learned from the shard fleet's
+  /// HEALTH replies at start().
+  std::string health_text() const;
+
+  /// Aggregated stats of the prepared-fault-set cache (label-cache traffic
+  /// is in the Metrics registry: fsdl_router_label_cache_*_total).
+  server::PreparedCache::Stats prepared_stats() const;
+
+  std::string prometheus() const {
+    return metrics_.render_prometheus(prepared_stats());
+  }
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(channels_.size());
+  }
+  /// Vertex count of the routed labeling (0 before start()).
+  Vertex num_vertices() const noexcept { return total_n_; }
+
+ protected:
+  /// Topology validation: one HEALTH round trip per shard, requiring each
+  /// to report `shard=I/K` with I = its configured index and K = the
+  /// configured shard count, and all to agree on n. Throws on mismatch —
+  /// a router wired to the wrong fleet must not come up.
+  void on_start() override;
+
+ private:
+  /// One shard's replica fan: ReplicaClient is single-threaded by design,
+  /// so workers serialize on the channel mutex (label-cache hits skip it).
+  struct ShardChannel {
+    std::mutex mu;
+    server::ReplicaClient client;
+    ShardChannel(std::vector<server::Endpoint> endpoints,
+                 const server::ReplicaClientOptions& options,
+                 server::Metrics* metrics)
+        : client(std::move(endpoints), options, metrics) {}
+  };
+
+  /// Sharded LRU of decoded labels. Entries are shared_ptr so eviction
+  /// never invalidates a query (or a PreparedFaults pin) in flight.
+  struct CacheShard {
+    struct Entry {
+      Vertex vertex;
+      std::shared_ptr<const VertexLabel> label;
+    };
+    std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<Vertex, std::list<Entry>::iterator> index;
+  };
+
+  /// A prepared fault set plus the label pins that keep the raw pointers
+  /// inside PreparedFaults alive for as long as any query holds this.
+  struct PinnedPrepared {
+    std::vector<std::shared_ptr<const VertexLabel>> pins;
+    std::unique_ptr<const PreparedFaults> prepared;
+  };
+  struct PreparedEntry {
+    server::FaultKey key;
+    std::shared_ptr<const PinnedPrepared> value;
+  };
+
+  CacheShard& cache_shard(Vertex v);
+  std::shared_ptr<const VertexLabel> cache_get(Vertex v);
+  void cache_put(Vertex v, std::shared_ptr<const VertexLabel> label);
+
+  /// Fetch one vertex's label from its owning shard (cache bypassed by the
+  /// caller). On failure fills `error` and returns nullptr; kError means
+  /// the shard refused (bad vertex / incompatible scheme), kTimeout means
+  /// every replica of the shard was unavailable.
+  std::shared_ptr<const VertexLabel> fetch_label(Vertex v,
+                                                 server::Response& error);
+
+  /// Cache-or-fetch every vertex in `needed` (deduplicated), gathering
+  /// misses per owning shard and fetching shard groups concurrently when
+  /// more than one shard is involved. Returns false and fills `error` if
+  /// any label could not be obtained.
+  bool gather_labels(
+      const std::vector<Vertex>& needed,
+      std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>>& out,
+      server::Response& error);
+
+  /// First fetched label fixes the scheme; later labels must match it.
+  bool adopt_meta(const WireLabelMeta& meta, std::string& error);
+
+  std::shared_ptr<const PinnedPrepared> prepared_get(
+      const FaultSet& faults,
+      const std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>>&
+          labels);
+
+  server::Response handle_query(const server::Request& req);
+
+  RouterOptions options_;
+  Partitioner partitioner_;
+  std::vector<std::unique_ptr<ShardChannel>> channels_;
+  std::vector<std::unique_ptr<CacheShard>> cache_;
+  std::size_t per_cache_shard_capacity_;
+
+  /// Scheme description adopted from the first fetched label; guarded by
+  /// meta_mu_ (read on every fetch, written once).
+  mutable std::mutex meta_mu_;
+  bool meta_known_ = false;
+  WireLabelMeta meta_;
+  /// Learned from the fleet's HEALTH replies during on_start().
+  Vertex total_n_ = 0;
+
+  mutable std::mutex prepared_mu_;
+  std::list<PreparedEntry> prepared_lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::list<PreparedEntry>::iterator>>
+      prepared_index_;
+  std::uint64_t prepared_hits_ = 0;
+  std::uint64_t prepared_misses_ = 0;
+  std::uint64_t prepared_evictions_ = 0;
+};
+
+}  // namespace fsdl::shard

@@ -71,6 +71,41 @@ TEST(Protocol, HealthAndReloadRequestsRoundTrip) {
   }
 }
 
+TEST(Protocol, GetLabelRequestRoundTrip) {
+  Request req;
+  req.opcode = Opcode::kGetLabel;
+  req.pairs.emplace_back(12345, 0);
+  const auto bytes = encode_request(req);
+  EXPECT_EQ(bytes.size(), 5u);  // opcode + vertex u32
+  Request back;
+  std::string error;
+  ASSERT_TRUE(decode_request(bytes.data(), bytes.size(), back, error)) << error;
+  EXPECT_EQ(back.opcode, Opcode::kGetLabel);
+  ASSERT_EQ(back.pairs.size(), 1u);
+  EXPECT_EQ(back.pairs[0].first, Vertex{12345});
+  EXPECT_TRUE(back.faults.empty());
+
+  // Truncated body rejected.
+  Request trunc;
+  EXPECT_FALSE(decode_request(bytes.data(), 3, trunc, error));
+  EXPECT_NE(error.find("GET_LABEL"), std::string::npos) << error;
+}
+
+TEST(Protocol, GetLabelResponseCarriesBlob) {
+  // The blob rides the text field; ok-with-text must survive the response
+  // codec byte-exactly (it is opaque binary, not UTF-8).
+  Response resp;
+  resp.text = std::string("\x01\x00\xff binary blob \x7f", 16);
+  const auto bytes = encode_response(resp);
+  Response back;
+  std::string error;
+  ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error))
+      << error;
+  EXPECT_EQ(back.status, Status::kOk);
+  EXPECT_EQ(back.text, resp.text);
+  EXPECT_TRUE(back.distances.empty());
+}
+
 TEST(Protocol, ResponseRoundTrips) {
   Response dist;
   dist.distances = {42};

@@ -156,7 +156,7 @@ TEST(Serialize, RejectsImplausibleBodySizeWithoutAllocating) {
   // Magic + version, then a body_size claiming 2^63 bytes: the loader must
   // refuse up front instead of trying to allocate.
   std::string bytes = "FSDL";
-  const std::uint32_t version = 2;
+  const std::uint32_t version = 3;
   bytes.append(reinterpret_cast<const char*>(&version), 4);
   const std::uint64_t huge = 1ull << 63;
   bytes.append(reinterpret_cast<const char*>(&huge), 8);

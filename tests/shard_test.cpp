@@ -1,0 +1,359 @@
+// Sharded label store: partitioner determinism and balance, lossless
+// split/merge through the v3 file format, the GET_LABEL wire-label blob,
+// shard-aware server refusals, and the scatter-gather router end to end
+// (in-process: real sockets on ephemeral ports, no fixed-port fixtures).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/oracle.hpp"
+#include "core/serialize.hpp"
+#include "graph/fault_view.hpp"
+#include "graph/generators.hpp"
+#include "server/protocol.hpp"
+#include "server/server.hpp"
+#include "shard/partition.hpp"
+#include "shard/router.hpp"
+#include "shard/shard_store.hpp"
+#include "shard/wire_label.hpp"
+
+namespace fsdl {
+namespace {
+
+using server::Opcode;
+using server::Request;
+using server::Response;
+using server::Status;
+
+ForbiddenSetLabeling build_grid_scheme() {
+  const Graph g = make_grid2d(8, 8);
+  return ForbiddenSetLabeling::build(g, SchemeParams::faithful(1.0));
+}
+
+TEST(Partitioner, IndependentInstancesAgreeOnOwnership) {
+  // Two partitioners built from nothing but (K, seed, points) — the only
+  // state two processes share — must assign every vertex identically.
+  const shard::Partitioner a(4);
+  const shard::Partitioner b(4);
+  for (Vertex v = 0; v < 50000; ++v) {
+    const std::uint32_t owner = a.owner(v);
+    ASSERT_LT(owner, 4u);
+    ASSERT_EQ(owner, b.owner(v)) << "v=" << v;
+  }
+}
+
+TEST(Partitioner, DifferentSeedsProduceDifferentRings) {
+  const shard::Partitioner a(4, shard::kDefaultRingSeed);
+  const shard::Partitioner b(4, shard::kDefaultRingSeed ^ 0xabcdef);
+  std::size_t moved = 0;
+  for (Vertex v = 0; v < 10000; ++v) {
+    if (a.owner(v) != b.owner(v)) ++moved;
+  }
+  EXPECT_GT(moved, 1000u);
+}
+
+TEST(Partitioner, BalanceWithinTwentyPercentOfMean) {
+  // The ISSUE gate: 10^5 sequential ids over every shard count the tools
+  // are expected to run at, max/mean ownership <= 1.2.
+  constexpr Vertex kIds = 100000;
+  for (const std::uint32_t shards : {2u, 3u, 4u, 8u, 16u}) {
+    const shard::Partitioner part(shards);
+    std::vector<std::size_t> owned(shards, 0);
+    for (Vertex v = 0; v < kIds; ++v) ++owned[part.owner(v)];
+    const std::size_t max_owned = *std::max_element(owned.begin(), owned.end());
+    const double mean = static_cast<double>(kIds) / shards;
+    EXPECT_LE(static_cast<double>(max_owned) / mean, 1.2)
+        << "shards=" << shards << " max=" << max_owned;
+  }
+}
+
+TEST(Partitioner, UnshardedOwnsEverythingAndRejectsZeroShards) {
+  const shard::Partitioner solo(1);
+  for (Vertex v = 0; v < 1000; ++v) EXPECT_EQ(solo.owner(v), 0u);
+  EXPECT_THROW(shard::Partitioner(0), std::invalid_argument);
+}
+
+TEST(ShardStore, SplitStoresExactlyTheOwnedLabels) {
+  const auto scheme = build_grid_scheme();
+  const auto pieces = shard::split_labeling(scheme, 3);
+  ASSERT_EQ(pieces.size(), 3u);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const shard::PartitionInfo part = pieces[s].partition();
+    EXPECT_EQ(part.shard_id, s);
+    EXPECT_EQ(part.shard_count, 3u);
+    const shard::Partitioner ring(part);
+    ASSERT_EQ(pieces[s].num_vertices(), scheme.num_vertices());
+    for (Vertex v = 0; v < scheme.num_vertices(); ++v) {
+      if (ring.owner(v) == s) {
+        EXPECT_EQ(pieces[s].label_bits(v), scheme.label_bits(v)) << "v=" << v;
+      } else {
+        EXPECT_EQ(pieces[s].label_bits(v), 0u) << "v=" << v;
+      }
+    }
+  }
+}
+
+TEST(ShardStore, SplitThenMergeIsByteIdentical) {
+  // The reassembly gate: split, push every piece through the v3 serializer
+  // (as the real pipeline does — separate files, separate processes), merge
+  // the loaded pieces, and require the merged file to be byte-for-byte the
+  // original unsharded file.
+  const auto scheme = build_grid_scheme();
+  std::stringstream original;
+  save_labeling(scheme, original);
+
+  std::vector<ForbiddenSetLabeling> reloaded;
+  for (auto& piece : shard::split_labeling(scheme, 3)) {
+    std::stringstream ss;
+    save_labeling(piece, ss);
+    reloaded.push_back(load_labeling(ss));
+  }
+  // Merge must not depend on shard order on the command line.
+  std::rotate(reloaded.begin(), reloaded.begin() + 1, reloaded.end());
+  const auto merged = shard::merge_labelings(reloaded);
+  EXPECT_FALSE(merged.partition().sharded());
+
+  std::stringstream reassembled;
+  save_labeling(merged, reassembled);
+  EXPECT_EQ(original.str(), reassembled.str());
+}
+
+TEST(ShardStore, MergeRejectsIncompleteOrMismatchedSets) {
+  const auto scheme = build_grid_scheme();
+  auto pieces = shard::split_labeling(scheme, 3);
+  // Missing a shard.
+  {
+    std::vector<ForbiddenSetLabeling> two;
+    two.push_back(pieces[0]);
+    two.push_back(pieces[1]);
+    EXPECT_THROW(shard::merge_labelings(two), std::invalid_argument);
+  }
+  // Duplicate shard.
+  {
+    std::vector<ForbiddenSetLabeling> dup;
+    dup.push_back(pieces[0]);
+    dup.push_back(pieces[1]);
+    dup.push_back(pieces[1]);
+    EXPECT_THROW(shard::merge_labelings(dup), std::invalid_argument);
+  }
+  // Pieces of splits under different rings.
+  {
+    auto other = shard::split_labeling(scheme, 3, shard::kDefaultRingSeed ^ 1);
+    std::vector<ForbiddenSetLabeling> mixed;
+    mixed.push_back(pieces[0]);
+    mixed.push_back(other[1]);
+    mixed.push_back(pieces[2]);
+    EXPECT_THROW(shard::merge_labelings(mixed), std::invalid_argument);
+  }
+  // Splitting an already-sharded piece is refused.
+  EXPECT_THROW(shard::split_labeling(pieces[0], 2), std::invalid_argument);
+}
+
+TEST(WireLabel, RoundTripCarriesSchemeAndLabel) {
+  const auto scheme = build_grid_scheme();
+  const std::string blob = shard::encode_wire_label(scheme, 17, 7);
+  const shard::WireLabel wire = shard::decode_wire_label(blob);
+  EXPECT_EQ(wire.vertex, 17u);
+  EXPECT_EQ(wire.meta.epoch, 7u);
+  EXPECT_EQ(wire.meta.total_n, scheme.num_vertices());
+  EXPECT_EQ(wire.meta.top_level, scheme.top_level());
+  EXPECT_EQ(wire.meta.vertex_bits, scheme.vertex_bits());
+  EXPECT_DOUBLE_EQ(wire.meta.params.epsilon, scheme.params().epsilon);
+  EXPECT_EQ(wire.label.owner, 17u);
+
+  // Compatibility ignores the epoch (replica restarts reset it) but not
+  // the scheme: labels from different builds must never be combined.
+  shard::WireLabel other = shard::decode_wire_label(blob);
+  other.meta.epoch = 99;
+  EXPECT_TRUE(wire.meta.compatible(other.meta));
+  other.meta.params.epsilon *= 2;
+  EXPECT_FALSE(wire.meta.compatible(other.meta));
+}
+
+TEST(WireLabel, RejectsTruncationAndBitFlips) {
+  const auto scheme = build_grid_scheme();
+  const std::string blob = shard::encode_wire_label(scheme, 3, 1);
+  for (std::size_t cut = 0; cut < blob.size(); cut += 7) {
+    EXPECT_THROW(shard::decode_wire_label(blob.substr(0, cut)),
+                 std::runtime_error)
+        << "cut=" << cut;
+  }
+}
+
+TEST(ShardedServer, RefusesUnownedAndOutOfRangeVertices) {
+  const auto scheme = build_grid_scheme();
+  const Vertex n = scheme.num_vertices();
+  auto pieces = shard::split_labeling(scheme, 3);
+  const shard::Partitioner ring(pieces[0].partition());
+  server::Server srv(std::move(pieces[0]), server::ServerOptions{});
+
+  // HEALTH names the partition.
+  EXPECT_NE(srv.health_text().find("shard=0/3"), std::string::npos)
+      << srv.health_text();
+
+  Vertex owned = 0, unowned = 0;
+  for (Vertex v = 0; v < n; ++v) {
+    (ring.owner(v) == 0 ? owned : unowned) = v;
+  }
+
+  // A query touching a vertex this shard does not own is refused with the
+  // owning shard named — never answered from a partial label set.
+  Request dist;
+  dist.opcode = Opcode::kDist;
+  dist.pairs.emplace_back(owned, unowned);
+  const Response refused = srv.handle(dist);
+  EXPECT_EQ(refused.status, Status::kError);
+  EXPECT_NE(refused.text.find("not on this shard"), std::string::npos)
+      << refused.text;
+  EXPECT_NE(refused.text.find("shard " +
+                              std::to_string(ring.owner(unowned))),
+            std::string::npos)
+      << refused.text;
+
+  // GET_LABEL: owned vertex served, unowned refused, v >= n refused.
+  Request get;
+  get.opcode = Opcode::kGetLabel;
+  get.pairs.emplace_back(owned, 0);
+  const Response served = srv.handle(get);
+  ASSERT_EQ(served.status, Status::kOk);
+  EXPECT_EQ(shard::decode_wire_label(served.text).vertex, owned);
+
+  get.pairs[0].first = unowned;
+  EXPECT_EQ(srv.handle(get).status, Status::kError);
+  get.pairs[0].first = n;
+  const Response oob = srv.handle(get);
+  EXPECT_EQ(oob.status, Status::kError);
+  EXPECT_NE(oob.text.find("out of range"), std::string::npos) << oob.text;
+}
+
+TEST(UnshardedServer, BoundsChecksVertexIds) {
+  const auto scheme = build_grid_scheme();
+  const Vertex n = scheme.num_vertices();
+  server::Server srv(build_grid_scheme(), server::ServerOptions{});
+  EXPECT_NE(srv.health_text().find("shard=0/1"), std::string::npos);
+  Request dist;
+  dist.opcode = Opcode::kDist;
+  dist.pairs.emplace_back(0, n);  // t out of range
+  const Response resp = srv.handle(dist);
+  EXPECT_EQ(resp.status, Status::kError);
+  EXPECT_NE(resp.text.find("out of range"), std::string::npos) << resp.text;
+  (void)scheme;
+}
+
+class RouterFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scheme_ = std::make_unique<ForbiddenSetLabeling>(build_grid_scheme());
+    auto pieces = shard::split_labeling(*scheme_, 2);
+    for (auto& piece : pieces) {
+      server::ServerOptions opt;  // port 0: ephemeral
+      opt.workers = 2;
+      servers_.push_back(
+          std::make_unique<server::Server>(std::move(piece), opt));
+      servers_.back()->start();
+    }
+  }
+
+  void TearDown() override {
+    for (auto& s : servers_) s->stop();
+  }
+
+  shard::RouterOptions router_options() const {
+    shard::RouterOptions opt;
+    opt.transport.workers = 2;
+    for (const auto& s : servers_) {
+      opt.shards.push_back({server::Endpoint{"127.0.0.1", s->port()}});
+    }
+    return opt;
+  }
+
+  std::unique_ptr<ForbiddenSetLabeling> scheme_;
+  std::vector<std::unique_ptr<server::Server>> servers_;
+};
+
+TEST_F(RouterFixture, AnswersExactlyLikeAMonolithicOracle) {
+  shard::Router router(router_options());
+  router.start();
+  EXPECT_EQ(router.num_vertices(), scheme_->num_vertices());
+  EXPECT_NE(router.health_text().find("shards=2"), std::string::npos);
+
+  const ForbiddenSetOracle oracle(*scheme_);
+  const Vertex n = scheme_->num_vertices();
+  for (Vertex s = 0; s < n; s += 5) {
+    for (Vertex t = 0; t < n; t += 7) {
+      Request req;
+      req.opcode = Opcode::kDist;
+      req.pairs.emplace_back(s, t);
+      const Response resp = router.handle(req);
+      ASSERT_EQ(resp.status, Status::kOk) << resp.text;
+      ASSERT_EQ(resp.distances.size(), 1u);
+      EXPECT_EQ(resp.distances[0], oracle.distance(s, t, {}))
+          << "s=" << s << " t=" << t;
+    }
+  }
+
+  // Faulted batch through the prepared-fault-set path.
+  Request batch;
+  batch.opcode = Opcode::kBatch;
+  batch.faults.add_vertex(27);
+  batch.faults.add_edge(0, 1);
+  for (Vertex s = 0; s < n; s += 9) batch.pairs.emplace_back(s, n - 1 - s);
+  const Response resp = router.handle(batch);
+  ASSERT_EQ(resp.status, Status::kOk) << resp.text;
+  ASSERT_EQ(resp.distances.size(), batch.pairs.size());
+  for (std::size_t i = 0; i < batch.pairs.size(); ++i) {
+    EXPECT_EQ(resp.distances[i],
+              oracle.distance(batch.pairs[i].first, batch.pairs[i].second,
+                              batch.faults));
+  }
+  // Same fault set again: the prepared cache must hit.
+  (void)router.handle(batch);
+  EXPECT_GT(router.prepared_stats().hits, 0u);
+  // The label LRU saw hits too (the second pass re-used every label).
+  EXPECT_GT(router.metrics().label_cache(true), 0u);
+
+  // Out-of-range and empty requests are refused at the router, not
+  // scattered to the shards.
+  Request bad;
+  bad.opcode = Opcode::kDist;
+  bad.pairs.emplace_back(n, 0);
+  EXPECT_EQ(router.handle(bad).status, Status::kError);
+  Request empty;
+  empty.opcode = Opcode::kBatch;
+  EXPECT_EQ(router.handle(empty).status, Status::kError);
+
+  // RELOAD is refused: the router owns no labels.
+  Request reload;
+  reload.opcode = Opcode::kReload;
+  EXPECT_EQ(router.handle(reload).status, Status::kError);
+  router.stop();
+}
+
+TEST_F(RouterFixture, StartupRefusesAMiswiredFleet) {
+  // Swap the two shard endpoint lists: each server then reports a shard id
+  // that contradicts its position, and start() must throw.
+  shard::RouterOptions swapped = router_options();
+  std::swap(swapped.shards[0], swapped.shards[1]);
+  shard::Router router(swapped);
+  EXPECT_THROW(router.start(), std::runtime_error);
+
+  // Wrong shard count: a 2-shard fleet behind a 1-shard router config.
+  shard::RouterOptions short_fleet = router_options();
+  short_fleet.shards.pop_back();
+  shard::Router undersized(short_fleet);
+  EXPECT_THROW(undersized.start(), std::runtime_error);
+}
+
+TEST(RouterOptionsValidation, RejectsEmptyTopology) {
+  shard::RouterOptions none;
+  EXPECT_THROW(shard::Router{none}, std::invalid_argument);
+  shard::RouterOptions empty_inner;
+  empty_inner.shards.push_back({});
+  EXPECT_THROW(shard::Router{empty_inner}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fsdl

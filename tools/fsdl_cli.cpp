@@ -14,6 +14,16 @@
 //       forbidden-set distance query from labels only
 //   fsdl exact <graph.edges> S T [-v F]... [-e A B]...
 //       ground-truth BFS on G\F (for comparison)
+//   fsdl shard_split <scheme.fsdl> <out-prefix> K [--ring-seed S]
+//                    [--ring-points P]
+//       cut an unsharded labeling into K per-shard label files
+//       (<out-prefix>.shard<I>of<K>), each carrying its partition identity
+//       inside the CRC-covered body; vertices are assigned by the
+//       consistent-hash ring (src/shard/partition.hpp)
+//   fsdl shard_merge <out.fsdl> <shard.fsdl>...
+//       reassemble the full labeling from all K shard files; the result is
+//       byte-identical to the original unsharded file (asserted in
+//       shard_test and the shard_pipeline ctest)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +37,7 @@
 #include "graph/fault_view.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "shard/shard_store.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -45,7 +56,10 @@ using namespace fsdl;
                " [--threads N]\n"
                "  fsdl stats <scheme.fsdl>\n"
                "  fsdl query <scheme.fsdl> S T [-v F]... [-e A B]...\n"
-               "  fsdl exact <graph.edges> S T [-v F]... [-e A B]...\n");
+               "  fsdl exact <graph.edges> S T [-v F]... [-e A B]...\n"
+               "  fsdl shard_split <scheme.fsdl> <out-prefix> K"
+               " [--ring-seed S] [--ring-points P]\n"
+               "  fsdl shard_merge <out.fsdl> <shard.fsdl>...\n");
   std::exit(2);
 }
 
@@ -201,6 +215,61 @@ int cmd_exact(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_shard_split(const std::vector<std::string>& args) {
+  if (args.size() < 3) usage("shard_split: need scheme, out-prefix, K");
+  const std::string& prefix = args[1];
+  const long shard_count = arg_int(args, 2);
+  if (shard_count < 2) usage("shard_split: K must be >= 2");
+  std::uint64_t ring_seed = shard::kDefaultRingSeed;
+  std::uint32_t ring_points = shard::kDefaultRingPoints;
+  for (std::size_t k = 3; k < args.size(); ++k) {
+    if (args[k] == "--ring-seed" && k + 1 < args.size()) {
+      ring_seed = std::strtoull(args[++k].c_str(), nullptr, 0);
+    } else if (args[k] == "--ring-points" && k + 1 < args.size()) {
+      ring_points =
+          static_cast<std::uint32_t>(std::strtoul(args[++k].c_str(), nullptr, 10));
+    } else {
+      usage("shard_split: unknown option");
+    }
+  }
+  const auto scheme = load_labeling(args[0]);
+  const auto pieces = shard::split_labeling(
+      scheme, static_cast<std::uint32_t>(shard_count), ring_seed, ring_points);
+  for (const auto& piece : pieces) {
+    const shard::PartitionInfo part = piece.partition();
+    char suffix[48];
+    std::snprintf(suffix, sizeof suffix, ".shard%uof%u", part.shard_id,
+                  part.shard_count);
+    const std::string path = prefix + suffix;
+    save_labeling(piece, path);
+    std::size_t stored = 0, bits = 0;
+    for (Vertex v = 0; v < piece.num_vertices(); ++v) {
+      if (piece.label_bits(v) > 0) {
+        ++stored;
+        bits += piece.label_bits(v);
+      }
+    }
+    std::printf("wrote %s: %zu/%u labels, %.1f MiB\n", path.c_str(), stored,
+                piece.num_vertices(),
+                static_cast<double>(bits) / 8.0 / 1024 / 1024);
+  }
+  return 0;
+}
+
+int cmd_shard_merge(const std::vector<std::string>& args) {
+  if (args.size() < 2) usage("shard_merge: need output path and shard files");
+  std::vector<ForbiddenSetLabeling> pieces;
+  pieces.reserve(args.size() - 1);
+  for (std::size_t k = 1; k < args.size(); ++k) {
+    pieces.push_back(load_labeling(args[k]));
+  }
+  const auto merged = shard::merge_labelings(pieces);
+  save_labeling(merged, args[0]);
+  std::printf("wrote %s: n=%u merged from %zu shards\n", args[0].c_str(),
+              merged.num_vertices(), pieces.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +282,8 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "query") return cmd_query(args);
     if (cmd == "exact") return cmd_exact(args);
+    if (cmd == "shard_split") return cmd_shard_split(args);
+    if (cmd == "shard_merge") return cmd_shard_merge(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -5,6 +5,7 @@
 //              [--request-deadline-ms D] [--max-queued Q] [--drain-ms D]
 //              [--metrics-dump FILE] [--metrics-interval S] [--admin]
 //              [--slow-query-us T] [--trace-level off|counters|spans]
+//              [--shard-id I --shard-count K]
 //   fsdl_serve <graph.edges> --build [--build-threads N] [--build-eps E]
 //              [--build-compact C] [...same serving flags]
 //   fsdl_serve --health HOST:PORT        one-shot readiness probe
@@ -31,6 +32,19 @@
 //                          reply. Exit 0 = ready, 1 = alive but not ready
 //                          (loading/draining), 2 = unreachable. What a
 //                          load balancer or supervisor calls.
+//
+// Sharding plumbing (see src/shard/):
+//   --shard-id I --shard-count K
+//                          assert that the loaded label file is shard I of a
+//                          K-way split (fsdl shard_split) and refuse to
+//                          start otherwise. Deployment armor: a supervisor
+//                          that starts `fsdl_serve part.shard2of4 --shard-id
+//                          2 --shard-count 4` can never accidentally serve
+//                          the wrong partition because a copy step shuffled
+//                          files. The file itself is authoritative either
+//                          way — the server always serves exactly the
+//                          partition recorded in the (CRC-covered) label
+//                          file and reports it as `shard=I/K` in HEALTH.
 //
 // Observability plumbing:
 //   --metrics-dump FILE    write the Prometheus text exposition to FILE
@@ -96,6 +110,7 @@ void on_hup(int) {
                "S]\n"
                "                  [--slow-query-us T]\n"
                "                  [--trace-level off|counters|spans]\n"
+               "                  [--shard-id I --shard-count K]\n"
                "       fsdl_serve <graph.edges> --build [--build-threads N]\n"
                "                  [--build-eps E] [--build-compact C] [...]\n"
                "       fsdl_serve --health HOST:PORT\n");
@@ -140,6 +155,8 @@ int main(int argc, char** argv) {
   unsigned build_threads = 0;
   double build_eps = 1.0;
   long build_compact = -1;
+  long expect_shard_id = -1;
+  long expect_shard_count = -1;
   for (int k = 2; k < argc; ++k) {
     const std::string arg = argv[k];
     if (arg == "--build") {
@@ -171,6 +188,10 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atol(argv[++k]));
     } else if (arg == "--drain-ms" && k + 1 < argc) {
       options.drain_deadline_ms = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--shard-id" && k + 1 < argc) {
+      expect_shard_id = std::strtol(argv[++k], nullptr, 10);
+    } else if (arg == "--shard-count" && k + 1 < argc) {
+      expect_shard_count = std::strtol(argv[++k], nullptr, 10);
     } else if (arg == "--admin") {
       options.admin = true;
     } else if (arg == "--metrics-dump" && k + 1 < argc) {
@@ -195,6 +216,12 @@ int main(int argc, char** argv) {
     }
   }
   if (metrics_interval_s <= 0) usage("--metrics-interval must be > 0");
+  if ((expect_shard_id >= 0) != (expect_shard_count >= 0)) {
+    usage("--shard-id and --shard-count must be given together");
+  }
+  if (expect_shard_id >= 0 && build_from_graph) {
+    usage("--shard-id/--shard-count require a label file (not --build)");
+  }
 
   try {
     auto scheme = [&] {
@@ -216,6 +243,17 @@ int main(int argc, char** argv) {
     }();
     const unsigned n = scheme.num_vertices();
     const double eps = scheme.params().epsilon;
+    const shard::PartitionInfo part = scheme.partition();
+    if (expect_shard_id >= 0 &&
+        (part.shard_id != static_cast<std::uint32_t>(expect_shard_id) ||
+         part.shard_count != static_cast<std::uint32_t>(expect_shard_count))) {
+      std::fprintf(stderr,
+                   "error: %s is shard %u/%u but this server was started "
+                   "with --shard-id %ld --shard-count %ld\n",
+                   scheme_path.c_str(), part.shard_id, part.shard_count,
+                   expect_shard_id, expect_shard_count);
+      return 1;
+    }
     // Only a file-backed server has something to reload on SIGHUP/RELOAD.
     if (!build_from_graph) options.label_path = scheme_path;
     server::Server srv(std::move(scheme), options);
@@ -233,10 +271,10 @@ int main(int argc, char** argv) {
     // the effective value the listener actually got.
     const int effective_backlog =
         options.listen_backlog <= 0 ? 64 : options.listen_backlog;
-    std::printf("fsdl_serve: n=%u eps=%.3g workers=%u cache=%zu backlog=%d "
-                "port=%u%s\n",
-                n, eps, options.workers, options.cache_capacity,
-                effective_backlog, srv.port(),
+    std::printf("fsdl_serve: n=%u eps=%.3g shard=%u/%u workers=%u cache=%zu "
+                "backlog=%d port=%u%s\n",
+                n, eps, part.shard_id, part.shard_count, options.workers,
+                options.cache_capacity, effective_backlog, srv.port(),
                 options.admin ? " admin=on" : "");
     std::fflush(stdout);
 
