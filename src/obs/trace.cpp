@@ -10,6 +10,18 @@
 #include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <random>
+#include <thread>
+
+#include "util/jsonl.hpp"
+
+#if defined(_WIN32)
+#include <process.h>
+#define FSDL_GETPID _getpid
+#else
+#include <unistd.h>
+#define FSDL_GETPID getpid
+#endif
 
 namespace fsdl::obs {
 
@@ -143,6 +155,136 @@ Span::~Span() {
   SpanRing& ring = local_ring();
   --ring.depth;
   ring.push(SpanEvent{name_, ring.depth, start_us_, now_us() - start_us_});
+}
+
+namespace {
+
+/// The process-wide event-log sink. Lines are written whole under one lock
+/// (fprintf of a pre-built line), so concurrent flushers interleave at line
+/// granularity only — a requirement for a parseable JSON-lines file.
+struct EventLog {
+  std::mutex mu;
+  std::FILE* file = nullptr;
+  std::string service;
+  std::uint64_t pid = 0;
+  std::atomic<bool> open{false};
+};
+
+EventLog& event_log() {
+  static EventLog log;
+  return log;
+}
+
+}  // namespace
+
+bool open_event_log(const std::string& path, const std::string& service) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  EventLog& log = event_log();
+  std::lock_guard<std::mutex> lock(log.mu);
+  if (log.file != nullptr) std::fclose(log.file);
+  log.file = f;
+  log.service = service;
+  log.pid = static_cast<std::uint64_t>(FSDL_GETPID());
+  log.open.store(true, std::memory_order_release);
+  return true;
+}
+
+void close_event_log() {
+  EventLog& log = event_log();
+  std::lock_guard<std::mutex> lock(log.mu);
+  log.open.store(false, std::memory_order_release);
+  if (log.file != nullptr) {
+    std::fclose(log.file);
+    log.file = nullptr;
+  }
+}
+
+bool event_log_enabled() noexcept {
+  return event_log().open.load(std::memory_order_acquire);
+}
+
+std::uint64_t random_id() {
+  // splitmix64 per thread, seeded from entropy + the thread id so forks of
+  // one process and parallel workers never collide on span ids.
+  thread_local std::uint64_t state = [] {
+    std::random_device rd;
+    std::uint64_t seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+    seed ^= std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return seed;
+  }();
+  std::uint64_t id = 0;
+  while (id == 0) {
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    id = z ^ (z >> 31);
+  }
+  return id;
+}
+
+std::uint64_t epoch_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceRecorder::TraceRecorder(std::uint64_t trace_hi, std::uint64_t trace_lo,
+                             std::uint64_t parent_span, bool sampled)
+    : active_(event_log_enabled()),
+      sampled_(sampled),
+      trace_hi_(trace_hi),
+      trace_lo_(trace_lo),
+      parent_span_(parent_span) {
+  if (!active_) return;
+  if (trace_hi_ == 0 && trace_lo_ == 0) {
+    // No incoming context: mint a local trace id so the always-on slow
+    // path still produces a greppable trace. Not sampled — only a slow
+    // flush writes it.
+    trace_hi_ = random_id();
+    trace_lo_ = random_id();
+    parent_span_ = 0;
+  }
+}
+
+std::uint64_t TraceRecorder::new_span() { return active_ ? random_id() : 0; }
+
+void TraceRecorder::add(const char* name, std::uint64_t span,
+                        std::uint64_t parent, std::uint64_t start_us,
+                        double dur_us, int shard) {
+  if (!active_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(Buffered{name, span, parent, start_us, dur_us, shard});
+}
+
+void TraceRecorder::flush(bool always) {
+  if (!active_ || !(sampled_ || always)) return;
+  std::vector<Buffered> spans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans.swap(spans_);
+  }
+  if (spans.empty()) return;
+  EventLog& log = event_log();
+  std::lock_guard<std::mutex> lock(log.mu);
+  if (log.file == nullptr) return;
+  for (const Buffered& s : spans) {
+    JsonlWriter w;
+    w.field_u64("ts", s.start_us)
+        .field("svc", log.service)
+        .field_u64("pid", log.pid)
+        .field_hex128("trace", trace_hi_, trace_lo_)
+        .field_hex64("span", s.span)
+        .field_hex64("parent", s.parent)
+        .field("name", s.name)
+        .field_double("dur_us", s.dur_us)
+        .field("kind", "span");
+    if (s.shard >= 0) w.field_u64("shard", static_cast<std::uint64_t>(s.shard));
+    std::fprintf(log.file, "%s\n", w.line().c_str());
+  }
+  std::fflush(log.file);
 }
 
 std::string format_span_tree(const std::vector<SpanEvent>& events) {

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -127,6 +128,74 @@ class Span {
   bool active_;
 };
 
+// --- distributed tracing: process-wide JSON-lines event log ---
+//
+// One append-only file per process (fsdl_serve/fsdl_router --trace-log).
+// Each line is a flat JSON object with stable keys:
+//   ts (start, wall-clock epoch micros — cross-process alignable),
+//   svc ("router"/"shard"/...), pid, trace (32 hex), span (16 hex),
+//   parent (16 hex, "0"*16 = root), name, dur_us, kind ("span"), and
+//   shard (router fetch spans only). fsdl_trace --stitch joins lines from
+//   N processes by trace id into one tree.
+
+/// Open (append) the event log; `service` becomes every line's `svc`.
+/// Returns false if the file cannot be opened. Reopening replaces the log.
+bool open_event_log(const std::string& path, const std::string& service);
+/// Close the log (tests / clean shutdown); recorders go inert.
+void close_event_log();
+bool event_log_enabled() noexcept;
+
+/// Nonzero pseudo-random 64-bit id for spans/traces (per-thread generator,
+/// seeded from std::random_device — ids must differ *across processes*).
+std::uint64_t random_id();
+/// Wall-clock microseconds since the Unix epoch. The event log uses wall
+/// time, unlike the steady-clock span ring, so timestamps from different
+/// machines/processes can be laid on one axis.
+std::uint64_t epoch_us();
+
+/// Per-request span buffer for the event log. Construct from the incoming
+/// wire TraceContext fields; `add()` completed spans (safe from the
+/// router's parallel fetch threads — internally locked); `flush()` writes
+/// them as JSON lines if the request was sampled, or unconditionally when
+/// `always` (the slow-query path) is set. Inert unless the event log is
+/// open. A request with no incoming trace id gets a locally generated one,
+/// so slow queries are traceable even when the client sent no context.
+class TraceRecorder {
+ public:
+  TraceRecorder(std::uint64_t trace_hi, std::uint64_t trace_lo,
+                std::uint64_t parent_span, bool sampled);
+
+  bool active() const noexcept { return active_; }
+  bool sampled() const noexcept { return sampled_; }
+  std::uint64_t trace_hi() const noexcept { return trace_hi_; }
+  std::uint64_t trace_lo() const noexcept { return trace_lo_; }
+  /// Span id of the incoming parent (0 when this hop is the root).
+  std::uint64_t parent_span() const noexcept { return parent_span_; }
+  /// Fresh span id (0 when inactive — the zero id is never logged).
+  std::uint64_t new_span();
+
+  /// Record one completed span. `start_us` is epoch_us() at span start;
+  /// `shard` >= 0 tags scatter-gather fetch spans with the shard index.
+  void add(const char* name, std::uint64_t span, std::uint64_t parent,
+           std::uint64_t start_us, double dur_us, int shard = -1);
+
+  /// Write buffered spans to the event log when sampled() || always.
+  void flush(bool always);
+
+ private:
+  struct Buffered {
+    const char* name;
+    std::uint64_t span, parent, start_us;
+    double dur_us;
+    int shard;
+  };
+  bool active_ = false;
+  bool sampled_ = false;
+  std::uint64_t trace_hi_ = 0, trace_lo_ = 0, parent_span_ = 0;
+  std::mutex mu_;
+  std::vector<Buffered> spans_;
+};
+
 #else  // FSDL_TRACE_ENABLED == 0: everything folds to nothing.
 
 inline Level level() noexcept { return Level::kOff; }
@@ -145,6 +214,28 @@ class Span {
 inline std::string format_span_tree(const std::vector<SpanEvent>&) {
   return {};
 }
+
+inline bool open_event_log(const std::string&, const std::string&) {
+  return false;
+}
+inline void close_event_log() {}
+inline bool event_log_enabled() noexcept { return false; }
+inline std::uint64_t random_id() { return 0; }
+inline std::uint64_t epoch_us() { return 0; }
+
+class TraceRecorder {
+ public:
+  TraceRecorder(std::uint64_t, std::uint64_t, std::uint64_t, bool) noexcept {}
+  bool active() const noexcept { return false; }
+  bool sampled() const noexcept { return false; }
+  std::uint64_t trace_hi() const noexcept { return 0; }
+  std::uint64_t trace_lo() const noexcept { return 0; }
+  std::uint64_t parent_span() const noexcept { return 0; }
+  std::uint64_t new_span() noexcept { return 0; }
+  void add(const char*, std::uint64_t, std::uint64_t, std::uint64_t, double,
+           int = -1) noexcept {}
+  void flush(bool) noexcept {}
+};
 
 #endif  // FSDL_TRACE_ENABLED
 

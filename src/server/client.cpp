@@ -214,11 +214,13 @@ Response Client::call_idempotent(const Request& req) {
   }
 }
 
-Dist Client::dist(Vertex s, Vertex t, const FaultSet& faults) {
+Dist Client::dist(Vertex s, Vertex t, const FaultSet& faults,
+                  const TraceContext& trace) {
   Request req;
   req.opcode = Opcode::kDist;
   req.pairs.emplace_back(s, t);
   req.faults = faults;
+  req.trace = trace;
   const Response resp = call_idempotent(req);
   if (!resp.ok() || resp.distances.size() != 1) {
     throw std::runtime_error(std::string("DIST failed (") +
@@ -229,11 +231,12 @@ Dist Client::dist(Vertex s, Vertex t, const FaultSet& faults) {
 
 std::vector<Dist> Client::batch(
     const std::vector<std::pair<Vertex, Vertex>>& pairs,
-    const FaultSet& faults) {
+    const FaultSet& faults, const TraceContext& trace) {
   Request req;
   req.opcode = Opcode::kBatch;
   req.pairs = pairs;
   req.faults = faults;
+  req.trace = trace;
   Response resp = call_idempotent(req);
   if (!resp.ok() || resp.distances.size() != pairs.size()) {
     throw std::runtime_error(std::string("BATCH failed (") +
@@ -255,6 +258,16 @@ std::string Client::metrics() {
   req.opcode = Opcode::kMetrics;
   Response resp = call(req);
   if (!resp.ok()) throw std::runtime_error("METRICS failed: " + resp.text);
+  return std::move(resp.text);
+}
+
+std::string Client::fleet_stats() {
+  Request req;
+  req.opcode = Opcode::kFleetStats;
+  Response resp = call(req);
+  if (!resp.ok()) {
+    throw std::runtime_error("FLEET_STATS failed: " + resp.text);
+  }
   return std::move(resp.text);
 }
 

@@ -67,13 +67,21 @@ class Client {
   /// a non-ok status.
   Response call(const Request& req);
 
-  /// Shorthands. dist/batch apply the retry policy (idempotent).
-  Dist dist(Vertex s, Vertex t, const FaultSet& faults);
+  /// Shorthands. dist/batch apply the retry policy (idempotent) and
+  /// optionally carry a trace context on the request frame (absent by
+  /// default — zero wire cost; see protocol.hpp).
+  Dist dist(Vertex s, Vertex t, const FaultSet& faults,
+            const TraceContext& trace = {});
   std::vector<Dist> batch(const std::vector<std::pair<Vertex, Vertex>>& pairs,
-                          const FaultSet& faults);
+                          const FaultSet& faults,
+                          const TraceContext& trace = {});
   std::string stats();
   /// Prometheus text exposition of the server's metrics registry.
   std::string metrics();
+  /// FLEET_STATS: against a router, the whole fleet's merged exposition
+  /// (per-shard samples + fsdl_fleet_* histograms); against a single
+  /// server, that server's own exposition — a fleet of one.
+  std::string fleet_stats();
   /// One HEALTH round-trip; returns the probe text ("ready epoch=1 n=64",
   /// "draining ...", ...). No retries — the whole point is to learn the
   /// current state, including the bad ones. Throws on transport failure.

@@ -1,0 +1,253 @@
+#include "server/fleet.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+#include "server/metrics.hpp"
+
+namespace fsdl::server {
+
+std::string prometheus_escape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+bool parse_prometheus(const std::string& text, std::vector<PromSample>& out,
+                      std::string& error) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    PromSample s;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    if (i == 0 || i == line.size()) {
+      error = "malformed sample line: " + line;
+      return false;
+    }
+    s.name = line.substr(0, i);
+    if (line[i] == '{') {
+      // Scan to the closing brace, honoring quoted label values (a value
+      // may contain '}' or an escaped quote).
+      const std::size_t open = i + 1;
+      bool in_quotes = false;
+      std::size_t j = open;
+      for (; j < line.size(); ++j) {
+        const char c = line[j];
+        if (in_quotes) {
+          if (c == '\\') {
+            ++j;  // skip the escaped character
+          } else if (c == '"') {
+            in_quotes = false;
+          }
+        } else if (c == '"') {
+          in_quotes = true;
+        } else if (c == '}') {
+          break;
+        }
+      }
+      if (j >= line.size()) {
+        error = "unterminated label braces: " + line;
+        return false;
+      }
+      s.labels = line.substr(open, j - open);
+      i = j + 1;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    if (i >= line.size()) {
+      error = "sample line missing value: " + line;
+      return false;
+    }
+    char* end = nullptr;
+    const std::string value_text = line.substr(i);
+    s.value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str()) {
+      error = "unparsable sample value: " + line;
+      return false;
+    }
+    out.push_back(std::move(s));
+  }
+  return true;
+}
+
+bool parse_labels(const std::string& labels,
+                  std::vector<std::pair<std::string, std::string>>& out) {
+  out.clear();
+  std::size_t i = 0;
+  while (i < labels.size()) {
+    std::size_t eq = labels.find('=', i);
+    if (eq == std::string::npos) return false;
+    const std::string name = labels.substr(i, eq - i);
+    if (name.empty() || eq + 1 >= labels.size() || labels[eq + 1] != '"') {
+      return false;
+    }
+    std::string value;
+    std::size_t j = eq + 2;
+    for (; j < labels.size(); ++j) {
+      const char c = labels[j];
+      if (c == '"') break;
+      if (c == '\\' && j + 1 < labels.size()) {
+        const char esc = labels[++j];
+        if (esc == 'n') {
+          value += '\n';
+        } else {
+          value += esc;  // \\ and \" unescape to the literal character
+        }
+      } else {
+        value += c;
+      }
+    }
+    if (j >= labels.size()) return false;  // unterminated value
+    out.emplace_back(name, std::move(value));
+    i = j + 1;
+    if (i < labels.size()) {
+      if (labels[i] != ',') return false;
+      ++i;
+    }
+  }
+  return true;
+}
+
+Histogram histogram_from_buckets(
+    const std::vector<std::pair<double, std::uint64_t>>& cumulative,
+    double growth, double ref) {
+  Histogram h(growth, ref);
+  const double rep_factor = 1.0 / std::sqrt(growth);
+  std::uint64_t seen = 0;
+  for (const auto& [upper, cum] : cumulative) {
+    const std::uint64_t n = cum >= seen ? cum - seen : 0;
+    seen = cum > seen ? cum : seen;
+    if (n == 0) continue;
+    // upper == 0 is the underflow bucket (x <= 0); positive uppers get the
+    // bucket's geometric midpoint, which bucket_index floors right back.
+    h.add_n(upper <= 0.0 ? 0.0 : upper * rep_factor, n);
+  }
+  return h;
+}
+
+namespace {
+
+/// `le` stripped out of a raw label string; returns the le value through
+/// `le_out` (NaN when absent).
+std::string strip_le(const std::string& labels, double& le_out) {
+  le_out = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::pair<std::string, std::string>> parsed;
+  if (!parse_labels(labels, parsed)) return labels;
+  std::string rest;
+  for (const auto& [name, value] : parsed) {
+    if (name == "le") {
+      le_out = value == "+Inf" ? std::numeric_limits<double>::infinity()
+                               : std::strtod(value.c_str(), nullptr);
+      continue;
+    }
+    if (!rest.empty()) rest += ',';
+    rest += name + "=\"" + prometheus_escape(value) + "\"";
+  }
+  return rest;
+}
+
+}  // namespace
+
+std::string render_fleet(const std::vector<ShardScrape>& scrapes) {
+  std::string out;
+  out.reserve(4096);
+
+  out +=
+      "# HELP fsdl_fleet_scrape_ok Whether the shard's METRICS scrape "
+      "succeeded (0 = hole in every merged series below).\n"
+      "# TYPE fsdl_fleet_scrape_ok gauge\n";
+  char line[256];
+  for (const ShardScrape& s : scrapes) {
+    std::snprintf(line, sizeof line,
+                  "fsdl_fleet_scrape_ok{shard=\"%u\",replica=\"%s\"} %d\n",
+                  s.shard, prometheus_escape(s.replica).c_str(), s.ok ? 1 : 0);
+    out += line;
+  }
+
+  // Fleet histograms keyed by (base name without _bucket, labels sans le):
+  // one reconstructed Histogram per shard, merged via Histogram::merge.
+  using SeriesKey = std::pair<std::string, std::string>;
+  std::map<SeriesKey, Histogram> fleet_histograms;
+
+  out +=
+      "# Per-shard samples re-emitted with shard/replica labels "
+      "(HELP/TYPE as on the shards).\n";
+  for (const ShardScrape& s : scrapes) {
+    if (!s.ok) continue;
+    std::vector<PromSample> samples;
+    std::string error;
+    if (!parse_prometheus(s.text, samples, error)) continue;
+    std::snprintf(line, sizeof line, "shard=\"%u\",replica=\"%s\"", s.shard,
+                  prometheus_escape(s.replica).c_str());
+    const std::string suffix(line);
+    // This shard's cumulative le buckets per series, in emission order.
+    std::map<SeriesKey, std::vector<std::pair<double, std::uint64_t>>>
+        shard_buckets;
+    for (const PromSample& sample : samples) {
+      out += sample.name;
+      out += '{';
+      if (!sample.labels.empty()) {
+        out += sample.labels;
+        out += ',';
+      }
+      out += suffix;
+      std::snprintf(line, sizeof line, "} %.6g\n", sample.value);
+      out += line;
+
+      constexpr std::size_t blen = 7;  // strlen("_bucket")
+      if (sample.name.size() > blen &&
+          sample.name.compare(sample.name.size() - blen, blen, "_bucket") ==
+              0) {
+        double le;
+        const std::string rest = strip_le(sample.labels, le);
+        if (!std::isnan(le) && !std::isinf(le)) {
+          shard_buckets[{sample.name.substr(0, sample.name.size() - blen),
+                         rest}]
+              .emplace_back(le, static_cast<std::uint64_t>(sample.value + 0.5));
+        }
+      }
+    }
+    for (const auto& [key, cumulative] : shard_buckets) {
+      fleet_histograms[key].merge(histogram_from_buckets(cumulative));
+    }
+  }
+
+  out +=
+      "# Fleet-wide histograms: per-shard distributions merged via "
+      "Histogram::merge (counts exact, sum approximated at bucket "
+      "midpoints).\n";
+  for (const auto& [key, merged] : fleet_histograms) {
+    const auto& [base, rest] = key;
+    // fsdl_request_latency_microseconds -> fsdl_fleet_request_latency_...
+    const std::string fleet_name =
+        "fsdl_fleet_" + (base.rfind("fsdl_", 0) == 0 ? base.substr(5) : base);
+    append_prometheus_histogram(out, fleet_name.c_str(), rest, merged);
+  }
+  return out;
+}
+
+}  // namespace fsdl::server

@@ -1,0 +1,75 @@
+// Fleet-wide metrics aggregation behind the FLEET_STATS opcode.
+//
+// The router scrapes each shard's METRICS (Prometheus text exposition over
+// the binary protocol), then builds one pane out of the pieces:
+//
+//   * every shard sample re-emitted with `shard="i",replica="host:port"`
+//     labels appended, so per-shard counters stay individually visible;
+//   * every histogram series (`*_bucket` with an `le` label) additionally
+//     reconstructed into a util/stats Histogram per shard and merged across
+//     shards via Histogram::merge, re-emitted under a `fsdl_fleet_` name
+//     prefix — the fleet-wide latency distribution, not an average of
+//     averages;
+//   * a scrape-status gauge so a dead shard is a visible hole, not a
+//     silently smaller sum.
+//
+// Reconstruction is exact in counts and bucket placement (each bucket's
+// samples are re-added at the bucket's geometric midpoint, which floors
+// back into the same bucket) and approximate in _sum (midpoint × count);
+// min/max degrade to bucket edges. This is the standard price of merging
+// over a text exposition and is documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace fsdl::server {
+
+/// Escape a Prometheus label *value*: backslash, double quote, and newline
+/// get backslash escapes (exposition format rules). Metric/label names are
+/// never escaped — they are generated, not user input.
+std::string prometheus_escape(const std::string& value);
+
+/// One sample line of a text exposition: `name{labels} value`.
+struct PromSample {
+  std::string name;
+  std::string labels;  ///< Raw text inside the braces; "" when unlabeled.
+  double value = 0.0;
+};
+
+/// Parse exposition text into samples. Comment (`#`) and blank lines are
+/// skipped; a malformed sample line fails the whole parse with `error`.
+bool parse_prometheus(const std::string& text, std::vector<PromSample>& out,
+                      std::string& error);
+
+/// Split a raw label string (`a="x",b="y"`) into (name, unescaped value)
+/// pairs. Returns false on malformed input.
+bool parse_labels(const std::string& labels,
+                  std::vector<std::pair<std::string, std::string>>& out);
+
+/// Rebuild a Histogram from one series' *cumulative* `le` buckets
+/// (Prometheus order, +Inf excluded). The scale must match the source
+/// histogram's (growth, ref) — all fsdl latency histograms use the
+/// defaults. Samples land in exactly the source buckets; see the header
+/// comment for what is approximate.
+Histogram histogram_from_buckets(
+    const std::vector<std::pair<double, std::uint64_t>>& cumulative,
+    double growth = 1.25, double ref = 1.0);
+
+/// One scraped shard exposition (the router fills one per shard).
+struct ShardScrape {
+  unsigned shard = 0;
+  std::string replica;  ///< host:port of the replica that answered.
+  bool ok = false;      ///< False: unreachable — only the status gauge shows.
+  std::string text;     ///< The shard's METRICS rendering when ok.
+};
+
+/// The fleet sections described above (re-emission + merged histograms +
+/// scrape status). The router prepends its own render_prometheus() and its
+/// per-shard fetch-latency histograms to form the full FLEET_STATS reply.
+std::string render_fleet(const std::vector<ShardScrape>& scrapes);
+
+}  // namespace fsdl::server

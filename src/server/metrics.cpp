@@ -11,9 +11,9 @@ namespace fsdl::server {
 
 namespace {
 
-const char* kTypeNames[kNumRequestTypes] = {"dist",   "batch",  "stats",
-                                            "metrics", "health", "reload",
-                                            "get_label"};
+const char* kTypeNames[kNumRequestTypes] = {
+    "dist",   "batch",  "stats",     "metrics",
+    "health", "reload", "get_label", "fleet_stats"};
 
 void append_line(std::string& out, const char* fmt, ...) {
   char line[256];
@@ -25,6 +25,30 @@ void append_line(std::string& out, const char* fmt, ...) {
 }
 
 }  // namespace
+
+const char* request_type_name(RequestType t) {
+  const unsigned k = static_cast<unsigned>(t);
+  return k < kNumRequestTypes ? kTypeNames[k] : "?";
+}
+
+void append_prometheus_histogram(std::string& out, const char* name,
+                                 const std::string& labels,
+                                 const Histogram& h) {
+  // `name_bucket{labels,le="u"} v` — the le label always comes last.
+  const std::string bucket_open =
+      std::string(name) + "_bucket{" + (labels.empty() ? "" : labels + ",");
+  std::uint64_t cumulative = 0;
+  for (const auto& b : h.buckets()) {
+    cumulative += b.count;
+    append_line(out, "%sle=\"%.6g\"} %" PRIu64 "\n", bucket_open.c_str(),
+                b.upper, cumulative);
+  }
+  append_line(out, "%sle=\"+Inf\"} %" PRIu64 "\n", bucket_open.c_str(),
+              h.count());
+  const std::string plain = labels.empty() ? "" : "{" + labels + "}";
+  append_line(out, "%s_sum%s %.6g\n", name, plain.c_str(), h.sum());
+  append_line(out, "%s_count%s %" PRIu64 "\n", name, plain.c_str(), h.count());
+}
 
 const char* stage_counter_name(StageCounter c) {
   switch (c) {
@@ -220,34 +244,14 @@ std::string Metrics::render_prometheus(
               "type (geometric buckets).\n");
   append_line(out, "# TYPE fsdl_request_latency_microseconds histogram\n");
   for (unsigned k = 0; k < kNumRequestTypes; ++k) {
-    std::vector<Histogram::Bucket> buckets;
-    double sum = 0.0;
-    std::uint64_t count = 0;
+    Histogram snapshot(1.25);
     {
       std::lock_guard<std::mutex> lock(lat_mu_[k]);
-      buckets = latency_[k].buckets();
-      sum = latency_[k].sum();
-      count = latency_[k].count();
+      snapshot = latency_[k];
     }
-    std::uint64_t cumulative = 0;
-    for (const auto& b : buckets) {
-      cumulative += b.count;
-      append_line(out,
-                  "fsdl_request_latency_microseconds_bucket{type=\"%s\","
-                  "le=\"%.6g\"} %" PRIu64 "\n",
-                  kTypeNames[k], b.upper, cumulative);
-    }
-    append_line(out,
-                "fsdl_request_latency_microseconds_bucket{type=\"%s\","
-                "le=\"+Inf\"} %" PRIu64 "\n",
-                kTypeNames[k], count);
-    append_line(out,
-                "fsdl_request_latency_microseconds_sum{type=\"%s\"} %.6g\n",
-                kTypeNames[k], sum);
-    append_line(out,
-                "fsdl_request_latency_microseconds_count{type=\"%s\"} %" PRIu64
-                "\n",
-                kTypeNames[k], count);
+    append_prometheus_histogram(out, "fsdl_request_latency_microseconds",
+                                std::string("type=\"") + kTypeNames[k] + "\"",
+                                snapshot);
   }
 
   append_line(out,

@@ -25,9 +25,22 @@ enum class RequestType : unsigned {
   kMetrics = 3,
   kHealth = 4,
   kReload = 5,
-  kGetLabel = 6
+  kGetLabel = 6,
+  kFleetStats = 7
 };
-inline constexpr unsigned kNumRequestTypes = 7;
+inline constexpr unsigned kNumRequestTypes = 8;
+
+/// Stable lowercase name of a request type ("dist", "fleet_stats", ...).
+const char* request_type_name(RequestType t);
+
+/// Append one Prometheus histogram series to `out`: cumulative `le`
+/// buckets, `+Inf`, `_sum`, `_count`, all under `name` with `labels` (the
+/// inside of the braces, e.g. `type="dist"` or `shard="0"`; "" for none).
+/// Shared by the per-process renderer below and the router's fleet
+/// aggregation (server/fleet.hpp).
+void append_prometheus_histogram(std::string& out, const char* name,
+                                 const std::string& labels,
+                                 const Histogram& h);
 
 /// Decoder stage counters surfaced server-wide — one slot per QueryStats
 /// field. Always on (a handful of relaxed adds per *request*, never per

@@ -26,6 +26,14 @@ void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
 }
 
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// Magic word opening a trace-context block: "TRC1" as LE u32.
+constexpr std::uint32_t kTraceMagic = 0x31435254u;
+
 /// Bounds-checked little-endian reader over a payload.
 class Cursor {
  public:
@@ -48,6 +56,13 @@ class Cursor {
     return true;
   }
 
+  bool u64(std::uint64_t& v) {
+    std::uint32_t lo, hi;
+    if (!u32(lo) || !u32(hi)) return false;
+    v = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+  }
+
   bool bytes(std::string& v, std::size_t n) {
     if (pos_ + n > size_) return false;
     v.assign(reinterpret_cast<const char*>(data_ + pos_), n);
@@ -63,6 +78,39 @@ class Cursor {
   std::size_t size_;
   std::size_t pos_ = 0;
 };
+
+void append_trace_context(std::vector<std::uint8_t>& out,
+                          const TraceContext& ctx) {
+  if (!ctx.present) return;
+  put_u32(out, kTraceMagic);
+  put_u64(out, ctx.trace_hi);
+  put_u64(out, ctx.trace_lo);
+  put_u64(out, ctx.parent_span);
+  out.push_back(ctx.flags);
+  put_u32(out, ctx.deadline_us);
+}
+
+/// Consume the optional trailing trace-context block on a query request.
+/// An empty remainder is a valid absent context (the pre-extension wire
+/// format); anything else must be exactly one well-formed block.
+bool decode_trace_context(Cursor& c, TraceContext& ctx, std::string& error) {
+  if (c.done()) return true;
+  std::uint32_t magic = 0;
+  if (c.remaining() != kTraceContextBytes || !c.u32(magic) ||
+      magic != kTraceMagic) {
+    error = "malformed trace-context extension";
+    return false;
+  }
+  std::uint8_t flags = 0;
+  if (!c.u64(ctx.trace_hi) || !c.u64(ctx.trace_lo) || !c.u64(ctx.parent_span) ||
+      !c.u8(flags) || !c.u32(ctx.deadline_us)) {
+    error = "malformed trace-context extension";
+    return false;
+  }
+  ctx.flags = flags;
+  ctx.present = true;
+  return true;
+}
 
 }  // namespace
 
@@ -81,6 +129,7 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
         put_u32(out, a);
         put_u32(out, b);
       }
+      append_trace_context(out, req.trace);
       break;
     }
     case Opcode::kBatch: {
@@ -96,15 +145,18 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
         put_u32(out, s);
         put_u32(out, t);
       }
+      append_trace_context(out, req.trace);
       break;
     }
     case Opcode::kGetLabel:
       put_u32(out, req.pairs.at(0).first);
+      append_trace_context(out, req.trace);
       break;
     case Opcode::kStats:
     case Opcode::kMetrics:
     case Opcode::kHealth:
     case Opcode::kReload:
+    case Opcode::kFleetStats:
       break;
   }
   return out;
@@ -178,6 +230,7 @@ bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
       }
       out.pairs.emplace_back(s, t);
       if (!decode_fault_block(c, nv, ne, out.faults, error)) return false;
+      if (!decode_trace_context(c, out.trace, error)) return false;
       break;
     }
     case static_cast<std::uint8_t>(Opcode::kBatch): {
@@ -201,6 +254,7 @@ bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
         }
         out.pairs.emplace_back(s, t);
       }
+      if (!decode_trace_context(c, out.trace, error)) return false;
       break;
     }
     case static_cast<std::uint8_t>(Opcode::kStats):
@@ -215,6 +269,9 @@ bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
     case static_cast<std::uint8_t>(Opcode::kReload):
       out.opcode = Opcode::kReload;
       break;
+    case static_cast<std::uint8_t>(Opcode::kFleetStats):
+      out.opcode = Opcode::kFleetStats;
+      break;
     case static_cast<std::uint8_t>(Opcode::kGetLabel): {
       out.opcode = Opcode::kGetLabel;
       std::uint32_t v;
@@ -223,6 +280,7 @@ bool decode_request(const std::uint8_t* data, std::size_t size, Request& out,
         return false;
       }
       out.pairs.emplace_back(v, 0);
+      if (!decode_trace_context(c, out.trace, error)) return false;
       break;
     }
     default:

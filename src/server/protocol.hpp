@@ -43,6 +43,30 @@
 //            built on: shards hand out label bytes, the router decodes and
 //            answers locally. kError if the vertex is out of range or owned
 //            by a different shard (the reply names the owner).
+//   FLEET_STATS = opcode 8 (no body) — fleet-wide Prometheus exposition.
+//            On a shard server this is just its own METRICS rendering (a
+//            fleet of one). On the router it scrapes every shard's METRICS,
+//            merges the per-shard histograms (Histogram::merge) into
+//            fleet-wide aggregates, and re-emits each shard's counters with
+//            `shard`/`replica` labels plus the router's own per-shard
+//            fetch-latency histograms — one pane for the whole fleet.
+//
+// Trace-context extension (optional, query opcodes only):
+//   DIST / BATCH / GET_LABEL request payloads may carry one trailing
+//   33-byte block after their normal body —
+//
+//     u32 magic "TRC1" (0x31435254) | u64 trace id hi | u64 trace id lo |
+//     u64 parent span id | u8 flags (bit0 = sampled) | u32 deadline_us
+//
+//   128-bit trace id + parent span id let every hop (client → router →
+//   shard) log spans that fsdl_trace --stitch can join into one
+//   cross-process tree; deadline_us is the remaining request budget, which
+//   each hop clamps to and decrements before forwarding. The block is
+//   strictly optional and costs nothing when absent: an absent context
+//   encodes byte-identically to the pre-extension wire format, and since
+//   older decoders rejected any trailing bytes, no old frame can be
+//   reinterpreted. A trailing remainder that is not exactly this block is a
+//   decode error ("malformed trace-context extension").
 //
 // Response payloads:
 //   status u8 (Status below)
@@ -81,8 +105,29 @@ enum class Opcode : std::uint8_t {
   kMetrics = 4,
   kHealth = 5,
   kReload = 6,
-  kGetLabel = 7
+  kGetLabel = 7,
+  kFleetStats = 8
 };
+
+/// Optional trace context carried on DIST/BATCH/GET_LABEL requests (see the
+/// wire-format comment above). Lives in the protocol layer, not fsdl::obs:
+/// propagation must work — and encode byte-identically — in FSDL_TRACE=OFF
+/// builds, where only the span *recording* is compiled out.
+struct TraceContext {
+  std::uint64_t trace_hi = 0;  ///< 128-bit trace id, high half.
+  std::uint64_t trace_lo = 0;  ///< 128-bit trace id, low half.
+  std::uint64_t parent_span = 0;
+  std::uint8_t flags = 0;       ///< bit0: sampled (record spans at every hop).
+  std::uint32_t deadline_us = 0;  ///< Remaining request budget; 0 = none.
+  bool present = false;         ///< False ⇒ nothing on the wire.
+
+  static constexpr std::uint8_t kSampledFlag = 0x01;
+  bool sampled() const noexcept { return (flags & kSampledFlag) != 0; }
+};
+
+/// Encoded size of a present trace-context block (magic + ids + flags +
+/// deadline).
+inline constexpr std::size_t kTraceContextBytes = 33;
 
 /// Response status byte. Everything except kOk carries a text body.
 enum class Status : std::uint8_t {
@@ -106,6 +151,9 @@ struct Request {
   /// DIST uses pairs[0]; BATCH uses all of pairs.
   std::vector<std::pair<Vertex, Vertex>> pairs;
   FaultSet faults;
+  /// Optional distributed-tracing context (DIST/BATCH/GET_LABEL only;
+  /// ignored by the codec for other opcodes).
+  TraceContext trace;
 };
 
 struct Response {

@@ -308,11 +308,13 @@ Response ReplicaClient::call_idempotent(const Request& req) {
   throw std::runtime_error("all replicas failed: " + last_error);
 }
 
-Dist ReplicaClient::dist(Vertex s, Vertex t, const FaultSet& faults) {
+Dist ReplicaClient::dist(Vertex s, Vertex t, const FaultSet& faults,
+                         const TraceContext& trace) {
   Request req;
   req.opcode = Opcode::kDist;
   req.pairs.emplace_back(s, t);
   req.faults = faults;
+  req.trace = trace;
   const Response resp = call_idempotent(req);
   if (!resp.ok() || resp.distances.size() != 1) {
     throw std::runtime_error(std::string("DIST failed (") +
@@ -323,11 +325,12 @@ Dist ReplicaClient::dist(Vertex s, Vertex t, const FaultSet& faults) {
 
 std::vector<Dist> ReplicaClient::batch(
     const std::vector<std::pair<Vertex, Vertex>>& pairs,
-    const FaultSet& faults) {
+    const FaultSet& faults, const TraceContext& trace) {
   Request req;
   req.opcode = Opcode::kBatch;
   req.pairs = pairs;
   req.faults = faults;
+  req.trace = trace;
   Response resp = call_idempotent(req);
   if (!resp.ok() || resp.distances.size() != pairs.size()) {
     throw std::runtime_error(std::string("BATCH failed (") +

@@ -106,10 +106,14 @@ class ReplicaClient {
   ReplicaClient& operator=(const ReplicaClient&) = delete;
 
   /// Idempotent query shorthands, same contract as Client's: throw on
-  /// protocol error or when every attempt failed.
-  Dist dist(Vertex s, Vertex t, const FaultSet& faults);
+  /// protocol error or when every attempt failed. The optional trace
+  /// context rides the request frame so every hop behind this client can
+  /// attribute its spans to the caller's trace (see protocol.hpp).
+  Dist dist(Vertex s, Vertex t, const FaultSet& faults,
+            const TraceContext& trace = {});
   std::vector<Dist> batch(const std::vector<std::pair<Vertex, Vertex>>& pairs,
-                          const FaultSet& faults);
+                          const FaultSet& faults,
+                          const TraceContext& trace = {});
   /// STATS from the current primary (read-only, so routed with failover).
   std::string stats();
 

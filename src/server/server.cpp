@@ -1,12 +1,19 @@
 #include "server/server.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <stdexcept>
 
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 #include "core/serialize.hpp"
 #include "obs/trace.hpp"
 #include "shard/wire_label.hpp"
+#include "util/jsonl.hpp"
 #include "util/timer.hpp"
 
 namespace fsdl::server {
@@ -161,6 +168,13 @@ Response Server::handle(const Request& req) {
       metrics_.record(RequestType::kMetrics, 0, timer.elapsed_us());
       return resp;
     }
+    case Opcode::kFleetStats: {
+      // A shard server is a fleet of one: FLEET_STATS is its own METRICS
+      // rendering. The router overrides this with the real scatter/merge.
+      resp.text = metrics_.render_prometheus(snap->cache().stats());
+      metrics_.record(RequestType::kFleetStats, 0, timer.elapsed_us());
+      return resp;
+    }
     case Opcode::kHealth: {
       resp.text = health_text();
       metrics_.record(RequestType::kHealth, 0, timer.elapsed_us());
@@ -181,15 +195,34 @@ Response Server::handle(const Request& req) {
       return resp;
     }
     case Opcode::kGetLabel: {
+      obs::TraceRecorder rec(req.trace.trace_hi, req.trace.trace_lo,
+                             req.trace.parent_span, req.trace.sampled());
+      const std::uint64_t root_span = rec.new_span();
+      const std::uint64_t root_start = obs::epoch_us();
       const Vertex v = req.pairs.at(0).first;
       const Vertex n = oracle.scheme().num_vertices();
       if (v >= n) return out_of_range_response("vertex id", v, n);
+      // Lookup phase: resolve the vertex's owner on the ring and gate.
+      const std::uint64_t lookup_start = obs::epoch_us();
       const std::uint32_t owner = snap->partitioner().owner(v);
       const shard::PartitionInfo& part = snap->partition();
       if (owner != part.shard_id) {
         return wrong_shard_response("vertex id", v, owner, part);
       }
+      if (rec.active()) {
+        rec.add("shard.lookup", rec.new_span(), root_span, lookup_start,
+                static_cast<double>(obs::epoch_us() - lookup_start));
+      }
+      // Serialize phase: the wire-label blob (label bits + scheme header).
+      const std::uint64_t serialize_start = obs::epoch_us();
       resp.text = shard::encode_wire_label(oracle.scheme(), v, snap->epoch());
+      if (rec.active()) {
+        rec.add("shard.serialize", rec.new_span(), root_span, serialize_start,
+                static_cast<double>(obs::epoch_us() - serialize_start));
+        rec.add("shard.get_label", root_span, rec.parent_span(), root_start,
+                timer.elapsed_us());
+      }
+      rec.flush(false);
       metrics_.record(RequestType::kGetLabel, 0, timer.elapsed_us());
       return resp;
     }
@@ -224,7 +257,18 @@ Response Server::handle(const Request& req) {
         if (a >= n) return out_of_range_response("fault edge id", a, n);
         if (b >= n) return out_of_range_response("fault edge id", b, n);
       }
-      const double deadline_us = options_.request_deadline_ms * 1000.0;
+      // Request budget: the configured per-request deadline clamped by the
+      // remaining budget the client/router forwarded in the trace context
+      // (a hop must never work past what the caller will still accept).
+      double deadline_us = options_.request_deadline_ms * 1000.0;
+      if (req.trace.present && req.trace.deadline_us > 0) {
+        const double remote = static_cast<double>(req.trace.deadline_us);
+        deadline_us = deadline_us > 0 ? std::min(deadline_us, remote) : remote;
+      }
+      obs::TraceRecorder rec(req.trace.trace_hi, req.trace.trace_lo,
+                             req.trace.parent_span, req.trace.sampled());
+      const std::uint64_t root_span = rec.new_span();
+      const std::uint64_t root_start = obs::epoch_us();
       // Span-tree capture for the slow-query log: only spans completed on
       // this worker thread after the mark belong to this request.
       const std::uint64_t span_mark = obs::span_mark();
@@ -244,7 +288,12 @@ Response Server::handle(const Request& req) {
           request_stats.accumulate(r.stats);
         }
       } else {
+        const std::uint64_t lookup_start = obs::epoch_us();
         const auto prepared = snap->cache().get(req.faults);
+        if (rec.active()) {
+          rec.add("shard.lookup", rec.new_span(), root_span, lookup_start,
+                  static_cast<double>(obs::epoch_us() - lookup_start));
+        }
         for (const auto& [s, t] : req.pairs) {
           if (deadline_us > 0 && timer.elapsed_us() > deadline_us) {
             deadline_hit = true;
@@ -263,9 +312,18 @@ Response Server::handle(const Request& req) {
                                       : RequestType::kBatch,
           resp.distances.size(), total_us);
       metrics_.record_query_stats(request_stats);
-      if (options_.slow_query_us > 0 && total_us >= options_.slow_query_us) {
+      const bool slow =
+          options_.slow_query_us > 0 && total_us >= options_.slow_query_us;
+      if (rec.active()) {
+        rec.add("shard.query", root_span, rec.parent_span(), root_start,
+                total_us);
+      }
+      rec.flush(slow);
+      if (slow) {
         log_slow_query(req, request_stats, total_us,
-                       obs::format_span_tree(obs::spans_since(span_mark)));
+                       obs::format_span_tree(obs::spans_since(span_mark)),
+                       rec.active() ? rec.trace_hi() : req.trace.trace_hi,
+                       rec.active() ? rec.trace_lo() : req.trace.trace_lo);
       }
       if (deadline_hit) {
         // Partial batches are not returnable (the client cannot tell which
@@ -280,19 +338,37 @@ Response Server::handle(const Request& req) {
 }
 
 void Server::log_slow_query(const Request& req, const QueryStats& stats,
-                            double total_us, const std::string& span_tree) {
-  char line[512];
-  std::snprintf(
-      line, sizeof line,
-      "slow_query: op=%s pairs=%zu fault_vertices=%zu fault_edges=%zu "
-      "total_us=%.1f assemble_us=%.1f dijkstra_us=%.1f "
-      "sketch_vertices=%zu sketch_edges=%zu pb_checks=%zu relaxations=%zu\n",
-      req.opcode == Opcode::kDist ? "DIST" : "BATCH", req.pairs.size(),
-      req.faults.vertices().size(), req.faults.edges().size(), total_us,
-      stats.assemble_us, stats.dijkstra_us, stats.sketch_vertices,
-      stats.sketch_edges, stats.pb_checks, stats.dijkstra_relaxations);
-  std::string report = line;
-  if (!span_tree.empty()) report += span_tree;
+                            double total_us, const std::string& span_tree,
+                            std::uint64_t trace_hi, std::uint64_t trace_lo) {
+  // One JSON object per report, same flat schema (and parser) as the
+  // distributed-tracing event log, with kind="slow_query". Keys are stable;
+  // the trace id (all-zero when the request carried no context and no
+  // event log was open) joins the report to router/shard span lines.
+  JsonlWriter w;
+  w.field_u64("ts",
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count()))
+      .field("svc", "shard")
+#if !defined(_WIN32)
+      .field_u64("pid", static_cast<std::uint64_t>(getpid()))
+#endif
+      .field("kind", "slow_query")
+      .field("op", req.opcode == Opcode::kDist ? "DIST" : "BATCH")
+      .field_hex128("trace", trace_hi, trace_lo)
+      .field_u64("pairs", req.pairs.size())
+      .field_u64("fault_vertices", req.faults.vertices().size())
+      .field_u64("fault_edges", req.faults.edges().size())
+      .field_double("total_us", total_us)
+      .field_double("assemble_us", stats.assemble_us)
+      .field_double("dijkstra_us", stats.dijkstra_us)
+      .field_u64("sketch_vertices", stats.sketch_vertices)
+      .field_u64("sketch_edges", stats.sketch_edges)
+      .field_u64("pb_checks", stats.pb_checks)
+      .field_u64("relaxations", stats.dijkstra_relaxations);
+  if (!span_tree.empty()) w.field("span_tree", span_tree);
+  const std::string report = w.line() + "\n";
   if (options_.slow_query_sink) {
     options_.slow_query_sink(report);
   } else {

@@ -73,9 +73,12 @@ struct ServerOptions {
   /// connections down, milliseconds. 0 = hard stop (historical behavior).
   unsigned drain_deadline_ms = 0;
   /// Slow-query log threshold in microseconds; 0 disables. A DIST/BATCH
-  /// request slower than this emits one multi-line report (request shape,
-  /// fault-set size, per-stage micros, and — in FSDL_TRACE builds at span
-  /// level — the span tree) through `slow_query_sink`.
+  /// request slower than this emits one JSON line (kind="slow_query", the
+  /// same flat schema and parser as the distributed-tracing event log:
+  /// request shape, fault-set size, per-stage micros, trace id, and — in
+  /// FSDL_TRACE builds at span level — the span tree) through
+  /// `slow_query_sink`. In FSDL_TRACE builds with an open event log, the
+  /// request's spans are also flushed there regardless of sampling.
   double slow_query_us = 0.0;
   /// Destination for slow-query reports; defaults to stderr. The sink is
   /// called from worker threads and must be callable concurrently (the
@@ -142,7 +145,8 @@ class Server : public FrameServer {
 
  private:
   void log_slow_query(const Request& req, const QueryStats& stats,
-                      double total_us, const std::string& span_tree);
+                      double total_us, const std::string& span_tree,
+                      std::uint64_t trace_hi, std::uint64_t trace_lo);
   static TransportOptions transport_of(const ServerOptions& options);
 
   ServerOptions options_;

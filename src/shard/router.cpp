@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "server/fleet.hpp"
 #include "util/timer.hpp"
 
 namespace fsdl::shard {
@@ -45,6 +46,7 @@ Router::Router(const RouterOptions& options)
   }
   per_cache_shard_capacity_ =
       std::max<std::size_t>(1, options.label_cache_capacity / cache_shards);
+  fetch_latency_.resize(channels_.size());
 }
 
 Router::~Router() { stop(); }
@@ -144,17 +146,27 @@ bool Router::adopt_meta(const WireLabelMeta& meta, std::string& error) {
   return true;
 }
 
-std::shared_ptr<const VertexLabel> Router::fetch_label(Vertex v,
-                                                       Response& error) {
+std::shared_ptr<const VertexLabel> Router::fetch_label(
+    Vertex v, const server::TraceContext& trace, Response& error) {
   const std::uint32_t owner = partitioner_.owner(v);
   Request req;
   req.opcode = Opcode::kGetLabel;
   req.pairs.emplace_back(v, 0);
+  req.trace = trace;
   Response resp;
+  WallTimer round_trip;
+  const auto record_latency = [&] {
+    std::lock_guard<std::mutex> lock(fetch_hist_mu_);
+    fetch_latency_[owner].add(round_trip.elapsed_us());
+  };
   try {
-    std::lock_guard<std::mutex> lock(channels_[owner]->mu);
-    resp = channels_[owner]->client.call_idempotent(req);
+    {
+      std::lock_guard<std::mutex> lock(channels_[owner]->mu);
+      resp = channels_[owner]->client.call_idempotent(req);
+    }
+    record_latency();
   } catch (const std::exception& e) {
+    record_latency();
     // Every replica of the owning shard failed within the retry budget.
     // TIMEOUT, not ERROR: the query is fine, the shard is not — a client
     // may retry once a replica comes back.
@@ -197,9 +209,12 @@ std::shared_ptr<const VertexLabel> Router::fetch_label(Vertex v,
 }
 
 bool Router::gather_labels(
-    const std::vector<Vertex>& needed,
+    const std::vector<Vertex>& needed, QueryTrace trace,
+    const server::TraceContext& upstream,
     std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>>& out,
     Response& error) {
+  obs::TraceRecorder& rec = trace.rec;
+  const std::uint64_t root_span = trace.root_span;
   // Cache pass first; group the misses by owning shard.
   std::vector<std::vector<Vertex>> missing(channels_.size());
   std::size_t miss_shards = 0;
@@ -227,15 +242,36 @@ bool Router::gather_labels(
     bool failed = false;
   };
   std::vector<GroupResult> results(channels_.size());
-  auto fetch_group = [this, &missing, &results](std::size_t shard) {
+  auto fetch_group = [this, &missing, &results, &rec, root_span,
+                      &upstream](std::size_t shard) {
     GroupResult& r = results[shard];
+    // One "router.fetch" span per shard group; its id becomes the parent
+    // span the shard's own spans hang under, so the stitched tree shows
+    // which scatter leg each shard-side lookup belongs to.
+    server::TraceContext ctx = upstream;
+    const std::uint64_t span = rec.new_span();
+    if (rec.active()) ctx.parent_span = span;
+    const std::uint64_t start = rec.active() ? obs::epoch_us() : 0;
+    WallTimer group_timer;
     for (Vertex v : missing[shard]) {
-      auto label = fetch_label(v, r.error);
+      if (ctx.present && upstream.deadline_us > 0) {
+        // Forward only the budget this request still has.
+        const double used = group_timer.elapsed_us();
+        ctx.deadline_us =
+            used >= upstream.deadline_us
+                ? 1
+                : upstream.deadline_us - static_cast<std::uint32_t>(used);
+      }
+      auto label = fetch_label(v, ctx, r.error);
       if (label == nullptr) {
         r.failed = true;
-        return;
+        break;
       }
       r.labels.emplace_back(v, std::move(label));
+    }
+    if (rec.active()) {
+      rec.add("router.fetch", span, root_span, start,
+              group_timer.elapsed_us(), static_cast<int>(shard));
     }
   };
   if (miss_shards == 1) {
@@ -361,6 +397,57 @@ server::PreparedCache::Stats Router::prepared_stats() const {
   return s;
 }
 
+std::string Router::prometheus() const {
+  std::string out = metrics_.render_prometheus(prepared_stats());
+  std::lock_guard<std::mutex> lock(fetch_hist_mu_);
+  bool any = false;
+  for (const Histogram& h : fetch_latency_) {
+    if (!h.empty()) any = true;
+  }
+  if (any) {
+    out +=
+        "# HELP fsdl_router_shard_fetch_latency_microseconds GET_LABEL "
+        "round-trip latency per owning shard.\n"
+        "# TYPE fsdl_router_shard_fetch_latency_microseconds histogram\n";
+    for (std::size_t i = 0; i < fetch_latency_.size(); ++i) {
+      if (fetch_latency_[i].empty()) continue;
+      server::append_prometheus_histogram(
+          out, "fsdl_router_shard_fetch_latency_microseconds",
+          "shard=\"" + std::to_string(i) + "\"", fetch_latency_[i]);
+    }
+  }
+  return out;
+}
+
+Response Router::fleet_stats() {
+  std::vector<server::ShardScrape> scrapes;
+  scrapes.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    server::ShardScrape s;
+    s.shard = static_cast<unsigned>(i);
+    Request mreq;
+    mreq.opcode = Opcode::kMetrics;
+    try {
+      std::lock_guard<std::mutex> lock(channels_[i]->mu);
+      server::ReplicaClient& client = channels_[i]->client;
+      const server::Endpoint& ep = client.endpoint(client.primary());
+      s.replica = ep.host + ":" + std::to_string(ep.port);
+      Response mresp = client.call_idempotent(mreq);
+      s.ok = mresp.ok();
+      s.text = std::move(mresp.text);
+    } catch (const std::exception&) {
+      // A dead shard is a 0 in fsdl_fleet_scrape_ok, not a failed request:
+      // the surviving shards' numbers are exactly what an operator needs
+      // while a shard is down.
+      s.ok = false;
+    }
+    scrapes.push_back(std::move(s));
+  }
+  Response resp;
+  resp.text = prometheus() + server::render_fleet(scrapes);
+  return resp;
+}
+
 std::string Router::health_text() const {
   char buf[96];
   std::snprintf(buf, sizeof buf, "%s n=%u shards=%u",
@@ -370,6 +457,10 @@ std::string Router::health_text() const {
 
 Response Router::handle_query(const Request& req) {
   WallTimer timer;
+  obs::TraceRecorder rec(req.trace.trace_hi, req.trace.trace_lo,
+                         req.trace.parent_span, req.trace.sampled());
+  const std::uint64_t root_span = rec.new_span();
+  const std::uint64_t root_start = rec.active() ? obs::epoch_us() : 0;
   if (req.pairs.empty()) return error_response("empty batch");
   const Vertex n = total_n_;
   for (const auto& [s, t] : req.pairs) {
@@ -417,14 +508,45 @@ Response Router::handle_query(const Request& req) {
     needed.push_back(b);
   }
 
+  // Trace context forwarded to the shards: the incoming one verbatim (so
+  // propagation also works in FSDL_TRACE=OFF builds, where the recorder is
+  // inert), upgraded to this hop's trace id when the event log is live.
+  server::TraceContext fwd = req.trace;
+  if (rec.active()) {
+    fwd.present = true;
+    fwd.trace_hi = rec.trace_hi();
+    fwd.trace_lo = rec.trace_lo();
+    if (rec.sampled()) fwd.flags |= server::TraceContext::kSampledFlag;
+  }
+
   std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>> labels;
   labels.reserve(needed.size());
   Response gather_error;
-  if (!gather_labels(needed, labels, gather_error)) return gather_error;
+  const std::uint64_t assemble_span = rec.new_span();
+  const std::uint64_t assemble_start = rec.active() ? obs::epoch_us() : 0;
+  WallTimer assemble_timer;
+  const bool gathered =
+      gather_labels(needed, QueryTrace{rec, root_span}, fwd, labels,
+                    gather_error);
+  if (rec.active()) {
+    rec.add("router.assemble", assemble_span, root_span, assemble_start,
+            assemble_timer.elapsed_us());
+  }
+  if (!gathered) {
+    if (rec.active()) {
+      rec.add("router.query", root_span, rec.parent_span(), root_start,
+              timer.elapsed_us());
+    }
+    rec.flush(false);
+    return gather_error;
+  }
 
   Response resp;
   resp.distances.reserve(req.pairs.size());
   QueryStats request_stats;
+  const std::uint64_t decode_span = rec.new_span();
+  const std::uint64_t decode_start = rec.active() ? obs::epoch_us() : 0;
+  WallTimer decode_timer;
   if (req.faults.empty()) {
     SchemeParams params;
     {
@@ -449,6 +571,13 @@ Response Router::handle_query(const Request& req) {
       request_stats.accumulate(r.stats);
     }
   }
+  if (rec.active()) {
+    rec.add("router.decode", decode_span, root_span, decode_start,
+            decode_timer.elapsed_us());
+    rec.add("router.query", root_span, rec.parent_span(), root_start,
+            timer.elapsed_us());
+  }
+  rec.flush(false);
   metrics_.record(req.opcode == Opcode::kDist ? RequestType::kDist
                                               : RequestType::kBatch,
                   resp.distances.size(), timer.elapsed_us());
@@ -466,8 +595,13 @@ Response Router::handle(const Request& req) {
       return resp;
     }
     case Opcode::kMetrics: {
-      resp.text = metrics_.render_prometheus(prepared_stats());
+      resp.text = prometheus();
       metrics_.record(RequestType::kMetrics, 0, timer.elapsed_us());
+      return resp;
+    }
+    case Opcode::kFleetStats: {
+      resp = fleet_stats();
+      metrics_.record(RequestType::kFleetStats, 0, timer.elapsed_us());
       return resp;
     }
     case Opcode::kHealth: {

@@ -44,11 +44,13 @@
 
 #include "core/decoder.hpp"
 #include "core/label.hpp"
+#include "obs/trace.hpp"
 #include "server/frame_server.hpp"
 #include "server/prepared_cache.hpp"
 #include "server/replica_client.hpp"
 #include "shard/partition.hpp"
 #include "shard/wire_label.hpp"
+#include "util/stats.hpp"
 
 namespace fsdl::shard {
 
@@ -90,9 +92,10 @@ class Router : public server::FrameServer {
   /// is in the Metrics registry: fsdl_router_label_cache_*_total).
   server::PreparedCache::Stats prepared_stats() const;
 
-  std::string prometheus() const {
-    return metrics_.render_prometheus(prepared_stats());
-  }
+  /// Router registry rendering plus the per-shard GET_LABEL round-trip
+  /// latency histograms
+  /// (fsdl_router_shard_fetch_latency_microseconds{shard="k"}).
+  std::string prometheus() const;
 
   std::uint32_t shard_count() const noexcept {
     return static_cast<std::uint32_t>(channels_.size());
@@ -147,20 +150,40 @@ class Router : public server::FrameServer {
   void cache_put(Vertex v, std::shared_ptr<const VertexLabel> label);
 
   /// Fetch one vertex's label from its owning shard (cache bypassed by the
-  /// caller). On failure fills `error` and returns nullptr; kError means
-  /// the shard refused (bad vertex / incompatible scheme), kTimeout means
-  /// every replica of the shard was unavailable.
-  std::shared_ptr<const VertexLabel> fetch_label(Vertex v,
-                                                 server::Response& error);
+  /// caller). `trace` rides the GET_LABEL frame upstream; the round trip is
+  /// also recorded into that shard's fetch-latency histogram. On failure
+  /// fills `error` and returns nullptr; kError means the shard refused (bad
+  /// vertex / incompatible scheme), kTimeout means every replica of the
+  /// shard was unavailable.
+  std::shared_ptr<const VertexLabel> fetch_label(
+      Vertex v, const server::TraceContext& trace, server::Response& error);
+
+  /// The per-request recorder plus the span the fetch spans hang under.
+  /// Bundled into a shard-namespace struct (rather than passed as an
+  /// obs::TraceRecorder& parameter) so no fsdl::obs:: type name appears in
+  /// any mangled symbol — the FSDL_TRACE=OFF nm guard asserts OFF binaries
+  /// carry zero obs symbols, and parameter types leak into symbol names.
+  struct QueryTrace {
+    obs::TraceRecorder& rec;
+    std::uint64_t root_span;
+  };
 
   /// Cache-or-fetch every vertex in `needed` (deduplicated), gathering
   /// misses per owning shard and fetching shard groups concurrently when
-  /// more than one shard is involved. Returns false and fills `error` if
+  /// more than one shard is involved. Each shard group becomes one
+  /// "router.fetch" span under `trace.root_span` (its id is the parent
+  /// span the shard sees); `upstream` is the trace context to forward,
+  /// minus the budget already spent. Returns false and fills `error` if
   /// any label could not be obtained.
   bool gather_labels(
-      const std::vector<Vertex>& needed,
+      const std::vector<Vertex>& needed, QueryTrace trace,
+      const server::TraceContext& upstream,
       std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>>& out,
       server::Response& error);
+
+  /// FLEET_STATS body: own prometheus() + render_fleet over one METRICS
+  /// scrape of every shard channel.
+  server::Response fleet_stats();
 
   /// First fetched label fixes the scheme; later labels must match it.
   bool adopt_meta(const WireLabelMeta& meta, std::string& error);
@@ -177,6 +200,13 @@ class Router : public server::FrameServer {
   std::vector<std::unique_ptr<ShardChannel>> channels_;
   std::vector<std::unique_ptr<CacheShard>> cache_;
   std::size_t per_cache_shard_capacity_;
+
+  /// GET_LABEL round-trip latency per owning shard (the straggler signal —
+  /// which shard dominates scatter-gather). Guarded by fetch_hist_mu_; the
+  /// channel mutex is not reused because prometheus() must not contend
+  /// with in-flight fetches.
+  mutable std::mutex fetch_hist_mu_;
+  std::vector<Histogram> fetch_latency_;
 
   /// Scheme description adopted from the first fetched label; guarded by
   /// meta_mu_ (read on every fetch, written once).

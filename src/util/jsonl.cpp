@@ -1,0 +1,303 @@
+#include "util/jsonl.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace fsdl {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char ch : s) {
+    const unsigned char c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+}
+
+const char kHexDigits[] = "0123456789abcdef";
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out += kHexDigits[(v >> shift) & 0xF];
+  }
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  append_escaped(out, s);
+  return out;
+}
+
+JsonlWriter& JsonlWriter::field(const char* key, const std::string& value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += key;
+  body_ += "\":\"";
+  append_escaped(body_, value);
+  body_ += '"';
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field(const char* key, const char* value) {
+  return field(key, std::string(value));
+}
+
+JsonlWriter& JsonlWriter::field_u64(const char* key, std::uint64_t value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += key;
+  body_ += "\":";
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field_double(const char* key, double value) {
+  if (!body_.empty()) body_ += ',';
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%.1f", key, value);
+  body_ += buf;
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field_hex64(const char* key, std::uint64_t value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += key;
+  body_ += "\":\"";
+  append_hex64(body_, value);
+  body_ += '"';
+  return *this;
+}
+
+JsonlWriter& JsonlWriter::field_hex128(const char* key, std::uint64_t hi,
+                                       std::uint64_t lo) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += key;
+  body_ += "\":\"";
+  append_hex64(body_, hi);
+  append_hex64(body_, lo);
+  body_ += '"';
+  return *this;
+}
+
+std::string JsonlWriter::line() const { return "{" + body_ + "}"; }
+
+const std::string JsonlRecord::kEmpty;
+
+const std::string& JsonlRecord::get(const std::string& key,
+                                    const std::string& fallback) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+bool JsonlRecord::has(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Hand-rolled recursive-descent-minus-the-recursion parser for the flat
+// object grammar the writer produces. Accepts arbitrary whitespace between
+// tokens so hand-edited logs still parse.
+struct LineCursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+};
+
+bool parse_string(LineCursor& c, std::string& out, std::string& error) {
+  if (!c.eat('"')) {
+    error = "expected string";
+    return false;
+  }
+  out.clear();
+  while (c.i < c.s.size()) {
+    const char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (c.i >= c.s.size()) break;
+    const char esc = c.s[c.i++];
+    switch (esc) {
+      case '"':
+        out += '"';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      case '/':
+        out += '/';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      case 'u': {
+        if (c.i + 4 > c.s.size()) {
+          error = "truncated \\u escape";
+          return false;
+        }
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          const char h = c.s[c.i++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            error = "bad \\u escape";
+            return false;
+          }
+        }
+        // Event-log escapes are always < 0x20; encode anything in the BMP
+        // as UTF-8 so round trips are lossless.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default:
+        error = "unknown escape";
+        return false;
+    }
+  }
+  error = "unterminated string";
+  return false;
+}
+
+bool parse_scalar(LineCursor& c, std::string& out, std::string& error) {
+  c.skip_ws();
+  if (c.i < c.s.size() && (c.s[c.i] == '{' || c.s[c.i] == '[')) {
+    error = "nested values are not part of the event-log schema";
+    return false;
+  }
+  const std::size_t start = c.i;
+  while (c.i < c.s.size()) {
+    const char ch = c.s[c.i];
+    if (ch == ',' || ch == '}' ||
+        std::isspace(static_cast<unsigned char>(ch))) {
+      break;
+    }
+    ++c.i;
+  }
+  if (c.i == start) {
+    error = "expected value";
+    return false;
+  }
+  out.assign(c.s, start, c.i - start);
+  return true;
+}
+
+}  // namespace
+
+bool parse_jsonl(const std::string& line, JsonlRecord& out,
+                 std::string& error) {
+  out.fields.clear();
+  error.clear();
+  LineCursor c{line};
+  if (!c.eat('{')) {
+    error = "expected '{'";
+    return false;
+  }
+  if (c.eat('}')) {
+    c.skip_ws();
+    if (c.i != line.size()) {
+      error = "trailing bytes after object";
+      return false;
+    }
+    return true;
+  }
+  for (;;) {
+    std::string key;
+    if (!parse_string(c, key, error)) return false;
+    if (!c.eat(':')) {
+      error = "expected ':' after key";
+      return false;
+    }
+    std::string value;
+    if (c.peek('"')) {
+      if (!parse_string(c, value, error)) return false;
+    } else {
+      if (!parse_scalar(c, value, error)) return false;
+    }
+    out.fields.emplace_back(std::move(key), std::move(value));
+    if (c.eat(',')) continue;
+    if (c.eat('}')) break;
+    error = "expected ',' or '}'";
+    return false;
+  }
+  c.skip_ws();
+  if (c.i != line.size()) {
+    error = "trailing bytes after object";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace fsdl

@@ -1,0 +1,68 @@
+// Minimal JSON-lines toolkit for the observability plane: one flat JSON
+// object per line, stable keys, no nesting. Shared by
+//
+//   * the obs event log (span records from router/shard processes),
+//   * the server's slow-query log (same schema, same parser),
+//   * fsdl_loadgen's client-side trace events,
+//   * fsdl_trace --stitch, which parses all of the above.
+//
+// Deliberately NOT in fsdl::obs — JSON formatting must exist in
+// FSDL_TRACE=OFF builds too (the slow-query log is an always-on feature and
+// the CI symbol guard forbids fsdl::obs:: symbols in default builds), so it
+// lives in plain fsdl:: next to the other utilities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fsdl {
+
+/// Escape a string for use inside a JSON string literal (quotes, backslash,
+/// control characters; everything else passes through byte-for-byte).
+std::string json_escape(const std::string& s);
+
+/// Builder for one flat JSON object. Field order is insertion order, so a
+/// writer that always emits keys in the same order produces stable,
+/// greppable lines.
+class JsonlWriter {
+ public:
+  JsonlWriter& field(const char* key, const std::string& value);
+  JsonlWriter& field(const char* key, const char* value);
+  JsonlWriter& field_u64(const char* key, std::uint64_t value);
+  JsonlWriter& field_double(const char* key, double value);
+  /// 16-hex-digit encoding of a 64-bit id (span / parent ids).
+  JsonlWriter& field_hex64(const char* key, std::uint64_t value);
+  /// 32-hex-digit encoding of a 128-bit id (trace ids).
+  JsonlWriter& field_hex128(const char* key, std::uint64_t hi,
+                            std::uint64_t lo);
+
+  /// The finished object, e.g. `{"a":"x","n":3}` (no trailing newline).
+  std::string line() const;
+
+ private:
+  std::string body_;
+};
+
+/// One parsed line: flat key → raw value pairs. String values are
+/// unescaped; numbers/booleans keep their literal spelling (the caller
+/// strtod/strtoulls what it needs).
+struct JsonlRecord {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// Value of `key`, or `fallback` when absent.
+  const std::string& get(const std::string& key,
+                         const std::string& fallback = kEmpty) const;
+  bool has(const std::string& key) const;
+
+  static const std::string kEmpty;
+};
+
+/// Parse one flat JSON object line. Returns false (and sets `error`) on
+/// malformed input — including nested objects/arrays, which the event-log
+/// schema never produces. Blank lines are rejected; skip them first.
+bool parse_jsonl(const std::string& line, JsonlRecord& out,
+                 std::string& error);
+
+}  // namespace fsdl

@@ -81,6 +81,33 @@ void Histogram::add(double x) {
   ++buckets_[static_cast<std::size_t>(k - offset_)];
 }
 
+void Histogram::add_n(double x, std::uint64_t n) {
+  if (n == 0) return;
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  count_ += n;
+  sum_ += x * static_cast<double>(n);
+  if (x <= 0.0) {
+    underflow_ += n;
+    return;
+  }
+  const int k = bucket_index(x);
+  if (buckets_.empty()) {
+    offset_ = k;
+    buckets_.assign(1, 0);
+  } else if (k < offset_) {
+    buckets_.insert(buckets_.begin(), static_cast<std::size_t>(offset_ - k), 0);
+    offset_ = k;
+  } else if (k >= offset_ + static_cast<int>(buckets_.size())) {
+    buckets_.resize(static_cast<std::size_t>(k - offset_) + 1, 0);
+  }
+  buckets_[static_cast<std::size_t>(k - offset_)] += n;
+}
+
 void Histogram::merge(const Histogram& other) {
   if (growth_ != other.growth_ || ref_ != other.ref_) {
     throw std::invalid_argument("Histogram::merge requires identical scales");

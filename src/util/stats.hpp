@@ -47,6 +47,11 @@ class Histogram {
   explicit Histogram(double growth = 1.25, double ref = 1.0);
 
   void add(double x);
+  /// Add `n` samples of value `x` in one step. Equivalent to calling
+  /// add(x) n times; exists for reconstructing a histogram from an
+  /// exposition (bucket counts at representative values) in O(buckets)
+  /// instead of O(samples). No-op when n == 0.
+  void add_n(double x, std::uint64_t n);
   /// Combine another histogram's samples; requires identical (growth, ref).
   void merge(const Histogram& other);
   void reset();

@@ -227,8 +227,8 @@ TEST(MetricsTest, ConcurrentRecordingAcrossStripes) {
   // _count line equals the per-type request count.
   const std::string prom =
       metrics.render_prometheus(server::PreparedCache::Stats{});
-  const char* kTypeNames[] = {"dist",   "batch",  "stats",    "metrics",
-                              "health", "reload", "get_label"};
+  const char* kTypeNames[] = {"dist",   "batch",  "stats",       "metrics",
+                              "health", "reload", "get_label", "fleet_stats"};
   static_assert(std::size(kTypeNames) == server::kNumRequestTypes);
   for (unsigned k = 0; k < server::kNumRequestTypes; ++k) {
     if (writers_for(k) == 0) continue;

@@ -1,0 +1,233 @@
+// Unit tests for the FLEET_STATS aggregation plane (server/fleet.hpp):
+// exposition parsing, label escaping, histogram reconstruction from
+// cumulative `le` buckets, and the merged fleet rendering.
+#include "server/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "server/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace fsdl::server {
+namespace {
+
+TEST(PrometheusEscape, EscapesLabelValueSpecials) {
+  EXPECT_EQ(prometheus_escape("plain:9201"), "plain:9201");
+  EXPECT_EQ(prometheus_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(prometheus_escape("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(prometheus_escape("new\nline"), "new\\nline");
+  EXPECT_EQ(prometheus_escape(""), "");
+}
+
+TEST(PrometheusParse, SamplesWithAndWithoutLabels) {
+  std::vector<PromSample> samples;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus(
+      "# HELP fsdl_requests_total total\n"
+      "# TYPE fsdl_requests_total counter\n"
+      "fsdl_requests_total{type=\"dist\"} 41\n"
+      "\n"
+      "fsdl_uptime_seconds 12.5\n",
+      samples, error))
+      << error;
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].name, "fsdl_requests_total");
+  EXPECT_EQ(samples[0].labels, "type=\"dist\"");
+  EXPECT_DOUBLE_EQ(samples[0].value, 41.0);
+  EXPECT_EQ(samples[1].name, "fsdl_uptime_seconds");
+  EXPECT_EQ(samples[1].labels, "");
+  EXPECT_DOUBLE_EQ(samples[1].value, 12.5);
+}
+
+TEST(PrometheusParse, QuotedBracesAndEscapedQuotesInLabelValues) {
+  // A replica label value may contain '}' or an escaped quote; the label
+  // scanner must not end the brace block inside a quoted string.
+  std::vector<PromSample> samples;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus(
+      "m{replica=\"host}weird\",note=\"say \\\"hi\\\"\"} 1\n", samples, error))
+      << error;
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].labels, "replica=\"host}weird\",note=\"say \\\"hi\\\"\"");
+
+  std::vector<std::pair<std::string, std::string>> labels;
+  ASSERT_TRUE(parse_labels(samples[0].labels, labels));
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0].first, "replica");
+  EXPECT_EQ(labels[0].second, "host}weird");
+  EXPECT_EQ(labels[1].second, "say \"hi\"");
+}
+
+TEST(PrometheusParse, MalformedLinesFailTheParse) {
+  std::vector<PromSample> samples;
+  std::string error;
+  EXPECT_FALSE(parse_prometheus("name_without_value\n", samples, error));
+  EXPECT_FALSE(parse_prometheus("m{unterminated=\"x\n", samples, error));
+  EXPECT_FALSE(parse_prometheus("m not_a_number\n", samples, error));
+  EXPECT_FALSE(parse_prometheus("{no_name} 1\n", samples, error));
+}
+
+TEST(PrometheusParse, LabelEscapeRoundTrip) {
+  const std::string value = "a\\b\"c\nd";
+  const std::string labels = "v=\"" + prometheus_escape(value) + "\"";
+  std::vector<std::pair<std::string, std::string>> parsed;
+  ASSERT_TRUE(parse_labels(labels, parsed));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].second, value);
+
+  EXPECT_FALSE(parse_labels("novalue", parsed));
+  EXPECT_FALSE(parse_labels("a=unquoted", parsed));
+  EXPECT_FALSE(parse_labels("a=\"x\" b=\"y\"", parsed));  // ',' required
+}
+
+TEST(FleetHistogram, ReconstructionPreservesCountsAndBuckets) {
+  Histogram source;
+  for (double x : {0.5, 3.0, 3.1, 120.0, 120.0, 9000.0}) source.add(x);
+
+  // Build the cumulative le series exactly as append_prometheus_histogram
+  // would emit it (+Inf excluded, as strip_le drops it).
+  std::vector<std::pair<double, std::uint64_t>> cumulative;
+  std::uint64_t running = 0;
+  for (const auto& b : source.buckets()) {
+    running += b.count;
+    cumulative.emplace_back(b.upper, running);
+  }
+
+  const Histogram back = histogram_from_buckets(cumulative);
+  EXPECT_EQ(back.count(), source.count());
+  auto sb = source.buckets();
+  auto bb = back.buckets();
+  ASSERT_EQ(sb.size(), bb.size());
+  for (std::size_t k = 0; k < sb.size(); ++k) {
+    EXPECT_DOUBLE_EQ(bb[k].upper, sb[k].upper) << "bucket " << k;
+    EXPECT_EQ(bb[k].count, sb[k].count) << "bucket " << k;
+  }
+  // _sum is approximated at bucket midpoints: within one growth factor.
+  EXPECT_NEAR(back.sum(), source.sum(), source.sum() * 0.25);
+}
+
+TEST(FleetHistogram, EmptyAndNonMonotoneInputs) {
+  EXPECT_TRUE(histogram_from_buckets({}).empty());
+  // A non-monotone cumulative series (torn scrape) must not underflow.
+  const Histogram h = histogram_from_buckets({{1.0, 5}, {2.0, 3}, {4.0, 7}});
+  EXPECT_EQ(h.count(), 7u);
+}
+
+TEST(FleetRender, MergesDisjointShardHistograms) {
+  // Shard 0 saw fast requests, shard 1 slow ones — entirely disjoint
+  // populated buckets. The fleet series must contain both populations.
+  Histogram fast, slow;
+  for (int k = 0; k < 100; ++k) fast.add(10.0 + k * 0.1);
+  for (int k = 0; k < 50; ++k) slow.add(50000.0 + k * 100.0);
+
+  std::string text0, text1;
+  append_prometheus_histogram(text0, "fsdl_request_latency_microseconds", "",
+                              fast);
+  append_prometheus_histogram(text1, "fsdl_request_latency_microseconds", "",
+                              slow);
+
+  const std::string out = render_fleet({
+      {0, "h0:9201", true, text0},
+      {1, "h1:9201", true, text1},
+  });
+
+  // Scrape-status gauges for both shards.
+  EXPECT_NE(out.find("fsdl_fleet_scrape_ok{shard=\"0\",replica=\"h0:9201\"} 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("fsdl_fleet_scrape_ok{shard=\"1\",replica=\"h1:9201\"} 1"),
+            std::string::npos);
+  // Per-shard re-emission keeps the shard label.
+  EXPECT_NE(out.find("shard=\"0\",replica=\"h0:9201\""), std::string::npos);
+  // Merged fleet histogram exists with the exact combined count.
+  EXPECT_NE(out.find("fsdl_fleet_request_latency_microseconds_count 150\n"),
+            std::string::npos)
+      << out;
+
+  // The fleet series covers both populations: some bucket at or below the
+  // fast cloud, and the +Inf bucket carries all 150.
+  std::vector<PromSample> samples;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus(out, samples, error)) << error;
+  bool saw_fast_bucket = false;
+  double inf_cum = 0;
+  for (const auto& s : samples) {
+    if (s.name != "fsdl_fleet_request_latency_microseconds_bucket") continue;
+    std::vector<std::pair<std::string, std::string>> labels;
+    ASSERT_TRUE(parse_labels(s.labels, labels));
+    ASSERT_EQ(labels.size(), 1u);
+    ASSERT_EQ(labels[0].first, "le");
+    if (labels[0].second == "+Inf") {
+      inf_cum = s.value;
+    } else if (std::strtod(labels[0].second.c_str(), nullptr) < 100.0 &&
+               s.value > 0) {
+      saw_fast_bucket = true;
+    }
+  }
+  EXPECT_TRUE(saw_fast_bucket);
+  EXPECT_DOUBLE_EQ(inf_cum, 150.0);
+}
+
+TEST(FleetRender, DeadShardIsAVisibleHole) {
+  Histogram h;
+  h.add(5.0);
+  std::string text;
+  append_prometheus_histogram(text, "fsdl_request_latency_microseconds", "", h);
+
+  const std::string out = render_fleet({
+      {0, "h0:9201", true, text},
+      {1, "h1:9201", false, ""},
+  });
+  EXPECT_NE(out.find("fsdl_fleet_scrape_ok{shard=\"1\",replica=\"h1:9201\"} 0"),
+            std::string::npos);
+  // The dead shard contributes nothing else.
+  EXPECT_EQ(out.find("shard=\"1\",replica=\"h1:9201\"} 1"), std::string::npos);
+  EXPECT_NE(out.find("fsdl_fleet_request_latency_microseconds_count 1\n"),
+            std::string::npos);
+}
+
+TEST(FleetRender, EscapesHostileReplicaNames) {
+  // A replica name with quotes/newlines must not corrupt the exposition.
+  const std::string hostile = "evil\"host\n:1";
+  const std::string out = render_fleet({{0, hostile, false, ""}});
+  EXPECT_NE(out.find("replica=\"evil\\\"host\\n:1\""), std::string::npos);
+  // Every emitted line still parses.
+  std::vector<PromSample> samples;
+  std::string error;
+  EXPECT_TRUE(parse_prometheus(out, samples, error)) << error;
+}
+
+TEST(FleetRender, LabeledHistogramsMergePerLabelSet) {
+  // Two shards each expose type="dist" and type="batch" histograms; the
+  // fleet must keep the two label sets separate.
+  Histogram d0, b0, d1, b1;
+  d0.add(10.0);
+  d0.add(20.0);
+  b0.add(100.0);
+  d1.add(15.0);
+  b1.add(200.0);
+  b1.add(300.0);
+  std::string t0, t1;
+  append_prometheus_histogram(t0, "fsdl_lat", "type=\"dist\"", d0);
+  append_prometheus_histogram(t0, "fsdl_lat", "type=\"batch\"", b0);
+  append_prometheus_histogram(t1, "fsdl_lat", "type=\"dist\"", d1);
+  append_prometheus_histogram(t1, "fsdl_lat", "type=\"batch\"", b1);
+
+  const std::string out = render_fleet({
+      {0, "h0:1", true, t0},
+      {1, "h1:1", true, t1},
+  });
+  EXPECT_NE(out.find("fsdl_fleet_lat_count{type=\"dist\"} 3"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("fsdl_fleet_lat_count{type=\"batch\"} 3"),
+            std::string::npos)
+      << out;
+}
+
+}  // namespace
+}  // namespace fsdl::server

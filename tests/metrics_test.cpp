@@ -17,6 +17,7 @@
 #include "core/oracle.hpp"
 #include "graph/generators.hpp"
 #include "server/server.hpp"
+#include "util/jsonl.hpp"
 
 namespace fsdl::server {
 namespace {
@@ -292,13 +293,25 @@ TEST_F(MetricsTest, SlowQueryLogReportsStages) {
   ASSERT_TRUE(srv.handle(req).ok());
 
   ASSERT_EQ(reports.size(), 1u);
-  const std::string& report = reports[0];
-  EXPECT_NE(report.find("slow_query: op=DIST pairs=1 fault_vertices=1"),
-            std::string::npos)
-      << report;
-  for (const char* field : {"total_us=", "assemble_us=", "dijkstra_us=",
-                            "sketch_vertices=", "pb_checks=", "relaxations="}) {
-    EXPECT_NE(report.find(field), std::string::npos) << field;
+  // The report is one JSON line in the event-log schema (kind=slow_query),
+  // so the fsdl_trace parser can ingest it alongside span records.
+  std::string report = reports[0];
+  ASSERT_FALSE(report.empty());
+  ASSERT_EQ(report.back(), '\n');
+  report.pop_back();
+  JsonlRecord record;
+  std::string error;
+  ASSERT_TRUE(parse_jsonl(report, record, error)) << error << "\n" << report;
+  EXPECT_EQ(record.get("kind"), "slow_query");
+  EXPECT_EQ(record.get("svc"), "shard");
+  EXPECT_EQ(record.get("op"), "DIST");
+  EXPECT_EQ(record.get("pairs"), "1");
+  EXPECT_EQ(record.get("fault_vertices"), "1");
+  EXPECT_EQ(record.get("trace").size(), 32u);  // traceable even w/o context
+  for (const char* field : {"ts", "pid", "total_us", "assemble_us",
+                            "dijkstra_us", "sketch_vertices", "pb_checks",
+                            "relaxations"}) {
+    EXPECT_TRUE(record.has(field)) << field << "\n" << report;
   }
 }
 

@@ -4,10 +4,14 @@
 // default build the same entry points must compile and behave as no-ops.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "util/jsonl.hpp"
 
 namespace fsdl::obs {
 namespace {
@@ -135,6 +139,142 @@ TEST(ObsSpans, RingWrapKeepsNewestEvents) {
   EXPECT_STREQ(events.back().name, "last");
 }
 
+namespace {
+
+std::vector<fsdl::JsonlRecord> read_event_log(const std::string& path) {
+  std::vector<fsdl::JsonlRecord> records;
+  std::ifstream in(path);
+  std::string line, error;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    fsdl::JsonlRecord rec;
+    EXPECT_TRUE(fsdl::parse_jsonl(line, rec, error)) << error << ": " << line;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+/// RAII guard: tests must not leave a process-global event log open.
+struct EventLogGuard {
+  ~EventLogGuard() { close_event_log(); }
+};
+
+}  // namespace
+
+TEST(ObsEventLog, RecorderInertWithoutOpenLog) {
+  close_event_log();
+  EXPECT_FALSE(event_log_enabled());
+  TraceRecorder rec(1, 2, 3, /*sampled=*/true);
+  EXPECT_FALSE(rec.active());
+  EXPECT_EQ(rec.new_span(), 0u);
+  rec.add("ghost", 1, 0, epoch_us(), 1.0);
+  rec.flush(true);  // nowhere to write; must not crash
+}
+
+TEST(ObsEventLog, SampledSpansReachTheLogWithStableKeys) {
+  EventLogGuard guard;
+  const std::string path = ::testing::TempDir() + "obs_event_log_sampled.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(open_event_log(path, "shard"));
+  EXPECT_TRUE(event_log_enabled());
+
+  TraceRecorder rec(0x1111, 0x2222, 0x3333, /*sampled=*/true);
+  ASSERT_TRUE(rec.active());
+  EXPECT_EQ(rec.trace_hi(), 0x1111u);
+  EXPECT_EQ(rec.trace_lo(), 0x2222u);
+  EXPECT_EQ(rec.parent_span(), 0x3333u);
+
+  const std::uint64_t root = rec.new_span();
+  const std::uint64_t child = rec.new_span();
+  ASSERT_NE(root, 0u);
+  ASSERT_NE(child, 0u);
+  EXPECT_NE(root, child);
+  const std::uint64_t start = epoch_us();
+  rec.add("shard.lookup", child, root, start, 12.5, /*shard=*/1);
+  rec.add("shard.query", root, rec.parent_span(), start, 20.0);
+  rec.flush(false);  // sampled ⇒ written without `always`
+  close_event_log();
+
+  const auto records = read_event_log(path);
+  ASSERT_EQ(records.size(), 2u);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.get("svc"), "shard");
+    EXPECT_EQ(r.get("kind"), "span");
+    EXPECT_EQ(r.get("trace").size(), 32u);
+    EXPECT_EQ(r.get("span").size(), 16u);
+    EXPECT_EQ(r.get("parent").size(), 16u);
+    EXPECT_TRUE(r.has("ts"));
+    EXPECT_TRUE(r.has("pid"));
+    EXPECT_TRUE(r.has("dur_us"));
+  }
+  EXPECT_EQ(records[0].get("name"), "shard.lookup");
+  EXPECT_EQ(records[0].get("shard"), "1");
+  EXPECT_EQ(records[1].get("name"), "shard.query");
+  EXPECT_FALSE(records[1].has("shard")) << "shard key only on fetch spans";
+  EXPECT_EQ(records[0].get("trace"),
+            "00000000000011110000000000002222");
+  EXPECT_EQ(records[1].get("parent"), "0000000000003333");
+  std::remove(path.c_str());
+}
+
+TEST(ObsEventLog, UnsampledSpansDroppedUnlessAlways) {
+  EventLogGuard guard;
+  const std::string path = ::testing::TempDir() + "obs_event_log_unsampled.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(open_event_log(path, "shard"));
+
+  {
+    TraceRecorder rec(7, 8, 0, /*sampled=*/false);
+    const std::uint64_t span = rec.new_span();
+    rec.add("dropped", span, 0, epoch_us(), 1.0);
+    rec.flush(false);
+  }
+  {
+    TraceRecorder rec(7, 8, 0, /*sampled=*/false);
+    const std::uint64_t span = rec.new_span();
+    rec.add("kept_slow_query", span, 0, epoch_us(), 1.0);
+    rec.flush(true);  // slow-query path: always write
+  }
+  close_event_log();
+
+  const auto records = read_event_log(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].get("name"), "kept_slow_query");
+  std::remove(path.c_str());
+}
+
+TEST(ObsEventLog, ZeroIncomingTraceIdGetsLocalOne) {
+  EventLogGuard guard;
+  const std::string path = ::testing::TempDir() + "obs_event_log_local.jsonl";
+  std::remove(path.c_str());
+  ASSERT_TRUE(open_event_log(path, "shard"));
+
+  TraceRecorder rec(0, 0, 0, /*sampled=*/true);
+  EXPECT_TRUE(rec.trace_hi() != 0 || rec.trace_lo() != 0)
+      << "recorder must mint a local trace id";
+  const std::uint64_t span = rec.new_span();
+  rec.add("root", span, 0, epoch_us(), 1.0);
+  rec.flush(false);
+  close_event_log();
+
+  const auto records = read_event_log(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(records[0].get("trace"),
+            "00000000000000000000000000000000");
+  EXPECT_EQ(records[0].get("parent"), "0000000000000000");
+  std::remove(path.c_str());
+}
+
+TEST(ObsEventLog, RandomIdsNonZeroAndDistinct) {
+  const std::uint64_t a = random_id();
+  const std::uint64_t b = random_id();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+  // Wall-clock epoch: after 2020, a sanity bound against steady-clock mixups.
+  EXPECT_GT(epoch_us(), 1577836800000000ull);
+}
+
 #else  // default build: the layer must be inert, not absent
 
 TEST(ObsDisabled, EntryPointsAreNoOps) {
@@ -149,6 +289,19 @@ TEST(ObsDisabled, EntryPointsAreNoOps) {
     FSDL_COUNT(kSketchEdges, 9);
   }
   EXPECT_TRUE(spans_since(mark).empty());
+}
+
+TEST(ObsDisabled, EventLogAndRecorderAreNoOps) {
+  EXPECT_FALSE(open_event_log("/tmp/never_created.jsonl", "shard"));
+  EXPECT_FALSE(event_log_enabled());
+  close_event_log();
+  TraceRecorder rec(1, 2, 3, true);
+  EXPECT_FALSE(rec.active());
+  EXPECT_FALSE(rec.sampled());
+  EXPECT_EQ(rec.trace_hi(), 0u);  // OFF builds propagate via req.trace instead
+  EXPECT_EQ(rec.new_span(), 0u);
+  rec.add("nothing", 1, 0, 0, 1.0);
+  rec.flush(true);
 }
 
 #endif  // FSDL_TRACE_ENABLED

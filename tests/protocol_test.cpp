@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace fsdl::server {
@@ -177,12 +179,133 @@ TEST(Protocol, TruncatedRequestRejected) {
 }
 
 TEST(Protocol, TrailingBytesRejected) {
+  // A stray byte after a query body is not a valid trace-context extension
+  // (wrong size, wrong magic) and must fail the decode.
   auto bytes = encode_request(make_dist_request());
   bytes.push_back(0);
   Request back;
   std::string error;
   EXPECT_FALSE(decode_request(bytes.data(), bytes.size(), back, error));
+  EXPECT_NE(error.find("trace-context"), std::string::npos);
+
+  // Non-query opcodes have no extension slot; their trailing bytes still
+  // get the generic rejection.
+  Request stats;
+  stats.opcode = Opcode::kStats;
+  auto stats_bytes = encode_request(stats);
+  stats_bytes.push_back(0);
+  EXPECT_FALSE(
+      decode_request(stats_bytes.data(), stats_bytes.size(), back, error));
   EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(Protocol, TraceContextRoundTripsOnEveryQueryOpcode) {
+  for (const Opcode op : {Opcode::kDist, Opcode::kBatch, Opcode::kGetLabel}) {
+    Request req;
+    if (op == Opcode::kGetLabel) {
+      req.opcode = op;
+      req.pairs.emplace_back(7, 0);
+    } else {
+      req = make_dist_request();
+      req.opcode = op;
+    }
+    req.trace.present = true;
+    req.trace.trace_hi = 0x0123456789abcdefULL;
+    req.trace.trace_lo = 0xfedcba9876543210ULL;
+    req.trace.parent_span = 0xdeadbeefcafef00dULL;
+    req.trace.flags = TraceContext::kSampledFlag;
+    req.trace.deadline_us = 250000;
+
+    const auto bytes = encode_request(req);
+    Request back;
+    std::string error;
+    ASSERT_TRUE(decode_request(bytes.data(), bytes.size(), back, error))
+        << error;
+    EXPECT_TRUE(back.trace.present);
+    EXPECT_EQ(back.trace.trace_hi, req.trace.trace_hi);
+    EXPECT_EQ(back.trace.trace_lo, req.trace.trace_lo);
+    EXPECT_EQ(back.trace.parent_span, req.trace.parent_span);
+    EXPECT_TRUE(back.trace.sampled());
+    EXPECT_EQ(back.trace.deadline_us, req.trace.deadline_us);
+  }
+}
+
+TEST(Protocol, AbsentTraceContextEncodesByteIdentically) {
+  // The extension must cost nothing when unused: a request without a
+  // context encodes exactly as the pre-extension wire format did, and a
+  // present context adds exactly the documented block size.
+  const Request plain = make_dist_request();
+  const auto baseline = encode_request(plain);
+
+  Request with_ctx = plain;
+  with_ctx.trace.present = true;
+  with_ctx.trace.trace_lo = 1;
+  const auto extended = encode_request(with_ctx);
+  ASSERT_EQ(extended.size(), baseline.size() + kTraceContextBytes);
+  EXPECT_TRUE(std::equal(baseline.begin(), baseline.end(), extended.begin()));
+
+  Request back;
+  std::string error;
+  ASSERT_TRUE(decode_request(baseline.data(), baseline.size(), back, error));
+  EXPECT_FALSE(back.trace.present);
+  EXPECT_FALSE(back.trace.sampled());
+}
+
+TEST(Protocol, UnsampledTraceContextRoundTrips) {
+  // sampled=0 still propagates ids (shard slow-query reports stay
+  // attributable even when no hop records spans).
+  Request req = make_dist_request();
+  req.trace.present = true;
+  req.trace.trace_hi = 5;
+  req.trace.trace_lo = 6;
+  const auto bytes = encode_request(req);
+  Request back;
+  std::string error;
+  ASSERT_TRUE(decode_request(bytes.data(), bytes.size(), back, error));
+  EXPECT_TRUE(back.trace.present);
+  EXPECT_FALSE(back.trace.sampled());
+  EXPECT_EQ(back.trace.deadline_us, 0u);
+}
+
+TEST(Protocol, MalformedTraceContextRejected) {
+  Request req = make_dist_request();
+  req.trace.present = true;
+  req.trace.trace_lo = 42;
+  const auto good = encode_request(req);
+  Request back;
+  std::string error;
+
+  // Truncated block: every strict prefix that still has a remainder fails.
+  for (std::size_t cut = good.size() - kTraceContextBytes + 1;
+       cut < good.size(); ++cut) {
+    EXPECT_FALSE(decode_request(good.data(), cut, back, error))
+        << "prefix of " << cut << " bytes decoded";
+    EXPECT_NE(error.find("trace-context"), std::string::npos) << error;
+  }
+
+  // Wrong magic.
+  auto bad_magic = good;
+  bad_magic[good.size() - kTraceContextBytes] ^= 0xFF;
+  EXPECT_FALSE(
+      decode_request(bad_magic.data(), bad_magic.size(), back, error));
+  EXPECT_NE(error.find("trace-context"), std::string::npos) << error;
+
+  // Over-long remainder (block + stray byte).
+  auto padded = good;
+  padded.push_back(0);
+  EXPECT_FALSE(decode_request(padded.data(), padded.size(), back, error));
+  EXPECT_NE(error.find("trace-context"), std::string::npos) << error;
+}
+
+TEST(Protocol, FleetStatsRequestRoundTrip) {
+  Request req;
+  req.opcode = Opcode::kFleetStats;
+  const auto bytes = encode_request(req);
+  EXPECT_EQ(bytes.size(), 1u);  // bodyless, like STATS
+  Request back;
+  std::string error;
+  ASSERT_TRUE(decode_request(bytes.data(), bytes.size(), back, error)) << error;
+  EXPECT_EQ(back.opcode, Opcode::kFleetStats);
 }
 
 TEST(Protocol, UnknownOpcodeRejected) {

@@ -9,6 +9,7 @@
 
 #include "util/atomic_file.hpp"
 #include "util/bitstream.hpp"
+#include "util/jsonl.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -351,6 +352,29 @@ TEST(Histogram, MergeRejectsMismatchedScales) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(Histogram, AddNMatchesRepeatedAdd) {
+  // add_n(x, n) is how FLEET_STATS reconstructs a shard's histogram from
+  // its Prometheus buckets; it must be indistinguishable from n plain adds.
+  Histogram bulk(1.25), loop(1.25);
+  const struct { double x; std::uint64_t n; } samples[] = {
+      {0.5, 3}, {12.0, 7}, {9000.0, 1}, {-1.0, 2}};
+  for (const auto& s : samples) {
+    bulk.add_n(s.x, s.n);
+    for (std::uint64_t k = 0; k < s.n; ++k) loop.add(s.x);
+  }
+  EXPECT_EQ(bulk.count(), loop.count());
+  EXPECT_DOUBLE_EQ(bulk.min(), loop.min());
+  EXPECT_DOUBLE_EQ(bulk.max(), loop.max());
+  EXPECT_DOUBLE_EQ(bulk.sum(), loop.sum());
+  for (double p : {10.0, 50.0, 90.0}) {
+    EXPECT_DOUBLE_EQ(bulk.percentile(p), loop.percentile(p)) << "p=" << p;
+  }
+
+  Histogram h(1.25);
+  h.add_n(4.0, 0);  // zero-count add is a no-op
+  EXPECT_TRUE(h.empty());
+}
+
 TEST(Histogram, EmptyThrowsAndResetClears) {
   Histogram h;
   EXPECT_THROW(h.min(), std::logic_error);
@@ -360,6 +384,52 @@ TEST(Histogram, EmptyThrowsAndResetClears) {
   h.reset();
   EXPECT_TRUE(h.empty());
   EXPECT_THROW(h.mean(), std::logic_error);
+}
+
+TEST(Jsonl, WriterEmitsStableFlatObject) {
+  JsonlWriter w;
+  w.field("svc", "router")
+      .field_u64("pid", 4242)
+      .field_hex64("span", 0xdeadbeefULL)
+      .field_hex128("trace", 0x0123456789abcdefULL, 0xfedcba9876543210ULL)
+      .field_double("dur_us", 12.5);
+  EXPECT_EQ(w.line(),
+            "{\"svc\":\"router\",\"pid\":4242,"
+            "\"span\":\"00000000deadbeef\","
+            "\"trace\":\"0123456789abcdeffedcba9876543210\","
+            "\"dur_us\":12.5}");
+}
+
+TEST(Jsonl, EscapeHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(Jsonl, WriterParserRoundTripWithEscapes) {
+  JsonlWriter w;
+  w.field("name", "weird \"quoted\"\tvalue\\path").field_u64("n", 7);
+  JsonlRecord rec;
+  std::string error;
+  ASSERT_TRUE(parse_jsonl(w.line(), rec, error)) << error;
+  EXPECT_EQ(rec.get("name"), "weird \"quoted\"\tvalue\\path");
+  EXPECT_EQ(rec.get("n"), "7");
+  EXPECT_TRUE(rec.has("name"));
+  EXPECT_FALSE(rec.has("absent"));
+  EXPECT_EQ(rec.get("absent", "dflt"), "dflt");
+}
+
+TEST(Jsonl, ParserRejectsMalformedLines) {
+  JsonlRecord rec;
+  std::string error;
+  EXPECT_FALSE(parse_jsonl("", rec, error));
+  EXPECT_FALSE(parse_jsonl("not json", rec, error));
+  EXPECT_FALSE(parse_jsonl("{\"a\":1", rec, error));  // truncated
+  EXPECT_FALSE(parse_jsonl("{\"a\":{\"nested\":1}}", rec, error));
+  EXPECT_FALSE(parse_jsonl("{\"a\":[1,2]}", rec, error));
+  EXPECT_FALSE(parse_jsonl("{\"a\":1}trailing", rec, error));
 }
 
 TEST(Table, AlignedOutputContainsCells) {

@@ -6,8 +6,11 @@
 #      which drops/delays/truncates/bit-flips traffic for a window. With
 #      retries armed the run must finish with ZERO verification violations
 #      (corruption surfaces as errors, not wrong distances) and the server
-#      must survive. After the window, a strict run (no tolerated transport
-#      errors) proves full recovery.
+#      must survive. Part of the traffic carries the trace-context wire
+#      extension (--trace-sample 0.2), so mangled extension bytes exercise
+#      the "malformed trace-context" rejection path under fire too. After
+#      the window, a strict run (no tolerated transport errors) proves
+#      full recovery.
 #   3. Overload: a 1-worker server with a zero-length waiting line under
 #      6 concurrent clients must shed with OVERLOADED, visible both to the
 #      clients (sheds_seen) and in the Prometheus metrics.
@@ -74,12 +77,14 @@ execute_process(
     '${LOADGEN_BIN}' --port $cport --threads 4 --requests 40 \
         --fault-pool 3 --faults 2 --churn 0.2 --stats-every 0 \
         --verify '${graph}' --eps 1.0 --seed 7 \
+        --trace-sample 0.2 \
         --retries 5 --timeout-ms 400 --allow-transport-errors; \
     sleep 5; \
     echo '=== recovery ==='; \
     '${LOADGEN_BIN}' --port $cport --threads 4 --requests 30 \
         --fault-pool 3 --faults 2 --churn 0.2 --stats-every 10 \
         --verify '${graph}' --eps 1.0 --seed 8 \
+        --trace-sample 0.2 \
         --retries 3 --timeout-ms 2000; \
     kill -INT $spid; \
     wait $spid; \

@@ -7,6 +7,19 @@
 //                [--eps E] [--seed S] [--retries R] [--timeout-ms T]
 //                [--hedge-us U] [--think-us U] [--min-success RATE]
 //                [--metrics-dump FILE] [--allow-transport-errors]
+//                [--trace-sample P] [--trace-log FILE]
+//
+// Distributed tracing (works in any build — the context is plain protocol):
+// with --trace-sample P every request carries a trace-context extension
+// (fresh 128-bit trace id, client span id as parent, the run's --timeout-ms
+// as the deadline budget) and sets the sampled flag with probability P;
+// servers built with -DFSDL_TRACE=ON and started with --trace-log record
+// their spans for sampled traces. --trace-log FILE here appends the
+// client-side "client.request" root spans (same JSON-lines schema), so
+// fsdl_trace --stitch can show the full client→router→shard tree. A
+// verification violation prints its request's trace id alongside the
+// (s, t, F) tuple — grep the event logs for that id to see where the
+// offending query went.
 //
 // Resilience knobs (the chaos pipeline's client side): --retries arms the
 // client's retry/failover policy for idempotent queries, --timeout-ms sets
@@ -48,6 +61,8 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "graph/fault_view.hpp"
 #include "graph/graph.hpp"
 #include "graph/io.hpp"
@@ -55,6 +70,7 @@
 #include "server/metrics.hpp"
 #include "server/replica_client.hpp"
 #include "util/atomic_file.hpp"
+#include "util/jsonl.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -87,6 +103,11 @@ struct Options {
   /// Minimum fraction of requests that must get an answer (0 disables).
   double min_success = 0.0;
   std::string metrics_dump;
+  /// > 0: every request carries a trace context; the sampled flag is set
+  /// with this probability.
+  double trace_sample = 0.0;
+  /// Client-side event log for "client.request" root spans.
+  std::string trace_log;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -102,7 +123,8 @@ struct Options {
       "[--allow-transport-errors]\n"
       "                    [--endpoints H:P1,H:P2,...] [--hedge-us U]\n"
       "                    [--think-us U] [--min-success RATE]\n"
-      "                    [--metrics-dump FILE]\n");
+      "                    [--metrics-dump FILE]\n"
+      "                    [--trace-sample P] [--trace-log FILE]\n");
   std::exit(2);
 }
 
@@ -122,7 +144,41 @@ struct SharedState {
   Histogram latency_us{1.25};
   /// Fleet-wide replica stats, merged under agg_mu as workers exit.
   server::ReplicaStats replica_stats;
+  /// --trace-log destination; one whole JSON line per fputs under trace_mu.
+  std::mutex trace_mu;
+  FILE* trace_file = nullptr;
 };
+
+/// Append one "client.request" root span to the event log (same schema as
+/// the server-side logs — see obs/trace.hpp). Plain jsonl, no fsdl::obs:
+/// client-side tracing must work in FSDL_TRACE=OFF builds too.
+void log_client_span(SharedState& state, std::uint64_t trace_hi,
+                     std::uint64_t trace_lo, std::uint64_t span,
+                     std::uint64_t start_us, double dur_us) {
+  JsonlWriter w;
+  w.field_u64("ts", start_us)
+      .field("svc", "client")
+      .field_u64("pid", static_cast<std::uint64_t>(::getpid()))
+      .field_hex128("trace", trace_hi, trace_lo)
+      .field_hex64("span", span)
+      .field_hex64("parent", 0)
+      .field("name", "client.request")
+      .field_double("dur_us", dur_us)
+      .field("kind", "span");
+  const std::string line = w.line() + "\n";
+  std::lock_guard<std::mutex> lock(state.trace_mu);
+  std::fputs(line.c_str(), state.trace_file);
+  std::fflush(state.trace_file);
+}
+
+/// Wall-clock epoch micros (the event-log time base; obs::epoch_us is
+/// unavailable in OFF builds).
+std::uint64_t wall_epoch_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
 
 void merge_replica_stats(server::ReplicaStats& into,
                          const server::ReplicaStats& from) {
@@ -200,14 +256,33 @@ void worker(SharedState& state, unsigned tid) {
         std::this_thread::sleep_for(std::chrono::microseconds(opt.think_us));
       }
 
+      // Fresh trace ids per request; the sampled bit (probability
+      // --trace-sample) decides whether servers flush their spans. The
+      // context itself rides every request so shard-side slow-query
+      // reports stay attributable even for unsampled traffic.
+      server::TraceContext trace;
+      std::uint64_t client_span = 0;
+      if (opt.trace_sample > 0.0) {
+        trace.present = true;
+        do { trace.trace_hi = rng.next(); } while (trace.trace_hi == 0);
+        do { trace.trace_lo = rng.next(); } while (trace.trace_lo == 0);
+        do { client_span = rng.next(); } while (client_span == 0);
+        trace.parent_span = client_span;
+        if (rng.chance(opt.trace_sample)) {
+          trace.flags |= server::TraceContext::kSampledFlag;
+        }
+        if (opt.timeout_ms > 0) trace.deadline_us = opt.timeout_ms * 1000u;
+      }
+      const std::uint64_t span_start =
+          state.trace_file != nullptr ? wall_epoch_us() : 0;
       WallTimer timer;
       std::vector<Dist> answers;
       try {
         if (opt.batch == 0) {
           answers.push_back(
-              client.dist(pairs[0].first, pairs[0].second, faults));
+              client.dist(pairs[0].first, pairs[0].second, faults, trace));
         } else {
-          answers = client.batch(pairs, faults);
+          answers = client.batch(pairs, faults, trace);
         }
       } catch (const std::exception& e) {
         // Every replica failed (or a hard protocol error). Skip this
@@ -222,6 +297,10 @@ void worker(SharedState& state, unsigned tid) {
       local_latency.add(timer.elapsed_us());
       local_queries += answers.size();
       ++local_successes;
+      if (state.trace_file != nullptr && trace.sampled()) {
+        log_client_span(state, trace.trace_hi, trace.trace_lo, client_span,
+                        span_start, timer.elapsed_us());
+      }
 
       if (state.graph != nullptr) {
         for (std::size_t k = 0; k < pairs.size(); ++k) {
@@ -232,12 +311,16 @@ void worker(SharedState& state, unsigned tid) {
             // The first offender gets the full (s, t, F) tuple so the
             // failure reproduces with one fsdl query invocation.
             if (!state.first_violation_reported.exchange(true)) {
+              // trace= is all zeros without --trace-sample; with it, the
+              // id to grep for in the fleet's event logs.
               std::fprintf(stderr,
                            "first violation: s=%u t=%u F={%s} exact=%u "
-                           "served=%u eps=%.3g\n",
+                           "served=%u eps=%.3g trace=%016llx%016llx\n",
                            pairs[k].first, pairs[k].second,
                            describe_faults(faults).c_str(), exact, answers[k],
-                           opt.eps);
+                           opt.eps,
+                           static_cast<unsigned long long>(trace.trace_hi),
+                           static_cast<unsigned long long>(trace.trace_lo));
             }
             std::fprintf(stderr,
                          "violation: d(%u,%u |F|=%zu) exact=%u served=%u\n",
@@ -306,6 +389,8 @@ int main(int argc, char** argv) {
     else if (arg == "--think-us") opt.think_us = static_cast<unsigned>(std::atoi(next()));
     else if (arg == "--min-success") opt.min_success = std::strtod(next(), nullptr);
     else if (arg == "--metrics-dump") opt.metrics_dump = next();
+    else if (arg == "--trace-sample") opt.trace_sample = std::strtod(next(), nullptr);
+    else if (arg == "--trace-log") opt.trace_log = next();
     else usage("unknown option");
   }
   if (opt.endpoints.empty()) {
@@ -341,6 +426,14 @@ int main(int argc, char** argv) {
       }
     }
     state.opt = opt;
+    if (!opt.trace_log.empty()) {
+      state.trace_file = std::fopen(opt.trace_log.c_str(), "a");
+      if (state.trace_file == nullptr) {
+        std::fprintf(stderr, "cannot open --trace-log %s\n",
+                     opt.trace_log.c_str());
+        return 1;
+      }
+    }
 
     WallTimer wall;
     std::vector<std::thread> threads;
@@ -438,6 +531,8 @@ int main(int argc, char** argv) {
                      ep.port, e.what());
       }
     }
+
+    if (state.trace_file != nullptr) std::fclose(state.trace_file);
 
     const bool failed =
         state.violations.load() != 0 ||

@@ -12,6 +12,7 @@
 //               [--upstream-connect-ms T] [--upstream-recv-ms T]
 //               [--upstream-send-ms T]
 //               [--metrics-dump FILE] [--metrics-interval S]
+//               [--trace-log FILE]
 //
 // Each --shard flag names the replica endpoints of one shard, in shard-id
 // order: the i-th --shard is shard i. The router speaks the ordinary fsdl
@@ -28,8 +29,13 @@
 //
 // SIGINT/SIGTERM drain gracefully; --metrics-dump writes the Prometheus
 // exposition (including fsdl_router_label_fetches_total,
-// fsdl_router_label_cache_{hits,misses}_total and the per-shard failover
-// counters) every --metrics-interval seconds and once at shutdown.
+// fsdl_router_label_cache_{hits,misses}_total, the per-shard failover
+// counters, and fsdl_router_shard_fetch_latency_microseconds{shard="k"})
+// every --metrics-interval seconds and once at shutdown. The FLEET_STATS
+// opcode additionally scrapes every shard's METRICS and merges the fleet
+// into one exposition (see server/fleet.hpp). --trace-log FILE appends
+// distributed-tracing span records (JSON lines, svc="router") for sampled
+// requests; stitch with fsdl_trace --stitch. Needs -DFSDL_TRACE=ON.
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -40,6 +46,7 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include "obs/trace.hpp"
 #include "server/replica_client.hpp"
 #include "shard/router.hpp"
 #include "util/atomic_file.hpp"
@@ -69,6 +76,7 @@ void on_terminate(int) {
       "                   [--upstream-connect-ms T] [--upstream-recv-ms T]\n"
       "                   [--upstream-send-ms T]\n"
       "                   [--metrics-dump FILE] [--metrics-interval S]\n"
+      "                   [--trace-log FILE]\n"
       "\n"
       "The i-th --shard flag lists the replica endpoints of shard i.\n");
   std::exit(2);
@@ -143,6 +151,17 @@ int main(int argc, char** argv) {
       metrics_path = argv[++k];
     } else if (arg == "--metrics-interval" && k + 1 < argc) {
       metrics_interval_s = std::strtod(argv[++k], nullptr);
+    } else if (arg == "--trace-log" && k + 1 < argc) {
+      const char* path = argv[++k];
+      if (!obs::open_event_log(path, "router")) {
+        std::fprintf(stderr,
+                     "fsdl_router: warning: cannot open trace log %s%s\n",
+                     path,
+                     FSDL_TRACE_ENABLED
+                         ? ""
+                         : " (built without FSDL_TRACE, --trace-log has no "
+                           "effect)");
+      }
     } else {
       usage("unknown option");
     }

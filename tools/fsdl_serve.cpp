@@ -9,6 +9,7 @@
 //   fsdl_serve <graph.edges> --build [--build-threads N] [--build-eps E]
 //              [--build-compact C] [...same serving flags]
 //   fsdl_serve --health HOST:PORT        one-shot readiness probe
+//   fsdl_serve --fleet-stats HOST:PORT   one-shot FLEET_STATS probe (router)
 //
 // Loads a serialized labeling (fsdl build) — or, with --build, an edge-list
 // graph whose labels are constructed at startup on --build-threads workers
@@ -51,10 +52,15 @@
 //                          every --metrics-interval seconds (default 5) and
 //                          once at shutdown — point a node_exporter textfile
 //                          collector (or any file scraper) at it.
-//   --slow-query-us T      log requests slower than T microseconds with
-//                          per-stage breakdown (span tree in trace builds).
+//   --slow-query-us T      log requests slower than T microseconds as one
+//                          JSON line (event-log schema; span tree at
+//                          --trace-level spans in trace builds).
 //   --trace-level L        runtime level of the compiled-in tracer; only
 //                          meaningful when built with -DFSDL_TRACE=ON.
+//   --trace-log FILE       append distributed-tracing span records (JSON
+//                          lines, svc="shard") for sampled or slow requests;
+//                          stitch across processes with fsdl_trace --stitch.
+//                          Needs -DFSDL_TRACE=ON.
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -110,10 +116,12 @@ void on_hup(int) {
                "S]\n"
                "                  [--slow-query-us T]\n"
                "                  [--trace-level off|counters|spans]\n"
+               "                  [--trace-log FILE]\n"
                "                  [--shard-id I --shard-count K]\n"
                "       fsdl_serve <graph.edges> --build [--build-threads N]\n"
                "                  [--build-eps E] [--build-compact C] [...]\n"
-               "       fsdl_serve --health HOST:PORT\n");
+               "       fsdl_serve --health HOST:PORT\n"
+               "       fsdl_serve --fleet-stats HOST:PORT\n");
   std::exit(2);
 }
 
@@ -138,6 +146,26 @@ int run_health_probe(const std::string& target) {
   }
 }
 
+/// --fleet-stats HOST:PORT probe: one FLEET_STATS round-trip against a
+/// router, merged Prometheus exposition on stdout. Exit 0 on success.
+int run_fleet_stats_probe(const std::string& target) {
+  using namespace fsdl::server;
+  try {
+    const std::vector<Endpoint> eps = parse_endpoints(target);
+    ClientOptions copt;
+    copt.connect_timeout_ms = 2000;
+    copt.recv_timeout_ms = 5000;
+    copt.send_timeout_ms = 2000;
+    Client client(copt);
+    client.connect(eps[0].host, eps[0].port);
+    std::printf("%s", client.fleet_stats().c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fleet-stats failed: %s\n", e.what());
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -146,6 +174,10 @@ int main(int argc, char** argv) {
   if (std::string(argv[1]) == "--health") {
     if (argc != 3) usage("--health takes exactly one HOST:PORT");
     return run_health_probe(argv[2]);
+  }
+  if (std::string(argv[1]) == "--fleet-stats") {
+    if (argc != 3) usage("--fleet-stats takes exactly one HOST:PORT");
+    return run_fleet_stats_probe(argv[2]);
   }
   const std::string scheme_path = argv[1];
   server::ServerOptions options;
@@ -211,6 +243,17 @@ int main(int argc, char** argv) {
                    "fsdl_serve: warning: built without FSDL_TRACE, "
                    "--trace-level has no effect\n");
 #endif
+    } else if (arg == "--trace-log" && k + 1 < argc) {
+      const char* path = argv[++k];
+      if (!obs::open_event_log(path, "shard")) {
+        std::fprintf(stderr,
+                     "fsdl_serve: warning: cannot open trace log %s%s\n",
+                     path,
+                     FSDL_TRACE_ENABLED
+                         ? ""
+                         : " (built without FSDL_TRACE, --trace-log has no "
+                           "effect)");
+      }
     } else {
       usage("unknown option");
     }

@@ -25,11 +25,30 @@
 // end-to-end wall for the row's whole workload; with --check the exit
 // status is nonzero unless aggregate coverage lands in [0.9, 1.1] — the
 // self-test that the stage accounting explains where the time goes.
+//
+// Second mode — distributed-trace stitching:
+//
+//   fsdl_trace --stitch LOG [LOG...] [--expect-services a,b,c]
+//              [--expect-fetch-shards N]
+//
+// Ingests JSON-lines event logs written by N processes (fsdl_loadgen
+// --trace-log, fsdl_router --trace-log, fsdl_serve --trace-log; slow-query
+// reports share the schema) and joins span records by trace id into one
+// cross-process tree per trace, with per-hop timings and a straggler
+// report naming the shard that dominated each scatter-gather. The --expect
+// flags turn the stitcher into a CI gate: exit nonzero unless at least one
+// trace is fully stitched (every parent resolves), covers all the listed
+// services, and fans out to at least N distinct shards.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/labeling.hpp"
@@ -39,6 +58,7 @@
 #include "graph/generators.hpp"
 #include "graph/graph.hpp"
 #include "obs/trace.hpp"
+#include "util/jsonl.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -69,6 +89,8 @@ struct Options {
       "usage: fsdl_trace <scheme.fsdl> [options]\n"
       "       fsdl_trace --grid R C [--preset compact|faithful] [--eps E]\n"
       "                  [--c C] [options]\n"
+      "       fsdl_trace --stitch LOG [LOG...] [--expect-services a,b,c]\n"
+      "                  [--expect-fetch-shards N]\n"
       "options: [--queries Q] [--faults LIST] [--fault-pool K] [--seed S]\n"
       "         [--check] [--csv]\n");
   std::exit(2);
@@ -156,9 +178,218 @@ RowTotals run_row(const ForbiddenSetOracle& oracle, const Graph* graph,
   return row;
 }
 
+// --- trace stitching (--stitch) -------------------------------------------
+
+constexpr const char* kZeroSpan = "0000000000000000";
+
+/// One span record from an event log. Slow-query records are counted per
+/// trace but carry no span id, so they annotate rather than nest.
+struct SpanRec {
+  std::string svc;
+  std::string name;
+  std::string span;
+  std::string parent;
+  std::string shard;  // "" unless a scatter fetch span
+  std::string pid;
+  std::uint64_t ts = 0;  // wall-clock start, epoch micros
+  double dur_us = 0.0;
+};
+
+struct TraceTree {
+  std::vector<SpanRec> spans;
+  std::size_t slow_queries = 0;
+};
+
+struct StitchOptions {
+  std::vector<std::string> logs;
+  std::vector<std::string> expect_services;
+  unsigned expect_fetch_shards = 0;
+};
+
+void print_span_subtree(
+    const TraceTree& t, std::size_t idx,
+    const std::unordered_map<std::string, std::vector<std::size_t>>& children,
+    int depth) {
+  const SpanRec& s = t.spans[idx];
+  std::printf("  %*s%s", depth * 2, "", s.name.c_str());
+  if (!s.shard.empty()) std::printf(" shard=%s", s.shard.c_str());
+  std::printf("  %.1fus  svc=%s pid=%s\n", s.dur_us, s.svc.c_str(),
+              s.pid.c_str());
+  const auto kids = children.find(s.span);
+  if (kids == children.end()) return;
+  for (std::size_t k : kids->second) {
+    print_span_subtree(t, k, children, depth + 1);
+  }
+}
+
+int run_stitch(const StitchOptions& opt) {
+  std::map<std::string, TraceTree> traces;  // trace id (32 hex) -> tree
+  std::size_t total_lines = 0, bad_lines = 0, span_records = 0;
+  for (const std::string& path : opt.logs) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot read event log %s\n", path.c_str());
+      return 1;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++total_lines;
+      JsonlRecord rec;
+      std::string error;
+      if (!parse_jsonl(line, rec, error)) {
+        // A torn line (process killed mid-write) should not sink the whole
+        // report; it is counted and failed loudly only if nothing parses.
+        ++bad_lines;
+        std::fprintf(stderr, "warning: %s: unparsable line: %s\n",
+                     path.c_str(), error.c_str());
+        continue;
+      }
+      const std::string& trace = rec.get("trace");
+      if (trace.empty()) continue;
+      const std::string& kind = rec.get("kind");
+      if (kind == "slow_query") {
+        ++traces[trace].slow_queries;
+        continue;
+      }
+      if (kind != "span") continue;
+      SpanRec s;
+      s.svc = rec.get("svc");
+      s.name = rec.get("name");
+      s.span = rec.get("span");
+      s.parent = rec.get("parent");
+      s.shard = rec.get("shard");
+      s.pid = rec.get("pid");
+      s.ts = std::strtoull(rec.get("ts").c_str(), nullptr, 10);
+      s.dur_us = std::strtod(rec.get("dur_us").c_str(), nullptr);
+      traces[trace].spans.push_back(std::move(s));
+      ++span_records;
+    }
+  }
+
+  bool expectations_met = false;
+  const bool have_expectations =
+      !opt.expect_services.empty() || opt.expect_fetch_shards > 0;
+  for (auto& [trace_id, tree] : traces) {
+    // Completion order in, start order out.
+    std::stable_sort(tree.spans.begin(), tree.spans.end(),
+                     [](const SpanRec& a, const SpanRec& b) {
+                       return a.ts < b.ts;
+                     });
+    std::set<std::string> known, services, fetch_shards;
+    for (const SpanRec& s : tree.spans) known.insert(s.span);
+    std::unordered_map<std::string, std::vector<std::size_t>> children;
+    std::vector<std::size_t> roots, orphans;
+    bool stitched = true;
+    double fetch_total = 0.0;
+    const SpanRec* straggler = nullptr;
+    for (std::size_t i = 0; i < tree.spans.size(); ++i) {
+      const SpanRec& s = tree.spans[i];
+      services.insert(s.svc);
+      if (s.name == "router.fetch" && !s.shard.empty()) {
+        fetch_shards.insert(s.shard);
+        fetch_total += s.dur_us;
+        if (straggler == nullptr || s.dur_us > straggler->dur_us) {
+          straggler = &s;
+        }
+      }
+      if (s.parent.empty() || s.parent == kZeroSpan) {
+        roots.push_back(i);
+      } else if (known.count(s.parent) != 0) {
+        children[s.parent].push_back(i);
+      } else {
+        // A span whose parent never made it to any log: the tree has a
+        // hole — show the fragment, but the trace is not fully stitched.
+        orphans.push_back(i);
+        stitched = false;
+      }
+    }
+
+    std::string service_list;
+    for (const std::string& svc : services) {
+      if (!service_list.empty()) service_list += ',';
+      service_list += svc;
+    }
+    std::printf("trace %s: %zu spans, %zu processes (%s)%s%s\n",
+                trace_id.c_str(), tree.spans.size(), services.size(),
+                service_list.c_str(), stitched ? "" : " [INCOMPLETE]",
+                tree.slow_queries > 0 ? " [slow-query]" : "");
+    for (std::size_t r : roots) print_span_subtree(tree, r, children, 0);
+    if (!orphans.empty()) {
+      std::printf("  (orphaned spans, parent not found in any log:)\n");
+      for (std::size_t o : orphans) print_span_subtree(tree, o, children, 1);
+    }
+    if (fetch_shards.size() > 1 && straggler != nullptr) {
+      std::printf(
+          "  straggler: shard %s dominated the scatter-gather "
+          "(%.1fus of %.1fus total fetch time across %zu shards)\n",
+          straggler->shard.c_str(), straggler->dur_us, fetch_total,
+          fetch_shards.size());
+    }
+
+    bool ok = stitched;
+    for (const std::string& want : opt.expect_services) {
+      if (services.count(want) == 0) ok = false;
+    }
+    if (fetch_shards.size() < opt.expect_fetch_shards) ok = false;
+    if (ok && !tree.spans.empty()) expectations_met = true;
+  }
+
+  std::printf("%zu traces, %zu spans, %zu lines (%zu unparsable)\n",
+              traces.size(), span_records, total_lines, bad_lines);
+  if (total_lines == 0 || (bad_lines == total_lines && total_lines > 0)) {
+    std::fprintf(stderr, "error: no parsable event-log lines\n");
+    return 1;
+  }
+  if (have_expectations && !expectations_met) {
+    std::fprintf(stderr,
+                 "error: no trace satisfied the expectations (services, "
+                 "fetch fan-out, and full stitching)\n");
+    return 1;
+  }
+  return 0;
+}
+
+int stitch_main(int argc, char** argv) {
+  StitchOptions opt;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    auto next = [&]() -> const char* {
+      if (k + 1 >= argc) usage("missing argument value");
+      return argv[++k];
+    };
+    if (arg == "--stitch") continue;
+    if (arg == "--expect-services") {
+      opt.expect_services.clear();
+      const char* p = next();
+      std::string svc;
+      for (; *p != '\0'; ++p) {
+        if (*p == ',') {
+          if (!svc.empty()) opt.expect_services.push_back(svc);
+          svc.clear();
+        } else {
+          svc += *p;
+        }
+      }
+      if (!svc.empty()) opt.expect_services.push_back(svc);
+    } else if (arg == "--expect-fetch-shards") {
+      opt.expect_fetch_shards = static_cast<unsigned>(std::atoi(next()));
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage("unknown --stitch option");
+    } else {
+      opt.logs.push_back(arg);
+    }
+  }
+  if (opt.logs.empty()) usage("--stitch needs at least one event log");
+  return run_stitch(opt);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--stitch") == 0) return stitch_main(argc, argv);
+  }
   Options opt;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];

@@ -66,8 +66,12 @@ if(NOT prom_text MATCHES "fsdl_requests_total" OR
   message(FATAL_ERROR "metrics dump is not the expected Prometheus "
                       "exposition:\n${prom_text}")
 endif()
+# The slow-query log is JSON lines in the event-log schema: one flat object
+# per report with stable keys, parseable by fsdl_trace.
 file(READ ${log}.err server_err)
-if(NOT server_err MATCHES "slow_query: op=")
-  message(FATAL_ERROR "no slow-query report despite --slow-query-us 1:\n"
+if(NOT server_err MATCHES "\"kind\":\"slow_query\"" OR
+   NOT server_err MATCHES "\"op\":\"DIST\"" OR
+   NOT server_err MATCHES "\"total_us\":")
+  message(FATAL_ERROR "no JSON slow-query report despite --slow-query-us 1:\n"
                       "${server_err}")
 endif()

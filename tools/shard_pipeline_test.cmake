@@ -1,4 +1,4 @@
-# Sharded serving pipeline, three acts:
+# Sharded serving pipeline, four acts (the fourth in trace builds only):
 #
 #   1. Split/merge: cut the labeling into 2 shard files with fsdl
 #      shard_split, reassemble them (in the wrong order, deliberately) with
@@ -13,6 +13,11 @@
 #      fsdl_router_label_fetches_total / label_cache counters (the label
 #      LRU is sized below n so fetches keep flowing all run).
 #   3. The router's own HEALTH answers ready with the fleet's n.
+#   4. (TRACE_ENABLED builds) Distributed tracing + fleet stats: a fresh
+#      traced fleet serves fully-sampled load; fsdl_trace --stitch must
+#      join the four processes' event logs into one client -> router ->
+#      shard tree covering both fetch shards, and a FLEET_STATS probe must
+#      return the merged exposition with both shards scraped.
 function(run_checked)
   execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc OUTPUT_VARIABLE out
                   ERROR_VARIABLE err)
@@ -147,4 +152,99 @@ if(NOT prom_text MATCHES "fsdl_router_label_cache_hits_total [1-9]")
 endif()
 if(NOT prom_text MATCHES "fsdl_router_label_cache_misses_total [1-9]")
   message(FATAL_ERROR "label cache recorded no misses:\n${prom_text}")
+endif()
+
+# --- Act 4 (trace builds only): distributed tracing + fleet stats. --------
+# A fresh 2-shard fleet (one replica each) and the router all write
+# --trace-log event logs; every loadgen request carries a sampled trace
+# context (--trace-sample 1) and the label cache is tiny so scatter-gather
+# fetches hit both shards. Gates: fsdl_trace --stitch joins the three logs
+# into at least one complete client -> router -> shard tree spanning both
+# fetch shards, and a FLEET_STATS probe returns the merged exposition with
+# both shards scraped.
+if(NOT TRACE_ENABLED)
+  message(STATUS "trace act skipped (FSDL_TRACE=OFF build)")
+  return()
+endif()
+
+set(trace_client ${WORK_DIR}/shard_trace_client.jsonl)
+set(trace_router ${WORK_DIR}/shard_trace_router.jsonl)
+set(trace_shard0 ${WORK_DIR}/shard_trace_shard0.jsonl)
+set(trace_shard1 ${WORK_DIR}/shard_trace_shard1.jsonl)
+set(fleet_prom ${WORK_DIR}/shard_fleet_stats.prom)
+file(REMOVE ${trace_client} ${trace_router} ${trace_shard0} ${trace_shard1}
+     ${fleet_prom})
+
+execute_process(
+  COMMAND sh -ec "\
+    '${SERVE_BIN}' '${shard0}' --port ${port_s0r1} --workers 2 \
+        --shard-id 0 --shard-count 2 --drain-ms 500 \
+        --trace-log '${trace_shard0}' \
+        > '${WORK_DIR}/shard_t_s0.log' 2>&1 & \
+    s0=$!; \
+    '${SERVE_BIN}' '${shard1}' --port ${port_s1r1} --workers 2 \
+        --shard-id 1 --shard-count 2 --drain-ms 500 \
+        --trace-log '${trace_shard1}' \
+        > '${WORK_DIR}/shard_t_s1.log' 2>&1 & \
+    s1=$!; \
+    router=; \
+    trap 'kill $s0 $s1 $router 2>/dev/null || true' EXIT; \
+    for k in $(seq 1 100); do \
+      grep -q 'port=' '${WORK_DIR}/shard_t_s0.log' && \
+      grep -q 'port=' '${WORK_DIR}/shard_t_s1.log' && break; \
+      sleep 0.1; \
+    done; \
+    '${ROUTER_BIN}' \
+        --shard 127.0.0.1:${port_s0r1} \
+        --shard 127.0.0.1:${port_s1r1} \
+        --port ${port_router} --workers 2 --label-cache 4 \
+        --drain-ms 500 --trace-log '${trace_router}' \
+        > '${WORK_DIR}/shard_t_router.log' 2>&1 & \
+    router=$!; \
+    for k in $(seq 1 100); do \
+      grep -q 'port=' '${WORK_DIR}/shard_t_router.log' && break; sleep 0.1; \
+    done; \
+    grep -q 'port=' '${WORK_DIR}/shard_t_router.log' || \
+      { echo 'traced router never came up'; \
+        cat '${WORK_DIR}/shard_t_router.log'; exit 1; }; \
+    '${LOADGEN_BIN}' --port ${port_router} \
+        --threads 2 --requests 60 --think-us 1000 --fault-pool 3 \
+        --faults 2 --stats-every 0 --n 64 --seed 29 --timeout-ms 2000 \
+        --trace-sample 1 --trace-log '${trace_client}'; \
+    '${SERVE_BIN}' --fleet-stats 127.0.0.1:${port_router} \
+        > '${fleet_prom}'; \
+    kill -INT $router; wait $router; \
+    kill -INT $s0 $s1; wait $s0 $s1"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "traced pipeline failed (${rc}):\n${out}\n${err}")
+endif()
+
+foreach(log ${trace_client} ${trace_router} ${trace_shard0} ${trace_shard1})
+  if(NOT EXISTS ${log})
+    message(FATAL_ERROR "trace log ${log} was never written")
+  endif()
+endforeach()
+
+# Cross-process stitching is the gate: at least one trace must join spans
+# from all four processes' logs and fan out to both shards.
+run_checked(${TRACE_BIN} --stitch
+            ${trace_client} ${trace_router} ${trace_shard0} ${trace_shard1}
+            --expect-services client,router,shard --expect-fetch-shards 2)
+
+# The merged FLEET_STATS exposition shows both shards scraped plus the
+# router's own per-shard fetch-latency histograms.
+file(READ ${fleet_prom} fleet_text)
+foreach(shard_id 0 1)
+  if(NOT fleet_text MATCHES "fsdl_fleet_scrape_ok{shard=\"${shard_id}\",replica=\"[^\"]*\"} 1")
+    message(FATAL_ERROR
+            "shard ${shard_id} missing from FLEET_STATS:\n${fleet_text}")
+  endif()
+  if(NOT fleet_text MATCHES "fsdl_router_shard_fetch_latency_microseconds_count{shard=\"${shard_id}\"} [1-9]")
+    message(FATAL_ERROR
+            "no fetch-latency histogram for shard ${shard_id}:\n${fleet_text}")
+  endif()
+endforeach()
+if(NOT fleet_text MATCHES "fsdl_fleet_request_latency_microseconds_count")
+  message(FATAL_ERROR "no merged fleet histogram:\n${fleet_text}")
 endif()
