@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "server/reactor.hpp"
+
 namespace fsdl::server {
 
 namespace {
@@ -78,11 +80,23 @@ FrameServer::~FrameServer() {
   stop();
 }
 
+std::size_t FrameServer::pending_cap() const {
+  if (transport_.max_queued_connections == ThreadPool::kUnboundedQueue) {
+    return static_cast<std::size_t>(-1);
+  }
+  // `workers` requests being served + the configured waiting line — the
+  // same arithmetic the bounded pool queue used, applied to requests.
+  return static_cast<std::size_t>(transport_.workers) +
+         transport_.max_queued_connections;
+}
+
 void FrameServer::start() {
   if (running_.load()) throw std::logic_error("server already started");
   on_start();
 
-  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const bool reactor = transport_.data_plane == DataPlane::kEpollReactor;
+  const int lfd = ::socket(
+      AF_INET, SOCK_STREAM | (reactor ? SOCK_NONBLOCK | SOCK_CLOEXEC : 0), 0);
   if (lfd < 0) throw std::runtime_error("socket() failed");
   const int one = 1;
   ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
@@ -106,6 +120,27 @@ void FrameServer::start() {
   }
   listen_fd_.store(lfd);
 
+  if (reactor) {
+    // Reactor plane: the pool queue stays unbounded — admission is the
+    // pending-request accounting in Reactor::admit (per-request sheds that
+    // keep the connection), not a bounded job queue that cannot tell the
+    // client which request it dropped.
+    pool_ = std::make_unique<ThreadPool>(transport_.workers,
+                                         ThreadPool::kUnboundedQueue);
+    running_.store(true);
+    draining_.store(false);
+    stop_done_.store(false);
+    if (transport_.reactor_threads == 0) transport_.reactor_threads = 1;
+    reactors_.reserve(transport_.reactor_threads);
+    for (unsigned k = 0; k < transport_.reactor_threads; ++k) {
+      reactors_.push_back(std::make_unique<Reactor>(*this, k));
+    }
+    for (unsigned k = 0; k < transport_.reactor_threads; ++k) {
+      reactors_[k]->start(k == 0 ? lfd : -1);
+    }
+    return;
+  }
+
   pool_ = std::make_unique<ThreadPool>(transport_.workers,
                                        transport_.max_queued_connections);
   running_.store(true);
@@ -117,11 +152,14 @@ void FrameServer::start() {
 void FrameServer::begin_drain() {
   if (!running_.load()) return;
   draining_.store(true, std::memory_order_release);
-  // Closing the listener stops new connections and unblocks accept().
+  // Closing the listener stops new connections and unblocks accept(). The
+  // epoll set drops a closed fd automatically; reactors also observe the
+  // -1 and forget their cached copy.
   if (const int lfd = listen_fd_.exchange(-1); lfd >= 0) {
     ::shutdown(lfd, SHUT_RDWR);
     ::close(lfd);
   }
+  for (auto& r : reactors_) r->wake();
 }
 
 void FrameServer::stop() {
@@ -130,8 +168,8 @@ void FrameServer::stop() {
 
   begin_drain();
   if (transport_.drain_deadline_ms > 0) {
-    // Wait for in-flight requests to complete. Connections merely idle in
-    // recv() hold no request, so they never delay the drain.
+    // Wait for in-flight requests to complete. Connections merely idle
+    // hold no request, so they never delay the drain.
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::milliseconds(transport_.drain_deadline_ms);
@@ -142,6 +180,16 @@ void FrameServer::stop() {
   }
 
   running_.store(false);
+  if (transport_.data_plane == DataPlane::kEpollReactor) {
+    // Join the loops first (they close their connections on exit), then
+    // drain the pool: any jobs still queued finish and post completions
+    // into dead mailboxes, where they are dropped harmlessly.
+    for (auto& r : reactors_) r->stop_and_join();
+    if (pool_) pool_->shutdown();
+    reactors_.clear();
+    return;
+  }
+
   // Shutting the connection fds unblocks any worker mid-recv.
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -151,14 +199,23 @@ void FrameServer::stop() {
   if (pool_) pool_->shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Thread-per-connection plane (DataPlane::kThreadPerConnection): the
+// pre-reactor blocking transport, kept for A/B benchmarking. One pool job
+// per connection, SO_RCVTIMEO/SO_SNDTIMEO deadlines, connection-level
+// admission (a shed closes the connection).
+// ---------------------------------------------------------------------------
+
 void FrameServer::track(int fd) {
   std::lock_guard<std::mutex> lock(conn_mu_);
   conn_fds_.insert(fd);
+  metrics_.record_connection_opened();
 }
 
 void FrameServer::untrack(int fd) {
   std::lock_guard<std::mutex> lock(conn_mu_);
   conn_fds_.erase(fd);
+  metrics_.record_connection_closed();
 }
 
 void FrameServer::accept_loop() {

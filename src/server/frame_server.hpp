@@ -1,21 +1,47 @@
 // FrameServer — the transport half of the fsdl serving stack, factored out
 // of Server so the shard router (shard/router.hpp) and the label server
 // speak the identical wire protocol with identical fault-tolerance
-// behavior instead of two divergent copies:
+// behavior instead of two divergent copies.
 //
-//   accept thread ──► ThreadPool workers ──► virtual handle(Request)
-//        │                  │
-//        │                  └─► Metrics (connections, sheds, evictions, ...)
-//        └── each accepted connection becomes one pool job serving that
-//            connection's frames sequentially.
+// Default data plane (DataPlane::kEpollReactor):
 //
-// What lives here (and is therefore shared): the accept loop with
-// transient-errno backoff, admission control (OVERLOADED shed when all
-// workers are busy and the waiting line is full), per-connection
-// SO_RCVTIMEO/SO_SNDTIMEO deadlines with TIMEOUT eviction, frame
-// decode/CRC handling, and graceful drain (in-flight requests finish,
-// late frames get DRAINING, HEALTH stays answered so probers can tell a
-// goodbye from a crash).
+//   listener ─► Reactor event loop(s) ─► ThreadPool ─► virtual handle()
+//                 │  (epoll, nonblocking      │
+//                 │   sockets: accept,        └─► framed responses posted
+//                 │   framing, decode,            back to the owning
+//                 │   batching, writes,           reactor, fanned out in
+//                 │   deadlines)                  per-connection order
+//                 └─► Metrics (connections, sheds, evictions, batches, ...)
+//
+// Each reactor thread owns a disjoint set of connections outright: all
+// per-connection state is touched only on the owning reactor thread, so
+// 100k idle connections cost 100k small structs and zero threads, not
+// 100k blocked stacks. Workers only ever run handle() on fully decoded
+// requests; results travel back through a mailbox + eventfd wakeup.
+//
+// Cross-request fault-set batching rides on the reactor: decoded DIST and
+// BATCH requests are keyed by the same canonical fault-set hash the
+// PreparedFaults LRU uses. The first request for a key dispatches
+// immediately (it is the prepare); same-key requests arriving while it is
+// in flight coalesce into one follower group that dispatches as a single
+// pool job when the leader finishes — by then the prepare is cached, so a
+// K-request flash crowd pays for one prepare instead of K. Uncontended
+// traffic never waits: a lone request is always a leader. batch_window_us
+// is the parking horizon for a group left with no job in flight (the shed
+// path can drop a leader after followers parked); 0 disables coalescing.
+//
+// What lives here (and is therefore shared): the accept path with
+// transient-errno backoff, admission control (per-request OVERLOADED shed
+// when the pending-request line is full — the connection stays open and
+// usable), deadline eviction through the reactor's timing wheel, frame
+// decode/CRC handling, slow-reader write backpressure, and graceful drain
+// (in-flight requests finish, late frames get DRAINING, HEALTH stays
+// answered so probers can tell a goodbye from a crash).
+//
+// The pre-reactor blocking transport (one pool job per connection,
+// SO_RCVTIMEO deadlines, connection-level sheds) is retained behind
+// DataPlane::kThreadPerConnection for A/B benchmarking (bench_reactor)
+// and as a fallback; it caps useful concurrency at the worker count.
 //
 // What subclasses own: everything behind handle() — labels, caches,
 // reloads for Server; scatter-gather fan-out for shard::Router.
@@ -27,12 +53,23 @@
 #include <mutex>
 #include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "server/metrics.hpp"
 #include "server/protocol.hpp"
 #include "server/thread_pool.hpp"
 
 namespace fsdl::server {
+
+class Reactor;
+
+/// Which transport implementation serves the sockets.
+enum class DataPlane : std::uint8_t {
+  /// Nonblocking epoll event loop(s) + decode-only worker pool (default).
+  kEpollReactor = 0,
+  /// Historical blocking plane: one pool job per connection.
+  kThreadPerConnection = 1,
+};
 
 /// Socket/worker knobs common to every frame service (the subset of
 /// ServerOptions that is about the transport, not the labels).
@@ -42,16 +79,38 @@ struct TransportOptions {
   unsigned workers = 4;
   /// listen(2) backlog (<= 0 coerced to 64 at start()).
   int listen_backlog = 64;
-  /// Socket receive deadline per recv() call, milliseconds; 0 disables.
+  /// Receive deadline, milliseconds; 0 disables. Reactor plane: enforced by
+  /// the event loop's timing wheel — a connection idle (or stalled
+  /// mid-frame) past the deadline with no request in flight is evicted
+  /// with a TIMEOUT frame. Thread-per-connection plane: SO_RCVTIMEO.
   unsigned recv_timeout_ms = 0;
-  /// Socket send deadline, milliseconds; 0 disables.
+  /// Send deadline, milliseconds; 0 disables. Reactor plane: a connection
+  /// whose write buffer has made no progress for this long (peer stopped
+  /// reading) is torn down. Thread-per-connection plane: SO_SNDTIMEO.
   unsigned send_timeout_ms = 0;
-  /// Connections allowed to wait for a worker before new ones are shed
-  /// with OVERLOADED.
+  /// Admission-control depth. Reactor plane: *requests* (not connections)
+  /// allowed to wait for a worker beyond the `workers` already being
+  /// served; an arrival past the bound is shed with a per-request
+  /// OVERLOADED reply and the connection stays open. Thread-per-connection
+  /// plane: connections allowed to wait for a worker before new ones are
+  /// shed (and closed) — the historical semantics.
   std::size_t max_queued_connections = ThreadPool::kUnboundedQueue;
   /// How long stop() waits for in-flight requests to finish before tearing
   /// connections down, milliseconds. 0 = hard stop.
   unsigned drain_deadline_ms = 0;
+  DataPlane data_plane = DataPlane::kEpollReactor;
+  /// Event-loop threads (reactor plane only; 0 coerced to 1). Connections
+  /// are assigned round-robin and never migrate. Note that fault-set
+  /// batching coalesces within one reactor: >1 reactors trade perfect
+  /// flash-crowd coalescing for read/write parallelism.
+  unsigned reactor_threads = 1;
+  /// Fault-set coalescing control (reactor plane only). Same-key requests
+  /// arriving while a prepare is in flight park and ride its completion —
+  /// one prepare serves the crowd, and a parked request waits at most the
+  /// leader's handle() time (itself bounded by request_deadline_ms). The
+  /// window is the parking horizon for a group stranded with no job in
+  /// flight (possible via the shed path); 0 disables coalescing entirely.
+  unsigned batch_window_us = 100;
 };
 
 class FrameServer {
@@ -62,8 +121,8 @@ class FrameServer {
   FrameServer(const FrameServer&) = delete;
   FrameServer& operator=(const FrameServer&) = delete;
 
-  /// Bind, listen on 127.0.0.1, spawn accept thread + workers.
-  /// Throws std::runtime_error on socket failure.
+  /// Bind, listen on 127.0.0.1, spawn the data plane (reactor threads or
+  /// accept thread) + workers. Throws std::runtime_error on socket failure.
   void start();
 
   /// Begin draining: close the listener (no new connections), keep serving
@@ -72,7 +131,7 @@ class FrameServer {
   void begin_drain();
 
   /// Graceful stop: drain (waiting up to drain_deadline_ms for in-flight
-  /// requests), then shut open connections, drain the pool, join.
+  /// requests), then tear down connections, drain the pool, join.
   /// Idempotent; subclass destructors call it.
   void stop();
 
@@ -98,21 +157,32 @@ class FrameServer {
   TransportOptions transport_;
 
  private:
+  friend class Reactor;
+
+  // --- thread-per-connection plane ---
   void accept_loop();
   void serve_connection(int fd);
   void track(int fd);
   void untrack(int fd);
 
+  // --- reactor plane ---
+  /// Admitted requests allowed to be pending at once (workers currently
+  /// serving + the waiting line), or SIZE_MAX when unbounded.
+  std::size_t pending_cap() const;
+
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_done_{false};
-  /// Requests currently inside handle() on worker threads — what drain
-  /// waits on.
+  /// Requests admitted but not yet answered — what both drain and the
+  /// reactor plane's admission control count.
   std::atomic<int> in_flight_{0};
-  // Written by start()/stop(), read by the accept thread.
+  // Written by start()/stop(), read by the data-plane threads.
   std::atomic<int> listen_fd_{-1};
+  /// Round-robin cursor for placing accepted connections onto reactors.
+  std::atomic<unsigned> next_reactor_{0};
   std::uint16_t port_ = 0;
   std::mutex conn_mu_;
   std::unordered_set<int> conn_fds_;

@@ -103,6 +103,7 @@ Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {
   for (auto& l : label_fetches_) l.store(0, std::memory_order_relaxed);
   label_cache_hits_.store(0, std::memory_order_relaxed);
   label_cache_misses_.store(0, std::memory_order_relaxed);
+  open_connections_.store(0, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
   queries_.store(0, std::memory_order_relaxed);
   connections_.store(0, std::memory_order_relaxed);
@@ -154,6 +155,27 @@ std::string Metrics::render(const PreparedCache::Stats& cache) const {
   append_line(out, "uptime_s: %.1f\n", up);
   append_line(out, "connections: %" PRIu64 "\n",
               connections_.load(std::memory_order_relaxed));
+  append_line(out, "open_connections: %lld\n",
+              static_cast<long long>(open_connections()));
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (!batch_size_.empty()) {
+      append_line(out,
+                  "batch_size: groups=%" PRIu64
+                  " requests=%.0f mean=%.2f max=%.0f\n",
+                  batch_size_.count(), batch_size_.sum(), batch_size_.mean(),
+                  batch_size_.max());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    if (!loop_latency_.empty()) {
+      append_line(out,
+                  "reactor_loop_us: p50=%.1f p99=%.1f max=%.1f\n",
+                  loop_latency_.percentile(50), loop_latency_.percentile(99),
+                  loop_latency_.max());
+    }
+  }
   append_line(out, "queries_total: %" PRIu64 "\n", q);
   append_line(out, "qps: %.1f\n", up > 0 ? static_cast<double>(q) / up : 0.0);
   append_line(out, "errors: %" PRIu64 "\n", errors());
@@ -220,6 +242,40 @@ std::string Metrics::render_prometheus(
   append_line(out, "# TYPE fsdl_connections_total counter\n");
   append_line(out, "fsdl_connections_total %" PRIu64 "\n",
               connections_.load(std::memory_order_relaxed));
+
+  append_line(out, "# HELP fsdl_open_connections Currently open "
+                   "connections.\n");
+  append_line(out, "# TYPE fsdl_open_connections gauge\n");
+  append_line(out, "fsdl_open_connections %lld\n",
+              static_cast<long long>(open_connections()));
+
+  append_line(out,
+              "# HELP fsdl_batch_size Requests coalesced per dispatched "
+              "fault-set batch group (reactor data plane).\n");
+  append_line(out, "# TYPE fsdl_batch_size histogram\n");
+  {
+    Histogram snapshot(1.25);
+    {
+      std::lock_guard<std::mutex> lock(batch_mu_);
+      snapshot = batch_size_;
+    }
+    append_prometheus_histogram(out, "fsdl_batch_size", "", snapshot);
+  }
+
+  append_line(out,
+              "# HELP fsdl_reactor_loop_latency_microseconds Busy time per "
+              "reactor event-loop iteration.\n");
+  append_line(out,
+              "# TYPE fsdl_reactor_loop_latency_microseconds histogram\n");
+  {
+    Histogram snapshot(1.25);
+    {
+      std::lock_guard<std::mutex> lock(loop_mu_);
+      snapshot = loop_latency_;
+    }
+    append_prometheus_histogram(
+        out, "fsdl_reactor_loop_latency_microseconds", "", snapshot);
+  }
 
   append_line(out, "# HELP fsdl_requests_total Completed requests by type.\n");
   append_line(out, "# TYPE fsdl_requests_total counter\n");

@@ -123,6 +123,32 @@ class Metrics {
   void record_error();
   void record_connection();
 
+  /// Maintain the open-connection gauge (fsdl_open_connections). Paired
+  /// calls from whichever data plane owns the connection lifecycle.
+  void record_connection_opened() {
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_connection_closed() {
+    open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  /// Record one dispatched fault-set batch group of `size` coalesced
+  /// requests (fsdl_batch_size). A lone leader records 1; a flash crowd's
+  /// follower group records its width — the mean is the amortization
+  /// factor actually achieved.
+  void record_batch(double size) {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    batch_size_.add(size);
+  }
+
+  /// Record one reactor event-loop iteration's busy time in microseconds
+  /// (fsdl_reactor_loop_latency_microseconds) — the "how far behind is the
+  /// data plane" signal; idle waits are not recorded.
+  void record_reactor_loop(double micros) {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    loop_latency_.add(micros);
+  }
+
   /// Fold one request's accumulated decoder work into the stage counters
   /// (the caller sums QueryStats across a batch first).
   void record_query_stats(const QueryStats& stats);
@@ -198,6 +224,19 @@ class Metrics {
     return (hit ? label_cache_hits_ : label_cache_misses_)
         .load(std::memory_order_relaxed);
   }
+  std::int64_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+  /// Dispatched batch groups and the requests they carried (count/sum of
+  /// the fsdl_batch_size histogram).
+  std::uint64_t batch_groups() const {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    return batch_size_.count();
+  }
+  std::uint64_t batched_requests() const {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    return static_cast<std::uint64_t>(batch_size_.sum());
+  }
   double uptime_seconds() const;
 
   /// Human-readable snapshot (also machine-greppable `key: value` lines).
@@ -222,6 +261,11 @@ class Metrics {
   std::atomic<std::uint64_t> label_fetches_[kNumLabelFetchResults];
   std::atomic<std::uint64_t> label_cache_hits_;
   std::atomic<std::uint64_t> label_cache_misses_;
+  std::atomic<std::int64_t> open_connections_;
+  mutable std::mutex batch_mu_;
+  Histogram batch_size_{1.25};
+  mutable std::mutex loop_mu_;
+  Histogram loop_latency_{1.25};
   // One latency histogram per request type, microsecond samples, each
   // behind its own mutex (lock striping: recording a DIST latency must not
   // contend with BATCH recording; only a renderer takes them all).

@@ -27,6 +27,9 @@ TransportOptions Server::transport_of(const ServerOptions& options) {
   t.send_timeout_ms = options.send_timeout_ms;
   t.max_queued_connections = options.max_queued_connections;
   t.drain_deadline_ms = options.drain_deadline_ms;
+  t.data_plane = options.data_plane;
+  t.reactor_threads = options.reactor_threads;
+  t.batch_window_us = options.batch_window_us;
   return t;
 }
 

@@ -66,12 +66,24 @@ struct ServerOptions {
   /// Compute budget for one DIST/BATCH request, milliseconds; 0 disables.
   /// Exceeding it returns a TIMEOUT response instead of the distances.
   double request_deadline_ms = 0.0;
-  /// Connections allowed to wait for a worker before new ones are shed
-  /// with OVERLOADED. Default: unbounded (historical behavior).
+  /// Admission-control depth beyond `workers` (see
+  /// TransportOptions::max_queued_connections): pending *requests* on the
+  /// reactor plane (a shed is one OVERLOADED reply, connection kept),
+  /// waiting *connections* on the thread-per-connection plane. Default:
+  /// unbounded (historical behavior).
   std::size_t max_queued_connections = ThreadPool::kUnboundedQueue;
   /// How long stop() waits for in-flight requests to finish before tearing
   /// connections down, milliseconds. 0 = hard stop (historical behavior).
   unsigned drain_deadline_ms = 0;
+  /// Transport implementation: the epoll reactor (default) or the
+  /// historical blocking thread-per-connection plane (A/B benchmarking).
+  DataPlane data_plane = DataPlane::kEpollReactor;
+  /// Event-loop threads for the reactor plane (0 coerced to 1).
+  unsigned reactor_threads = 1;
+  /// Fault-set batching window, microseconds; 0 disables coalescing. See
+  /// TransportOptions::batch_window_us — leaders never wait, so this only
+  /// bounds how long same-key followers ride behind a slow cold prepare.
+  unsigned batch_window_us = 100;
   /// Slow-query log threshold in microseconds; 0 disables. A DIST/BATCH
   /// request slower than this emits one JSON line (kind="slow_query", the
   /// same flat schema and parser as the distributed-tracing event log:

@@ -1,0 +1,116 @@
+// Hashed timing wheel for the reactor's connection deadlines.
+//
+// The reactor replaces per-socket SO_RCVTIMEO/SO_SNDTIMEO (which only work
+// when a thread is parked in recv()/send() on that one socket) with a
+// single wheel per event loop: every armed deadline costs O(1) to insert
+// and the loop asks "when is the next one due" to size its epoll timeout.
+//
+// The wheel is *lazy*: entries are never cancelled or re-armed in place.
+// An entry fires when its slot is visited and its stamped due time has
+// passed; the owner then re-validates against live state (the connection
+// may have seen traffic since, or may be gone entirely — the fd/conn-id
+// pair detects reuse) and either acts, re-schedules at the true deadline,
+// or drops the entry. This keeps the hot path (a read on a busy
+// connection) completely free of timer bookkeeping.
+//
+// Slots cover time in fixed windows of `slot_us`; an entry due beyond one
+// full rotation simply stays in its slot across visits until its cycle
+// comes up (classic hashed-wheel behavior). Deadline precision is one slot
+// width, which is exactly right for millisecond-scale socket deadlines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace fsdl::server {
+
+class TimerWheel {
+ public:
+  struct Entry {
+    std::uint64_t due_us = 0;
+    int fd = -1;
+    /// Connection generation stamp: an fd number is reused by the kernel,
+    /// (fd, conn_id) is not. The owner drops entries whose pair no longer
+    /// matches a live connection.
+    std::uint64_t conn_id = 0;
+    /// Owner-defined discriminator (read deadline vs write deadline, ...).
+    std::uint8_t kind = 0;
+  };
+
+  explicit TimerWheel(std::uint64_t slot_us = 2000, std::size_t slots = 512)
+      : slot_us_(slot_us == 0 ? 1 : slot_us), slots_(slots == 0 ? 1 : slots) {}
+
+  /// Anchor the cursor so the first advance() does not sweep from t=0.
+  void anchor(std::uint64_t now_us) {
+    if (cursor_ == 0) cursor_ = now_us / slot_us_;
+  }
+
+  void schedule(const Entry& e) {
+    // A due time inside the cursor's own window would wait a full rotation;
+    // park it in the next slot instead (firing a hair early is fine — the
+    // owner re-validates and re-schedules stale entries).
+    std::uint64_t a = e.due_us / slot_us_;
+    if (a <= cursor_) a = cursor_ + 1;
+    slots_[static_cast<std::size_t>(a % slots_.size())].push_back(e);
+    ++size_;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::uint64_t slot_us() const noexcept { return slot_us_; }
+
+  /// Earliest instant any entry could fire, or 0 when the wheel is empty.
+  /// A window start, not an exact due time: far-future entries sharing a
+  /// near slot cause an early (harmless, lazily re-checked) wakeup.
+  std::uint64_t next_tick_us() const {
+    if (size_ == 0) return 0;
+    const std::size_t n = slots_.size();
+    for (std::size_t k = 1; k <= n; ++k) {
+      const std::uint64_t a = cursor_ + k;
+      if (!slots_[a % n].empty()) return a * slot_us_;
+    }
+    // Entries can sit in the cursor's own slot (scheduled for a later
+    // cycle); next chance to see them is one full rotation out.
+    return (cursor_ + n) * slot_us_;
+  }
+
+  /// Visit every slot whose window ended at or before `now`, invoking
+  /// `fire(entry)` for entries whose stamped due time has passed. `fire`
+  /// may call schedule() (re-arming at the true deadline is the expected
+  /// response to a stale entry).
+  template <typename F>
+  void advance(std::uint64_t now, F&& fire) {
+    const std::uint64_t target = now / slot_us_;
+    if (target <= cursor_) return;
+    const std::size_t n = slots_.size();
+    // A long sleep can skip whole rotations; each slot needs one visit.
+    const std::uint64_t steps =
+        target - cursor_ >= n ? n : target - cursor_;
+    for (std::uint64_t k = 1; k <= steps; ++k) {
+      auto& slot = slots_[(cursor_ + k) % n];
+      if (slot.empty()) continue;
+      scratch_.clear();
+      scratch_.swap(slot);  // fire() may schedule back into this very slot
+      for (auto& e : scratch_) {
+        if (e.due_us <= now) {
+          --size_;
+          fire(e);
+        } else {
+          slot.push_back(e);  // a later cycle's entry — keep waiting
+        }
+      }
+    }
+    cursor_ = target;
+  }
+
+ private:
+  std::uint64_t slot_us_;
+  std::uint64_t cursor_ = 0;  // absolute index of the last visited slot
+  std::size_t size_ = 0;
+  std::vector<std::vector<Entry>> slots_;
+  std::vector<Entry> scratch_;
+};
+
+}  // namespace fsdl::server

@@ -1,0 +1,411 @@
+// Tests for the epoll reactor data plane (server/reactor.*): frame
+// reassembly across wakeups, pipelined response ordering, slow-reader
+// write backpressure, timer-wheel deadline eviction, cross-request
+// fault-set batching, and the preserved thread-per-connection plane.
+// Real sockets throughout; gates (not sleeps) wherever an ordering is
+// load-bearing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/labeling.hpp"
+#include "core/oracle.hpp"
+#include "graph/generators.hpp"
+#include "server/client.hpp"
+#include "server/server.hpp"
+#include "server/timer_wheel.hpp"
+
+namespace fsdl {
+namespace {
+
+/// Blocks DIST handling on a gate until release(): pins requests in
+/// flight so admission/batching states are reached deterministically.
+class GatedServer : public server::Server {
+ public:
+  GatedServer(const ForbiddenSetOracle& oracle,
+              const server::ServerOptions& options)
+      : server::Server(oracle, options) {}
+
+  server::Response handle(const server::Request& req) override {
+    if (req.opcode == server::Opcode::kDist) {
+      entered_.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return open_; });
+    }
+    return server::Server::handle(req);
+  }
+
+  void wait_entered(int n) {
+    while (entered_.load() < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  std::atomic<int> entered_{0};
+};
+
+/// Answers every DIST with a fixed-size payload — cheap to produce, big
+/// enough that a handful of responses overwhelm kernel socket buffers and
+/// exercise the reactor's user-space write queue.
+class BigResponseServer : public server::Server {
+ public:
+  static constexpr std::size_t kTextBytes = 1u << 20;  // 1 MiB
+
+  BigResponseServer(const ForbiddenSetOracle& oracle,
+                    const server::ServerOptions& options)
+      : server::Server(oracle, options) {}
+
+  server::Response handle(const server::Request& req) override {
+    if (req.opcode == server::Opcode::kDist) {
+      server::Response resp;
+      resp.status = server::Status::kOk;
+      resp.text.assign(kTextBytes, 'x');
+      return resp;
+    }
+    return server::Server::handle(req);
+  }
+};
+
+class ReactorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = make_grid2d(6, 6);
+    scheme_ = std::make_unique<ForbiddenSetLabeling>(
+        ForbiddenSetLabeling::build(graph_, SchemeParams::faithful(1.0)));
+    oracle_ = std::make_unique<ForbiddenSetOracle>(*scheme_);
+  }
+
+  static server::Request dist_request(Vertex s, Vertex t) {
+    server::Request req;
+    req.opcode = server::Opcode::kDist;
+    req.pairs.emplace_back(s, t);
+    return req;
+  }
+
+  static server::Client connect_to(const server::FrameServer& srv,
+                                   const server::ClientOptions& copt = {}) {
+    server::Client c(copt);
+    c.connect("127.0.0.1", srv.port());
+    return c;
+  }
+
+  Graph graph_;
+  std::unique_ptr<ForbiddenSetLabeling> scheme_;
+  std::unique_ptr<ForbiddenSetOracle> oracle_;
+};
+
+TEST_F(ReactorTest, PartialFramesAcrossWakeupsReassemble) {
+  server::Server srv(*oracle_, server::ServerOptions{});
+  srv.start();
+  auto client = connect_to(srv);
+
+  // One frame dribbled in three chunks, each a separate readiness event.
+  const auto wire = server::frame(encode_request(dist_request(0, 1)));
+  const std::size_t third = wire.size() / 3;
+  client.send_raw(wire.data(), third);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  client.send_raw(wire.data() + third, third);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  client.send_raw(wire.data() + 2 * third, wire.size() - 2 * third);
+  const auto resp = client.read_response();
+  ASSERT_TRUE(resp.ok()) << resp.text;
+  ASSERT_EQ(resp.distances.size(), 1u);
+  EXPECT_EQ(resp.distances[0], 1u);
+  srv.stop();
+}
+
+TEST_F(ReactorTest, PipelinedRequestsAnswerInOrder) {
+  server::Server srv(*oracle_, server::ServerOptions{});
+  srv.start();
+  auto client = connect_to(srv);
+
+  // 16 requests in one burst, including two frames glued into one write —
+  // responses must come back 1:1 in submission order even though pool
+  // jobs finish in any order.
+  std::vector<std::uint8_t> burst;
+  const unsigned kRequests = 16;
+  for (unsigned k = 0; k < kRequests; ++k) {
+    const auto wire = server::frame(
+        encode_request(dist_request(0, static_cast<Vertex>(k))));
+    burst.insert(burst.end(), wire.begin(), wire.end());
+  }
+  client.send_raw(burst.data(), burst.size());
+  for (unsigned k = 0; k < kRequests; ++k) {
+    const auto resp = client.read_response();
+    ASSERT_TRUE(resp.ok()) << resp.text;
+    ASSERT_EQ(resp.distances.size(), 1u);
+    // Grid row 0: d(0, k) = k for k < 6.
+    const Dist expect =
+        oracle_->distance(0, static_cast<Vertex>(k), FaultSet{});
+    EXPECT_EQ(resp.distances[0], expect) << "request " << k;
+  }
+  srv.stop();
+}
+
+TEST_F(ReactorTest, SlowReaderBackpressureDeliversEveryByte) {
+  server::ServerOptions options;
+  BigResponseServer srv(*oracle_, options);
+  srv.start();
+  server::ClientOptions copt;
+  copt.recv_timeout_ms = 10000;
+  auto client = connect_to(srv, copt);
+
+  // 24 MiB of responses against a reader that only starts consuming after
+  // everything is submitted — more than loopback socket buffers absorb, so
+  // the reactor must park responses in its write queue, pause reading at
+  // the high-water mark, and resume — without dropping, reordering, or
+  // corrupting a byte.
+  const unsigned kRequests = 24;
+  for (unsigned k = 0; k < kRequests; ++k) {
+    const auto wire = server::frame(
+        encode_request(dist_request(0, static_cast<Vertex>(k))));
+    client.send_raw(wire.data(), wire.size());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (unsigned k = 0; k < kRequests; ++k) {
+    const auto resp = client.read_response();
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.text.size(), BigResponseServer::kTextBytes)
+        << "response " << k;
+  }
+  srv.stop();
+}
+
+TEST_F(ReactorTest, StalledReaderEvictedAfterWriteDeadline) {
+  server::ServerOptions options;
+  options.send_timeout_ms = 150;
+  BigResponseServer srv(*oracle_, options);
+  srv.start();
+  server::ClientOptions copt;
+  copt.recv_timeout_ms = 2000;
+  auto client = connect_to(srv, copt);
+
+  // Ask for far more than the kernel will buffer and then never read: the
+  // write queue stalls, the timer wheel fires the send deadline, and the
+  // connection is torn down instead of pinning megabytes forever.
+  const unsigned kRequests = 24;
+  for (unsigned k = 0; k < kRequests; ++k) {
+    const auto wire = server::frame(
+        encode_request(dist_request(0, static_cast<Vertex>(k))));
+    client.send_raw(wire.data(), wire.size());
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (srv.metrics().failure_total(server::FailureCounter::kEvictions) ==
+             0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(srv.metrics().failure_total(server::FailureCounter::kEvictions),
+            1u);
+  // Draining what the kernel already buffered eventually hits the close.
+  EXPECT_THROW(
+      {
+        for (unsigned k = 0; k < kRequests; ++k) (void)client.read_response();
+      },
+      std::runtime_error);
+  srv.stop();
+}
+
+TEST_F(ReactorTest, ConnectionAwaitingResponseIsNotIdle) {
+  server::ServerOptions options;
+  options.recv_timeout_ms = 100;
+  GatedServer srv(*oracle_, options);
+  srv.start();
+  auto client = connect_to(srv);
+
+  // The request sits gated well past the receive deadline: the timer fires
+  // but must reschedule, not evict, while a response is owed.
+  const auto wire = server::frame(encode_request(dist_request(0, 1)));
+  client.send_raw(wire.data(), wire.size());
+  std::this_thread::sleep_for(std::chrono::milliseconds(350));
+  srv.release();
+  const auto resp = client.read_response();
+  ASSERT_TRUE(resp.ok()) << resp.text;
+  EXPECT_EQ(resp.distances[0], 1u);
+
+  // Now genuinely idle: the same wheel entry evicts with the idle message.
+  const auto evicted = client.read_response();
+  EXPECT_EQ(evicted.status, server::Status::kTimeout);
+  EXPECT_NE(evicted.text.find("idle deadline"), std::string::npos)
+      << evicted.text;
+  EXPECT_THROW(client.read_response(), std::runtime_error);
+  srv.stop();
+}
+
+TEST_F(ReactorTest, MultiReactorServesAndEvictsIdlers) {
+  server::ServerOptions options;
+  options.reactor_threads = 2;
+  options.recv_timeout_ms = 100;
+  server::Server srv(*oracle_, options);
+  srv.start();
+
+  // Round-robin placement lands these on both loops; each must serve.
+  std::vector<server::Client> clients;
+  for (int k = 0; k < 4; ++k) {
+    clients.push_back(connect_to(srv));
+    EXPECT_EQ(clients.back().dist(0, 1, FaultSet{}), 1u);
+  }
+  // Then all four go silent and every loop's wheel reaps its own.
+  for (auto& c : clients) {
+    const auto resp = c.read_response();
+    EXPECT_EQ(resp.status, server::Status::kTimeout);
+  }
+  EXPECT_GE(srv.metrics().failure_total(server::FailureCounter::kEvictions),
+            4u);
+  srv.stop();
+}
+
+TEST_F(ReactorTest, SameKeyRequestsCoalesceIntoOneBatch) {
+  server::ServerOptions options;
+  options.workers = 4;
+  options.reactor_threads = 1;
+  options.batch_window_us = 500000;  // flush rides KeyDone, not the window
+  GatedServer srv(*oracle_, options);
+  srv.start();
+
+  FaultSet faults;
+  faults.add_vertex(7);
+
+  // Leader: enters handle() and sits on the gate with the prepare pending.
+  std::thread leader([&] {
+    auto c = connect_to(srv);
+    EXPECT_EQ(c.dist(0, 1, faults), oracle_->distance(0, 1, faults));
+  });
+  srv.wait_entered(1);
+
+  // Three same-key followers arrive while the leader is in flight: they
+  // must park, not dispatch.
+  std::vector<std::thread> followers;
+  for (int k = 0; k < 3; ++k) {
+    followers.emplace_back([&, k] {
+      auto c = connect_to(srv);
+      const Vertex t = static_cast<Vertex>(2 + k);
+      EXPECT_EQ(c.dist(0, t, faults), oracle_->distance(0, t, faults));
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  srv.release();
+  leader.join();
+  for (auto& t : followers) t.join();
+
+  // One leader group of 1 + one follower group of 3; the fault set was
+  // prepared exactly once (followers are cache hits by construction).
+  EXPECT_EQ(srv.metrics().batch_groups(), 2u);
+  EXPECT_EQ(srv.metrics().batched_requests(), 4u);
+  const auto cache = srv.cache_stats();
+  EXPECT_EQ(cache.misses, 1u);
+  EXPECT_EQ(cache.hits, 3u);
+  srv.stop();
+}
+
+TEST_F(ReactorTest, ZeroWindowDisablesCoalescing) {
+  server::ServerOptions options;
+  options.batch_window_us = 0;
+  server::Server srv(*oracle_, options);
+  srv.start();
+  auto client = connect_to(srv);
+  FaultSet faults;
+  faults.add_vertex(7);
+  EXPECT_EQ(client.dist(0, 1, faults), oracle_->distance(0, 1, faults));
+  EXPECT_EQ(client.dist(0, 2, faults), oracle_->distance(0, 2, faults));
+  // No keyed dispatches at all: the batching machinery is fully bypassed.
+  EXPECT_EQ(srv.metrics().batch_groups(), 0u);
+  srv.stop();
+}
+
+TEST_F(ReactorTest, LegacyPlaneStillShedsWholeConnections) {
+  // The preserved thread-per-connection plane keeps its historical
+  // semantics: a connection beyond capacity is shed with OVERLOADED and
+  // closed (admission is per connection there, not per request).
+  server::ServerOptions options;
+  options.data_plane = server::DataPlane::kThreadPerConnection;
+  options.workers = 1;
+  options.max_queued_connections = 0;
+  server::Server srv(*oracle_, options);
+  srv.start();
+
+  auto holder = connect_to(srv);
+  EXPECT_EQ(holder.dist(0, 0, FaultSet{}), 0u);
+
+  auto shed = connect_to(srv);
+  const auto resp = shed.read_response();
+  EXPECT_EQ(resp.status, server::Status::kOverloaded);
+  EXPECT_THROW(shed.read_response(), std::runtime_error);  // closed
+  EXPECT_GE(srv.metrics().failure_total(server::FailureCounter::kSheds), 1u);
+  srv.stop();
+}
+
+TEST(TimerWheelTest, FiresDueEntriesAndKeepsFutureOnes) {
+  server::TimerWheel wheel;
+  wheel.anchor(1'000'000);
+  wheel.schedule({1'004'000, 3, 30, 0});   // +4ms
+  wheel.schedule({1'050'000, 4, 40, 0});   // +50ms
+  wheel.schedule({3'000'000, 5, 50, 1});   // +2s (a future wheel cycle)
+  EXPECT_EQ(wheel.size(), 3u);
+
+  std::vector<int> fired;
+  wheel.advance(1'010'000, [&](const server::TimerWheel::Entry& e) {
+    fired.push_back(e.fd);
+  });
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 3);
+  EXPECT_EQ(wheel.size(), 2u);
+
+  wheel.advance(1'060'000, [&](const server::TimerWheel::Entry& e) {
+    fired.push_back(e.fd);
+  });
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], 4);
+
+  // The far-future entry survives a full rotation's worth of advancing in
+  // steps and fires only once its time actually comes.
+  std::uint64_t now = 1'060'000;
+  while (now < 2'900'000) {
+    now += 50'000;
+    wheel.advance(now, [&](const server::TimerWheel::Entry& e) {
+      fired.push_back(e.fd);
+    });
+  }
+  EXPECT_EQ(fired.size(), 2u);
+  wheel.advance(3'010'000, [&](const server::TimerWheel::Entry& e) {
+    fired.push_back(e.fd);
+  });
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[2], 5);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, NextTickTracksEarliestEntry) {
+  server::TimerWheel wheel;
+  wheel.anchor(0);
+  EXPECT_TRUE(wheel.empty());
+  wheel.schedule({10'000, 1, 10, 0});
+  const std::uint64_t tick = wheel.next_tick_us();
+  // Lazy wheel: the hint may be early (the slot's window start), never
+  // pointlessly late.
+  EXPECT_LE(tick, 10'000u);
+  EXPECT_GT(tick, 0u);
+}
+
+}  // namespace
+}  // namespace fsdl

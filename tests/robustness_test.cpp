@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -23,6 +25,47 @@
 
 namespace fsdl {
 namespace {
+
+/// A server whose DIST handling blocks on a gate until release(): lets
+/// tests pin a request "in flight" deterministically, instead of racing a
+/// real query's (microsecond) duration against admission control.
+class GatedServer : public server::Server {
+ public:
+  GatedServer(const ForbiddenSetOracle& oracle,
+              const server::ServerOptions& options)
+      : server::Server(oracle, options) {}
+
+  server::Response handle(const server::Request& req) override {
+    if (req.opcode == server::Opcode::kDist) {
+      entered_.fetch_add(1);
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return open_; });
+    }
+    return server::Server::handle(req);
+  }
+
+  /// Block until `n` DIST requests have entered handle() (i.e. hold
+  /// admission slots and sit on the gate).
+  void wait_entered(int n) {
+    while (entered_.load() < n) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+  std::atomic<int> entered_{0};
+};
 
 class RobustnessTest : public ::testing::Test {
  protected:
@@ -93,50 +136,64 @@ TEST_F(RobustnessTest, SlowlorisEvictedMidFrame) {
   EXPECT_THROW(client.read_response(), std::runtime_error);
 }
 
-TEST_F(RobustnessTest, SaturatedPoolShedsWithOverloaded) {
+TEST_F(RobustnessTest, SaturatedPoolShedsRequestButKeepsConnection) {
+  // workers=1, max_queued=0: exactly one request admitted at a time. The
+  // reactor plane sheds per *request* — an OVERLOADED reply — and the
+  // connection itself survives to try again (the old thread-per-connection
+  // plane shed the whole connection; that plane keeps its own semantics).
   server::ServerOptions options;
   options.workers = 1;
-  options.max_queued_connections = 0;  // no waiting line at all
-  start_server(options);
+  options.max_queued_connections = 0;
+  GatedServer srv(*oracle_, options);
+  srv.start();
 
-  // Occupy the only worker: a served round-trip proves the connection's job
-  // is *running*, not merely queued.
-  auto holder = connect();
-  EXPECT_EQ(holder.dist(0, 0, FaultSet{}), 0u);
+  // Pin the only admission slot: a DIST that has entered handle() and sits
+  // on the gate.
+  server::Client holder;
+  holder.connect("127.0.0.1", srv.port());
+  std::thread pinned([&holder] {
+    EXPECT_EQ(holder.dist(0, 0, FaultSet{}), 0u);
+  });
+  srv.wait_entered(1);
 
-  // The next connection must be shed synchronously with OVERLOADED.
-  auto shed = connect();
+  // A second connection's request must be shed synchronously with
+  // OVERLOADED — and only the request, not the connection.
+  server::Client shed;
+  shed.connect("127.0.0.1", srv.port());
+  const auto wire = server::frame(encode_request(dist_request(0, 35)));
+  shed.send_raw(wire.data(), wire.size());
   const auto resp = shed.read_response();
   EXPECT_EQ(resp.status, server::Status::kOverloaded);
   EXPECT_NE(resp.text.find("overloaded"), std::string::npos) << resp.text;
-  EXPECT_THROW(shed.read_response(), std::runtime_error);  // and closed
-  EXPECT_GE(server_->metrics().failure_total(server::FailureCounter::kSheds),
-            1u);
+  EXPECT_GE(srv.metrics().failure_total(server::FailureCounter::kSheds), 1u);
 
-  // Freeing the worker restores service for new connections.
-  holder.close();
-  server::ClientOptions copt;
-  copt.max_retries = 10;
-  copt.retry_base_ms = 5;
-  copt.retry_seed = 3;
-  auto after = connect(copt);
-  EXPECT_EQ(after.dist(0, 1, FaultSet{}), 1u);
+  // Freeing the slot restores service on the SAME shed connection: the
+  // socket was never closed.
+  srv.release();
+  pinned.join();
+  EXPECT_EQ(shed.dist(0, 1, FaultSet{}), 1u);
+  srv.stop();
 }
 
 TEST_F(RobustnessTest, ClientRetriesThroughOverloadUntilSlotFrees) {
   server::ServerOptions options;
   options.workers = 1;
   options.max_queued_connections = 0;
-  start_server(options);
+  GatedServer srv(*oracle_, options);
+  srv.start();
 
-  auto holder = std::make_unique<server::Client>(connect());
-  EXPECT_EQ(holder->dist(0, 0, FaultSet{}), 0u);
+  server::Client holder;
+  holder.connect("127.0.0.1", srv.port());
+  std::thread pinned([&holder] {
+    EXPECT_EQ(holder.dist(0, 0, FaultSet{}), 0u);
+  });
+  srv.wait_entered(1);
 
-  // Release the worker slot after ~150 ms; the retrying client must land a
-  // successful query once it frees, having seen OVERLOADED before that.
-  std::thread releaser([&holder] {
+  // Open the gate after ~150 ms; the retrying client must land a
+  // successful query once the slot frees, having seen OVERLOADED first.
+  std::thread releaser([&srv] {
     std::this_thread::sleep_for(std::chrono::milliseconds(150));
-    holder->close();
+    srv.release();
   });
 
   server::ClientOptions copt;
@@ -144,11 +201,14 @@ TEST_F(RobustnessTest, ClientRetriesThroughOverloadUntilSlotFrees) {
   copt.retry_base_ms = 20;
   copt.retry_max_ms = 100;
   copt.retry_seed = 11;
-  auto retrier = connect(copt);
+  server::Client retrier(copt);
+  retrier.connect("127.0.0.1", srv.port());
   EXPECT_EQ(retrier.dist(0, 1, FaultSet{}), 1u);
   EXPECT_GE(retrier.retries(), 1u);
   EXPECT_GE(retrier.sheds_seen(), 1u);
   releaser.join();
+  pinned.join();
+  srv.stop();
 }
 
 TEST_F(RobustnessTest, RequestDeadlineReturnsTimeoutNotPartialBatch) {

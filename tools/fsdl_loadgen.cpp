@@ -8,6 +8,20 @@
 //                [--hedge-us U] [--think-us U] [--min-success RATE]
 //                [--metrics-dump FILE] [--allow-transport-errors]
 //                [--trace-sample P] [--trace-log FILE]
+//                [--open-loop RATE --connections N]
+//
+// Open-loop mode (--open-loop RATE, requests/second): instead of N closed
+// feedback loops (each thread waits for its answer before sending the
+// next, so a slow server throttles its own load), the generator keeps a
+// pool of --connections persistent connections and injects requests on a
+// Poisson arrival process of aggregate rate RATE, split as independent
+// rate/N processes per connection (their superposition is the requested
+// Poisson stream). Latency is measured from the *scheduled* arrival time,
+// so when the server falls behind, queueing delay is charged to the
+// request — the honest open-loop number a closed loop hides (coordinated
+// omission). --requests is the TOTAL request budget across the pool in
+// this mode, and the report adds per-connection p99 (median and max over
+// connections). --verify is not supported in open-loop mode.
 //
 // Distributed tracing (works in any build — the context is plain protocol):
 // with --trace-sample P every request carries a trace-context extension
@@ -51,6 +65,7 @@
 // ground truth d = d_{G\F} from a BFS on the local graph copy:
 // d ≤ δ ≤ (1+ε)·d (and δ = ∞ iff d = ∞). Exit status is nonzero if any
 // violation occurred — this is the end-to-end acceptance gate.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -108,6 +123,10 @@ struct Options {
   double trace_sample = 0.0;
   /// Client-side event log for "client.request" root spans.
   std::string trace_log;
+  /// > 0: open-loop mode at this aggregate arrival rate (requests/second).
+  double open_loop = 0.0;
+  /// Open-loop connection pool size (0 = default 16).
+  unsigned connections = 0;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -124,7 +143,8 @@ struct Options {
       "                    [--endpoints H:P1,H:P2,...] [--hedge-us U]\n"
       "                    [--think-us U] [--min-success RATE]\n"
       "                    [--metrics-dump FILE]\n"
-      "                    [--trace-sample P] [--trace-log FILE]\n");
+      "                    [--trace-sample P] [--trace-log FILE]\n"
+      "                    [--open-loop RATE --connections N]\n");
   std::exit(2);
 }
 
@@ -144,6 +164,8 @@ struct SharedState {
   Histogram latency_us{1.25};
   /// Fleet-wide replica stats, merged under agg_mu as workers exit.
   server::ReplicaStats replica_stats;
+  /// Open-loop mode: one p99 (in us) per connection, pushed under agg_mu.
+  std::vector<double> conn_p99_us;
   /// --trace-log destination; one whole JSON line per fputs under trace_mu.
   std::mutex trace_mu;
   FILE* trace_file = nullptr;
@@ -352,6 +374,81 @@ void worker(SharedState& state, unsigned tid) {
   merge_replica_stats(state.replica_stats, client.replica_stats());
 }
 
+/// One connection of the open-loop pool: an independent Poisson arrival
+/// process of rate (--open-loop / --connections) over a single persistent
+/// connection. Latency is charged from the *scheduled* arrival — a request
+/// that waits behind a slow predecessor on this connection pays that wait,
+/// which is exactly the queueing delay a closed loop hides.
+void open_loop_worker(SharedState& state, unsigned tid, unsigned requests) {
+  const Options& opt = state.opt;
+  Rng rng(opt.seed * 7919 + tid);
+  server::ReplicaClientOptions ropt;
+  ropt.client.connect_timeout_ms = opt.timeout_ms;
+  ropt.client.recv_timeout_ms = opt.timeout_ms;
+  ropt.client.send_timeout_ms = opt.timeout_ms;
+  ropt.max_attempts = opt.retries + 1;
+  ropt.seed = opt.seed * 104729 + tid;
+  server::ReplicaClient client(opt.endpoints, ropt, &state.client_metrics);
+  Histogram local_latency{1.25};
+  std::uint64_t local_queries = 0;
+  std::uint64_t local_successes = 0;
+  std::uint64_t local_transport_errors = 0;
+  const double mean_gap_us =
+      1e6 * static_cast<double>(opt.connections) / opt.open_loop;
+  auto scheduled = std::chrono::steady_clock::now();
+  std::size_t fault_idx = tid % state.fault_pool.size();
+  for (unsigned r = 0; r < requests; ++r) {
+    double u;
+    do { u = rng.uniform(); } while (u <= 0.0);
+    scheduled += std::chrono::microseconds(
+        static_cast<std::int64_t>(-std::log(u) * mean_gap_us));
+    // If we're behind schedule this returns immediately: the arrival is
+    // queued, and its latency below includes the time already lost.
+    std::this_thread::sleep_until(scheduled);
+    if (rng.chance(opt.churn)) {
+      fault_idx = rng.below(state.fault_pool.size());
+    }
+    const FaultSet& faults = state.fault_pool[fault_idx];
+    std::vector<std::pair<Vertex, Vertex>> pairs;
+    const unsigned npairs = opt.batch == 0 ? 1 : opt.batch;
+    pairs.reserve(npairs);
+    for (unsigned k = 0; k < npairs; ++k) {
+      pairs.emplace_back(rng.vertex(opt.n), rng.vertex(opt.n));
+    }
+    try {
+      std::vector<Dist> answers;
+      if (opt.batch == 0) {
+        answers.push_back(
+            client.dist(pairs[0].first, pairs[0].second, faults));
+      } else {
+        answers = client.batch(pairs, faults);
+      }
+      local_queries += answers.size();
+      ++local_successes;
+    } catch (const std::exception& e) {
+      ++local_transport_errors;
+      if (local_transport_errors <= 3) {
+        std::fprintf(stderr, "conn %u request %u: %s\n", tid, r, e.what());
+      }
+      continue;
+    }
+    const double lat_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - scheduled)
+            .count();
+    local_latency.add(lat_us);
+  }
+  state.queries.fetch_add(local_queries);
+  state.successes.fetch_add(local_successes);
+  state.transport_errors.fetch_add(local_transport_errors);
+  std::lock_guard<std::mutex> lock(state.agg_mu);
+  if (!local_latency.empty()) {
+    state.conn_p99_us.push_back(local_latency.percentile(99));
+  }
+  state.latency_us.merge(local_latency);
+  merge_replica_stats(state.replica_stats, client.replica_stats());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -391,6 +488,8 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics-dump") opt.metrics_dump = next();
     else if (arg == "--trace-sample") opt.trace_sample = std::strtod(next(), nullptr);
     else if (arg == "--trace-log") opt.trace_log = next();
+    else if (arg == "--open-loop") opt.open_loop = std::strtod(next(), nullptr);
+    else if (arg == "--connections") opt.connections = static_cast<unsigned>(std::atoi(next()));
     else usage("unknown option");
   }
   if (opt.endpoints.empty()) {
@@ -398,6 +497,14 @@ int main(int argc, char** argv) {
     opt.endpoints.push_back({opt.host, opt.port});
   }
   if (opt.fault_pool == 0) opt.fault_pool = 1;
+  if (opt.open_loop > 0.0) {
+    if (opt.connections == 0) opt.connections = 16;
+    if (!opt.verify_graph.empty()) {
+      usage("--verify is not supported with --open-loop");
+    }
+  } else if (opt.connections != 0) {
+    usage("--connections requires --open-loop");
+  }
 
   try {
     Graph graph;
@@ -437,18 +544,35 @@ int main(int argc, char** argv) {
 
     WallTimer wall;
     std::vector<std::thread> threads;
-    threads.reserve(opt.threads);
-    for (unsigned tid = 0; tid < opt.threads; ++tid) {
-      threads.emplace_back(worker, std::ref(state), tid);
+    if (opt.open_loop > 0.0) {
+      // --requests is the total budget; split it evenly over the pool.
+      const unsigned per_conn =
+          (opt.requests + opt.connections - 1) / opt.connections;
+      threads.reserve(opt.connections);
+      for (unsigned tid = 0; tid < opt.connections; ++tid) {
+        threads.emplace_back(open_loop_worker, std::ref(state), tid, per_conn);
+      }
+    } else {
+      threads.reserve(opt.threads);
+      for (unsigned tid = 0; tid < opt.threads; ++tid) {
+        threads.emplace_back(worker, std::ref(state), tid);
+      }
     }
     for (auto& t : threads) t.join();
     const double secs = wall.elapsed_seconds();
 
     const std::uint64_t q = state.queries.load();
-    std::printf("loadgen: threads=%u requests/thread=%u batch=%u "
-                "fault_pool=%u churn=%.2f\n",
-                opt.threads, opt.requests, opt.batch, opt.fault_pool,
-                opt.churn);
+    if (opt.open_loop > 0.0) {
+      std::printf("loadgen: open-loop rate=%.0f/s connections=%u batch=%u "
+                  "fault_pool=%u churn=%.2f\n",
+                  opt.open_loop, opt.connections, opt.batch, opt.fault_pool,
+                  opt.churn);
+    } else {
+      std::printf("loadgen: threads=%u requests/thread=%u batch=%u "
+                  "fault_pool=%u churn=%.2f\n",
+                  opt.threads, opt.requests, opt.batch, opt.fault_pool,
+                  opt.churn);
+    }
     std::printf("queries: %llu in %.2fs  ->  %.0f q/s\n",
                 static_cast<unsigned long long>(q), secs,
                 secs > 0 ? static_cast<double>(q) / secs : 0.0);
@@ -459,8 +583,19 @@ int main(int argc, char** argv) {
                   state.latency_us.percentile(95),
                   state.latency_us.percentile(99), state.latency_us.max());
     }
+    if (!state.conn_p99_us.empty()) {
+      std::sort(state.conn_p99_us.begin(), state.conn_p99_us.end());
+      std::printf("per-conn p99 us: median=%.1f max=%.1f (over %zu "
+                  "connections)\n",
+                  state.conn_p99_us[state.conn_p99_us.size() / 2],
+                  state.conn_p99_us.back(), state.conn_p99_us.size());
+    }
     const std::uint64_t attempted =
-        static_cast<std::uint64_t>(opt.threads) * opt.requests;
+        opt.open_loop > 0.0
+            ? static_cast<std::uint64_t>(
+                  (opt.requests + opt.connections - 1) / opt.connections) *
+                  opt.connections
+            : static_cast<std::uint64_t>(opt.threads) * opt.requests;
     const double success_rate =
         attempted == 0 ? 1.0
                        : static_cast<double>(state.successes.load()) /

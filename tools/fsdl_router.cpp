@@ -3,7 +3,8 @@
 //   fsdl_router --shard HOST:PORT[,HOST:PORT...] [--shard ...] ...
 //               [--port P] [--workers N] [--backlog B]
 //               [--recv-timeout-ms T] [--send-timeout-ms T] [--max-queued Q]
-//               [--drain-ms D]
+//               [--drain-ms D] [--data-plane reactor|thread]
+//               [--reactor-threads N] [--batch-window-us U]
 //               [--label-cache C] [--label-cache-shards S]
 //               [--prepared-cache P]
 //               [--ring-seed S] [--ring-points P]
@@ -68,6 +69,8 @@ void on_terminate(int) {
       "                   [--port P] [--workers N] [--backlog B]\n"
       "                   [--recv-timeout-ms T] [--send-timeout-ms T]\n"
       "                   [--max-queued Q] [--drain-ms D]\n"
+      "                   [--data-plane reactor|thread]\n"
+      "                   [--reactor-threads N] [--batch-window-us U]\n"
       "                   [--label-cache C] [--label-cache-shards S]\n"
       "                   [--prepared-cache P]\n"
       "                   [--ring-seed S] [--ring-points P]\n"
@@ -114,6 +117,21 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atol(argv[++k]));
     } else if (arg == "--drain-ms" && k + 1 < argc) {
       options.transport.drain_deadline_ms =
+          static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--data-plane" && k + 1 < argc) {
+      const std::string plane = argv[++k];
+      if (plane == "reactor") {
+        options.transport.data_plane = server::DataPlane::kEpollReactor;
+      } else if (plane == "thread") {
+        options.transport.data_plane = server::DataPlane::kThreadPerConnection;
+      } else {
+        usage("--data-plane must be 'reactor' or 'thread'");
+      }
+    } else if (arg == "--reactor-threads" && k + 1 < argc) {
+      options.transport.reactor_threads =
+          static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--batch-window-us" && k + 1 < argc) {
+      options.transport.batch_window_us =
           static_cast<unsigned>(std::atoi(argv[++k]));
     } else if (arg == "--label-cache" && k + 1 < argc) {
       options.label_cache_capacity =

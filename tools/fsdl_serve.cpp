@@ -3,6 +3,8 @@
 //   fsdl_serve <scheme.fsdl> [--port P] [--workers N] [--cache C] [--warm]
 //              [--backlog B] [--recv-timeout-ms T] [--send-timeout-ms T]
 //              [--request-deadline-ms D] [--max-queued Q] [--drain-ms D]
+//              [--data-plane reactor|thread] [--reactor-threads N]
+//              [--batch-window-us U]
 //              [--metrics-dump FILE] [--metrics-interval S] [--admin]
 //              [--slow-query-us T] [--trace-level off|counters|spans]
 //              [--shard-id I --shard-count K]
@@ -112,6 +114,9 @@ void on_hup(int) {
                "                  [--request-deadline-ms D] [--max-queued "
                "Q]\n"
                "                  [--drain-ms D]\n"
+               "                  [--data-plane reactor|thread]\n"
+               "                  [--reactor-threads N] [--batch-window-us "
+               "U]\n"
                "                  [--metrics-dump FILE] [--metrics-interval "
                "S]\n"
                "                  [--slow-query-us T]\n"
@@ -220,6 +225,19 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::atol(argv[++k]));
     } else if (arg == "--drain-ms" && k + 1 < argc) {
       options.drain_deadline_ms = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--data-plane" && k + 1 < argc) {
+      const std::string plane = argv[++k];
+      if (plane == "reactor") {
+        options.data_plane = server::DataPlane::kEpollReactor;
+      } else if (plane == "thread") {
+        options.data_plane = server::DataPlane::kThreadPerConnection;
+      } else {
+        usage("--data-plane must be 'reactor' or 'thread'");
+      }
+    } else if (arg == "--reactor-threads" && k + 1 < argc) {
+      options.reactor_threads = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--batch-window-us" && k + 1 < argc) {
+      options.batch_window_us = static_cast<unsigned>(std::atoi(argv[++k]));
     } else if (arg == "--shard-id" && k + 1 < argc) {
       expect_shard_id = std::strtol(argv[++k], nullptr, 10);
     } else if (arg == "--shard-count" && k + 1 < argc) {
@@ -315,10 +333,13 @@ int main(int argc, char** argv) {
     const int effective_backlog =
         options.listen_backlog <= 0 ? 64 : options.listen_backlog;
     std::printf("fsdl_serve: n=%u eps=%.3g shard=%u/%u workers=%u cache=%zu "
-                "backlog=%d port=%u%s\n",
+                "backlog=%d plane=%s port=%u%s\n",
                 n, eps, part.shard_id, part.shard_count, options.workers,
-                options.cache_capacity, effective_backlog, srv.port(),
-                options.admin ? " admin=on" : "");
+                options.cache_capacity, effective_backlog,
+                options.data_plane == server::DataPlane::kEpollReactor
+                    ? "reactor"
+                    : "thread",
+                srv.port(), options.admin ? " admin=on" : "");
     std::fflush(stdout);
 
     // Wait for signal bytes; with --metrics-dump the wait doubles as the
