@@ -222,7 +222,8 @@ Dist Client::dist(Vertex s, Vertex t, const FaultSet& faults,
   req.faults = faults;
   req.trace = trace;
   const Response resp = call_idempotent(req);
-  if (!resp.ok() || resp.distances.size() != 1) {
+  // kDegraded carries real distances (served from a cached snapshot).
+  if (!resp.answered() || resp.distances.size() != 1) {
     throw std::runtime_error(std::string("DIST failed (") +
                              status_name(resp.status) + "): " + resp.text);
   }
@@ -238,7 +239,7 @@ std::vector<Dist> Client::batch(
   req.faults = faults;
   req.trace = trace;
   Response resp = call_idempotent(req);
-  if (!resp.ok() || resp.distances.size() != pairs.size()) {
+  if (!resp.answered() || resp.distances.size() != pairs.size()) {
     throw std::runtime_error(std::string("BATCH failed (") +
                              status_name(resp.status) + "): " + resp.text);
   }

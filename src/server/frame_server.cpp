@@ -6,8 +6,12 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -49,6 +53,13 @@ void set_socket_timeout(int fd, int option, unsigned ms) {
 /// dead": per-process/system fd exhaustion, a connection that was reset
 /// before we got to it, and transient resource pressure. Treating these as
 /// fatal is how an accept loop dies permanently at the worst moment.
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 bool transient_accept_errno(int err) {
   switch (err) {
     case EMFILE:
@@ -138,6 +149,10 @@ void FrameServer::start() {
     for (unsigned k = 0; k < transport_.reactor_threads; ++k) {
       reactors_[k]->start(k == 0 ? lfd : -1);
     }
+    started_ms_.store(steady_ms(), std::memory_order_relaxed);
+    if (transport_.watchdog_interval_ms > 0) {
+      watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+    }
     return;
   }
 
@@ -147,6 +162,10 @@ void FrameServer::start() {
   draining_.store(false);
   stop_done_.store(false);
   accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ms_.store(steady_ms(), std::memory_order_relaxed);
+  if (transport_.watchdog_interval_ms > 0) {
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  }
 }
 
 void FrameServer::begin_drain() {
@@ -179,6 +198,14 @@ void FrameServer::stop() {
     }
   }
 
+  // Stop the watchdog before tearing the planes down — it reads them.
+  {
+    std::lock_guard<std::mutex> lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+
   running_.store(false);
   if (transport_.data_plane == DataPlane::kEpollReactor) {
     // Join the loops first (they close their connections on exit), then
@@ -197,6 +224,110 @@ void FrameServer::stop() {
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   if (pool_) pool_->shutdown();
+}
+
+std::uint64_t FrameServer::uptime_s() const noexcept {
+  const std::uint64_t t0 = started_ms_.load(std::memory_order_relaxed);
+  if (t0 == 0) return 0;
+  const std::uint64_t now = steady_ms();
+  return now > t0 ? (now - t0) / 1000 : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog: one sampling thread heartbeating the data plane. Liveness
+// signals, not load signals — each reactor loop iterates at least every
+// 100ms even when idle (epoll_timeout_ms is capped), and a healthy worker
+// pool with queued work retires jobs. A unit frozen across the stall window
+// counts one stall per episode and holds health at "degraded"; only the
+// opt-in abort threshold turns a hard wedge into SIGABRT + core.
+// ---------------------------------------------------------------------------
+
+void FrameServer::watchdog_loop() {
+  struct Unit {
+    std::uint64_t last_count = 0;
+    std::uint64_t frozen_since_ms = 0;
+    bool counted = false;
+  };
+  std::vector<Unit> loops(reactors_.size());
+  Unit workers;
+  const std::uint64_t stall_ms =
+      std::max(1u, transport_.watchdog_stall_ms);
+  std::unique_lock<std::mutex> lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(
+        lock, std::chrono::milliseconds(transport_.watchdog_interval_ms),
+        [this] { return watchdog_stop_; });
+    if (watchdog_stop_) break;
+    const std::uint64_t now = steady_ms();
+    bool any_stalled = false;
+    std::uint64_t worst_frozen_ms = 0;
+    const char* worst_unit = nullptr;
+
+    for (std::size_t k = 0; k < reactors_.size(); ++k) {
+      Unit& u = loops[k];
+      const std::uint64_t hb = reactors_[k]->heartbeat();
+      if (hb != u.last_count || u.frozen_since_ms == 0) {
+        u.last_count = hb;
+        u.frozen_since_ms = now;
+        u.counted = false;
+        continue;
+      }
+      const std::uint64_t frozen = now - u.frozen_since_ms;
+      if (frozen < stall_ms) continue;
+      any_stalled = true;
+      if (!u.counted) {
+        metrics_.record_reactor_stall();
+        u.counted = true;
+      }
+      if (frozen > worst_frozen_ms) {
+        worst_frozen_ms = frozen;
+        worst_unit = "reactor loop";
+      }
+    }
+
+    if (pool_) {
+      const std::uint64_t done = pool_->jobs_completed();
+      // Saturation alone is load, not a stall: the wedge signature is every
+      // worker busy, work waiting, and nothing retiring.
+      const bool wedged_shape = pool_->active_jobs() >= pool_->size() &&
+                                pool_->queue_depth() > 0;
+      if (done != workers.last_count || !wedged_shape ||
+          workers.frozen_since_ms == 0) {
+        workers.last_count = done;
+        workers.frozen_since_ms = now;
+        workers.counted = false;
+      } else {
+        const std::uint64_t frozen = now - workers.frozen_since_ms;
+        if (frozen >= stall_ms) {
+          any_stalled = true;
+          if (!workers.counted) {
+            metrics_.record_worker_stall();
+            workers.counted = true;
+          }
+          if (frozen > worst_frozen_ms) {
+            worst_frozen_ms = frozen;
+            worst_unit = "worker pool";
+          }
+        }
+      }
+    }
+
+    degraded_.store(any_stalled, std::memory_order_relaxed);
+    if (transport_.watchdog_abort_ms != 0 && worst_unit != nullptr &&
+        worst_frozen_ms >= transport_.watchdog_abort_ms) {
+      std::fprintf(
+          stderr,
+          "fsdl watchdog: %s wedged for %" PRIu64
+          " ms (in_flight=%d conns=%" PRId64 " queue=%zu active=%zu); "
+          "aborting for a restart with core\n",
+          worst_unit, worst_frozen_ms,
+          in_flight_.load(std::memory_order_relaxed), open_connections(),
+          pool_ ? pool_->queue_depth() : 0,
+          pool_ ? pool_->active_jobs() : 0);
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -313,7 +444,7 @@ void FrameServer::serve_connection(int fd) {
         resp = error_response("bad request: " + decode_error);
       } else {
         resp = handle(req);
-        if (!resp.ok()) metrics_.record_error();
+        if (!resp.answered()) metrics_.record_error();
       }
       const bool sent = send_response(fd, resp);
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);

@@ -48,6 +48,7 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -111,6 +112,18 @@ struct TransportOptions {
   /// window is the parking horizon for a group stranded with no job in
   /// flight (possible via the shed path); 0 disables coalescing entirely.
   unsigned batch_window_us = 100;
+  /// Watchdog sampling interval, milliseconds; 0 disables the watchdog
+  /// thread entirely. Each sample checks that every reactor loop has
+  /// iterated and that a saturated worker pool is still retiring jobs.
+  unsigned watchdog_interval_ms = 250;
+  /// A unit frozen for this long counts one stall (fsdl_reactor_stalls_total
+  /// / fsdl_worker_stalls_total) and flips health to "degraded" until
+  /// liveness returns. Keep comfortably above the 100ms epoll tick.
+  unsigned watchdog_stall_ms = 2000;
+  /// Opt-in hard-wedge escape hatch: a unit frozen for this long gets a
+  /// state dump on stderr and SIGABRT (so the supervisor restarts a core
+  /// instead of babysitting a zombie). 0 = never abort.
+  unsigned watchdog_abort_ms = 0;
 };
 
 class FrameServer {
@@ -139,8 +152,27 @@ class FrameServer {
     return draining_.load(std::memory_order_acquire);
   }
 
+  /// True while the watchdog observes a stalled reactor loop or a wedged
+  /// worker pool; health_text() implementations report "degraded".
+  bool watchdog_degraded() const noexcept {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+
   /// Bound port (valid after start()).
   std::uint16_t port() const noexcept { return port_; }
+
+  /// Which data plane serves the sockets ("reactor" | "thread"), for the
+  /// HEALTH reply's plane= field.
+  const char* plane_name() const noexcept {
+    return transport_.data_plane == DataPlane::kEpollReactor ? "reactor"
+                                                             : "thread";
+  }
+  /// Whole seconds since start() finished (0 before).
+  std::uint64_t uptime_s() const noexcept;
+  /// Currently open client connections (the fsdl_open_connections gauge).
+  std::int64_t open_connections() const noexcept {
+    return metrics_.open_connections();
+  }
 
   const Metrics& metrics() const noexcept { return metrics_; }
 
@@ -170,6 +202,9 @@ class FrameServer {
   /// serving + the waiting line), or SIZE_MAX when unbounded.
   std::size_t pending_cap() const;
 
+  // --- watchdog ---
+  void watchdog_loop();
+
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
@@ -186,6 +221,14 @@ class FrameServer {
   std::uint16_t port_ = 0;
   std::mutex conn_mu_;
   std::unordered_set<int> conn_fds_;
+
+  std::thread watchdog_thread_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::atomic<bool> degraded_{false};
+  /// Steady-clock ms when start() finished (uptime_s anchor); 0 before.
+  std::atomic<std::uint64_t> started_ms_{0};
 };
 
 }  // namespace fsdl::server

@@ -95,6 +95,15 @@ const char* label_fetch_result_name(LabelFetchResult r) {
   return "?";
 }
 
+const char* degraded_reason_name(DegradedReason r) {
+  switch (r) {
+    case DegradedReason::kStaleLabel: return "stale_label";
+    case DegradedReason::kShardDown: return "shard_down";
+    case DegradedReason::kCount_: break;
+  }
+  return "?";
+}
+
 Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   for (auto& s : stages_) s.store(0, std::memory_order_relaxed);
@@ -103,6 +112,9 @@ Metrics::Metrics() : start_(std::chrono::steady_clock::now()) {
   for (auto& l : label_fetches_) l.store(0, std::memory_order_relaxed);
   label_cache_hits_.store(0, std::memory_order_relaxed);
   label_cache_misses_.store(0, std::memory_order_relaxed);
+  for (auto& d : degraded_) d.store(0, std::memory_order_relaxed);
+  reactor_stalls_.store(0, std::memory_order_relaxed);
+  worker_stalls_.store(0, std::memory_order_relaxed);
   open_connections_.store(0, std::memory_order_relaxed);
   errors_.store(0, std::memory_order_relaxed);
   queries_.store(0, std::memory_order_relaxed);
@@ -219,6 +231,13 @@ std::string Metrics::render(const PreparedCache::Stats& cache) const {
               label_cache(true));
   append_line(out, "router_label_cache_misses: %" PRIu64 "\n",
               label_cache(false));
+  for (unsigned k = 0; k < kNumDegradedReasons; ++k) {
+    append_line(out, "degraded_responses_%s: %" PRIu64 "\n",
+                degraded_reason_name(static_cast<DegradedReason>(k)),
+                degraded_[k].load(std::memory_order_relaxed));
+  }
+  append_line(out, "reactor_stalls: %" PRIu64 "\n", reactor_stalls());
+  append_line(out, "worker_stalls: %" PRIu64 "\n", worker_stalls());
   append_line(out, "label_crc_failures: %" PRIu64 "\n",
               labeling_crc_failures());
   append_line(out, "cache_entries: %zu\n", cache.entries);
@@ -379,6 +398,31 @@ std::string Metrics::render_prometheus(
   append_line(out, "# TYPE fsdl_router_label_cache_misses_total counter\n");
   append_line(out, "fsdl_router_label_cache_misses_total %" PRIu64 "\n",
               label_cache(false));
+
+  append_line(out,
+              "# HELP fsdl_degraded_responses_total Queries answered "
+              "DEGRADED from a cached label snapshot while the owning shard "
+              "was unreachable, by reason.\n");
+  append_line(out, "# TYPE fsdl_degraded_responses_total counter\n");
+  for (unsigned k = 0; k < kNumDegradedReasons; ++k) {
+    append_line(out, "fsdl_degraded_responses_total{reason=\"%s\"} %" PRIu64
+                     "\n",
+                degraded_reason_name(static_cast<DegradedReason>(k)),
+                degraded_[k].load(std::memory_order_relaxed));
+  }
+
+  append_line(out,
+              "# HELP fsdl_reactor_stalls_total Watchdog-observed stall "
+              "windows in which a reactor event loop made no progress.\n");
+  append_line(out, "# TYPE fsdl_reactor_stalls_total counter\n");
+  append_line(out, "fsdl_reactor_stalls_total %" PRIu64 "\n",
+              reactor_stalls());
+  append_line(out,
+              "# HELP fsdl_worker_stalls_total Watchdog-observed stall "
+              "windows in which the saturated worker pool completed no "
+              "jobs.\n");
+  append_line(out, "# TYPE fsdl_worker_stalls_total counter\n");
+  append_line(out, "fsdl_worker_stalls_total %" PRIu64 "\n", worker_stalls());
 
   append_line(out,
               "# HELP fsdl_label_crc_failures_total Label files rejected at "

@@ -111,6 +111,21 @@ inline constexpr unsigned kNumLabelFetchResults =
 
 const char* label_fetch_result_name(LabelFetchResult r);
 
+/// Why a query was answered DEGRADED (router stale-label fallback).
+/// `kStaleLabel`: a cached label from an older epoch than the shard's
+/// last-known one was served. `kShardDown`: the cached label matches the
+/// last-known epoch but its owning shard was unreachable, so freshness
+/// could not be confirmed.
+enum class DegradedReason : unsigned {
+  kStaleLabel = 0,
+  kShardDown,
+  kCount_
+};
+inline constexpr unsigned kNumDegradedReasons =
+    static_cast<unsigned>(DegradedReason::kCount_);
+
+const char* degraded_reason_name(DegradedReason r);
+
 class Metrics {
  public:
   Metrics();
@@ -191,6 +206,21 @@ class Metrics {
         .fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Count one query answered DEGRADED (stale-label fallback) by reason.
+  void record_degraded(DegradedReason r) {
+    degraded_[static_cast<unsigned>(r)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+  }
+
+  /// Count one watchdog-observed stall of a reactor event loop / a worker
+  /// pool that stopped making progress for a full stall window.
+  void record_reactor_stall() {
+    reactor_stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record_worker_stall() {
+    worker_stalls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   std::uint64_t requests(RequestType type) const {
     return counts_[static_cast<unsigned>(type)].load(std::memory_order_relaxed);
   }
@@ -223,6 +253,15 @@ class Metrics {
   std::uint64_t label_cache(bool hit) const {
     return (hit ? label_cache_hits_ : label_cache_misses_)
         .load(std::memory_order_relaxed);
+  }
+  std::uint64_t degraded_total(DegradedReason r) const {
+    return degraded_[static_cast<unsigned>(r)].load(std::memory_order_relaxed);
+  }
+  std::uint64_t reactor_stalls() const {
+    return reactor_stalls_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t worker_stalls() const {
+    return worker_stalls_.load(std::memory_order_relaxed);
   }
   std::int64_t open_connections() const {
     return open_connections_.load(std::memory_order_relaxed);
@@ -261,6 +300,9 @@ class Metrics {
   std::atomic<std::uint64_t> label_fetches_[kNumLabelFetchResults];
   std::atomic<std::uint64_t> label_cache_hits_;
   std::atomic<std::uint64_t> label_cache_misses_;
+  std::atomic<std::uint64_t> degraded_[kNumDegradedReasons];
+  std::atomic<std::uint64_t> reactor_stalls_;
+  std::atomic<std::uint64_t> worker_stalls_;
   std::atomic<std::int64_t> open_connections_;
   mutable std::mutex batch_mu_;
   Histogram batch_size_{1.25};

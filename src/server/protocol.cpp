@@ -13,6 +13,7 @@ const char* status_name(Status s) noexcept {
     case Status::kOverloaded: return "overloaded";
     case Status::kTimeout: return "timeout";
     case Status::kDraining: return "draining";
+    case Status::kDegraded: return "degraded";
   }
   return "?";
 }
@@ -165,6 +166,14 @@ std::vector<std::uint8_t> encode_request(const Request& req) {
 std::vector<std::uint8_t> encode_response(const Response& resp) {
   std::vector<std::uint8_t> out;
   out.push_back(static_cast<std::uint8_t>(resp.status));
+  if (resp.status == Status::kDegraded) {
+    // Serving epoch, then the distances — always count-prefixed (the epoch
+    // word already disambiguates, no need for the ok-body length tricks).
+    put_u64(out, resp.epoch);
+    put_u32(out, static_cast<std::uint32_t>(resp.distances.size()));
+    for (Dist d : resp.distances) put_u32(out, d);
+    return out;
+  }
   if (!resp.ok() || !resp.text.empty()) {
     put_u32(out, static_cast<std::uint32_t>(resp.text.size()));
     out.insert(out.end(), resp.text.begin(), resp.text.end());
@@ -303,11 +312,29 @@ bool decode_response(const std::uint8_t* data, std::size_t size, Response& out,
     error = "empty response payload";
     return false;
   }
-  if (status > static_cast<std::uint8_t>(Status::kDraining)) {
+  if (status > static_cast<std::uint8_t>(Status::kDegraded)) {
     error = "bad response status";
     return false;
   }
   out.status = static_cast<Status>(status);
+  if (out.status == Status::kDegraded) {
+    std::uint32_t n;
+    if (!c.u64(out.epoch) || !c.u32(n)) {
+      error = "truncated degraded response";
+      return false;
+    }
+    if (static_cast<std::uint64_t>(n) * 4 != c.remaining()) {
+      error = "degraded response body length mismatch";
+      return false;
+    }
+    out.distances.reserve(n);
+    for (std::uint32_t k = 0; k < n; ++k) {
+      std::uint32_t d = 0;
+      c.u32(d);
+      out.distances.push_back(d);
+    }
+    return true;
+  }
   if (!out.ok()) {
     std::uint32_t len;
     if (!c.u32(len) || len != c.remaining() || !c.bytes(out.text, len)) {

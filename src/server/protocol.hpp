@@ -74,12 +74,21 @@
 //   ok BATCH: npairs u32, distance u32 × npairs
 //   ok STATS / METRICS: text_len u32, UTF-8 text
 //   ok GET_LABEL: blob_len u32, wire-label blob (see shard/wire_label.hpp)
-//   any non-ok status: text_len u32, UTF-8 message
+//   DEGRADED DIST/BATCH: epoch u64, npairs u32, distance u32 × npairs —
+//     a *served* answer (the distances are real) computed from a cached
+//     label snapshot because the owning shard could not be reached; the
+//     epoch names the snapshot that answered, so a client that cares can
+//     re-verify or re-ask once the fleet heals. Always count-prefixed,
+//     even for a single distance: the epoch word removes the need for the
+//     ok-body length tricks.
+//   any other non-ok status: text_len u32, UTF-8 message
 //
 // Non-ok statuses tell a well-behaved client what to do: kError is a bad
 // request (do not retry), kOverloaded and kTimeout are transient server
 // states (safe to retry an idempotent query after backoff), kDraining means
-// the server is shutting down (reconnect elsewhere / later).
+// the server is shutting down (reconnect elsewhere / later). kDegraded is
+// NOT retryable: it is an answer, just one served from a stale snapshot —
+// retrying it against the same degraded fleet would only burn budget.
 #pragma once
 
 #include <cstdint>
@@ -141,6 +150,11 @@ enum class Status : std::uint8_t {
   kTimeout = 3,
   /// Server is draining for shutdown and takes no new work.
   kDraining = 4,
+  /// The query WAS answered, but from a cached (possibly stale-epoch)
+  /// label snapshot because the owning shard was unreachable. The body
+  /// carries the serving epoch plus the distances; treat it as a success
+  /// with an asterisk, never as a retryable failure.
+  kDegraded = 5,
 };
 
 /// Human-readable status name ("ok", "error", "overloaded", ...).
@@ -162,8 +176,17 @@ struct Response {
   std::vector<Dist> distances;
   /// STATS / METRICS text, or the status message when !ok().
   std::string text;
+  /// kDegraded only: the label-snapshot epoch that served the answer (the
+  /// oldest epoch consulted when labels from several snapshots were mixed).
+  /// 0 for every other status.
+  std::uint64_t epoch = 0;
 
   bool ok() const noexcept { return status == Status::kOk; }
+  /// True when the response carries real distances: kOk, or kDegraded
+  /// (answered from a cached snapshot while a shard was down).
+  bool answered() const noexcept {
+    return status == Status::kOk || status == Status::kDegraded;
+  }
 };
 
 // --- payload codecs (framing excluded; see Framer below) ---

@@ -190,6 +190,7 @@ void Reactor::loop() {
   wheel_.anchor(now_us());
   epoll_event events[128];
   while (!stop_.load(std::memory_order_acquire)) {
+    heartbeat_.fetch_add(1, std::memory_order_relaxed);
     const int n =
         ::epoll_wait(epfd_, events, 128, epoll_timeout_ms());
     if (n < 0 && errno != EINTR) break;
@@ -600,7 +601,7 @@ void Reactor::run_group(std::vector<Pending>& group, bool keyed,
   // PreparedCache by construction. Conn is only carried, never read.
   for (auto& p : group) {
     Response resp = owner_.handle(p.req);
-    if (!resp.ok()) owner_.metrics_.record_error();
+    if (!resp.answered()) owner_.metrics_.record_error();
     Completion comp;
     comp.conn = p.conn;
     comp.seq = p.seq;

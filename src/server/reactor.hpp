@@ -56,6 +56,14 @@ class Reactor {
   /// Wake the loop (thread-safe); used by drain/stop flips.
   void wake();
 
+  /// Loop-iteration counter (thread-safe). The epoll timeout is capped
+  /// (epoll_timeout_ms), so even an idle loop ticks this several times a
+  /// second — a frozen value across a watchdog window means the loop
+  /// thread is wedged, not idle.
+  std::uint64_t heartbeat() const noexcept {
+    return heartbeat_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class FrameServer;
 
@@ -115,6 +123,7 @@ class Reactor {
   std::uint64_t accept_paused_until_us_ = 0;
   std::thread thread_;
   std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> heartbeat_{0};
 
   std::unordered_map<int, ConnPtr> conns_;
   TimerWheel wheel_;

@@ -258,14 +258,31 @@ Response ReplicaClient::hedged_roundtrip(std::size_t idx, const Request& req,
 }
 
 Response ReplicaClient::call_idempotent(const Request& req) {
-  const unsigned max_attempts =
+  return call_idempotent_capped(req, 0, 0.0);
+}
+
+Response ReplicaClient::call_idempotent_capped(const Request& req,
+                                               unsigned attempts,
+                                               double budget_us) {
+  const unsigned configured =
       options_.max_attempts != 0
           ? options_.max_attempts
           : 2 * static_cast<unsigned>(replicas_.size());
+  const unsigned max_attempts =
+      attempts == 0 ? configured : std::min(attempts, configured);
+  const std::uint64_t give_up_ms =
+      budget_us > 0 ? now_ms() + static_cast<std::uint64_t>(budget_us / 1000.0)
+                    : 0;
   std::string last_error = "no endpoint available";
   int last_failed = -1;
   unsigned sweep = 0;
   for (unsigned attempt = 0; attempt < max_attempts; ++attempt) {
+    if (give_up_ms != 0 && attempt > 0 && now_ms() >= give_up_ms) {
+      // The caller's deadline is already blown: a retry could only produce
+      // an answer nobody is waiting for. Stop burning budget.
+      last_error += " (gave up: caller deadline exhausted)";
+      break;
+    }
     if (attempt > 0) ++stats_.retries;
     const int idx = pick_replica();
     if (idx < 0) {
@@ -316,7 +333,8 @@ Dist ReplicaClient::dist(Vertex s, Vertex t, const FaultSet& faults,
   req.faults = faults;
   req.trace = trace;
   const Response resp = call_idempotent(req);
-  if (!resp.ok() || resp.distances.size() != 1) {
+  // kDegraded is an answer (served from a cached snapshot), not a failure.
+  if (!resp.answered() || resp.distances.size() != 1) {
     throw std::runtime_error(std::string("DIST failed (") +
                              status_name(resp.status) + "): " + resp.text);
   }
@@ -332,7 +350,7 @@ std::vector<Dist> ReplicaClient::batch(
   req.faults = faults;
   req.trace = trace;
   Response resp = call_idempotent(req);
-  if (!resp.ok() || resp.distances.size() != pairs.size()) {
+  if (!resp.answered() || resp.distances.size() != pairs.size()) {
     throw std::runtime_error(std::string("BATCH failed (") +
                              status_name(resp.status) + "): " + resp.text);
   }

@@ -120,6 +120,16 @@ class ReplicaClient {
   /// The full failover/hedge loop for any idempotent request.
   Response call_idempotent(const Request& req);
 
+  /// call_idempotent with an external budget: at most `attempts` total
+  /// attempts (0 = the configured default; always clamped to it), and when
+  /// `budget_us` > 0, no attempt after the first is started once that much
+  /// wall time has passed. This is the hook the router's per-shard retry
+  /// budget and deadline-aware give-up hang on: a dead shard gets however
+  /// many sweeps its token bucket can pay for, and none at all once the
+  /// client's own deadline is blown.
+  Response call_idempotent_capped(const Request& req, unsigned attempts,
+                                  double budget_us);
+
   const ReplicaStats& replica_stats() const noexcept { return stats_; }
   std::size_t num_endpoints() const noexcept { return replicas_.size(); }
   const Endpoint& endpoint(std::size_t i) const { return replicas_[i].addr; }

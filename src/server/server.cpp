@@ -30,6 +30,9 @@ TransportOptions Server::transport_of(const ServerOptions& options) {
   t.data_plane = options.data_plane;
   t.reactor_threads = options.reactor_threads;
   t.batch_window_us = options.batch_window_us;
+  t.watchdog_interval_ms = options.watchdog_interval_ms;
+  t.watchdog_stall_ms = options.watchdog_stall_ms;
+  t.watchdog_abort_ms = options.watchdog_abort_ms;
   return t;
 }
 
@@ -114,15 +117,22 @@ std::string Server::reload(const std::string& path) {
 
 std::string Server::health_text() const {
   const auto snap = store_.current();
+  // "degraded" ranks below draining/loading: those already explain why the
+  // server should not take traffic; degraded says it *is* taking traffic
+  // but the watchdog sees a stalled loop or wedged pool.
   const char* state = draining() ? "draining"
                       : reloading_.load(std::memory_order_acquire)
                           ? "loading"
-                          : "ready";
+                      : watchdog_degraded() ? "degraded"
+                                            : "ready";
   const shard::PartitionInfo& part = snap->partition();
-  char buf[128];
-  std::snprintf(buf, sizeof buf, "%s epoch=%" PRIu64 " n=%u shard=%u/%u",
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "%s epoch=%" PRIu64 " n=%u shard=%u/%u plane=%s uptime_s=%" PRIu64
+                " conns=%" PRId64,
                 state, snap->epoch(), snap->oracle().scheme().num_vertices(),
-                part.shard_id, part.shard_count);
+                part.shard_id, part.shard_count, plane_name(), uptime_s(),
+                open_connections());
   return buf;
 }
 

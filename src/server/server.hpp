@@ -84,6 +84,12 @@ struct ServerOptions {
   /// TransportOptions::batch_window_us — leaders never wait, so this only
   /// bounds how long same-key followers ride behind a slow cold prepare.
   unsigned batch_window_us = 100;
+  /// Watchdog knobs, forwarded to TransportOptions (see frame_server.hpp):
+  /// sampling interval (0 disables), stall window (counts a stall + flips
+  /// HEALTH to "degraded"), and the opt-in hard-wedge SIGABRT threshold.
+  unsigned watchdog_interval_ms = 250;
+  unsigned watchdog_stall_ms = 2000;
+  unsigned watchdog_abort_ms = 0;
   /// Slow-query log threshold in microseconds; 0 disables. A DIST/BATCH
   /// request slower than this emits one JSON line (kind="slow_query", the
   /// same flat schema and parser as the distributed-tracing event log:

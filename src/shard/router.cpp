@@ -1,6 +1,7 @@
 #include "shard/router.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <stdexcept>
@@ -11,6 +12,17 @@
 #include "util/timer.hpp"
 
 namespace fsdl::shard {
+
+namespace {
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 using server::FaultKey;
 using server::LabelFetchResult;
@@ -36,7 +48,8 @@ Router::Router(const RouterOptions& options)
                                   " has no replica endpoints");
     }
     channels_.push_back(std::make_unique<ShardChannel>(
-        options.shards[i], options_.replica, &metrics_));
+        options.shards[i], options_.replica, &metrics_,
+        std::max(0.0, options_.retry_budget_cap)));
   }
   const std::size_t cache_shards =
       options.label_cache_shards == 0 ? 1 : options.label_cache_shards;
@@ -94,6 +107,9 @@ void Router::on_start() {
           ", shard " + std::to_string(i) + ": n=" + std::to_string(shard_n) +
           ")");
     }
+    // Seed the staleness baseline: labels cached from now on are fresh
+    // relative to this epoch until the shard reports a different one.
+    channels_[i]->known_epoch.store(epoch, std::memory_order_relaxed);
   }
   total_n_ = n;
 }
@@ -102,25 +118,99 @@ Router::CacheShard& Router::cache_shard(Vertex v) {
   return *cache_[v % cache_.size()];
 }
 
-std::shared_ptr<const VertexLabel> Router::cache_get(Vertex v) {
+std::shared_ptr<const VertexLabel> Router::cache_get(Vertex v,
+                                                     std::uint64_t* epoch) {
   CacheShard& shard = cache_shard(v);
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.index.find(v);
   if (it == shard.index.end()) return nullptr;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (epoch != nullptr) *epoch = it->second->epoch;
   return it->second->label;
 }
 
-void Router::cache_put(Vertex v, std::shared_ptr<const VertexLabel> label) {
+void Router::cache_put(Vertex v, std::shared_ptr<const VertexLabel> label,
+                       std::uint64_t epoch) {
   CacheShard& shard = cache_shard(v);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.index.find(v) != shard.index.end()) return;  // racing fetch won
-  shard.lru.push_front(CacheShard::Entry{v, std::move(label)});
+  const auto it = shard.index.find(v);
+  if (it != shard.index.end()) {
+    // Racing fetch won; still advance the epoch so a refetched stale entry
+    // stops reading as stale.
+    if (epoch != it->second->epoch) {
+      it->second->label = std::move(label);
+      it->second->epoch = epoch;
+    }
+    return;
+  }
+  shard.lru.push_front(CacheShard::Entry{v, std::move(label), epoch});
   shard.index.emplace(v, shard.lru.begin());
   while (shard.lru.size() > per_cache_shard_capacity_) {
     shard.index.erase(shard.lru.back().vertex);
     shard.lru.pop_back();
   }
+}
+
+void Router::settle_budget(ShardChannel& ch, std::uint64_t retries_before,
+                           bool success) {
+  if (options_.retry_budget_cap <= 0) return;
+  const double spent = static_cast<double>(
+      ch.client.replica_stats().retries - retries_before);
+  ch.tokens = std::max(0.0, ch.tokens - spent);
+  if (success) {
+    ch.tokens = std::min(options_.retry_budget_cap,
+                         ch.tokens + options_.retry_budget_refill);
+  }
+}
+
+std::uint64_t Router::probe_interval_ms() const {
+  return options_.probe_interval_ms != 0
+             ? options_.probe_interval_ms
+             : std::max(1u, options_.replica.breaker_cooldown_ms);
+}
+
+void Router::mark_shard_down(std::size_t shard) {
+  ShardChannel& ch = *channels_[shard];
+  if (!ch.down.exchange(true, std::memory_order_relaxed)) {
+    // First probe one interval out: the replicas' breakers need at least a
+    // cooldown before a probe could close them anyway.
+    ch.next_probe_ms.store(steady_now_ms() + probe_interval_ms(),
+                           std::memory_order_relaxed);
+  }
+}
+
+bool Router::shard_available(std::size_t shard) {
+  ShardChannel& ch = *channels_[shard];
+  if (!ch.down.load(std::memory_order_relaxed)) return true;
+  const std::uint64_t now = steady_now_ms();
+  std::uint64_t gate = ch.next_probe_ms.load(std::memory_order_relaxed);
+  if (now < gate ||
+      !ch.next_probe_ms.compare_exchange_strong(gate,
+                                                now + probe_interval_ms(),
+                                                std::memory_order_relaxed)) {
+    return false;  // probed too recently, or another thread owns this slot
+  }
+  // This thread won the probe slot. try_lock only: a cache hit must never
+  // queue behind a failover sweep some other request is burning on this
+  // channel — serving degraded now beats serving fresh eventually.
+  std::unique_lock<std::mutex> lock(ch.mu, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  Request req;
+  req.opcode = Opcode::kHealth;
+  try {
+    const Response resp = ch.client.call_idempotent_capped(req, 1, 0.0);
+    if (resp.ok() && resp.text.rfind("ready", 0) == 0) {
+      std::uint64_t epoch = 0;
+      if (std::sscanf(resp.text.c_str(), "%*s epoch=%" SCNu64, &epoch) == 1) {
+        ch.known_epoch.store(epoch, std::memory_order_relaxed);
+      }
+      ch.down.store(false, std::memory_order_relaxed);
+      return true;
+    }
+  } catch (const std::exception&) {
+    // Still down; the gate already moved one interval forward.
+  }
+  return false;
 }
 
 bool Router::adopt_meta(const WireLabelMeta& meta, std::string& error) {
@@ -147,8 +237,19 @@ bool Router::adopt_meta(const WireLabelMeta& meta, std::string& error) {
 }
 
 std::shared_ptr<const VertexLabel> Router::fetch_label(
-    Vertex v, const server::TraceContext& trace, Response& error) {
+    Vertex v, const server::TraceContext& trace, Response& error,
+    std::uint64_t& epoch) {
   const std::uint32_t owner = partitioner_.owner(v);
+  ShardChannel& ch = *channels_[owner];
+  if (trace.present && trace.deadline_us <= 1) {
+    // Deadline-aware give-up: the client's budget is already gone, so any
+    // answer we fetched would be discarded. Spend nothing.
+    metrics_.record_label_fetch(LabelFetchResult::kUnavailable);
+    error = error_response("shard " + std::to_string(owner) +
+                               " fetch skipped: client deadline exhausted",
+                           Status::kTimeout);
+    return nullptr;
+  }
   Request req;
   req.opcode = Opcode::kGetLabel;
   req.pairs.emplace_back(v, 0);
@@ -161,15 +262,34 @@ std::shared_ptr<const VertexLabel> Router::fetch_label(
   };
   try {
     {
-      std::lock_guard<std::mutex> lock(channels_[owner]->mu);
-      resp = channels_[owner]->client.call_idempotent(req);
+      std::lock_guard<std::mutex> lock(ch.mu);
+      // Retry budget: the first attempt is free, each failover attempt
+      // beyond it must be covered by a token. An empty bucket means a dead
+      // shard costs one attempt per request, not a whole sweep.
+      unsigned attempts = 0;
+      if (options_.retry_budget_cap > 0) {
+        attempts = 1 + static_cast<unsigned>(ch.tokens);
+      }
+      const std::uint64_t retries_before = ch.client.replica_stats().retries;
+      try {
+        resp = ch.client.call_idempotent_capped(
+            req, attempts,
+            trace.present ? static_cast<double>(trace.deadline_us) : 0.0);
+        settle_budget(ch, retries_before, /*success=*/true);
+      } catch (...) {
+        settle_budget(ch, retries_before, /*success=*/false);
+        throw;
+      }
     }
     record_latency();
+    ch.down.store(false, std::memory_order_relaxed);
   } catch (const std::exception& e) {
     record_latency();
     // Every replica of the owning shard failed within the retry budget.
     // TIMEOUT, not ERROR: the query is fine, the shard is not — a client
-    // may retry once a replica comes back.
+    // may retry once a replica comes back. Mark the shard down so cache
+    // hits it owns switch to stale-label serving until a probe clears it.
+    mark_shard_down(owner);
     metrics_.record_label_fetch(LabelFetchResult::kUnavailable);
     error = error_response("shard " + std::to_string(owner) +
                                " unavailable: " + e.what(),
@@ -198,6 +318,8 @@ std::shared_ptr<const VertexLabel> Router::fetch_label(
       error = error_response(std::move(meta_error));
       return nullptr;
     }
+    epoch = wire.meta.epoch;
+    ch.known_epoch.store(epoch, std::memory_order_relaxed);
     metrics_.record_label_fetch(LabelFetchResult::kOk);
     return std::make_shared<const VertexLabel>(std::move(wire.label));
   } catch (const std::exception& e) {
@@ -212,21 +334,50 @@ bool Router::gather_labels(
     const std::vector<Vertex>& needed, QueryTrace trace,
     const server::TraceContext& upstream,
     std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>>& out,
-    Response& error) {
+    Response& error, DegradedServe& degraded) {
   obs::TraceRecorder& rec = trace.rec;
   const std::uint64_t root_span = trace.root_span;
-  // Cache pass first; group the misses by owning shard.
+  // Cache pass first; group the misses by owning shard. Stale entries
+  // (epoch behind the shard's last reported one) are refetched but kept as
+  // fallbacks; entries owned by a down shard are served degraded outright.
   std::vector<std::vector<Vertex>> missing(channels_.size());
+  std::unordered_map<Vertex,
+                     std::pair<std::shared_ptr<const VertexLabel>,
+                               std::uint64_t>>
+      fallback;
   std::size_t miss_shards = 0;
   for (Vertex v : needed) {
     if (out.find(v) != out.end()) continue;
-    if (auto label = cache_get(v)) {
+    const std::uint32_t owner = partitioner_.owner(v);
+    std::uint64_t entry_epoch = 0;
+    auto label = cache_get(v, &entry_epoch);
+    if (label != nullptr) {
       metrics_.record_label_cache(true);
-      out.emplace(v, std::move(label));
-      continue;
+      if (!options_.stale_serve) {
+        out.emplace(v, std::move(label));
+        continue;
+      }
+      const std::uint64_t known =
+          channels_[owner]->known_epoch.load(std::memory_order_relaxed);
+      const bool stale = entry_epoch < known;
+      if (!shard_available(owner)) {
+        // The owner is down: this cached label is the only answer there
+        // is. Serve it and let the response say so.
+        degraded.note(stale, entry_epoch);
+        out.emplace(v, std::move(label));
+        continue;
+      }
+      if (!stale) {
+        out.emplace(v, std::move(label));
+        continue;
+      }
+      // Stale but the shard is up: refetch, keeping the old entry as the
+      // fallback should the shard die under us.
+      fallback.emplace(v, std::make_pair(std::move(label), entry_epoch));
+    } else {
+      metrics_.record_label_cache(false);
     }
-    metrics_.record_label_cache(false);
-    auto& group = missing[partitioner_.owner(v)];
+    auto& group = missing[owner];
     if (group.empty()) ++miss_shards;
     group.push_back(v);
     out.emplace(v, nullptr);  // dedupe placeholder, filled below
@@ -236,8 +387,13 @@ bool Router::gather_labels(
   // Scatter: when the misses span several shards, fetch the groups
   // concurrently — each group serializes on its own shard channel, so the
   // round trips overlap instead of queueing behind one another.
+  struct Fetched {
+    Vertex vertex;
+    std::shared_ptr<const VertexLabel> label;
+    std::uint64_t epoch;
+  };
   struct GroupResult {
-    std::vector<std::pair<Vertex, std::shared_ptr<const VertexLabel>>> labels;
+    std::vector<Fetched> labels;
     Response error;
     bool failed = false;
   };
@@ -262,12 +418,13 @@ bool Router::gather_labels(
                 ? 1
                 : upstream.deadline_us - static_cast<std::uint32_t>(used);
       }
-      auto label = fetch_label(v, ctx, r.error);
+      std::uint64_t label_epoch = 0;
+      auto label = fetch_label(v, ctx, r.error, label_epoch);
       if (label == nullptr) {
         r.failed = true;
         break;
       }
-      r.labels.emplace_back(v, std::move(label));
+      r.labels.push_back(Fetched{v, std::move(label), label_epoch});
     }
     if (rec.active()) {
       rec.add("router.fetch", span, root_span, start,
@@ -287,18 +444,41 @@ bool Router::gather_labels(
     for (auto& t : threads) t.join();
   }
 
-  // Gather: merge the per-shard results; the first failure wins and the
-  // placeholders are scrubbed so a failed gather never leaves null labels
-  // behind for a later code path to dereference.
+  // Gather: merge the per-shard results. A failed group whose failure was
+  // unavailability (not a refusal) may still be rescued: if every vertex it
+  // left unfetched has a stale fallback entry, those are served degraded.
+  // Otherwise the first failure wins and the placeholders are scrubbed so a
+  // failed gather never leaves null labels behind for a later code path to
+  // dereference.
   bool ok = true;
   for (std::size_t s = 0; s < results.size(); ++s) {
-    if (results[s].failed && ok) {
-      ok = false;
-      error = std::move(results[s].error);
+    GroupResult& r = results[s];
+    for (auto& f : r.labels) {
+      cache_put(f.vertex, f.label, f.epoch);
+      out[f.vertex] = std::move(f.label);
     }
-    for (auto& [v, label] : results[s].labels) {
-      cache_put(v, label);
-      out[v] = std::move(label);
+    if (!r.failed) continue;
+    bool rescued =
+        options_.stale_serve && r.error.status == Status::kTimeout;
+    if (rescued) {
+      for (Vertex v : missing[s]) {
+        if (out[v] != nullptr) continue;  // fetched before the failure
+        if (fallback.find(v) == fallback.end()) {
+          rescued = false;
+          break;
+        }
+      }
+    }
+    if (rescued) {
+      for (Vertex v : missing[s]) {
+        if (out[v] != nullptr) continue;
+        auto& fb = fallback[v];
+        degraded.note(true, fb.second);
+        out[v] = std::move(fb.first);
+      }
+    } else if (ok) {
+      ok = false;
+      error = std::move(r.error);
     }
   }
   if (!ok) {
@@ -449,9 +629,15 @@ Response Router::fleet_stats() {
 }
 
 std::string Router::health_text() const {
-  char buf[96];
-  std::snprintf(buf, sizeof buf, "%s n=%u shards=%u",
-                draining() ? "draining" : "ready", total_n_, shard_count());
+  const char* state = draining() ? "draining"
+                     : watchdog_degraded() ? "degraded"
+                                           : "ready";
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s n=%u shards=%u plane=%s uptime_s=%" PRIu64
+                " conns=%" PRId64,
+                state, total_n_, shard_count(), plane_name(), uptime_s(),
+                open_connections());
   return buf;
 }
 
@@ -522,12 +708,13 @@ Response Router::handle_query(const Request& req) {
   std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>> labels;
   labels.reserve(needed.size());
   Response gather_error;
+  DegradedServe degraded;
   const std::uint64_t assemble_span = rec.new_span();
   const std::uint64_t assemble_start = rec.active() ? obs::epoch_us() : 0;
   WallTimer assemble_timer;
   const bool gathered =
       gather_labels(needed, QueryTrace{rec, root_span}, fwd, labels,
-                    gather_error);
+                    gather_error, degraded);
   if (rec.active()) {
     rec.add("router.assemble", assemble_span, root_span, assemble_start,
             assemble_timer.elapsed_us());
@@ -570,6 +757,16 @@ Response Router::handle_query(const Request& req) {
       resp.distances.push_back(r.distance);
       request_stats.accumulate(r.stats);
     }
+  }
+  if (degraded.any()) {
+    // The distances above used at least one cached label whose shard could
+    // not vouch for it. Same decode, honestly labeled: kDegraded + the
+    // oldest snapshot epoch consulted.
+    resp.status = Status::kDegraded;
+    resp.epoch = degraded.oldest_epoch;
+    metrics_.record_degraded(degraded.stale != 0
+                                 ? server::DegradedReason::kStaleLabel
+                                 : server::DegradedReason::kShardDown);
   }
   if (rec.active()) {
     rec.add("router.decode", decode_span, root_span, decode_start,
@@ -625,14 +822,29 @@ Response Router::handle(const Request& req) {
         return error_response(buf);
       }
       const std::uint32_t owner = partitioner_.owner(v);
+      ShardChannel& ch = *channels_[owner];
       try {
-        std::lock_guard<std::mutex> lock(channels_[owner]->mu);
-        resp = channels_[owner]->client.call_idempotent(req);
+        std::lock_guard<std::mutex> lock(ch.mu);
+        unsigned attempts = 0;
+        if (options_.retry_budget_cap > 0) {
+          attempts = 1 + static_cast<unsigned>(ch.tokens);
+        }
+        const std::uint64_t retries_before =
+            ch.client.replica_stats().retries;
+        try {
+          resp = ch.client.call_idempotent_capped(req, attempts, 0.0);
+          settle_budget(ch, retries_before, /*success=*/true);
+        } catch (...) {
+          settle_budget(ch, retries_before, /*success=*/false);
+          throw;
+        }
       } catch (const std::exception& e) {
+        mark_shard_down(owner);
         return error_response("shard " + std::to_string(owner) +
                                   " unavailable: " + e.what(),
                               Status::kTimeout);
       }
+      ch.down.store(false, std::memory_order_relaxed);
       metrics_.record(RequestType::kGetLabel, 0, timer.elapsed_us());
       return resp;
     }

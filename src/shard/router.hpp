@@ -32,8 +32,31 @@
 // wrong distances. When every replica of an owning shard is down, the
 // affected query fails with TIMEOUT (retryable) while queries touching
 // only healthy shards keep answering.
+//
+// Graceful degradation (stale_serve, on by default): availability under
+// shard loss, without ever lying about it.
+//   * stale-label serving: a cache hit whose owning shard is down is served
+//     anyway, and the response is marked Status::kDegraded carrying the
+//     oldest snapshot epoch consulted — the client learns both that the
+//     answer came from a cached snapshot and which one. A cache hit whose
+//     epoch is older than the shard's current one is refetched while the
+//     shard is up; if the fetch fails, the stale entry is the fallback.
+//     Degraded responses are counted per reason in
+//     fsdl_degraded_responses_total{reason=stale_label|shard_down}.
+//   * retry budgets: each shard channel owns a token bucket; failover
+//     attempts beyond a request's first each cost a token and successes
+//     refill it, so a dead shard decays to ~one probe attempt per request
+//     instead of amplifying every query into a full failover sweep.
+//   * deadline-aware give-up: when the client's forwarded deadline is
+//     already blown, the fetch is not attempted at all — no budget is spent
+//     producing an answer nobody is waiting for.
+//   * recovery: while a shard is marked down, the query path sends at most
+//     one inline HEALTH probe per probe interval (default: the breaker
+//     cooldown); a "ready" answer clears the mark, so full non-degraded
+//     service resumes within one breaker half-open cycle of a restart.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -70,6 +93,19 @@ struct RouterOptions {
   std::size_t label_cache_shards = 8;
   /// Distinct fault sets kept prepared (each pins its fault labels).
   std::size_t prepared_capacity = 64;
+  /// Degraded mode: serve cached labels with Status::kDegraded when their
+  /// owning shard is unreachable (see the header comment). Off restores the
+  /// fail-with-TIMEOUT behavior.
+  bool stale_serve = true;
+  /// Retry-budget token bucket per shard: every failover attempt beyond a
+  /// request's first costs one token, every successful call refills
+  /// `retry_budget_refill` (never above the cap). cap <= 0 disables the
+  /// budget and restores unbounded (per-request-capped) failover sweeps.
+  double retry_budget_cap = 8.0;
+  double retry_budget_refill = 0.5;
+  /// Minimum spacing of inline recovery probes to a down shard;
+  /// 0 = replica.breaker_cooldown_ms.
+  unsigned probe_interval_ms = 0;
 };
 
 class Router : public server::FrameServer {
@@ -116,10 +152,23 @@ class Router : public server::FrameServer {
   struct ShardChannel {
     std::mutex mu;
     server::ReplicaClient client;
+    /// Retry-budget tokens left (guarded by mu).
+    double tokens;
+    /// True after a fetch exhausted its replica attempts; read lock-free on
+    /// the cache-hit path, cleared by a successful call or recovery probe.
+    std::atomic<bool> down{false};
+    /// Steady-clock ms gate: no recovery probe before this instant. CAS'd
+    /// forward by whichever query thread wins the probe slot.
+    std::atomic<std::uint64_t> next_probe_ms{0};
+    /// Last snapshot epoch this shard reported (HEALTH at start(), then
+    /// every fetched label). Cache entries below it are stale. Not a max:
+    /// a restarted replica legitimately resets its epoch.
+    std::atomic<std::uint64_t> known_epoch{0};
     ShardChannel(std::vector<server::Endpoint> endpoints,
                  const server::ReplicaClientOptions& options,
-                 server::Metrics* metrics)
-        : client(std::move(endpoints), options, metrics) {}
+                 server::Metrics* metrics, double budget_tokens)
+        : client(std::move(endpoints), options, metrics),
+          tokens(budget_tokens) {}
   };
 
   /// Sharded LRU of decoded labels. Entries are shared_ptr so eviction
@@ -128,6 +177,8 @@ class Router : public server::FrameServer {
     struct Entry {
       Vertex vertex;
       std::shared_ptr<const VertexLabel> label;
+      /// Snapshot epoch the label was fetched under (stale-serve marking).
+      std::uint64_t epoch = 0;
     };
     std::mutex mu;
     std::list<Entry> lru;  // front = most recently used
@@ -146,17 +197,50 @@ class Router : public server::FrameServer {
   };
 
   CacheShard& cache_shard(Vertex v);
-  std::shared_ptr<const VertexLabel> cache_get(Vertex v);
-  void cache_put(Vertex v, std::shared_ptr<const VertexLabel> label);
+  std::shared_ptr<const VertexLabel> cache_get(Vertex v,
+                                               std::uint64_t* epoch = nullptr);
+  void cache_put(Vertex v, std::shared_ptr<const VertexLabel> label,
+                 std::uint64_t epoch);
+
+  /// Degraded-serving bookkeeping for one query: how many labels were
+  /// served from cache despite their shard being down or their epoch being
+  /// behind, and the oldest such epoch (what Response::epoch reports).
+  struct DegradedServe {
+    unsigned stale = 0;
+    unsigned shard_down = 0;
+    std::uint64_t oldest_epoch = ~static_cast<std::uint64_t>(0);
+    bool any() const noexcept { return stale + shard_down != 0; }
+    void note(bool is_stale, std::uint64_t epoch) noexcept {
+      (is_stale ? stale : shard_down) += 1;
+      if (epoch < oldest_epoch) oldest_epoch = epoch;
+    }
+  };
+
+  /// Settle the retry-budget bucket after one call on `ch` (must hold
+  /// ch.mu): retries performed since `retries_before` are paid for, and a
+  /// success earns the refill.
+  void settle_budget(ShardChannel& ch, std::uint64_t retries_before,
+                     bool success);
+  /// Flag `shard` down and arm its probe gate one interval out.
+  void mark_shard_down(std::size_t shard);
+  /// True when `shard` can serve. While it is marked down, at most one
+  /// caller per probe interval sends an inline HEALTH probe (try_lock only
+  /// — never queue a cache hit behind a failover sweep) and clears the
+  /// mark on a "ready" answer.
+  bool shard_available(std::size_t shard);
+  std::uint64_t probe_interval_ms() const;
 
   /// Fetch one vertex's label from its owning shard (cache bypassed by the
   /// caller). `trace` rides the GET_LABEL frame upstream; the round trip is
   /// also recorded into that shard's fetch-latency histogram. On failure
   /// fills `error` and returns nullptr; kError means the shard refused (bad
   /// vertex / incompatible scheme), kTimeout means every replica of the
-  /// shard was unavailable.
+  /// shard was unavailable (or the retry budget / client deadline ran out
+  /// first). On success `epoch` reports the snapshot epoch the label was
+  /// served under.
   std::shared_ptr<const VertexLabel> fetch_label(
-      Vertex v, const server::TraceContext& trace, server::Response& error);
+      Vertex v, const server::TraceContext& trace, server::Response& error,
+      std::uint64_t& epoch);
 
   /// The per-request recorder plus the span the fetch spans hang under.
   /// Bundled into a shard-namespace struct (rather than passed as an
@@ -174,12 +258,13 @@ class Router : public server::FrameServer {
   /// "router.fetch" span under `trace.root_span` (its id is the parent
   /// span the shard sees); `upstream` is the trace context to forward,
   /// minus the budget already spent. Returns false and fills `error` if
-  /// any label could not be obtained.
+  /// any label could not be obtained; labels served despite a down shard
+  /// or a stale epoch are tallied into `degraded` (stale-label serving).
   bool gather_labels(
       const std::vector<Vertex>& needed, QueryTrace trace,
       const server::TraceContext& upstream,
       std::unordered_map<Vertex, std::shared_ptr<const VertexLabel>>& out,
-      server::Response& error);
+      server::Response& error, DegradedServe& degraded);
 
   /// FLEET_STATS body: own prometheus() + render_fleet over one METRICS
   /// scrape of every shard channel.

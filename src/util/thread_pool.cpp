@@ -68,6 +68,7 @@ void ThreadPool::worker_loop() {
       ++active_;
     }
     job();
+    completed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

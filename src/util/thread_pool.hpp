@@ -6,8 +6,10 @@
 // class and keeps its submit/shutdown queue semantics unchanged.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -49,6 +51,13 @@ class ThreadPool {
   /// Workers currently inside a job.
   std::size_t active_jobs() const;
 
+  /// Jobs that have finished, ever. A liveness signal, not an accounting
+  /// one: a watchdog seeing every worker busy *and* this number frozen
+  /// across its stall window knows the pool is wedged, not merely full.
+  std::uint64_t jobs_completed() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
  private:
   void worker_loop();
 
@@ -58,6 +67,7 @@ class ThreadPool {
   std::size_t max_queue_ = 0;
   std::size_t idle_workers_ = 0;
   std::size_t active_ = 0;
+  std::atomic<std::uint64_t> completed_{0};
   bool closed_ = false;
   std::once_flag join_once_;
   std::vector<std::thread> workers_;

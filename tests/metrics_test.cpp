@@ -261,6 +261,40 @@ TEST_F(MetricsTest, FailureCountersFlowIntoBothRenderings) {
   EXPECT_NE(text.find("label_crc_failures:"), std::string::npos) << text;
 }
 
+TEST_F(MetricsTest, DegradedAndStallCountersFlowIntoBothRenderings) {
+  Metrics m;
+  m.record_degraded(DegradedReason::kStaleLabel);
+  m.record_degraded(DegradedReason::kStaleLabel);
+  m.record_degraded(DegradedReason::kShardDown);
+  m.record_reactor_stall();
+  m.record_worker_stall();
+  m.record_worker_stall();
+  m.record_worker_stall();
+  EXPECT_EQ(m.degraded_total(DegradedReason::kStaleLabel), 2u);
+  EXPECT_EQ(m.degraded_total(DegradedReason::kShardDown), 1u);
+  EXPECT_EQ(m.reactor_stalls(), 1u);
+  EXPECT_EQ(m.worker_stalls(), 3u);
+
+  const std::string prom = m.render_prometheus(PreparedCache::Stats{});
+  Exposition exp(prom);
+  EXPECT_EQ(exp.value("fsdl_degraded_responses_total",
+                      {{"reason", "stale_label"}}),
+            2.0);
+  EXPECT_EQ(
+      exp.value("fsdl_degraded_responses_total", {{"reason", "shard_down"}}),
+      1.0);
+  EXPECT_EQ(exp.value("fsdl_reactor_stalls_total", {}), 1.0);
+  EXPECT_EQ(exp.value("fsdl_worker_stalls_total", {}), 3.0);
+
+  const std::string text = m.render(PreparedCache::Stats{});
+  EXPECT_NE(text.find("degraded_responses_stale_label: 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("degraded_responses_shard_down: 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("reactor_stalls: 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("worker_stalls: 3"), std::string::npos) << text;
+}
+
 TEST_F(MetricsTest, StageCountersAccumulateQueryStats) {
   Metrics m;
   QueryStats stats;

@@ -142,10 +142,13 @@ TEST(Protocol, ResponseRoundTrips) {
 
 TEST(Protocol, EveryStatusRoundTrips) {
   for (const Status status : {Status::kOk, Status::kError, Status::kOverloaded,
-                              Status::kTimeout, Status::kDraining}) {
+                              Status::kTimeout, Status::kDraining,
+                              Status::kDegraded}) {
     Response resp;
     resp.status = status;
-    if (status != Status::kOk) resp.text = status_name(status);
+    if (status != Status::kOk && status != Status::kDegraded) {
+      resp.text = status_name(status);
+    }
     const auto bytes = encode_response(resp);
     Response back;
     std::string error;
@@ -154,6 +157,38 @@ TEST(Protocol, EveryStatusRoundTrips) {
     EXPECT_EQ(back.status, status);
     EXPECT_EQ(back.ok(), status == Status::kOk);
   }
+}
+
+TEST(Protocol, DegradedResponseRoundTripsWithEpoch) {
+  // A DEGRADED reply is an *answer*: real distances plus the stale
+  // snapshot epoch that produced them. Both must survive the wire.
+  Response resp;
+  resp.status = Status::kDegraded;
+  resp.epoch = 0x1122334455667788ULL;
+  resp.distances = {3, kInfDist, 9};
+  const auto bytes = encode_response(resp);
+  Response back;
+  std::string error;
+  ASSERT_TRUE(decode_response(bytes.data(), bytes.size(), back, error))
+      << error;
+  EXPECT_EQ(back.status, Status::kDegraded);
+  EXPECT_TRUE(back.answered());
+  EXPECT_FALSE(back.ok());
+  EXPECT_EQ(back.epoch, resp.epoch);
+  EXPECT_EQ(back.distances, resp.distances);
+
+  // Every strict prefix fails cleanly — truncation mid-epoch or mid-count
+  // is caught by the length checks, never misread as a shorter answer.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(decode_response(bytes.data(), cut, back, error))
+        << "prefix of " << cut << " bytes decoded";
+  }
+
+  // A lying distance count (body shorter than npairs claims) is rejected.
+  auto lying = encode_response(resp);
+  lying.resize(lying.size() - 4);  // drop one distance, keep the count
+  EXPECT_FALSE(decode_response(lying.data(), lying.size(), back, error));
+  EXPECT_NE(error.find("degraded"), std::string::npos) << error;
 }
 
 TEST(Protocol, UnknownStatusByteRejected) {

@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -355,6 +356,51 @@ TEST_F(ReactorTest, LegacyPlaneStillShedsWholeConnections) {
   srv.stop();
 }
 
+TEST_F(ReactorTest, WatchdogCountsWorkerWedgeAndFlipsHealthDegraded) {
+  // Wedge the worker pool for real: one held DIST pins the only worker, a
+  // second connection waits in the queue — every worker busy, work queued,
+  // zero jobs retiring. That is the watchdog's wedge signature; saturation
+  // alone (busy workers, empty queue) must never trip it.
+  server::ServerOptions options;
+  options.data_plane = server::DataPlane::kThreadPerConnection;
+  options.workers = 1;
+  options.watchdog_interval_ms = 10;
+  options.watchdog_stall_ms = 60;
+  GatedServer srv(*oracle_, options);
+  srv.start();
+
+  const auto wire = server::frame(encode_request(dist_request(0, 1)));
+  std::optional<server::Client> held(connect_to(srv));
+  held->send_raw(wire.data(), wire.size());
+  srv.wait_entered(1);
+  auto queued = connect_to(srv);
+  queued.send_raw(wire.data(), wire.size());
+
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!srv.watchdog_degraded() &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(srv.watchdog_degraded()) << "watchdog never saw the wedge";
+  EXPECT_GE(srv.metrics().worker_stalls(), 1u);
+  EXPECT_EQ(srv.health_text().rfind("degraded", 0), 0u) << srv.health_text();
+
+  // Unwedge: the held request answers, its connection closes to free the
+  // worker for the queued one, and the watchdog walks HEALTH back to ready.
+  srv.release();
+  EXPECT_TRUE(held->read_response().ok());
+  held.reset();
+  EXPECT_TRUE(queued.read_response().ok());
+  while (srv.watchdog_degraded() &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_FALSE(srv.watchdog_degraded());
+  EXPECT_EQ(srv.health_text().rfind("ready", 0), 0u) << srv.health_text();
+  srv.stop();
+}
+
 TEST(TimerWheelTest, FiresDueEntriesAndKeepsFutureOnes) {
   server::TimerWheel wheel;
   wheel.anchor(1'000'000);
@@ -392,6 +438,73 @@ TEST(TimerWheelTest, FiresDueEntriesAndKeepsFutureOnes) {
   });
   ASSERT_EQ(fired.size(), 3u);
   EXPECT_EQ(fired[2], 5);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, LongHorizonEntrySurvivesManyRotations) {
+  // Default wheel span is slot_us * slots = 2ms * 512 ≈ 1.02s; a 10s
+  // deadline parks in its slot for ~10 full rotations. Every visit before
+  // the stamped due time must keep the entry, not fire or drop it.
+  server::TimerWheel wheel;
+  wheel.anchor(1'000'000);
+  const std::uint64_t due = 1'000'000 + 10'000'000;
+  wheel.schedule({due, 7, 70, 0});
+  std::vector<int> fired;
+  const auto fire = [&](const server::TimerWheel::Entry& e) {
+    fired.push_back(e.fd);
+  };
+  std::uint64_t now = 1'000'000;
+  while (now + 30'000 < due) {
+    now += 30'000;
+    wheel.advance(now, fire);
+    ASSERT_TRUE(fired.empty()) << "fired " << (due - now) << "us early";
+  }
+  EXPECT_EQ(wheel.size(), 1u);
+  wheel.advance(due + wheel.slot_us(), fire);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 7);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, SharedSlotWraparoundSeparatesCycles) {
+  // Tiny wheel (1ms slots, 8 slots = 8ms span): two entries exactly one
+  // rotation apart hash to the same slot. The first visit fires only the
+  // due one; the later-cycle entry stays parked until the wheel wraps
+  // around to its slot again with its time actually passed.
+  server::TimerWheel wheel(1'000, 8);
+  wheel.anchor(100'000);
+  wheel.schedule({103'000, 1, 10, 0});
+  wheel.schedule({111'000, 2, 20, 0});  // same slot, next cycle
+  std::vector<int> fired;
+  const auto fire = [&](const server::TimerWheel::Entry& e) {
+    fired.push_back(e.fd);
+  };
+  wheel.advance(103'500, fire);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(wheel.size(), 1u);
+  wheel.advance(110'000, fire);  // sweeps 7 slots, not the shared one again
+  EXPECT_EQ(fired.size(), 1u);
+  wheel.advance(111'500, fire);  // the wrap lands back on the shared slot
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1], 2);
+  EXPECT_TRUE(wheel.empty());
+}
+
+TEST(TimerWheelTest, GiantAdvanceVisitsEverySlotOnce) {
+  // One advance() jumping hundreds of rotations must still fire everything
+  // due — the sweep clamps to a single rotation (each slot visited once),
+  // which is exactly enough.
+  server::TimerWheel wheel(1'000, 8);
+  wheel.anchor(100'000);
+  wheel.schedule({101'000, 1, 10, 0});
+  wheel.schedule({105'000, 2, 20, 0});
+  wheel.schedule({107'000, 3, 30, 0});
+  std::vector<int> fired;
+  wheel.advance(1'000'000, [&](const server::TimerWheel::Entry& e) {
+    fired.push_back(e.fd);
+  });
+  EXPECT_EQ(fired.size(), 3u);
   EXPECT_TRUE(wheel.empty());
 }
 

@@ -76,6 +76,36 @@ TEST(Partitioner, UnshardedOwnsEverythingAndRejectsZeroShards) {
   EXPECT_THROW(shard::Partitioner(0), std::invalid_argument);
 }
 
+TEST(Partitioner, OwnershipAtVertexIdBoundaries) {
+  // The ids where off-by-one bugs live: vertex 0, n-1, and one past the
+  // end. The first two get a deterministic in-range owner and exactly the
+  // owning piece holds their label bits after a split.
+  const auto scheme = build_grid_scheme();
+  const Vertex n = scheme.num_vertices();
+  const auto pieces = shard::split_labeling(scheme, 2);
+  const shard::Partitioner ring(pieces[0].partition());
+  for (const Vertex v : {static_cast<Vertex>(0), static_cast<Vertex>(n - 1)}) {
+    const std::uint32_t owner = ring.owner(v);
+    ASSERT_LT(owner, 2u);
+    EXPECT_EQ(pieces[owner].label_bits(v), scheme.label_bits(v)) << "v=" << v;
+    EXPECT_EQ(pieces[1 - owner].label_bits(v), 0u) << "v=" << v;
+  }
+
+  // Ownership is a pure hash of the id — the ring knows no n, so owner(n)
+  // is well-defined — but the serving layer must reject one-past-end: the
+  // shard that would own id n refuses it instead of inventing a label.
+  const std::uint32_t past_owner = ring.owner(n);
+  ASSERT_LT(past_owner, 2u);
+  auto serving = shard::split_labeling(scheme, 2);
+  server::Server srv(std::move(serving[past_owner]), server::ServerOptions{});
+  Request get;
+  get.opcode = Opcode::kGetLabel;
+  get.pairs.emplace_back(n, 0);
+  const Response oob = srv.handle(get);
+  EXPECT_EQ(oob.status, Status::kError);
+  EXPECT_NE(oob.text.find("out of range"), std::string::npos) << oob.text;
+}
+
 TEST(ShardStore, SplitStoresExactlyTheOwnedLabels) {
   const auto scheme = build_grid_scheme();
   const auto pieces = shard::split_labeling(scheme, 3);

@@ -1,0 +1,595 @@
+// fsdl_chaosfleet — seeded fleet chaos orchestrator for the degraded-mode
+// acceptance gate.
+//
+//   fsdl_chaosfleet --serve-bin PATH --graph FILE --shard0 FILE --shard1 FILE
+//                   [--base-port P] [--seed S] [--eps E] [--log-dir DIR]
+//                   [--prom-dump FILE]
+//
+// Drives a real 2 shards x 2 replicas fsdl_serve fleet (fork/exec, logs per
+// process under --log-dir) behind an in-process Router, and runs a scripted
+// fault schedule against it while an embedded load generator verifies every
+// answered distance against an exact BFS baseline:
+//
+//   warm      prime the router's label cache (every vertex fetched once)
+//   healthy   baseline load, everything up
+//   replica   SIGKILL one replica of shard 1 (failover inside the router)
+//   pause     SIGSTOP a replica of shard 0 for the whole burst, then
+//             SIGCONT (recv deadlines + failover; a stopped process is the
+//             one failure SIGKILL cannot simulate: the port stays open)
+//   shard     SIGKILL the remaining shard-1 replica — whole-shard loss.
+//             Cached labels keep answering with Status::kDegraded + the
+//             serving epoch; every degraded distance is verified against
+//             the same snapshot oracle, so stale serving is availability
+//             without wrong answers.
+//   restart   bring one shard-1 replica back and require 100% non-degraded
+//             service again within one breaker half-open cycle.
+//
+// SLO gates (any failure exits 1):
+//   * >= 99% of load-phase requests answered, degraded counted separately;
+//   * zero verification violations (degraded included — checked against the
+//     (1+eps) bound of the snapshot that served them);
+//   * every DEGRADED response names a snapshot epoch >= 1;
+//   * the shard-loss phase actually served degraded (count > 0), and the
+//     router's Prometheus dump shows fsdl_degraded_responses_total > 0;
+//   * recovery: a full sweep of shard-1 queries answers OK within the
+//     recovery deadline after the restart.
+//
+// Self-skipping: environments where fork/exec or SIGSTOP job control are
+// unavailable (some sandboxes) make the whole scenario unrunnable; the tool
+// detects that up front and exits 77 (the ctest SKIP_RETURN_CODE).
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/fault_view.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "server/client.hpp"
+#include "server/metrics.hpp"
+#include "server/replica_client.hpp"
+#include "shard/partition.hpp"
+#include "shard/router.hpp"
+#include "util/atomic_file.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace fsdl;
+
+constexpr int kSkipExit = 77;
+
+struct Options {
+  std::string serve_bin;
+  std::string graph_path;
+  std::string shard0;
+  std::string shard1;
+  std::uint16_t base_port = 45131;
+  std::uint64_t seed = 1;
+  double eps = 1.0;
+  std::string log_dir = ".";
+  std::string prom_dump;
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: fsdl_chaosfleet --serve-bin PATH --graph FILE\n"
+               "                       --shard0 FILE --shard1 FILE\n"
+               "                       [--base-port P] [--seed S] [--eps E]\n"
+               "                       [--log-dir DIR] [--prom-dump FILE]\n");
+  std::exit(2);
+}
+
+/// fork/exec one fsdl_serve with stdout+stderr appended to `log_path`.
+/// Returns -1 when fork itself fails (the self-skip signal).
+pid_t spawn(const std::vector<std::string>& argv, const std::string& log_path) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    const int fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd >= 0) {
+      ::dup2(fd, 1);
+      ::dup2(fd, 2);
+      if (fd > 2) ::close(fd);
+    }
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const auto& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execv(args[0], args.data());
+    std::fprintf(stderr, "execv %s: %s\n", args[0], std::strerror(errno));
+    ::_exit(127);
+  }
+  return pid;
+}
+
+void kill_and_reap(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+/// Probe the environment: fork a trivial child, SIGSTOP it, require the
+/// kernel to report it stopped, then SIGCONT + SIGKILL it. Any failure
+/// means the chaos schedule cannot run here.
+bool fork_and_sigstop_work() {
+  const pid_t pid = ::fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    for (;;) ::pause();
+  }
+  bool ok = ::kill(pid, SIGSTOP) == 0;
+  if (ok) {
+    int status = 0;
+    ok = ::waitpid(pid, &status, WUNTRACED) == pid && WIFSTOPPED(status);
+  }
+  ::kill(pid, SIGCONT);
+  kill_and_reap(pid);
+  return ok;
+}
+
+/// Wait until the server on `port` answers HEALTH with "ready...".
+bool wait_ready(std::uint16_t port, unsigned timeout_ms) {
+  server::ClientOptions copt;
+  copt.connect_timeout_ms = 300;
+  copt.recv_timeout_ms = 300;
+  copt.send_timeout_ms = 300;
+  const auto give_up = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < give_up) {
+    try {
+      server::Client probe(copt);
+      probe.connect("127.0.0.1", port);
+      if (probe.health().rfind("ready", 0) == 0) return true;
+    } catch (const std::exception&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return false;
+}
+
+/// δ within [d, (1+ε)d]; infinities must agree exactly.
+bool bound_ok(Dist exact, Dist approx, double eps) {
+  if (exact == kInfDist || approx == kInfDist) return exact == approx;
+  if (approx < exact) return false;
+  return static_cast<double>(approx) <=
+         (1.0 + eps) * static_cast<double>(exact) + 1e-9;
+}
+
+struct Tally {
+  std::uint64_t attempted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t failed = 0;  // transport errors + definitive non-answers
+  std::uint64_t violations = 0;
+  std::uint64_t epoch_zero_degraded = 0;
+
+  std::uint64_t answered() const { return ok + degraded; }
+  void merge(const Tally& t) {
+    attempted += t.attempted;
+    ok += t.ok;
+    degraded += t.degraded;
+    failed += t.failed;
+    violations += t.violations;
+    epoch_zero_degraded += t.epoch_zero_degraded;
+  }
+};
+
+/// The embedded load generator: closed-loop bursts against the router's
+/// front door over a ReplicaClient (single endpoint + retries), every
+/// answered distance verified against the exact baseline.
+struct Loadgen {
+  const Graph& graph;
+  server::ReplicaClient client;
+  Rng rng;
+  double eps;
+
+  Loadgen(const Graph& g, std::uint16_t router_port, std::uint64_t seed,
+          double eps_in)
+      : graph(g),
+        client({{"127.0.0.1", router_port}}, make_ropt(seed)),
+        rng(seed * 7919 + 17),
+        eps(eps_in) {}
+
+  static server::ReplicaClientOptions make_ropt(std::uint64_t seed) {
+    server::ReplicaClientOptions ropt;
+    ropt.client.connect_timeout_ms = 2000;
+    ropt.client.recv_timeout_ms = 3000;
+    ropt.client.send_timeout_ms = 3000;
+    ropt.max_attempts = 5;
+    ropt.seed = seed * 104729 + 3;
+    return ropt;
+  }
+
+  /// One burst of `nreq` DIST requests with endpoints and fault vertices
+  /// drawn from `domain`; `fault_size` faults per request.
+  Tally burst(const char* phase, unsigned nreq,
+              const std::vector<Vertex>& domain, unsigned fault_size) {
+    Tally t;
+    for (unsigned r = 0; r < nreq; ++r) {
+      server::Request req;
+      req.opcode = server::Opcode::kDist;
+      const Vertex s = domain[rng.below(domain.size())];
+      const Vertex tt = domain[rng.below(domain.size())];
+      req.pairs.emplace_back(s, tt);
+      for (unsigned f = 0; f < fault_size; ++f) {
+        req.faults.add_vertex(domain[rng.below(domain.size())]);
+      }
+      ++t.attempted;
+      server::Response resp;
+      try {
+        resp = client.call_idempotent(req);
+      } catch (const std::exception& e) {
+        ++t.failed;
+        if (t.failed <= 3) {
+          std::fprintf(stderr, "[%s] request %u: %s\n", phase, r, e.what());
+        }
+        continue;
+      }
+      if (!resp.answered() || resp.distances.size() != 1) {
+        ++t.failed;
+        if (t.failed <= 3) {
+          std::fprintf(stderr, "[%s] request %u: %s: %s\n", phase, r,
+                       server::status_name(resp.status), resp.text.c_str());
+        }
+        continue;
+      }
+      if (resp.status == server::Status::kDegraded) {
+        ++t.degraded;
+        if (resp.epoch == 0) ++t.epoch_zero_degraded;
+      } else {
+        ++t.ok;
+      }
+      const Dist exact = distance_avoiding(graph, s, tt, req.faults);
+      if (!bound_ok(exact, resp.distances[0], eps)) {
+        ++t.violations;
+        std::fprintf(stderr,
+                     "[%s] violation: d(%u,%u |F|=%zu) exact=%u served=%u "
+                     "epoch=%llu status=%s\n",
+                     phase, s, tt, req.faults.size(), exact, resp.distances[0],
+                     static_cast<unsigned long long>(resp.epoch),
+                     server::status_name(resp.status));
+      }
+    }
+    std::printf("phase %-8s attempted=%llu ok=%llu degraded=%llu failed=%llu "
+                "violations=%llu\n",
+                phase, static_cast<unsigned long long>(t.attempted),
+                static_cast<unsigned long long>(t.ok),
+                static_cast<unsigned long long>(t.degraded),
+                static_cast<unsigned long long>(t.failed),
+                static_cast<unsigned long long>(t.violations));
+    std::fflush(stdout);
+    return t;
+  }
+};
+
+/// Sum every sample of `counter` (all label values) in a Prometheus text
+/// exposition — crude but enough to assert "> 0".
+std::uint64_t prom_total(const std::string& text, const std::string& counter) {
+  std::uint64_t total = 0;
+  std::size_t pos = 0;
+  while ((pos = text.find(counter, pos)) != std::string::npos) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol;
+    if (line.compare(0, 1, "#") == 0) continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    total += std::strtoull(line.c_str() + space + 1, nullptr, 10);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int k = 1; k < argc; ++k) {
+    const std::string arg = argv[k];
+    auto next = [&]() -> const char* {
+      if (k + 1 >= argc) usage("missing argument value");
+      return argv[++k];
+    };
+    if (arg == "--serve-bin") opt.serve_bin = next();
+    else if (arg == "--graph") opt.graph_path = next();
+    else if (arg == "--shard0") opt.shard0 = next();
+    else if (arg == "--shard1") opt.shard1 = next();
+    else if (arg == "--base-port") opt.base_port = static_cast<std::uint16_t>(std::atoi(next()));
+    else if (arg == "--seed") opt.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    else if (arg == "--eps") opt.eps = std::strtod(next(), nullptr);
+    else if (arg == "--log-dir") opt.log_dir = next();
+    else if (arg == "--prom-dump") opt.prom_dump = next();
+    else usage("unknown option");
+  }
+  if (opt.serve_bin.empty() || opt.graph_path.empty() || opt.shard0.empty() ||
+      opt.shard1.empty()) {
+    usage("--serve-bin, --graph, --shard0 and --shard1 are required");
+  }
+
+  if (!fork_and_sigstop_work()) {
+    std::fprintf(stderr,
+                 "chaosfleet: fork/SIGSTOP job control unavailable here; "
+                 "skipping\n");
+    return kSkipExit;
+  }
+
+  Graph graph;
+  try {
+    graph = load_graph(opt.graph_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot load --graph: %s\n", e.what());
+    return 1;
+  }
+  const Vertex n = graph.num_vertices();
+
+  // Fleet layout: shard s replica r listens on base_port + 2s + r.
+  const std::uint16_t port_of[2][2] = {
+      {static_cast<std::uint16_t>(opt.base_port),
+       static_cast<std::uint16_t>(opt.base_port + 1)},
+      {static_cast<std::uint16_t>(opt.base_port + 2),
+       static_cast<std::uint16_t>(opt.base_port + 3)}};
+  pid_t pid_of[2][2] = {{-1, -1}, {-1, -1}};
+  const auto spawn_replica = [&](int s, int r) -> pid_t {
+    const std::string& file = s == 0 ? opt.shard0 : opt.shard1;
+    const std::string log = opt.log_dir + "/chaosfleet_s" + std::to_string(s) +
+                            "r" + std::to_string(r) + ".log";
+    return spawn({opt.serve_bin, file, "--port",
+                  std::to_string(port_of[s][r]), "--workers", "2",
+                  "--shard-id", std::to_string(s), "--shard-count", "2",
+                  "--drain-ms", "200"},
+                 log);
+  };
+  const auto teardown = [&] {
+    for (int s = 0; s < 2; ++s) {
+      for (int r = 0; r < 2; ++r) kill_and_reap(pid_of[s][r]);
+    }
+  };
+
+  for (int s = 0; s < 2; ++s) {
+    for (int r = 0; r < 2; ++r) {
+      pid_of[s][r] = spawn_replica(s, r);
+      if (pid_of[s][r] < 0) {
+        std::fprintf(stderr, "chaosfleet: fork failed; skipping\n");
+        teardown();
+        return kSkipExit;
+      }
+    }
+  }
+  for (int s = 0; s < 2; ++s) {
+    for (int r = 0; r < 2; ++r) {
+      if (!wait_ready(port_of[s][r], 15000)) {
+        std::fprintf(stderr, "replica s%dr%d never became ready (see %s)\n", s,
+                     r, opt.log_dir.c_str());
+        teardown();
+        return 1;
+      }
+    }
+  }
+  std::printf("chaosfleet: 2x2 fleet up on ports %u..%u\n", port_of[0][0],
+              port_of[1][1]);
+
+  int exit_code = 1;
+  try {
+    // In-process router over the subprocess fleet; the front door is real
+    // TCP so kDegraded travels the wire. label_cache_capacity < n keeps
+    // cold misses (and therefore fetch/failover traffic) flowing through
+    // the healthy phases.
+    shard::RouterOptions ro;
+    ro.transport.port = 0;
+    ro.transport.workers = 4;
+    ro.transport.drain_deadline_ms = 200;
+    ro.shards = {{{"127.0.0.1", port_of[0][0]}, {"127.0.0.1", port_of[0][1]}},
+                 {{"127.0.0.1", port_of[1][0]}, {"127.0.0.1", port_of[1][1]}}};
+    ro.replica.client.connect_timeout_ms = 400;
+    ro.replica.client.recv_timeout_ms = 600;
+    ro.replica.client.send_timeout_ms = 600;
+    ro.replica.breaker_cooldown_ms = 300;
+    ro.replica.seed = opt.seed;
+    ro.label_cache_capacity = n < 16 ? n : n - 16;
+    ro.probe_interval_ms = 200;
+    shard::Router router(ro);
+    router.start();
+    std::printf("chaosfleet: router on port %u (label cache %zu of %u)\n",
+                router.port(), ro.label_cache_capacity, n);
+
+    // Vertex ownership under the same ring the shards assert; the hot set
+    // (what the shard-loss phase queries) takes a slice of each shard.
+    const shard::Partitioner partitioner(2);
+    std::vector<Vertex> all, hot, hot_shard1;
+    unsigned hot_per_shard[2] = {0, 0};
+    for (Vertex v = 0; v < n; ++v) {
+      all.push_back(v);
+      const std::uint32_t owner = partitioner.owner(v);
+      if (hot_per_shard[owner] < 10) {
+        ++hot_per_shard[owner];
+        hot.push_back(v);
+        if (owner == 1) hot_shard1.push_back(v);
+      }
+    }
+    if (hot_shard1.empty()) {
+      std::fprintf(stderr, "ring assigned no hot vertices to shard 1?\n");
+      teardown();
+      return 1;
+    }
+
+    Loadgen lg(graph, router.port(), opt.seed, opt.eps);
+    Tally total;
+
+    // Warm: touch every vertex once so the cache learns each label's
+    // epoch. Not part of the SLO math (it is setup, not load).
+    for (Vertex v = 0; v < n; ++v) {
+      server::Request req;
+      req.opcode = server::Opcode::kDist;
+      req.pairs.emplace_back(v, (v + 1) % n);
+      const server::Response resp = lg.client.call_idempotent(req);
+      if (!resp.ok()) {
+        std::fprintf(stderr, "warm query for v=%u failed: %s\n", v,
+                     resp.text.c_str());
+        teardown();
+        return 1;
+      }
+    }
+    std::printf("chaosfleet: cache warmed (%u vertices)\n", n);
+
+    total.merge(lg.burst("healthy", 100, all, 2));
+
+    ::kill(pid_of[1][0], SIGKILL);
+    ::waitpid(pid_of[1][0], nullptr, 0);
+    pid_of[1][0] = -1;
+    std::printf("chaosfleet: SIGKILL shard1 replica0\n");
+    total.merge(lg.burst("replica", 120, all, 2));
+
+    ::kill(pid_of[0][0], SIGSTOP);
+    std::printf("chaosfleet: SIGSTOP shard0 replica0\n");
+    total.merge(lg.burst("pause", 60, all, 2));
+    ::kill(pid_of[0][0], SIGCONT);
+    std::printf("chaosfleet: SIGCONT shard0 replica0\n");
+
+    // Re-pin the hot set (shard 1 is still reachable through its last
+    // replica) so the shard-loss burst finds every label it needs cached.
+    for (Vertex v : hot) {
+      server::Request req;
+      req.opcode = server::Opcode::kDist;
+      req.pairs.emplace_back(v, hot[0]);
+      (void)lg.client.call_idempotent(req);
+    }
+
+    ::kill(pid_of[1][1], SIGKILL);
+    ::waitpid(pid_of[1][1], nullptr, 0);
+    pid_of[1][1] = -1;
+    std::printf("chaosfleet: SIGKILL shard1 replica1 — whole shard 1 down\n");
+
+    // Canary GET_LABEL: in production the first cache-miss fetch discovers
+    // the dead shard; with the hot set fully cached we trigger that
+    // discovery deterministically. Its failure is expected and not load.
+    {
+      server::ClientOptions copt;
+      copt.connect_timeout_ms = 2000;
+      copt.recv_timeout_ms = 3000;
+      copt.send_timeout_ms = 3000;
+      server::Client canary(copt);
+      canary.connect("127.0.0.1", router.port());
+      server::Request req;
+      req.opcode = server::Opcode::kGetLabel;
+      req.pairs.emplace_back(hot_shard1[0], 0);
+      const server::Response resp = canary.call(req);
+      if (resp.answered()) {
+        std::fprintf(stderr,
+                     "canary GET_LABEL for a dead shard's vertex answered "
+                     "(%s)?\n",
+                     server::status_name(resp.status));
+        teardown();
+        return 1;
+      }
+    }
+
+    const Tally shard_loss = lg.burst("shard", 150, hot, 2);
+    total.merge(shard_loss);
+
+    // Restart one shard-1 replica; the router must return to 100%
+    // non-degraded service within its recovery machinery (probe interval +
+    // breaker half-open), generously bounded here at 15s of sweeps.
+    pid_of[1][0] = spawn_replica(1, 0);
+    if (pid_of[1][0] < 0 || !wait_ready(port_of[1][0], 15000)) {
+      std::fprintf(stderr, "restarted shard1 replica0 never became ready\n");
+      teardown();
+      return 1;
+    }
+    std::printf("chaosfleet: shard1 replica0 restarted\n");
+    bool recovered = false;
+    const auto recovery_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (std::chrono::steady_clock::now() < recovery_deadline) {
+      Tally sweep;
+      for (Vertex v : hot_shard1) {
+        server::Request req;
+        req.opcode = server::Opcode::kDist;
+        req.pairs.emplace_back(v, hot_shard1[0]);
+        ++sweep.attempted;
+        server::Response resp;
+        try {
+          resp = lg.client.call_idempotent(req);
+        } catch (const std::exception&) {
+          ++sweep.failed;
+          continue;
+        }
+        if (resp.status == server::Status::kOk) ++sweep.ok;
+        else if (resp.status == server::Status::kDegraded) ++sweep.degraded;
+        else ++sweep.failed;
+      }
+      total.merge(sweep);
+      if (sweep.ok == sweep.attempted) {
+        recovered = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    std::printf("phase recovery %s\n", recovered ? "clean (all ok)" : "FAILED");
+
+    const std::string prom = router.prometheus();
+    if (!opt.prom_dump.empty()) {
+      std::string werr;
+      if (!atomic_write_file(opt.prom_dump, prom, &werr)) {
+        std::fprintf(stderr, "cannot write --prom-dump: %s\n", werr.c_str());
+      }
+    }
+
+    router.stop();
+    teardown();
+
+    // --- The SLO verdict. -------------------------------------------------
+    const double availability =
+        total.attempted == 0
+            ? 0.0
+            : static_cast<double>(total.answered()) /
+                  static_cast<double>(total.attempted);
+    const std::uint64_t degraded_metric =
+        prom_total(prom, "fsdl_degraded_responses_total");
+    std::printf(
+        "chaosfleet summary: attempted=%llu answered=%llu (ok=%llu "
+        "degraded=%llu) failed=%llu availability=%.4f violations=%llu "
+        "degraded_metric=%llu\n",
+        static_cast<unsigned long long>(total.attempted),
+        static_cast<unsigned long long>(total.answered()),
+        static_cast<unsigned long long>(total.ok),
+        static_cast<unsigned long long>(total.degraded),
+        static_cast<unsigned long long>(total.failed), availability,
+        static_cast<unsigned long long>(total.violations),
+        static_cast<unsigned long long>(degraded_metric));
+
+    bool pass = true;
+    const auto gate = [&](bool ok_cond, const char* what) {
+      if (!ok_cond) {
+        std::fprintf(stderr, "SLO FAIL: %s\n", what);
+        pass = false;
+      }
+    };
+    gate(availability >= 0.99, ">= 99% of requests answered");
+    gate(total.violations == 0, "zero verification violations");
+    gate(shard_loss.degraded > 0, "shard-loss phase served degraded answers");
+    gate(total.epoch_zero_degraded == 0,
+         "every degraded response names an epoch >= 1");
+    gate(degraded_metric > 0,
+         "fsdl_degraded_responses_total > 0 in the router dump");
+    gate(recovered, "100% non-degraded service after the restart");
+    std::printf("chaosfleet: %s\n", pass ? "PASS" : "FAIL");
+    exit_code = pass ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaosfleet error: %s\n", e.what());
+    teardown();
+    return 1;
+  }
+  return exit_code;
+}

@@ -148,6 +148,9 @@ struct Options {
   std::exit(2);
 }
 
+/// One counter per wire Status value (kOk..kDegraded).
+constexpr std::size_t kNumStatuses = 6;
+
 struct SharedState {
   Options opt;
   const Graph* graph = nullptr;  // non-null with --verify
@@ -157,6 +160,10 @@ struct SharedState {
   std::atomic<std::uint64_t> transport_errors{0};
   std::atomic<std::uint64_t> queries{0};
   std::atomic<std::uint64_t> successes{0};
+  /// Final replies by wire Status (a retried request counts its last
+  /// reply); degraded is an answer, broken out so SLO math can count it
+  /// separately from ok.
+  std::atomic<std::uint64_t> status_counts[kNumStatuses]{};
   /// Client-side registry shared by every worker's ReplicaClient; its
   /// Prometheus exposition is what --metrics-dump writes.
   server::Metrics client_metrics;
@@ -261,6 +268,7 @@ void worker(SharedState& state, unsigned tid) {
   std::uint64_t local_queries = 0;
   std::uint64_t local_successes = 0;
   std::uint64_t local_transport_errors = 0;
+  std::uint64_t local_status[kNumStatuses] = {};
   try {
     std::size_t fault_idx = tid % state.fault_pool.size();
     for (unsigned r = 0; r < opt.requests; ++r) {
@@ -298,14 +306,18 @@ void worker(SharedState& state, unsigned tid) {
       const std::uint64_t span_start =
           state.trace_file != nullptr ? wall_epoch_us() : 0;
       WallTimer timer;
-      std::vector<Dist> answers;
+      server::Request req;
+      req.opcode =
+          opt.batch == 0 ? server::Opcode::kDist : server::Opcode::kBatch;
+      req.pairs = pairs;
+      req.faults = faults;
+      req.trace = trace;
+      server::Response resp;
       try {
-        if (opt.batch == 0) {
-          answers.push_back(
-              client.dist(pairs[0].first, pairs[0].second, faults, trace));
-        } else {
-          answers = client.batch(pairs, faults, trace);
-        }
+        // The raw Response, not the dist()/batch() shorthands: the final
+        // report breaks replies down by wire status, and a DEGRADED answer
+        // carries the serving epoch the violation report needs.
+        resp = client.call_idempotent(req);
       } catch (const std::exception& e) {
         // Every replica failed (or a hard protocol error). Skip this
         // request; the client reconnects on the next one. Lost requests
@@ -316,6 +328,20 @@ void worker(SharedState& state, unsigned tid) {
         }
         continue;
       }
+      const auto status_idx = static_cast<std::size_t>(resp.status);
+      if (status_idx < kNumStatuses) ++local_status[status_idx];
+      if (!resp.answered() || resp.distances.size() != pairs.size()) {
+        // A definitive non-answer (timeout/overloaded/... survived the
+        // retry policy). Same books as a transport error: the request got
+        // no distances.
+        ++local_transport_errors;
+        if (local_transport_errors <= 3) {
+          std::fprintf(stderr, "thread %u request %u: %s: %s\n", tid, r,
+                       server::status_name(resp.status), resp.text.c_str());
+        }
+        continue;
+      }
+      const std::vector<Dist>& answers = resp.distances;
       local_latency.add(timer.elapsed_us());
       local_queries += answers.size();
       ++local_successes;
@@ -325,6 +351,13 @@ void worker(SharedState& state, unsigned tid) {
       }
 
       if (state.graph != nullptr) {
+        // "epoch=live" for a normal answer (the replica's current labels);
+        // a DEGRADED answer names the stale snapshot that served it, so a
+        // violation is attributable to the exact label version at fault.
+        const std::string epoch_str =
+            resp.status == server::Status::kDegraded
+                ? std::to_string(resp.epoch)
+                : std::string("live");
         for (std::size_t k = 0; k < pairs.size(); ++k) {
           const Dist exact = distance_avoiding(*state.graph, pairs[k].first,
                                                pairs[k].second, faults);
@@ -337,17 +370,19 @@ void worker(SharedState& state, unsigned tid) {
               // id to grep for in the fleet's event logs.
               std::fprintf(stderr,
                            "first violation: s=%u t=%u F={%s} exact=%u "
-                           "served=%u eps=%.3g trace=%016llx%016llx\n",
+                           "served=%u eps=%.3g epoch=%s "
+                           "trace=%016llx%016llx\n",
                            pairs[k].first, pairs[k].second,
                            describe_faults(faults).c_str(), exact, answers[k],
-                           opt.eps,
+                           opt.eps, epoch_str.c_str(),
                            static_cast<unsigned long long>(trace.trace_hi),
                            static_cast<unsigned long long>(trace.trace_lo));
             }
-            std::fprintf(stderr,
-                         "violation: d(%u,%u |F|=%zu) exact=%u served=%u\n",
-                         pairs[k].first, pairs[k].second, faults.size(), exact,
-                         answers[k]);
+            std::fprintf(
+                stderr,
+                "violation: d(%u,%u |F|=%zu) exact=%u served=%u epoch=%s\n",
+                pairs[k].first, pairs[k].second, faults.size(), exact,
+                answers[k], epoch_str.c_str());
           }
         }
       }
@@ -369,6 +404,9 @@ void worker(SharedState& state, unsigned tid) {
   state.queries.fetch_add(local_queries);
   state.successes.fetch_add(local_successes);
   state.transport_errors.fetch_add(local_transport_errors);
+  for (std::size_t s = 0; s < kNumStatuses; ++s) {
+    state.status_counts[s].fetch_add(local_status[s]);
+  }
   std::lock_guard<std::mutex> lock(state.agg_mu);
   state.latency_us.merge(local_latency);
   merge_replica_stats(state.replica_stats, client.replica_stats());
@@ -393,6 +431,7 @@ void open_loop_worker(SharedState& state, unsigned tid, unsigned requests) {
   std::uint64_t local_queries = 0;
   std::uint64_t local_successes = 0;
   std::uint64_t local_transport_errors = 0;
+  std::uint64_t local_status[kNumStatuses] = {};
   const double mean_gap_us =
       1e6 * static_cast<double>(opt.connections) / opt.open_loop;
   auto scheduled = std::chrono::steady_clock::now();
@@ -415,16 +454,14 @@ void open_loop_worker(SharedState& state, unsigned tid, unsigned requests) {
     for (unsigned k = 0; k < npairs; ++k) {
       pairs.emplace_back(rng.vertex(opt.n), rng.vertex(opt.n));
     }
+    server::Request req;
+    req.opcode =
+        opt.batch == 0 ? server::Opcode::kDist : server::Opcode::kBatch;
+    req.pairs = pairs;
+    req.faults = faults;
+    server::Response resp;
     try {
-      std::vector<Dist> answers;
-      if (opt.batch == 0) {
-        answers.push_back(
-            client.dist(pairs[0].first, pairs[0].second, faults));
-      } else {
-        answers = client.batch(pairs, faults);
-      }
-      local_queries += answers.size();
-      ++local_successes;
+      resp = client.call_idempotent(req);
     } catch (const std::exception& e) {
       ++local_transport_errors;
       if (local_transport_errors <= 3) {
@@ -432,6 +469,18 @@ void open_loop_worker(SharedState& state, unsigned tid, unsigned requests) {
       }
       continue;
     }
+    const auto status_idx = static_cast<std::size_t>(resp.status);
+    if (status_idx < kNumStatuses) ++local_status[status_idx];
+    if (!resp.answered() || resp.distances.size() != pairs.size()) {
+      ++local_transport_errors;
+      if (local_transport_errors <= 3) {
+        std::fprintf(stderr, "conn %u request %u: %s: %s\n", tid, r,
+                     server::status_name(resp.status), resp.text.c_str());
+      }
+      continue;
+    }
+    local_queries += resp.distances.size();
+    ++local_successes;
     const double lat_us =
         std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
             std::chrono::steady_clock::now() - scheduled)
@@ -441,6 +490,9 @@ void open_loop_worker(SharedState& state, unsigned tid, unsigned requests) {
   state.queries.fetch_add(local_queries);
   state.successes.fetch_add(local_successes);
   state.transport_errors.fetch_add(local_transport_errors);
+  for (std::size_t s = 0; s < kNumStatuses; ++s) {
+    state.status_counts[s].fetch_add(local_status[s]);
+  }
   std::lock_guard<std::mutex> lock(state.agg_mu);
   if (!local_latency.empty()) {
     state.conn_p99_us.push_back(local_latency.percentile(99));
@@ -600,6 +652,19 @@ int main(int argc, char** argv) {
         attempted == 0 ? 1.0
                        : static_cast<double>(state.successes.load()) /
                              static_cast<double>(attempted);
+    // Final replies by wire status. `ok` and `degraded` are both answers
+    // (degraded = a stale-label serve under shard loss, tagged with the
+    // snapshot epoch); the rest are the definitive non-answers that
+    // survived the retry policy. `error` = kError protocol rejections.
+    const auto sc = [&](server::Status s) {
+      return static_cast<unsigned long long>(
+          state.status_counts[static_cast<std::size_t>(s)].load());
+    };
+    std::printf("status breakdown: ok=%llu degraded=%llu timeout=%llu "
+                "overloaded=%llu draining=%llu error=%llu\n",
+                sc(server::Status::kOk), sc(server::Status::kDegraded),
+                sc(server::Status::kTimeout), sc(server::Status::kOverloaded),
+                sc(server::Status::kDraining), sc(server::Status::kError));
     const server::ReplicaStats& rs = state.replica_stats;
     std::printf(
         "resilience: retries=%llu sheds_seen=%llu transport_errors=%llu "

@@ -12,8 +12,21 @@
 //               [--breaker-cooldown-ms MS] [--hedge-us U]
 //               [--upstream-connect-ms T] [--upstream-recv-ms T]
 //               [--upstream-send-ms T]
+//               [--no-stale-serve] [--retry-budget N] [--retry-refill R]
+//               [--probe-interval-ms MS]
+//               [--watchdog-ms MS] [--watchdog-stall-ms MS]
+//               [--watchdog-abort-ms MS]
 //               [--metrics-dump FILE] [--metrics-interval S]
 //               [--trace-log FILE]
+//
+// Degraded mode (on unless --no-stale-serve): when every replica of an
+// owning shard is down, cached labels it owns are still served and the
+// response is marked DEGRADED with the serving epoch
+// (fsdl_degraded_responses_total{reason=stale_label|shard_down} counts
+// them). --retry-budget/--retry-refill shape the per-shard failover token
+// bucket; --probe-interval-ms paces the inline recovery probes. The
+// watchdog flags control the reactor/worker liveness monitor
+// (--watchdog-abort-ms > 0 turns a hard wedge into SIGABRT + core).
 //
 // Each --shard flag names the replica endpoints of one shard, in shard-id
 // order: the i-th --shard is shard i. The router speaks the ordinary fsdl
@@ -78,6 +91,10 @@ void on_terminate(int) {
       "                   [--breaker-cooldown-ms MS] [--hedge-us U]\n"
       "                   [--upstream-connect-ms T] [--upstream-recv-ms T]\n"
       "                   [--upstream-send-ms T]\n"
+      "                   [--no-stale-serve] [--retry-budget N]\n"
+      "                   [--retry-refill R] [--probe-interval-ms MS]\n"
+      "                   [--watchdog-ms MS] [--watchdog-stall-ms MS]\n"
+      "                   [--watchdog-abort-ms MS]\n"
       "                   [--metrics-dump FILE] [--metrics-interval S]\n"
       "                   [--trace-log FILE]\n"
       "\n"
@@ -164,6 +181,23 @@ int main(int argc, char** argv) {
           static_cast<unsigned>(std::atoi(argv[++k]));
     } else if (arg == "--upstream-send-ms" && k + 1 < argc) {
       options.replica.client.send_timeout_ms =
+          static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--no-stale-serve") {
+      options.stale_serve = false;
+    } else if (arg == "--retry-budget" && k + 1 < argc) {
+      options.retry_budget_cap = std::strtod(argv[++k], nullptr);
+    } else if (arg == "--retry-refill" && k + 1 < argc) {
+      options.retry_budget_refill = std::strtod(argv[++k], nullptr);
+    } else if (arg == "--probe-interval-ms" && k + 1 < argc) {
+      options.probe_interval_ms = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--watchdog-ms" && k + 1 < argc) {
+      options.transport.watchdog_interval_ms =
+          static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--watchdog-stall-ms" && k + 1 < argc) {
+      options.transport.watchdog_stall_ms =
+          static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--watchdog-abort-ms" && k + 1 < argc) {
+      options.transport.watchdog_abort_ms =
           static_cast<unsigned>(std::atoi(argv[++k]));
     } else if (arg == "--metrics-dump" && k + 1 < argc) {
       metrics_path = argv[++k];

@@ -4,7 +4,8 @@
 //              [--backlog B] [--recv-timeout-ms T] [--send-timeout-ms T]
 //              [--request-deadline-ms D] [--max-queued Q] [--drain-ms D]
 //              [--data-plane reactor|thread] [--reactor-threads N]
-//              [--batch-window-us U]
+//              [--batch-window-us U] [--watchdog-ms MS]
+//              [--watchdog-stall-ms MS] [--watchdog-abort-ms MS]
 //              [--metrics-dump FILE] [--metrics-interval S] [--admin]
 //              [--slow-query-us T] [--trace-level off|counters|spans]
 //              [--shard-id I --shard-count K]
@@ -117,6 +118,9 @@ void on_hup(int) {
                "                  [--data-plane reactor|thread]\n"
                "                  [--reactor-threads N] [--batch-window-us "
                "U]\n"
+               "                  [--watchdog-ms MS] [--watchdog-stall-ms "
+               "MS]\n"
+               "                  [--watchdog-abort-ms MS]\n"
                "                  [--metrics-dump FILE] [--metrics-interval "
                "S]\n"
                "                  [--slow-query-us T]\n"
@@ -130,8 +134,11 @@ void on_hup(int) {
   std::exit(2);
 }
 
-/// --health HOST:PORT probe: one HEALTH round-trip, reply on stdout.
-/// Exit codes: 0 ready, 1 alive-but-not-ready, 2 unreachable.
+/// --health HOST:PORT probe: one HEALTH round-trip, reply on stdout — e.g.
+/// "ready epoch=1 n=64 shard=0/2 plane=reactor uptime_s=12 conns=3" (the
+/// state may also be loading/draining, or degraded when the watchdog sees a
+/// stalled loop). Exit codes: 0 ready, 1 alive-but-not-ready (includes
+/// degraded), 2 unreachable.
 int run_health_probe(const std::string& target) {
   using namespace fsdl::server;
   try {
@@ -238,6 +245,12 @@ int main(int argc, char** argv) {
       options.reactor_threads = static_cast<unsigned>(std::atoi(argv[++k]));
     } else if (arg == "--batch-window-us" && k + 1 < argc) {
       options.batch_window_us = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--watchdog-ms" && k + 1 < argc) {
+      options.watchdog_interval_ms = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--watchdog-stall-ms" && k + 1 < argc) {
+      options.watchdog_stall_ms = static_cast<unsigned>(std::atoi(argv[++k]));
+    } else if (arg == "--watchdog-abort-ms" && k + 1 < argc) {
+      options.watchdog_abort_ms = static_cast<unsigned>(std::atoi(argv[++k]));
     } else if (arg == "--shard-id" && k + 1 < argc) {
       expect_shard_id = std::strtol(argv[++k], nullptr, 10);
     } else if (arg == "--shard-count" && k + 1 < argc) {
