@@ -11,6 +11,7 @@
 
 #include "util/atomic_file.hpp"
 #include "util/crc32.hpp"
+#include "util/failpoint.hpp"
 
 namespace fsdl {
 namespace {
@@ -83,6 +84,7 @@ class SchemeSerializer {
   static void save(const ForbiddenSetLabeling& scheme, std::ostream& os) {
     // Serialize the body to memory first: the CRC covers exactly the bytes
     // between the size field and the trailer.
+    if (FSDL_FAILPOINT("serialize.save.alloc")) throw std::bad_alloc();
     std::string body;
     append_pod(body, scheme.params_.epsilon);
     append_pod(body, static_cast<std::uint32_t>(scheme.params_.c));
@@ -153,9 +155,17 @@ class SchemeSerializer {
     std::string body;
     constexpr std::size_t kChunk = 1u << 20;
     while (body.size() < body_size) {
-      const std::size_t want = static_cast<std::size_t>(
-          std::min<std::uint64_t>(kChunk, body_size - body.size()));
+      const auto hit = FSDL_FAILPOINT("serialize.load.read");
+      if (hit.kind == failpoint::HitKind::kErrno) {
+        // A disk error mid-read looks like a failed stream to the loader,
+        // exactly as a real EIO surfaces through istream::read.
+        is.setstate(std::ios::failbit);
+        throw std::runtime_error("labeling file truncated");
+      }
+      const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(
+          hit.clamp(kChunk), body_size - body.size()));
       const std::size_t old = body.size();
+      if (FSDL_FAILPOINT("serialize.load.alloc")) throw std::bad_alloc();
       body.resize(old + want);
       is.read(body.data() + old, static_cast<std::streamsize>(want));
       if (!is) throw std::runtime_error("labeling file truncated");
@@ -163,6 +173,9 @@ class SchemeSerializer {
     std::uint32_t stored_crc = 0;
     is.read(reinterpret_cast<char*>(&stored_crc), sizeof stored_crc);
     if (!is) throw std::runtime_error("labeling file truncated");
+    // Simulated bit rot: corrupt the trailer we just read so the *real*
+    // CRC comparison below fires, counter and all.
+    if (FSDL_FAILPOINT("serialize.load.crc")) stored_crc ^= 1u;
     if (crc32(body.data(), body.size()) != stored_crc) {
       g_crc_failures.fetch_add(1, std::memory_order_relaxed);
       throw LabelingCrcError(
@@ -263,6 +276,9 @@ void save_labeling(const ForbiddenSetLabeling& scheme,
 
 ForbiddenSetLabeling load_labeling(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
+  if (FSDL_FAILPOINT("serialize.load.open")) {
+    is.setstate(std::ios::failbit);
+  }
   if (!is) throw std::runtime_error("cannot open for read: " + path);
   return load_labeling(is);
 }

@@ -16,6 +16,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/failpoint.hpp"
+
 namespace fsdl::server {
 
 namespace {
@@ -68,6 +70,10 @@ void Client::connect(const std::string& host, std::uint16_t port) {
   close();
   host_ = host;
   port_ = port;
+  if (const auto hit = FSDL_FAILPOINT("client.connect")) {
+    throw std::runtime_error(std::string("connect() failed: ") +
+                             std::strerror(hit.err));
+  }
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw std::runtime_error("socket() failed");
   sockaddr_in addr{};
@@ -132,7 +138,14 @@ void Client::close() {
 void Client::send_raw(const std::uint8_t* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    const auto hit = FSDL_FAILPOINT("client.send");
+    ssize_t n;
+    if (hit.kind == failpoint::HitKind::kErrno) {
+      errno = hit.err;
+      n = -1;
+    } else {
+      n = ::send(fd_, data + sent, hit.clamp(size - sent), MSG_NOSIGNAL);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -154,7 +167,14 @@ Response Client::read_response() {
               ? "reply frame failed checksum"
               : "oversized reply frame");
     }
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    const auto hit = FSDL_FAILPOINT("client.recv");
+    ssize_t n;
+    if (hit.kind == failpoint::HitKind::kErrno) {
+      errno = hit.err;
+      n = -1;
+    } else {
+      n = ::recv(fd_, chunk, hit.clamp(sizeof chunk), 0);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "server/reactor.hpp"
+#include "util/failpoint.hpp"
 
 namespace fsdl::server {
 
@@ -26,7 +27,14 @@ namespace {
 bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    const auto hit = FSDL_FAILPOINT("frame_server.send");
+    ssize_t n;
+    if (hit.kind == failpoint::HitKind::kErrno) {
+      errno = hit.err;
+      n = -1;
+    } else {
+      n = ::send(fd, data + sent, hit.clamp(size - sent), MSG_NOSIGNAL);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -403,7 +411,14 @@ void FrameServer::serve_connection(int fd) {
   std::uint8_t chunk[64 * 1024];
   std::vector<std::uint8_t> payload;
   while (running_.load()) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    const auto hit = FSDL_FAILPOINT("frame_server.recv");
+    ssize_t n;
+    if (hit.kind == failpoint::HitKind::kErrno) {
+      errno = hit.err;
+      n = -1;
+    } else {
+      n = ::recv(fd, chunk, hit.clamp(sizeof chunk), 0);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {

@@ -6,6 +6,7 @@
 
 #include "core/serialize.hpp"
 #include "obs/trace.hpp"
+#include "util/failpoint.hpp"
 
 namespace fsdl::server {
 
@@ -240,6 +241,11 @@ std::string Metrics::render(const PreparedCache::Stats& cache) const {
   append_line(out, "worker_stalls: %" PRIu64 "\n", worker_stalls());
   append_line(out, "label_crc_failures: %" PRIu64 "\n",
               labeling_crc_failures());
+  for (const auto& fp : failpoint::stats()) {
+    append_line(out, "failpoint_%s: spec=%s hits=%" PRIu64 " fires=%" PRIu64
+                     "\n",
+                fp.point.c_str(), fp.spec.c_str(), fp.hits, fp.fires);
+  }
   append_line(out, "cache_entries: %zu\n", cache.entries);
   append_line(out, "cache_hits: %" PRIu64 "\n", cache.hits);
   append_line(out, "cache_misses: %" PRIu64 "\n", cache.misses);
@@ -430,6 +436,30 @@ std::string Metrics::render_prometheus(
   append_line(out, "# TYPE fsdl_label_crc_failures_total counter\n");
   append_line(out, "fsdl_label_crc_failures_total %" PRIu64 "\n",
               labeling_crc_failures());
+
+  // Failpoint observability: only rendered while points are armed, so a
+  // torture run can assert its faults actually landed without the armed-
+  // only subsystem polluting production scrapes.
+  const auto failpoints = failpoint::stats();
+  if (!failpoints.empty()) {
+    append_line(out,
+                "# HELP fsdl_failpoint_hits_total Armed failpoint "
+                "evaluations by point (test/torture runs only).\n");
+    append_line(out, "# TYPE fsdl_failpoint_hits_total counter\n");
+    for (const auto& fp : failpoints) {
+      append_line(out, "fsdl_failpoint_hits_total{point=\"%s\"} %" PRIu64 "\n",
+                  fp.point.c_str(), fp.hits);
+    }
+    append_line(out,
+                "# HELP fsdl_failpoint_fires_total Armed failpoint "
+                "evaluations whose trigger injected the fault.\n");
+    append_line(out, "# TYPE fsdl_failpoint_fires_total counter\n");
+    for (const auto& fp : failpoints) {
+      append_line(out,
+                  "fsdl_failpoint_fires_total{point=\"%s\"} %" PRIu64 "\n",
+                  fp.point.c_str(), fp.fires);
+    }
+  }
 
   append_line(out,
               "# HELP fsdl_prepared_cache_entries Fault sets currently "

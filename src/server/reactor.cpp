@@ -16,6 +16,7 @@
 
 #include "server/frame_server.hpp"
 #include "server/prepared_cache.hpp"
+#include "util/failpoint.hpp"
 
 namespace fsdl::server {
 
@@ -402,7 +403,15 @@ void Reactor::on_readable(const ConnPtr& c) {
   std::uint8_t chunk[64 * 1024];
   for (int burst = 0; burst < kMaxReadBursts; ++burst) {
     if (c->reading_paused || c->closed) return;
-    const ssize_t n = ::recv(c->fd, chunk, sizeof chunk, 0);
+    const auto hit = FSDL_FAILPOINT("reactor.recv");
+    const std::size_t want = hit.clamp(sizeof chunk);
+    ssize_t n;
+    if (hit.kind == failpoint::HitKind::kErrno) {
+      errno = hit.err;
+      n = -1;
+    } else {
+      n = ::recv(c->fd, chunk, want, 0);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -425,7 +434,11 @@ void Reactor::on_readable(const ConnPtr& c) {
     c->framer.feed(chunk, static_cast<std::size_t>(n));
     process_frames(c);
     if (c->closed) return;
-    if (static_cast<std::size_t>(n) < sizeof chunk) return;
+    // "Socket drained" means the kernel returned less than we *asked for*
+    // (`want`, which a short-read failpoint may have clamped below the
+    // buffer size) — comparing against the buffer would misread every
+    // injected short read as EOF-adjacent and stall the burst loop.
+    if (static_cast<std::size_t>(n) < want) return;
   }
   // Burst cap hit — level-triggered epoll re-reports the leftovers, after
   // the rest of the ready set has had its turn.
@@ -634,8 +647,15 @@ void Reactor::try_flush(const ConnPtr& c) {
     c->next_send += 1;
   }
   while (c->woff < c->wbuf.size()) {
-    const ssize_t n = ::send(c->fd, c->wbuf.data() + c->woff,
-                             c->wbuf.size() - c->woff, MSG_NOSIGNAL);
+    const auto hit = FSDL_FAILPOINT("reactor.send");
+    ssize_t n;
+    if (hit.kind == failpoint::HitKind::kErrno) {
+      errno = hit.err;
+      n = -1;
+    } else {
+      n = ::send(c->fd, c->wbuf.data() + c->woff,
+                 hit.clamp(c->wbuf.size() - c->woff), MSG_NOSIGNAL);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;

@@ -13,6 +13,7 @@
 #include "core/serialize.hpp"
 #include "obs/trace.hpp"
 #include "shard/wire_label.hpp"
+#include "util/failpoint.hpp"
 #include "util/jsonl.hpp"
 #include "util/timer.hpp"
 
@@ -92,6 +93,10 @@ std::string Server::reload(const std::string& path) {
                     current.ring_points);
       return buf;
     }
+    // Snapshot-build allocation failure: the file read fine but the label
+    // table could not be built. Must classify as error with the old
+    // snapshot still serving, like any other load failure.
+    if (FSDL_FAILPOINT("server.reload.publish")) throw std::bad_alloc();
     auto snapshot = std::make_shared<const LabelSnapshot>(
         std::move(scheme), options_.cache_capacity, options_.cache_shards,
         store_.epoch() + 1);

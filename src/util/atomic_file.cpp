@@ -4,10 +4,13 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+
+#include "util/failpoint.hpp"
 
 namespace fsdl {
 
@@ -17,10 +20,22 @@ void set_error(std::string* error, const std::string& what) {
   if (error != nullptr) *error = what + ": " + std::strerror(errno);
 }
 
+/// One simulated-or-real write(2). A kErrno hit replaces the syscall with
+/// its errno; a kShort hit clamps the request so the caller's partial-write
+/// handling is exercised.
+ssize_t write_at_point(int fd, const char* data, std::size_t size) {
+  const auto hit = FSDL_FAILPOINT("atomic_file.write");
+  if (hit.kind == failpoint::HitKind::kErrno) {
+    errno = hit.err;
+    return -1;
+  }
+  return ::write(fd, data, hit.clamp(size));
+}
+
 bool write_all(int fd, const char* data, std::size_t size) {
   std::size_t written = 0;
   while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
+    const ssize_t n = write_at_point(fd, data + written, size - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -28,6 +43,24 @@ bool write_all(int fd, const char* data, std::size_t size) {
     written += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// fsync(2) with EINTR retry (POSIX allows fsync to be interrupted; giving
+/// up there would fail a save that was one retry away from durable).
+int fsync_retry(int fd, const char* point) {
+  for (;;) {
+    const auto hit = FSDL_FAILPOINT(point);
+    int rc;
+    if (hit.kind == failpoint::HitKind::kErrno) {
+      errno = hit.err;
+      rc = -1;
+    } else {
+      rc = ::fsync(fd);
+    }
+    if (rc == 0) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
 }
 
 }  // namespace
@@ -39,7 +72,14 @@ bool atomic_write_file(const std::string& path, const void* data,
   // same inode and one rename could publish the other's half-written
   // bytes, defeating the torn-file guarantee.
   std::string tmp = path + ".tmp.XXXXXX";
-  const int fd = ::mkstemp(tmp.data());
+  int fd;
+  const auto mkstemp_hit = FSDL_FAILPOINT("atomic_file.mkstemp");
+  if (mkstemp_hit.kind == failpoint::HitKind::kErrno) {
+    errno = mkstemp_hit.err;
+    fd = -1;
+  } else {
+    fd = ::mkstemp(tmp.data());
+  }
   if (fd < 0) {
     set_error(error, "cannot create temp file " + tmp);
     return false;
@@ -56,31 +96,69 @@ bool atomic_write_file(const std::string& path, const void* data,
   // The data must be durable *before* the rename publishes it: otherwise a
   // power cut after the rename could expose a new name with old/empty
   // blocks behind it.
-  if (::fsync(fd) != 0) {
+  if (fsync_retry(fd, "atomic_file.fsync") != 0) {
     set_error(error, "fsync of " + tmp + " failed");
     ::close(fd);
     ::unlink(tmp.c_str());
     return false;
   }
-  if (::close(fd) != 0) {
+  int close_rc;
+  const auto close_hit = FSDL_FAILPOINT("atomic_file.close");
+  if (close_hit.kind == failpoint::HitKind::kErrno) {
+    errno = close_hit.err;
+    close_rc = -1;
+    ::close(fd);  // the real fd must not leak even when simulating failure
+  } else {
+    close_rc = ::close(fd);
+  }
+  if (close_rc != 0) {
     set_error(error, "close of " + tmp + " failed");
     ::unlink(tmp.c_str());
     return false;
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  int rename_rc;
+  const auto rename_hit = FSDL_FAILPOINT("atomic_file.rename");
+  if (rename_hit.kind == failpoint::HitKind::kErrno) {
+    errno = rename_hit.err;
+    rename_rc = -1;
+  } else {
+    rename_rc = ::rename(tmp.c_str(), path.c_str());
+  }
+  if (rename_rc != 0) {
     set_error(error, "rename " + tmp + " -> " + path + " failed");
     ::unlink(tmp.c_str());
     return false;
   }
   // Best effort: persist the directory entry so the rename itself survives
-  // a crash. Failure here is not fatal — the file content is already safe.
+  // a crash. Failure is not fatal — the file content is already safe — but
+  // it narrows the crash-durability window, so say so once per process
+  // instead of swallowing it forever.
   const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const auto dir_hit = FSDL_FAILPOINT("atomic_file.dir_fsync");
+  int dfd;
+  if (dir_hit.kind == failpoint::HitKind::kErrno) {
+    errno = dir_hit.err;
+    dfd = -1;
+  } else {
+    dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  }
+  bool dir_synced = false;
   if (dfd >= 0) {
-    ::fsync(dfd);
+    dir_synced = fsync_retry(dfd, "atomic_file.dir_fsync.sync") == 0;
     ::close(dfd);
   }
+  if (!dir_synced) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+      std::fprintf(stderr,
+                   "fsdl: warning: fsync of directory %s failed (%s); "
+                   "renames may not survive power loss (reported once)\n",
+                   dir.c_str(), std::strerror(errno));
+    }
+  }
+  FSDL_FAILPOINT("atomic_file.done");
   return true;
 }
 

@@ -1,0 +1,339 @@
+#include "util/failpoint.hpp"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace fsdl::failpoint {
+
+namespace detail {
+std::atomic<std::uint32_t> g_armed_points{0};
+}  // namespace detail
+
+namespace {
+
+enum class Action : std::uint8_t { kOff, kErrno, kShort, kDelay, kAbort };
+enum class Trigger : std::uint8_t { kAlways, kNth, kEvery, kProb };
+
+struct State {
+  Action action = Action::kOff;
+  Trigger trigger = Trigger::kAlways;
+  int err = EIO;             // kErrno
+  std::size_t bytes = 1;     // kShort clamp
+  std::uint64_t delay_ms = 0;  // kDelay
+  std::uint64_t n = 1;       // kNth / kEvery operand
+  double p = 1.0;            // kProb probability
+  Rng rng{0};                // kProb stream (seeded at arm time)
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+  std::string spec;          // "action@trigger" as armed, for reporting
+};
+
+/// Registry: point name -> state. An ordered map keeps stats() output
+/// deterministic. All access (including every armed evaluate) is behind
+/// one mutex — the armed path is a test path; the disarmed path never
+/// gets here.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, State> points;
+};
+
+Registry& registry() {
+  // Leaky singleton: failpoints may be evaluated during static destruction
+  // (e.g. an atexit metrics dump calling atomic_write_file).
+  static Registry* r = new Registry();
+  return *r;
+}
+
+/// The errno names the durability/I-O sites actually simulate. Anything
+/// else can be given numerically.
+int parse_errno(const std::string& name, bool& ok) {
+  ok = true;
+  if (name == "EIO") return EIO;
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "EINTR") return EINTR;
+  if (name == "EAGAIN") return EAGAIN;
+  if (name == "ENOMEM") return ENOMEM;
+  if (name == "EMFILE") return EMFILE;
+  if (name == "EPIPE") return EPIPE;
+  if (name == "ECONNRESET") return ECONNRESET;
+  if (name == "ECONNREFUSED") return ECONNREFUSED;
+  if (name == "ETIMEDOUT") return ETIMEDOUT;
+  if (name == "EBADF") return EBADF;
+  if (name == "ENOENT") return ENOENT;
+  if (name == "EACCES") return EACCES;
+  char* end = nullptr;
+  const long v = std::strtol(name.c_str(), &end, 10);
+  if (end != nullptr && *end == '\0' && !name.empty() && v > 0) {
+    return static_cast<int>(v);
+  }
+  ok = false;
+  return 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return s.substr(b, e - b);
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+/// Parse one `point=action[@trigger]` spec into (name, state). Returns ""
+/// or an error message.
+std::string parse_spec(const std::string& raw, std::string& name,
+                       State& st) {
+  const std::string spec = trim(raw);
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    return "bad failpoint spec \"" + spec + "\": want point=action[@trigger]";
+  }
+  name = trim(spec.substr(0, eq));
+  if (name.empty()) {
+    return "bad failpoint spec \"" + spec + "\": empty point name";
+  }
+  std::string rest = trim(spec.substr(eq + 1));
+  st.spec = rest;
+  std::string trigger_str;
+  const std::size_t at = rest.find('@');
+  if (at != std::string::npos) {
+    trigger_str = trim(rest.substr(at + 1));
+    rest = trim(rest.substr(0, at));
+  }
+
+  // Action.
+  if (rest == "off") {
+    st.action = Action::kOff;
+  } else if (rest == "abort") {
+    st.action = Action::kAbort;
+  } else if (rest == "short" || rest.rfind("short:", 0) == 0) {
+    st.action = Action::kShort;
+    st.bytes = 1;
+    if (rest.size() > 6) {
+      std::uint64_t b = 0;
+      if (!parse_u64(rest.substr(6), b) || b == 0) {
+        return "bad failpoint spec \"" + spec +
+               "\": short wants a positive byte count";
+      }
+      st.bytes = static_cast<std::size_t>(b);
+    }
+  } else if (rest.rfind("errno:", 0) == 0) {
+    st.action = Action::kErrno;
+    bool ok = false;
+    st.err = parse_errno(rest.substr(6), ok);
+    if (!ok) {
+      return "bad failpoint spec \"" + spec + "\": unknown errno \"" +
+             rest.substr(6) + "\"";
+    }
+  } else if (rest.rfind("delay:", 0) == 0) {
+    st.action = Action::kDelay;
+    if (!parse_u64(rest.substr(6), st.delay_ms)) {
+      return "bad failpoint spec \"" + spec +
+             "\": delay wants milliseconds";
+    }
+  } else {
+    return "bad failpoint spec \"" + spec + "\": unknown action \"" + rest +
+           "\" (want off|errno:E|short[:N]|delay:MS|abort)";
+  }
+
+  // Trigger.
+  if (trigger_str.empty()) {
+    st.trigger = Trigger::kAlways;
+  } else if (trigger_str.rfind("nth:", 0) == 0) {
+    st.trigger = Trigger::kNth;
+    if (!parse_u64(trigger_str.substr(4), st.n) || st.n == 0) {
+      return "bad failpoint spec \"" + spec +
+             "\": nth wants a positive hit index";
+    }
+  } else if (trigger_str.rfind("every:", 0) == 0) {
+    st.trigger = Trigger::kEvery;
+    if (!parse_u64(trigger_str.substr(6), st.n) || st.n == 0) {
+      return "bad failpoint spec \"" + spec +
+             "\": every wants a positive period";
+    }
+  } else if (trigger_str.rfind("prob:", 0) == 0) {
+    st.trigger = Trigger::kProb;
+    const std::string args = trigger_str.substr(5);
+    const std::size_t colon = args.find(':');
+    const std::string p_str =
+        colon == std::string::npos ? args : args.substr(0, colon);
+    char* end = nullptr;
+    st.p = std::strtod(p_str.c_str(), &end);
+    if (p_str.empty() || end == nullptr || *end != '\0' || st.p < 0.0 ||
+        st.p > 1.0) {
+      return "bad failpoint spec \"" + spec +
+             "\": prob wants a probability in [0,1]";
+    }
+    std::uint64_t seed = 0x5eedULL;
+    if (colon != std::string::npos &&
+        !parse_u64(args.substr(colon + 1), seed)) {
+      return "bad failpoint spec \"" + spec + "\": bad prob seed";
+    }
+    st.rng = Rng(seed);
+  } else {
+    return "bad failpoint spec \"" + spec + "\": unknown trigger \"" +
+           trigger_str + "\" (want nth:N|every:K|prob:P[:SEED])";
+  }
+  return {};
+}
+
+}  // namespace
+
+Hit evaluate(const char* point) noexcept {
+  std::uint64_t delay_ms = 0;
+  bool abort_self = false;
+  Hit hit;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    const auto it = reg.points.find(point);
+    if (it == reg.points.end()) return hit;
+    State& st = it->second;
+    st.hits += 1;
+    bool fire = true;
+    switch (st.trigger) {
+      case Trigger::kAlways:
+        break;
+      case Trigger::kNth:
+        fire = st.hits == st.n;
+        break;
+      case Trigger::kEvery:
+        fire = st.hits % st.n == 0;
+        break;
+      case Trigger::kProb:
+        fire = st.rng.uniform() < st.p;
+        break;
+    }
+    if (!fire) return hit;
+    st.fires += 1;
+    switch (st.action) {
+      case Action::kOff:
+        break;
+      case Action::kErrno:
+        hit.kind = HitKind::kErrno;
+        hit.err = st.err;
+        break;
+      case Action::kShort:
+        hit.kind = HitKind::kShort;
+        hit.max_bytes = st.bytes;
+        break;
+      case Action::kDelay:
+        delay_ms = st.delay_ms;
+        break;
+      case Action::kAbort:
+        abort_self = true;
+        break;
+    }
+  }
+  // Perform delay/abort outside the registry lock so a sleeping point never
+  // blocks other points (or arm/disarm) and the SIGKILL needs no cleanup.
+  if (abort_self) {
+    ::kill(::getpid(), SIGKILL);
+    // SIGKILL cannot be caught; pause until it lands.
+    for (;;) ::pause();
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return hit;
+}
+
+std::string arm(const std::string& spec_list) {
+  // Parse the whole list before touching the registry: a bad spec must not
+  // leave a half-armed process.
+  std::vector<std::pair<std::string, State>> parsed;
+  std::size_t pos = 0;
+  while (pos <= spec_list.size()) {
+    const std::size_t semi = spec_list.find(';', pos);
+    const std::string item = spec_list.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    pos = semi == std::string::npos ? spec_list.size() + 1 : semi + 1;
+    if (trim(item).empty()) continue;  // tolerate trailing/doubled ';'
+    std::string name;
+    State st;
+    const std::string error = parse_spec(item, name, st);
+    if (!error.empty()) return error;
+    parsed.emplace_back(std::move(name), std::move(st));
+  }
+  if (parsed.empty()) {
+    return spec_list.empty() ? std::string{}
+                             : "bad failpoint spec list \"" + spec_list +
+                                   "\": no specs found";
+  }
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& [name, st] : parsed) {
+    reg.points[name] = std::move(st);  // re-arm replaces + resets counters
+  }
+  detail::g_armed_points.store(
+      static_cast<std::uint32_t>(reg.points.size()),
+      std::memory_order_relaxed);
+  return {};
+}
+
+std::string arm_from_env() {
+  const char* env = std::getenv("FSDL_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return {};
+  return arm(env);
+}
+
+void disarm(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.erase(point);
+  detail::g_armed_points.store(
+      static_cast<std::uint32_t>(reg.points.size()),
+      std::memory_order_relaxed);
+}
+
+void disarm_all() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.points.clear();
+  detail::g_armed_points.store(0, std::memory_order_relaxed);
+}
+
+std::vector<PointStats> stats() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<PointStats> out;
+  out.reserve(reg.points.size());
+  for (const auto& [name, st] : reg.points) {
+    out.push_back({name, st.spec, st.hits, st.fires});
+  }
+  return out;
+}
+
+std::uint64_t hits(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fires(const std::string& point) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const auto it = reg.points.find(point);
+  return it == reg.points.end() ? 0 : it->second.fires;
+}
+
+}  // namespace fsdl::failpoint

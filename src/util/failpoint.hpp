@@ -1,0 +1,135 @@
+// Deterministic failpoint injection for the persistence and I/O paths.
+//
+// Every external-failure test this repo had before this file injected
+// faults from *outside* the process (chaos proxy byte mangling, SIGKILL in
+// fsdl_chaosfleet). A failpoint injects the failure at the exact syscall or
+// allocation site where the durability story can actually break: the
+// fsync(2) between a label write and its rename, the chunked read in the
+// label loader, the recv(2) a reactor retries on EINTR. The crash-
+// consistency torture harness (tools/fsdl_crashtest.cpp) sweeps SIGKILL
+// across every one of these points and asserts the invariants the stack
+// promises (atomic publish, old-snapshot-keeps-serving, verified answers
+// under EINTR storms) hold at all of them.
+//
+// Cost contract: a *disarmed* failpoint is one relaxed atomic load and a
+// predictable branch — no string compare, no lock, no map lookup, no
+// per-site static state (the CI nm guard asserts the registry's symbol
+// surface stays exactly the flat API below). The slow path behind
+// evaluate() only runs while at least one point is armed, which only
+// happens in test/torture runs.
+//
+// Arming, from outside the process:
+//   FSDL_FAILPOINTS='atomic_file.fsync=errno:EIO@nth:2;reactor.send=short:1'
+// (tools call arm_from_env() explicitly at startup; the library never reads
+// the environment on its own), or `--failpoints SPEC` on fsdl_serve /
+// fsdl_router. Spec grammar (list separated by ';'):
+//
+//   spec    := point '=' action ['@' trigger]
+//   action  := 'off'                 count hits, inject nothing
+//            | 'errno:' E            fail the op with errno E (name or int);
+//                                    allocation sites map any fire to a
+//                                    thrown std::bad_alloc
+//            | 'short' [':' BYTES]   clamp the I/O request to BYTES (def. 1)
+//            | 'delay:' MS           sleep MS milliseconds, then proceed
+//            | 'abort'               SIGKILL the process at the point
+//   trigger := (none)                fire on every hit
+//            | 'nth:' N              fire exactly on the N-th hit (1-based)
+//            | 'every:' K            fire on every K-th hit (K, 2K, ...)
+//            | 'prob:' P [':' SEED]  fire with probability P from a seeded
+//                                    per-point stream (deterministic across
+//                                    reruns with the same seed)
+//
+// Beware self-sustaining specs: a site that *retries* EINTR (that is the
+// correct behavior being tested) will spin forever under
+// `errno:EINTR@every:1` — storm with every:2 or bound with nth:N.
+//
+// Observability: while armed, hit and fire counts per point are exported as
+// fsdl_failpoint_hits_total{point} / fsdl_failpoint_fires_total{point} in
+// the server's Prometheus exposition, so a torture run can assert its
+// faults actually happened. The point catalog lives in DESIGN.md.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fsdl::failpoint {
+
+namespace detail {
+/// Number of currently armed points. Nonzero is the only signal the fast
+/// path reads; everything else lives behind the registry mutex.
+extern std::atomic<std::uint32_t> g_armed_points;
+}  // namespace detail
+
+/// What an armed, triggered failpoint asks the site to do. Delay and abort
+/// are performed inside evaluate() (the site never sees them); errno and
+/// short injection must be applied by the site because only it knows what
+/// "fail" and "clamp" mean for its operation.
+enum class HitKind : std::uint8_t { kNone = 0, kErrno, kShort };
+
+struct Hit {
+  HitKind kind = HitKind::kNone;
+  /// errno value to simulate (kErrno). Allocation-failure sites treat any
+  /// kErrno fire as "throw std::bad_alloc".
+  int err = 0;
+  /// Byte clamp for short-read/short-write injection (kShort).
+  std::size_t max_bytes = 0;
+
+  explicit operator bool() const noexcept { return kind != HitKind::kNone; }
+
+  /// Clamp an I/O request size for short injection; identity otherwise.
+  std::size_t clamp(std::size_t want) const noexcept {
+    if (kind != HitKind::kShort || want <= max_bytes) return want;
+    return max_bytes == 0 ? 1 : max_bytes;
+  }
+};
+
+/// True while any point is armed — one relaxed load, the whole disarmed
+/// cost of the subsystem.
+inline bool armed() noexcept {
+  return detail::g_armed_points.load(std::memory_order_relaxed) != 0;
+}
+
+/// Slow path: look `point` up in the registry, count the hit, run its
+/// trigger, perform delay/abort actions, and return what the site must
+/// inject. Unarmed points return kNone (and are not counted). Thread-safe
+/// against concurrent evaluate/arm/disarm.
+Hit evaluate(const char* point) noexcept;
+
+/// The one macro sites use. Disarmed: one relaxed atomic load.
+#define FSDL_FAILPOINT(point)                                      \
+  (::fsdl::failpoint::armed() ? ::fsdl::failpoint::evaluate(point) \
+                              : ::fsdl::failpoint::Hit{})
+
+/// Parse and arm a spec list (grammar above). Re-arming a point replaces
+/// its action/trigger and resets its counters. Returns "" on success or a
+/// human-readable parse error naming the offending spec; on error nothing
+/// is armed or changed.
+std::string arm(const std::string& spec_list);
+
+/// Arm from the FSDL_FAILPOINTS environment variable. Unset or empty is a
+/// no-op success. Returns "" or the parse error.
+std::string arm_from_env();
+
+/// Disarm one point (no-op when not armed) / every point.
+void disarm(const std::string& point);
+void disarm_all();
+
+struct PointStats {
+  std::string point;
+  std::string spec;     ///< the action@trigger this point was armed with
+  std::uint64_t hits;   ///< evaluations while armed
+  std::uint64_t fires;  ///< evaluations whose trigger fired
+};
+
+/// Snapshot of every armed point, sorted by name (deterministic output for
+/// tests and the metrics renderer).
+std::vector<PointStats> stats();
+
+/// Hit/fire counters for one point; 0 when it is not armed.
+std::uint64_t hits(const std::string& point);
+std::uint64_t fires(const std::string& point);
+
+}  // namespace fsdl::failpoint

@@ -1,0 +1,250 @@
+// The failpoint registry's own contract: spec parsing (bad specs rejected
+// with messages, nothing half-armed), nth/every/prob trigger determinism
+// across reruns with the same seed, thread-safety of arm/disarm under
+// concurrent hits, and the disarmed path being a true no-op. The sites the
+// registry gates are exercised end to end by tools/fsdl_crashtest.cpp
+// (crashtest_pipeline); this file tests the mechanism itself.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/failpoint.hpp"
+
+namespace fsdl::failpoint {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { disarm_all(); }
+  void TearDown() override { disarm_all(); }
+};
+
+TEST_F(FailpointTest, DisarmedIsNoOp) {
+  EXPECT_FALSE(armed());
+  const Hit hit = FSDL_FAILPOINT("never.armed");
+  EXPECT_FALSE(static_cast<bool>(hit));
+  EXPECT_EQ(hit.kind, HitKind::kNone);
+  EXPECT_EQ(hit.clamp(1234u), 1234u);
+  // Even the slow path is a no-op for unknown points, and nothing counts.
+  EXPECT_FALSE(static_cast<bool>(evaluate("never.armed")));
+  EXPECT_EQ(hits("never.armed"), 0u);
+  EXPECT_TRUE(stats().empty());
+}
+
+TEST_F(FailpointTest, ArmedPointInjectsErrno) {
+  ASSERT_EQ(arm("p=errno:ENOSPC"), "");
+  EXPECT_TRUE(armed());
+  const Hit hit = FSDL_FAILPOINT("p");
+  ASSERT_EQ(hit.kind, HitKind::kErrno);
+  EXPECT_EQ(hit.err, ENOSPC);
+  EXPECT_TRUE(static_cast<bool>(hit));
+  // Other points stay silent.
+  EXPECT_FALSE(static_cast<bool>(FSDL_FAILPOINT("q")));
+  EXPECT_EQ(hits("p"), 1u);
+  EXPECT_EQ(fires("p"), 1u);
+}
+
+TEST_F(FailpointTest, NumericErrnoAccepted) {
+  ASSERT_EQ(arm("p=errno:5"), "");
+  EXPECT_EQ(FSDL_FAILPOINT("p").err, 5);
+}
+
+TEST_F(FailpointTest, ShortClampsRequests) {
+  ASSERT_EQ(arm("p=short:5"), "");
+  Hit hit = FSDL_FAILPOINT("p");
+  ASSERT_EQ(hit.kind, HitKind::kShort);
+  EXPECT_EQ(hit.clamp(100u), 5u);
+  EXPECT_EQ(hit.clamp(3u), 3u);  // never grows a request
+  // Bare `short` defaults to 1 byte.
+  ASSERT_EQ(arm("p=short"), "");
+  EXPECT_EQ(FSDL_FAILPOINT("p").clamp(100u), 1u);
+}
+
+TEST_F(FailpointTest, OffCountsWithoutInjecting) {
+  ASSERT_EQ(arm("p=off"), "");
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_FALSE(static_cast<bool>(FSDL_FAILPOINT("p")));
+  }
+  EXPECT_EQ(hits("p"), 5u);
+  EXPECT_EQ(fires("p"), 5u);  // `off` fires (is counted), injects nothing
+}
+
+TEST_F(FailpointTest, DelayActionSleepsAndProceeds) {
+  ASSERT_EQ(arm("p=delay:20"), "");
+  const auto start = std::chrono::steady_clock::now();
+  const Hit hit = FSDL_FAILPOINT("p");
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_FALSE(static_cast<bool>(hit)) << "delay must not ask for injection";
+  EXPECT_GE(elapsed.count(), 15);
+}
+
+TEST_F(FailpointTest, AbortActionKillsTheProcess) {
+  ASSERT_EQ(arm("p=abort"), "");
+  EXPECT_EXIT((void)evaluate("p"), ::testing::KilledBySignal(SIGKILL), "");
+}
+
+TEST_F(FailpointTest, NthFiresExactlyOnce) {
+  ASSERT_EQ(arm("p=errno:EIO@nth:3"), "");
+  std::vector<bool> fired;
+  for (int k = 0; k < 6; ++k) {
+    fired.push_back(static_cast<bool>(FSDL_FAILPOINT("p")));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(hits("p"), 6u);
+  EXPECT_EQ(fires("p"), 1u);
+}
+
+TEST_F(FailpointTest, EveryFiresPeriodically) {
+  ASSERT_EQ(arm("p=errno:EIO@every:2"), "");
+  std::vector<bool> fired;
+  for (int k = 0; k < 6; ++k) {
+    fired.push_back(static_cast<bool>(FSDL_FAILPOINT("p")));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, true, false, true, false, true}));
+  EXPECT_EQ(fires("p"), 3u);
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicForTheSameSeed) {
+  auto sample = [](const char* spec) {
+    EXPECT_EQ(arm(spec), "");
+    std::vector<bool> outcome;
+    for (int k = 0; k < 200; ++k) {
+      outcome.push_back(static_cast<bool>(FSDL_FAILPOINT("p")));
+    }
+    return outcome;
+  };
+  const auto run1 = sample("p=errno:EIO@prob:0.5:1234");
+  const auto run2 = sample("p=errno:EIO@prob:0.5:1234");
+  EXPECT_EQ(run1, run2) << "same seed must replay the same fault schedule";
+  const auto run3 = sample("p=errno:EIO@prob:0.5:99");
+  EXPECT_NE(run1, run3) << "different seed must give a different schedule";
+  // p=0.5 over 200 trials: neither all-fire nor no-fire.
+  const auto fired = static_cast<std::size_t>(
+      std::count(run1.begin(), run1.end(), true));
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, run1.size());
+}
+
+TEST_F(FailpointTest, ProbZeroAndOneAreExact) {
+  ASSERT_EQ(arm("p=errno:EIO@prob:0"), "");
+  for (int k = 0; k < 50; ++k) EXPECT_FALSE(static_cast<bool>(evaluate("p")));
+  ASSERT_EQ(arm("p=errno:EIO@prob:1"), "");
+  for (int k = 0; k < 50; ++k) EXPECT_TRUE(static_cast<bool>(evaluate("p")));
+}
+
+TEST_F(FailpointTest, ReArmReplacesAndResetsCounters) {
+  ASSERT_EQ(arm("p=errno:EIO"), "");
+  (void)evaluate("p");
+  (void)evaluate("p");
+  EXPECT_EQ(hits("p"), 2u);
+  ASSERT_EQ(arm("p=short:9"), "");
+  EXPECT_EQ(hits("p"), 0u);
+  EXPECT_EQ(FSDL_FAILPOINT("p").kind, HitKind::kShort);
+}
+
+TEST_F(FailpointTest, BadSpecsAreRejectedWithMessages) {
+  const char* bad[] = {
+      "no-equals-sign",
+      "=errno:EIO",
+      "p=",
+      "p=sabotage",
+      "p=errno:EWHATEVER",
+      "p=errno:-3",
+      "p=short:0",
+      "p=delay:soon",
+      "p=errno:EIO@nth:0",
+      "p=errno:EIO@every:0",
+      "p=errno:EIO@prob:1.5",
+      "p=errno:EIO@prob:-0.1",
+      "p=errno:EIO@prob:0.5:xyz",
+      "p=errno:EIO@sometimes",
+  };
+  for (const char* spec : bad) {
+    const std::string error = arm(spec);
+    EXPECT_NE(error, "") << "accepted bad spec: " << spec;
+    EXPECT_NE(error.find("bad failpoint spec"), std::string::npos) << error;
+    EXPECT_FALSE(armed()) << "bad spec \"" << spec << "\" armed something";
+  }
+}
+
+TEST_F(FailpointTest, BadSpecInListArmsNothing) {
+  // All-or-nothing: the valid first spec must not be armed either.
+  EXPECT_NE(arm("good=errno:EIO;bad spec here"), "");
+  EXPECT_FALSE(armed());
+  EXPECT_FALSE(static_cast<bool>(evaluate("good")));
+}
+
+TEST_F(FailpointTest, ListsTolerateWhitespaceAndEmptyItems) {
+  ASSERT_EQ(arm(" a=errno:EIO ; ; b=short:2@every:3 ;"), "");
+  EXPECT_EQ(FSDL_FAILPOINT("a").kind, HitKind::kErrno);
+  const auto all = stats();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].point, "a");
+  EXPECT_EQ(all[1].point, "b");
+  EXPECT_EQ(all[1].spec, "short:2@every:3");
+}
+
+TEST_F(FailpointTest, DisarmOneKeepsTheRest) {
+  ASSERT_EQ(arm("a=errno:EIO;b=errno:EIO"), "");
+  disarm("a");
+  EXPECT_TRUE(armed());
+  EXPECT_FALSE(static_cast<bool>(FSDL_FAILPOINT("a")));
+  EXPECT_TRUE(static_cast<bool>(FSDL_FAILPOINT("b")));
+  disarm_all();
+  EXPECT_FALSE(armed());
+}
+
+TEST_F(FailpointTest, ArmFromEnvironment) {
+  ::unsetenv("FSDL_FAILPOINTS");
+  EXPECT_EQ(arm_from_env(), "") << "unset env must be a no-op success";
+  EXPECT_FALSE(armed());
+  ::setenv("FSDL_FAILPOINTS", "p=errno:EINTR@every:2", 1);
+  EXPECT_EQ(arm_from_env(), "");
+  EXPECT_TRUE(armed());
+  EXPECT_EQ(stats().at(0).spec, "errno:EINTR@every:2");
+  ::setenv("FSDL_FAILPOINTS", "broken", 1);
+  EXPECT_NE(arm_from_env(), "");
+  ::unsetenv("FSDL_FAILPOINTS");
+}
+
+TEST_F(FailpointTest, ConcurrentHitsWithArmDisarmAreSafe) {
+  // 4 hitter threads hammer two points while the main thread re-arms and
+  // disarms under them. Nothing to assert beyond "no crash, no race" (this
+  // test matters most under TSAN) plus sane final counters.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> observed_fires{0};
+  std::vector<std::thread> hitters;
+  for (int t = 0; t < 4; ++t) {
+    hitters.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (FSDL_FAILPOINT("hot")) {
+          observed_fires.fetch_add(1, std::memory_order_relaxed);
+        }
+        (void)FSDL_FAILPOINT("cold");
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    ASSERT_EQ(arm("hot=errno:EIO@every:2;cold=off"), "");
+    std::this_thread::yield();
+    disarm("cold");
+    disarm_all();
+  }
+  ASSERT_EQ(arm("hot=errno:EIO"), "");
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  stop.store(true);
+  for (auto& t : hitters) t.join();
+  EXPECT_GT(observed_fires.load(), 0u);
+  EXPECT_GE(hits("hot"), fires("hot"));
+}
+
+}  // namespace
+}  // namespace fsdl::failpoint

@@ -38,6 +38,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "shard/shard_store.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -273,6 +274,15 @@ int cmd_shard_merge(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Fault-injection arming for save/load torture (tools/fsdl_crashtest.cpp
+  // drives `fsdl build` children with FSDL_FAILPOINTS set).
+  {
+    const std::string error = failpoint::arm_from_env();
+    if (!error.empty()) {
+      std::fprintf(stderr, "fsdl: FSDL_FAILPOINTS: %s\n", error.c_str());
+      return 2;
+    }
+  }
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);

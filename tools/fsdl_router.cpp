@@ -64,6 +64,7 @@
 #include "server/replica_client.hpp"
 #include "shard/router.hpp"
 #include "util/atomic_file.hpp"
+#include "util/failpoint.hpp"
 
 namespace {
 
@@ -98,6 +99,7 @@ void on_terminate(int) {
       "                   [--metrics-dump FILE] [--metrics-interval S]\n"
       "                   [--trace-log FILE]\n"
       "\n"
+      "                   [--failpoints SPEC]   (also: env FSDL_FAILPOINTS)\n"
       "The i-th --shard flag lists the replica endpoints of shard i.\n");
   std::exit(2);
 }
@@ -106,12 +108,23 @@ void on_terminate(int) {
 
 int main(int argc, char** argv) {
   using namespace fsdl;
+  {
+    const std::string error = failpoint::arm_from_env();
+    if (!error.empty()) {
+      std::fprintf(stderr, "fsdl_router: FSDL_FAILPOINTS: %s\n",
+                   error.c_str());
+      return 2;
+    }
+  }
   shard::RouterOptions options;
   std::string metrics_path;
   double metrics_interval_s = 5.0;
   for (int k = 1; k < argc; ++k) {
     const std::string arg = argv[k];
-    if (arg == "--shard" && k + 1 < argc) {
+    if (arg == "--failpoints" && k + 1 < argc) {
+      const std::string error = failpoint::arm(argv[++k]);
+      if (!error.empty()) usage(error.c_str());
+    } else if (arg == "--shard" && k + 1 < argc) {
       try {
         options.shards.push_back(server::parse_endpoints(argv[++k]));
       } catch (const std::exception& e) {

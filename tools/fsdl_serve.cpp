@@ -84,6 +84,7 @@
 #include "server/replica_client.hpp"
 #include "server/server.hpp"
 #include "util/atomic_file.hpp"
+#include "util/failpoint.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -127,6 +128,8 @@ void on_hup(int) {
                "                  [--trace-level off|counters|spans]\n"
                "                  [--trace-log FILE]\n"
                "                  [--shard-id I --shard-count K]\n"
+               "                  [--failpoints SPEC]   (also: env "
+               "FSDL_FAILPOINTS)\n"
                "       fsdl_serve <graph.edges> --build [--build-threads N]\n"
                "                  [--build-eps E] [--build-compact C] [...]\n"
                "       fsdl_serve --health HOST:PORT\n"
@@ -182,6 +185,13 @@ int run_fleet_stats_probe(const std::string& target) {
 
 int main(int argc, char** argv) {
   using namespace fsdl;
+  {
+    const std::string error = failpoint::arm_from_env();
+    if (!error.empty()) {
+      std::fprintf(stderr, "fsdl_serve: FSDL_FAILPOINTS: %s\n", error.c_str());
+      return 2;
+    }
+  }
   if (argc < 2) usage();
   if (std::string(argv[1]) == "--health") {
     if (argc != 3) usage("--health takes exactly one HOST:PORT");
@@ -257,6 +267,9 @@ int main(int argc, char** argv) {
       expect_shard_count = std::strtol(argv[++k], nullptr, 10);
     } else if (arg == "--admin") {
       options.admin = true;
+    } else if (arg == "--failpoints" && k + 1 < argc) {
+      const std::string error = failpoint::arm(argv[++k]);
+      if (!error.empty()) usage(error.c_str());
     } else if (arg == "--metrics-dump" && k + 1 < argc) {
       metrics_path = argv[++k];
     } else if (arg == "--metrics-interval" && k + 1 < argc) {
